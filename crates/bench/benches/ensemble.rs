@@ -1,0 +1,68 @@
+//! Exp 4 (ablation; paper §3.3): the cost and behaviour of ensemble
+//! strategies over stored models — one model vs. majority vote vs.
+//! highest confidence as the ensemble grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcs_bench::blob_training_data;
+use mlcs_core::ensemble::{ensemble_predict, EnsembleStrategy};
+use mlcs_core::stored::StoredModel;
+use mlcs_ml::forest::RandomForestClassifier;
+use mlcs_ml::naive_bayes::GaussianNb;
+use mlcs_ml::tree::DecisionTreeClassifier;
+use mlcs_ml::Model;
+
+fn make_models(n: usize) -> (Vec<StoredModel>, mlcs_ml::Matrix) {
+    let (x, y) = blob_training_data(4_000, 4, 11);
+    let mut models = Vec::with_capacity(n);
+    for i in 0..n {
+        let model = match i % 3 {
+            0 => Model::RandomForest(RandomForestClassifier::new(8).with_seed(i as u64)),
+            1 => Model::DecisionTree(
+                DecisionTreeClassifier::new().with_max_depth(6).with_seed(i as u64),
+            ),
+            _ => Model::GaussianNb(GaussianNb::new()),
+        };
+        models.push(StoredModel::train(model, &x, &y).expect("train"));
+    }
+    let (probe, _) = blob_training_data(10_000, 4, 99);
+    (models, probe)
+}
+
+fn ensemble_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_predict_10k");
+    group.sample_size(10);
+    for n_models in [1usize, 3, 5, 9] {
+        let (models, probe) = make_models(n_models);
+        group.bench_with_input(
+            BenchmarkId::new("majority_vote", n_models),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    ensemble_predict(models, &probe, EnsembleStrategy::MajorityVote)
+                        .expect("vote")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("highest_confidence", n_models),
+            &models,
+            |b, models| {
+                b.iter(|| {
+                    ensemble_predict(models, &probe, EnsembleStrategy::HighestConfidence)
+                        .expect("confidence")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_best", n_models),
+            &models,
+            |b, models| {
+                b.iter(|| models[0].predict(&probe).expect("single"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ensemble_strategies);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Exp: Figure 1 — the voter-classification pipeline per data-access
+//! method, at bench scale (20k rows so Criterion can iterate; use the
+//! `fig1` binary for the full-scale single-shot reproduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcs_voters::pipeline::{run_method, Method, PipelineEnv, PipelineOptions};
+use mlcs_voters::VoterConfig;
+
+fn fig1_pipeline(c: &mut Criterion) {
+    let config = VoterConfig { rows: 20_000, ..Default::default() };
+    let opts = PipelineOptions { n_estimators: 8, ..Default::default() };
+    let env = PipelineEnv::prepare(&config).expect("prepare environment");
+
+    let mut group = c.benchmark_group("fig1_pipeline_20k");
+    group.sample_size(10);
+    for &method in Method::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &m| {
+                b.iter(|| run_method(&env, m, &opts).expect("pipeline run"));
+            },
+        );
+    }
+    group.finish();
+    env.cleanup();
+}
+
+criterion_group!(benches, fig1_pipeline);
+criterion_main!(benches);

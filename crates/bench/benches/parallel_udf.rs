@@ -1,0 +1,61 @@
+//! Exp 6 (ablation; paper §5.1 future work): morsel-parallel UDF
+//! execution. Measures the speedup of chunked parallel prediction over
+//! single-threaded as the worker count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcs_bench::blob_training_data;
+use mlcs_columnar::parallel::parallel_map;
+use mlcs_core::stored::StoredModel;
+use mlcs_ml::forest::RandomForestClassifier;
+use mlcs_ml::Model;
+
+fn parallel_predict(c: &mut Criterion) {
+    const ROWS: usize = 200_000;
+    let (x, y) = blob_training_data(4_000, 4, 3);
+    let sm = StoredModel::train(
+        Model::RandomForest(RandomForestClassifier::new(16).with_seed(1)),
+        &x,
+        &y,
+    )
+    .expect("train");
+    let (probe, _) = blob_training_data(ROWS, 4, 5);
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&t| t <= hw.max(1));
+    if !counts.contains(&hw) {
+        counts.push(hw);
+    }
+
+    let mut group = c.benchmark_group("parallel_predict_200k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}thr")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let parts = parallel_map(ROWS, 16 * 1024, threads, |m| {
+                        let idx: Vec<usize> = (m.start..m.start + m.len).collect();
+                        let slice = probe.take_rows(&idx);
+                        sm.predict(&slice).map_err(|e| {
+                            mlcs_columnar::DbError::Udf {
+                                function: "bench predict".into(),
+                                message: e.to_string(),
+                            }
+                        })
+                    })
+                    .expect("parallel predict");
+                    let total: usize = parts.iter().map(Vec::len).sum();
+                    assert_eq!(total, ROWS);
+                    parts
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_predict);
+criterion_main!(benches);

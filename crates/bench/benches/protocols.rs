@@ -1,0 +1,57 @@
+//! Exp 3 (ablation; paper §1/§4): the data-export cost of client
+//! protocols as the result grows — the "Don't Hold My Data Hostage"
+//! motivation behind keeping the pipeline inside the database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcs_bench::{db_with, synth_table};
+use mlcs_netproto::{BinaryClient, RowCursor, Server, TextClient};
+
+fn protocol_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_transfer");
+    group.sample_size(10);
+    for rows in [10_000usize, 100_000, 500_000] {
+        let batch = synth_table(rows, 3).expect("synth data");
+        let bytes_estimate = (batch.rows() * (8 + 4 + 4 + 8)) as u64;
+        let db = db_with("t", batch).expect("load db");
+        let server = Server::start(db.clone()).expect("start server");
+        let addr = server.addr();
+        group.throughput(Throughput::Bytes(bytes_estimate));
+
+        group.bench_with_input(BenchmarkId::new("socket_text", rows), &rows, |b, _| {
+            let mut client = TextClient::connect(addr).expect("connect");
+            b.iter(|| {
+                let batch = client.query("SELECT * FROM t").expect("query");
+                assert_eq!(batch.rows(), rows);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("socket_binary", rows), &rows, |b, _| {
+            let mut client = BinaryClient::connect(addr).expect("connect");
+            b.iter(|| {
+                let batch = client.query("SELECT * FROM t").expect("query");
+                assert_eq!(batch.rows(), rows);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("embedded_rows", rows), &rows, |b, _| {
+            b.iter(|| {
+                let batch = RowCursor::query(&db, "SELECT * FROM t")
+                    .expect("cursor")
+                    .drain_to_batch()
+                    .expect("drain");
+                assert_eq!(batch.rows(), rows);
+            });
+        });
+        // The in-database reference: the same "result" consumed as a
+        // zero-copy column snapshot, which is what a vectorized UDF sees.
+        group.bench_with_input(BenchmarkId::new("in_db_snapshot", rows), &rows, |b, _| {
+            b.iter(|| {
+                let batch = db.query("SELECT * FROM t").expect("query");
+                assert_eq!(batch.rows(), rows);
+            });
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, protocol_transfer);
+criterion_main!(benches);

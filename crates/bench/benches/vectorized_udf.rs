@@ -1,0 +1,68 @@
+//! Exp 5 (ablation; paper §1): vectorized vs. scalar UDF invocation.
+//!
+//! The paper's core architectural claim is that handing UDFs whole columns
+//! beats calling them once per value. This bench invokes the same trained
+//! model over 50k rows with the input split into chunks of 1 (the
+//! row-at-a-time regime of traditional scalar UDFs), 1k, 16k, and the full
+//! column, measuring pure invocation-granularity overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcs_bench::blob_training_data;
+use mlcs_columnar::Column;
+use mlcs_core::stored::StoredModel;
+use mlcs_core::udf::PredictUdf;
+use mlcs_ml::naive_bayes::GaussianNb;
+use mlcs_ml::Model;
+use mlcs_columnar::ScalarUdf;
+use std::sync::Arc;
+
+fn chunked_invocation(c: &mut Criterion) {
+    const ROWS: usize = 50_000;
+    let (x, y) = blob_training_data(2_000, 2, 3);
+    let sm = StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &y)
+        .expect("train");
+    let blob = sm.to_blob();
+    let (probe, _) = blob_training_data(ROWS, 2, 5);
+    // Columnar probe data, as the engine would hand it to the UDF.
+    let col_a = Column::from_f64s((0..ROWS).map(|r| probe.get(r, 0)).collect());
+    let col_b = Column::from_f64s((0..ROWS).map(|r| probe.get(r, 1)).collect());
+    let model_col = Arc::new(Column::from_blobs([blob.as_slice()]));
+    let udf = PredictUdf::serial();
+
+    let mut group = c.benchmark_group("udf_invocation_granularity_50k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for chunk in [1usize, 1_024, 16_384, ROWS] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if chunk == ROWS {
+                "full_column".to_owned()
+            } else {
+                format!("chunk_{chunk}")
+            }),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(ROWS);
+                    let mut start = 0;
+                    while start < ROWS {
+                        let len = chunk.min(ROWS - start);
+                        let args = vec![
+                            Arc::new(col_a.slice(start, len)),
+                            Arc::new(col_b.slice(start, len)),
+                            model_col.clone(),
+                        ];
+                        let pred = udf.invoke(&args).expect("invoke");
+                        out.extend_from_slice(pred.i64s().expect("labels"));
+                        start += len;
+                    }
+                    assert_eq!(out.len(), ROWS);
+                    out
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chunked_invocation);
+criterion_main!(benches);

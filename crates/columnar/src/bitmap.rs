@@ -1,0 +1,254 @@
+//! Validity bitmap: one bit per row, set = valid (non-NULL).
+//!
+//! Packed 64 bits per word, LSB-first within each word, matching the layout
+//! used by Arrow-style engines. Columns with no NULLs carry no bitmap at
+//! all, so the common all-valid case costs nothing.
+
+/// A packed bitmap tracking row validity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let words = len.div_ceil(64);
+        let mut bm = Bitmap { words: vec![if value { u64::MAX } else { 0 }; words], len };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Builds a bitmap from a bool slice (`true` = valid).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bm = Bitmap::filled(bits.len(), false);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`. Panics if out of range (storage-internal API; row
+    /// indices are validated at the operator boundary).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend(&mut self, other: &Bitmap) {
+        // Bit-shift copy; simple per-bit loop is fine because bitmaps are
+        // only touched when NULLs actually exist.
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Appends `n` copies of `value`.
+    pub fn extend_fill(&mut self, n: usize, value: bool) {
+        for _ in 0..n {
+            self.push(value);
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset (NULL) bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// True if every bit is set; an all-valid bitmap can be dropped.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Bitwise AND of two equal-length bitmaps (validity intersection,
+    /// used when combining two nullable inputs of a binary operator).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        Bitmap { words, len: self.len }
+    }
+
+    /// New bitmap containing `self[i]` for each index in `indices`.
+    pub fn take(&self, indices: &[u32]) -> Bitmap {
+        let mut out = Bitmap::filled(indices.len(), false);
+        for (dst, &src) in indices.iter().enumerate() {
+            if self.get(src as usize) {
+                out.set(dst, true);
+            }
+        }
+        out
+    }
+
+    /// New bitmap with bits `offset..offset+len`.
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(offset + len <= self.len, "slice out of range");
+        let mut out = Bitmap::filled(len, false);
+        for i in 0..len {
+            if self.get(offset + i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Iterates the bits as bools.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of set bits, as u32 (a selection vector).
+    pub fn set_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut word = w;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push((wi * 64 + bit) as u32);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Zeroes the unused bits of the final partial word so that
+    /// `count_ones` and equality behave.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_counts() {
+        let bm = Bitmap::filled(100, true);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 100);
+        assert!(bm.all_set());
+        let bm = Bitmap::filled(100, false);
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.count_zeros(), 100);
+    }
+
+    #[test]
+    fn set_get_push() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(1, true);
+        assert!(bm.get(1));
+        bm.set(0, false);
+        assert!(!bm.get(0));
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b), Bitmap::from_bools(&[true, false, false, false]));
+    }
+
+    #[test]
+    fn take_gathers() {
+        let bm = Bitmap::from_bools(&[true, false, true, false, true]);
+        let taken = bm.take(&[4, 0, 1]);
+        assert_eq!(taken, Bitmap::from_bools(&[true, true, false]));
+    }
+
+    #[test]
+    fn slice_works_across_word_boundaries() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 2 == 0);
+        }
+        let s = bm.slice(63, 4);
+        assert_eq!(s, Bitmap::from_bools(&[false, true, false, true]));
+    }
+
+    #[test]
+    fn set_indices_matches_iter() {
+        let bm = Bitmap::from_bools(&[false, true, true, false, true]);
+        assert_eq!(bm.set_indices(), vec![1, 2, 4]);
+        let big = Bitmap::filled(129, true);
+        assert_eq!(big.set_indices().len(), 129);
+        assert_eq!(big.set_indices()[128], 128);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut a = Bitmap::from_bools(&[true, false]);
+        let b = Bitmap::from_bools(&[false, true, true]);
+        a.extend(&b);
+        assert_eq!(a, Bitmap::from_bools(&[true, false, false, true, true]));
+        a.extend_fill(2, true);
+        assert_eq!(a.len(), 7);
+        assert!(a.get(5) && a.get(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Bitmap::filled(5, true).get(5);
+    }
+}

@@ -1,0 +1,717 @@
+//! Typed columns: the engine's bulk data representation.
+//!
+//! A [`Column`] is a contiguous typed vector plus an optional validity
+//! bitmap. The common all-valid case carries no bitmap. Operators work on
+//! whole columns at a time (MonetDB's operator-at-a-time model) through the
+//! typed slice accessors ([`Column::i32s`] etc.), which is also exactly how
+//! vectorized UDFs receive their inputs — as borrowed slices, zero-copy.
+
+use crate::bitmap::Bitmap;
+use crate::error::{DbError, DbResult};
+use crate::strings::{BlobColumn, StringColumn};
+use crate::types::{DataType, Value};
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Boolean values.
+    Boolean(Vec<bool>),
+    /// 8-bit integers.
+    Int8(Vec<i8>),
+    /// 16-bit integers.
+    Int16(Vec<i16>),
+    /// 32-bit integers.
+    Int32(Vec<i32>),
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 32-bit floats.
+    Float32(Vec<f32>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// UTF-8 strings.
+    Varchar(StringColumn),
+    /// Byte strings (pickled models live here).
+    Blob(BlobColumn),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Boolean(v) => v.len(),
+            ColumnData::Int8(v) => v.len(),
+            ColumnData::Int16(v) => v.len(),
+            ColumnData::Int32(v) => v.len(),
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float32(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Varchar(v) => v.len(),
+            ColumnData::Blob(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Boolean(_) => DataType::Boolean,
+            ColumnData::Int8(_) => DataType::Int8,
+            ColumnData::Int16(_) => DataType::Int16,
+            ColumnData::Int32(_) => DataType::Int32,
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float32(_) => DataType::Float32,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Varchar(_) => DataType::Varchar,
+            ColumnData::Blob(_) => DataType::Blob,
+        }
+    }
+
+    /// An empty payload of the given type.
+    pub fn empty(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Boolean => ColumnData::Boolean(Vec::new()),
+            DataType::Int8 => ColumnData::Int8(Vec::new()),
+            DataType::Int16 => ColumnData::Int16(Vec::new()),
+            DataType::Int32 => ColumnData::Int32(Vec::new()),
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float32 => ColumnData::Float32(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Varchar => ColumnData::Varchar(StringColumn::new()),
+            DataType::Blob => ColumnData::Blob(BlobColumn::new()),
+        }
+    }
+}
+
+/// A column: typed data plus optional validity bitmap.
+///
+/// Invariant: if a validity bitmap is present it has exactly `len()` bits.
+/// NULL slots still hold a placeholder value in the data vector (zero /
+/// empty string) so the typed slices are always fully populated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+macro_rules! from_native {
+    ($fn_name:ident, $opt_fn:ident, $native:ty, $variant:ident, $default:expr) => {
+        /// Builds an all-valid column from native values.
+        pub fn $fn_name(values: Vec<$native>) -> Column {
+            Column { data: ColumnData::$variant(values.into()), validity: None }
+        }
+
+        /// Builds a nullable column from optional native values.
+        pub fn $opt_fn(values: Vec<Option<$native>>) -> Column {
+            let mut validity = Bitmap::new();
+            let mut data = Vec::with_capacity(values.len());
+            let mut any_null = false;
+            for v in values {
+                match v {
+                    Some(x) => {
+                        validity.push(true);
+                        data.push(x);
+                    }
+                    None => {
+                        any_null = true;
+                        validity.push(false);
+                        data.push($default);
+                    }
+                }
+            }
+            Column {
+                data: ColumnData::$variant(data.into()),
+                validity: if any_null { Some(validity) } else { None },
+            }
+        }
+    };
+}
+
+macro_rules! slice_accessor {
+    ($name:ident, $native:ty, $variant:ident) => {
+        /// Borrowed typed slice, or `None` if the column has another type.
+        pub fn $name(&self) -> Option<&[$native]> {
+            match &self.data {
+                ColumnData::$variant(v) => Some(v),
+                _ => None,
+            }
+        }
+    };
+}
+
+impl Column {
+    /// Wraps raw parts into a column, checking the bitmap length invariant.
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> DbResult<Column> {
+        if let Some(bm) = &validity {
+            if bm.len() != data.len() {
+                return Err(DbError::Shape(format!(
+                    "validity bitmap has {} bits but column has {} rows",
+                    bm.len(),
+                    data.len()
+                )));
+            }
+            if bm.all_set() {
+                return Ok(Column { data, validity: None });
+            }
+        }
+        Ok(Column { data, validity })
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Column {
+        Column { data: ColumnData::empty(dtype), validity: None }
+    }
+
+    /// A column of `len` NULLs of the given type.
+    pub fn nulls(dtype: DataType, len: usize) -> Column {
+        let mut data = ColumnData::empty(dtype);
+        match &mut data {
+            ColumnData::Boolean(v) => v.resize(len, false),
+            ColumnData::Int8(v) => v.resize(len, 0),
+            ColumnData::Int16(v) => v.resize(len, 0),
+            ColumnData::Int32(v) => v.resize(len, 0),
+            ColumnData::Int64(v) => v.resize(len, 0),
+            ColumnData::Float32(v) => v.resize(len, 0.0),
+            ColumnData::Float64(v) => v.resize(len, 0.0),
+            ColumnData::Varchar(v) => {
+                for _ in 0..len {
+                    v.push("");
+                }
+            }
+            ColumnData::Blob(v) => {
+                for _ in 0..len {
+                    v.push(&[]);
+                }
+            }
+        }
+        Column { data, validity: Some(Bitmap::filled(len, false)) }
+    }
+
+    from_native!(from_bools, from_opt_bools, bool, Boolean, false);
+    from_native!(from_i8s, from_opt_i8s, i8, Int8, 0);
+    from_native!(from_i16s, from_opt_i16s, i16, Int16, 0);
+    from_native!(from_i32s, from_opt_i32s, i32, Int32, 0);
+    from_native!(from_i64s, from_opt_i64s, i64, Int64, 0);
+    from_native!(from_f32s, from_opt_f32s, f32, Float32, 0.0);
+    from_native!(from_f64s, from_opt_f64s, f64, Float64, 0.0);
+
+    /// Builds an all-valid VARCHAR column.
+    pub fn from_strings<'a>(values: impl IntoIterator<Item = &'a str>) -> Column {
+        Column { data: ColumnData::Varchar(StringColumn::from_strs(values)), validity: None }
+    }
+
+    /// Builds an all-valid BLOB column.
+    pub fn from_blobs<'a>(values: impl IntoIterator<Item = &'a [u8]>) -> Column {
+        Column { data: ColumnData::Blob(BlobColumn::from_slices(values)), validity: None }
+    }
+
+    /// Builds a column of type `dtype` from scalar [`Value`]s, casting each
+    /// value to `dtype` (so integer literals fill FLOAT columns, etc.).
+    pub fn from_values(dtype: DataType, values: &[Value]) -> DbResult<Column> {
+        let mut b = ColumnBuilder::new(dtype);
+        for v in values {
+            b.push_value(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// The typed payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity bitmap, if any rows are NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// True if row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(bm) => !bm.get(i),
+            None => false,
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity.as_ref().map_or(0, Bitmap::count_zeros)
+    }
+
+    slice_accessor!(bools, bool, Boolean);
+    slice_accessor!(i8s, i8, Int8);
+    slice_accessor!(i16s, i16, Int16);
+    slice_accessor!(i32s, i32, Int32);
+    slice_accessor!(i64s, i64, Int64);
+    slice_accessor!(f32s, f32, Float32);
+    slice_accessor!(f64s, f64, Float64);
+
+    /// The string payload, if this is a VARCHAR column.
+    pub fn strings(&self) -> Option<&StringColumn> {
+        match &self.data {
+            ColumnData::Varchar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The blob payload, if this is a BLOB column.
+    pub fn blobs(&self) -> Option<&BlobColumn> {
+        match &self.data {
+            ColumnData::Blob(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts row `i` as a scalar [`Value`] (slow path; result printing,
+    /// row-protocol serialization and tests only).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Boolean(v) => Value::Boolean(v[i]),
+            ColumnData::Int8(v) => Value::Int8(v[i]),
+            ColumnData::Int16(v) => Value::Int16(v[i]),
+            ColumnData::Int32(v) => Value::Int32(v[i]),
+            ColumnData::Int64(v) => Value::Int64(v[i]),
+            ColumnData::Float32(v) => Value::Float32(v[i]),
+            ColumnData::Float64(v) => Value::Float64(v[i]),
+            ColumnData::Varchar(v) => Value::Varchar(v.get(i).to_owned()),
+            ColumnData::Blob(v) => Value::Blob(v.get(i).to_vec()),
+        }
+    }
+
+    /// Row `i` as f64, if numeric/boolean and non-NULL.
+    #[inline]
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Boolean(v) => v[i] as u8 as f64,
+            ColumnData::Int8(v) => v[i] as f64,
+            ColumnData::Int16(v) => v[i] as f64,
+            ColumnData::Int32(v) => v[i] as f64,
+            ColumnData::Int64(v) => v[i] as f64,
+            ColumnData::Float32(v) => v[i] as f64,
+            ColumnData::Float64(v) => v[i],
+            _ => return None,
+        })
+    }
+
+    /// Row `i` as i64, if integer/boolean and non-NULL.
+    #[inline]
+    pub fn i64_at(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Boolean(v) => v[i] as i64,
+            ColumnData::Int8(v) => v[i] as i64,
+            ColumnData::Int16(v) => v[i] as i64,
+            ColumnData::Int32(v) => v[i] as i64,
+            ColumnData::Int64(v) => v[i],
+            _ => return None,
+        })
+    }
+
+    /// Materializes the whole numeric column as `f64`s; NULLs become NaN.
+    /// This is the bridge into the ML library, which trains on f64 matrices.
+    pub fn to_f64_vec(&self) -> DbResult<Vec<f64>> {
+        let n = self.len();
+        let mut out: Vec<f64> = Vec::with_capacity(n);
+        match &self.data {
+            ColumnData::Boolean(v) => out.extend(v.iter().map(|&b| b as u8 as f64)),
+            ColumnData::Int8(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Int16(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Int32(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Int64(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Float32(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColumnData::Float64(v) => out.extend_from_slice(v),
+            other => {
+                return Err(DbError::Type(format!(
+                    "cannot view {} column as f64",
+                    other.data_type()
+                )))
+            }
+        }
+        if let Some(bm) = &self.validity {
+            for (i, valid) in bm.iter().enumerate() {
+                if !valid {
+                    out[i] = f64::NAN;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gathers rows by index into a new column (`out[k] = self[indices[k]]`).
+    pub fn take(&self, indices: &[u32]) -> Column {
+        let data = match &self.data {
+            ColumnData::Boolean(v) => {
+                ColumnData::Boolean(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Int8(v) => {
+                ColumnData::Int8(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Int16(v) => {
+                ColumnData::Int16(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Int32(v) => {
+                ColumnData::Int32(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Int64(v) => {
+                ColumnData::Int64(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float32(v) => {
+                ColumnData::Float32(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Varchar(v) => ColumnData::Varchar(v.take(indices)),
+            ColumnData::Blob(v) => ColumnData::Blob(v.take(indices)),
+        };
+        let validity = self.validity.as_ref().map(|bm| bm.take(indices));
+        Column::new(data, validity).expect("take preserves shape")
+    }
+
+    /// Gathers rows by optional index: `None` produces a NULL row. Used by
+    /// outer joins to pad the unmatched side.
+    pub fn take_opt(&self, indices: &[Option<u32>]) -> Column {
+        let mut b = ColumnBuilder::new(self.data_type());
+        for &idx in indices {
+            match idx {
+                Some(i) => b
+                    .push_value(&self.value(i as usize))
+                    .expect("same-type push cannot fail"),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    }
+
+    /// Expands a length-1 constant column to `n` identical rows; returns a
+    /// clone when the column is already `n` long.
+    pub fn broadcast_to(&self, n: usize) -> DbResult<Column> {
+        if self.len() == n {
+            return Ok(self.clone());
+        }
+        if self.len() != 1 {
+            return Err(DbError::Shape(format!(
+                "cannot broadcast column of {} rows to {n}",
+                self.len()
+            )));
+        }
+        let indices = vec![0u32; n];
+        Ok(self.take(&indices))
+    }
+
+    /// Copies rows `offset..offset+len` into a new column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let data = match &self.data {
+            ColumnData::Boolean(v) => ColumnData::Boolean(v[offset..offset + len].to_vec()),
+            ColumnData::Int8(v) => ColumnData::Int8(v[offset..offset + len].to_vec()),
+            ColumnData::Int16(v) => ColumnData::Int16(v[offset..offset + len].to_vec()),
+            ColumnData::Int32(v) => ColumnData::Int32(v[offset..offset + len].to_vec()),
+            ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
+            ColumnData::Float32(v) => ColumnData::Float32(v[offset..offset + len].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[offset..offset + len].to_vec()),
+            ColumnData::Varchar(v) => ColumnData::Varchar(v.slice(offset, len)),
+            ColumnData::Blob(v) => ColumnData::Blob(v.slice(offset, len)),
+        };
+        let validity = self.validity.as_ref().map(|bm| bm.slice(offset, len));
+        Column::new(data, validity).expect("slice preserves shape")
+    }
+
+    /// Appends all rows of `other`, which must have the same data type.
+    pub fn extend(&mut self, other: &Column) -> DbResult<()> {
+        if self.data_type() != other.data_type() {
+            return Err(DbError::Type(format!(
+                "cannot append {} rows to {} column",
+                other.data_type(),
+                self.data_type()
+            )));
+        }
+        // Materialize a bitmap on either side having NULLs.
+        if self.validity.is_none() && other.validity.is_some() {
+            self.validity = Some(Bitmap::filled(self.len(), true));
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Boolean(a), ColumnData::Boolean(b)) => a.extend_from_slice(b),
+            (ColumnData::Int8(a), ColumnData::Int8(b)) => a.extend_from_slice(b),
+            (ColumnData::Int16(a), ColumnData::Int16(b)) => a.extend_from_slice(b),
+            (ColumnData::Int32(a), ColumnData::Int32(b)) => a.extend_from_slice(b),
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a.extend_from_slice(b),
+            (ColumnData::Float32(a), ColumnData::Float32(b)) => a.extend_from_slice(b),
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a.extend_from_slice(b),
+            (ColumnData::Varchar(a), ColumnData::Varchar(b)) => a.extend(b),
+            (ColumnData::Blob(a), ColumnData::Blob(b)) => a.extend(b),
+            _ => unreachable!("type equality checked above"),
+        }
+        if let Some(bm) = &mut self.validity {
+            match &other.validity {
+                Some(ob) => bm.extend(ob),
+                None => bm.extend_fill(other.len(), true),
+            }
+        }
+        Ok(())
+    }
+
+    /// Vectorized cast of the whole column to `target`.
+    pub fn cast(&self, target: DataType) -> DbResult<Column> {
+        if self.data_type() == target {
+            return Ok(self.clone());
+        }
+        // Fast numeric paths; everything else goes through scalar casts.
+        let n = self.len();
+        let mut b = ColumnBuilder::new(target);
+        for i in 0..n {
+            b.push_value(&self.value(i))?;
+        }
+        Ok(b.finish())
+    }
+}
+
+/// Incremental column builder targeting a fixed data type.
+///
+/// Used by `INSERT`, result assembly, joins producing NULL-padded sides,
+/// and the CSV/protocol readers.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    data: ColumnData,
+    validity: Bitmap,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    /// A builder producing a column of type `dtype`.
+    pub fn new(dtype: DataType) -> Self {
+        ColumnBuilder {
+            dtype,
+            data: ColumnData::empty(dtype),
+            validity: Bitmap::new(),
+            any_null: false,
+        }
+    }
+
+    /// Target data type.
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a NULL.
+    pub fn push_null(&mut self) {
+        self.any_null = true;
+        self.validity.push(false);
+        match &mut self.data {
+            ColumnData::Boolean(v) => v.push(false),
+            ColumnData::Int8(v) => v.push(0),
+            ColumnData::Int16(v) => v.push(0),
+            ColumnData::Int32(v) => v.push(0),
+            ColumnData::Int64(v) => v.push(0),
+            ColumnData::Float32(v) => v.push(0.0),
+            ColumnData::Float64(v) => v.push(0.0),
+            ColumnData::Varchar(v) => v.push(""),
+            ColumnData::Blob(v) => v.push(&[]),
+        }
+    }
+
+    /// Appends a value, casting it to the builder's type as needed.
+    pub fn push_value(&mut self, value: &Value) -> DbResult<()> {
+        if value.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let cast;
+        let v = if value.data_type() == Some(self.dtype) {
+            value
+        } else {
+            cast = value.cast(self.dtype)?;
+            &cast
+        };
+        self.validity.push(true);
+        match (&mut self.data, v) {
+            (ColumnData::Boolean(col), Value::Boolean(x)) => col.push(*x),
+            (ColumnData::Int8(col), Value::Int8(x)) => col.push(*x),
+            (ColumnData::Int16(col), Value::Int16(x)) => col.push(*x),
+            (ColumnData::Int32(col), Value::Int32(x)) => col.push(*x),
+            (ColumnData::Int64(col), Value::Int64(x)) => col.push(*x),
+            (ColumnData::Float32(col), Value::Float32(x)) => col.push(*x),
+            (ColumnData::Float64(col), Value::Float64(x)) => col.push(*x),
+            (ColumnData::Varchar(col), Value::Varchar(x)) => col.push(x),
+            (ColumnData::Blob(col), Value::Blob(x)) => col.push(x),
+            _ => unreachable!("cast() yields the builder's type"),
+        }
+        Ok(())
+    }
+
+    /// Finishes the column.
+    pub fn finish(self) -> Column {
+        let validity = if self.any_null { Some(self.validity) } else { None };
+        Column { data: self.data, validity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let c = Column::from_i32s(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int32);
+        assert_eq!(c.i32s().unwrap(), &[1, 2, 3]);
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.value(1), Value::Int32(2));
+        assert!(c.i64s().is_none());
+    }
+
+    #[test]
+    fn nullable_build() {
+        let c = Column::from_opt_i64s(vec![Some(5), None, Some(7)]);
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_null(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int64(7));
+        // All-Some input carries no bitmap.
+        let c = Column::from_opt_i64s(vec![Some(1), Some(2)]);
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn new_normalizes_all_valid_bitmap() {
+        let c = Column::new(ColumnData::Int32(vec![1, 2]), Some(Bitmap::filled(2, true))).unwrap();
+        assert!(c.validity().is_none());
+        let err = Column::new(ColumnData::Int32(vec![1, 2]), Some(Bitmap::filled(3, true)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nulls_column() {
+        let c = Column::nulls(DataType::Varchar, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 4);
+        assert_eq!(c.value(0), Value::Null);
+    }
+
+    #[test]
+    fn take_gathers_with_nulls() {
+        let c = Column::from_opt_f64s(vec![Some(1.0), None, Some(3.0)]);
+        let t = c.take(&[2, 1, 0, 2]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.value(0), Value::Float64(3.0));
+        assert_eq!(t.value(1), Value::Null);
+        assert_eq!(t.value(3), Value::Float64(3.0));
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let c = Column::from_strings(["a", "b", "c", "d"]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.strings().unwrap().iter().collect::<Vec<_>>(), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn extend_merges_validity() {
+        let mut a = Column::from_i32s(vec![1, 2]);
+        let b = Column::from_opt_i32s(vec![None, Some(4)]);
+        a.extend(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_null(0));
+        assert!(a.is_null(2));
+        assert_eq!(a.value(3), Value::Int32(4));
+        // Type mismatch rejected.
+        let c = Column::from_f64s(vec![1.0]);
+        assert!(a.extend(&c).is_err());
+    }
+
+    #[test]
+    fn cast_column() {
+        let c = Column::from_i32s(vec![1, 2, 3]);
+        let f = c.cast(DataType::Float64).unwrap();
+        assert_eq!(f.f64s().unwrap(), &[1.0, 2.0, 3.0]);
+        let s = c.cast(DataType::Varchar).unwrap();
+        assert_eq!(s.strings().unwrap().get(2), "3");
+        // Overflow fails loudly.
+        let big = Column::from_i64s(vec![1 << 40]);
+        assert!(big.cast(DataType::Int16).is_err());
+        // NULLs survive casts.
+        let n = Column::from_opt_i32s(vec![Some(1), None]).cast(DataType::Int64).unwrap();
+        assert!(n.is_null(1));
+    }
+
+    #[test]
+    fn to_f64_vec_marks_nulls_as_nan() {
+        let c = Column::from_opt_i32s(vec![Some(1), None, Some(3)]);
+        let v = c.to_f64_vec().unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], 3.0);
+        assert!(Column::from_strings(["x"]).to_f64_vec().is_err());
+    }
+
+    #[test]
+    fn builder_casts_values() {
+        let mut b = ColumnBuilder::new(DataType::Float32);
+        b.push_value(&Value::Int32(2)).unwrap();
+        b.push_null();
+        b.push_value(&Value::Float64(1.5)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.data_type(), DataType::Float32);
+        assert_eq!(c.f32s().unwrap()[2], 1.5);
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn from_values_rejects_uncastable() {
+        let err = Column::from_values(DataType::Int32, &[Value::Varchar("zzz".into())]);
+        assert!(err.is_err());
+        let ok =
+            Column::from_values(DataType::Int32, &[Value::Varchar("12".into()), Value::Null])
+                .unwrap();
+        assert_eq!(ok.value(0), Value::Int32(12));
+        assert!(ok.is_null(1));
+    }
+
+    #[test]
+    fn f64_at_and_i64_at() {
+        let c = Column::from_opt_i16s(vec![Some(3), None]);
+        assert_eq!(c.f64_at(0), Some(3.0));
+        assert_eq!(c.f64_at(1), None);
+        assert_eq!(c.i64_at(0), Some(3));
+        let s = Column::from_strings(["x"]);
+        assert_eq!(s.f64_at(0), None);
+    }
+}

@@ -1,0 +1,711 @@
+//! The [`Database`] facade: catalog + function registry + SQL entry point.
+
+use crate::batch::Batch;
+use crate::catalog::Catalog;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{DbError, DbResult};
+use crate::expr::{eval, eval_predicate, EvalContext};
+use crate::schema::{Field, Schema};
+use crate::sql::binder::bind;
+use crate::sql::execute::{
+    evaluate_scalar_subqueries, execute_plan, substitute_in_plan,
+};
+use crate::sql::optimizer::optimize;
+use crate::sql::parser::{parse, parse_many};
+use crate::sql::plan::BoundStatement;
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use crate::udf::{FunctionRegistry, ScalarUdf, TableUdf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What kind of statement produced a [`QueryResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// A query with a result set.
+    Query,
+    /// Data definition (CREATE/DROP).
+    Ddl,
+    /// Data manipulation (INSERT/DELETE/UPDATE).
+    Dml,
+}
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    batch: Batch,
+    rows_affected: usize,
+    elapsed: Duration,
+    kind: StatementKind,
+}
+
+impl QueryResult {
+    /// The result rows (empty batch for DDL/DML).
+    pub fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    /// Consumes the result, returning the batch.
+    pub fn into_batch(self) -> Batch {
+        self.batch
+    }
+
+    /// Rows inserted/deleted/updated by a DML statement.
+    pub fn rows_affected(&self) -> usize {
+        self.rows_affected
+    }
+
+    /// Wall-clock execution time (parse + bind + execute).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// The statement kind.
+    pub fn kind(&self) -> StatementKind {
+        self.kind
+    }
+}
+
+/// An embedded analytical database: in-memory column store, SQL, and
+/// vectorized UDFs.
+///
+/// `Database` is cheap to clone (`Arc` internals) and safe to share across
+/// threads; the catalog and registry use interior locking.
+#[derive(Clone, Default)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+    functions: Arc<FunctionRegistry>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The UDF registry.
+    pub fn functions(&self) -> &Arc<FunctionRegistry> {
+        &self.functions
+    }
+
+    /// Registers a vectorized scalar UDF (usable in any expression).
+    pub fn register_scalar_udf(&self, udf: Arc<dyn ScalarUdf>) {
+        self.functions.register_scalar(udf);
+    }
+
+    /// Registers a table-valued UDF (usable in `FROM`).
+    pub fn register_table_udf(&self, udf: Arc<dyn TableUdf>) {
+        self.functions.register_table(udf);
+    }
+
+    /// Parses, binds, and executes a single SQL statement.
+    pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        let start = Instant::now();
+        let stmt = parse(sql)?;
+        let bound = bind(stmt, &self.catalog, &self.functions)?;
+        let mut result = self.run_bound(bound)?;
+        result.elapsed = start.elapsed();
+        Ok(result)
+    }
+
+    /// Executes a `;`-separated script, returning the last result.
+    pub fn execute_script(&self, sql: &str) -> DbResult<QueryResult> {
+        let start = Instant::now();
+        let stmts = parse_many(sql)?;
+        if stmts.is_empty() {
+            return Err(DbError::Parse { message: "empty script".into(), position: 0 });
+        }
+        let mut last = None;
+        for stmt in stmts {
+            let bound = bind(stmt, &self.catalog, &self.functions)?;
+            last = Some(self.run_bound(bound)?);
+        }
+        let mut result = last.expect("nonempty");
+        result.elapsed = start.elapsed();
+        Ok(result)
+    }
+
+    /// Convenience: executes a query and returns its batch.
+    pub fn query(&self, sql: &str) -> DbResult<Batch> {
+        Ok(self.execute(sql)?.into_batch())
+    }
+
+    /// Convenience: executes a query expected to return exactly one value.
+    pub fn query_value(&self, sql: &str) -> DbResult<Value> {
+        let batch = self.query(sql)?;
+        if batch.rows() != 1 || batch.width() != 1 {
+            return Err(DbError::Shape(format!(
+                "expected a 1x1 result, got {}x{}",
+                batch.rows(),
+                batch.width()
+            )));
+        }
+        Ok(batch.column(0).value(0))
+    }
+
+    fn run_bound(&self, bound: BoundStatement) -> DbResult<QueryResult> {
+        let catalog = &self.catalog;
+        let functions = &self.functions;
+        let empty = |kind: StatementKind, rows: usize| QueryResult {
+            batch: Batch::empty(Schema::empty()),
+            rows_affected: rows,
+            elapsed: Duration::ZERO,
+            kind,
+        };
+        match bound {
+            BoundStatement::CreateTable { name, schema, if_not_exists } => {
+                match catalog.create_table(&name, schema) {
+                    Ok(()) => {}
+                    Err(DbError::AlreadyExists { .. }) if if_not_exists => {}
+                    Err(e) => return Err(e),
+                }
+                Ok(empty(StatementKind::Ddl, 0))
+            }
+            BoundStatement::CreateTableAs { name, mut plan, scalar_subs, if_not_exists } => {
+                let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                substitute_in_plan(&mut plan, &values);
+                let plan = optimize(plan)?;
+                let batch = execute_plan(&plan, catalog, functions)?;
+                let rows = batch.rows();
+                let table = Table::from_batch(name.to_ascii_lowercase(), batch);
+                catalog.put_table(table, if_not_exists)?;
+                Ok(empty(StatementKind::Ddl, rows))
+            }
+            BoundStatement::DropTable { name, if_exists } => {
+                catalog.drop_table(&name, if_exists)?;
+                Ok(empty(StatementKind::Ddl, 0))
+            }
+            BoundStatement::DropFunction { name, if_exists } => {
+                functions.drop_function(&name, if_exists)?;
+                Ok(empty(StatementKind::Ddl, 0))
+            }
+            BoundStatement::InsertValues { table, column_map, rows } => {
+                let handle = catalog.table(&table)?;
+                let mut guard = handle.write();
+                let n = self.insert_rows(&mut guard, &column_map, &rows)?;
+                Ok(empty(StatementKind::Dml, n))
+            }
+            BoundStatement::InsertQuery { table, column_map, mut plan, scalar_subs } => {
+                let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                substitute_in_plan(&mut plan, &values);
+                let plan = optimize(plan)?;
+                let batch = execute_plan(&plan, catalog, functions)?;
+                let handle = catalog.table(&table)?;
+                let mut guard = handle.write();
+                let reordered = self.reorder_for_insert(&guard, &column_map, batch)?;
+                let n = reordered.rows();
+                guard.append_batch(&reordered)?;
+                Ok(empty(StatementKind::Dml, n))
+            }
+            BoundStatement::Delete { table, filter, scalar_subs } => {
+                let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                let handle = catalog.table(&table)?;
+                let mut guard = handle.write();
+                let snapshot = guard.scan();
+                let keep: Vec<u32> = match filter {
+                    None => Vec::new(),
+                    Some(mut pred) => {
+                        pred.substitute_subqueries(&values);
+                        let ctx = EvalContext::new(&snapshot, Some(functions));
+                        let deleted = eval_predicate(&ctx, &pred)?;
+                        let dset: std::collections::HashSet<u32> =
+                            deleted.into_iter().collect();
+                        (0..snapshot.rows() as u32).filter(|i| !dset.contains(i)).collect()
+                    }
+                };
+                let removed = snapshot.rows() - keep.len();
+                guard.retain_indices(&keep);
+                Ok(empty(StatementKind::Dml, removed))
+            }
+            BoundStatement::Update { table, assignments, filter, scalar_subs } => {
+                let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                let handle = catalog.table(&table)?;
+                let mut guard = handle.write();
+                let snapshot = guard.scan();
+                let ctx = EvalContext::new(&snapshot, Some(functions));
+                let selected: Vec<bool> = match filter {
+                    None => vec![true; snapshot.rows()],
+                    Some(mut pred) => {
+                        pred.substitute_subqueries(&values);
+                        let sel = eval_predicate(&ctx, &pred)?;
+                        let mut mask = vec![false; snapshot.rows()];
+                        for i in sel {
+                            mask[i as usize] = true;
+                        }
+                        mask
+                    }
+                };
+                let mut updated = 0;
+                for (col_idx, mut expr) in assignments {
+                    expr.substitute_subqueries(&values);
+                    let new_col = eval(&ctx, &expr)?.broadcast_to(snapshot.rows())?;
+                    let field = guard.schema().field(col_idx).clone();
+                    let new_col = if new_col.data_type() == field.dtype {
+                        new_col
+                    } else {
+                        new_col.cast(field.dtype)?
+                    };
+                    let old = snapshot.column(col_idx);
+                    let mut b = ColumnBuilder::new(field.dtype);
+                    for (i, &sel) in selected.iter().enumerate() {
+                        let v = if sel { new_col.value(i) } else { old.value(i) };
+                        b.push_value(&v)?;
+                    }
+                    guard.replace_column(col_idx, b.finish())?;
+                }
+                for s in &selected {
+                    if *s {
+                        updated += 1;
+                    }
+                }
+                Ok(empty(StatementKind::Dml, updated))
+            }
+            BoundStatement::Query { mut plan, scalar_subs } => {
+                let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                substitute_in_plan(&mut plan, &values);
+                let plan = optimize(plan)?;
+                let batch = execute_plan(&plan, catalog, functions)?;
+                Ok(QueryResult {
+                    rows_affected: batch.rows(),
+                    batch,
+                    elapsed: Duration::ZERO,
+                    kind: StatementKind::Query,
+                })
+            }
+            BoundStatement::Explain { plan, scalar_subs } => {
+                // EXPLAIN does not execute subqueries; placeholders are
+                // shown as `$subqueryN` and each subplan is listed.
+                let plan = optimize(plan)?;
+                let mut text = plan.to_string();
+                for (i, sub) in scalar_subs.iter().enumerate() {
+                    text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
+                }
+                let lines: Vec<&str> =
+                    text.lines().filter(|l| !l.trim().is_empty()).collect();
+                let batch = Batch::from_columns(vec![(
+                    "plan",
+                    Column::from_strings(lines.iter().copied()),
+                )])?;
+                Ok(QueryResult {
+                    rows_affected: batch.rows(),
+                    batch,
+                    elapsed: Duration::ZERO,
+                    kind: StatementKind::Query,
+                })
+            }
+            BoundStatement::ShowTables => {
+                let names = catalog.table_names();
+                let rows: Vec<i64> = names
+                    .iter()
+                    .map(|n| catalog.table(n).map(|t| t.read().rows() as i64).unwrap_or(0))
+                    .collect();
+                let batch = Batch::from_columns(vec![
+                    ("table_name", Column::from_strings(names.iter().map(String::as_str))),
+                    ("row_count", Column::from_i64s(rows)),
+                ])?;
+                Ok(QueryResult {
+                    rows_affected: batch.rows(),
+                    batch,
+                    elapsed: Duration::ZERO,
+                    kind: StatementKind::Query,
+                })
+            }
+            BoundStatement::ShowFunctions => {
+                let (scalar, table) = functions.names();
+                let mut names: Vec<String> = Vec::new();
+                let mut kinds: Vec<&str> = Vec::new();
+                for s in scalar {
+                    names.push(s);
+                    kinds.push("scalar");
+                }
+                for t in table {
+                    names.push(t);
+                    kinds.push("table");
+                }
+                let batch = Batch::from_columns(vec![
+                    ("function_name", Column::from_strings(names.iter().map(String::as_str))),
+                    ("kind", Column::from_strings(kinds.iter().copied())),
+                ])?;
+                Ok(QueryResult {
+                    rows_affected: batch.rows(),
+                    batch,
+                    elapsed: Duration::ZERO,
+                    kind: StatementKind::Query,
+                })
+            }
+        }
+    }
+
+    /// Inserts constant rows honoring an explicit column list: unmentioned
+    /// columns receive NULL.
+    fn insert_rows(
+        &self,
+        table: &mut Table,
+        column_map: &[usize],
+        rows: &[Vec<Value>],
+    ) -> DbResult<usize> {
+        let width = table.schema().len();
+        let mut full_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut full = vec![Value::Null; width];
+            for (v, &dst) in row.iter().zip(column_map) {
+                full[dst] = v.clone();
+            }
+            full_rows.push(full);
+        }
+        table.append_rows(&full_rows)?;
+        Ok(rows.len())
+    }
+
+    /// Reorders a source batch to the target table's column positions,
+    /// padding unmentioned columns with NULL.
+    fn reorder_for_insert(
+        &self,
+        table: &Table,
+        column_map: &[usize],
+        batch: Batch,
+    ) -> DbResult<Batch> {
+        let schema = table.schema();
+        let identity = column_map.len() == schema.len()
+            && column_map.iter().enumerate().all(|(i, &m)| i == m);
+        if identity {
+            return Ok(batch);
+        }
+        let n = batch.rows();
+        let mut columns: Vec<Arc<Column>> = Vec::with_capacity(schema.len());
+        for (dst, f) in schema.fields().iter().enumerate() {
+            match column_map.iter().position(|&m| m == dst) {
+                Some(src) => {
+                    let c = batch.column(src);
+                    let c = if c.data_type() == f.dtype {
+                        c.as_ref().clone()
+                    } else {
+                        c.cast(f.dtype)?
+                    };
+                    columns.push(Arc::new(c));
+                }
+                None => columns.push(Arc::new(Column::nulls(f.dtype, n))),
+            }
+        }
+        Batch::new(schema.clone(), columns)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .finish()
+    }
+}
+
+/// Builds a `Field` list quickly in tests and loaders.
+pub fn fields(defs: &[(&str, DataType)]) -> DbResult<Arc<Schema>> {
+    Ok(Arc::new(Schema::new(
+        defs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR, c DOUBLE)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 'x', 0.5), (2, 'y', 1.5), (3, 'x', 2.5), (NULL, 'z', NULL)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let db = db();
+        let r = db.query("SELECT a, b FROM t WHERE a >= 2").unwrap();
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.row(0), vec![Value::Int32(2), Value::Varchar("y".into())]);
+    }
+
+    #[test]
+    fn select_star_and_aliases() {
+        let db = db();
+        let r = db.query("SELECT * FROM t").unwrap();
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.rows(), 4);
+        let r = db.query("SELECT a AS x, a + 1 AS y FROM t WHERE a = 1").unwrap();
+        assert_eq!(r.schema().names(), vec!["x", "y"]);
+        assert_eq!(r.row(0)[1], Value::Int64(2));
+    }
+
+    #[test]
+    fn aggregation_via_sql() {
+        let db = db();
+        let r = db
+            .query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b")
+            .unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.row(0), vec!["x".into(), Value::Int64(2), Value::Int64(4)]);
+        assert_eq!(r.row(2), vec!["z".into(), Value::Int64(1), Value::Null]);
+    }
+
+    #[test]
+    fn ungrouped_aggregates() {
+        let db = db();
+        assert_eq!(db.query_value("SELECT COUNT(*) FROM t").unwrap(), Value::Int64(4));
+        assert_eq!(db.query_value("SELECT COUNT(a) FROM t").unwrap(), Value::Int64(3));
+        assert_eq!(db.query_value("SELECT AVG(c) FROM t").unwrap(), Value::Float64(1.5));
+        assert_eq!(db.query_value("SELECT MIN(b) FROM t").unwrap(), Value::Varchar("x".into()));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = db();
+        let r = db
+            .query("SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1")
+            .unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0)[0], Value::Varchar("x".into()));
+    }
+
+    #[test]
+    fn join_via_sql() {
+        let db = db();
+        db.execute("CREATE TABLE u (b VARCHAR, score INTEGER)").unwrap();
+        db.execute("INSERT INTO u VALUES ('x', 10), ('y', 20)").unwrap();
+        let r = db
+            .query("SELECT t.a, u.score FROM t JOIN u ON t.b = u.b ORDER BY t.a")
+            .unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.row(2), vec![Value::Int32(3), Value::Int32(10)]);
+        let r = db
+            .query("SELECT t.a, u.score FROM t LEFT JOIN u ON t.b = u.b WHERE t.b = 'z'")
+            .unwrap();
+        assert_eq!(r.rows(), 1);
+        assert!(r.row(0)[1].is_null());
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let db = db();
+        let r = db.query("SELECT a FROM t ORDER BY a DESC LIMIT 2").unwrap();
+        // NULLs first under DESC.
+        assert!(r.row(0)[0].is_null());
+        assert_eq!(r.row(1)[0], Value::Int32(3));
+        let r = db.query("SELECT a FROM t ORDER BY 1 ASC LIMIT 2 OFFSET 1").unwrap();
+        assert_eq!(r.row(0)[0], Value::Int32(2));
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let db = db();
+        let r = db.query("SELECT DISTINCT b FROM t").unwrap();
+        assert_eq!(r.rows(), 3);
+        let r = db.query("SELECT 1 AS v UNION ALL SELECT 2 UNION ALL SELECT 1").unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.schema().names(), vec!["v"]);
+    }
+
+    #[test]
+    fn union_coerces_types() {
+        let db = db();
+        let r = db.query("SELECT 1 AS v UNION ALL SELECT 2.5").unwrap();
+        assert_eq!(r.column(0).data_type(), DataType::Float64);
+        assert!(db.execute("SELECT 1 UNION ALL SELECT 'x'").is_err());
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let db = db();
+        let r = db.execute("DELETE FROM t WHERE a = 2").unwrap();
+        assert_eq!(r.rows_affected(), 1);
+        assert_eq!(db.query_value("SELECT COUNT(*) FROM t").unwrap(), Value::Int64(3));
+        let r = db.execute("UPDATE t SET c = c * 2 WHERE a = 1").unwrap();
+        assert_eq!(r.rows_affected(), 1);
+        assert_eq!(
+            db.query_value("SELECT c FROM t WHERE a = 1").unwrap(),
+            Value::Float64(1.0)
+        );
+        // Unfiltered update touches all rows.
+        let r = db.execute("UPDATE t SET b = 'w'").unwrap();
+        assert_eq!(r.rows_affected(), 3);
+        assert_eq!(db.query("SELECT DISTINCT b FROM t").unwrap().rows(), 1);
+    }
+
+    #[test]
+    fn create_table_as_and_insert_select() {
+        let db = db();
+        db.execute("CREATE TABLE t2 AS SELECT a, c FROM t WHERE a IS NOT NULL").unwrap();
+        assert_eq!(db.query_value("SELECT COUNT(*) FROM t2").unwrap(), Value::Int64(3));
+        db.execute("INSERT INTO t2 SELECT a, c FROM t WHERE a = 1").unwrap();
+        assert_eq!(db.query_value("SELECT COUNT(*) FROM t2").unwrap(), Value::Int64(4));
+    }
+
+    #[test]
+    fn insert_with_column_list_pads_nulls() {
+        let db = db();
+        db.execute("INSERT INTO t (b) VALUES ('only-b')").unwrap();
+        let r = db.query("SELECT a, b, c FROM t WHERE b = 'only-b'").unwrap();
+        assert!(r.row(0)[0].is_null());
+        assert!(r.row(0)[2].is_null());
+    }
+
+    #[test]
+    fn scalar_subquery_in_predicate() {
+        let db = db();
+        let r = db
+            .query("SELECT a FROM t WHERE c > (SELECT AVG(c) FROM t) ORDER BY a")
+            .unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0)[0], Value::Int32(3));
+    }
+
+    #[test]
+    fn derived_table() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT s.b, s.n FROM (SELECT b, COUNT(*) AS n FROM t GROUP BY b) s WHERE s.n > 1",
+            )
+            .unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0)[1], Value::Int64(2));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Database::new();
+        let r = db.query("SELECT 1 + 1 AS two, 'hi' AS s").unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0), vec![Value::Int64(2), Value::Varchar("hi".into())]);
+    }
+
+    #[test]
+    fn case_and_functions_in_sql() {
+        let db = db();
+        let r = db
+            .query(
+                "SELECT a, CASE WHEN a >= 2 THEN 'big' ELSE 'small' END AS size \
+                 FROM t WHERE a IS NOT NULL ORDER BY a",
+            )
+            .unwrap();
+        assert_eq!(r.row(0)[1], Value::Varchar("small".into()));
+        assert_eq!(r.row(2)[1], Value::Varchar("big".into()));
+        assert_eq!(
+            db.query_value("SELECT ABS(-5)").unwrap(),
+            Value::Int64(5)
+        );
+        assert_eq!(
+            db.query_value("SELECT UPPER('abc') || '!'").unwrap(),
+            Value::Varchar("ABC!".into())
+        );
+    }
+
+    #[test]
+    fn show_tables_lists() {
+        let db = db();
+        let r = db.query("SHOW TABLES").unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0)[0], Value::Varchar("t".into()));
+        assert_eq!(r.row(0)[1], Value::Int64(4));
+    }
+
+    #[test]
+    fn error_paths() {
+        let db = db();
+        assert!(matches!(
+            db.execute("SELECT zzz FROM t"),
+            Err(DbError::NotFound { kind: "column", .. })
+        ));
+        assert!(matches!(
+            db.execute("SELECT * FROM missing"),
+            Err(DbError::NotFound { kind: "table", .. })
+        ));
+        assert!(db.execute("SELECT a FROM t GROUP BY b").is_err());
+        assert!(db.execute("INSERT INTO t VALUES (1)").is_err());
+        assert!(db.execute("CREATE TABLE t (x INT)").is_err());
+        db.execute("CREATE TABLE IF NOT EXISTS t (x INT)").unwrap();
+    }
+
+    #[test]
+    fn group_by_ordinal_and_alias() {
+        let db = db();
+        let r = db.query("SELECT b AS grp, COUNT(*) FROM t GROUP BY 1 ORDER BY 1").unwrap();
+        assert_eq!(r.rows(), 3);
+        let r = db.query("SELECT b AS grp, COUNT(*) FROM t GROUP BY grp ORDER BY grp").unwrap();
+        assert_eq!(r.rows(), 3);
+    }
+
+    #[test]
+    fn group_expr_in_projection() {
+        let db = db();
+        let r = db
+            .query("SELECT a % 2 AS parity, COUNT(*) AS n FROM t WHERE a IS NOT NULL GROUP BY a % 2 ORDER BY parity")
+            .unwrap();
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.row(0)[1], Value::Int64(1)); // parity 0: {2}
+        assert_eq!(r.row(1)[1], Value::Int64(2)); // parity 1: {1, 3}
+    }
+
+    #[test]
+    fn execute_script_runs_all() {
+        let db = Database::new();
+        let r = db
+            .execute_script(
+                "CREATE TABLE s (x INT); INSERT INTO s VALUES (1), (2); SELECT SUM(x) FROM s",
+            )
+            .unwrap();
+        assert_eq!(r.batch().column(0).value(0), Value::Int64(3));
+    }
+
+    #[test]
+    fn explain_shows_optimized_plan() {
+        let db = db();
+        let r = db
+            .query("EXPLAIN SELECT a FROM t WHERE a > 1 + 1 ORDER BY a LIMIT 3")
+            .unwrap();
+        let text: Vec<String> = (0..r.rows())
+            .map(|i| r.row(i)[0].as_str().unwrap().to_owned())
+            .collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("Limit"), "{joined}");
+        assert!(joined.contains("Scan t"), "{joined}");
+        // Constant folding happened: the predicate compares against 2.
+        assert!(joined.contains("> 2"), "{joined}");
+        assert!(!joined.contains("1 + 1"), "{joined}");
+    }
+
+    #[test]
+    fn optimizer_preserves_results() {
+        let db = db();
+        db.execute("CREATE TABLE u (b VARCHAR, w INTEGER)").unwrap();
+        db.execute("INSERT INTO u VALUES ('x', 1), ('y', 2)").unwrap();
+        // Filter over join with per-side and cross-side conjuncts.
+        let r = db
+            .query(
+                "SELECT t.a, u.w FROM t JOIN u ON t.b = u.b                  WHERE t.a > 0 AND u.w < 2 AND t.a <> u.w ORDER BY t.a",
+            )
+            .unwrap();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.row(0), vec![Value::Int32(3), Value::Int32(1)]);
+    }
+
+    #[test]
+    fn blob_round_trip_via_sql() {
+        let db = Database::new();
+        db.execute("CREATE TABLE m (id INT, body BLOB)").unwrap();
+        db.execute("INSERT INTO m VALUES (1, x'DEADBEEF')").unwrap();
+        let v = db.query_value("SELECT body FROM m WHERE id = 1").unwrap();
+        assert_eq!(v, Value::Blob(vec![0xDE, 0xAD, 0xBE, 0xEF]));
+        assert_eq!(
+            db.query_value("SELECT OCTET_LENGTH(body) FROM m").unwrap(),
+            Value::Int64(4)
+        );
+    }
+}

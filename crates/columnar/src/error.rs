@@ -1,0 +1,106 @@
+//! Unified error type for the columnar engine.
+
+use std::fmt;
+
+/// Any error raised by the storage engine, expression evaluator, SQL
+/// front-end, or executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL text failed to tokenize.
+    Lex { message: String, position: usize },
+    /// Token stream failed to parse.
+    Parse { message: String, position: usize },
+    /// Name resolution or type checking failed.
+    Bind(String),
+    /// A catalog object was not found.
+    NotFound { kind: &'static str, name: String },
+    /// A catalog object already exists.
+    AlreadyExists { kind: &'static str, name: String },
+    /// A type error at execution time (should normally be caught at bind
+    /// time; this is the executor's last line of defense).
+    Type(String),
+    /// Row arity or column length mismatch.
+    Shape(String),
+    /// Arithmetic error (division by zero, overflow in checked ops).
+    Arithmetic(String),
+    /// A user-defined function reported an error.
+    Udf { function: String, message: String },
+    /// Unsupported SQL feature, with the feature named.
+    Unsupported(String),
+    /// I/O error during persistence, carrying the rendered message
+    /// (std::io::Error is not Clone).
+    Io(String),
+    /// Corrupted persisted data.
+    Corrupt(String),
+    /// Catch-all internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl DbError {
+    /// Convenience constructor for bind errors.
+    pub fn bind(msg: impl Into<String>) -> Self {
+        DbError::Bind(msg.into())
+    }
+
+    /// Convenience constructor for internal errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        DbError::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            DbError::Parse { message, position } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            DbError::Bind(m) => write!(f, "bind error: {m}"),
+            DbError::NotFound { kind, name } => write!(f, "{kind} '{name}' does not exist"),
+            DbError::AlreadyExists { kind, name } => write!(f, "{kind} '{name}' already exists"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Shape(m) => write!(f, "shape error: {m}"),
+            DbError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            DbError::Udf { function, message } => {
+                write!(f, "error in UDF '{function}': {message}")
+            }
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+/// Result alias used across the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_object() {
+        let e = DbError::NotFound { kind: "table", name: "voters".into() };
+        assert_eq!(e.to_string(), "table 'voters' does not exist");
+        let e = DbError::AlreadyExists { kind: "function", name: "train".into() };
+        assert!(e.to_string().contains("train"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DbError = io.into();
+        assert!(matches!(e, DbError::Io(_)));
+    }
+}

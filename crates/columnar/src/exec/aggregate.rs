@@ -1,0 +1,456 @@
+//! Hash aggregation: `GROUP BY` plus the standard aggregate functions.
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{DbError, DbResult};
+use crate::exec::rowkey;
+use crate::schema::{Field, Schema};
+use crate::types::{DataType, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows including NULLs.
+    CountStar,
+    /// `COUNT(x)` — counts non-NULL values.
+    Count,
+    /// `SUM(x)`.
+    Sum,
+    /// `AVG(x)`.
+    Avg,
+    /// `MIN(x)`.
+    Min,
+    /// `MAX(x)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Resolves a SQL aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count, // CountStar selected by the binder for COUNT(*)
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// The result type for an argument of type `arg`.
+    pub fn result_type(self, arg: Option<DataType>) -> DbResult<DataType> {
+        Ok(match self {
+            AggFunc::CountStar | AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match arg {
+                Some(t) if t.is_integer() => DataType::Int64,
+                Some(t) if t.is_float() => DataType::Float64,
+                Some(t) => return Err(DbError::Type(format!("SUM over {t}"))),
+                None => return Err(DbError::internal("SUM without argument")),
+            },
+            AggFunc::Min | AggFunc::Max => {
+                arg.ok_or_else(|| DbError::internal("MIN/MAX without argument"))?
+            }
+        })
+    }
+}
+
+/// One aggregate call: the function plus the index of its pre-computed
+/// argument column in the input batch (`None` only for `COUNT(*)`).
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    /// Which function.
+    pub func: AggFunc,
+    /// Input column holding the (already-evaluated) argument expression.
+    pub arg: Option<usize>,
+    /// True for `agg(DISTINCT x)`.
+    pub distinct: bool,
+}
+
+/// Per-group accumulator for one aggregate call.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt { sum: i128, seen: bool },
+    SumFloat { sum: f64, seen: bool },
+    Avg { sum: f64, count: i64 },
+    MinMax { best: Option<Value>, is_min: bool },
+}
+
+impl AggState {
+    fn new(call: &AggCall, arg_type: Option<DataType>) -> AggState {
+        match call.func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match arg_type {
+                Some(t) if t.is_integer() || t == DataType::Boolean => {
+                    AggState::SumInt { sum: 0, seen: false }
+                }
+                _ => AggState::SumFloat { sum: 0.0, seen: false },
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
+            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+        }
+    }
+
+    /// Folds row `row` of `arg` (if any) into the state.
+    fn update(&mut self, arg: Option<&Column>, row: usize) -> DbResult<()> {
+        match self {
+            AggState::Count(n) => match arg {
+                None => *n += 1, // COUNT(*)
+                Some(c) => {
+                    if !c.is_null(row) {
+                        *n += 1;
+                    }
+                }
+            },
+            AggState::SumInt { sum, seen } => {
+                let c = arg.expect("SUM has an argument");
+                if let Some(v) = c.i64_at(row) {
+                    *sum += v as i128;
+                    *seen = true;
+                }
+            }
+            AggState::SumFloat { sum, seen } => {
+                let c = arg.expect("SUM has an argument");
+                if let Some(v) = c.f64_at(row) {
+                    *sum += v;
+                    *seen = true;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                let c = arg.expect("AVG has an argument");
+                if let Some(v) = c.f64_at(row) {
+                    *sum += v;
+                    *count += 1;
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                let c = arg.expect("MIN/MAX has an argument");
+                let v = c.value(row);
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match best {
+                    None => true,
+                    Some(cur) => match v.sql_cmp(cur) {
+                        Some(std::cmp::Ordering::Less) => *is_min,
+                        Some(std::cmp::Ordering::Greater) => !*is_min,
+                        Some(std::cmp::Ordering::Equal) => false,
+                        None => {
+                            return Err(DbError::Type(
+                                "MIN/MAX over incomparable values".into(),
+                            ))
+                        }
+                    },
+                };
+                if replace {
+                    *best = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> DbResult<Value> {
+        Ok(match self {
+            AggState::Count(n) => Value::Int64(n),
+            AggState::SumInt { sum, seen } => {
+                if !seen {
+                    Value::Null
+                } else {
+                    Value::Int64(i64::try_from(sum).map_err(|_| {
+                        DbError::Arithmetic("SUM overflows BIGINT".into())
+                    })?)
+                }
+            }
+            AggState::SumFloat { sum, seen } => {
+                if seen {
+                    Value::Float64(sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / count as f64)
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// One group's accumulators plus (for DISTINCT) the sets of seen values.
+struct GroupEntry {
+    first_row: u32,
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Vec<u8>>>>,
+}
+
+/// Hash-aggregates `input`.
+///
+/// `group_keys` are input column indices; `aggs` reference pre-computed
+/// argument columns by index. The output batch has the group key columns
+/// first (named per the input schema), then one column per aggregate named
+/// `agg0..aggN` — callers typically re-project with proper aliases.
+///
+/// With no group keys the result is a single row over the whole input
+/// (standard SQL ungrouped aggregation, returning one row even for empty
+/// input).
+pub fn hash_aggregate(
+    input: &Batch,
+    group_keys: &[usize],
+    aggs: &[AggCall],
+) -> DbResult<Batch> {
+    let arg_types: Vec<Option<DataType>> = aggs
+        .iter()
+        .map(|a| a.arg.map(|i| input.column(i).data_type()))
+        .collect();
+
+    let keys: Vec<&Column> = group_keys.iter().map(|&i| input.column(i).as_ref()).collect();
+    let mut groups: Vec<GroupEntry> = Vec::new();
+    let mut index: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut int_index: HashMap<i64, usize> = HashMap::new();
+    let mut null_int_group: Option<usize> = None;
+    let use_int = rowkey::int_fast_path(&keys);
+
+    let new_entry = |row: u32| GroupEntry {
+        first_row: row,
+        states: aggs
+            .iter()
+            .zip(&arg_types)
+            .map(|(a, t)| AggState::new(a, *t))
+            .collect(),
+        distinct_seen: aggs
+            .iter()
+            .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+            .collect(),
+    };
+
+    if group_keys.is_empty() {
+        groups.push(new_entry(0));
+    }
+
+    let mut keybuf = Vec::new();
+    for row in 0..input.rows() {
+        let gid = if group_keys.is_empty() {
+            0
+        } else if use_int {
+            match rowkey::int_key(keys[0], row) {
+                Some(k) => *int_index.entry(k).or_insert_with(|| {
+                    groups.push(new_entry(row as u32));
+                    groups.len() - 1
+                }),
+                None => *null_int_group.get_or_insert_with(|| {
+                    groups.push(new_entry(row as u32));
+                    groups.len() - 1
+                }),
+            }
+        } else {
+            rowkey::encode_key(&keys, row, &mut keybuf);
+            match index.get(&keybuf) {
+                Some(&g) => g,
+                None => {
+                    groups.push(new_entry(row as u32));
+                    index.insert(keybuf.clone(), groups.len() - 1);
+                    groups.len() - 1
+                }
+            }
+        };
+        let entry = &mut groups[gid];
+        for (ai, (agg, state)) in aggs.iter().zip(entry.states.iter_mut()).enumerate() {
+            let arg_col = agg.arg.map(|i| input.column(i).as_ref());
+            if agg.distinct {
+                let c = arg_col.expect("DISTINCT requires an argument");
+                if c.is_null(row) {
+                    continue;
+                }
+                let seen = entry.distinct_seen[ai].as_mut().expect("distinct set");
+                let mut k = Vec::new();
+                rowkey::encode_value(c, row, &mut k);
+                if !seen.insert(k) {
+                    continue;
+                }
+            }
+            state.update(arg_col, row)?;
+        }
+    }
+
+    // Assemble output: group key columns, then aggregate columns.
+    let first_rows: Vec<u32> = groups.iter().map(|g| g.first_row).collect();
+    let mut fields = Vec::new();
+    let mut columns: Vec<Arc<Column>> = Vec::new();
+    for &k in group_keys {
+        fields.push(input.schema().field(k).clone());
+        columns.push(Arc::new(input.column(k).take(&first_rows)));
+    }
+    let mut agg_builders: Vec<ColumnBuilder> = aggs
+        .iter()
+        .zip(&arg_types)
+        .map(|(a, t)| a.func.result_type(*t).map(ColumnBuilder::new))
+        .collect::<DbResult<_>>()?;
+    for g in groups {
+        for (b, s) in agg_builders.iter_mut().zip(g.states) {
+            b.push_value(&s.finish()?)?;
+        }
+    }
+    for (i, b) in agg_builders.into_iter().enumerate() {
+        fields.push(Field::new(format!("agg{i}"), b.data_type()));
+        columns.push(Arc::new(b.finish()));
+    }
+    Batch::new(Arc::new(Schema::new_unchecked(fields)), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Batch {
+        Batch::from_columns(vec![
+            ("region", Column::from_strings(["e", "w", "e", "w", "e"])),
+            ("amount", Column::from_opt_i32s(vec![Some(10), Some(20), Some(30), None, Some(10)])),
+            ("price", Column::from_f64s(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+        ])
+        .unwrap()
+    }
+
+    fn call(func: AggFunc, arg: Option<usize>) -> AggCall {
+        AggCall { func, arg, distinct: false }
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let out = hash_aggregate(
+            &sales(),
+            &[0],
+            &[
+                call(AggFunc::CountStar, None),
+                call(AggFunc::Sum, Some(1)),
+                call(AggFunc::Avg, Some(2)),
+                call(AggFunc::Min, Some(1)),
+                call(AggFunc::Max, Some(1)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 2);
+        // Group order follows first appearance: e then w.
+        assert_eq!(out.row(0)[0], Value::Varchar("e".into()));
+        assert_eq!(out.row(0)[1], Value::Int64(3)); // count(*)
+        assert_eq!(out.row(0)[2], Value::Int64(50)); // sum skips NULL
+        assert_eq!(out.row(0)[3], Value::Float64(3.0)); // avg price
+        assert_eq!(out.row(0)[4], Value::Int32(10));
+        assert_eq!(out.row(0)[5], Value::Int32(30));
+        assert_eq!(out.row(1)[1], Value::Int64(2));
+        assert_eq!(out.row(1)[2], Value::Int64(20)); // one NULL skipped
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let out = hash_aggregate(
+            &sales(),
+            &[],
+            &[call(AggFunc::CountStar, None), call(AggFunc::Count, Some(1))],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int64(5));
+        assert_eq!(out.row(0)[1], Value::Int64(4));
+    }
+
+    #[test]
+    fn empty_input_ungrouped_returns_one_row() {
+        let empty = Batch::from_columns(vec![("x", Column::from_i32s(vec![]))]).unwrap();
+        let out = hash_aggregate(
+            &empty,
+            &[],
+            &[call(AggFunc::CountStar, None), call(AggFunc::Sum, Some(0))],
+        )
+        .unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int64(0));
+        assert!(out.row(0)[1].is_null());
+    }
+
+    #[test]
+    fn empty_input_grouped_returns_no_rows() {
+        let empty = Batch::from_columns(vec![("x", Column::from_i32s(vec![]))]).unwrap();
+        let out = hash_aggregate(&empty, &[0], &[call(AggFunc::CountStar, None)]).unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn null_group_key_forms_its_own_group() {
+        let b = Batch::from_columns(vec![
+            ("k", Column::from_opt_i32s(vec![Some(1), None, Some(1), None])),
+        ])
+        .unwrap();
+        let out = hash_aggregate(&b, &[0], &[call(AggFunc::CountStar, None)]).unwrap();
+        assert_eq!(out.rows(), 2);
+        let counts: Vec<Value> = (0..2).map(|i| out.row(i)[1].clone()).collect();
+        assert!(counts.iter().all(|c| *c == Value::Int64(2)));
+    }
+
+    #[test]
+    fn distinct_count_and_sum() {
+        let b = Batch::from_columns(vec![
+            ("x", Column::from_i32s(vec![1, 1, 2, 2, 3])),
+        ])
+        .unwrap();
+        let out = hash_aggregate(
+            &b,
+            &[],
+            &[
+                AggCall { func: AggFunc::Count, arg: Some(0), distinct: true },
+                AggCall { func: AggFunc::Sum, arg: Some(0), distinct: true },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.row(0)[0], Value::Int64(3));
+        assert_eq!(out.row(0)[1], Value::Int64(6));
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let b = Batch::from_columns(vec![
+            ("x", Column::from_i64s(vec![i64::MAX, i64::MAX])),
+        ])
+        .unwrap();
+        let err = hash_aggregate(&b, &[], &[call(AggFunc::Sum, Some(0))]);
+        assert!(matches!(err, Err(DbError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let b = Batch::from_columns(vec![
+            ("a", Column::from_i32s(vec![1, 1, 2, 1])),
+            ("b", Column::from_strings(["x", "y", "x", "x"])),
+        ])
+        .unwrap();
+        let out = hash_aggregate(&b, &[0, 1], &[call(AggFunc::CountStar, None)]).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(0)[2], Value::Int64(2)); // (1, x)
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            AggFunc::Sum.result_type(Some(DataType::Int8)).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggFunc::Sum.result_type(Some(DataType::Float32)).unwrap(),
+            DataType::Float64
+        );
+        assert!(AggFunc::Sum.result_type(Some(DataType::Varchar)).is_err());
+        assert_eq!(
+            AggFunc::Min.result_type(Some(DataType::Varchar)).unwrap(),
+            DataType::Varchar
+        );
+        assert_eq!(AggFunc::CountStar.result_type(None).unwrap(), DataType::Int64);
+    }
+}

@@ -1,0 +1,292 @@
+//! Hash joins: inner, left outer, and cross.
+//!
+//! The build side is always the right input; the probe side streams the
+//! left input. Key equality follows SQL: NULL keys never match.
+
+use crate::batch::Batch;
+use crate::error::{DbError, DbResult};
+use crate::exec::rowkey;
+use crate::schema::Schema;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which join to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching row pairs.
+    Inner,
+    /// Keep every left row; unmatched rows pad the right side with NULLs.
+    Left,
+    /// Cartesian product (no keys).
+    Cross,
+}
+
+/// Joins `left` and `right` on positional key columns.
+///
+/// The output schema is the left fields followed by the right fields
+/// (duplicated names are allowed here; the SQL binder resolves ambiguity
+/// before execution, and `project` renames afterwards).
+pub fn hash_join(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+) -> DbResult<Batch> {
+    if join_type == JoinType::Cross {
+        return cross_join(left, right);
+    }
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(DbError::internal(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let lcols: Vec<_> = left_keys.iter().map(|&i| left.column(i).as_ref()).collect();
+    let rcols: Vec<_> = right_keys.iter().map(|&i| right.column(i).as_ref()).collect();
+
+    // Matched index pairs; `None` on the right marks a padded left-join row.
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<Option<u32>> = Vec::new();
+
+    if rowkey::int_fast_path(&lcols) && rowkey::int_fast_path(&rcols) {
+        // Single integer key: build an i64-keyed table.
+        let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(right.rows());
+        for row in 0..right.rows() {
+            if let Some(k) = rowkey::int_key(rcols[0], row) {
+                table.entry(k).or_default().push(row as u32);
+            }
+        }
+        for row in 0..left.rows() {
+            match rowkey::int_key(lcols[0], row).and_then(|k| table.get(&k)) {
+                Some(matches) => {
+                    for &m in matches {
+                        lidx.push(row as u32);
+                        ridx.push(Some(m));
+                    }
+                }
+                None => {
+                    if join_type == JoinType::Left {
+                        lidx.push(row as u32);
+                        ridx.push(None);
+                    }
+                }
+            }
+        }
+    } else {
+        // General path: byte-encoded keys.
+        let mut table: HashMap<Vec<u8>, Vec<u32>> = HashMap::with_capacity(right.rows());
+        let mut key = Vec::new();
+        for row in 0..right.rows() {
+            if rcols.iter().any(|c| c.is_null(row)) {
+                continue; // NULL keys never match
+            }
+            rowkey::encode_key(&rcols, row, &mut key);
+            table.entry(std::mem::take(&mut key)).or_default().push(row as u32);
+        }
+        for row in 0..left.rows() {
+            let has_null = lcols.iter().any(|c| c.is_null(row));
+            let matches = if has_null {
+                None
+            } else {
+                rowkey::encode_key(&lcols, row, &mut key);
+                table.get(&key)
+            };
+            match matches {
+                Some(ms) => {
+                    for &m in ms {
+                        lidx.push(row as u32);
+                        ridx.push(Some(m));
+                    }
+                }
+                None => {
+                    if join_type == JoinType::Left {
+                        lidx.push(row as u32);
+                        ridx.push(None);
+                    }
+                }
+            }
+        }
+    }
+
+    assemble(left, right, &lidx, &ridx)
+}
+
+fn cross_join(left: &Batch, right: &Batch) -> DbResult<Batch> {
+    let (ln, rn) = (left.rows(), right.rows());
+    let total = ln.checked_mul(rn).ok_or_else(|| {
+        DbError::Arithmetic("cross join result size overflows".into())
+    })?;
+    let mut lidx = Vec::with_capacity(total);
+    let mut ridx = Vec::with_capacity(total);
+    for l in 0..ln as u32 {
+        for r in 0..rn as u32 {
+            lidx.push(l);
+            ridx.push(Some(r));
+        }
+    }
+    assemble(left, right, &lidx, &ridx)
+}
+
+fn assemble(
+    left: &Batch,
+    right: &Batch,
+    lidx: &[u32],
+    ridx: &[Option<u32>],
+) -> DbResult<Batch> {
+    let mut fields = Vec::with_capacity(left.width() + right.width());
+    fields.extend(left.schema().fields().iter().cloned());
+    // Right-side fields become nullable under a left join's NULL padding.
+    let pad = ridx.iter().any(Option::is_none);
+    for f in right.schema().fields() {
+        let mut f = f.clone();
+        if pad {
+            f.nullable = true;
+        }
+        fields.push(f);
+    }
+    let schema = Arc::new(Schema::new_unchecked(fields));
+    let mut columns = Vec::with_capacity(left.width() + right.width());
+    for c in left.columns() {
+        columns.push(Arc::new(c.take(lidx)));
+    }
+    let all_some: Option<Vec<u32>> = if pad {
+        None
+    } else {
+        Some(ridx.iter().map(|o| o.expect("no padding")).collect())
+    };
+    for c in right.columns() {
+        let col = match &all_some {
+            Some(plain) => c.take(plain),
+            None => c.take_opt(ridx),
+        };
+        columns.push(Arc::new(col));
+    }
+    Batch::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::Value;
+
+    fn orders() -> Batch {
+        Batch::from_columns(vec![
+            ("order_id", Column::from_i32s(vec![100, 101, 102, 103])),
+            ("cust", Column::from_opt_i32s(vec![Some(1), Some(2), Some(1), None])),
+        ])
+        .unwrap()
+    }
+
+    fn customers() -> Batch {
+        Batch::from_columns(vec![
+            ("cust_id", Column::from_i32s(vec![1, 3])),
+            ("name", Column::from_strings(["alice", "carol"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let out = hash_join(&orders(), &customers(), &[1], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0)[0], Value::Int32(100));
+        assert_eq!(out.row(0)[3], Value::Varchar("alice".into()));
+        assert_eq!(out.row(1)[0], Value::Int32(102));
+    }
+
+    #[test]
+    fn left_join_pads_with_nulls() {
+        let out = hash_join(&orders(), &customers(), &[1], &[0], JoinType::Left).unwrap();
+        assert_eq!(out.rows(), 4);
+        // order 101 (cust 2) has no match: right side NULL.
+        let row = out.row(1);
+        assert_eq!(row[0], Value::Int32(101));
+        assert!(row[2].is_null() && row[3].is_null());
+        // NULL key never matches but is kept by LEFT.
+        let row = out.row(3);
+        assert_eq!(row[0], Value::Int32(103));
+        assert!(row[2].is_null());
+    }
+
+    #[test]
+    fn null_keys_never_match_inner() {
+        let l = Batch::from_columns(vec![("k", Column::from_opt_i32s(vec![None]))]).unwrap();
+        let r = Batch::from_columns(vec![("k", Column::from_opt_i32s(vec![None]))]).unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply() {
+        let l = Batch::from_columns(vec![("k", Column::from_i32s(vec![1, 1]))]).unwrap();
+        let r = Batch::from_columns(vec![("k", Column::from_i32s(vec![1, 1, 1]))]).unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 6);
+    }
+
+    #[test]
+    fn string_keys_general_path() {
+        let l = Batch::from_columns(vec![
+            ("name", Column::from_strings(["a", "b", "c"])),
+            ("v", Column::from_i32s(vec![1, 2, 3])),
+        ])
+        .unwrap();
+        let r = Batch::from_columns(vec![
+            ("name", Column::from_strings(["b", "c", "d"])),
+            ("w", Column::from_i32s(vec![20, 30, 40])),
+        ])
+        .unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0)[3], Value::Int32(20));
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l = Batch::from_columns(vec![
+            ("a", Column::from_i32s(vec![1, 1, 2])),
+            ("b", Column::from_strings(["x", "y", "x"])),
+        ])
+        .unwrap();
+        let r = Batch::from_columns(vec![
+            ("a", Column::from_i32s(vec![1, 2])),
+            ("b", Column::from_strings(["y", "x"])),
+            ("p", Column::from_i32s(vec![7, 8])),
+        ])
+        .unwrap();
+        let out = hash_join(&l, &r, &[0, 1], &[0, 1], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0)[4], Value::Int32(7));
+        assert_eq!(out.row(1)[4], Value::Int32(8));
+    }
+
+    #[test]
+    fn cross_join_products() {
+        let out =
+            hash_join(&orders(), &customers(), &[], &[], JoinType::Cross).unwrap();
+        assert_eq!(out.rows(), 8);
+        assert_eq!(out.width(), 4);
+    }
+
+    #[test]
+    fn cross_int_widths_match() {
+        let l = Batch::from_columns(vec![("k", Column::from_i32s(vec![7]))]).unwrap();
+        let r = Batch::from_columns(vec![("k", Column::from_i64s(vec![7]))]).unwrap();
+        let out = hash_join(&l, &r, &[0], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = Batch::from_columns(vec![("k", Column::from_i32s(vec![]))]).unwrap();
+        let out = hash_join(&l, &customers(), &[0], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.width(), 3);
+        let out = hash_join(&customers(), &l, &[0], &[0], JoinType::Left).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert!(out.row(0)[2].is_null());
+    }
+}

@@ -1,0 +1,105 @@
+//! Vectorized relational operators.
+//!
+//! Operator-at-a-time execution in the MonetDB style: each operator takes
+//! whole [`Batch`]es and produces a fully materialized result. The SQL
+//! executor ([`crate::sql`]) strings these together; they are also usable
+//! directly as a library.
+
+pub mod aggregate;
+pub mod join;
+pub mod rowkey;
+pub mod sort;
+
+pub use aggregate::{hash_aggregate, AggCall, AggFunc};
+pub use join::{hash_join, JoinType};
+pub use sort::{limit, sort, SortKey};
+
+use crate::batch::Batch;
+use crate::error::DbResult;
+use crate::exec::rowkey::encode_key;
+use crate::expr::{eval_predicate, EvalContext, Expr};
+use crate::udf::FunctionRegistry;
+use std::collections::HashSet;
+
+/// Filters a batch by a predicate expression, returning only rows where it
+/// evaluates to TRUE.
+pub fn filter(
+    input: &Batch,
+    predicate: &Expr,
+    functions: Option<&FunctionRegistry>,
+) -> DbResult<Batch> {
+    let ctx = EvalContext::new(input, functions);
+    let sel = eval_predicate(&ctx, predicate)?;
+    if sel.len() == input.rows() {
+        return Ok(input.clone()); // nothing filtered out; skip the gather
+    }
+    Ok(input.take(&sel))
+}
+
+/// Removes duplicate rows, keeping first occurrences in order.
+pub fn distinct(input: &Batch) -> Batch {
+    let cols: Vec<_> = input.columns().iter().map(|c| c.as_ref()).collect();
+    let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(input.rows());
+    let mut keep: Vec<u32> = Vec::new();
+    let mut key = Vec::new();
+    for row in 0..input.rows() {
+        encode_key(&cols, row, &mut key);
+        if seen.insert(key.clone()) {
+            keep.push(row as u32);
+        }
+    }
+    if keep.len() == input.rows() {
+        input.clone()
+    } else {
+        input.take(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::expr::{BinaryOp, Expr as E};
+    use crate::types::Value;
+
+    #[test]
+    fn filter_selects_true_rows() {
+        let b = Batch::from_columns(vec![
+            ("x", Column::from_i32s(vec![1, 2, 3, 4])),
+        ])
+        .unwrap();
+        let out = filter(&b, &E::binary(BinaryOp::Gt, E::col(0), E::lit(2i32)), None).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0)[0], Value::Int32(3));
+    }
+
+    #[test]
+    fn filter_all_pass_is_clone() {
+        let b = Batch::from_columns(vec![("x", Column::from_i32s(vec![1, 2]))]).unwrap();
+        let out = filter(&b, &E::lit(true), None).unwrap();
+        assert_eq!(out.rows(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups_with_nulls() {
+        let b = Batch::from_columns(vec![
+            ("x", Column::from_opt_i32s(vec![Some(1), None, Some(1), None, Some(2)])),
+        ])
+        .unwrap();
+        let out = distinct(&b);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(0)[0], Value::Int32(1));
+        assert!(out.row(1)[0].is_null());
+        assert_eq!(out.row(2)[0], Value::Int32(2));
+    }
+
+    #[test]
+    fn distinct_multi_column() {
+        let b = Batch::from_columns(vec![
+            ("a", Column::from_i32s(vec![1, 1, 2])),
+            ("b", Column::from_strings(["x", "x", "x"])),
+        ])
+        .unwrap();
+        assert_eq!(distinct(&b).rows(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-key stable sorting.
+
+use crate::batch::Batch;
+use crate::error::{DbError, DbResult};
+use std::cmp::Ordering;
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Input column index.
+    pub column: usize,
+    /// `ASC` (true) or `DESC`.
+    pub ascending: bool,
+    /// Where NULLs sort. SQL default here: NULLs last under ASC,
+    /// first under DESC (i.e. NULLs are "largest").
+    pub nulls_first: bool,
+}
+
+impl SortKey {
+    /// Ascending key with NULLs last.
+    pub fn asc(column: usize) -> SortKey {
+        SortKey { column, ascending: true, nulls_first: false }
+    }
+
+    /// Descending key with NULLs first.
+    pub fn desc(column: usize) -> SortKey {
+        SortKey { column, ascending: false, nulls_first: true }
+    }
+}
+
+/// Stable-sorts the batch by the given keys and returns the permuted batch.
+pub fn sort(input: &Batch, keys: &[SortKey]) -> DbResult<Batch> {
+    if keys.is_empty() {
+        return Ok(input.clone());
+    }
+    for k in keys {
+        if k.column >= input.width() {
+            return Err(DbError::internal(format!(
+                "sort key column {} out of range",
+                k.column
+            )));
+        }
+    }
+    let mut perm: Vec<u32> = (0..input.rows() as u32).collect();
+    let cols: Vec<_> = keys.iter().map(|k| input.column(k.column).as_ref()).collect();
+    perm.sort_by(|&a, &b| {
+        for (key, col) in keys.iter().zip(&cols) {
+            let (ai, bi) = (a as usize, b as usize);
+            let an = col.is_null(ai);
+            let bn = col.is_null(bi);
+            let ord = match (an, bn) {
+                (true, true) => Ordering::Equal,
+                (true, false) => {
+                    if key.nulls_first {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if key.nulls_first {
+                        Ordering::Greater
+                    } else {
+                        Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let va = col.value(ai);
+                    let vb = col.value(bi);
+                    let natural = va.sql_cmp(&vb).unwrap_or(Ordering::Equal);
+                    if key.ascending {
+                        natural
+                    } else {
+                        natural.reverse()
+                    }
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(input.take(&perm))
+}
+
+/// `LIMIT n OFFSET m` over a batch.
+pub fn limit(input: &Batch, limit: Option<usize>, offset: usize) -> Batch {
+    let start = offset.min(input.rows());
+    let remaining = input.rows() - start;
+    let n = limit.unwrap_or(remaining).min(remaining);
+    input.slice(start, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::types::Value;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            ("g", Column::from_strings(["b", "a", "b", "a"])),
+            ("v", Column::from_opt_i32s(vec![Some(2), None, Some(1), Some(9)])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = sort(&batch(), &[SortKey::asc(1)]).unwrap();
+        let vals: Vec<Value> = (0..4).map(|i| out.row(i)[1].clone()).collect();
+        assert_eq!(vals[0], Value::Int32(1));
+        assert_eq!(vals[1], Value::Int32(2));
+        assert_eq!(vals[2], Value::Int32(9));
+        assert!(vals[3].is_null(), "NULLs last under ASC");
+    }
+
+    #[test]
+    fn single_key_descending_nulls_first() {
+        let out = sort(&batch(), &[SortKey::desc(1)]).unwrap();
+        assert!(out.row(0)[1].is_null());
+        assert_eq!(out.row(1)[1], Value::Int32(9));
+        assert_eq!(out.row(3)[1], Value::Int32(1));
+    }
+
+    #[test]
+    fn multi_key_sorts_stably() {
+        let out = sort(&batch(), &[SortKey::asc(0), SortKey::asc(1)]).unwrap();
+        // a-group first: (a, 9), (a, NULL) -> 9 before NULL
+        assert_eq!(out.row(0)[0], Value::Varchar("a".into()));
+        assert_eq!(out.row(0)[1], Value::Int32(9));
+        assert!(out.row(1)[1].is_null());
+        assert_eq!(out.row(2)[1], Value::Int32(1));
+        assert_eq!(out.row(3)[1], Value::Int32(2));
+    }
+
+    #[test]
+    fn empty_keys_is_identity() {
+        let b = batch();
+        let out = sort(&b, &[]).unwrap();
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn limit_and_offset() {
+        let b = batch();
+        assert_eq!(limit(&b, Some(2), 0).rows(), 2);
+        assert_eq!(limit(&b, Some(2), 3).rows(), 1);
+        assert_eq!(limit(&b, None, 2).rows(), 2);
+        assert_eq!(limit(&b, Some(0), 0).rows(), 0);
+        assert_eq!(limit(&b, Some(10), 100).rows(), 0);
+    }
+
+    #[test]
+    fn out_of_range_key_rejected() {
+        assert!(sort(&batch(), &[SortKey::asc(9)]).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Morsel-driven parallelism helpers.
+//!
+//! The paper lists parallel UDF execution as future work (§5.1); this
+//! module implements the substrate for it. A column range is split into
+//! *morsels* — contiguous row ranges — that worker threads process
+//! independently, with results stitched back in order.
+
+use crate::error::{DbError, DbResult};
+
+/// Default number of rows per morsel. Large enough to amortize dispatch,
+/// small enough to load-balance across cores.
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// A contiguous row range `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First row.
+    pub start: usize,
+    /// Number of rows.
+    pub len: usize,
+}
+
+/// Splits `rows` into morsels of at most `morsel_rows` rows.
+pub fn morsels(rows: usize, morsel_rows: usize) -> Vec<Morsel> {
+    assert!(morsel_rows > 0, "morsel size must be positive");
+    let mut out = Vec::with_capacity(rows.div_ceil(morsel_rows));
+    let mut start = 0;
+    while start < rows {
+        let len = morsel_rows.min(rows - start);
+        out.push(Morsel { start, len });
+        start += len;
+    }
+    out
+}
+
+/// The number of worker threads to use: the available parallelism, capped
+/// by the morsel count so tiny inputs do not spawn idle threads.
+pub fn worker_count(num_morsels: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(num_morsels).max(1)
+}
+
+/// Runs `f` over every morsel of `rows`, in parallel, collecting results in
+/// morsel order. `f` must be pure with respect to row ranges (each morsel
+/// processed independently).
+///
+/// Errors from any morsel abort the whole operation; the first error in
+/// morsel order is returned.
+pub fn parallel_map<T, F>(rows: usize, morsel_rows: usize, threads: usize, f: F) -> DbResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(Morsel) -> DbResult<T> + Sync,
+{
+    let work = morsels(rows, morsel_rows);
+    if work.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = threads.clamp(1, work.len());
+    if threads == 1 {
+        return work.into_iter().map(f).collect();
+    }
+    // Work-stealing over a shared atomic counter: each worker claims the
+    // next unprocessed morsel until none remain, sending indexed results
+    // over a channel so they can be reassembled in morsel order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, DbResult<T>)>();
+    crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let work = &work;
+        let f = &f;
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                if tx.send((i, f(work[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+    })
+    .map_err(|_| DbError::internal("parallel worker panicked"))?;
+    drop(tx);
+    let mut results: Vec<Option<DbResult<T>>> = Vec::with_capacity(work.len());
+    results.resize_with(work.len(), || None);
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every morsel processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_splitting() {
+        assert_eq!(morsels(0, 10), vec![]);
+        assert_eq!(morsels(10, 10), vec![Morsel { start: 0, len: 10 }]);
+        let m = morsels(25, 10);
+        assert_eq!(
+            m,
+            vec![
+                Morsel { start: 0, len: 10 },
+                Morsel { start: 10, len: 10 },
+                Morsel { start: 20, len: 5 }
+            ]
+        );
+        let total: usize = m.iter().map(|x| x.len).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(1000, 7, 4, |m| Ok(m.start)).unwrap();
+        let expected: Vec<usize> = morsels(1000, 7).iter().map(|m| m.start).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn parallel_map_computes() {
+        // Sum of 0..n via per-morsel partial sums.
+        let n = 100_000usize;
+        let parts = parallel_map(n, 1024, 8, |m| {
+            Ok((m.start..m.start + m.len).sum::<usize>())
+        })
+        .unwrap();
+        assert_eq!(parts.iter().sum::<usize>(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = parallel_map(100, 10, 4, |m| {
+            if m.start == 50 {
+                Err(DbError::internal("boom"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(10, 3, 1, |m| Ok(m.len)).unwrap();
+        assert_eq!(out, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1000) >= 1);
+        assert!(worker_count(2) <= 2);
+    }
+}

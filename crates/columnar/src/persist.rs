@@ -1,0 +1,378 @@
+//! Database persistence: save/load the whole catalog to a directory.
+//!
+//! The on-disk layout is one file per table (`<name>.mlcstbl`) plus a
+//! manifest (`catalog.mlcsdb`) listing the tables. Table files use the
+//! mlcs binary format: a magic header, the schema, then each column as a
+//! type tag, optional validity bitmap, and a typed payload. Everything is
+//! little-endian and checksummed per file.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::schema::{Field, Schema};
+use crate::strings::{BlobColumn, StringColumn};
+use crate::table::Table;
+use mlcs_pickle::crc::crc32;
+use mlcs_pickle::{Reader, Writer};
+use std::path::Path;
+use std::sync::Arc;
+
+const TABLE_MAGIC: &[u8; 8] = b"MLCSTBL1";
+const MANIFEST_MAGIC: &[u8; 8] = b"MLCSDB_1";
+
+/// Saves every table of the database into `dir` (created if missing).
+/// Existing table files in the directory are overwritten.
+pub fn save_database(db: &Database, dir: &Path) -> DbResult<()> {
+    std::fs::create_dir_all(dir)?;
+    let names = db.catalog().table_names();
+    let mut manifest = Writer::new();
+    manifest.put_raw(MANIFEST_MAGIC);
+    manifest.put_varint(names.len() as u64);
+    for name in &names {
+        manifest.put_str(name);
+        let handle = db.catalog().table(name)?;
+        let table = handle.read();
+        let bytes = encode_table(&table);
+        std::fs::write(dir.join(format!("{name}.mlcstbl")), bytes)?;
+    }
+    std::fs::write(dir.join("catalog.mlcsdb"), manifest.into_bytes())?;
+    Ok(())
+}
+
+/// Loads a database saved by [`save_database`]. Tables are added to the
+/// given database's catalog; name clashes are an error.
+pub fn load_database(db: &Database, dir: &Path) -> DbResult<()> {
+    let manifest = std::fs::read(dir.join("catalog.mlcsdb"))?;
+    let mut r = Reader::new(&manifest);
+    let magic = r.get_raw(8).map_err(corrupt)?;
+    if magic != MANIFEST_MAGIC {
+        return Err(DbError::Corrupt("bad manifest magic".into()));
+    }
+    let n = r.get_count(1).map_err(corrupt)?;
+    for _ in 0..n {
+        let name = r.get_str().map_err(corrupt)?.to_owned();
+        let bytes = std::fs::read(dir.join(format!("{name}.mlcstbl")))?;
+        let table = decode_table(&name, &bytes)?;
+        db.catalog().put_table(table, false)?;
+    }
+    Ok(())
+}
+
+fn corrupt(e: mlcs_pickle::PickleError) -> DbError {
+    DbError::Corrupt(e.to_string())
+}
+
+/// Encodes one table: magic, checksum, schema, columns.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut body = Writer::new();
+    let schema = table.schema();
+    body.put_varint(schema.len() as u64);
+    for f in schema.fields() {
+        body.put_str(&f.name);
+        body.put_u8(f.dtype.tag());
+        body.put_bool(f.nullable);
+    }
+    let batch = table.scan();
+    body.put_varint(batch.rows() as u64);
+    for col in batch.columns() {
+        encode_column(col, &mut body);
+    }
+    let payload = body.into_bytes();
+    let mut out = Writer::with_capacity(payload.len() + 16);
+    out.put_raw(TABLE_MAGIC);
+    out.put_u32(crc32(&payload));
+    out.put_raw(&payload);
+    out.into_bytes()
+}
+
+/// Decodes a table encoded by [`encode_table`].
+pub fn decode_table(name: &str, bytes: &[u8]) -> DbResult<Table> {
+    let mut r = Reader::new(bytes);
+    let magic = r.get_raw(8).map_err(corrupt)?;
+    if magic != TABLE_MAGIC {
+        return Err(DbError::Corrupt(format!("bad table magic in '{name}'")));
+    }
+    let stored = r.get_u32().map_err(corrupt)?;
+    let payload = r.get_raw(r.remaining()).map_err(corrupt)?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(DbError::Corrupt(format!(
+            "table '{name}' payload checksum mismatch ({stored:#x} != {computed:#x})"
+        )));
+    }
+    let mut r = Reader::new(payload);
+    let ncols = r.get_count(1).map_err(corrupt)?;
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let fname = r.get_str().map_err(corrupt)?.to_owned();
+        let tag = r.get_u8().map_err(corrupt)?;
+        let dtype = crate::types::DataType::from_tag(tag)
+            .ok_or_else(|| DbError::Corrupt(format!("unknown type tag {tag}")))?;
+        let nullable = r.get_bool().map_err(corrupt)?;
+        fields.push(Field { name: fname, dtype, nullable });
+    }
+    let schema = Arc::new(Schema::new(fields)?);
+    let rows = r.get_varint().map_err(corrupt)? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for f in schema.fields() {
+        let col = decode_column(f.dtype.tag(), rows, &mut r)?;
+        if col.len() != rows {
+            return Err(DbError::Corrupt(format!(
+                "column '{}' has {} rows, expected {rows}",
+                f.name,
+                col.len()
+            )));
+        }
+        columns.push(Arc::new(col));
+    }
+    r.expect_exhausted().map_err(corrupt)?;
+    let batch = crate::batch::Batch::new(schema, columns)?;
+    Ok(Table::from_batch(name, batch))
+}
+
+fn encode_column(col: &Column, w: &mut Writer) {
+    match col.validity() {
+        None => w.put_bool(false),
+        Some(bm) => {
+            w.put_bool(true);
+            // Store as packed bytes.
+            let mut bytes = vec![0u8; bm.len().div_ceil(8)];
+            for (i, valid) in bm.iter().enumerate() {
+                if valid {
+                    bytes[i / 8] |= 1 << (i % 8);
+                }
+            }
+            w.put_bytes(&bytes);
+        }
+    }
+    match col.data() {
+        ColumnData::Boolean(v) => {
+            for &b in v {
+                w.put_bool(b);
+            }
+        }
+        ColumnData::Int8(v) => {
+            for &x in v {
+                w.put_i8(x);
+            }
+        }
+        ColumnData::Int16(v) => {
+            for &x in v {
+                w.put_i16(x);
+            }
+        }
+        ColumnData::Int32(v) => {
+            for &x in v {
+                w.put_i32(x);
+            }
+        }
+        ColumnData::Int64(v) => {
+            for &x in v {
+                w.put_i64(x);
+            }
+        }
+        ColumnData::Float32(v) => {
+            for &x in v {
+                w.put_f32(x);
+            }
+        }
+        ColumnData::Float64(v) => {
+            for &x in v {
+                w.put_f64(x);
+            }
+        }
+        ColumnData::Varchar(s) => {
+            let (offsets, bytes) = s.raw_parts();
+            w.put_varint(offsets.len() as u64);
+            for &o in offsets {
+                w.put_varint(o);
+            }
+            w.put_bytes(bytes);
+        }
+        ColumnData::Blob(b) => {
+            let (offsets, bytes) = b.raw_parts();
+            w.put_varint(offsets.len() as u64);
+            for &o in offsets {
+                w.put_varint(o);
+            }
+            w.put_bytes(bytes);
+        }
+    }
+}
+
+fn decode_column(tag: u8, rows: usize, r: &mut Reader<'_>) -> DbResult<Column> {
+    let has_validity = r.get_bool().map_err(corrupt)?;
+    let validity = if has_validity {
+        let bytes = r.get_bytes().map_err(corrupt)?;
+        let mut bm = Bitmap::filled(rows, false);
+        for i in 0..rows {
+            if i / 8 < bytes.len() && bytes[i / 8] & (1 << (i % 8)) != 0 {
+                bm.set(i, true);
+            }
+        }
+        Some(bm)
+    } else {
+        None
+    };
+    let data = match crate::types::DataType::from_tag(tag)
+        .ok_or_else(|| DbError::Corrupt(format!("unknown type tag {tag}")))?
+    {
+        crate::types::DataType::Boolean => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_bool().map_err(corrupt)?);
+            }
+            ColumnData::Boolean(v)
+        }
+        crate::types::DataType::Int8 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_i8().map_err(corrupt)?);
+            }
+            ColumnData::Int8(v)
+        }
+        crate::types::DataType::Int16 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_i16().map_err(corrupt)?);
+            }
+            ColumnData::Int16(v)
+        }
+        crate::types::DataType::Int32 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_i32().map_err(corrupt)?);
+            }
+            ColumnData::Int32(v)
+        }
+        crate::types::DataType::Int64 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_i64().map_err(corrupt)?);
+            }
+            ColumnData::Int64(v)
+        }
+        crate::types::DataType::Float32 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_f32().map_err(corrupt)?);
+            }
+            ColumnData::Float32(v)
+        }
+        crate::types::DataType::Float64 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.get_f64().map_err(corrupt)?);
+            }
+            ColumnData::Float64(v)
+        }
+        crate::types::DataType::Varchar => {
+            let n = r.get_count(1).map_err(corrupt)?;
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(r.get_varint().map_err(corrupt)?);
+            }
+            let bytes = r.get_bytes().map_err(corrupt)?.to_vec();
+            ColumnData::Varchar(
+                StringColumn::from_raw_parts(offsets, bytes).map_err(DbError::Corrupt)?,
+            )
+        }
+        crate::types::DataType::Blob => {
+            let n = r.get_count(1).map_err(corrupt)?;
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(r.get_varint().map_err(corrupt)?);
+            }
+            let bytes = r.get_bytes().map_err(corrupt)?.to_vec();
+            ColumnData::Blob(
+                BlobColumn::from_raw_parts(offsets, bytes).map_err(DbError::Corrupt)?,
+            )
+        }
+    };
+    Column::new(data, validity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mlcs_persist_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE v (id INTEGER NOT NULL, name VARCHAR, score DOUBLE, raw BLOB)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO v VALUES (1, 'a', 0.5, x'00ff'), (2, NULL, NULL, x''), (3, 'ü', -1.5, x'AB')",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE empty_t (x BIGINT)").unwrap();
+        db
+    }
+
+    #[test]
+    fn save_and_load_round_trips() {
+        let dir = tempdir("roundtrip");
+        let db = populated();
+        save_database(&db, &dir).unwrap();
+        let db2 = Database::new();
+        load_database(&db2, &dir).unwrap();
+        assert_eq!(db2.catalog().table_names(), vec!["empty_t", "v"]);
+        let r = db2.query("SELECT * FROM v ORDER BY id").unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.row(0)[1], Value::Varchar("a".into()));
+        assert!(r.row(1)[1].is_null());
+        assert_eq!(r.row(2)[2], Value::Float64(-1.5));
+        assert_eq!(r.row(0)[3], Value::Blob(vec![0x00, 0xFF]));
+        // NOT NULL survives.
+        assert!(db2
+            .execute("INSERT INTO v VALUES (NULL, 'x', 1.0, x'00')")
+            .is_err());
+        assert_eq!(db2.query("SELECT * FROM empty_t").unwrap().rows(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let dir = tempdir("corrupt");
+        let db = populated();
+        save_database(&db, &dir).unwrap();
+        let path = dir.join("v.mlcstbl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let db2 = Database::new();
+        let err = load_database(&db2, &dir).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt(_)), "got {err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_io_error() {
+        let db = Database::new();
+        let err = load_database(&db, Path::new("/nonexistent/mlcs")).unwrap_err();
+        assert!(matches!(err, DbError::Io(_)));
+    }
+
+    #[test]
+    fn table_encode_decode_direct() {
+        let db = populated();
+        let handle = db.catalog().table("v").unwrap();
+        let t = handle.read();
+        let bytes = encode_table(&t);
+        let back = decode_table("v", &bytes).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.schema().names(), vec!["id", "name", "score", "raw"]);
+        assert!(!back.schema().field(0).nullable);
+    }
+}

@@ -1,0 +1,134 @@
+//! Schemas: ordered, named, typed fields.
+
+use crate::error::{DbError, DbResult};
+use crate::types::DataType;
+use std::sync::Arc;
+
+/// One column definition: name, type, nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (matched case-insensitively by SQL).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A nullable field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype, nullable: true }
+    }
+
+    /// A NOT NULL field.
+    pub fn not_null(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype, nullable: false }
+    }
+}
+
+/// An ordered list of fields describing a table or query result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names
+    /// (case-insensitive, as in SQL).
+    pub fn new(fields: Vec<Field>) -> DbResult<Schema> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name.eq_ignore_ascii_case(&f.name)) {
+                return Err(DbError::bind(format!("duplicate column name '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// A schema trusted to have unique names (used internally where
+    /// uniqueness is already established).
+    pub fn new_unchecked(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Arc<Schema> {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the column named `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Field named `name`, or a [`DbError::NotFound`].
+    pub fn field_by_name(&self, name: &str) -> DbResult<(usize, &Field)> {
+        self.index_of(name)
+            .map(|i| (i, &self.fields[i]))
+            .ok_or_else(|| DbError::NotFound { kind: "column", name: name.to_owned() })
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::new(vec![
+            Field::new("Age", DataType::Int32),
+            Field::not_null("name", DataType::Varchar),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("age"), Some(0));
+        assert_eq!(s.index_of("NAME"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.field_by_name("missing").is_err());
+        assert!(!s.field(1).nullable);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int32),
+            Field::new("A", DataType::Int64),
+        ]);
+        assert!(matches!(err, Err(DbError::Bind(_))));
+    }
+
+    #[test]
+    fn names_in_order() {
+        let s = Schema::new(vec![
+            Field::new("x", DataType::Int32),
+            Field::new("y", DataType::Float64),
+        ])
+        .unwrap();
+        assert_eq!(s.names(), vec!["x", "y"]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Plan execution: turns a bound [`LogicalPlan`] into a [`Batch`].
+
+use crate::batch::Batch;
+use crate::catalog::Catalog;
+use crate::column::Column;
+use crate::error::{DbError, DbResult};
+use crate::exec;
+use crate::expr::{eval, EvalContext, Expr};
+use crate::schema::Schema;
+use crate::sql::plan::{BoundTableArg, LogicalPlan, PlanAgg};
+use crate::types::Value;
+use crate::udf::FunctionRegistry;
+use std::sync::Arc;
+
+/// Executes a plan against the catalog and function registry.
+///
+/// Scalar subqueries must already be substituted (see
+/// [`substitute_in_plan`]); encountering a placeholder is an internal error.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &FunctionRegistry,
+) -> DbResult<Batch> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Ok(catalog.table(table)?.read().scan()),
+        LogicalPlan::UnitRow => unit_batch(),
+        LogicalPlan::TableFunction { name, args, schema } => {
+            let udf = functions.table(name)?;
+            let mut arg_cols: Vec<Arc<Column>> = Vec::new();
+            for a in args {
+                match a {
+                    BoundTableArg::Scalar(e) => {
+                        let unit = unit_batch()?;
+                        let ctx = EvalContext::new(&unit, Some(functions));
+                        arg_cols.push(Arc::new(eval(&ctx, e)?));
+                    }
+                    BoundTableArg::Plan(p) => {
+                        let b = execute_plan(p, catalog, functions)?;
+                        arg_cols.extend(b.columns().iter().cloned());
+                    }
+                }
+            }
+            let out = udf.invoke(&arg_cols)?;
+            conform(out, schema.clone())
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let b = execute_plan(input, catalog, functions)?;
+            exec::filter(&b, predicate, Some(functions))
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            let b = execute_plan(input, catalog, functions)?;
+            project(&b, exprs, schema.clone(), functions)
+        }
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
+            let l = execute_plan(left, catalog, functions)?;
+            let r = execute_plan(right, catalog, functions)?;
+            let mut joined = exec::hash_join(&l, &r, left_keys, right_keys, *join_type)?;
+            if let Some(pred) = residual {
+                joined = exec::filter(&joined, pred, Some(functions))?;
+            }
+            conform(joined, schema.clone())
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let b = execute_plan(input, catalog, functions)?;
+            aggregate(&b, group, aggs, schema.clone(), functions)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let b = execute_plan(input, catalog, functions)?;
+            let keys: Vec<exec::SortKey> = keys
+                .iter()
+                .map(|k| exec::SortKey {
+                    column: k.column,
+                    ascending: k.ascending,
+                    nulls_first: k.nulls_first,
+                })
+                .collect();
+            exec::sort(&b, &keys)
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let b = execute_plan(input, catalog, functions)?;
+            Ok(exec::limit(&b, *limit, *offset))
+        }
+        LogicalPlan::Distinct { input } => {
+            let b = execute_plan(input, catalog, functions)?;
+            Ok(exec::distinct(&b))
+        }
+        LogicalPlan::UnionAll { inputs, schema } => {
+            let batches: Vec<Batch> = inputs
+                .iter()
+                .map(|p| {
+                    execute_plan(p, catalog, functions)
+                        .and_then(|b| conform(b, schema.clone()))
+                })
+                .collect::<DbResult<_>>()?;
+            Batch::concat(&batches)
+        }
+    }
+}
+
+/// A one-row batch with a single hidden column, used to evaluate
+/// expressions that reference no input (e.g. `SELECT 1`).
+fn unit_batch() -> DbResult<Batch> {
+    Batch::from_columns(vec![("__unit", Column::from_bools(vec![false]))])
+}
+
+/// Evaluates projection expressions over `input` and labels the result with
+/// `schema`, broadcasting constants and casting to declared types.
+fn project(
+    input: &Batch,
+    exprs: &[Expr],
+    schema: Arc<Schema>,
+    functions: &FunctionRegistry,
+) -> DbResult<Batch> {
+    let ctx = EvalContext::new(input, Some(functions));
+    let n = input.rows();
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (e, f) in exprs.iter().zip(schema.fields()) {
+        let c = eval(&ctx, e)?;
+        let c = c.broadcast_to(n)?;
+        let c = if c.data_type() == f.dtype { c } else { c.cast(f.dtype)? };
+        columns.push(Arc::new(c));
+    }
+    Batch::new(schema, columns)
+}
+
+/// Evaluates group and aggregate-argument expressions, runs the hash
+/// aggregate, and labels the output with the plan schema.
+fn aggregate(
+    input: &Batch,
+    group: &[Expr],
+    aggs: &[PlanAgg],
+    schema: Arc<Schema>,
+    functions: &FunctionRegistry,
+) -> DbResult<Batch> {
+    let ctx = EvalContext::new(input, Some(functions));
+    let n = input.rows();
+    // Pre-batch: group key columns first, then aggregate arguments.
+    let mut pre_cols: Vec<(String, Column)> = Vec::new();
+    for (i, g) in group.iter().enumerate() {
+        let c = eval(&ctx, g)?.broadcast_to(n)?;
+        pre_cols.push((format!("g{i}"), c));
+    }
+    let mut calls = Vec::with_capacity(aggs.len());
+    for (i, a) in aggs.iter().enumerate() {
+        let arg = match &a.arg {
+            Some(e) => {
+                let c = eval(&ctx, e)?.broadcast_to(n)?;
+                pre_cols.push((format!("a{i}"), c));
+                Some(pre_cols.len() - 1)
+            }
+            None => None,
+        };
+        calls.push(exec::AggCall { func: a.func, arg, distinct: a.distinct });
+    }
+    if pre_cols.is_empty() {
+        // COUNT(*)-only aggregation: no keys, no arguments. Carry a dummy
+        // column so the pre-batch still knows the input row count.
+        pre_cols.push(("__rows".to_owned(), Column::from_bools(vec![false; n])));
+    }
+    let pre = Batch::from_columns(
+        pre_cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect(),
+    )?;
+    let group_keys: Vec<usize> = (0..group.len()).collect();
+    let out = exec::hash_aggregate(&pre, &group_keys, &calls)?;
+    conform(out, schema)
+}
+
+/// Relabels `batch` with `schema`, casting columns whose types differ.
+pub fn conform(batch: Batch, schema: Arc<Schema>) -> DbResult<Batch> {
+    if batch.width() != schema.len() {
+        return Err(DbError::internal(format!(
+            "plan schema has {} columns but execution produced {}",
+            schema.len(),
+            batch.width()
+        )));
+    }
+    let mut columns = Vec::with_capacity(batch.width());
+    for (c, f) in batch.columns().iter().zip(schema.fields()) {
+        if c.data_type() == f.dtype {
+            columns.push(c.clone());
+        } else {
+            columns.push(Arc::new(c.cast(f.dtype)?));
+        }
+    }
+    Batch::new(schema, columns)
+}
+
+/// Substitutes computed scalar-subquery values into every expression of the
+/// plan (recursively).
+pub fn substitute_in_plan(plan: &mut LogicalPlan, values: &[Value]) {
+    match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::UnitRow => {}
+        LogicalPlan::TableFunction { args, .. } => {
+            for a in args {
+                match a {
+                    BoundTableArg::Scalar(e) => e.substitute_subqueries(values),
+                    BoundTableArg::Plan(p) => substitute_in_plan(p, values),
+                }
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            predicate.substitute_subqueries(values);
+            substitute_in_plan(input, values);
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            for e in exprs {
+                e.substitute_subqueries(values);
+            }
+            substitute_in_plan(input, values);
+        }
+        LogicalPlan::Join { left, right, residual, .. } => {
+            if let Some(r) = residual {
+                r.substitute_subqueries(values);
+            }
+            substitute_in_plan(left, values);
+            substitute_in_plan(right, values);
+        }
+        LogicalPlan::Aggregate { input, group, aggs, .. } => {
+            for g in group {
+                g.substitute_subqueries(values);
+            }
+            for a in aggs {
+                if let Some(arg) = &mut a.arg {
+                    arg.substitute_subqueries(values);
+                }
+            }
+            substitute_in_plan(input, values);
+        }
+        LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => substitute_in_plan(input, values),
+        LogicalPlan::UnionAll { inputs, .. } => {
+            for p in inputs {
+                substitute_in_plan(p, values);
+            }
+        }
+    }
+}
+
+/// Evaluates the statement's scalar subqueries in order, substituting each
+/// result into later subqueries, and returns the computed values.
+///
+/// A subquery returning zero rows yields NULL; more than one row or column
+/// is an error.
+pub fn evaluate_scalar_subqueries(
+    subs: &[LogicalPlan],
+    catalog: &Catalog,
+    functions: &FunctionRegistry,
+) -> DbResult<Vec<Value>> {
+    let mut values: Vec<Value> = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let mut plan = sub.clone();
+        substitute_in_plan(&mut plan, &values);
+        let batch = execute_plan(&plan, catalog, functions)?;
+        if batch.width() != 1 {
+            return Err(DbError::bind(format!(
+                "scalar subquery returned {} columns",
+                batch.width()
+            )));
+        }
+        let v = match batch.rows() {
+            0 => Value::Null,
+            1 => batch.column(0).value(0),
+            n => {
+                return Err(DbError::bind(format!(
+                    "scalar subquery returned {n} rows; expected at most one"
+                )))
+            }
+        };
+        values.push(v);
+    }
+    Ok(values)
+}

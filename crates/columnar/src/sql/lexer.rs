@@ -1,0 +1,335 @@
+//! SQL lexer.
+
+use crate::error::{DbError, DbResult};
+use crate::sql::token::Token;
+
+/// Tokenizes SQL text.
+///
+/// * Identifiers are lower-cased (the dialect treats them
+///   case-insensitively and has no quoted identifiers).
+/// * String literals use single quotes with `''` as the escape for a quote.
+/// * Blob literals are written `x'68656c6c6f'`.
+/// * `--` starts a line comment; `/* ... */` is a block comment.
+pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let err = |msg: String, pos: usize| DbError::Lex { message: msg, position: pos };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err("unterminated block comment".into(), start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Concat);
+                i += 2;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err("unterminated string literal".into(), start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Consume one full UTF-8 character.
+                        let rest = &sql[i..];
+                        let ch = rest.chars().next().expect("in range");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Token::String(s));
+            }
+            'x' | 'X' if bytes.get(i + 1) == Some(&b'\'') => {
+                let start = i;
+                i += 2;
+                let hex_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(err("unterminated blob literal".into(), start));
+                }
+                let hex = &sql[hex_start..i];
+                i += 1;
+                if !hex.len().is_multiple_of(2) {
+                    return Err(err("blob literal must have an even number of hex digits".into(), start));
+                }
+                let mut blob = Vec::with_capacity(hex.len() / 2);
+                for pair in hex.as_bytes().chunks(2) {
+                    let s = std::str::from_utf8(pair).expect("ascii hex");
+                    let byte = u8::from_str_radix(s, 16)
+                        .map_err(|_| err(format!("invalid hex digits '{s}' in blob literal"), start))?;
+                    blob.push(byte);
+                }
+                out.push(Token::Blob(blob));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !saw_exp
+                        && i > start
+                        && bytes
+                            .get(i + 1)
+                            .map(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+                            .unwrap_or(false)
+                    {
+                        saw_exp = true;
+                        i += 1;
+                        if bytes[i] == b'+' || bytes[i] == b'-' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &sql[start..i];
+                if saw_dot || saw_exp {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| err(format!("invalid number '{text}'"), start))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| err(format!("integer '{text}' out of range"), start))?;
+                    out.push(Token::Integer(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(err(format!("unexpected character '{other}'"), i));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT x, 42 FROM t WHERE y >= 1.5;").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Integer(42),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Ident("where".into()),
+                Token::Ident("y".into()),
+                Token::GtEq,
+                Token::Float(1.5),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = tokenize("'it''s' 'ünïcode'").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::String("it's".into()), Token::String("ünïcode".into())]
+        );
+    }
+
+    #[test]
+    fn blob_literals() {
+        let t = tokenize("x'DEADbeef'").unwrap();
+        assert_eq!(t, vec![Token::Blob(vec![0xDE, 0xAD, 0xBE, 0xEF])]);
+        assert!(tokenize("x'abc'").is_err());
+        assert!(tokenize("x'zz'").is_err());
+        // x followed by non-quote is an identifier
+        let t = tokenize("xyz").unwrap();
+        assert_eq!(t, vec![Token::Ident("xyz".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("1 -- comment\n 2 /* block\nspans */ 3").unwrap();
+        assert_eq!(t, vec![Token::Integer(1), Token::Integer(2), Token::Integer(3)]);
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a<>b != c || d <= e").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("a".into()),
+                Token::NotEq,
+                Token::Ident("b".into()),
+                Token::NotEq,
+                Token::Ident("c".into()),
+                Token::Concat,
+                Token::Ident("d".into()),
+                Token::LtEq,
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 .5 1e3 2.5e-2 7.").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Integer(1),
+                Token::Float(2.5),
+                Token::Float(0.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+                Token::Float(7.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_idents() {
+        let t = tokenize("t.col").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Ident("t".into()), Token::Dot, Token::Ident("col".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        match tokenize("select @") {
+            Err(DbError::Lex { position, .. }) => assert_eq!(position, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error_not_panic() {
+        assert!(tokenize("x'").is_err());
+    }
+}

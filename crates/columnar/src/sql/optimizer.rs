@@ -1,0 +1,483 @@
+//! A small rule-based plan optimizer.
+//!
+//! Three rewrites that matter for an operator-at-a-time engine, where
+//! every operator materializes its full result:
+//!
+//! 1. **Constant folding** — column-free, UDF-free subexpressions are
+//!    evaluated at plan time (`a < 2 + 3` → `a < 5`).
+//! 2. **Filter fusion & elimination** — adjacent filters merge into one
+//!    conjunction; literal-`TRUE` filters disappear (so the scan's
+//!    zero-copy snapshot flows through untouched).
+//! 3. **Predicate pushdown** — filters move below projections (when they
+//!    only reference pass-through columns), below sorts and distincts,
+//!    and into the matching side of inner joins, shrinking intermediate
+//!    materializations as early as possible.
+//!
+//! The optimizer is applied after scalar-subquery substitution, so
+//! subquery results participate in folding.
+
+use crate::error::DbResult;
+use crate::exec::JoinType;
+use crate::expr::{BinaryOp, Expr};
+use crate::sql::binder::eval_constant;
+use crate::sql::plan::LogicalPlan;
+use crate::types::Value;
+
+/// Optimizes a plan (bottom-up, fixed small pass set).
+pub fn optimize(plan: LogicalPlan) -> DbResult<LogicalPlan> {
+    let plan = rewrite(plan)?;
+    Ok(plan)
+}
+
+fn rewrite(plan: LogicalPlan) -> DbResult<LogicalPlan> {
+    // Recurse first so child rewrites expose parent opportunities.
+    let plan = match plan {
+        LogicalPlan::Filter { input, mut predicate } => {
+            let input = rewrite(*input)?;
+            fold_expr(&mut predicate);
+            push_filter(predicate, input)?
+        }
+        LogicalPlan::Project { input, mut exprs, schema } => {
+            let input = rewrite(*input)?;
+            for e in &mut exprs {
+                fold_expr(e);
+            }
+            LogicalPlan::Project { input: Box::new(input), exprs, schema }
+        }
+        LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
+            let mut residual = residual;
+            if let Some(r) = &mut residual {
+                fold_expr(r);
+            }
+            LogicalPlan::Join {
+                left: Box::new(rewrite(*left)?),
+                right: Box::new(rewrite(*right)?),
+                join_type,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, mut group, mut aggs, schema } => {
+            for g in &mut group {
+                fold_expr(g);
+            }
+            for a in &mut aggs {
+                if let Some(arg) = &mut a.arg {
+                    fold_expr(arg);
+                }
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(rewrite(*input)?),
+                group,
+                aggs,
+                schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(rewrite(*input)?), keys }
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            LogicalPlan::Limit { input: Box::new(rewrite(*input)?), limit, offset }
+        }
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(rewrite(*input)?) }
+        }
+        LogicalPlan::UnionAll { inputs, schema } => LogicalPlan::UnionAll {
+            inputs: inputs.into_iter().map(rewrite).collect::<DbResult<_>>()?,
+            schema,
+        },
+        leaf @ (LogicalPlan::Scan { .. }
+        | LogicalPlan::TableFunction { .. }
+        | LogicalPlan::UnitRow) => leaf,
+    };
+    Ok(plan)
+}
+
+/// Places a filter above `input`, pushing it down where legal.
+fn push_filter(predicate: Expr, input: LogicalPlan) -> DbResult<LogicalPlan> {
+    // TRUE filters vanish.
+    if matches!(predicate, Expr::Literal(Value::Boolean(true))) {
+        return Ok(input);
+    }
+    match input {
+        // Filter(Filter(x)) fuses into one conjunction.
+        LogicalPlan::Filter { input, predicate: inner } => {
+            let fused = Expr::binary(BinaryOp::And, inner, predicate);
+            push_filter(fused, *input)
+        }
+        // Filter over Sort/Distinct commutes (set-preserving operators).
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(push_filter(predicate, *input)?),
+            keys,
+        }),
+        LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
+            input: Box::new(push_filter(predicate, *input)?),
+        }),
+        // Filter over Project pushes down when every referenced output
+        // column is a plain pass-through (`Column(i)`) — rewrite the
+        // predicate in input coordinates.
+        LogicalPlan::Project { input, exprs, schema } => {
+            let mut refs = Vec::new();
+            predicate.referenced_columns(&mut refs);
+            let passthrough: Vec<Option<usize>> = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Column(i) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            if refs.iter().all(|&r| passthrough.get(r).copied().flatten().is_some()) {
+                let map: Vec<usize> = passthrough
+                    .iter()
+                    .map(|p| p.unwrap_or(0)) // unused slots never referenced
+                    .collect();
+                let mut pushed = predicate;
+                pushed.remap_columns(&map);
+                let inner = push_filter(pushed, *input)?;
+                Ok(LogicalPlan::Project { input: Box::new(inner), exprs, schema })
+            } else {
+                Ok(LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Project { input, exprs, schema }),
+                    predicate,
+                })
+            }
+        }
+        // Filter over an inner join pushes conjuncts that reference only
+        // one side into that side.
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type: JoinType::Inner,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
+            let left_width = left.schema().len();
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut keep = Vec::new();
+            for conj in split_conjuncts(predicate) {
+                let mut refs = Vec::new();
+                conj.referenced_columns(&mut refs);
+                if !refs.is_empty() && refs.iter().all(|&r| r < left_width) {
+                    left_preds.push(conj);
+                } else if !refs.is_empty() && refs.iter().all(|&r| r >= left_width) {
+                    let mut c = conj;
+                    // Rebase to right-side coordinates.
+                    let total = schema.len();
+                    let map: Vec<usize> =
+                        (0..total).map(|i| i.saturating_sub(left_width)).collect();
+                    c.remap_columns(&map);
+                    right_preds.push(c);
+                } else {
+                    keep.push(conj);
+                }
+            }
+            let new_left = match combine(left_preds) {
+                Some(p) => Box::new(push_filter(p, *left)?),
+                None => Box::new(rewrite(*left)?),
+            };
+            let new_right = match combine(right_preds) {
+                Some(p) => Box::new(push_filter(p, *right)?),
+                None => Box::new(rewrite(*right)?),
+            };
+            let join = LogicalPlan::Join {
+                left: new_left,
+                right: new_right,
+                join_type: JoinType::Inner,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            };
+            Ok(match combine(keep) {
+                Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+                None => join,
+            })
+        }
+        other => Ok(LogicalPlan::Filter { input: Box::new(other), predicate }),
+    }
+}
+
+fn split_conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary { op: BinaryOp::And, left, right } => {
+            let mut out = split_conjuncts(*left);
+            out.extend(split_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn combine(preds: Vec<Expr>) -> Option<Expr> {
+    preds.into_iter().reduce(|a, b| Expr::binary(BinaryOp::And, a, b))
+}
+
+/// True when the expression is safe and useful to fold: column-free,
+/// UDF-free, subquery-free, and not already a literal.
+fn foldable(e: &Expr) -> bool {
+    fn pure(e: &Expr) -> bool {
+        match e {
+            Expr::Column(_) | Expr::Subquery(_) | Expr::Udf { .. } => false,
+            Expr::Literal(_) => true,
+            Expr::Binary { left, right, .. } => pure(left) && pure(right),
+            Expr::Unary { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::IsNull { expr, .. } => pure(expr),
+            Expr::Case { operand, branches, else_expr } => {
+                operand.as_deref().is_none_or(pure)
+                    && branches.iter().all(|(w, t)| pure(w) && pure(t))
+                    && else_expr.as_deref().is_none_or(pure)
+            }
+            Expr::InList { expr, list, .. } => pure(expr) && list.iter().all(pure),
+            Expr::Like { expr, pattern, .. } => pure(expr) && pure(pattern),
+            Expr::Between { expr, low, high, .. } => {
+                pure(expr) && pure(low) && pure(high)
+            }
+            Expr::ScalarFn { args, .. } => args.iter().all(pure),
+        }
+    }
+    !matches!(e, Expr::Literal(_)) && pure(e)
+}
+
+/// Folds constant subexpressions in place. Folding errors (e.g. division
+/// by zero in dead CASE branches) leave the expression unchanged so the
+/// error surfaces — or not — at execution time, matching unoptimized
+/// semantics.
+pub fn fold_expr(e: &mut Expr) {
+    if foldable(e) {
+        if let Ok(v) = eval_constant(e) {
+            *e = Expr::Literal(v);
+            return;
+        }
+    }
+    match e {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Subquery(_) => {}
+        Expr::Binary { left, right, .. } => {
+            fold_expr(left);
+            fold_expr(right);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            fold_expr(expr)
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(o) = operand {
+                fold_expr(o);
+            }
+            for (w, t) in branches {
+                fold_expr(w);
+                fold_expr(t);
+            }
+            if let Some(x) = else_expr {
+                fold_expr(x);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            fold_expr(expr);
+            for x in list {
+                fold_expr(x);
+            }
+        }
+        Expr::Like { expr, pattern, .. } => {
+            fold_expr(expr);
+            fold_expr(pattern);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            fold_expr(expr);
+            fold_expr(low);
+            fold_expr(high);
+        }
+        Expr::ScalarFn { args, .. } | Expr::Udf { args, .. } => {
+            for a in args {
+                fold_expr(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr as E;
+
+    #[test]
+    fn constants_fold() {
+        let mut e = E::binary(
+            BinaryOp::Lt,
+            E::col(0),
+            E::binary(BinaryOp::Add, E::lit(2i32), E::lit(3i32)),
+        );
+        fold_expr(&mut e);
+        assert_eq!(e, E::binary(BinaryOp::Lt, E::col(0), E::Literal(Value::Int64(5))));
+    }
+
+    #[test]
+    fn folding_errors_are_deferred() {
+        // 1/0 must not panic or error during optimization.
+        let mut e = E::binary(BinaryOp::Div, E::lit(1i32), E::lit(0i32));
+        fold_expr(&mut e);
+        assert!(matches!(e, E::Binary { .. }), "kept unfolded: {e}");
+    }
+
+    #[test]
+    fn udf_calls_never_fold() {
+        let mut e = E::Udf { name: "f".into(), args: vec![E::lit(1i32)] };
+        fold_expr(&mut e);
+        assert!(matches!(e, E::Udf { .. }));
+    }
+
+    fn scan(cols: usize) -> LogicalPlan {
+        use crate::schema::{Field, Schema};
+        let fields = (0..cols)
+            .map(|i| Field::new(format!("c{i}"), crate::types::DataType::Int32))
+            .collect();
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: std::sync::Arc::new(Schema::new_unchecked(fields)),
+        }
+    }
+
+    #[test]
+    fn true_filter_removed() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan(1)),
+            predicate: E::lit(true),
+        };
+        let out = optimize(plan).unwrap();
+        assert!(matches!(out, LogicalPlan::Scan { .. }), "{out}");
+    }
+
+    #[test]
+    fn adjacent_filters_fuse() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(1)),
+                predicate: E::binary(BinaryOp::Gt, E::col(0), E::lit(1i32)),
+            }),
+            predicate: E::binary(BinaryOp::Lt, E::col(0), E::lit(9i32)),
+        };
+        let out = optimize(plan).unwrap();
+        match out {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert!(matches!(predicate, E::Binary { op: BinaryOp::And, .. }));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_below_passthrough_project() {
+        use crate::schema::{Field, Schema};
+        let project = LogicalPlan::Project {
+            input: Box::new(scan(3)),
+            exprs: vec![E::col(2), E::col(0)],
+            schema: std::sync::Arc::new(Schema::new_unchecked(vec![
+                Field::new("a", crate::types::DataType::Int32),
+                Field::new("b", crate::types::DataType::Int32),
+            ])),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(project),
+            predicate: E::binary(BinaryOp::Eq, E::col(1), E::lit(5i32)),
+        };
+        let out = optimize(plan).unwrap();
+        match out {
+            LogicalPlan::Project { input, .. } => match *input {
+                LogicalPlan::Filter { predicate, input } => {
+                    // Output column 1 maps back to input column 0.
+                    assert_eq!(
+                        predicate,
+                        E::binary(BinaryOp::Eq, E::col(0), E::lit(5i32))
+                    );
+                    assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                }
+                other => panic!("expected filter under project, got {other}"),
+            },
+            other => panic!("expected project on top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn filter_stays_above_computed_project() {
+        use crate::schema::{Field, Schema};
+        let project = LogicalPlan::Project {
+            input: Box::new(scan(1)),
+            exprs: vec![E::binary(BinaryOp::Add, E::col(0), E::lit(1i32))],
+            schema: std::sync::Arc::new(Schema::new_unchecked(vec![Field::new(
+                "a",
+                crate::types::DataType::Int64,
+            )])),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(project),
+            predicate: E::binary(BinaryOp::Gt, E::col(0), E::lit(0i32)),
+        };
+        let out = optimize(plan).unwrap();
+        assert!(matches!(out, LogicalPlan::Filter { .. }), "{out}");
+    }
+
+    #[test]
+    fn filter_splits_across_inner_join() {
+        use crate::schema::{Field, Schema};
+        let join_schema = std::sync::Arc::new(Schema::new_unchecked(vec![
+            Field::new("l0", crate::types::DataType::Int32),
+            Field::new("l1", crate::types::DataType::Int32),
+            Field::new("r0", crate::types::DataType::Int32),
+        ]));
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(2)),
+            right: Box::new(scan(1)),
+            join_type: JoinType::Inner,
+            left_keys: vec![0],
+            right_keys: vec![0],
+            residual: None,
+            schema: join_schema,
+        };
+        // (l1 > 1) AND (r0 < 5) AND (l0 = r0-ish both sides)
+        let pred = E::binary(
+            BinaryOp::And,
+            E::binary(
+                BinaryOp::And,
+                E::binary(BinaryOp::Gt, E::col(1), E::lit(1i32)),
+                E::binary(BinaryOp::Lt, E::col(2), E::lit(5i32)),
+            ),
+            E::binary(BinaryOp::Eq, E::col(0), E::col(2)),
+        );
+        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let out = optimize(plan).unwrap();
+        // Top: the cross-side conjunct stays as a filter over the join.
+        match out {
+            LogicalPlan::Filter { input, predicate } => {
+                assert_eq!(
+                    predicate,
+                    E::binary(BinaryOp::Eq, E::col(0), E::col(2))
+                );
+                match *input {
+                    LogicalPlan::Join { left, right, .. } => {
+                        assert!(
+                            matches!(*left, LogicalPlan::Filter { .. }),
+                            "left-side conjunct not pushed: {left}"
+                        );
+                        match *right {
+                            LogicalPlan::Filter { predicate, .. } => {
+                                // r0 rebased from column 2 to column 0.
+                                assert_eq!(
+                                    predicate,
+                                    E::binary(BinaryOp::Lt, E::col(0), E::lit(5i32))
+                                );
+                            }
+                            other => panic!("right-side conjunct not pushed: {other}"),
+                        }
+                    }
+                    other => panic!("{other}"),
+                }
+            }
+            other => panic!("{other}"),
+        }
+    }
+}

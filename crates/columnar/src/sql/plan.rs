@@ -1,0 +1,315 @@
+//! Logical query plans: bound, positionally-resolved operator trees.
+
+use crate::exec::{AggFunc, JoinType};
+use crate::expr::Expr;
+use crate::schema::Schema;
+use std::fmt;
+use std::sync::Arc;
+
+/// One bound aggregate call inside an [`LogicalPlan::Aggregate`].
+#[derive(Debug, Clone)]
+pub struct PlanAgg {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression over the aggregate input (`None` for COUNT(*)).
+    pub arg: Option<Expr>,
+    /// `agg(DISTINCT …)`.
+    pub distinct: bool,
+}
+
+/// One bound sort key inside an [`LogicalPlan::Sort`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanSortKey {
+    /// Column index into the sort input.
+    pub column: usize,
+    /// Ascending?
+    pub ascending: bool,
+    /// NULLs first?
+    pub nulls_first: bool,
+}
+
+/// A bound argument to a table-valued function.
+#[derive(Debug, Clone)]
+pub enum BoundTableArg {
+    /// A constant scalar expression (no column references).
+    Scalar(Expr),
+    /// A subplan whose result columns are passed as whole-column arguments.
+    Plan(LogicalPlan),
+}
+
+/// A bound logical plan. Every node knows its output schema.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan a named table.
+    Scan {
+        /// Table name (resolved at execution from the catalog).
+        table: String,
+        /// Snapshot of the table's schema at bind time.
+        schema: Arc<Schema>,
+    },
+    /// Invoke a table-valued UDF (the paper's `train`).
+    TableFunction {
+        /// Registered function name.
+        name: String,
+        /// Bound arguments.
+        args: Vec<BoundTableArg>,
+        /// Declared output schema.
+        schema: Arc<Schema>,
+    },
+    /// A one-row, zero-visible-column relation (`SELECT 1`).
+    UnitRow,
+    /// Keep rows where the predicate is TRUE.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate over the input columns.
+        predicate: Expr,
+    },
+    /// Compute expressions over the input.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output schema (names + inferred types).
+        schema: Arc<Schema>,
+    },
+    /// Hash join.
+    Join {
+        /// Probe side.
+        left: Box<LogicalPlan>,
+        /// Build side.
+        right: Box<LogicalPlan>,
+        /// Inner / Left / Cross.
+        join_type: JoinType,
+        /// Equi-key columns on the left input.
+        left_keys: Vec<usize>,
+        /// Equi-key columns on the right input.
+        right_keys: Vec<usize>,
+        /// Non-equi residual condition applied post-join (inner only).
+        residual: Option<Expr>,
+        /// Output schema: left fields then right fields.
+        schema: Arc<Schema>,
+    },
+    /// Hash aggregation. Output columns: group keys, then aggregates.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-key expressions over the input.
+        group: Vec<Expr>,
+        /// Aggregate calls.
+        aggs: Vec<PlanAgg>,
+        /// Output schema (named group keys + named aggregates).
+        schema: Arc<Schema>,
+    },
+    /// Stable multi-key sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys over the input columns.
+        keys: Vec<PlanSortKey>,
+    },
+    /// Row-count limiting.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Max rows, if bounded.
+        limit: Option<usize>,
+        /// Rows to skip.
+        offset: usize,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Concatenation of same-shape inputs.
+    UnionAll {
+        /// The branches (at least one).
+        inputs: Vec<LogicalPlan>,
+        /// Common output schema.
+        schema: Arc<Schema>,
+    },
+}
+
+impl LogicalPlan {
+    /// The plan's output schema.
+    pub fn schema(&self) -> Arc<Schema> {
+        match self {
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::TableFunction { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::UnionAll { schema, .. } => schema.clone(),
+            LogicalPlan::UnitRow => Schema::empty(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, .. } => writeln!(f, "{pad}Scan {table}"),
+            LogicalPlan::TableFunction { name, args, .. } => {
+                writeln!(f, "{pad}TableFunction {name} ({} args)", args.len())?;
+                for a in args {
+                    if let BoundTableArg::Plan(p) = a {
+                        p.fmt_indent(f, indent + 1)?;
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::UnitRow => writeln!(f, "{pad}UnitRow"),
+            LogicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter {predicate}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Project { input, exprs, schema } => {
+                write!(f, "{pad}Project ")?;
+                for (i, (e, fld)) in exprs.iter().zip(schema.fields()).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e} AS {}", fld.name)?;
+                }
+                writeln!(f)?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Join { left, right, join_type, left_keys, right_keys, .. } => {
+                writeln!(f, "{pad}Join {join_type:?} on {left_keys:?} = {right_keys:?}")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Aggregate { input, group, aggs, .. } => {
+                writeln!(f, "{pad}Aggregate groups={} aggs={}", group.len(), aggs.len())?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                writeln!(f, "{pad}Sort {} keys", keys.len())?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Limit { input, limit, offset } => {
+                writeln!(f, "{pad}Limit {limit:?} offset {offset}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Distinct { input } => {
+                writeln!(f, "{pad}Distinct")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::UnionAll { inputs, .. } => {
+                writeln!(f, "{pad}UnionAll")?;
+                for i in inputs {
+                    i.fmt_indent(f, indent + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+/// A fully bound statement ready for execution.
+#[derive(Debug, Clone)]
+pub enum BoundStatement {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Schema.
+        schema: Arc<Schema>,
+        /// Suppress already-exists.
+        if_not_exists: bool,
+    },
+    /// `CREATE TABLE AS`.
+    CreateTableAs {
+        /// Table name.
+        name: String,
+        /// Source plan.
+        plan: LogicalPlan,
+        /// Uncorrelated scalar subqueries referenced by the plan.
+        scalar_subs: Vec<LogicalPlan>,
+        /// Suppress already-exists.
+        if_not_exists: bool,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Suppress missing-table.
+        if_exists: bool,
+    },
+    /// `INSERT ... VALUES` with constant rows already evaluated.
+    InsertValues {
+        /// Target table.
+        table: String,
+        /// Column positions in the target table, per provided value.
+        column_map: Vec<usize>,
+        /// Constant rows (in provided-column order).
+        rows: Vec<Vec<crate::types::Value>>,
+    },
+    /// `INSERT ... SELECT`.
+    InsertQuery {
+        /// Target table.
+        table: String,
+        /// Column positions in the target table.
+        column_map: Vec<usize>,
+        /// Source plan.
+        plan: LogicalPlan,
+        /// Scalar subqueries.
+        scalar_subs: Vec<LogicalPlan>,
+    },
+    /// `DELETE`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Predicate over the table's columns; `None` = all rows.
+        filter: Option<Expr>,
+        /// Scalar subqueries.
+        scalar_subs: Vec<LogicalPlan>,
+    },
+    /// `UPDATE`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column index, value expression)` pairs.
+        assignments: Vec<(usize, Expr)>,
+        /// Predicate; `None` = all rows.
+        filter: Option<Expr>,
+        /// Scalar subqueries.
+        scalar_subs: Vec<LogicalPlan>,
+    },
+    /// A query.
+    Query {
+        /// The plan.
+        plan: LogicalPlan,
+        /// Scalar subqueries.
+        scalar_subs: Vec<LogicalPlan>,
+    },
+    /// `EXPLAIN`: render the optimized plan instead of executing it.
+    Explain {
+        /// The plan to describe.
+        plan: LogicalPlan,
+        /// Scalar subqueries (listed, not executed).
+        scalar_subs: Vec<LogicalPlan>,
+    },
+    /// `SHOW TABLES`.
+    ShowTables,
+    /// `SHOW FUNCTIONS`.
+    ShowFunctions,
+    /// `DROP FUNCTION`.
+    DropFunction {
+        /// Function name.
+        name: String,
+        /// Suppress missing-function.
+        if_exists: bool,
+    },
+}

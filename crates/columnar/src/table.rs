@@ -1,0 +1,281 @@
+//! Mutable, named tables: append-oriented columnar storage.
+//!
+//! A [`Table`] owns one contiguous [`Column`] per field — the MonetDB model,
+//! where each column is a single BAT. Scans hand the executor an immutable
+//! [`Batch`] snapshot; appends use copy-on-write (`Arc::make_mut`), so open
+//! snapshots are never invalidated by concurrent loads.
+
+use crate::batch::Batch;
+use crate::column::{Column, ColumnBuilder};
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::types::Value;
+use std::sync::Arc;
+
+/// A named table with appendable columnar storage.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    columns: Vec<Arc<Column>>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Table {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Arc::new(Column::empty(f.dtype)))
+            .collect();
+        Table { name: name.into(), schema, columns, rows: 0 }
+    }
+
+    /// Wraps an existing batch as a table (used by `CREATE TABLE AS`).
+    pub fn from_batch(name: impl Into<String>, batch: Batch) -> Table {
+        let rows = batch.rows();
+        Table {
+            name: name.into(),
+            schema: batch.schema().clone(),
+            columns: batch.columns().to_vec(),
+            rows,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// An immutable snapshot of the current contents. Zero-copy: the batch
+    /// shares the table's column `Arc`s.
+    pub fn scan(&self) -> Batch {
+        Batch::new(self.schema.clone(), self.columns.clone())
+            .expect("table invariants guarantee a valid batch")
+    }
+
+    /// Appends all rows of `batch`, whose columns must match the table's
+    /// types positionally. NOT NULL constraints are enforced.
+    pub fn append_batch(&mut self, batch: &Batch) -> DbResult<()> {
+        if batch.width() != self.schema.len() {
+            return Err(DbError::Shape(format!(
+                "table '{}' has {} columns, insert provides {}",
+                self.name,
+                self.schema.len(),
+                batch.width()
+            )));
+        }
+        // First pass: cast to declared types and validate NOT NULL, so a
+        // failing insert never partially applies.
+        let mut prepared: Vec<Arc<Column>> = Vec::with_capacity(batch.width());
+        for (f, c) in self.schema.fields().iter().zip(batch.columns()) {
+            let col = if c.data_type() == f.dtype { c.clone() } else { Arc::new(c.cast(f.dtype)?) };
+            if !f.nullable && col.null_count() > 0 {
+                return Err(DbError::Bind(format!(
+                    "NULL value in NOT NULL column '{}' of table '{}'",
+                    f.name, self.name
+                )));
+            }
+            prepared.push(col);
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&prepared) {
+            Arc::make_mut(dst).extend(src)?;
+        }
+        self.rows += batch.rows();
+        Ok(())
+    }
+
+    /// Appends scalar rows (the `INSERT INTO ... VALUES` path).
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> DbResult<()> {
+        let batch = Batch::from_rows(self.schema.clone(), rows)?;
+        self.append_batch(&batch)
+    }
+
+    /// Keeps only the rows at `indices` (used by `DELETE`: the executor
+    /// computes the surviving rows and rebuilds).
+    pub fn retain_indices(&mut self, indices: &[u32]) {
+        for col in &mut self.columns {
+            let taken = col.take(indices);
+            *col = Arc::new(taken);
+        }
+        self.rows = indices.len();
+    }
+
+    /// Replaces the full contents of column `col_idx` (used by `UPDATE`).
+    /// The new column must match the declared type and row count.
+    pub fn replace_column(&mut self, col_idx: usize, column: Column) -> DbResult<()> {
+        let f = self.schema.field(col_idx);
+        if column.data_type() != f.dtype {
+            return Err(DbError::Type(format!(
+                "UPDATE would change column '{}' from {} to {}",
+                f.name,
+                f.dtype,
+                column.data_type()
+            )));
+        }
+        if column.len() != self.rows {
+            return Err(DbError::Shape(format!(
+                "replacement column has {} rows, table has {}",
+                column.len(),
+                self.rows
+            )));
+        }
+        if !f.nullable && column.null_count() > 0 {
+            return Err(DbError::Bind(format!(
+                "NULL value in NOT NULL column '{}' of table '{}'",
+                f.name, self.name
+            )));
+        }
+        self.columns[col_idx] = Arc::new(column);
+        Ok(())
+    }
+
+    /// Builder for bulk-loading a table column-by-column with a known
+    /// row count; used by the CSV / binary-file loaders.
+    pub fn loader(&mut self) -> TableLoader<'_> {
+        TableLoader {
+            builders: self.schema.fields().iter().map(|f| ColumnBuilder::new(f.dtype)).collect(),
+            table: self,
+        }
+    }
+}
+
+/// Row-streaming bulk loader for a table.
+pub struct TableLoader<'a> {
+    table: &'a mut Table,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl TableLoader<'_> {
+    /// Appends one row of values (must match the schema arity).
+    pub fn push_row(&mut self, row: &[Value]) -> DbResult<()> {
+        if row.len() != self.builders.len() {
+            return Err(DbError::Shape(format!(
+                "row has {} values, expected {}",
+                row.len(),
+                self.builders.len()
+            )));
+        }
+        for (b, v) in self.builders.iter_mut().zip(row) {
+            b.push_value(v)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the load, appending everything to the table at once.
+    pub fn finish(self) -> DbResult<usize> {
+        let columns: Vec<Arc<Column>> =
+            self.builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        let schema = self.table.schema.clone();
+        let batch = Batch::new(schema, columns)?;
+        let n = batch.rows();
+        self.table.append_batch(&batch)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::types::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Field::not_null("id", DataType::Int32),
+                Field::new("score", DataType::Float64),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn append_and_scan() {
+        let mut t = Table::new("t", schema());
+        t.append_rows(&[
+            vec![Value::Int32(1), Value::Float64(0.5)],
+            vec![Value::Int32(2), Value::Null],
+        ])
+        .unwrap();
+        assert_eq!(t.rows(), 2);
+        let b = t.scan();
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.row(0), vec![Value::Int32(1), Value::Float64(0.5)]);
+        assert!(b.row(1)[1].is_null());
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = Table::new("t", schema());
+        let err = t.append_rows(&[vec![Value::Null, Value::Float64(1.0)]]);
+        assert!(matches!(err, Err(DbError::Bind(_))));
+        assert_eq!(t.rows(), 0, "failed insert must not partially apply");
+    }
+
+    #[test]
+    fn snapshot_isolated_from_appends() {
+        let mut t = Table::new("t", schema());
+        t.append_rows(&[vec![Value::Int32(1), Value::Null]]).unwrap();
+        let snap = t.scan();
+        t.append_rows(&[vec![Value::Int32(2), Value::Null]]).unwrap();
+        assert_eq!(snap.rows(), 1, "old snapshot must not see the new row");
+        assert_eq!(t.scan().rows(), 2);
+    }
+
+    #[test]
+    fn insert_casts_to_declared_types() {
+        let mut t = Table::new("t", schema());
+        t.append_rows(&[vec![Value::Int64(7), Value::Int32(3)]]).unwrap();
+        let b = t.scan();
+        assert_eq!(b.row(0), vec![Value::Int32(7), Value::Float64(3.0)]);
+    }
+
+    #[test]
+    fn retain_indices_deletes() {
+        let mut t = Table::new("t", schema());
+        for i in 0..5 {
+            t.append_rows(&[vec![Value::Int32(i), Value::Null]]).unwrap();
+        }
+        t.retain_indices(&[0, 2, 4]);
+        assert_eq!(t.rows(), 3);
+        let b = t.scan();
+        assert_eq!(b.row(1)[0], Value::Int32(2));
+    }
+
+    #[test]
+    fn replace_column_updates() {
+        let mut t = Table::new("t", schema());
+        t.append_rows(&[vec![Value::Int32(1), Value::Float64(0.0)]]).unwrap();
+        t.replace_column(1, Column::from_f64s(vec![9.0])).unwrap();
+        assert_eq!(t.scan().row(0)[1], Value::Float64(9.0));
+        // Wrong length rejected.
+        assert!(t.replace_column(1, Column::from_f64s(vec![1.0, 2.0])).is_err());
+        // Wrong type rejected.
+        assert!(t.replace_column(1, Column::from_i32s(vec![1])).is_err());
+        // NOT NULL violation rejected.
+        assert!(t.replace_column(0, Column::from_opt_i32s(vec![None])).is_err());
+    }
+
+    #[test]
+    fn loader_bulk_loads() {
+        let mut t = Table::new("t", schema());
+        let mut l = t.loader();
+        for i in 0..100 {
+            l.push_row(&[Value::Int32(i), Value::Float64(i as f64)]).unwrap();
+        }
+        assert_eq!(l.finish().unwrap(), 100);
+        assert_eq!(t.rows(), 100);
+    }
+}

@@ -1,0 +1,234 @@
+//! Vectorized user-defined function hooks.
+//!
+//! This module defines the engine-side contract for UDFs — the heart of the
+//! paper's integration approach. A UDF receives **whole columns** (borrowed,
+//! zero-copy) rather than one value at a time:
+//!
+//! * [`ScalarUdf`] — N input columns → one output column of the same length
+//!   (the paper's `predict` function). Usable anywhere an expression is.
+//! * [`TableUdf`] — N input columns → a result table (the paper's `train`
+//!   function, which returns `TABLE(classifier BLOB, estimators INTEGER)`).
+//!   Usable in the `FROM` clause.
+//!
+//! Implementations of the actual machine-learning UDFs live in `mlcs-core`;
+//! this crate only knows how to register and invoke them, mirroring how
+//! MonetDB's UDF machinery is agnostic to what the Python code does.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::types::DataType;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A vectorized scalar function: columns in, one column out.
+pub trait ScalarUdf: Send + Sync {
+    /// Function name as referenced from SQL (matched case-insensitively).
+    fn name(&self) -> &str;
+
+    /// Computes the output type for the given argument types, or an error
+    /// describing the expected signature.
+    fn return_type(&self, arg_types: &[DataType]) -> DbResult<DataType>;
+
+    /// Invokes the function over whole columns. All argument columns have
+    /// the same length; the returned column must match it.
+    fn invoke(&self, args: &[Arc<Column>]) -> DbResult<Column>;
+
+    /// Whether the engine may split the input rows into morsels and invoke
+    /// the function on each independently (true for row-wise pure functions
+    /// like `predict`; false for functions that need all rows at once).
+    fn parallel_safe(&self) -> bool {
+        false
+    }
+}
+
+/// A vectorized table-producing function: columns in, table out.
+pub trait TableUdf: Send + Sync {
+    /// Function name as referenced from SQL (matched case-insensitively).
+    fn name(&self) -> &str;
+
+    /// Computes the output schema for the given argument types.
+    fn schema(&self, arg_types: &[DataType]) -> DbResult<Arc<Schema>>;
+
+    /// Invokes the function. Argument columns may have differing lengths
+    /// (e.g. a data column of N rows plus a parameter column of 1 row);
+    /// the function documents what it requires.
+    fn invoke(&self, args: &[Arc<Column>]) -> DbResult<Batch>;
+}
+
+/// Registry of UDFs attached to a database, keyed by lower-cased name.
+#[derive(Default)]
+pub struct FunctionRegistry {
+    scalar: RwLock<BTreeMap<String, Arc<dyn ScalarUdf>>>,
+    table: RwLock<BTreeMap<String, Arc<dyn TableUdf>>>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scalar UDF, replacing any previous function of the same
+    /// name (CREATE OR REPLACE semantics).
+    pub fn register_scalar(&self, udf: Arc<dyn ScalarUdf>) {
+        self.scalar.write().insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Registers a table UDF, replacing any previous function of the same
+    /// name.
+    pub fn register_table(&self, udf: Arc<dyn TableUdf>) {
+        self.table.write().insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Looks up a scalar UDF.
+    pub fn scalar(&self, name: &str) -> DbResult<Arc<dyn ScalarUdf>> {
+        self.scalar
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DbError::NotFound { kind: "scalar function", name: name.to_owned() })
+    }
+
+    /// Looks up a table UDF.
+    pub fn table(&self, name: &str) -> DbResult<Arc<dyn TableUdf>> {
+        self.table
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DbError::NotFound { kind: "table function", name: name.to_owned() })
+    }
+
+    /// True if a scalar UDF with the name exists.
+    pub fn has_scalar(&self, name: &str) -> bool {
+        self.scalar.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// True if a table UDF with the name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.table.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered functions `(scalar, table)`, sorted.
+    pub fn names(&self) -> (Vec<String>, Vec<String>) {
+        (
+            self.scalar.read().keys().cloned().collect(),
+            self.table.read().keys().cloned().collect(),
+        )
+    }
+
+    /// Removes a function of either kind; errors if no such function.
+    pub fn drop_function(&self, name: &str, if_exists: bool) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        let a = self.scalar.write().remove(&key).is_some();
+        let b = self.table.write().remove(&key).is_some();
+        if !a && !b && !if_exists {
+            return Err(DbError::NotFound { kind: "function", name: name.to_owned() });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (s, t) = self.names();
+        f.debug_struct("FunctionRegistry").field("scalar", &s).field("table", &t).finish()
+    }
+}
+
+/// A [`ScalarUdf`] built from a closure, for quick registration without a
+/// dedicated type. The closure receives the argument columns.
+pub struct ClosureScalarUdf<F> {
+    name: String,
+    ret: DataType,
+    parallel_safe: bool,
+    f: F,
+}
+
+impl<F> ClosureScalarUdf<F>
+where
+    F: Fn(&[Arc<Column>]) -> DbResult<Column> + Send + Sync,
+{
+    /// Wraps `f` as a scalar UDF returning `ret`.
+    pub fn new(name: impl Into<String>, ret: DataType, f: F) -> Self {
+        ClosureScalarUdf { name: name.into(), ret, parallel_safe: false, f }
+    }
+
+    /// Marks the function safe for morsel-parallel invocation.
+    pub fn parallel(mut self) -> Self {
+        self.parallel_safe = true;
+        self
+    }
+}
+
+impl<F> ScalarUdf for ClosureScalarUdf<F>
+where
+    F: Fn(&[Arc<Column>]) -> DbResult<Column> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn return_type(&self, _arg_types: &[DataType]) -> DbResult<DataType> {
+        Ok(self.ret)
+    }
+    fn invoke(&self, args: &[Arc<Column>]) -> DbResult<Column> {
+        (self.f)(args)
+    }
+    fn parallel_safe(&self) -> bool {
+        self.parallel_safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plus_one() -> Arc<dyn ScalarUdf> {
+        Arc::new(ClosureScalarUdf::new("plus_one", DataType::Int64, |args| {
+            let xs = args[0]
+                .i64s()
+                .ok_or_else(|| DbError::Type("plus_one expects BIGINT".into()))?;
+            Ok(Column::from_i64s(xs.iter().map(|x| x + 1).collect()))
+        }))
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let reg = FunctionRegistry::new();
+        reg.register_scalar(plus_one());
+        assert!(reg.has_scalar("PLUS_ONE"));
+        let f = reg.scalar("Plus_One").unwrap();
+        let out = f.invoke(&[Arc::new(Column::from_i64s(vec![1, 2]))]).unwrap();
+        assert_eq!(out.i64s().unwrap(), &[2, 3]);
+        assert!(reg.scalar("nope").is_err());
+    }
+
+    #[test]
+    fn replace_semantics() {
+        let reg = FunctionRegistry::new();
+        reg.register_scalar(plus_one());
+        reg.register_scalar(Arc::new(ClosureScalarUdf::new(
+            "plus_one",
+            DataType::Int64,
+            |args| {
+                let xs = args[0].i64s().unwrap();
+                Ok(Column::from_i64s(xs.iter().map(|x| x + 100).collect()))
+            },
+        )));
+        let f = reg.scalar("plus_one").unwrap();
+        let out = f.invoke(&[Arc::new(Column::from_i64s(vec![1]))]).unwrap();
+        assert_eq!(out.i64s().unwrap(), &[101]);
+    }
+
+    #[test]
+    fn drop_function_works() {
+        let reg = FunctionRegistry::new();
+        reg.register_scalar(plus_one());
+        reg.drop_function("plus_one", false).unwrap();
+        assert!(!reg.has_scalar("plus_one"));
+        assert!(reg.drop_function("plus_one", false).is_err());
+        reg.drop_function("plus_one", true).unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the storage and execution layers, checking
+//! the vectorized operators against scalar reference implementations.
+
+use mlcs_columnar::exec::{self, JoinType, SortKey};
+use mlcs_columnar::expr::{eval, eval_predicate, BinaryOp, EvalContext, Expr};
+use mlcs_columnar::{Batch, Column};
+use proptest::prelude::*;
+
+fn opt_i32s() -> impl Strategy<Value = Vec<Option<i32>>> {
+    proptest::collection::vec(proptest::option::of(-100i32..100), 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// take() then value() equals direct indexed access.
+    #[test]
+    fn take_matches_scalar_access(values in opt_i32s(), seed in any::<u64>()) {
+        prop_assume!(!values.is_empty());
+        let col = Column::from_opt_i32s(values.clone());
+        let indices: Vec<u32> = (0..values.len())
+            .map(|i| ((seed.wrapping_mul(i as u64 + 1) >> 7) % values.len() as u64) as u32)
+            .collect();
+        let taken = col.take(&indices);
+        for (dst, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(taken.value(dst), col.value(src as usize));
+        }
+    }
+
+    /// The vectorized comparison agrees with Value::sql_cmp per row.
+    #[test]
+    fn vectorized_comparison_matches_reference(
+        a in opt_i32s(),
+        threshold in -100i32..100,
+    ) {
+        prop_assume!(!a.is_empty());
+        let col = Column::from_opt_i32s(a.clone());
+        let batch = Batch::from_columns(vec![("a", col)]).unwrap();
+        let ctx = EvalContext::new(&batch, None);
+        let e = Expr::binary(BinaryOp::Lt, Expr::col(0), Expr::lit(threshold));
+        let out = eval(&ctx, &e).unwrap();
+        for (i, v) in a.iter().enumerate() {
+            match v {
+                None => prop_assert!(out.is_null(i)),
+                Some(x) => {
+                    prop_assert!(!out.is_null(i));
+                    prop_assert_eq!(out.bools().unwrap()[i], *x < threshold);
+                }
+            }
+        }
+    }
+
+    /// Selection vectors contain exactly the TRUE rows, in order.
+    #[test]
+    fn predicate_selects_true_rows(a in opt_i32s(), threshold in -100i32..100) {
+        let col = Column::from_opt_i32s(a.clone());
+        let batch = Batch::from_columns(vec![("a", col)]).unwrap();
+        let ctx = EvalContext::new(&batch, None);
+        let e = Expr::binary(BinaryOp::GtEq, Expr::col(0), Expr::lit(threshold));
+        let sel = eval_predicate(&ctx, &e).unwrap();
+        let expect: Vec<u32> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v, Some(x) if *x >= threshold))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(sel, expect);
+    }
+
+    /// Arithmetic with NULL propagation matches a scalar model.
+    #[test]
+    fn addition_matches_reference(a in opt_i32s(), b in opt_i32s()) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let batch = Batch::from_columns(vec![
+            ("a", Column::from_opt_i32s(a.to_vec())),
+            ("b", Column::from_opt_i32s(b.to_vec())),
+        ])
+        .unwrap();
+        let ctx = EvalContext::new(&batch, None);
+        let out = eval(&ctx, &Expr::binary(BinaryOp::Add, Expr::col(0), Expr::col(1))).unwrap();
+        for i in 0..n {
+            match (a[i], b[i]) {
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!(out.i64_at(i), Some(x as i64 + y as i64))
+                }
+                _ => prop_assert!(out.is_null(i)),
+            }
+        }
+    }
+
+    /// Hash join row count equals the nested-loop reference count, and the
+    /// result contains exactly the matching pairs.
+    #[test]
+    fn join_matches_nested_loop(
+        left in proptest::collection::vec(proptest::option::of(0i32..10), 0..40),
+        right in proptest::collection::vec(proptest::option::of(0i32..10), 0..40),
+    ) {
+        let lb = Batch::from_columns(vec![("k", Column::from_opt_i32s(left.clone()))]).unwrap();
+        let rb = Batch::from_columns(vec![("k", Column::from_opt_i32s(right.clone()))]).unwrap();
+        let out = exec::hash_join(&lb, &rb, &[0], &[0], JoinType::Inner).unwrap();
+        let mut expect = 0usize;
+        for l in &left {
+            for r in &right {
+                if let (Some(a), Some(b)) = (l, r) {
+                    if a == b {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(out.rows(), expect);
+        // Every output row has equal keys on both sides.
+        for i in 0..out.rows() {
+            prop_assert_eq!(out.row(i)[0].clone(), out.row(i)[1].clone());
+        }
+    }
+
+    /// Left join preserves every left row exactly once per match (or once
+    /// padded).
+    #[test]
+    fn left_join_preserves_probe_side(
+        left in proptest::collection::vec(0i32..8, 0..30),
+        right in proptest::collection::vec(0i32..8, 0..30),
+    ) {
+        let lb = Batch::from_columns(vec![("k", Column::from_i32s(left.clone()))]).unwrap();
+        let rb = Batch::from_columns(vec![("k", Column::from_i32s(right.clone()))]).unwrap();
+        let out = exec::hash_join(&lb, &rb, &[0], &[0], JoinType::Left).unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|l| right.iter().filter(|r| *r == l).count().max(1))
+            .sum();
+        prop_assert_eq!(out.rows(), expected);
+    }
+
+    /// Sorting produces an ordered permutation (stable for equal keys).
+    #[test]
+    fn sort_is_ordered_permutation(values in opt_i32s()) {
+        let batch = Batch::from_columns(vec![
+            ("v", Column::from_opt_i32s(values.clone())),
+            ("pos", Column::from_i64s((0..values.len() as i64).collect())),
+        ])
+        .unwrap();
+        let out = exec::sort(&batch, &[SortKey::asc(0)]).unwrap();
+        prop_assert_eq!(out.rows(), values.len());
+        // Non-null prefix ordered ascending, NULLs at the end.
+        let mut seen_null = false;
+        let mut prev: Option<i64> = None;
+        for i in 0..out.rows() {
+            match out.column(0).i64_at(i) {
+                None => seen_null = true,
+                Some(v) => {
+                    prop_assert!(!seen_null, "non-NULL after NULL under ASC");
+                    if let Some(p) = prev {
+                        prop_assert!(p <= v);
+                    }
+                    prev = Some(v);
+                }
+            }
+        }
+        // Permutation: the original positions are all present.
+        let mut positions: Vec<i64> =
+            (0..out.rows()).map(|i| out.column(1).i64_at(i).unwrap()).collect();
+        positions.sort_unstable();
+        prop_assert_eq!(positions, (0..values.len() as i64).collect::<Vec<_>>());
+    }
+
+    /// distinct() output has no duplicate rows and loses nothing.
+    #[test]
+    fn distinct_is_exact(values in proptest::collection::vec(proptest::option::of(0i32..6), 0..60)) {
+        let batch = Batch::from_columns(vec![("v", Column::from_opt_i32s(values.clone()))]).unwrap();
+        let out = exec::distinct(&batch);
+        let mut reference: Vec<Option<i32>> = Vec::new();
+        for v in &values {
+            if !reference.contains(v) {
+                reference.push(*v);
+            }
+        }
+        prop_assert_eq!(out.rows(), reference.len());
+        for (i, v) in reference.iter().enumerate() {
+            match v {
+                None => prop_assert!(out.row(i)[0].is_null()),
+                Some(x) => prop_assert_eq!(out.row(i)[0].as_i64(), Some(*x as i64)),
+            }
+        }
+    }
+
+    /// Batch concat preserves order and content.
+    #[test]
+    fn concat_preserves_rows(a in opt_i32s(), b in opt_i32s()) {
+        let ba = Batch::from_columns(vec![("v", Column::from_opt_i32s(a.clone()))]).unwrap();
+        let bb = Batch::from_columns(vec![("v", Column::from_opt_i32s(b.clone()))]).unwrap();
+        let all = Batch::concat(&[ba.clone(), bb.clone()]).unwrap();
+        prop_assert_eq!(all.rows(), a.len() + b.len());
+        for (i, v) in a.iter().chain(b.iter()).enumerate() {
+            match v {
+                None => prop_assert!(all.row(i)[0].is_null()),
+                Some(x) => prop_assert_eq!(all.row(i)[0].as_i64(), Some(*x as i64)),
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Bridging database columns and ML matrices.
+//!
+//! The paper's key efficiency argument is that vectorized UDFs hand the
+//! model code whole columns without per-value conversion. Our equivalent:
+//! `Float64` columns are memcpy'd straight into the row-major [`Matrix`];
+//! other numeric types are widened in one vectorized pass. NULLs become
+//! NaN and are rejected by model fitting with a clear error, pushing
+//! cleaning into SQL where the paper does it.
+
+use mlcs_columnar::{Column, DbError, DbResult};
+use mlcs_ml::Matrix;
+
+/// Builds a feature matrix from equally-long numeric columns.
+pub fn matrix_from_columns(cols: &[&Column]) -> DbResult<Matrix> {
+    if cols.is_empty() {
+        return Err(DbError::Shape("at least one feature column required".into()));
+    }
+    let rows = cols[0].len();
+    for (i, c) in cols.iter().enumerate() {
+        if c.len() != rows {
+            return Err(DbError::Shape(format!(
+                "feature column {i} has {} rows, expected {rows}",
+                c.len()
+            )));
+        }
+    }
+    let vecs: Vec<Vec<f64>> = cols
+        .iter()
+        .map(|c| c.to_f64_vec())
+        .collect::<DbResult<_>>()?;
+    let refs: Vec<&[f64]> = vecs.iter().map(Vec::as_slice).collect();
+    Matrix::from_columns(&refs)
+        .map_err(|e| DbError::Shape(format!("building feature matrix: {e}")))
+}
+
+/// Extracts integer class labels from a column. NULL labels are an error
+/// (the paper's pipeline generates labels before training).
+pub fn labels_from_column(col: &Column) -> DbResult<Vec<i64>> {
+    if !col.data_type().is_integer() && col.data_type() != mlcs_columnar::DataType::Boolean {
+        return Err(DbError::Type(format!(
+            "class labels must be integers, got {}",
+            col.data_type()
+        )));
+    }
+    (0..col.len())
+        .map(|i| {
+            col.i64_at(i).ok_or_else(|| {
+                DbError::Bind(format!("NULL label at row {i}; clean labels before training"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_conversion_widens_types() {
+        let a = Column::from_i32s(vec![1, 2]);
+        let b = Column::from_f64s(vec![0.5, 1.5]);
+        let m = matrix_from_columns(&[&a, &b]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 0.5]);
+        assert_eq!(m.row(1), &[2.0, 1.5]);
+    }
+
+    #[test]
+    fn nulls_become_nan() {
+        let a = Column::from_opt_i32s(vec![Some(1), None]);
+        let m = matrix_from_columns(&[&a]).unwrap();
+        assert!(m.get(1, 0).is_nan());
+    }
+
+    #[test]
+    fn shape_and_type_errors() {
+        let a = Column::from_i32s(vec![1, 2]);
+        let short = Column::from_i32s(vec![1]);
+        assert!(matrix_from_columns(&[&a, &short]).is_err());
+        assert!(matrix_from_columns(&[]).is_err());
+        let s = Column::from_strings(["x", "y"]);
+        assert!(matrix_from_columns(&[&s]).is_err());
+    }
+
+    #[test]
+    fn labels_extracted_and_validated() {
+        let l = Column::from_i32s(vec![5, 7]);
+        assert_eq!(labels_from_column(&l).unwrap(), vec![5, 7]);
+        let n = Column::from_opt_i32s(vec![Some(1), None]);
+        assert!(labels_from_column(&n).is_err());
+        let f = Column::from_f64s(vec![1.0]);
+        assert!(labels_from_column(&f).is_err());
+        let b = Column::from_bools(vec![true, false]);
+        assert_eq!(labels_from_column(&b).unwrap(), vec![1, 0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Model snapshot cache — the paper's §5.1 future-work item, implemented.
+//!
+//! > "Whenever a model is stored in the database, we are serializing it to
+//! > a BLOB. Before it can be used again, it must be deserialized. For
+//! > larger models, this can have a performance impact. The database
+//! > system could be extended to directly store snapshots of the in-memory
+//! > representation of the models to avoid this (de)serialization
+//! > overhead."
+//!
+//! [`ModelCache`] keeps deserialized [`StoredModel`]s keyed by a hash of
+//! their BLOB bytes, so repeated `predict` calls against the same stored
+//! model skip unpickling entirely — the in-memory snapshot the paper asks
+//! for, without changing the durable representation. The cache is shared
+//! by the `predict_cached` UDF (see [`crate::udf`]).
+
+use crate::stored::StoredModel;
+use mlcs_columnar::{DbError, DbResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// 64-bit FNV-1a over the blob bytes. Collisions are guarded by also
+/// keying on the blob length, and a false hit could only occur between
+/// two *valid* model blobs colliding on both — at which point the pickle
+/// checksum layer has already vouched for each blob independently.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A bounded cache of deserialized models.
+pub struct ModelCache {
+    entries: Mutex<HashMap<(u64, usize), Arc<StoredModel>>>,
+    capacity: usize,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ModelCache {
+    /// A cache holding at most `capacity` models (≥ 1).
+    pub fn new(capacity: usize) -> ModelCache {
+        ModelCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached in-memory model for `blob`, deserializing and
+    /// inserting on first sight. When full, an arbitrary entry is evicted
+    /// (models are immutable, so eviction only costs a future re-decode).
+    pub fn get_or_decode(&self, blob: &[u8]) -> DbResult<Arc<StoredModel>> {
+        let key = (fnv1a(blob), blob.len());
+        if let Some(hit) = self.entries.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let model = Arc::new(StoredModel::from_blob(blob).map_err(|e| DbError::Udf {
+            function: "model cache".into(),
+            message: e.to_string(),
+        })?);
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity {
+            if let Some(&victim) = entries.keys().next() {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(key, model.clone());
+        Ok(model)
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Number of models currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached model.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcs_ml::naive_bayes::GaussianNb;
+    use mlcs_ml::{Matrix, Model};
+
+    fn blob(seed: f64) -> Vec<u8> {
+        let x = Matrix::from_rows(&[[seed], [seed + 1.0], [seed + 10.0], [seed + 11.0]])
+            .unwrap();
+        StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &[1, 1, 2, 2])
+            .unwrap()
+            .to_blob()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ModelCache::new(8);
+        let b = blob(0.0);
+        let a1 = cache.get_or_decode(&b).unwrap();
+        let a2 = cache.get_or_decode(&b).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a2), "same in-memory snapshot expected");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_blobs_distinct_entries() {
+        let cache = ModelCache::new(8);
+        let m1 = cache.get_or_decode(&blob(0.0)).unwrap();
+        let m2 = cache.get_or_decode(&blob(100.0)).unwrap();
+        assert!(!Arc::ptr_eq(&m1, &m2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let cache = ModelCache::new(2);
+        for i in 0..5 {
+            cache.get_or_decode(&blob(i as f64 * 50.0)).unwrap();
+        }
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn garbage_blob_not_cached() {
+        let cache = ModelCache::new(2);
+        assert!(cache.get_or_decode(&[1, 2, 3]).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = ModelCache::new(4);
+        cache.get_or_decode(&blob(0.0)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        // Re-decoding counts as a miss again.
+        cache.get_or_decode(&blob(0.0)).unwrap();
+        assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(ModelCache::new(4));
+        let b = Arc::new(blob(0.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        cache.get_or_decode(&b).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 160);
+        assert!(misses >= 1);
+    }
+}

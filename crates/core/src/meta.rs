@@ -1,0 +1,128 @@
+//! Relational meta-analysis of stored models (paper §3.3).
+//!
+//! Because models live in an ordinary table, questions about models are
+//! SQL queries. This module packages the common ones; anything else is a
+//! `db.query(...)` away.
+
+use mlcs_columnar::{Batch, Database, DbResult};
+
+/// Accuracy leaderboard: all models ordered by accuracy, best first.
+pub fn leaderboard(db: &Database) -> DbResult<Batch> {
+    db.query(
+        "SELECT name, algorithm, parameters, accuracy, macro_f1, test_rows
+         FROM models
+         WHERE accuracy IS NOT NULL
+         ORDER BY accuracy DESC, name ASC",
+    )
+}
+
+/// Mean accuracy and model count per algorithm — which model family works
+/// best on this data?
+pub fn accuracy_by_algorithm(db: &Database) -> DbResult<Batch> {
+    db.query(
+        "SELECT algorithm,
+                COUNT(*) AS n_models,
+                AVG(accuracy) AS mean_accuracy,
+                MAX(accuracy) AS best_accuracy
+         FROM models
+         WHERE accuracy IS NOT NULL
+         GROUP BY algorithm
+         ORDER BY mean_accuracy DESC",
+    )
+}
+
+/// Storage cost per model: serialized size next to quality, quantifying
+/// the serialization trade-off the paper's §5.1 discusses.
+pub fn storage_report(db: &Database) -> DbResult<Batch> {
+    db.query(
+        "SELECT name, algorithm, OCTET_LENGTH(classifier) AS blob_bytes, accuracy
+         FROM models
+         ORDER BY blob_bytes DESC",
+    )
+}
+
+/// Models meeting an accuracy floor, for ensemble candidate selection.
+pub fn models_above(db: &Database, min_accuracy: f64) -> DbResult<Batch> {
+    db.query(&format!(
+        "SELECT name, accuracy FROM models
+         WHERE accuracy >= {min_accuracy}
+         ORDER BY accuracy DESC"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelstore::{ModelMeta, ModelStore};
+    use crate::stored::StoredModel;
+    use mlcs_ml::naive_bayes::GaussianNb;
+    use mlcs_ml::tree::DecisionTreeClassifier;
+    use mlcs_ml::{Matrix, Model};
+
+    fn setup() -> Database {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        let x = Matrix::from_rows(&[[0.0], [1.0], [10.0], [11.0]]).unwrap();
+        let y = [1i64, 1, 2, 2];
+        let nb = StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &y).unwrap();
+        let dt =
+            StoredModel::train(Model::DecisionTree(DecisionTreeClassifier::new()), &x, &y)
+                .unwrap();
+        for (model, name, acc) in
+            [(&nb, "nb_a", 0.8), (&nb, "nb_b", 0.9), (&dt, "dt_a", 0.85)]
+        {
+            store
+                .save(
+                    model,
+                    &ModelMeta {
+                        name: name.into(),
+                        parameters: "p".into(),
+                        accuracy: Some(acc),
+                        macro_f1: Some(acc),
+                        train_rows: Some(4),
+                        test_rows: Some(2),
+                    },
+                )
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn leaderboard_orders_by_accuracy() {
+        let db = setup();
+        let lb = leaderboard(&db).unwrap();
+        assert_eq!(lb.rows(), 3);
+        assert_eq!(lb.row(0)[0].as_str(), Some("nb_b"));
+        assert_eq!(lb.row(2)[0].as_str(), Some("nb_a"));
+    }
+
+    #[test]
+    fn per_algorithm_aggregation() {
+        let db = setup();
+        let by = accuracy_by_algorithm(&db).unwrap();
+        assert_eq!(by.rows(), 2);
+        // gaussian_nb mean = 0.85, decision_tree mean = 0.85; both present.
+        let algos: Vec<String> = (0..2)
+            .map(|r| by.row(r)[0].as_str().unwrap().to_owned())
+            .collect();
+        assert!(algos.contains(&"gaussian_nb".to_owned()));
+        assert!(algos.contains(&"decision_tree".to_owned()));
+    }
+
+    #[test]
+    fn storage_report_sizes_positive() {
+        let db = setup();
+        let rep = storage_report(&db).unwrap();
+        for r in 0..rep.rows() {
+            assert!(rep.row(r)[2].as_i64().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn threshold_filter() {
+        let db = setup();
+        assert_eq!(models_above(&db, 0.84).unwrap().rows(), 2);
+        assert_eq!(models_above(&db, 0.95).unwrap().rows(), 0);
+    }
+}

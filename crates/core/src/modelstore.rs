@@ -1,0 +1,280 @@
+//! The model store: trained models and their metadata in a regular table.
+//!
+//! Paper §3.1 ("Model Storage") and §3.3: models are pickled to BLOBs and
+//! kept in the database next to their hyperparameters and quality metrics,
+//! so ordinary SQL can select, compare, and combine them.
+
+use crate::stored::StoredModel;
+use mlcs_columnar::{Database, DbError, DbResult, Value};
+
+/// The DDL of the backing table (created on first use).
+pub const MODELS_TABLE_DDL: &str = "CREATE TABLE IF NOT EXISTS models (
+    id BIGINT NOT NULL,
+    name VARCHAR NOT NULL,
+    algorithm VARCHAR NOT NULL,
+    parameters VARCHAR,
+    classifier BLOB NOT NULL,
+    accuracy DOUBLE,
+    macro_f1 DOUBLE,
+    train_rows BIGINT,
+    test_rows BIGINT,
+    n_features INTEGER
+)";
+
+/// Metadata stored alongside a model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelMeta {
+    /// Human-readable model name (unique within the store).
+    pub name: String,
+    /// Hyperparameter description, e.g. `n_estimators=16`.
+    pub parameters: String,
+    /// Test-set accuracy, if evaluated.
+    pub accuracy: Option<f64>,
+    /// Test-set macro F1, if evaluated.
+    pub macro_f1: Option<f64>,
+    /// Training-set size.
+    pub train_rows: Option<i64>,
+    /// Test-set size.
+    pub test_rows: Option<i64>,
+}
+
+/// A handle over the `models` table of a database.
+#[derive(Clone)]
+pub struct ModelStore {
+    db: Database,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) the model store of `db`.
+    pub fn open(db: &Database) -> DbResult<ModelStore> {
+        db.execute(MODELS_TABLE_DDL)?;
+        Ok(ModelStore { db: db.clone() })
+    }
+
+    /// Stores a model with its metadata. The name must be unused.
+    pub fn save(&self, model: &StoredModel, meta: &ModelMeta) -> DbResult<i64> {
+        if self.lookup_id(&meta.name)?.is_some() {
+            return Err(DbError::AlreadyExists { kind: "model", name: meta.name.clone() });
+        }
+        let id = self.next_id()?;
+        use mlcs_ml::Classifier;
+        let row = vec![
+            Value::Int64(id),
+            Value::Varchar(meta.name.clone()),
+            Value::Varchar(model.algorithm().to_owned()),
+            Value::Varchar(meta.parameters.clone()),
+            Value::Blob(model.to_blob()),
+            meta.accuracy.map(Value::Float64).unwrap_or(Value::Null),
+            meta.macro_f1.map(Value::Float64).unwrap_or(Value::Null),
+            meta.train_rows.map(Value::Int64).unwrap_or(Value::Null),
+            meta.test_rows.map(Value::Int64).unwrap_or(Value::Null),
+            Value::Int32(model.model.n_features() as i32),
+        ];
+        let handle = self.db.catalog().table("models")?;
+        handle.write().append_rows(&[row])?;
+        Ok(id)
+    }
+
+    /// Loads a model by name.
+    pub fn load(&self, name: &str) -> DbResult<StoredModel> {
+        let batch = self.db.query(&format!(
+            "SELECT classifier FROM models WHERE name = '{}'",
+            escape(name)
+        ))?;
+        if batch.rows() == 0 {
+            return Err(DbError::NotFound { kind: "model", name: name.to_owned() });
+        }
+        let blob = batch.column(0).value(0);
+        let blob = blob.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
+        StoredModel::from_blob(blob)
+            .map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))
+    }
+
+    /// Loads the model with the highest recorded accuracy — the paper's
+    /// "choose a model to classify new data based on this metadata".
+    pub fn load_best_by_accuracy(&self) -> DbResult<(String, StoredModel)> {
+        let batch = self.db.query(
+            "SELECT name, classifier FROM models
+             WHERE accuracy IS NOT NULL
+             ORDER BY accuracy DESC LIMIT 1",
+        )?;
+        if batch.rows() == 0 {
+            return Err(DbError::NotFound { kind: "model", name: "<best by accuracy>".into() });
+        }
+        let name = batch.column(0).value(0).as_str().unwrap_or_default().to_owned();
+        let blob_v = batch.column(1).value(0);
+        let blob = blob_v.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
+        let sm = StoredModel::from_blob(blob)
+            .map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))?;
+        Ok((name, sm))
+    }
+
+    /// Loads every stored model as `(name, model)` pairs, in id order.
+    pub fn load_all(&self) -> DbResult<Vec<(String, StoredModel)>> {
+        let batch = self.db.query("SELECT name, classifier FROM models ORDER BY id")?;
+        (0..batch.rows())
+            .map(|r| {
+                let name = batch.column(0).value(r).as_str().unwrap_or_default().to_owned();
+                let blob_v = batch.column(1).value(r);
+                let blob = blob_v
+                    .as_blob()
+                    .ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
+                let sm = StoredModel::from_blob(blob)
+                    .map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))?;
+                Ok((name, sm))
+            })
+            .collect()
+    }
+
+    /// Lists model metadata (no BLOBs) as a batch for display.
+    pub fn list(&self) -> DbResult<mlcs_columnar::Batch> {
+        self.db.query(
+            "SELECT id, name, algorithm, parameters, accuracy, macro_f1,
+                    train_rows, test_rows, n_features,
+                    OCTET_LENGTH(classifier) AS blob_bytes
+             FROM models ORDER BY id",
+        )
+    }
+
+    /// Deletes a model by name.
+    pub fn delete(&self, name: &str) -> DbResult<()> {
+        let affected = self
+            .db
+            .execute(&format!("DELETE FROM models WHERE name = '{}'", escape(name)))?
+            .rows_affected();
+        if affected == 0 {
+            return Err(DbError::NotFound { kind: "model", name: name.to_owned() });
+        }
+        Ok(())
+    }
+
+    /// Number of stored models.
+    pub fn count(&self) -> DbResult<usize> {
+        let v = self.db.query_value("SELECT COUNT(*) FROM models")?;
+        Ok(v.as_i64().unwrap_or(0) as usize)
+    }
+
+    fn lookup_id(&self, name: &str) -> DbResult<Option<i64>> {
+        let batch = self.db.query(&format!(
+            "SELECT id FROM models WHERE name = '{}'",
+            escape(name)
+        ))?;
+        Ok(if batch.rows() == 0 { None } else { batch.column(0).value(0).as_i64() })
+    }
+
+    fn next_id(&self) -> DbResult<i64> {
+        let v = self.db.query_value("SELECT COALESCE(MAX(id), 0) + 1 FROM models")?;
+        v.as_i64()
+            .ok_or_else(|| DbError::internal("MAX(id) returned a non-integer"))
+    }
+}
+
+/// Escapes a string for inclusion in a single-quoted SQL literal.
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stored::StoredModel;
+    use mlcs_ml::naive_bayes::GaussianNb;
+    use mlcs_ml::{Matrix, Model};
+
+    fn trained() -> StoredModel {
+        let x = Matrix::from_rows(&[[0.0], [1.0], [10.0], [11.0]]).unwrap();
+        StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &[1, 1, 2, 2]).unwrap()
+    }
+
+    fn meta(name: &str, acc: f64) -> ModelMeta {
+        ModelMeta {
+            name: name.into(),
+            parameters: "test".into(),
+            accuracy: Some(acc),
+            macro_f1: Some(acc - 0.01),
+            train_rows: Some(4),
+            test_rows: Some(2),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        let sm = trained();
+        let id = store.save(&sm, &meta("nb1", 0.9)).unwrap();
+        assert_eq!(id, 1);
+        let back = store.load("nb1").unwrap();
+        assert_eq!(back, sm);
+        assert_eq!(store.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("m", 0.5)).unwrap();
+        assert!(matches!(
+            store.save(&trained(), &meta("m", 0.6)),
+            Err(DbError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn best_by_accuracy() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("weak", 0.6)).unwrap();
+        store.save(&trained(), &meta("strong", 0.95)).unwrap();
+        store.save(&trained(), &meta("mid", 0.8)).unwrap();
+        let (name, _) = store.load_best_by_accuracy().unwrap();
+        assert_eq!(name, "strong");
+    }
+
+    #[test]
+    fn metadata_queryable_via_plain_sql() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("a", 0.7)).unwrap();
+        store.save(&trained(), &meta("b", 0.9)).unwrap();
+        // The paper's meta-analysis: ordinary SQL over model metadata.
+        let v = db
+            .query_value("SELECT name FROM models WHERE accuracy > 0.8")
+            .unwrap();
+        assert_eq!(v, Value::Varchar("b".into()));
+        let list = store.list().unwrap();
+        assert_eq!(list.rows(), 2);
+        assert!(list.column_by_name("blob_bytes").unwrap().i64_at(0).unwrap() > 0);
+    }
+
+    #[test]
+    fn delete_and_missing() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("gone", 0.7)).unwrap();
+        store.delete("gone").unwrap();
+        assert!(matches!(store.load("gone"), Err(DbError::NotFound { .. })));
+        assert!(matches!(store.delete("gone"), Err(DbError::NotFound { .. })));
+        assert!(store.load_best_by_accuracy().is_err());
+    }
+
+    #[test]
+    fn names_with_quotes_are_safe() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("it's", 0.7)).unwrap();
+        assert!(store.load("it's").is_ok());
+    }
+
+    #[test]
+    fn load_all_in_id_order() {
+        let db = Database::new();
+        let store = ModelStore::open(&db).unwrap();
+        store.save(&trained(), &meta("first", 0.5)).unwrap();
+        store.save(&trained(), &meta("second", 0.6)).unwrap();
+        let all = store.load_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "first");
+        assert_eq!(all[1].0, "second");
+    }
+}

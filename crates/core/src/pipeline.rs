@@ -1,0 +1,302 @@
+//! In-database training pipelines: preprocessing, train/test split,
+//! training, evaluation, and storage without data ever leaving the
+//! database process.
+
+use crate::bridge::{labels_from_column, matrix_from_columns};
+use crate::modelstore::{ModelMeta, ModelStore};
+use crate::stored::StoredModel;
+use mlcs_columnar::{Column, Database, DbError, DbResult};
+use mlcs_ml::dataset::ClassMap;
+use mlcs_ml::forest::RandomForestClassifier;
+use mlcs_ml::knn::KNearestNeighbors;
+use mlcs_ml::linear::LogisticRegression;
+use mlcs_ml::metrics::{accuracy, precision_recall_f1};
+use mlcs_ml::model_selection::train_test_split;
+use mlcs_ml::naive_bayes::GaussianNb;
+use mlcs_ml::tree::DecisionTreeClassifier;
+use mlcs_ml::{Classifier, Model};
+
+/// Which algorithm to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Random forest with the given tree count (the paper's model).
+    RandomForest {
+        /// Number of trees.
+        n_estimators: usize,
+    },
+    /// Single CART tree with optional depth bound.
+    DecisionTree {
+        /// Depth bound.
+        max_depth: Option<usize>,
+    },
+    /// Logistic regression with the given epoch count.
+    LogisticRegression {
+        /// Training epochs.
+        epochs: usize,
+    },
+    /// Gaussian naive Bayes.
+    GaussianNb,
+    /// k-nearest neighbors.
+    Knn {
+        /// Neighbor count.
+        k: usize,
+    },
+}
+
+impl Algorithm {
+    fn build(self, seed: u64, n_jobs: usize) -> Model {
+        match self {
+            Algorithm::RandomForest { n_estimators } => Model::RandomForest(
+                RandomForestClassifier::new(n_estimators)
+                    .with_seed(seed)
+                    .with_n_jobs(n_jobs),
+            ),
+            Algorithm::DecisionTree { max_depth } => {
+                let mut t = DecisionTreeClassifier::new().with_seed(seed);
+                t.max_depth = max_depth;
+                Model::DecisionTree(t)
+            }
+            Algorithm::LogisticRegression { epochs } => Model::LogisticRegression(
+                LogisticRegression::new().with_seed(seed).with_epochs(epochs),
+            ),
+            Algorithm::GaussianNb => Model::GaussianNb(GaussianNb::new()),
+            Algorithm::Knn { k } => Model::Knn(KNearestNeighbors::new(k)),
+        }
+    }
+
+    /// Hyperparameter description for the model store.
+    pub fn describe(self) -> String {
+        match self {
+            Algorithm::RandomForest { n_estimators } => format!("n_estimators={n_estimators}"),
+            Algorithm::DecisionTree { max_depth } => format!("max_depth={max_depth:?}"),
+            Algorithm::LogisticRegression { epochs } => format!("epochs={epochs}"),
+            Algorithm::GaussianNb => "default".into(),
+            Algorithm::Knn { k } => format!("k={k}"),
+        }
+    }
+}
+
+/// Options for [`train_in_db`].
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Which model to train.
+    pub algorithm: Algorithm,
+    /// Fraction of rows held out for testing.
+    pub test_fraction: f64,
+    /// RNG seed (split + model).
+    pub seed: u64,
+    /// Worker threads for parallel-capable models (0 = auto).
+    pub n_jobs: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            algorithm: Algorithm::RandomForest { n_estimators: 16 },
+            test_fraction: 0.25,
+            seed: 42,
+            n_jobs: 0,
+        }
+    }
+}
+
+/// The outcome of an in-database training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The trained model (also stored if a name was given).
+    pub model: StoredModel,
+    /// Test-set accuracy.
+    pub accuracy: f64,
+    /// Test-set macro F1.
+    pub macro_f1: f64,
+    /// Training rows used.
+    pub train_rows: usize,
+    /// Test rows used.
+    pub test_rows: usize,
+}
+
+/// Trains a model on the result of `query` (all columns but the last are
+/// features; the last column is the integer label), evaluating on a held-
+/// out fraction. If `store_as` is given, the model and its metrics are
+/// saved to the model store under that name.
+///
+/// This is the whole paper pipeline as one call: SQL does the
+/// preprocessing (the query), the split/fit/evaluate happens in-process on
+/// borrowed columns, and the result lands back in a table.
+pub fn train_in_db(
+    db: &Database,
+    query: &str,
+    options: &TrainOptions,
+    store_as: Option<&str>,
+) -> DbResult<TrainReport> {
+    let batch = db.query(query)?;
+    if batch.width() < 2 {
+        return Err(DbError::Shape(
+            "training query must return at least one feature column plus the label column"
+                .into(),
+        ));
+    }
+    let label_col = batch.column(batch.width() - 1);
+    let feature_cols: Vec<&Column> =
+        batch.columns()[..batch.width() - 1].iter().map(|c| c.as_ref()).collect();
+    let x = matrix_from_columns(&feature_cols)?;
+    let raw = labels_from_column(label_col)?;
+    let classes = ClassMap::fit(&raw);
+    let y = classes
+        .encode(&raw)
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+
+    let split = train_test_split(&x, &y, options.test_fraction, options.seed)
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+
+    let mut model = options.algorithm.build(options.seed, options.n_jobs);
+    model
+        .fit(&split.x_train, &split.y_train, classes.n_classes())
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+    let pred = model
+        .predict(&split.x_test)
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+    let acc = accuracy(&split.y_test, &pred)
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+    let scores = precision_recall_f1(&split.y_test, &pred, classes.n_classes())
+        .map_err(|e| DbError::Udf { function: "train_in_db".into(), message: e.to_string() })?;
+
+    let stored = StoredModel { model, classes };
+    let report = TrainReport {
+        model: stored.clone(),
+        accuracy: acc,
+        macro_f1: scores.macro_f1(),
+        train_rows: split.x_train.rows(),
+        test_rows: split.x_test.rows(),
+    };
+    if let Some(name) = store_as {
+        let store = ModelStore::open(db)?;
+        store.save(
+            &stored,
+            &ModelMeta {
+                name: name.to_owned(),
+                parameters: options.algorithm.describe(),
+                accuracy: Some(report.accuracy),
+                macro_f1: Some(report.macro_f1),
+                train_rows: Some(report.train_rows as i64),
+                test_rows: Some(report.test_rows as i64),
+            },
+        )?;
+    }
+    Ok(report)
+}
+
+/// Applies a stored model to the result of `query` (every column is a
+/// feature), returning the predicted raw labels as a column.
+pub fn predict_in_db(db: &Database, query: &str, model: &StoredModel) -> DbResult<Column> {
+    let batch = db.query(query)?;
+    let feature_cols: Vec<&Column> = batch.columns().iter().map(|c| c.as_ref()).collect();
+    let x = matrix_from_columns(&feature_cols)?;
+    let pred = model
+        .predict(&x)
+        .map_err(|e| DbError::Udf { function: "predict_in_db".into(), message: e.to_string() })?;
+    Ok(Column::from_i64s(pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_blobs(n: usize) -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE, label INTEGER)").unwrap();
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let (c, label) = if i % 2 == 0 { (-2.0, 10) } else { (2.0, 20) };
+            let j = (i as f64) * 0.001;
+            rows.push(format!("({}, {}, {label})", c + j, c - j));
+        }
+        db.execute(&format!("INSERT INTO pts VALUES {}", rows.join(", "))).unwrap();
+        db
+    }
+
+    #[test]
+    fn full_pipeline_trains_evaluates_stores() {
+        let db = db_with_blobs(200);
+        let report = train_in_db(
+            &db,
+            "SELECT x, y, label FROM pts",
+            &TrainOptions::default(),
+            Some("rf16"),
+        )
+        .unwrap();
+        assert!(report.accuracy > 0.95, "accuracy {}", report.accuracy);
+        assert_eq!(report.train_rows + report.test_rows, 200);
+        // The model is now in the models table, queryable by SQL.
+        let acc = db
+            .query_value("SELECT accuracy FROM models WHERE name = 'rf16'")
+            .unwrap();
+        assert!(acc.as_f64().unwrap() > 0.95);
+    }
+
+    #[test]
+    fn predict_in_db_applies_model() {
+        let db = db_with_blobs(100);
+        let report = train_in_db(
+            &db,
+            "SELECT x, y, label FROM pts",
+            &TrainOptions { algorithm: Algorithm::GaussianNb, ..Default::default() },
+            None,
+        )
+        .unwrap();
+        let pred = predict_in_db(&db, "SELECT x, y FROM pts", &report.model).unwrap();
+        assert_eq!(pred.len(), 100);
+        let labels = db.query("SELECT label FROM pts").unwrap();
+        let correct = (0..100)
+            .filter(|&i| pred.i64_at(i) == labels.column(0).i64_at(i))
+            .count();
+        assert!(correct > 95);
+    }
+
+    #[test]
+    fn every_algorithm_runs_through_the_pipeline() {
+        let db = db_with_blobs(120);
+        for algo in [
+            Algorithm::RandomForest { n_estimators: 4 },
+            Algorithm::DecisionTree { max_depth: Some(4) },
+            Algorithm::LogisticRegression { epochs: 100 },
+            Algorithm::GaussianNb,
+            Algorithm::Knn { k: 3 },
+        ] {
+            let report = train_in_db(
+                &db,
+                "SELECT x, y, label FROM pts",
+                &TrainOptions { algorithm: algo, ..Default::default() },
+                None,
+            )
+            .unwrap();
+            assert!(report.accuracy > 0.9, "{algo:?} accuracy {}", report.accuracy);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_training_queries() {
+        let db = db_with_blobs(10);
+        // Only one column: no features.
+        assert!(train_in_db(&db, "SELECT label FROM pts", &TrainOptions::default(), None)
+            .is_err());
+        // Labels are floats.
+        assert!(train_in_db(&db, "SELECT x, y FROM pts", &TrainOptions::default(), None)
+            .is_err());
+    }
+
+    #[test]
+    fn sql_preprocessing_feeds_training() {
+        // WHERE-clause cleaning + derived feature, all in SQL.
+        let db = db_with_blobs(100);
+        db.execute("INSERT INTO pts VALUES (NULL, 0.0, 10)").unwrap();
+        let report = train_in_db(
+            &db,
+            "SELECT x, y, x + y AS sum_xy, label FROM pts WHERE x IS NOT NULL",
+            &TrainOptions { algorithm: Algorithm::GaussianNb, ..Default::default() },
+            None,
+        )
+        .unwrap();
+        assert!(report.accuracy > 0.9);
+    }
+}

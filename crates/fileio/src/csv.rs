@@ -1,0 +1,350 @@
+//! CSV writing and fast CSV parsing.
+//!
+//! The format: comma-separated, one header row, `\n` line endings. Fields
+//! containing commas, quotes or newlines are double-quoted with `""`
+//! escaping. An empty unquoted field is NULL (quoted empty is an empty
+//! string). This matches what the paper's "optimized CSV parser" baseline
+//! has to do: scan text, split fields, convert every value from text.
+
+use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Schema, Value};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Writes a batch as CSV with a header row.
+pub fn write_csv(path: &Path, batch: &Batch) -> DbResult<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 20, file);
+    write_csv_to(&mut w, batch)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a batch as CSV to any writer.
+pub fn write_csv_to(w: &mut impl Write, batch: &Batch) -> DbResult<()> {
+    let mut line = String::with_capacity(256);
+    line.clear();
+    for (i, f) in batch.schema().fields().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        push_field(&mut line, &f.name);
+    }
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for r in 0..batch.rows() {
+        line.clear();
+        for (c, col) in batch.columns().iter().enumerate() {
+            if c > 0 {
+                line.push(',');
+            }
+            let v = col.value(r);
+            match &v {
+                Value::Null => {} // empty field
+                Value::Varchar(s) => push_field(&mut line, s),
+                other => line.push_str(&other.render()),
+            }
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn push_field(line: &mut String, s: &str) {
+    if s.is_empty() || s.contains([',', '"', '\n', '\r']) {
+        line.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                line.push('"');
+            }
+            line.push(ch);
+        }
+        line.push('"');
+    } else {
+        line.push_str(s);
+    }
+}
+
+/// Reads a CSV file into a batch, parsing values per the given schema.
+/// The header row is validated against the schema's column names.
+pub fn read_csv(path: &Path, schema: Arc<Schema>) -> DbResult<Batch> {
+    let file = std::fs::File::open(path)?;
+    read_csv_from(BufReader::with_capacity(1 << 20, file), schema)
+}
+
+/// Reads CSV from any reader.
+pub fn read_csv_from(reader: impl Read, schema: Arc<Schema>) -> DbResult<Batch> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    // Header.
+    if r.read_line(&mut line)? == 0 {
+        return Err(DbError::Corrupt("CSV file is empty (missing header)".into()));
+    }
+    let mut fields: Vec<(String, bool)> = Vec::new();
+    split_line(line.trim_end_matches(['\n', '\r']), &mut fields)?;
+    if fields.len() != schema.len() {
+        return Err(DbError::Shape(format!(
+            "CSV has {} columns, schema expects {}",
+            fields.len(),
+            schema.len()
+        )));
+    }
+    for ((name, _), f) in fields.iter().zip(schema.fields()) {
+        if !name.eq_ignore_ascii_case(&f.name) {
+            return Err(DbError::Corrupt(format!(
+                "CSV header column '{name}' does not match schema column '{}'",
+                f.name
+            )));
+        }
+    }
+
+    let mut builders: Vec<ColumnBuilder> =
+        schema.fields().iter().map(|f| ColumnBuilder::new(f.dtype)).collect();
+    let mut row_no = 1usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        row_no += 1;
+        split_line(trimmed, &mut fields)?;
+        if fields.len() != builders.len() {
+            return Err(DbError::Shape(format!(
+                "CSV row {row_no} has {} fields, expected {}",
+                fields.len(),
+                builders.len()
+            )));
+        }
+        for ((text, quoted), b) in fields.iter().zip(&mut builders) {
+            push_parsed(b, text, *quoted, row_no)?;
+        }
+    }
+    let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+    Batch::new(schema, columns)
+}
+
+/// Parses one field into the builder, using the builder's type directly
+/// (the "fast path": no intermediate `Value` for numeric columns).
+fn push_parsed(b: &mut ColumnBuilder, text: &str, quoted: bool, row: usize) -> DbResult<()> {
+    if text.is_empty() && !quoted {
+        b.push_null();
+        return Ok(());
+    }
+    let bad = |what: &str| {
+        DbError::Corrupt(format!("CSV row {row}: cannot parse '{text}' as {what}"))
+    };
+    match b.data_type() {
+        DataType::Int8 => b.push_value(&Value::Int8(text.parse().map_err(|_| bad("TINYINT"))?)),
+        DataType::Int16 => {
+            b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?))
+        }
+        DataType::Int32 => {
+            b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?))
+        }
+        DataType::Int64 => b.push_value(&Value::Int64(text.parse().map_err(|_| bad("BIGINT"))?)),
+        DataType::Float32 => {
+            b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?))
+        }
+        DataType::Float64 => {
+            b.push_value(&Value::Float64(text.parse().map_err(|_| bad("DOUBLE"))?))
+        }
+        DataType::Boolean => match text {
+            "true" | "t" | "1" => b.push_value(&Value::Boolean(true)),
+            "false" | "f" | "0" => b.push_value(&Value::Boolean(false)),
+            _ => Err(bad("BOOLEAN")),
+        },
+        DataType::Varchar => b.push_value(&Value::Varchar(text.to_owned())),
+        DataType::Blob => {
+            Err(DbError::Unsupported("BLOB columns in CSV".into()))
+        }
+    }
+}
+
+/// Splits one CSV line into `(field, was_quoted)` pairs.
+fn split_line(line: &str, out: &mut Vec<(String, bool)>) -> DbResult<()> {
+    out.clear();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    loop {
+        if i < bytes.len() && bytes[i] == b'"' {
+            // Quoted field.
+            let mut field = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(DbError::Corrupt("unterminated quoted CSV field".into()));
+                }
+                if bytes[i] == b'"' {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    // Take the full UTF-8 character.
+                    let ch = line[i..].chars().next().expect("in range");
+                    field.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            out.push((field, true));
+        } else {
+            // Unquoted field up to the next comma.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            out.push((line[start..i].to_owned(), false));
+        }
+        if i >= bytes.len() {
+            return Ok(());
+        }
+        if bytes[i] != b',' {
+            return Err(DbError::Corrupt(format!(
+                "malformed CSV: expected ',' at byte {i} of line"
+            )));
+        }
+        i += 1;
+        if i == bytes.len() {
+            // Trailing comma: final empty field.
+            out.push((String::new(), false));
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcs_columnar::{Column, Field};
+
+    fn sample() -> Batch {
+        Batch::from_columns(vec![
+            ("id", Column::from_i32s(vec![1, 2, 3])),
+            ("name", Column::from_strings(["plain", "has,comma", "has\"quote"])),
+            ("score", Column::from_opt_f64s(vec![Some(0.5), None, Some(-2.25)])),
+        ])
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mlcs_csv_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("roundtrip");
+        let batch = sample();
+        write_csv(&path, &batch).unwrap();
+        let back = read_csv(&path, batch.schema().clone()).unwrap();
+        assert_eq!(back, batch);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn null_vs_empty_string() {
+        let batch = Batch::from_columns(vec![(
+            "s",
+            Column::from_opt_f64s(vec![None]),
+        )])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &batch).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "s\n\n");
+        // Strings: empty string round-trips quoted, NULL as bare empty.
+        let sb = Batch::from_columns(vec![(
+            "t",
+            Column::from_strings([""]),
+        )])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &sb).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "t\n\"\"\n");
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let path = tmp("badheader");
+        write_csv(&path, &sample()).unwrap();
+        let wrong = Arc::new(
+            Schema::new(vec![
+                Field::new("nope", DataType::Int32),
+                Field::new("name", DataType::Varchar),
+                Field::new("score", DataType::Float64),
+            ])
+            .unwrap(),
+        );
+        assert!(matches!(read_csv(&path, wrong), Err(DbError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_values_reported_with_row() {
+        let schema = Arc::new(
+            Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap(),
+        );
+        let err = read_csv_from("x\n1\nzzz\n".as_bytes(), schema).unwrap_err();
+        match err {
+            DbError::Corrupt(m) => assert!(m.contains("row 3") && m.contains("zzz"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_fields_parse() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Varchar),
+                Field::new("b", DataType::Int32),
+            ])
+            .unwrap(),
+        );
+        let batch =
+            read_csv_from("a,b\n\"x,\"\"y\",7\n".as_bytes(), schema).unwrap();
+        assert_eq!(batch.row(0)[0], Value::Varchar("x,\"y".into()));
+        assert_eq!(batch.row(0)[1], Value::Int32(7));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Int32),
+            ])
+            .unwrap(),
+        );
+        assert!(read_csv_from("a,b\n1\n".as_bytes(), schema).is_err());
+    }
+
+    #[test]
+    fn empty_file_rejected_and_empty_batch_ok() {
+        let schema = Arc::new(
+            Schema::new(vec![Field::new("a", DataType::Int32)]).unwrap(),
+        );
+        assert!(read_csv_from("".as_bytes(), schema.clone()).is_err());
+        let batch = read_csv_from("a\n".as_bytes(), schema).unwrap();
+        assert_eq!(batch.rows(), 0);
+    }
+
+    #[test]
+    fn trailing_comma_is_trailing_null() {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int32),
+                Field::new("b", DataType::Int32),
+            ])
+            .unwrap(),
+        );
+        let batch = read_csv_from("a,b\n1,\n".as_bytes(), schema).unwrap();
+        assert!(batch.row(0)[1].is_null());
+    }
+}

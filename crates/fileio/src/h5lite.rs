@@ -1,0 +1,508 @@
+//! h5lite: a single-file chunked dataset container, HDF5-in-spirit.
+//!
+//! Layout:
+//!
+//! ```text
+//! +--------+----------------+-----------------+------------------+
+//! | MAGIC  | chunk data ... | table of contents| TOC offset (u64) |
+//! +--------+----------------+-----------------+------------------+
+//! ```
+//!
+//! Data chunks are written first (streaming); the table of contents —
+//! dataset names, dtypes, row counts, per-chunk offsets — lands at the
+//! end, with its offset in the final 8 bytes. Each chunk may be
+//! byte-shuffled (transposing the bytes of fixed-width values, the classic
+//! HDF5 shuffle filter that improves downstream compressibility); the
+//! reader undoes it. This reproduces the paper's PyTables/HDF5 baseline
+//! cost profile: one structured file, chunked reads, per-chunk decode.
+
+use mlcs_columnar::{
+    Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema,
+};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"H5LITE1\0";
+
+/// Rows per chunk (dataset elements, not bytes).
+pub const DEFAULT_CHUNK_ROWS: usize = 64 * 1024;
+
+/// Writer building an h5lite file dataset by dataset.
+pub struct H5LiteWriter {
+    file: std::io::BufWriter<std::fs::File>,
+    offset: u64,
+    toc: Vec<DatasetEntry>,
+    chunk_rows: usize,
+    shuffle: bool,
+}
+
+struct DatasetEntry {
+    name: String,
+    dtype: DataType,
+    rows: u64,
+    chunks: Vec<(u64, u64)>, // (offset, byte length)
+}
+
+impl H5LiteWriter {
+    /// Creates a new container file (truncating any existing one).
+    pub fn create(path: &Path) -> DbResult<H5LiteWriter> {
+        let mut file = std::io::BufWriter::with_capacity(1 << 20, std::fs::File::create(path)?);
+        file.write_all(MAGIC)?;
+        Ok(H5LiteWriter {
+            file,
+            offset: MAGIC.len() as u64,
+            toc: Vec::new(),
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            shuffle: true,
+        })
+    }
+
+    /// Sets the chunk size in rows.
+    pub fn with_chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows.max(1);
+        self
+    }
+
+    /// Disables the byte-shuffle filter.
+    pub fn without_shuffle(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    /// Appends one numeric column as a named dataset.
+    pub fn write_dataset(&mut self, name: &str, column: &Column) -> DbResult<()> {
+        if column.validity().is_some() {
+            return Err(DbError::Unsupported(
+                "h5lite datasets cannot represent NULLs".into(),
+            ));
+        }
+        if self.toc.iter().any(|d| d.name == name) {
+            return Err(DbError::AlreadyExists { kind: "dataset", name: name.to_owned() });
+        }
+        let width = fixed_width(column.data_type())?;
+        let mut entry = DatasetEntry {
+            name: name.to_owned(),
+            dtype: column.data_type(),
+            rows: column.len() as u64,
+            chunks: Vec::new(),
+        };
+        let mut start = 0usize;
+        let mut raw = Vec::new();
+        while start < column.len() {
+            let len = self.chunk_rows.min(column.len() - start);
+            raw.clear();
+            encode_values(column, start, len, &mut raw)?;
+            let payload = if self.shuffle { shuffle(&raw, width) } else { raw.clone() };
+            // Chunk header: flags byte (bit0 = shuffled) + row count.
+            let mut header = Vec::with_capacity(9);
+            header.push(self.shuffle as u8);
+            header.extend_from_slice(&(len as u64).to_le_bytes());
+            self.file.write_all(&header)?;
+            self.file.write_all(&payload)?;
+            entry
+                .chunks
+                .push((self.offset, (header.len() + payload.len()) as u64));
+            self.offset += (header.len() + payload.len()) as u64;
+            start += len;
+        }
+        self.toc.push(entry);
+        Ok(())
+    }
+
+    /// Writes every column of a batch as datasets named per the schema.
+    pub fn write_batch(&mut self, batch: &Batch) -> DbResult<()> {
+        for (f, c) in batch.schema().fields().iter().zip(batch.columns()) {
+            self.write_dataset(&f.name, c)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the file: writes the table of contents and its offset.
+    pub fn finish(mut self) -> DbResult<()> {
+        let toc_offset = self.offset;
+        let mut toc = Vec::new();
+        toc.extend_from_slice(&(self.toc.len() as u32).to_le_bytes());
+        for d in &self.toc {
+            toc.extend_from_slice(&(d.name.len() as u32).to_le_bytes());
+            toc.extend_from_slice(d.name.as_bytes());
+            toc.push(d.dtype.tag());
+            toc.extend_from_slice(&d.rows.to_le_bytes());
+            toc.extend_from_slice(&(d.chunks.len() as u32).to_le_bytes());
+            for &(off, len) in &d.chunks {
+                toc.extend_from_slice(&off.to_le_bytes());
+                toc.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        self.file.write_all(&toc)?;
+        self.file.write_all(&toc_offset.to_le_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Reader over an h5lite file.
+pub struct H5LiteReader {
+    file: std::fs::File,
+    toc: Vec<DatasetEntry>,
+}
+
+impl H5LiteReader {
+    /// Opens a container and reads its table of contents.
+    pub fn open(path: &Path) -> DbResult<H5LiteReader> {
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DbError::Corrupt(format!("{} is not an h5lite file", path.display())));
+        }
+        if len < 16 {
+            return Err(DbError::Corrupt("h5lite file too short".into()));
+        }
+        file.seek(SeekFrom::End(-8))?;
+        let mut off_bytes = [0u8; 8];
+        file.read_exact(&mut off_bytes)?;
+        let toc_offset = u64::from_le_bytes(off_bytes);
+        if toc_offset >= len {
+            return Err(DbError::Corrupt("h5lite TOC offset out of range".into()));
+        }
+        file.seek(SeekFrom::Start(toc_offset))?;
+        let mut toc_bytes = vec![0u8; (len - 8 - toc_offset) as usize];
+        file.read_exact(&mut toc_bytes)?;
+        let toc = parse_toc(&toc_bytes)?;
+        // Validate chunk extents against the file size so a corrupt TOC
+        // can neither over-allocate nor read out of range.
+        for d in &toc {
+            for &(off, clen) in &d.chunks {
+                if off.checked_add(clen).is_none_or(|end| end > toc_offset) {
+                    return Err(DbError::Corrupt(format!(
+                        "h5lite chunk [{off}, +{clen}) of '{}' out of range",
+                        d.name
+                    )));
+                }
+            }
+        }
+        Ok(H5LiteReader { file, toc })
+    }
+
+    /// Dataset names in file order.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.toc.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Reads one dataset fully.
+    pub fn read_dataset(&mut self, name: &str) -> DbResult<Column> {
+        let d = self
+            .toc
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| DbError::NotFound { kind: "dataset", name: name.to_owned() })?;
+        let width = fixed_width(d.dtype)?;
+        let mut raw = Vec::with_capacity(d.rows as usize * width);
+        let chunks = d.chunks.clone();
+        let dtype = d.dtype;
+        let expected_rows = d.rows;
+        let mut total_rows = 0u64;
+        for (off, len) in chunks {
+            self.file.seek(SeekFrom::Start(off))?;
+            let mut buf = vec![0u8; len as usize];
+            self.file.read_exact(&mut buf)?;
+            if buf.len() < 9 {
+                return Err(DbError::Corrupt("h5lite chunk too short".into()));
+            }
+            let shuffled = buf[0] & 1 != 0;
+            let rows = u64::from_le_bytes(buf[1..9].try_into().expect("8 bytes"));
+            let body = &buf[9..];
+            if body.len() != rows as usize * width {
+                return Err(DbError::Corrupt(format!(
+                    "h5lite chunk body {} bytes, expected {}",
+                    body.len(),
+                    rows as usize * width
+                )));
+            }
+            if shuffled {
+                raw.extend_from_slice(&unshuffle(body, width));
+            } else {
+                raw.extend_from_slice(body);
+            }
+            total_rows += rows;
+        }
+        if total_rows != expected_rows {
+            return Err(DbError::Corrupt(format!(
+                "h5lite dataset '{name}' has {total_rows} rows in chunks, TOC says {expected_rows}"
+            )));
+        }
+        decode_values(dtype, &raw)
+    }
+
+    /// Reads every dataset into a batch (columns in file order).
+    pub fn read_batch(&mut self) -> DbResult<Batch> {
+        let names: Vec<String> = self.toc.iter().map(|d| d.name.clone()).collect();
+        let mut fields = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(names.len());
+        for name in names {
+            let col = self.read_dataset(&name)?;
+            fields.push(Field::new(name, col.data_type()));
+            columns.push(Arc::new(col));
+        }
+        Batch::new(Arc::new(Schema::new_unchecked(fields)), columns)
+    }
+}
+
+fn parse_toc(bytes: &[u8]) -> DbResult<Vec<DatasetEntry>> {
+    let corrupt = || DbError::Corrupt("truncated h5lite table of contents".into());
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> DbResult<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(corrupt());
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let n_datasets = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    // Each dataset entry needs at least 17 bytes; reject counts the buffer
+    // cannot possibly hold (corrupt files must not trigger huge allocations).
+    if n_datasets > bytes.len() / 17 {
+        return Err(corrupt());
+    }
+    let mut toc = Vec::with_capacity(n_datasets);
+    for _ in 0..n_datasets {
+        let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if name_len > bytes.len() {
+            return Err(corrupt());
+        }
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| DbError::Corrupt("invalid UTF-8 in dataset name".into()))?
+            .to_owned();
+        let dtype = DataType::from_tag(take(&mut pos, 1)?[0])
+            .ok_or_else(|| DbError::Corrupt("unknown dtype tag in TOC".into()))?;
+        let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if n_chunks > (bytes.len() - pos.min(bytes.len())) / 16 {
+            return Err(corrupt());
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let off = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            chunks.push((off, len));
+        }
+        toc.push(DatasetEntry { name, dtype, rows, chunks });
+    }
+    Ok(toc)
+}
+
+fn fixed_width(dtype: DataType) -> DbResult<usize> {
+    Ok(match dtype {
+        DataType::Boolean | DataType::Int8 => 1,
+        DataType::Int16 => 2,
+        DataType::Int32 | DataType::Float32 => 4,
+        DataType::Int64 | DataType::Float64 => 8,
+        other => {
+            return Err(DbError::Unsupported(format!(
+                "h5lite holds fixed-width numeric data only, not {other}"
+            )))
+        }
+    })
+}
+
+fn encode_values(col: &Column, start: usize, len: usize, out: &mut Vec<u8>) -> DbResult<()> {
+    match col.data() {
+        ColumnData::Boolean(v) => out.extend(v[start..start + len].iter().map(|&b| b as u8)),
+        ColumnData::Int8(v) => out.extend(v[start..start + len].iter().map(|&x| x as u8)),
+        ColumnData::Int16(v) => {
+            for &x in &v[start..start + len] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Int32(v) => {
+            for &x in &v[start..start + len] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Int64(v) => {
+            for &x in &v[start..start + len] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Float32(v) => {
+            for &x in &v[start..start + len] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        ColumnData::Float64(v) => {
+            for &x in &v[start..start + len] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        _ => return Err(DbError::Unsupported("variable-width data in h5lite".into())),
+    }
+    Ok(())
+}
+
+fn decode_values(dtype: DataType, raw: &[u8]) -> DbResult<Column> {
+    let data = match dtype {
+        DataType::Boolean => ColumnData::Boolean(raw.iter().map(|&b| b != 0).collect()),
+        DataType::Int8 => ColumnData::Int8(raw.iter().map(|&b| b as i8).collect()),
+        DataType::Int16 => ColumnData::Int16(
+            raw.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Int32 => ColumnData::Int32(
+            raw.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Int64 => ColumnData::Int64(
+            raw.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Float32 => ColumnData::Float32(
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Float64 => ColumnData::Float64(
+            raw.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        other => return Err(DbError::Corrupt(format!("unexpected dtype {other} in h5lite"))),
+    };
+    Column::new(data, None)
+}
+
+/// Byte-shuffle: groups byte 0 of every value, then byte 1, etc.
+fn shuffle(raw: &[u8], width: usize) -> Vec<u8> {
+    if width <= 1 {
+        return raw.to_vec();
+    }
+    let n = raw.len() / width;
+    let mut out = vec![0u8; raw.len()];
+    for b in 0..width {
+        for i in 0..n {
+            out[b * n + i] = raw[i * width + b];
+        }
+    }
+    out
+}
+
+/// Inverse of [`shuffle`].
+fn unshuffle(shuffled: &[u8], width: usize) -> Vec<u8> {
+    if width <= 1 {
+        return shuffled.to_vec();
+    }
+    let n = shuffled.len() / width;
+    let mut out = vec![0u8; shuffled.len()];
+    for b in 0..width {
+        for i in 0..n {
+            out[i * width + b] = shuffled[b * n + i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcs_columnar::Value;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mlcs_h5_{tag}_{}.h5l", std::process::id()))
+    }
+
+    #[test]
+    fn shuffle_round_trip() {
+        let raw: Vec<u8> = (0..64).collect();
+        for width in [1, 2, 4, 8] {
+            assert_eq!(unshuffle(&shuffle(&raw, width), width), raw, "width {width}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_multi_chunk() {
+        let path = tmp("multichunk");
+        let col = Column::from_i32s((0..10_000).collect());
+        let f = Column::from_f64s((0..10_000).map(|i| i as f64 * 0.25).collect());
+        let mut w = H5LiteWriter::create(&path).unwrap().with_chunk_rows(1000);
+        w.write_dataset("ints", &col).unwrap();
+        w.write_dataset("floats", &f).unwrap();
+        w.finish().unwrap();
+        let mut r = H5LiteReader::open(&path).unwrap();
+        assert_eq!(r.dataset_names(), vec!["ints", "floats"]);
+        assert_eq!(r.read_dataset("ints").unwrap(), col);
+        assert_eq!(r.read_dataset("floats").unwrap(), f);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_round_trip_with_and_without_shuffle() {
+        for disable_shuffle in [false, true] {
+            let path = tmp(if disable_shuffle { "noshuf" } else { "shuf" });
+            let batch = Batch::from_columns(vec![
+                ("a", Column::from_i64s(vec![1, -2, 3])),
+                ("b", Column::from_f32s(vec![0.5, 1.5, -0.5])),
+            ])
+            .unwrap();
+            let mut w = H5LiteWriter::create(&path).unwrap();
+            if disable_shuffle {
+                w = w.without_shuffle();
+            }
+            w.write_batch(&batch).unwrap();
+            w.finish().unwrap();
+            let back = H5LiteReader::open(&path).unwrap().read_batch().unwrap();
+            assert_eq!(back.rows(), 3);
+            assert_eq!(back.row(1), vec![Value::Int64(-2), Value::Float32(1.5)]);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_dataset_ok() {
+        let path = tmp("empty");
+        let mut w = H5LiteWriter::create(&path).unwrap();
+        w.write_dataset("e", &Column::from_f64s(vec![])).unwrap();
+        w.finish().unwrap();
+        let mut r = H5LiteReader::open(&path).unwrap();
+        assert_eq!(r.read_dataset("e").unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicates_nulls_strings() {
+        let path = tmp("rejects");
+        let mut w = H5LiteWriter::create(&path).unwrap();
+        w.write_dataset("x", &Column::from_i32s(vec![1])).unwrap();
+        assert!(w.write_dataset("x", &Column::from_i32s(vec![2])).is_err());
+        assert!(w
+            .write_dataset("n", &Column::from_opt_i32s(vec![None]))
+            .is_err());
+        assert!(w.write_dataset("s", &Column::from_strings(["x"])).is_err());
+        w.finish().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let path = tmp("corrupt");
+        let mut w = H5LiteWriter::create(&path).unwrap();
+        w.write_dataset("x", &Column::from_i64s((0..100).collect())).unwrap();
+        w.finish().unwrap();
+        // Truncate the file: TOC offset now points past the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(H5LiteReader::open(&path).is_err());
+        // Not even the magic.
+        std::fs::write(&path, b"short").unwrap();
+        assert!(H5LiteReader::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_dataset_reported() {
+        let path = tmp("missing");
+        let mut w = H5LiteWriter::create(&path).unwrap();
+        w.write_dataset("present", &Column::from_i32s(vec![1])).unwrap();
+        w.finish().unwrap();
+        let mut r = H5LiteReader::open(&path).unwrap();
+        assert!(matches!(
+            r.read_dataset("absent"),
+            Err(DbError::NotFound { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

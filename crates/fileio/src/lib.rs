@@ -1,0 +1,24 @@
+//! # mlcs-fileio — file-format baselines
+//!
+//! The data-loading alternatives the paper's evaluation compares the
+//! in-database pipeline against (Figure 1):
+//!
+//! * [`csv`] — structured text with a fast parser. Loading pays text
+//!   parsing and type conversion per value.
+//! * [`npy`] — per-column binary files in the spirit of NumPy's `.npy`:
+//!   a tiny header and raw little-endian values, one file per column
+//!   (the paper notes the 96-files-per-dataset management burden).
+//! * [`h5lite`] — a single-file chunked container in the spirit of HDF5:
+//!   one table of contents, per-dataset chunk directories, optional
+//!   byte-shuffle filter.
+//!
+//! All three read/write `mlcs-columnar` batches, so the voter pipeline can
+//! run identically over any source.
+
+pub mod csv;
+pub mod h5lite;
+pub mod npy;
+
+pub use csv::{read_csv, write_csv};
+pub use h5lite::{H5LiteReader, H5LiteWriter};
+pub use npy::{read_npy_dir, write_npy_dir};

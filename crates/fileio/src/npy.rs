@@ -1,0 +1,268 @@
+//! Per-column binary files, NumPy-`.npy` style.
+//!
+//! Each column is one file: a small header (magic, dtype tag, row count)
+//! followed by raw little-endian values. A directory of such files plus a
+//! `columns.manifest` file stores a whole dataset — exactly the layout the
+//! paper's NumPy baseline uses ("each of the 96 columns is stored as a
+//! separate file on disk"). Loading is nearly a straight memcpy, which is
+//! why this baseline is fast but operationally awkward.
+
+use mlcs_columnar::{
+    Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema,
+};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"MLNPY1\0\0";
+
+/// Writes one numeric/boolean column to a file.
+pub fn write_npy_column(path: &Path, column: &Column) -> DbResult<()> {
+    if column.validity().is_some() {
+        return Err(DbError::Unsupported(
+            "NPY files cannot represent NULLs; clean the column first".into(),
+        ));
+    }
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&[column.data_type().tag()])?;
+    w.write_all(&(column.len() as u64).to_le_bytes())?;
+    match column.data() {
+        ColumnData::Boolean(v) => {
+            for &b in v {
+                w.write_all(&[b as u8])?;
+            }
+        }
+        ColumnData::Int8(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Int16(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Int32(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Int64(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Float32(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Float64(v) => {
+            for &x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Varchar(_) | ColumnData::Blob(_) => {
+            return Err(DbError::Unsupported(
+                "NPY files hold fixed-width numeric data only".into(),
+            ))
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one column file written by [`write_npy_column`].
+pub fn read_npy_column(path: &Path) -> DbResult<Column> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 17 || &bytes[..8] != MAGIC {
+        return Err(DbError::Corrupt(format!("{} is not an MLNPY file", path.display())));
+    }
+    let dtype = DataType::from_tag(bytes[8])
+        .ok_or_else(|| DbError::Corrupt(format!("unknown dtype tag {}", bytes[8])))?;
+    let rows = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes")) as usize;
+    let body = &bytes[17..];
+    let width = match dtype {
+        DataType::Boolean | DataType::Int8 => 1,
+        DataType::Int16 => 2,
+        DataType::Int32 | DataType::Float32 => 4,
+        DataType::Int64 | DataType::Float64 => 8,
+        _ => return Err(DbError::Corrupt("variable-width dtype in NPY file".into())),
+    };
+    if body.len() != rows * width {
+        return Err(DbError::Corrupt(format!(
+            "{}: body is {} bytes, expected {} ({} rows x {width})",
+            path.display(),
+            body.len(),
+            rows * width,
+            rows
+        )));
+    }
+    let data = match dtype {
+        DataType::Boolean => ColumnData::Boolean(body.iter().map(|&b| b != 0).collect()),
+        DataType::Int8 => ColumnData::Int8(body.iter().map(|&b| b as i8).collect()),
+        DataType::Int16 => ColumnData::Int16(
+            body.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Int32 => ColumnData::Int32(
+            body.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Int64 => ColumnData::Int64(
+            body.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Float32 => ColumnData::Float32(
+            body.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        DataType::Float64 => ColumnData::Float64(
+            body.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+        ),
+        _ => unreachable!("checked above"),
+    };
+    Column::new(data, None)
+}
+
+/// Writes every column of a batch into `dir` (one file per column) plus a
+/// `columns.manifest` listing names in order.
+pub fn write_npy_dir(dir: &Path, batch: &Batch) -> DbResult<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = String::new();
+    for (f, col) in batch.schema().fields().iter().zip(batch.columns()) {
+        write_npy_column(&dir.join(format!("{}.mlnpy", f.name)), col)?;
+        manifest.push_str(&f.name);
+        manifest.push('\n');
+    }
+    std::fs::write(dir.join("columns.manifest"), manifest)?;
+    Ok(())
+}
+
+/// Reads a directory written by [`write_npy_dir`] back into a batch.
+pub fn read_npy_dir(dir: &Path) -> DbResult<Batch> {
+    let manifest = std::fs::read_to_string(dir.join("columns.manifest"))?;
+    let names: Vec<&str> = manifest.lines().filter(|l| !l.is_empty()).collect();
+    let mut fields = Vec::with_capacity(names.len());
+    let mut columns = Vec::with_capacity(names.len());
+    for name in names {
+        let col = read_npy_column(&dir.join(format!("{name}.mlnpy")))?;
+        fields.push(Field::new(name, col.data_type()));
+        columns.push(Arc::new(col));
+    }
+    Batch::new(Arc::new(Schema::new_unchecked(fields)), columns)
+}
+
+/// Streaming variant of [`read_npy_column`] for very large files; reads
+/// through a `BufReader` instead of loading the whole file into memory
+/// first.
+pub fn read_npy_column_streaming(path: &Path) -> DbResult<Column> {
+    let mut r = std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(path)?);
+    let mut header = [0u8; 17];
+    r.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(DbError::Corrupt(format!("{} is not an MLNPY file", path.display())));
+    }
+    let dtype = DataType::from_tag(header[8])
+        .ok_or_else(|| DbError::Corrupt(format!("unknown dtype tag {}", header[8])))?;
+    let rows = u64::from_le_bytes(header[9..17].try_into().expect("8 bytes")) as usize;
+    match dtype {
+        DataType::Float64 => {
+            let mut out = vec![0f64; rows];
+            let mut buf = [0u8; 8];
+            for v in &mut out {
+                r.read_exact(&mut buf)?;
+                *v = f64::from_le_bytes(buf);
+            }
+            Column::new(ColumnData::Float64(out), None)
+        }
+        DataType::Int32 => {
+            let mut out = vec![0i32; rows];
+            let mut buf = [0u8; 4];
+            for v in &mut out {
+                r.read_exact(&mut buf)?;
+                *v = i32::from_le_bytes(buf);
+            }
+            Column::new(ColumnData::Int32(out), None)
+        }
+        _ => read_npy_column(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcs_columnar::Value;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mlcs_npy_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn column_round_trip_all_numeric_types() {
+        let d = tmpdir("types");
+        let cols = [Column::from_bools(vec![true, false, true]),
+            Column::from_i8s(vec![-1, 0, 1]),
+            Column::from_i16s(vec![-300, 0, 300]),
+            Column::from_i32s(vec![i32::MIN, 0, i32::MAX]),
+            Column::from_i64s(vec![i64::MIN, 0, i64::MAX]),
+            Column::from_f32s(vec![-1.5, 0.0, 1.5]),
+            Column::from_f64s(vec![f64::MIN, 0.0, f64::MAX])];
+        for (i, c) in cols.iter().enumerate() {
+            let p = d.join(format!("c{i}.mlnpy"));
+            write_npy_column(&p, c).unwrap();
+            assert_eq!(&read_npy_column(&p).unwrap(), c, "column {i}");
+        }
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn dir_round_trip() {
+        let d = tmpdir("dir");
+        let batch = Batch::from_columns(vec![
+            ("age", Column::from_i32s(vec![20, 30, 40])),
+            ("score", Column::from_f64s(vec![0.1, 0.2, 0.3])),
+        ])
+        .unwrap();
+        write_npy_dir(&d, &batch).unwrap();
+        assert!(d.join("age.mlnpy").exists());
+        assert!(d.join("score.mlnpy").exists());
+        let back = read_npy_dir(&d).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.row(1), vec![Value::Int32(30), Value::Float64(0.2)]);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn nulls_and_strings_rejected() {
+        let d = tmpdir("reject");
+        let nullable = Column::from_opt_i32s(vec![Some(1), None]);
+        assert!(write_npy_column(&d.join("n.mlnpy"), &nullable).is_err());
+        let strings = Column::from_strings(["x"]);
+        assert!(write_npy_column(&d.join("s.mlnpy"), &strings).is_err());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let d = tmpdir("trunc");
+        let p = d.join("t.mlnpy");
+        write_npy_column(&p, &Column::from_i64s(vec![1, 2, 3])).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(read_npy_column(&p), Err(DbError::Corrupt(_))));
+        std::fs::write(&p, b"garbage").unwrap();
+        assert!(read_npy_column(&p).is_err());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let d = tmpdir("stream");
+        let p = d.join("s.mlnpy");
+        let col = Column::from_f64s((0..1000).map(|i| i as f64 * 0.5).collect());
+        write_npy_column(&p, &col).unwrap();
+        assert_eq!(read_npy_column_streaming(&p).unwrap(), col);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

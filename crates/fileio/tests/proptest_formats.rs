@@ -1,0 +1,125 @@
+//! Property tests over the file formats: round trips are exact for
+//! arbitrary data; readers reject garbage without panicking.
+
+use mlcs_columnar::{Batch, Column, DataType, Field, Schema};
+use mlcs_fileio::csv::{read_csv_from, write_csv_to};
+use mlcs_fileio::h5lite::{H5LiteReader, H5LiteWriter};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tempfile(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mlcs_pf_{tag}_{}_{case}.bin",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSV round trip is exact for mixed nullable columns, including
+    /// strings full of separators, quotes, and unicode.
+    #[test]
+    fn csv_round_trip(
+        ints in proptest::collection::vec(proptest::option::of(any::<i32>()), 1..40),
+        texts in proptest::collection::vec(proptest::option::of(".{0,20}"), 1..40),
+    ) {
+        let n = ints.len().min(texts.len());
+        // CSV cannot carry carriage returns / newlines inside our writer's
+        // row-per-line format round trip when the reader strips them; the
+        // writer quotes them, and the reader handles quoted content —
+        // except bare CR at line ends. Filter those edge characters.
+        let texts: Vec<Option<String>> = texts[..n]
+            .iter()
+            .map(|t| t.clone().map(|s| s.replace(['\r', '\n'], "·")))
+            .collect();
+        let batch = Batch::from_columns(vec![
+            ("i", Column::from_opt_i32s(ints[..n].to_vec())),
+            (
+                "s",
+                {
+                    let mut b = mlcs_columnar::ColumnBuilder::new(DataType::Varchar);
+                    for t in &texts {
+                        match t {
+                            None => b.push_null(),
+                            Some(s) => b
+                                .push_value(&mlcs_columnar::Value::Varchar(s.clone()))
+                                .unwrap(),
+                        }
+                    }
+                    b.finish()
+                },
+            ),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &batch).unwrap();
+        let schema = Arc::new(
+            Schema::new(vec![
+                Field::new("i", DataType::Int32),
+                Field::new("s", DataType::Varchar),
+            ])
+            .unwrap(),
+        );
+        let back = read_csv_from(buf.as_slice(), schema).unwrap();
+        prop_assert_eq!(back.rows(), n);
+        for r in 0..n {
+            prop_assert_eq!(back.row(r), batch.row(r), "row {}", r);
+        }
+    }
+
+    /// CSV reader never panics on arbitrary input bytes.
+    #[test]
+    fn csv_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let schema = Arc::new(
+            Schema::new(vec![Field::new("a", DataType::Int32)]).unwrap(),
+        );
+        let _ = read_csv_from(bytes.as_slice(), schema);
+    }
+
+    /// h5lite round trip is exact for arbitrary float columns and chunk
+    /// sizes.
+    #[test]
+    fn h5lite_round_trip(
+        values in proptest::collection::vec(any::<f64>(), 0..500),
+        chunk in 1usize..200,
+        case in any::<u64>(),
+    ) {
+        let path = tempfile("h5", case);
+        let col = Column::from_f64s(values.clone());
+        let mut w = H5LiteWriter::create(&path).unwrap().with_chunk_rows(chunk);
+        w.write_dataset("d", &col).unwrap();
+        w.finish().unwrap();
+        let back = H5LiteReader::open(&path).unwrap().read_dataset("d").unwrap();
+        let back_vals = back.f64s().unwrap();
+        prop_assert_eq!(back_vals.len(), values.len());
+        for (a, b) in back_vals.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// h5lite reader never panics on arbitrary file contents.
+    #[test]
+    fn h5lite_reader_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        case in any::<u64>(),
+    ) {
+        let path = tempfile("h5fuzz", case);
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = H5LiteReader::open(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// npy column reader never panics on arbitrary file contents.
+    #[test]
+    fn npy_reader_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        case in any::<u64>(),
+    ) {
+        let path = tempfile("npyfuzz", case);
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = mlcs_fileio::npy::read_npy_column(&path);
+        std::fs::remove_file(&path).ok();
+    }
+}

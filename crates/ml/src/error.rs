@@ -1,0 +1,77 @@
+//! Error type for the ML library.
+
+use std::fmt;
+
+/// Errors raised by model fitting, prediction, and serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Input shapes disagree (row counts, feature counts, label lengths).
+    Shape(String),
+    /// Invalid hyperparameter.
+    InvalidParam {
+        /// Parameter name.
+        param: &'static str,
+        /// Why it is invalid.
+        message: String,
+    },
+    /// `predict` before `fit`.
+    NotFitted,
+    /// A label was out of the declared class range.
+    BadLabel {
+        /// The offending label.
+        label: u32,
+        /// Declared class count.
+        n_classes: usize,
+    },
+    /// Training data was unusable (e.g. empty, all-NaN).
+    BadData(String),
+    /// Model (de)serialization failed.
+    Serde(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(m) => write!(f, "shape mismatch: {m}"),
+            MlError::InvalidParam { param, message } => {
+                write!(f, "invalid parameter '{param}': {message}")
+            }
+            MlError::NotFitted => write!(f, "model is not fitted; call fit() first"),
+            MlError::BadLabel { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            MlError::BadData(m) => write!(f, "bad training data: {m}"),
+            MlError::Serde(m) => write!(f, "model serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<mlcs_pickle::PickleError> for MlError {
+    fn from(e: mlcs_pickle::PickleError) -> Self {
+        MlError::Serde(e.to_string())
+    }
+}
+
+/// Result alias for the ML library.
+pub type MlResult<T> = Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(MlError::NotFitted.to_string().contains("fit()"));
+        let e = MlError::BadLabel { label: 7, n_classes: 2 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn pickle_errors_convert() {
+        let pe = mlcs_pickle::PickleError::InvalidUtf8;
+        let e: MlError = pe.into();
+        assert!(matches!(e, MlError::Serde(_)));
+    }
+}

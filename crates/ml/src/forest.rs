@@ -1,0 +1,405 @@
+//! Random forest: bagged CART trees with feature subsampling, fitted in
+//! parallel. This is the model the paper trains inside the database
+//! (`RandomForestClassifier(n_estimators)` in Listing 1).
+
+use crate::dataset::{validate_fit_inputs, Matrix};
+use crate::error::{MlError, MlResult};
+use crate::tree::{DecisionTreeClassifier, MaxFeatures};
+use crate::Classifier;
+use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-forest classifier.
+///
+/// Each tree is fitted on a bootstrap sample (with replacement) of the
+/// training rows, considering `sqrt(n_features)` features per split.
+/// Probability predictions average the per-tree leaf distributions
+/// (soft voting, like scikit-learn).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestClassifier {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Depth bound applied to every tree.
+    pub max_depth: Option<usize>,
+    /// Minimum samples to split, applied to every tree.
+    pub min_samples_split: usize,
+    /// Features per split.
+    pub max_features: MaxFeatures,
+    /// Fit trees on bootstrap samples (true, the default) or the full set.
+    pub bootstrap: bool,
+    /// Worker threads for fitting (0 = use available parallelism).
+    pub n_jobs: usize,
+    seed: u64,
+    trees: Vec<DecisionTreeClassifier>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForestClassifier {
+    /// A forest with `n_estimators` trees and library defaults.
+    pub fn new(n_estimators: usize) -> Self {
+        RandomForestClassifier {
+            n_estimators,
+            max_depth: None,
+            min_samples_split: 2,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            n_jobs: 0,
+            seed: 0,
+            trees: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Sets the RNG seed for reproducible forests.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bounds every tree's depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Sets the worker-thread count (0 = available parallelism).
+    pub fn with_n_jobs(mut self, jobs: usize) -> Self {
+        self.n_jobs = jobs;
+        self
+    }
+
+    /// The fitted trees.
+    pub fn trees(&self) -> &[DecisionTreeClassifier] {
+        &self.trees
+    }
+
+    /// Per-row confidence: the probability of the predicted class. This is
+    /// what ensemble selection by "highest confidence" (paper §3.3) uses.
+    pub fn confidence(&self, x: &Matrix) -> MlResult<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|r| p.row(r).iter().cloned().fold(0.0, f64::max))
+            .collect())
+    }
+
+    /// Mean split-usage feature importances across trees.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for t in &self.trees {
+            for (i, v) in t.feature_importances().iter().enumerate() {
+                imp[i] += v;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        validate_fit_inputs(x, y, n_classes)?;
+        if self.n_estimators == 0 {
+            return Err(MlError::InvalidParam {
+                param: "n_estimators",
+                message: "need at least one tree".into(),
+            });
+        }
+        self.n_classes = n_classes;
+        self.n_features = x.cols();
+
+        // Derive independent per-tree seeds from the master seed.
+        let mut seeder = StdRng::seed_from_u64(self.seed);
+        let tree_seeds: Vec<u64> = (0..self.n_estimators).map(|_| seeder.gen()).collect();
+
+        let jobs = if self.n_jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.n_jobs
+        }
+        .min(self.n_estimators)
+        .max(1);
+
+        let fit_one = |seed: u64| -> MlResult<DecisionTreeClassifier> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut tree = DecisionTreeClassifier::new()
+                .with_max_features(self.max_features)
+                .with_seed(rng.gen());
+            tree.max_depth = self.max_depth;
+            tree.min_samples_split = self.min_samples_split;
+            if self.bootstrap {
+                let n = x.rows();
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let bx = x.take_rows(&idx);
+                let by: Vec<u32> = idx.iter().map(|&i| y[i]).collect();
+                tree.fit(&bx, &by, n_classes)?;
+            } else {
+                tree.fit(x, y, n_classes)?;
+            }
+            Ok(tree)
+        };
+
+        if jobs == 1 {
+            self.trees = tree_seeds.iter().map(|&s| fit_one(s)).collect::<MlResult<_>>()?;
+            return Ok(());
+        }
+
+        // Parallel fit: a shared counter hands out tree indices; results
+        // come back over a channel tagged with their slot.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) =
+            crossbeam::channel::unbounded::<(usize, MlResult<DecisionTreeClassifier>)>();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let tree_seeds = &tree_seeds;
+                let fit_one = &fit_one;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= tree_seeds.len() {
+                        break;
+                    }
+                    if tx.send((i, fit_one(tree_seeds[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+        })
+        .map_err(|_| MlError::BadData("forest fitting worker panicked".into()))?;
+        drop(tx);
+        let mut slots: Vec<Option<DecisionTreeClassifier>> = vec![None; self.n_estimators];
+        for (i, res) in rx {
+            slots[i] = Some(res?);
+        }
+        self.trees = slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| MlError::BadData("missing tree after parallel fit".into())))
+            .collect::<MlResult<_>>()?;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        Ok(crate::argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "model trained on {} features, input has {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        let mut sum = Matrix::zeros(x.rows(), self.n_classes);
+        for tree in &self.trees {
+            let p = tree.predict_proba(x)?;
+            for r in 0..x.rows() {
+                for c in 0..self.n_classes {
+                    sum.set(r, c, sum.get(r, c) + p.get(r, c));
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        for r in 0..x.rows() {
+            for c in 0..self.n_classes {
+                sum.set(r, c, sum.get(r, c) / k);
+            }
+        }
+        Ok(sum)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Pickle for RandomForestClassifier {
+    const CLASS_NAME: &'static str = "RandomForestClassifier";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_varint(self.n_estimators as u64);
+        w.put_varint(self.max_depth.map(|d| d as u64 + 1).unwrap_or(0));
+        w.put_varint(self.min_samples_split as u64);
+        match self.max_features {
+            MaxFeatures::All => w.put_u8(0),
+            MaxFeatures::Sqrt => w.put_u8(1),
+            MaxFeatures::Count(n) => {
+                w.put_u8(2);
+                w.put_varint(n as u64);
+            }
+        }
+        w.put_bool(self.bootstrap);
+        w.put_u64(self.seed);
+        w.put_varint(self.n_classes as u64);
+        w.put_varint(self.n_features as u64);
+        w.put_varint(self.trees.len() as u64);
+        for t in &self.trees {
+            t.pickle_body(w);
+        }
+    }
+
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let n_estimators = r.get_varint()? as usize;
+        let max_depth = match r.get_varint()? {
+            0 => None,
+            d => Some((d - 1) as usize),
+        };
+        let min_samples_split = r.get_varint()? as usize;
+        let max_features = match r.get_u8()? {
+            0 => MaxFeatures::All,
+            1 => MaxFeatures::Sqrt,
+            2 => MaxFeatures::Count(r.get_varint()? as usize),
+            tag => return Err(PickleError::InvalidTag { tag, context: "MaxFeatures" }),
+        };
+        let bootstrap = r.get_bool()?;
+        let seed = r.get_u64()?;
+        let n_classes = r.get_varint()? as usize;
+        let n_features = r.get_varint()? as usize;
+        let n_trees = r.get_count(8)?;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            trees.push(DecisionTreeClassifier::unpickle_body(r)?);
+        }
+        Ok(RandomForestClassifier {
+            n_estimators,
+            max_depth,
+            min_samples_split,
+            max_features,
+            bootstrap,
+            n_jobs: 0,
+            seed,
+            trees,
+            n_classes,
+            n_features,
+        })
+    }
+
+    fn size_hint(&self) -> usize {
+        64 + self.trees.iter().map(Pickle::size_hint).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two Gaussian-ish blobs, one per class.
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as u32;
+            let center = if cls == 0 { -2.0 } else { 2.0 };
+            rows.push([
+                center + rng.gen_range(-1.0..1.0),
+                center + rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(cls);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn separable_blobs_classified() {
+        let (x, y) = blobs(200, 1);
+        let mut rf = RandomForestClassifier::new(16).with_seed(42);
+        rf.fit(&x, &y, 2).unwrap();
+        let (tx, ty) = blobs(100, 2);
+        let pred = rf.predict(&tx).unwrap();
+        let acc = crate::metrics::accuracy(&ty, &pred).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_regardless_of_jobs() {
+        let (x, y) = blobs(100, 3);
+        let mut a = RandomForestClassifier::new(8).with_seed(7).with_n_jobs(1);
+        let mut b = RandomForestClassifier::new(8).with_seed(7).with_n_jobs(4);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(a.trees(), b.trees());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = blobs(100, 3);
+        let mut a = RandomForestClassifier::new(4).with_seed(1);
+        let mut b = RandomForestClassifier::new(4).with_seed(2);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_ne!(a.trees(), b.trees());
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, y) = blobs(60, 4);
+        let mut rf = RandomForestClassifier::new(5).with_seed(0);
+        rf.fit(&x, &y, 2).unwrap();
+        let p = rf.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn confidence_bounded() {
+        let (x, y) = blobs(60, 5);
+        let mut rf = RandomForestClassifier::new(5).with_seed(0);
+        rf.fit(&x, &y, 2).unwrap();
+        for c in rf.confidence(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn pickle_round_trip_preserves_predictions() {
+        let (x, y) = blobs(80, 6);
+        let mut rf = RandomForestClassifier::new(6).with_seed(9);
+        rf.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&rf);
+        let back: RandomForestClassifier = mlcs_pickle::unpickle(&blob).unwrap();
+        assert_eq!(back.predict(&x).unwrap(), rf.predict(&x).unwrap());
+        assert_eq!(back, rf);
+    }
+
+    #[test]
+    fn misuse_errors() {
+        let rf = RandomForestClassifier::new(4);
+        let x = Matrix::from_rows(&[[0.0, 0.0]]).unwrap();
+        assert_eq!(rf.predict(&x).unwrap_err(), MlError::NotFitted);
+        let mut rf = RandomForestClassifier::new(0);
+        let (xx, yy) = blobs(10, 0);
+        assert!(matches!(rf.fit(&xx, &yy, 2), Err(MlError::InvalidParam { .. })));
+    }
+
+    #[test]
+    fn more_trees_monotone_blob_accuracy() {
+        // Not a strict law, but on easy data a bigger forest should not be
+        // dramatically worse — sanity check the ensemble averaging.
+        let (x, y) = blobs(300, 11);
+        let (tx, ty) = blobs(200, 12);
+        let acc = |n: usize| {
+            let mut rf = RandomForestClassifier::new(n).with_seed(5);
+            rf.fit(&x, &y, 2).unwrap();
+            crate::metrics::accuracy(&ty, &rf.predict(&tx).unwrap()).unwrap()
+        };
+        assert!(acc(32) + 0.05 >= acc(1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Brute-force k-nearest-neighbors classification.
+
+use crate::dataset::{validate_fit_inputs, Matrix};
+use crate::error::{MlError, MlResult};
+use crate::Classifier;
+use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
+
+/// k-nearest-neighbors with Euclidean distance and majority voting
+/// (distance-weighted on request).
+///
+/// "Training" stores the dataset, so pickled kNN models embed their
+/// training data — the worst case for the model-serialization overhead the
+/// paper's §5.1 discusses, which makes kNN a useful extreme in the
+/// serialization benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KNearestNeighbors {
+    /// Neighbor count.
+    pub k: usize,
+    /// Weight votes by inverse distance instead of uniformly.
+    pub distance_weighted: bool,
+    x: Option<Matrix>,
+    y: Vec<u32>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// A classifier with `k` neighbors, uniform voting.
+    pub fn new(k: usize) -> Self {
+        KNearestNeighbors { k, distance_weighted: false, x: None, y: Vec::new(), n_classes: 0 }
+    }
+
+    /// Enables inverse-distance vote weighting.
+    pub fn weighted(mut self) -> Self {
+        self.distance_weighted = true;
+        self
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        validate_fit_inputs(x, y, n_classes)?;
+        if self.k == 0 {
+            return Err(MlError::InvalidParam { param: "k", message: "must be >= 1".into() });
+        }
+        if self.k > x.rows() {
+            return Err(MlError::InvalidParam {
+                param: "k",
+                message: format!("k={} exceeds {} training rows", self.k, x.rows()),
+            });
+        }
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        Ok(crate::argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        let train = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(MlError::Shape(format!(
+                "model trained on {} features, input has {}",
+                train.cols(),
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let mut dists: Vec<(f64, u32)> = Vec::with_capacity(train.rows());
+        for r in 0..x.rows() {
+            let q = x.row(r);
+            dists.clear();
+            for t in 0..train.rows() {
+                let mut d2 = 0.0;
+                for (a, b) in q.iter().zip(train.row(t)) {
+                    let d = a - b;
+                    d2 += d * d;
+                }
+                dists.push((d2, self.y[t]));
+            }
+            // Partial selection of the k smallest distances.
+            dists.select_nth_unstable_by(self.k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("distances are finite")
+            });
+            let mut votes = vec![0.0; self.n_classes];
+            for &(d2, cls) in &dists[..self.k] {
+                let w = if self.distance_weighted { 1.0 / (d2.sqrt() + 1e-12) } else { 1.0 };
+                votes[cls as usize] += w;
+            }
+            let total: f64 = votes.iter().sum();
+            for (c, v) in votes.iter().enumerate() {
+                out.set(r, c, v / total);
+            }
+        }
+        Ok(out)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.x.as_ref().map_or(0, Matrix::cols)
+    }
+}
+
+impl Pickle for KNearestNeighbors {
+    const CLASS_NAME: &'static str = "KNearestNeighbors";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_varint(self.k as u64);
+        w.put_bool(self.distance_weighted);
+        w.put_varint(self.n_classes as u64);
+        match &self.x {
+            None => w.put_bool(false),
+            Some(m) => {
+                w.put_bool(true);
+                m.pickle_body(w);
+                w.put_u32_slice(&self.y);
+            }
+        }
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let k = r.get_varint()? as usize;
+        let distance_weighted = r.get_bool()?;
+        let n_classes = r.get_varint()? as usize;
+        let fitted = r.get_bool()?;
+        let (x, y) = if fitted {
+            let m = Matrix::unpickle_body(r)?;
+            let y = r.get_u32_vec()?;
+            if y.len() != m.rows() {
+                return Err(PickleError::Invalid("label count != row count".into()));
+            }
+            (Some(m), y)
+        } else {
+            (None, Vec::new())
+        };
+        Ok(KNearestNeighbors { k, distance_weighted, x, y, n_classes })
+    }
+    fn size_hint(&self) -> usize {
+        32 + self.x.as_ref().map_or(0, |m| m.as_slice().len() * 8 + self.y.len() * 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Matrix, Vec<u32>) {
+        let x = Matrix::from_rows(&[
+            [0.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 0.0],
+            [10.0, 10.0],
+            [10.0, 11.0],
+            [11.0, 10.0],
+        ])
+        .unwrap();
+        (x, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let (x, y) = data();
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y, 2).unwrap();
+        let pred = knn
+            .predict(&Matrix::from_rows(&[[0.5, 0.5], [10.5, 10.5]]).unwrap())
+            .unwrap();
+        assert_eq!(pred, vec![0, 1]);
+    }
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let (x, y) = data();
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y, 2).unwrap();
+        assert_eq!(knn.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn distance_weighting_breaks_ties() {
+        // Two class-1 points far away, one class-0 point very close; k=3
+        // uniform votes 2:1 for class 1, weighted votes for class 0.
+        let x = Matrix::from_rows(&[[0.1], [5.0], [5.1]]).unwrap();
+        let y = vec![0, 1, 1];
+        let q = Matrix::from_rows(&[[0.0]]).unwrap();
+        let mut uniform = KNearestNeighbors::new(3);
+        uniform.fit(&x, &y, 2).unwrap();
+        assert_eq!(uniform.predict(&q).unwrap(), vec![1]);
+        let mut weighted = KNearestNeighbors::new(3).weighted();
+        weighted.fit(&x, &y, 2).unwrap();
+        assert_eq!(weighted.predict(&q).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let (x, y) = data();
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y, 2).unwrap();
+        let p = knn.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_k() {
+        let (x, y) = data();
+        assert!(KNearestNeighbors::new(0).fit(&x, &y, 2).is_err());
+        assert!(KNearestNeighbors::new(7).fit(&x, &y, 2).is_err());
+    }
+
+    #[test]
+    fn pickle_round_trip_includes_training_set() {
+        let (x, y) = data();
+        let mut knn = KNearestNeighbors::new(2).weighted();
+        knn.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&knn);
+        let back: KNearestNeighbors = mlcs_pickle::unpickle(&blob).unwrap();
+        assert_eq!(back, knn);
+        assert_eq!(back.predict(&x).unwrap(), knn.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn not_fitted() {
+        let knn = KNearestNeighbors::new(1);
+        assert_eq!(knn.predict(&Matrix::zeros(1, 1)).unwrap_err(), MlError::NotFitted);
+    }
+}

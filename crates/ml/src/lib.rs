@@ -1,0 +1,88 @@
+//! # mlcs-ml — a from-scratch machine-learning library
+//!
+//! The role scikit-learn plays in *Deep Integration of Machine Learning
+//! Into Column Stores* (Raasveldt et al., EDBT 2018): classification
+//! models with a uniform `fit` / `predict` / `predict_proba` API, model
+//! selection utilities, evaluation metrics, and binary serialization of
+//! trained models via `mlcs-pickle` (the paper's `pickle.dumps`).
+//!
+//! Implemented models:
+//!
+//! * [`tree::DecisionTreeClassifier`] — CART with Gini impurity
+//! * [`forest::RandomForestClassifier`] — bagged trees with feature
+//!   subsampling and parallel fitting (the paper's model)
+//! * [`linear::LogisticRegression`] — SGD, one-vs-rest for multiclass
+//! * [`naive_bayes::GaussianNb`] — Gaussian naive Bayes
+//! * [`knn::KNearestNeighbors`] — brute-force kNN
+//!
+//! ## Example
+//!
+//! ```
+//! use mlcs_ml::dataset::Matrix;
+//! use mlcs_ml::forest::RandomForestClassifier;
+//! use mlcs_ml::Classifier;
+//!
+//! // A trivially separable dataset: class = x > 0.
+//! let x = Matrix::from_rows(&[[-2.0], [-1.0], [1.0], [2.0]]).unwrap();
+//! let y = vec![0, 0, 1, 1];
+//! let mut rf = RandomForestClassifier::new(8).with_seed(42);
+//! rf.fit(&x, &y, 2).unwrap();
+//! let pred = rf.predict(&Matrix::from_rows(&[[-3.0], [3.0]]).unwrap()).unwrap();
+//! assert_eq!(pred, vec![0, 1]);
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod model;
+pub mod model_selection;
+pub mod naive_bayes;
+pub mod tree;
+
+pub use dataset::Matrix;
+pub use error::{MlError, MlResult};
+pub use model::Model;
+
+/// The uniform classifier interface every model implements.
+///
+/// Labels are dense class indices `0..n_classes`; mapping from raw labels
+/// (e.g. party names) to indices is the caller's job (see
+/// [`dataset::ClassMap`]).
+pub trait Classifier {
+    /// Fits the model to `x` (rows × features) and labels `y`
+    /// (`y.len() == x.rows()`, values `< n_classes`).
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()>;
+
+    /// Predicts a class index per row. Errors if the model is unfitted or
+    /// the feature count differs from training.
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>>;
+
+    /// Predicts per-class probabilities, one row per input row,
+    /// `n_classes` columns.
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix>;
+
+    /// Number of classes the model was trained with (0 if unfitted).
+    fn n_classes(&self) -> usize;
+
+    /// Number of features the model was trained with (0 if unfitted).
+    fn n_features(&self) -> usize;
+}
+
+/// Derives predictions from probabilities: argmax per row.
+pub(crate) fn argmax_rows(proba: &Matrix) -> Vec<u32> {
+    (0..proba.rows())
+        .map(|r| {
+            let row = proba.row(r);
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}

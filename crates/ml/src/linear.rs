@@ -1,0 +1,368 @@
+//! Logistic regression trained with mini-batch SGD; one-vs-rest for
+//! multiclass problems.
+
+use crate::dataset::{validate_fit_inputs, Matrix};
+use crate::error::{MlError, MlResult};
+use crate::Classifier;
+use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// L2-regularized logistic regression.
+///
+/// Features are standardized internally (mean/std learned at fit time), so
+/// callers can pass raw columns. For `n_classes > 2` the model trains one
+/// binary classifier per class (one-vs-rest) and normalizes the sigmoid
+/// scores into probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    seed: u64,
+    // Fitted state: per class-vs-rest weights (n_features) + bias.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticRegression {
+    /// Default hyperparameters: 100 epochs, lr 0.1, l2 1e-4, batches of 64.
+    pub fn new() -> Self {
+        LogisticRegression {
+            epochs: 100,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            batch_size: 64,
+            seed: 0,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Sets the RNG seed (shuffling order).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    fn standardize(&self, row: &[f64], out: &mut [f64]) {
+        for (j, &v) in row.iter().enumerate() {
+            out[j] = (v - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Raw decision score for binary head `k` on a standardized row.
+    fn score(&self, k: usize, z: &[f64]) -> f64 {
+        let w = &self.weights[k];
+        let mut s = self.biases[k];
+        for (wi, zi) in w.iter().zip(z) {
+            s += wi * zi;
+        }
+        s
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        validate_fit_inputs(x, y, n_classes)?;
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(MlError::InvalidParam {
+                param: "epochs/batch_size",
+                message: "must be positive".into(),
+            });
+        }
+        self.n_classes = n_classes;
+        self.n_features = x.cols();
+
+        // Standardization parameters.
+        self.means = x.column_means();
+        let mut vars = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for (j, v) in vars.iter_mut().enumerate() {
+                let d = x.get(r, j) - self.means[j];
+                *v += d * d;
+            }
+        }
+        self.stds = vars
+            .iter()
+            .map(|v| {
+                let s = (v / x.rows() as f64).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+
+        // One binary head per class (a single head suffices for binary but
+        // the uniform OVR shape keeps predict_proba simple).
+        let heads = n_classes;
+        self.weights = vec![vec![0.0; x.cols()]; heads];
+        self.biases = vec![0.0; heads];
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut z = vec![0.0; x.cols()];
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.batch_size) {
+                // Accumulate gradients per head over the mini-batch.
+                let mut gw = vec![vec![0.0; x.cols()]; heads];
+                let mut gb = vec![0.0; heads];
+                for &i in chunk {
+                    self.standardize(x.row(i), &mut z);
+                    for k in 0..heads {
+                        let target = (y[i] as usize == k) as u8 as f64;
+                        let p = sigmoid(self.score(k, &z));
+                        let err = p - target;
+                        for (g, zi) in gw[k].iter_mut().zip(&z) {
+                            *g += err * zi;
+                        }
+                        gb[k] += err;
+                    }
+                }
+                let scale = self.learning_rate / chunk.len() as f64;
+                for k in 0..heads {
+                    for (w, g) in self.weights[k].iter_mut().zip(&gw[k]) {
+                        *w -= scale * (g + self.l2 * *w);
+                    }
+                    self.biases[k] -= scale * gb[k];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        Ok(crate::argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "model trained on {} features, input has {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let mut z = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            self.standardize(x.row(r), &mut z);
+            let mut total = 0.0;
+            for k in 0..self.n_classes {
+                let p = sigmoid(self.score(k, &z));
+                out.set(r, k, p);
+                total += p;
+            }
+            if total > 0.0 {
+                for k in 0..self.n_classes {
+                    out.set(r, k, out.get(r, k) / total);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Pickle for LogisticRegression {
+    const CLASS_NAME: &'static str = "LogisticRegression";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_varint(self.epochs as u64);
+        w.put_f64(self.learning_rate);
+        w.put_f64(self.l2);
+        w.put_varint(self.batch_size as u64);
+        w.put_u64(self.seed);
+        w.put_varint(self.n_classes as u64);
+        w.put_varint(self.n_features as u64);
+        w.put_f64_slice(&self.means);
+        w.put_f64_slice(&self.stds);
+        w.put_f64_slice(&self.biases);
+        w.put_varint(self.weights.len() as u64);
+        for ws in &self.weights {
+            w.put_f64_slice(ws);
+        }
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let epochs = r.get_varint()? as usize;
+        let learning_rate = r.get_f64()?;
+        let l2 = r.get_f64()?;
+        let batch_size = r.get_varint()? as usize;
+        let seed = r.get_u64()?;
+        let n_classes = r.get_varint()? as usize;
+        let n_features = r.get_varint()? as usize;
+        let means = r.get_f64_vec()?;
+        let stds = r.get_f64_vec()?;
+        let biases = r.get_f64_vec()?;
+        let n_heads = r.get_count(1)?;
+        let mut weights = Vec::with_capacity(n_heads);
+        for _ in 0..n_heads {
+            let ws = r.get_f64_vec()?;
+            if ws.len() != n_features {
+                return Err(PickleError::Invalid(format!(
+                    "head with {} weights for {n_features} features",
+                    ws.len()
+                )));
+            }
+            weights.push(ws);
+        }
+        Ok(LogisticRegression {
+            epochs,
+            learning_rate,
+            l2,
+            batch_size,
+            seed,
+            weights,
+            biases,
+            means,
+            stds,
+            n_classes,
+            n_features,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Matrix, Vec<u32>) {
+        // Class = x + y > 10 with comfortable margins.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64 * 2.0;
+            rows.push([a, b]);
+            y.push(((a + b) > 10.0) as u32);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let (x, y) = linear_data();
+        let mut lr = LogisticRegression::new().with_seed(1).with_epochs(300);
+        lr.fit(&x, &y, 2).unwrap();
+        let pred = lr.predict(&x).unwrap();
+        let acc = crate::metrics::accuracy(&y, &pred).unwrap();
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_ovr() {
+        // Three clusters, each linearly separable from the rest (one-vs-
+        // rest needs this; collinear bands would be unlearnable for the
+        // middle class).
+        let centers = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            let jitter = (i / 3) as f64 * 0.02;
+            rows.push([cx + jitter, cy - jitter]);
+            y.push(c as u32);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut lr = LogisticRegression::new().with_epochs(500);
+        lr.fit(&x, &y, 3).unwrap();
+        let pred = lr.predict(&x).unwrap();
+        let acc = crate::metrics::accuracy(&y, &pred).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let (x, y) = linear_data();
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y, 2).unwrap();
+        let p = lr.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let x = Matrix::from_rows(&[[1.0, 5.0], [2.0, 5.0], [3.0, 5.0], [4.0, 5.0]]).unwrap();
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &[0, 0, 1, 1], 2).unwrap();
+        let p = lr.predict_proba(&x).unwrap();
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pickle_round_trip() {
+        let (x, y) = linear_data();
+        let mut lr = LogisticRegression::new().with_seed(3);
+        lr.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&lr);
+        let back: LogisticRegression = mlcs_pickle::unpickle(&blob).unwrap();
+        assert_eq!(back, lr);
+    }
+
+    #[test]
+    fn misuse_errors() {
+        let lr = LogisticRegression::new();
+        assert_eq!(
+            lr.predict(&Matrix::zeros(1, 1)).unwrap_err(),
+            MlError::NotFitted
+        );
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

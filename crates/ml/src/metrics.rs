@@ -1,0 +1,161 @@
+//! Evaluation metrics for classifiers.
+
+use crate::dataset::Matrix;
+use crate::error::{MlError, MlResult};
+
+/// Fraction of predictions equal to the true labels.
+pub fn accuracy(truth: &[u32], pred: &[u32]) -> MlResult<f64> {
+    check_lengths(truth, pred)?;
+    if truth.is_empty() {
+        return Err(MlError::BadData("accuracy of zero samples".into()));
+    }
+    let correct = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    Ok(correct as f64 / truth.len() as f64)
+}
+
+/// Confusion matrix: `m[t][p]` counts samples of true class `t` predicted
+/// as class `p`.
+pub fn confusion_matrix(truth: &[u32], pred: &[u32], n_classes: usize) -> MlResult<Vec<Vec<u64>>> {
+    check_lengths(truth, pred)?;
+    let mut m = vec![vec![0u64; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t as usize >= n_classes {
+            return Err(MlError::BadLabel { label: t, n_classes });
+        }
+        if p as usize >= n_classes {
+            return Err(MlError::BadLabel { label: p, n_classes });
+        }
+        m[t as usize][p as usize] += 1;
+    }
+    Ok(m)
+}
+
+/// Per-class precision, recall, and F1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScores {
+    /// Precision per class (NaN-free: 0 when the class was never predicted).
+    pub precision: Vec<f64>,
+    /// Recall per class (0 when the class never occurs).
+    pub recall: Vec<f64>,
+    /// F1 per class.
+    pub f1: Vec<f64>,
+}
+
+impl ClassScores {
+    /// Unweighted mean F1 across classes.
+    pub fn macro_f1(&self) -> f64 {
+        if self.f1.is_empty() {
+            return 0.0;
+        }
+        self.f1.iter().sum::<f64>() / self.f1.len() as f64
+    }
+}
+
+/// Computes precision/recall/F1 per class from labels.
+pub fn precision_recall_f1(
+    truth: &[u32],
+    pred: &[u32],
+    n_classes: usize,
+) -> MlResult<ClassScores> {
+    let m = confusion_matrix(truth, pred, n_classes)?;
+    let mut precision = vec![0.0; n_classes];
+    let mut recall = vec![0.0; n_classes];
+    let mut f1 = vec![0.0; n_classes];
+    for c in 0..n_classes {
+        let tp = m[c][c] as f64;
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        precision[c] = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        recall[c] = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        f1[c] = if precision[c] + recall[c] > 0.0 {
+            2.0 * precision[c] * recall[c] / (precision[c] + recall[c])
+        } else {
+            0.0
+        };
+    }
+    Ok(ClassScores { precision, recall, f1 })
+}
+
+/// Negative mean log-likelihood of the true class, with probabilities
+/// clipped to `[1e-15, 1 - 1e-15]`.
+pub fn log_loss(truth: &[u32], proba: &Matrix) -> MlResult<f64> {
+    if truth.len() != proba.rows() {
+        return Err(MlError::Shape(format!(
+            "{} labels but {} probability rows",
+            truth.len(),
+            proba.rows()
+        )));
+    }
+    if truth.is_empty() {
+        return Err(MlError::BadData("log loss of zero samples".into()));
+    }
+    let mut total = 0.0;
+    for (r, &t) in truth.iter().enumerate() {
+        if t as usize >= proba.cols() {
+            return Err(MlError::BadLabel { label: t, n_classes: proba.cols() });
+        }
+        let p = proba.get(r, t as usize).clamp(1e-15, 1.0 - 1e-15);
+        total -= p.ln();
+    }
+    Ok(total / truth.len() as f64)
+}
+
+fn check_lengths(truth: &[u32], pred: &[u32]) -> MlResult<()> {
+    if truth.len() != pred.len() {
+        return Err(MlError::Shape(format!(
+            "{} true labels but {} predictions",
+            truth.len(),
+            pred.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]).unwrap(), 0.75);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2).unwrap();
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+        assert!(confusion_matrix(&[2], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn prf_perfect_and_degenerate() {
+        let s = precision_recall_f1(&[0, 1, 0, 1], &[0, 1, 0, 1], 2).unwrap();
+        assert_eq!(s.precision, vec![1.0, 1.0]);
+        assert_eq!(s.recall, vec![1.0, 1.0]);
+        assert_eq!(s.macro_f1(), 1.0);
+        // Class 1 never predicted: precision 0, recall 0, f1 0.
+        let s = precision_recall_f1(&[0, 1], &[0, 0], 2).unwrap();
+        assert_eq!(s.precision[1], 0.0);
+        assert_eq!(s.f1[1], 0.0);
+        assert!(s.precision[0] < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        // Perfectly confident correct predictions -> ~0 loss.
+        let p = Matrix::from_rows(&[[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        let l = log_loss(&[0, 1], &p).unwrap();
+        assert!(l < 1e-10);
+        // Confident wrong prediction -> large but finite (clipping).
+        let p = Matrix::from_rows(&[[0.0, 1.0]]).unwrap();
+        let l = log_loss(&[0], &p).unwrap();
+        assert!(l > 10.0 && l.is_finite());
+        // Uniform -> ln(2).
+        let p = Matrix::from_rows(&[[0.5, 0.5]]).unwrap();
+        let l = log_loss(&[0], &p).unwrap();
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(log_loss(&[2], &p).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! [`Model`]: a type-erased wrapper over every classifier, with
+//! class-name-dispatched (de)serialization.
+//!
+//! The database stores models as BLOBs of unknown concrete type; the
+//! pickle envelope's class name tells [`Model::from_blob`] which
+//! deserializer to use — the same trick Python's `pickle.loads` plays for
+//! MonetDB/Python in the paper.
+
+use crate::dataset::Matrix;
+use crate::error::{MlError, MlResult};
+use crate::forest::RandomForestClassifier;
+use crate::knn::KNearestNeighbors;
+use crate::linear::LogisticRegression;
+use crate::naive_bayes::GaussianNb;
+use crate::tree::DecisionTreeClassifier;
+use crate::Classifier;
+use mlcs_pickle::{pickle, unpickle, unpickle_class_name, Pickle};
+
+/// Any trained (or trainable) classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// Random forest (the paper's model).
+    RandomForest(RandomForestClassifier),
+    /// Single CART tree.
+    DecisionTree(DecisionTreeClassifier),
+    /// Logistic regression.
+    LogisticRegression(LogisticRegression),
+    /// Gaussian naive Bayes.
+    GaussianNb(GaussianNb),
+    /// k-nearest neighbors.
+    Knn(KNearestNeighbors),
+}
+
+impl Model {
+    /// A short, stable algorithm name (stored as model metadata).
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            Model::RandomForest(_) => "random_forest",
+            Model::DecisionTree(_) => "decision_tree",
+            Model::LogisticRegression(_) => "logistic_regression",
+            Model::GaussianNb(_) => "gaussian_nb",
+            Model::Knn(_) => "knn",
+        }
+    }
+
+    /// Serializes to an enveloped pickle blob suitable for a BLOB column.
+    pub fn to_blob(&self) -> Vec<u8> {
+        match self {
+            Model::RandomForest(m) => pickle(m),
+            Model::DecisionTree(m) => pickle(m),
+            Model::LogisticRegression(m) => pickle(m),
+            Model::GaussianNb(m) => pickle(m),
+            Model::Knn(m) => pickle(m),
+        }
+    }
+
+    /// Deserializes any model blob by dispatching on the envelope's class
+    /// name.
+    pub fn from_blob(blob: &[u8]) -> MlResult<Model> {
+        let class = unpickle_class_name(blob)?;
+        Ok(match class.as_str() {
+            RandomForestClassifier::CLASS_NAME => {
+                Model::RandomForest(unpickle(blob)?)
+            }
+            DecisionTreeClassifier::CLASS_NAME => {
+                Model::DecisionTree(unpickle(blob)?)
+            }
+            LogisticRegression::CLASS_NAME => {
+                Model::LogisticRegression(unpickle(blob)?)
+            }
+            GaussianNb::CLASS_NAME => Model::GaussianNb(unpickle(blob)?),
+            KNearestNeighbors::CLASS_NAME => Model::Knn(unpickle(blob)?),
+            other => {
+                return Err(MlError::Serde(format!(
+                    "blob holds a '{other}', which is not a known model class"
+                )))
+            }
+        })
+    }
+
+    /// Per-row confidence: probability of the predicted class.
+    pub fn confidence(&self, x: &Matrix) -> MlResult<Vec<f64>> {
+        let p = self.predict_proba(x)?;
+        Ok((0..p.rows())
+            .map(|r| p.row(r).iter().cloned().fold(0.0, f64::max))
+            .collect())
+    }
+}
+
+impl Classifier for Model {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        match self {
+            Model::RandomForest(m) => m.fit(x, y, n_classes),
+            Model::DecisionTree(m) => m.fit(x, y, n_classes),
+            Model::LogisticRegression(m) => m.fit(x, y, n_classes),
+            Model::GaussianNb(m) => m.fit(x, y, n_classes),
+            Model::Knn(m) => m.fit(x, y, n_classes),
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        match self {
+            Model::RandomForest(m) => m.predict(x),
+            Model::DecisionTree(m) => m.predict(x),
+            Model::LogisticRegression(m) => m.predict(x),
+            Model::GaussianNb(m) => m.predict(x),
+            Model::Knn(m) => m.predict(x),
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        match self {
+            Model::RandomForest(m) => m.predict_proba(x),
+            Model::DecisionTree(m) => m.predict_proba(x),
+            Model::LogisticRegression(m) => m.predict_proba(x),
+            Model::GaussianNb(m) => m.predict_proba(x),
+            Model::Knn(m) => m.predict_proba(x),
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        match self {
+            Model::RandomForest(m) => m.n_classes(),
+            Model::DecisionTree(m) => m.n_classes(),
+            Model::LogisticRegression(m) => m.n_classes(),
+            Model::GaussianNb(m) => m.n_classes(),
+            Model::Knn(m) => m.n_classes(),
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        match self {
+            Model::RandomForest(m) => m.n_features(),
+            Model::DecisionTree(m) => m.n_features(),
+            Model::LogisticRegression(m) => m.n_features(),
+            Model::GaussianNb(m) => m.n_features(),
+            Model::Knn(m) => m.n_features(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Matrix, Vec<u32>) {
+        let rows: Vec<[f64; 1]> = (0..20).map(|i| [i as f64]).collect();
+        let y: Vec<u32> = (0..20).map(|i| (i >= 10) as u32).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn all_models() -> Vec<Model> {
+        vec![
+            Model::RandomForest(RandomForestClassifier::new(4).with_seed(0)),
+            Model::DecisionTree(DecisionTreeClassifier::new()),
+            Model::LogisticRegression(LogisticRegression::new().with_epochs(200)),
+            Model::GaussianNb(GaussianNb::new()),
+            Model::Knn(KNearestNeighbors::new(3)),
+        ]
+    }
+
+    #[test]
+    fn every_model_round_trips_through_blob() {
+        let (x, y) = data();
+        for mut m in all_models() {
+            m.fit(&x, &y, 2).unwrap();
+            let blob = m.to_blob();
+            let back = Model::from_blob(&blob).unwrap();
+            assert_eq!(back.algorithm(), m.algorithm());
+            assert_eq!(
+                back.predict(&x).unwrap(),
+                m.predict(&x).unwrap(),
+                "{} predictions changed across serialization",
+                m.algorithm()
+            );
+        }
+    }
+
+    #[test]
+    fn every_model_learns_the_easy_split() {
+        let (x, y) = data();
+        for mut m in all_models() {
+            m.fit(&x, &y, 2).unwrap();
+            let pred = m.predict(&x).unwrap();
+            let acc = crate::metrics::accuracy(&y, &pred).unwrap();
+            assert!(acc >= 0.9, "{} accuracy {acc}", m.algorithm());
+        }
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let blob = mlcs_pickle::pickle(&String::from("not a model"));
+        let err = Model::from_blob(&blob).unwrap_err();
+        assert!(matches!(err, MlError::Serde(_)));
+        assert!(err.to_string().contains("String"));
+    }
+
+    #[test]
+    fn corrupted_blob_rejected() {
+        let (x, y) = data();
+        let mut m = Model::GaussianNb(GaussianNb::new());
+        m.fit(&x, &y, 2).unwrap();
+        let mut blob = m.to_blob();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x55;
+        assert!(Model::from_blob(&blob).is_err());
+    }
+
+    #[test]
+    fn confidence_is_max_probability() {
+        let (x, y) = data();
+        let mut m = Model::GaussianNb(GaussianNb::new());
+        m.fit(&x, &y, 2).unwrap();
+        let conf = m.confidence(&x).unwrap();
+        let proba = m.predict_proba(&x).unwrap();
+        for (r, &c) in conf.iter().enumerate() {
+            let max = proba.row(r).iter().cloned().fold(0.0, f64::max);
+            assert_eq!(c, max);
+            assert!(c >= 0.5 - 1e-12);
+        }
+    }
+}

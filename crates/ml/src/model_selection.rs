@@ -1,0 +1,174 @@
+//! Train/test splitting and k-fold cross-validation.
+
+use crate::dataset::Matrix;
+use crate::error::{MlError, MlResult};
+use crate::metrics::accuracy;
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The result of [`train_test_split`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training features.
+    pub x_train: Matrix,
+    /// Training labels.
+    pub y_train: Vec<u32>,
+    /// Test features.
+    pub x_test: Matrix,
+    /// Test labels.
+    pub y_test: Vec<u32>,
+    /// Original row indices of the training rows.
+    pub train_indices: Vec<usize>,
+    /// Original row indices of the test rows.
+    pub test_indices: Vec<usize>,
+}
+
+/// Shuffles rows with the seeded RNG and splits off `test_fraction` of
+/// them as the test set (the paper's train/test division before Listing 1).
+pub fn train_test_split(
+    x: &Matrix,
+    y: &[u32],
+    test_fraction: f64,
+    seed: u64,
+) -> MlResult<Split> {
+    if x.rows() != y.len() {
+        return Err(MlError::Shape(format!(
+            "{} rows but {} labels",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(MlError::InvalidParam {
+            param: "test_fraction",
+            message: format!("must be in (0, 1), got {test_fraction}"),
+        });
+    }
+    let n = x.rows();
+    let n_test = ((n as f64) * test_fraction).round().max(1.0) as usize;
+    if n_test >= n {
+        return Err(MlError::BadData(format!(
+            "test fraction {test_fraction} leaves no training rows out of {n}"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let (test_indices, train_indices) = indices.split_at(n_test);
+    let (test_indices, train_indices) = (test_indices.to_vec(), train_indices.to_vec());
+    Ok(Split {
+        x_train: x.take_rows(&train_indices),
+        y_train: train_indices.iter().map(|&i| y[i]).collect(),
+        x_test: x.take_rows(&test_indices),
+        y_test: test_indices.iter().map(|&i| y[i]).collect(),
+        train_indices,
+        test_indices,
+    })
+}
+
+/// K-fold cross-validation: fits a fresh model per fold via `make_model`
+/// and returns the per-fold test accuracies.
+pub fn cross_validate<M, F>(
+    x: &Matrix,
+    y: &[u32],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+    make_model: F,
+) -> MlResult<Vec<f64>>
+where
+    M: Classifier,
+    F: Fn() -> M,
+{
+    if k < 2 {
+        return Err(MlError::InvalidParam {
+            param: "k",
+            message: format!("need at least 2 folds, got {k}"),
+        });
+    }
+    if x.rows() < k {
+        return Err(MlError::BadData(format!(
+            "cannot make {k} folds from {} rows",
+            x.rows()
+        )));
+    }
+    let mut indices: Vec<usize> = (0..x.rows()).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let fold_size = x.rows() / k;
+    let mut scores = Vec::with_capacity(k);
+    for fold in 0..k {
+        let start = fold * fold_size;
+        let end = if fold == k - 1 { x.rows() } else { start + fold_size };
+        let test_idx: Vec<usize> = indices[start..end].to_vec();
+        let train_idx: Vec<usize> =
+            indices[..start].iter().chain(&indices[end..]).copied().collect();
+        let mut model = make_model();
+        let xt = x.take_rows(&train_idx);
+        let yt: Vec<u32> = train_idx.iter().map(|&i| y[i]).collect();
+        model.fit(&xt, &yt, n_classes)?;
+        let xv = x.take_rows(&test_idx);
+        let yv: Vec<u32> = test_idx.iter().map(|&i| y[i]).collect();
+        let pred = model.predict(&xv)?;
+        scores.push(accuracy(&yv, &pred)?);
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeClassifier;
+
+    fn data(n: usize) -> (Matrix, Vec<u32>) {
+        let rows: Vec<[f64; 1]> = (0..n).map(|i| [i as f64]).collect();
+        let y: Vec<u32> = (0..n).map(|i| (i >= n / 2) as u32).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let (x, y) = data(100);
+        let s = train_test_split(&x, &y, 0.25, 42).unwrap();
+        assert_eq!(s.x_test.rows(), 25);
+        assert_eq!(s.x_train.rows(), 75);
+        assert_eq!(s.y_train.len(), 75);
+        // Every original index appears exactly once.
+        let mut all: Vec<usize> =
+            s.train_indices.iter().chain(&s.test_indices).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Deterministic given the seed.
+        let s2 = train_test_split(&x, &y, 0.25, 42).unwrap();
+        assert_eq!(s.test_indices, s2.test_indices);
+        let s3 = train_test_split(&x, &y, 0.25, 43).unwrap();
+        assert_ne!(s.test_indices, s3.test_indices);
+    }
+
+    #[test]
+    fn split_validates_params() {
+        let (x, y) = data(10);
+        assert!(train_test_split(&x, &y, 0.0, 0).is_err());
+        assert!(train_test_split(&x, &y, 1.0, 0).is_err());
+        assert!(train_test_split(&x, &y, 0.99, 0).is_err());
+        let (x2, _) = data(5);
+        assert!(train_test_split(&x2, &y, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn cross_validation_scores_easy_data_high() {
+        let (x, y) = data(100);
+        let scores =
+            cross_validate(&x, &y, 2, 5, 7, DecisionTreeClassifier::new).unwrap();
+        assert_eq!(scores.len(), 5);
+        let mean: f64 = scores.iter().sum::<f64>() / 5.0;
+        assert!(mean > 0.9, "scores {scores:?}");
+    }
+
+    #[test]
+    fn cross_validation_validates() {
+        let (x, y) = data(10);
+        assert!(cross_validate(&x, &y, 2, 1, 0, DecisionTreeClassifier::new).is_err());
+        assert!(cross_validate(&x, &y, 2, 11, 0, DecisionTreeClassifier::new).is_err());
+    }
+}

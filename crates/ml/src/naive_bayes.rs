@@ -1,0 +1,261 @@
+//! Gaussian naive Bayes.
+
+use crate::dataset::{validate_fit_inputs, Matrix};
+use crate::error::{MlError, MlResult};
+use crate::Classifier;
+use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
+
+/// Gaussian naive Bayes: per class and feature, a mean and variance; class
+/// priors from label frequencies. Cheap to train, surprisingly strong on
+/// tabular data, and a natural second model for the model-store demos.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GaussianNb {
+    /// Portion of the largest feature variance added to every variance for
+    /// numerical stability (scikit-learn's `var_smoothing`).
+    pub var_smoothing: f64,
+    // Fitted: [class][feature].
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    log_priors: Vec<f64>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl GaussianNb {
+    /// Default smoothing of 1e-9 (scikit-learn's default).
+    pub fn new() -> Self {
+        GaussianNb { var_smoothing: 1e-9, ..Default::default() }
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        validate_fit_inputs(x, y, n_classes)?;
+        self.n_classes = n_classes;
+        self.n_features = x.cols();
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0; x.cols()]; n_classes];
+        for (r, &label) in y.iter().enumerate() {
+            counts[label as usize] += 1;
+            for (j, m) in means[label as usize].iter_mut().enumerate() {
+                *m += x.get(r, j);
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for v in m.iter_mut() {
+                    *v /= counts[c] as f64;
+                }
+            }
+        }
+        let mut vars = vec![vec![0.0; x.cols()]; n_classes];
+        for (r, &label) in y.iter().enumerate() {
+            let c = label as usize;
+            for j in 0..x.cols() {
+                let d = x.get(r, j) - means[c][j];
+                vars[c][j] += d * d;
+            }
+        }
+        let mut max_var = 0.0f64;
+        for (c, v) in vars.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for vv in v.iter_mut() {
+                    *vv /= counts[c] as f64;
+                    max_var = max_var.max(*vv);
+                }
+            }
+        }
+        let eps = self.var_smoothing * max_var.max(1.0);
+        for v in &mut vars {
+            for vv in v.iter_mut() {
+                *vv += eps;
+            }
+        }
+        self.log_priors = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / y.len() as f64).ln()
+                }
+            })
+            .collect();
+        self.means = means;
+        self.vars = vars;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        Ok(crate::argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.means.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "model trained on {} features, input has {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        for r in 0..x.rows() {
+            // Log joint per class, then softmax for probabilities.
+            let mut logp = vec![0.0; self.n_classes];
+            for (c, lp) in logp.iter_mut().enumerate() {
+                *lp = self.log_priors[c];
+                for j in 0..self.n_features {
+                    let var = self.vars[c][j];
+                    let d = x.get(r, j) - self.means[c][j];
+                    *lp += -0.5 * (ln_2pi + var.ln()) - d * d / (2.0 * var);
+                }
+            }
+            let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut total = 0.0;
+            for lp in &mut logp {
+                *lp = (*lp - max).exp();
+                total += *lp;
+            }
+            for (c, lp) in logp.iter().enumerate() {
+                out.set(r, c, lp / total);
+            }
+        }
+        Ok(out)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+impl Pickle for GaussianNb {
+    const CLASS_NAME: &'static str = "GaussianNb";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_f64(self.var_smoothing);
+        w.put_varint(self.n_classes as u64);
+        w.put_varint(self.n_features as u64);
+        w.put_f64_slice(&self.log_priors);
+        for m in &self.means {
+            w.put_f64_slice(m);
+        }
+        for v in &self.vars {
+            w.put_f64_slice(v);
+        }
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let var_smoothing = r.get_f64()?;
+        let n_classes = r.get_varint()? as usize;
+        let n_features = r.get_varint()? as usize;
+        let log_priors = r.get_f64_vec()?;
+        if log_priors.len() != n_classes {
+            return Err(PickleError::Invalid("prior count != class count".into()));
+        }
+        let mut means = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let m = r.get_f64_vec()?;
+            if m.len() != n_features {
+                return Err(PickleError::Invalid("mean row width mismatch".into()));
+            }
+            means.push(m);
+        }
+        let mut vars = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let v = r.get_f64_vec()?;
+            if v.len() != n_features {
+                return Err(PickleError::Invalid("variance row width mismatch".into()));
+            }
+            vars.push(v);
+        }
+        Ok(GaussianNb { var_smoothing, means, vars, log_priors, n_classes, n_features })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let jitter = (i % 7) as f64 * 0.1;
+            rows.push([-3.0 + jitter, -3.0 - jitter]);
+            y.push(0);
+            rows.push([3.0 - jitter, 3.0 + jitter]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let (x, y) = blobs();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        assert_eq!(nb.predict(&x).unwrap(), y);
+        let p = nb.predict_proba(&Matrix::from_rows(&[[-3.0, -3.0]]).unwrap()).unwrap();
+        assert!(p.get(0, 0) > 0.99);
+    }
+
+    #[test]
+    fn proba_normalized_and_finite() {
+        let (x, y) = blobs();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let p = nb.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn zero_variance_feature_handled() {
+        let x = Matrix::from_rows(&[[1.0, 7.0], [2.0, 7.0], [3.0, 7.0], [4.0, 7.0]]).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &[0, 0, 1, 1], 2).unwrap();
+        let p = nb.predict_proba(&x).unwrap();
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn priors_reflect_imbalance() {
+        // 90% class 0 with overlapping features: predictions lean class 0.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            rows.push([(i % 10) as f64]);
+            y.push((i >= 90) as u32);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let p = nb.predict_proba(&Matrix::from_rows(&[[5.0]]).unwrap()).unwrap();
+        assert!(p.get(0, 0) > p.get(0, 1));
+    }
+
+    #[test]
+    fn pickle_round_trip() {
+        let (x, y) = blobs();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&nb);
+        let back: GaussianNb = mlcs_pickle::unpickle(&blob).unwrap();
+        assert_eq!(back, nb);
+    }
+
+    #[test]
+    fn not_fitted_error() {
+        let nb = GaussianNb::new();
+        assert_eq!(nb.predict(&Matrix::zeros(1, 1)).unwrap_err(), MlError::NotFitted);
+    }
+}

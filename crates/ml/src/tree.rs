@@ -1,0 +1,674 @@
+//! CART decision-tree classifier with Gini impurity.
+
+use crate::dataset::{validate_fit_inputs, Matrix};
+use crate::error::{MlError, MlResult};
+use crate::Classifier;
+use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How many features to consider per split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFeatures {
+    /// All features (plain CART).
+    All,
+    /// `ceil(sqrt(n_features))` — the random-forest default.
+    Sqrt,
+    /// A fixed count (clamped to the feature count).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, n_features: usize) -> usize {
+        match self {
+            MaxFeatures::All => n_features,
+            MaxFeatures::Sqrt => (n_features as f64).sqrt().ceil() as usize,
+            MaxFeatures::Count(n) => n.clamp(1, n_features),
+        }
+        .max(1)
+    }
+}
+
+/// One node of the fitted tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    /// Terminal node: class probabilities.
+    Leaf {
+        /// Normalized class distribution of the training samples here.
+        proba: Vec<f64>,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: u32,
+        /// Split threshold.
+        threshold: f64,
+        /// Left child node index.
+        left: u32,
+        /// Right child node index.
+        right: u32,
+    },
+}
+
+/// A CART decision-tree classifier.
+///
+/// Splits minimize weighted Gini impurity; thresholds are midpoints between
+/// consecutive distinct feature values. Deterministic given a seed (the
+/// seed only matters when `max_features` subsamples features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTreeClassifier {
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    seed: u64,
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl Default for DecisionTreeClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTreeClassifier {
+    /// A tree with scikit-learn-like defaults.
+    pub fn new() -> Self {
+        DecisionTreeClassifier {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            seed: 0,
+            nodes: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Sets the maximum depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Sets the per-split feature subsample.
+    pub fn with_max_features(mut self, mf: MaxFeatures) -> Self {
+        self.max_features = mf;
+        self
+    }
+
+    /// Sets the RNG seed (used for feature subsampling).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf; 0 before fitting).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, *left as usize).max(walk(nodes, *right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Mean decrease in impurity per feature, normalized to sum to 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        // Importances are not stored per node; recompute is not possible
+        // without training data, so we track split usage counts instead:
+        // a cheap, serialization-free proxy.
+        let mut imp = vec![0.0; self.n_features];
+        for n in &self.nodes {
+            if let Node::Split { feature, .. } = n {
+                imp[*feature as usize] += 1.0;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    fn leaf_proba(counts: &[f64]) -> Node {
+        let total: f64 = counts.iter().sum();
+        let proba = if total > 0.0 {
+            counts.iter().map(|c| c / total).collect()
+        } else {
+            vec![0.0; counts.len()]
+        };
+        Node::Leaf { proba }
+    }
+}
+
+/// Gini impurity of a class-count vector with the given total.
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sum_sq = 0.0;
+    for &c in counts {
+        let p = c / total;
+        sum_sq += p * p;
+    }
+    1.0 - sum_sq
+}
+
+/// The best split found for a node, if any.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64, // weighted child impurity (lower is better)
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
+        validate_fit_inputs(x, y, n_classes)?;
+        if self.min_samples_split < 2 {
+            return Err(MlError::InvalidParam {
+                param: "min_samples_split",
+                message: "must be >= 2".into(),
+            });
+        }
+        if self.min_samples_leaf < 1 {
+            return Err(MlError::InvalidParam {
+                param: "min_samples_leaf",
+                message: "must be >= 1".into(),
+            });
+        }
+        self.n_classes = n_classes;
+        self.n_features = x.cols();
+        self.nodes.clear();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k_features = self.max_features.resolve(x.cols());
+        let all_features: Vec<usize> = (0..x.cols()).collect();
+
+        // Explicit work stack avoids recursion-depth issues on deep trees.
+        struct Work {
+            node_slot: usize,
+            indices: Vec<usize>,
+            depth: usize,
+        }
+        self.nodes.push(Node::Leaf { proba: vec![] }); // placeholder root
+        let mut stack = vec![Work {
+            node_slot: 0,
+            indices: (0..x.rows()).collect(),
+            depth: 0,
+        }];
+
+        // Reusable scratch buffers.
+        let mut counts = vec![0.0f64; n_classes];
+        let mut sorted: Vec<(f64, u32)> = Vec::new();
+
+        while let Some(work) = stack.pop() {
+            counts.iter_mut().for_each(|c| *c = 0.0);
+            for &i in &work.indices {
+                counts[y[i] as usize] += 1.0;
+            }
+            let total = work.indices.len() as f64;
+            let node_gini = gini(&counts, total);
+
+            let depth_ok = self.max_depth.is_none_or(|d| work.depth < d);
+            let can_split = depth_ok
+                && work.indices.len() >= self.min_samples_split
+                && node_gini > 1e-12;
+
+            let best = if can_split {
+                // Feature subsample for this split.
+                let feats: Vec<usize> = if k_features >= x.cols() {
+                    all_features.clone()
+                } else {
+                    let mut f = all_features.clone();
+                    f.shuffle(&mut rng);
+                    f.truncate(k_features);
+                    f
+                };
+                find_best_split(
+                    x,
+                    y,
+                    &work.indices,
+                    &feats,
+                    n_classes,
+                    self.min_samples_leaf,
+                    node_gini,
+                    &mut sorted,
+                )
+            } else {
+                None
+            };
+
+            match best {
+                None => {
+                    self.nodes[work.node_slot] = Self::leaf_proba(&counts);
+                }
+                Some(bs) => {
+                    let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+                    for &i in &work.indices {
+                        if x.get(i, bs.feature) <= bs.threshold {
+                            left_idx.push(i);
+                        } else {
+                            right_idx.push(i);
+                        }
+                    }
+                    debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+                    let left_slot = self.nodes.len();
+                    self.nodes.push(Node::Leaf { proba: vec![] });
+                    let right_slot = self.nodes.len();
+                    self.nodes.push(Node::Leaf { proba: vec![] });
+                    self.nodes[work.node_slot] = Node::Split {
+                        feature: bs.feature as u32,
+                        threshold: bs.threshold,
+                        left: left_slot as u32,
+                        right: right_slot as u32,
+                    };
+                    stack.push(Work {
+                        node_slot: left_slot,
+                        indices: left_idx,
+                        depth: work.depth + 1,
+                    });
+                    stack.push(Work {
+                        node_slot: right_slot,
+                        indices: right_idx,
+                        depth: work.depth + 1,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
+        Ok(crate::argmax_rows(&self.predict_proba(x)?))
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::Shape(format!(
+                "model trained on {} features, input has {}",
+                self.n_features,
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mut node = 0usize;
+            // A well-formed tree reaches a leaf within `nodes.len()` hops;
+            // the bound turns a cyclic (corrupt) node graph into an error
+            // instead of an infinite loop.
+            let mut hops = self.nodes.len() + 1;
+            loop {
+                hops = hops.checked_sub(1).ok_or_else(|| {
+                    MlError::Serde("decision tree node graph contains a cycle".into())
+                })?;
+                match &self.nodes[node] {
+                    Node::Leaf { proba } => {
+                        for (c, &p) in proba.iter().enumerate() {
+                            out.set(r, c, p);
+                        }
+                        break;
+                    }
+                    Node::Split { feature, threshold, left, right } => {
+                        node = if row[*feature as usize] <= *threshold {
+                            *left as usize
+                        } else {
+                            *right as usize
+                        };
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Finds the impurity-minimizing split over the candidate features.
+#[allow(clippy::too_many_arguments)]
+fn find_best_split(
+    x: &Matrix,
+    y: &[u32],
+    indices: &[usize],
+    features: &[usize],
+    n_classes: usize,
+    min_leaf: usize,
+    parent_gini: f64,
+    sorted: &mut Vec<(f64, u32)>,
+) -> Option<BestSplit> {
+    let total = indices.len() as f64;
+    let mut best: Option<BestSplit> = None;
+    let mut right_counts = vec![0.0f64; n_classes];
+    let mut left_counts = vec![0.0f64; n_classes];
+
+    for &f in features {
+        sorted.clear();
+        sorted.extend(indices.iter().map(|&i| (x.get(i, f), y[i])));
+        sorted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after validation"));
+        if sorted[0].0 == sorted[sorted.len() - 1].0 {
+            continue; // constant feature
+        }
+        left_counts.iter_mut().for_each(|c| *c = 0.0);
+        right_counts.iter_mut().for_each(|c| *c = 0.0);
+        for &(_, cls) in sorted.iter() {
+            right_counts[cls as usize] += 1.0;
+        }
+        // Scan split positions: after element k, threshold between k and k+1.
+        for k in 0..sorted.len() - 1 {
+            let (v, cls) = sorted[k];
+            left_counts[cls as usize] += 1.0;
+            right_counts[cls as usize] -= 1.0;
+            let next_v = sorted[k + 1].0;
+            if v == next_v {
+                continue; // cannot split between equal values
+            }
+            let n_left = (k + 1) as f64;
+            let n_right = total - n_left;
+            if (n_left as usize) < min_leaf || (n_right as usize) < min_leaf {
+                continue;
+            }
+            let score = (n_left / total) * gini(&left_counts, n_left)
+                + (n_right / total) * gini(&right_counts, n_right);
+            // Zero-gain splits (score == parent impurity) are allowed, as
+            // in scikit-learn: XOR-like data needs them to make progress.
+            // Each split strictly shrinks both children, so recursion
+            // still terminates.
+            if score <= parent_gini + 1e-12
+                && score < best.as_ref().map_or(f64::INFINITY, |b| b.score)
+            {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: v + (next_v - v) / 2.0,
+                    score,
+                });
+            }
+        }
+    }
+    best
+}
+
+impl Pickle for DecisionTreeClassifier {
+    const CLASS_NAME: &'static str = "DecisionTreeClassifier";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_varint(self.max_depth.map(|d| d as u64 + 1).unwrap_or(0));
+        w.put_varint(self.min_samples_split as u64);
+        w.put_varint(self.min_samples_leaf as u64);
+        match self.max_features {
+            MaxFeatures::All => w.put_u8(0),
+            MaxFeatures::Sqrt => w.put_u8(1),
+            MaxFeatures::Count(n) => {
+                w.put_u8(2);
+                w.put_varint(n as u64);
+            }
+        }
+        w.put_u64(self.seed);
+        w.put_varint(self.n_classes as u64);
+        w.put_varint(self.n_features as u64);
+        w.put_varint(self.nodes.len() as u64);
+        for n in &self.nodes {
+            match n {
+                Node::Leaf { proba } => {
+                    w.put_u8(0);
+                    w.put_f64_slice(proba);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    w.put_u8(1);
+                    w.put_varint(*feature as u64);
+                    w.put_f64(*threshold);
+                    w.put_varint(*left as u64);
+                    w.put_varint(*right as u64);
+                }
+            }
+        }
+    }
+
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let max_depth = match r.get_varint()? {
+            0 => None,
+            d => Some((d - 1) as usize),
+        };
+        let min_samples_split = r.get_varint()? as usize;
+        let min_samples_leaf = r.get_varint()? as usize;
+        let max_features = match r.get_u8()? {
+            0 => MaxFeatures::All,
+            1 => MaxFeatures::Sqrt,
+            2 => MaxFeatures::Count(r.get_varint()? as usize),
+            tag => return Err(PickleError::InvalidTag { tag, context: "MaxFeatures" }),
+        };
+        let seed = r.get_u64()?;
+        let n_classes = r.get_varint()? as usize;
+        let n_features = r.get_varint()? as usize;
+        let n_nodes = r.get_count(2)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            match r.get_u8()? {
+                0 => {
+                    let proba = r.get_f64_vec()?;
+                    if !proba.is_empty() && proba.len() != n_classes {
+                        return Err(PickleError::Invalid(format!(
+                            "leaf with {} probabilities for {n_classes} classes",
+                            proba.len()
+                        )));
+                    }
+                    nodes.push(Node::Leaf { proba });
+                }
+                1 => {
+                    let feature = r.get_varint()?;
+                    if feature >= n_features as u64 {
+                        return Err(PickleError::Invalid(format!(
+                            "split on feature {feature} of {n_features}"
+                        )));
+                    }
+                    let threshold = r.get_f64()?;
+                    let left = r.get_varint()?;
+                    let right = r.get_varint()?;
+                    if left as usize >= n_nodes || right as usize >= n_nodes {
+                        return Err(PickleError::Invalid("child node index out of range".into()));
+                    }
+                    nodes.push(Node::Split {
+                        feature: feature as u32,
+                        threshold,
+                        left: left as u32,
+                        right: right as u32,
+                    });
+                }
+                tag => return Err(PickleError::InvalidTag { tag, context: "tree node" }),
+            }
+        }
+        Ok(DecisionTreeClassifier {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            max_features,
+            seed,
+            nodes,
+            n_classes,
+            n_features,
+        })
+    }
+
+    fn size_hint(&self) -> usize {
+        64 + self.nodes.len() * (16 + self.n_classes * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<u32>) {
+        // XOR: not linearly separable, trees handle it.
+        let x = Matrix::from_rows(&[
+            [0.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 0.0],
+            [1.0, 1.0],
+            [0.1, 0.1],
+            [0.1, 0.9],
+            [0.9, 0.1],
+            [0.9, 0.9],
+        ])
+        .unwrap();
+        let y = vec![0, 1, 1, 0, 0, 1, 1, 0];
+        (x, y)
+    }
+
+    #[test]
+    fn fits_xor_perfectly() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new().with_max_depth(1);
+        t.fit(&x, &y, 2).unwrap();
+        assert!(t.depth() <= 1);
+        // A depth-1 tree cannot solve XOR.
+        let pred = t.predict(&x).unwrap();
+        assert_ne!(pred, y);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let x = Matrix::from_rows(&[[1.0], [2.0], [3.0]]).unwrap();
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &[1, 1, 1], 2).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&x).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new().with_max_depth(1);
+        t.fit(&x, &y, 2).unwrap();
+        let p = t.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new();
+        t.min_samples_leaf = 4;
+        t.fit(&x, &y, 2).unwrap();
+        // With 8 samples and min leaf 4 only one split is possible.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let t = DecisionTreeClassifier::new();
+        let x = Matrix::from_rows(&[[1.0]]).unwrap();
+        assert_eq!(t.predict(&x).unwrap_err(), MlError::NotFitted);
+        let (xx, yy) = xor_data();
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&xx, &yy, 2).unwrap();
+        let wrong = Matrix::from_rows(&[[1.0]]).unwrap();
+        assert!(matches!(t.predict(&wrong), Err(MlError::Shape(_))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let mut a = DecisionTreeClassifier::new()
+            .with_max_features(MaxFeatures::Count(1))
+            .with_seed(7);
+        let mut b = DecisionTreeClassifier::new()
+            .with_max_features(MaxFeatures::Count(1))
+            .with_seed(7);
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pickle_round_trip() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&t);
+        let back: DecisionTreeClassifier = mlcs_pickle::unpickle(&blob).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn corrupt_tree_rejected() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &y, 2).unwrap();
+        let blob = mlcs_pickle::pickle(&t);
+        for cut in [blob.len() / 4, blob.len() / 2, blob.len() - 2] {
+            assert!(mlcs_pickle::unpickle::<DecisionTreeClassifier>(&blob[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn feature_importance_prefers_informative_feature() {
+        // Feature 1 is pure noise; feature 0 decides the class.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let v = i as f64 / 40.0;
+            rows.push([if i % 2 == 0 { v } else { v + 2.0 }, (i * 37 % 17) as f64]);
+            labels.push((i % 2) as u32);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut t = DecisionTreeClassifier::new().with_max_depth(4);
+        t.fit(&x, &labels, 2).unwrap();
+        let imp = t.feature_importances();
+        assert!(imp[0] > imp[1], "importances {imp:?}");
+    }
+
+    #[test]
+    fn multiclass() {
+        let x = Matrix::from_rows(&[[0.0], [1.0], [2.0], [0.1], [1.1], [2.1]]).unwrap();
+        let y = vec![0, 1, 2, 0, 1, 2];
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &y, 3).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+        assert_eq!(t.n_classes(), 3);
+    }
+}

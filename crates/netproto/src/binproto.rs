@@ -1,0 +1,249 @@
+//! Binary-protocol client (MySQL-binary cost profile).
+
+use crate::framing::{
+    decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind,
+};
+use bytes::Buf;
+use mlcs_columnar::{
+    Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// A client that fetches results in the binary row encoding: no text
+/// conversion, but still row-at-a-time decoding and a rows→columns
+/// transpose on the client.
+pub struct BinaryClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BinaryClient {
+    /// Connects to a [`crate::Server`].
+    pub fn connect(addr: SocketAddr) -> DbResult<BinaryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        Ok(BinaryClient { reader, writer: stream })
+    }
+
+    /// Runs a query and materializes the result as a client-side batch.
+    pub fn query(&mut self, sql: &str) -> DbResult<Batch> {
+        write_frame(
+            &mut self.writer,
+            FrameKind::Query,
+            &encode_query(Encoding::Binary, sql),
+        )?;
+        let (kind, payload) = read_frame(&mut self.reader)?;
+        match kind {
+            FrameKind::Error => {
+                return Err(DbError::Io(format!(
+                    "server error: {}",
+                    String::from_utf8_lossy(&payload)
+                )))
+            }
+            FrameKind::Schema => {}
+            other => {
+                return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}")))
+            }
+        }
+        let fields = decode_schema(&payload)?;
+        let schema = Arc::new(Schema::new_unchecked(
+            fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
+        ));
+        let types: Vec<DataType> = fields.iter().map(|(_, t)| *t).collect();
+        let mut builders: Vec<ColumnBuilder> =
+            types.iter().map(|t| ColumnBuilder::new(*t)).collect();
+        loop {
+            let (kind, payload) = read_frame(&mut self.reader)?;
+            match kind {
+                FrameKind::RowsBinary => parse_binary_rows(&payload, &types, &mut builders)?,
+                FrameKind::Done => break,
+                FrameKind::Error => {
+                    return Err(DbError::Io(format!(
+                        "server error: {}",
+                        String::from_utf8_lossy(&payload)
+                    )))
+                }
+                other => {
+                    return Err(DbError::Corrupt(format!("unexpected frame {other:?}")))
+                }
+            }
+        }
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        Batch::new(schema, columns)
+    }
+}
+
+fn parse_binary_rows(
+    payload: &[u8],
+    types: &[DataType],
+    builders: &mut [ColumnBuilder],
+) -> DbResult<()> {
+    let mut buf = payload;
+    let corrupt = || DbError::Corrupt("truncated binary row".into());
+    while buf.has_remaining() {
+        for (t, b) in types.iter().zip(builders.iter_mut()) {
+            if !buf.has_remaining() {
+                return Err(corrupt());
+            }
+            let marker = buf.get_u8();
+            if marker == 0 {
+                b.push_null();
+                continue;
+            }
+            match t {
+                DataType::Boolean => {
+                    if buf.remaining() < 1 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Boolean(buf.get_u8() != 0))?;
+                }
+                DataType::Int8 => {
+                    if buf.remaining() < 1 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Int8(buf.get_i8()))?;
+                }
+                DataType::Int16 => {
+                    if buf.remaining() < 2 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Int16(buf.get_i16_le()))?;
+                }
+                DataType::Int32 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Int32(buf.get_i32_le()))?;
+                }
+                DataType::Int64 => {
+                    if buf.remaining() < 8 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Int64(buf.get_i64_le()))?;
+                }
+                DataType::Float32 => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Float32(buf.get_f32_le()))?;
+                }
+                DataType::Float64 => {
+                    if buf.remaining() < 8 {
+                        return Err(corrupt());
+                    }
+                    b.push_value(&Value::Float64(buf.get_f64_le()))?;
+                }
+                DataType::Varchar => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt());
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len {
+                        return Err(corrupt());
+                    }
+                    let s = std::str::from_utf8(&buf[..len])
+                        .map_err(|_| DbError::Corrupt("non-UTF-8 string on wire".into()))?
+                        .to_owned();
+                    buf.advance(len);
+                    b.push_value(&Value::Varchar(s))?;
+                }
+                DataType::Blob => {
+                    if buf.remaining() < 4 {
+                        return Err(corrupt());
+                    }
+                    let len = buf.get_u32_le() as usize;
+                    if buf.remaining() < len {
+                        return Err(corrupt());
+                    }
+                    let bytes = buf[..len].to_vec();
+                    buf.advance(len);
+                    b.push_value(&Value::Blob(bytes))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use mlcs_columnar::Database;
+
+    fn serve() -> Server {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, s VARCHAR, f DOUBLE, b BLOB)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES
+               (1, 'x', 0.5, x'0102'),
+               (2, NULL, NULL, NULL),
+               (-3, 'ünïcode', -2.5, x'')",
+        )
+        .unwrap();
+        Server::start(db).unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_values_exactly() {
+        let server = serve();
+        let mut client = BinaryClient::connect(server.addr()).unwrap();
+        let batch = client.query("SELECT a, s, f, b FROM t ORDER BY a").unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.row(0)[0], Value::Int32(-3));
+        assert_eq!(batch.row(0)[1], Value::Varchar("ünïcode".into()));
+        assert_eq!(batch.row(0)[3], Value::Blob(vec![]));
+        assert_eq!(batch.row(1)[0], Value::Int32(1));
+        assert_eq!(batch.row(1)[3], Value::Blob(vec![1, 2]));
+        assert!(batch.row(2)[1].is_null());
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_and_text_agree() {
+        let server = serve();
+        let mut bin = BinaryClient::connect(server.addr()).unwrap();
+        let mut txt = crate::textproto::TextClient::connect(server.addr()).unwrap();
+        let sql = "SELECT a, s, f FROM t ORDER BY a";
+        let b = bin.query(sql).unwrap();
+        let t = txt.query(sql).unwrap();
+        assert_eq!(b.rows(), t.rows());
+        for r in 0..b.rows() {
+            assert_eq!(b.row(r), t.row(r), "row {r}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_propagate_and_connection_survives() {
+        let server = serve();
+        let mut client = BinaryClient::connect(server.addr()).unwrap();
+        assert!(client.query("SELECT broken syntax here").is_err());
+        assert_eq!(client.query("SELECT COUNT(*) FROM t").unwrap().rows(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = serve();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = BinaryClient::connect(addr).unwrap();
+                    for _ in 0..5 {
+                        let b = c.query("SELECT a FROM t").unwrap();
+                        assert_eq!(b.rows(), 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

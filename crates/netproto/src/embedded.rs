@@ -1,0 +1,134 @@
+//! Embedded row-cursor API (SQLite cost profile).
+//!
+//! No socket, no serialization — but the consumer still walks the result
+//! one row at a time, extracting each value individually, then transposes
+//! everything back into columns. This is how scripting languages typically
+//! consume embedded databases, and it is the third baseline family of
+//! Figure 1.
+
+use mlcs_columnar::{Batch, ColumnBuilder, Database, DbResult, Schema, Value};
+use std::sync::Arc;
+
+/// A stepping cursor over a materialized query result.
+pub struct RowCursor {
+    batch: Batch,
+    row: isize,
+}
+
+impl RowCursor {
+    /// Executes `sql` and returns a cursor positioned before the first row.
+    pub fn query(db: &Database, sql: &str) -> DbResult<RowCursor> {
+        Ok(RowCursor { batch: db.query(sql)?, row: -1 })
+    }
+
+    /// Advances to the next row; returns false when exhausted.
+    pub fn step(&mut self) -> bool {
+        if (self.row + 1) as usize >= self.batch.rows() {
+            return false;
+        }
+        self.row += 1;
+        true
+    }
+
+    /// Number of result columns.
+    pub fn column_count(&self) -> usize {
+        self.batch.width()
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.batch.schema()
+    }
+
+    /// The value of column `col` in the current row. Panics if `step` has
+    /// not been called or returned false (like misusing sqlite3_column).
+    pub fn get(&self, col: usize) -> Value {
+        assert!(self.row >= 0, "step() must succeed before get()");
+        self.batch.column(col).value(self.row as usize)
+    }
+
+    /// Current row's value as i64, if integer and non-NULL.
+    pub fn get_i64(&self, col: usize) -> Option<i64> {
+        assert!(self.row >= 0, "step() must succeed before get()");
+        self.batch.column(col).i64_at(self.row as usize)
+    }
+
+    /// Current row's value as f64, if numeric and non-NULL.
+    pub fn get_f64(&self, col: usize) -> Option<f64> {
+        assert!(self.row >= 0, "step() must succeed before get()");
+        self.batch.column(col).f64_at(self.row as usize)
+    }
+
+    /// Drains the cursor the way a script consumes an embedded database:
+    /// step, extract every value, append to growing per-column buffers —
+    /// the row-at-a-time tax made explicit.
+    pub fn drain_to_batch(mut self) -> DbResult<Batch> {
+        let schema = self.batch.schema().clone();
+        let mut builders: Vec<ColumnBuilder> =
+            schema.fields().iter().map(|f| ColumnBuilder::new(f.dtype)).collect();
+        while self.step() {
+            for (c, b) in builders.iter_mut().enumerate() {
+                b.push_value(&self.get(c))?;
+            }
+        }
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        Batch::new(schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, f DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0.5), (2, NULL), (3, 2.5)").unwrap();
+        db
+    }
+
+    #[test]
+    fn step_and_get() {
+        let db = db();
+        let mut cur = RowCursor::query(&db, "SELECT a, f FROM t ORDER BY a").unwrap();
+        assert_eq!(cur.column_count(), 2);
+        let mut seen = Vec::new();
+        while cur.step() {
+            seen.push((cur.get_i64(0), cur.get_f64(1)));
+        }
+        assert_eq!(
+            seen,
+            vec![(Some(1), Some(0.5)), (Some(2), None), (Some(3), Some(2.5))]
+        );
+        assert!(!cur.step(), "exhausted cursor stays exhausted");
+    }
+
+    #[test]
+    fn drain_reconstructs_batch() {
+        let db = db();
+        let direct = db.query("SELECT a, f FROM t ORDER BY a").unwrap();
+        let drained = RowCursor::query(&db, "SELECT a, f FROM t ORDER BY a")
+            .unwrap()
+            .drain_to_batch()
+            .unwrap();
+        assert_eq!(direct.rows(), drained.rows());
+        for r in 0..direct.rows() {
+            assert_eq!(direct.row(r), drained.row(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step() must succeed")]
+    fn get_before_step_panics() {
+        let db = db();
+        let cur = RowCursor::query(&db, "SELECT a FROM t").unwrap();
+        let _ = cur.get(0);
+    }
+
+    #[test]
+    fn empty_result() {
+        let db = db();
+        let mut cur = RowCursor::query(&db, "SELECT a FROM t WHERE a > 100").unwrap();
+        assert!(!cur.step());
+    }
+}

@@ -1,0 +1,193 @@
+//! Wire framing shared by the server and both socket clients.
+//!
+//! Every message is one frame: a 1-byte kind, a 4-byte little-endian
+//! payload length, then the payload. Result sets stream as a schema frame,
+//! row frames (batched), and a done frame.
+
+use bytes::{Buf, BufMut, BytesMut};
+use mlcs_columnar::{DataType, DbError, DbResult};
+use std::io::{Read, Write};
+
+/// Frame kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: SQL text; payload starts with the encoding byte.
+    Query = 1,
+    /// Server → client: result schema.
+    Schema = 2,
+    /// Server → client: a batch of rows (text encoding).
+    RowsText = 3,
+    /// Server → client: a batch of rows (binary encoding).
+    RowsBinary = 4,
+    /// Server → client: end of result; payload = row count (u64).
+    Done = 5,
+    /// Server → client: error message.
+    Error = 6,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> DbResult<FrameKind> {
+        Ok(match b {
+            1 => FrameKind::Query,
+            2 => FrameKind::Schema,
+            3 => FrameKind::RowsText,
+            4 => FrameKind::RowsBinary,
+            5 => FrameKind::Done,
+            6 => FrameKind::Error,
+            other => {
+                return Err(DbError::Corrupt(format!("unknown frame kind {other:#04x}")))
+            }
+        })
+    }
+}
+
+/// Hard cap on a single frame's payload (64 MiB) so a corrupted length
+/// prefix cannot trigger an absurd allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> DbResult<()> {
+    let mut header = [0u8; 5];
+    header[0] = kind as u8;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame.
+pub fn read_frame(r: &mut impl Read) -> DbResult<(FrameKind, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let kind = FrameKind::from_byte(header[0])?;
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(DbError::Corrupt(format!("frame of {len} bytes exceeds the cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+/// The result-set encoding a client requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Tab-separated text rows.
+    Text = 0,
+    /// Length/width-prefixed binary rows.
+    Binary = 1,
+}
+
+/// Encodes a query request payload.
+pub fn encode_query(encoding: Encoding, sql: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + sql.len());
+    out.push(encoding as u8);
+    out.extend_from_slice(sql.as_bytes());
+    out
+}
+
+/// Decodes a query request payload into `(encoding, sql)`.
+pub fn decode_query(payload: &[u8]) -> DbResult<(Encoding, String)> {
+    if payload.is_empty() {
+        return Err(DbError::Corrupt("empty query frame".into()));
+    }
+    let encoding = match payload[0] {
+        0 => Encoding::Text,
+        1 => Encoding::Binary,
+        other => return Err(DbError::Corrupt(format!("unknown encoding byte {other}"))),
+    };
+    let sql = std::str::from_utf8(&payload[1..])
+        .map_err(|_| DbError::Corrupt("query is not valid UTF-8".into()))?
+        .to_owned();
+    Ok((encoding, sql))
+}
+
+/// Encodes a result schema: column count, then per column a name and a
+/// type tag.
+pub fn encode_schema(fields: &[(String, DataType)]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(fields.len() as u16);
+    for (name, dtype) in fields {
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        buf.put_u8(dtype.tag());
+    }
+    buf.to_vec()
+}
+
+/// Decodes a schema frame.
+pub fn decode_schema(payload: &[u8]) -> DbResult<Vec<(String, DataType)>> {
+    let mut buf = payload;
+    let corrupt = || DbError::Corrupt("truncated schema frame".into());
+    if buf.remaining() < 2 {
+        return Err(corrupt());
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 2 {
+            return Err(corrupt());
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len + 1 {
+            return Err(corrupt());
+        }
+        let name = std::str::from_utf8(&buf[..name_len])
+            .map_err(|_| DbError::Corrupt("schema name is not UTF-8".into()))?
+            .to_owned();
+        buf.advance(name_len);
+        let dtype = DataType::from_tag(buf.get_u8())
+            .ok_or_else(|| DbError::Corrupt("unknown type tag in schema".into()))?;
+        out.push((name, dtype));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Done, &42u64.to_le_bytes()).unwrap();
+        let (kind, payload) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Done);
+        assert_eq!(payload, 42u64.to_le_bytes());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.push(FrameKind::Query as u8);
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let buf = [99u8, 0, 0, 0, 0];
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let payload = encode_query(Encoding::Binary, "SELECT 1");
+        let (enc, sql) = decode_query(&payload).unwrap();
+        assert_eq!(enc, Encoding::Binary);
+        assert_eq!(sql, "SELECT 1");
+        assert!(decode_query(&[]).is_err());
+        assert!(decode_query(&[9, b'x']).is_err());
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let fields = vec![
+            ("id".to_owned(), DataType::Int32),
+            ("name".to_owned(), DataType::Varchar),
+        ];
+        let enc = encode_schema(&fields);
+        assert_eq!(decode_schema(&enc).unwrap(), fields);
+        assert!(decode_schema(&enc[..3]).is_err());
+    }
+}

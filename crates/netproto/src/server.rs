@@ -1,0 +1,239 @@
+//! The database server: accepts TCP connections, runs queries, streams
+//! result rows in the requested encoding.
+//!
+//! This is the "separate database server, connected through a socket"
+//! setup whose end-to-end cost Figure 1 measures: results are serialized
+//! row by row, shipped through the kernel, and re-parsed on the client —
+//! work the in-database UDFs never do.
+
+use crate::framing::{
+    decode_query, encode_schema, write_frame, Encoding, FrameKind,
+};
+use mlcs_columnar::{Batch, Database, DbResult, Value};
+use std::io::{BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Rows per `Rows*` frame.
+pub const ROWS_PER_FRAME: usize = 1024;
+
+/// A running server. Dropping the handle stops accepting new connections.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts serving `db` on a fresh localhost port.
+    pub fn start(db: Database) -> DbResult<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::Builder::new()
+            .name("mlcs-server-accept".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let db = db.clone();
+                            // Workers are detached: joining them here would
+                            // deadlock shutdown whenever a client keeps its
+                            // connection open. A worker exits as soon as its
+                            // client disconnects; a read timeout bounds how
+                            // long an idle connection can outlive the server.
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, db);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, db: Database) -> DbResult<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::with_capacity(1 << 16, stream);
+    loop {
+        let (kind, payload) = match crate::framing::read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // client hung up
+        };
+        if kind != FrameKind::Query {
+            write_frame(&mut writer, FrameKind::Error, b"expected a query frame")?;
+            writer.flush()?;
+            continue;
+        }
+        let (encoding, sql) = match decode_query(&payload) {
+            Ok(q) => q,
+            Err(e) => {
+                write_frame(&mut writer, FrameKind::Error, e.to_string().as_bytes())?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        match db.execute(&sql) {
+            Err(e) => {
+                write_frame(&mut writer, FrameKind::Error, e.to_string().as_bytes())?;
+            }
+            Ok(result) => {
+                let batch = result.batch();
+                stream_result(&mut writer, batch, encoding)?;
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Streams one result set: schema frame, row frames, done frame.
+fn stream_result(w: &mut impl Write, batch: &Batch, encoding: Encoding) -> DbResult<()> {
+    let fields: Vec<(String, mlcs_columnar::DataType)> = batch
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), f.dtype))
+        .collect();
+    write_frame(w, FrameKind::Schema, &encode_schema(&fields))?;
+    let mut payload = Vec::with_capacity(64 * ROWS_PER_FRAME);
+    let mut start = 0;
+    while start < batch.rows() {
+        let end = (start + ROWS_PER_FRAME).min(batch.rows());
+        payload.clear();
+        match encoding {
+            Encoding::Text => encode_rows_text(batch, start, end, &mut payload),
+            Encoding::Binary => encode_rows_binary(batch, start, end, &mut payload),
+        }
+        let kind = match encoding {
+            Encoding::Text => FrameKind::RowsText,
+            Encoding::Binary => FrameKind::RowsBinary,
+        };
+        write_frame(w, kind, &payload)?;
+        start = end;
+    }
+    write_frame(w, FrameKind::Done, &(batch.rows() as u64).to_le_bytes())?;
+    Ok(())
+}
+
+/// Text encoding: rows separated by `\n`, fields by `\t`, NULL as `\N`,
+/// with `\` `\t` `\n` escaped — the PostgreSQL COPY-ish format.
+fn encode_rows_text(batch: &Batch, start: usize, end: usize, out: &mut Vec<u8>) {
+    for r in start..end {
+        for (c, col) in batch.columns().iter().enumerate() {
+            if c > 0 {
+                out.push(b'\t');
+            }
+            let v = col.value(r);
+            if v.is_null() {
+                out.extend_from_slice(b"\\N");
+            } else {
+                let text = v.render();
+                for b in text.bytes() {
+                    match b {
+                        b'\\' => out.extend_from_slice(b"\\\\"),
+                        b'\t' => out.extend_from_slice(b"\\t"),
+                        b'\n' => out.extend_from_slice(b"\\n"),
+                        other => out.push(other),
+                    }
+                }
+            }
+        }
+        out.push(b'\n');
+    }
+}
+
+/// Binary encoding: per value a null marker byte, then for non-NULLs the
+/// fixed-width little-endian value or a u32-length-prefixed byte string.
+fn encode_rows_binary(batch: &Batch, start: usize, end: usize, out: &mut Vec<u8>) {
+    for r in start..end {
+        for col in batch.columns() {
+            let v = col.value(r);
+            match v {
+                Value::Null => out.push(0),
+                other => {
+                    out.push(1);
+                    match other {
+                        Value::Boolean(b) => out.push(b as u8),
+                        Value::Int8(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Int16(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Int32(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Int64(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Float32(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Float64(x) => out.extend_from_slice(&x.to_le_bytes()),
+                        Value::Varchar(s) => {
+                            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                            out.extend_from_slice(s.as_bytes());
+                        }
+                        Value::Blob(b) => {
+                            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                            out.extend_from_slice(&b);
+                        }
+                        Value::Null => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_starts_and_stops() {
+        let db = Database::new();
+        let server = Server::start(db).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        // Connect/disconnect without sending anything.
+        let stream = TcpStream::connect(addr).unwrap();
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_first_frame_gets_error() {
+        let db = Database::new();
+        let server = Server::start(db).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A Schema frame is not a valid request.
+        write_frame(&mut stream, FrameKind::Schema, b"").unwrap();
+        let (kind, payload) = crate::framing::read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Error);
+        assert!(!payload.is_empty());
+        server.shutdown();
+    }
+}

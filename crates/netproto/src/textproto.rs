@@ -1,0 +1,249 @@
+//! Text-protocol client (PostgreSQL-classic cost profile).
+
+use crate::framing::{
+    decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind,
+};
+use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// A client that fetches results in the text encoding: every value crosses
+/// the wire as text and is parsed back into its native type on the client.
+pub struct TextClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TextClient {
+    /// Connects to a [`crate::Server`].
+    pub fn connect(addr: SocketAddr) -> DbResult<TextClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
+        Ok(TextClient { reader, writer: stream })
+    }
+
+    /// Runs a query and materializes the full result as a client-side
+    /// batch (rebuilding columns from the streamed rows).
+    pub fn query(&mut self, sql: &str) -> DbResult<Batch> {
+        write_frame(&mut self.writer, FrameKind::Query, &encode_query(Encoding::Text, sql))?;
+        let (kind, payload) = read_frame(&mut self.reader)?;
+        match kind {
+            FrameKind::Error => {
+                return Err(DbError::Io(format!(
+                    "server error: {}",
+                    String::from_utf8_lossy(&payload)
+                )))
+            }
+            FrameKind::Schema => {}
+            other => return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}"))),
+        }
+        let fields = decode_schema(&payload)?;
+        let schema = Arc::new(Schema::new_unchecked(
+            fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
+        ));
+        let mut builders: Vec<ColumnBuilder> =
+            fields.iter().map(|(_, t)| ColumnBuilder::new(*t)).collect();
+        loop {
+            let (kind, payload) = read_frame(&mut self.reader)?;
+            match kind {
+                FrameKind::RowsText => {
+                    parse_text_rows(&payload, &mut builders)?;
+                }
+                FrameKind::Done => break,
+                FrameKind::Error => {
+                    return Err(DbError::Io(format!(
+                        "server error: {}",
+                        String::from_utf8_lossy(&payload)
+                    )))
+                }
+                other => {
+                    return Err(DbError::Corrupt(format!("unexpected frame {other:?}")))
+                }
+            }
+        }
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        Batch::new(schema, columns)
+    }
+}
+
+/// Parses a text rows frame into the column builders.
+///
+/// The encoding escapes literal tabs and newlines, so raw `\t` / `\n`
+/// bytes are unambiguous field and row separators.
+fn parse_text_rows(payload: &[u8], builders: &mut [ColumnBuilder]) -> DbResult<()> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| DbError::Corrupt("rows frame is not UTF-8".into()))?;
+    let mut field = String::new();
+    for line in text.split_terminator('\n') {
+        let mut col = 0usize;
+        for raw in line.split('\t') {
+            if col >= builders.len() {
+                return Err(DbError::Shape(format!(
+                    "text row has more than {} fields",
+                    builders.len()
+                )));
+            }
+            if raw == "\\N" {
+                builders[col].push_null();
+                col += 1;
+                continue;
+            }
+            field.clear();
+            let mut chars = raw.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('t') => field.push('\t'),
+                        Some('n') => field.push('\n'),
+                        Some('\\') => field.push('\\'),
+                        other => {
+                            return Err(DbError::Corrupt(format!(
+                                "bad escape '\\{}' in text row",
+                                other.map(String::from).unwrap_or_default()
+                            )))
+                        }
+                    }
+                } else {
+                    field.push(c);
+                }
+            }
+            push_text_value(&mut builders[col], &field, false)?;
+            col += 1;
+        }
+        if col != builders.len() {
+            return Err(DbError::Shape(format!(
+                "text row has {col} fields, expected {}",
+                builders.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one text field into the typed builder — the per-value conversion
+/// cost that makes text protocols slow.
+fn push_text_value(b: &mut ColumnBuilder, text: &str, is_null: bool) -> DbResult<()> {
+    if is_null {
+        b.push_null();
+        return Ok(());
+    }
+    let bad = |t: &str| DbError::Corrupt(format!("cannot parse '{text}' as {t}"));
+    match b.data_type() {
+        DataType::Boolean => match text {
+            "true" => b.push_value(&Value::Boolean(true)),
+            "false" => b.push_value(&Value::Boolean(false)),
+            _ => Err(bad("BOOLEAN")),
+        },
+        DataType::Int8 => b.push_value(&Value::Int8(text.parse().map_err(|_| bad("TINYINT"))?)),
+        DataType::Int16 => {
+            b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?))
+        }
+        DataType::Int32 => {
+            b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?))
+        }
+        DataType::Int64 => b.push_value(&Value::Int64(text.parse().map_err(|_| bad("BIGINT"))?)),
+        DataType::Float32 => {
+            b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?))
+        }
+        DataType::Float64 => {
+            b.push_value(&Value::Float64(text.parse().map_err(|_| bad("DOUBLE"))?))
+        }
+        DataType::Varchar => b.push_value(&Value::Varchar(text.to_owned())),
+        DataType::Blob => {
+            // Blobs arrive as \xHEX.
+            let hex = text.strip_prefix("\\x").ok_or_else(|| bad("BLOB"))?;
+            if hex.len() % 2 != 0 {
+                return Err(bad("BLOB"));
+            }
+            let mut bytes = Vec::with_capacity(hex.len() / 2);
+            for pair in hex.as_bytes().chunks(2) {
+                let s = std::str::from_utf8(pair).map_err(|_| bad("BLOB"))?;
+                bytes.push(u8::from_str_radix(s, 16).map_err(|_| bad("BLOB"))?);
+            }
+            b.push_value(&Value::Blob(bytes))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use mlcs_columnar::Database;
+
+    fn serve() -> (Server, Database) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, s VARCHAR, f DOUBLE)").unwrap();
+        db.execute(
+            "INSERT INTO t VALUES (1, 'plain', 0.5), (2, 'tab\there', NULL), (NULL, 'x', -1.5)",
+        )
+        .unwrap();
+        let server = Server::start(db.clone()).unwrap();
+        (server, db)
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let (server, _db) = serve();
+        let mut client = TextClient::connect(server.addr()).unwrap();
+        let batch = client.query("SELECT a, s, f FROM t ORDER BY a").unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.row(0), vec![Value::Int32(1), "plain".into(), Value::Float64(0.5)]);
+        // Escaped tab survives.
+        assert_eq!(batch.row(1)[1], Value::Varchar("tab\there".into()));
+        assert!(batch.row(1)[2].is_null());
+        // NULLs last under ASC by default.
+        assert!(batch.row(2)[0].is_null());
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_queries_on_one_connection() {
+        let (server, _db) = serve();
+        let mut client = TextClient::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            let b = client.query("SELECT COUNT(*) FROM t").unwrap();
+            assert_eq!(b.row(0)[0], Value::Int64(3));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_errors_propagate() {
+        let (server, _db) = serve();
+        let mut client = TextClient::connect(server.addr()).unwrap();
+        let err = client.query("SELECT * FROM nonexistent").unwrap_err();
+        assert!(err.to_string().contains("nonexistent"));
+        // The connection stays usable afterwards.
+        assert_eq!(client.query("SELECT 1").unwrap().rows(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn blobs_cross_as_hex() {
+        let db = Database::new();
+        db.execute("CREATE TABLE b (v BLOB)").unwrap();
+        db.execute("INSERT INTO b VALUES (x'00ff10')").unwrap();
+        let server = Server::start(db).unwrap();
+        let mut client = TextClient::connect(server.addr()).unwrap();
+        let batch = client.query("SELECT v FROM b").unwrap();
+        assert_eq!(batch.row(0)[0], Value::Blob(vec![0x00, 0xFF, 0x10]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn large_result_spans_frames() {
+        let db = Database::new();
+        db.execute("CREATE TABLE big (x INTEGER)").unwrap();
+        let values: Vec<String> = (0..5000).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", values.join(","))).unwrap();
+        let server = Server::start(db).unwrap();
+        let mut client = TextClient::connect(server.addr()).unwrap();
+        let batch = client.query("SELECT x FROM big").unwrap();
+        assert_eq!(batch.rows(), 5000);
+        assert_eq!(batch.row(4999)[0], Value::Int32(4999));
+        server.shutdown();
+    }
+}

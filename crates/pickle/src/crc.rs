@@ -1,0 +1,78 @@
+//! CRC-32 (IEEE 802.3 polynomial) used to checksum pickle payloads.
+//!
+//! Implemented with a lazily-built 256-entry lookup table; this is the same
+//! polynomial (`0xEDB88320` reflected) used by zlib, PNG and Ethernet, so
+//! the values are easy to cross-check against other tools.
+
+/// The reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Builds the byte-indexed CRC table at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 checksum of `data`.
+///
+/// ```
+/// // Well-known test vector: crc32(b"123456789") == 0xCBF43926.
+/// assert_eq!(mlcs_pickle::crc::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed chunks through `update`, starting from
+/// `0xFFFF_FFFF`, and XOR the final state with `0xFFFF_FFFF`.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello pickle world, this is a streaming test";
+        let oneshot = crc32(data);
+        let mut st = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            st = update(st, chunk);
+        }
+        assert_eq!(st ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = b"some payload bytes".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 0x10;
+        assert_ne!(before, crc32(&data));
+    }
+}

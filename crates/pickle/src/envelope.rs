@@ -1,0 +1,165 @@
+//! The pickle envelope: magic, version, class name, payload, checksum.
+//!
+//! Layout of an enveloped pickle (all integers little-endian):
+//!
+//! ```text
+//! +------+---------+------------------+-----------------+----------+--------+
+//! | MAGIC| version | class name       | payload length  | payload  | crc32  |
+//! | 4 B  | u16     | varint len + str | varint          | N bytes  | u32    |
+//! +------+---------+------------------+-----------------+----------+--------+
+//! ```
+//!
+//! The checksum covers only the payload, so the (cheap) header can be read
+//! to identify a BLOB's class without validating megabytes of model weights;
+//! see [`unpickle_class_name`].
+
+use crate::crc::crc32;
+use crate::error::PickleError;
+use crate::reader::Reader;
+use crate::traits::Pickle;
+use crate::writer::Writer;
+
+/// Magic bytes identifying an mlcs pickle blob: `MLPK`.
+pub const MAGIC: [u8; 4] = *b"MLPK";
+
+/// Current envelope format version. Readers accept this version and older.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Serializes `value` into an enveloped, checksummed byte string suitable
+/// for storage in a database BLOB column.
+pub fn pickle<T: Pickle>(value: &T) -> Vec<u8> {
+    let mut body = Writer::with_capacity(value.size_hint());
+    value.pickle_body(&mut body);
+    let payload = body.into_bytes();
+
+    let mut w = Writer::with_capacity(payload.len() + T::CLASS_NAME.len() + 24);
+    w.put_raw(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_str(T::CLASS_NAME);
+    w.put_bytes(&payload);
+    w.put_u32(crc32(&payload));
+    w.into_bytes()
+}
+
+/// Reads and validates the envelope header, returning the payload slice.
+fn open_envelope<'a>(blob: &'a [u8], expected_class: Option<&'static str>) -> Result<(&'a str, &'a [u8]), PickleError> {
+    let mut r = Reader::new(blob);
+    let magic = r.get_raw(4)?;
+    if magic != MAGIC {
+        return Err(PickleError::BadMagic { found: magic.try_into().unwrap() });
+    }
+    let version = r.get_u16()?;
+    if version > FORMAT_VERSION {
+        return Err(PickleError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    }
+    let class = r.get_str()?;
+    if let Some(expected) = expected_class {
+        if class != expected {
+            return Err(PickleError::ClassMismatch { found: class.to_owned(), expected });
+        }
+    }
+    let payload = r.get_bytes()?;
+    let stored = r.get_u32()?;
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(PickleError::ChecksumMismatch { stored, computed });
+    }
+    r.expect_exhausted()?;
+    Ok((class, payload))
+}
+
+/// Deserializes an enveloped pickle produced by [`pickle`], validating the
+/// magic number, version, class name, and checksum.
+pub fn unpickle<T: Pickle>(blob: &[u8]) -> Result<T, PickleError> {
+    let (_, payload) = open_envelope(blob, Some(T::CLASS_NAME))?;
+    let mut r = Reader::new(payload);
+    let value = T::unpickle_body(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(value)
+}
+
+/// Reads only the class name from an enveloped pickle, without decoding the
+/// payload. Useful for dispatching on heterogeneous model BLOBs: the model
+/// store looks at the class name to decide which concrete model type to
+/// unpickle. The payload checksum **is** still verified.
+pub fn unpickle_class_name(blob: &[u8]) -> Result<String, PickleError> {
+    let (class, _) = open_envelope(blob, None)?;
+    Ok(class.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        let blob = pickle(&vec![1.0f64, 2.0, 3.0]);
+        let v: Vec<f64> = unpickle(&blob).unwrap();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn class_name_readable_without_decoding() {
+        let blob = pickle(&String::from("hi"));
+        assert_eq!(unpickle_class_name(&blob).unwrap(), "String");
+    }
+
+    #[test]
+    fn wrong_class_rejected() {
+        let blob = pickle(&42i32);
+        let err = unpickle::<String>(&blob).unwrap_err();
+        assert!(matches!(err, PickleError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut blob = pickle(&vec![5i64; 100]);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xFF;
+        let err = unpickle::<Vec<i64>>(&blob).unwrap_err();
+        assert!(
+            matches!(err, PickleError::ChecksumMismatch { .. })
+                || matches!(err, PickleError::ImplausibleLength { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut blob = pickle(&1u8);
+        blob[0] = b'X';
+        assert!(matches!(unpickle::<u8>(&blob).unwrap_err(), PickleError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut blob = pickle(&1u8);
+        blob[4] = 0xFF;
+        blob[5] = 0xFF;
+        assert!(matches!(
+            unpickle::<u8>(&blob).unwrap_err(),
+            PickleError::UnsupportedVersion { found: 0xFFFF, .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let blob = pickle(&vec![1i64, 2, 3]);
+        for cut in 0..blob.len() {
+            let err = unpickle::<Vec<i64>>(&blob[..cut]);
+            assert!(err.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut blob = pickle(&7u32);
+        blob.push(0);
+        assert!(unpickle::<u32>(&blob).is_err());
+    }
+
+    #[test]
+    fn empty_blob_rejected() {
+        assert!(unpickle::<u8>(&[]).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Pickle`] trait and blanket implementations for common types.
+
+use crate::error::PickleError;
+use crate::reader::Reader;
+use crate::writer::Writer;
+
+/// Types that can be serialized into a pickle payload.
+///
+/// Implementors provide a stable `CLASS_NAME` (recorded in the envelope and
+/// checked at unpickle time) plus symmetric body encode/decode functions.
+/// Use [`crate::pickle`] / [`crate::unpickle`] for the enveloped form that
+/// is stored in database BLOBs; `pickle_body` / `unpickle_body` are the raw
+/// building blocks used for nested fields.
+pub trait Pickle: Sized {
+    /// Stable identifier recorded in the envelope; mismatches are rejected.
+    const CLASS_NAME: &'static str;
+
+    /// Serializes `self` into the writer. Infallible.
+    fn pickle_body(&self, w: &mut Writer);
+
+    /// Decodes an instance from the reader, validating as it goes.
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError>;
+
+    /// Hint for preallocating the output buffer. Implementations with a
+    /// cheaply computable encoded size should override this; the default of
+    /// 64 bytes is fine for small metadata objects.
+    fn size_hint(&self) -> usize {
+        64
+    }
+}
+
+macro_rules! impl_pickle_scalar {
+    ($ty:ty, $name:literal, $put:ident, $get:ident) => {
+        impl Pickle for $ty {
+            const CLASS_NAME: &'static str = $name;
+            fn pickle_body(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+            fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+                r.$get()
+            }
+            fn size_hint(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
+        }
+    };
+}
+
+impl_pickle_scalar!(u8, "u8", put_u8, get_u8);
+impl_pickle_scalar!(u16, "u16", put_u16, get_u16);
+impl_pickle_scalar!(u32, "u32", put_u32, get_u32);
+impl_pickle_scalar!(u64, "u64", put_u64, get_u64);
+impl_pickle_scalar!(i8, "i8", put_i8, get_i8);
+impl_pickle_scalar!(i16, "i16", put_i16, get_i16);
+impl_pickle_scalar!(i32, "i32", put_i32, get_i32);
+impl_pickle_scalar!(i64, "i64", put_i64, get_i64);
+impl_pickle_scalar!(f32, "f32", put_f32, get_f32);
+impl_pickle_scalar!(f64, "f64", put_f64, get_f64);
+impl_pickle_scalar!(bool, "bool", put_bool, get_bool);
+
+impl Pickle for String {
+    const CLASS_NAME: &'static str = "String";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        Ok(r.get_str()?.to_owned())
+    }
+    fn size_hint(&self) -> usize {
+        self.len() + 5
+    }
+}
+
+impl<T: Pickle> Pickle for Option<T> {
+    const CLASS_NAME: &'static str = "Option";
+    fn pickle_body(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.pickle_body(w);
+            }
+        }
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpickle_body(r)?)),
+            tag => Err(PickleError::InvalidTag { tag, context: "Option discriminant" }),
+        }
+    }
+}
+
+impl<T: Pickle> Pickle for Vec<T> {
+    const CLASS_NAME: &'static str = "Vec";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_varint(self.len() as u64);
+        for item in self {
+            item.pickle_body(w);
+        }
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        let n = r.get_count(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::unpickle_body(r)?);
+        }
+        Ok(out)
+    }
+    fn size_hint(&self) -> usize {
+        5 + self.iter().map(Pickle::size_hint).sum::<usize>()
+    }
+}
+
+impl<A: Pickle, B: Pickle> Pickle for (A, B) {
+    const CLASS_NAME: &'static str = "Tuple2";
+    fn pickle_body(&self, w: &mut Writer) {
+        self.0.pickle_body(w);
+        self.1.pickle_body(w);
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        Ok((A::unpickle_body(r)?, B::unpickle_body(r)?))
+    }
+}
+
+impl<A: Pickle, B: Pickle, C: Pickle> Pickle for (A, B, C) {
+    const CLASS_NAME: &'static str = "Tuple3";
+    fn pickle_body(&self, w: &mut Writer) {
+        self.0.pickle_body(w);
+        self.1.pickle_body(w);
+        self.2.pickle_body(w);
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        Ok((A::unpickle_body(r)?, B::unpickle_body(r)?, C::unpickle_body(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Pickle + PartialEq + std::fmt::Debug>(v: T) {
+        let mut w = Writer::new();
+        v.pickle_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = T::unpickle_body(&mut r).unwrap();
+        assert_eq!(back, v);
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(42u8);
+        round_trip(-3i64);
+        round_trip(6.25f64);
+        round_trip(true);
+        round_trip(f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_survives_round_trip_bitwise() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = Writer::new();
+        v.pickle_body(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::unpickle_body(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(String::from("hello world"));
+        round_trip(String::new());
+        round_trip(Option::<i32>::None);
+        round_trip(Some(99i32));
+        round_trip(vec![1i64, -2, 3]);
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![Some("a".to_string()), None]);
+        round_trip((1u32, -5i64));
+        round_trip((true, 2.5f64, String::from("z")));
+    }
+
+    #[test]
+    fn nested_vectors_round_trip() {
+        round_trip(vec![vec![1u32, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn option_bad_tag_rejected() {
+        let bytes = [7u8];
+        let err = Option::<u8>::unpickle_body(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, PickleError::InvalidTag { tag: 7, .. }));
+    }
+}

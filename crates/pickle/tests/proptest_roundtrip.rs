@@ -1,0 +1,127 @@
+//! Property-based tests: every value that can be pickled unpickles to an
+//! equal value, and no mutation of the blob is silently accepted.
+
+use mlcs_pickle::{pickle, unpickle, PickleError, Pickle, Reader, Writer};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn u64_varint_round_trip(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(Reader::new(&bytes).get_varint().unwrap(), v);
+    }
+
+    #[test]
+    fn i64_zigzag_round_trip(v in any::<i64>()) {
+        let mut w = Writer::new();
+        w.put_varint_signed(v);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(Reader::new(&bytes).get_varint_signed().unwrap(), v);
+    }
+
+    #[test]
+    fn f64_vec_round_trip(v in proptest::collection::vec(any::<f64>(), 0..200)) {
+        let blob = pickle(&v);
+        let back: Vec<f64> = unpickle(&blob).unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for (a, b) in back.iter().zip(&v) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn string_round_trip(s in ".{0,120}") {
+        let blob = pickle(&s.to_string());
+        let back: String = unpickle(&blob).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn nested_round_trip(v in proptest::collection::vec(
+        proptest::collection::vec(any::<i64>(), 0..20), 0..20)) {
+        let blob = pickle(&v);
+        let back: Vec<Vec<i64>> = unpickle(&blob).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Flipping any single byte of the blob must be detected — either as a
+    /// checksum mismatch or as a structural error — never accepted as a
+    /// different valid value of the same class with intact envelope.
+    #[test]
+    fn single_byte_corruption_never_silently_accepted(
+        v in proptest::collection::vec(any::<i64>(), 1..50),
+        idx_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let blob = pickle(&v);
+        let idx = idx_seed % blob.len();
+        let mut bad = blob.clone();
+        bad[idx] ^= flip;
+        match unpickle::<Vec<i64>>(&bad) {
+            Err(_) => {} // detected: good
+            Ok(back) => {
+                // Only acceptable silent case: corruption in the *checksum
+                // field itself* cannot produce Ok, and header corruption is
+                // caught, so payload corruption producing Ok would require a
+                // crc32 collision — treat as failure.
+                prop_assert_eq!(back, v, "corruption produced a different value");
+                // If it round-trips to the same value the flipped byte must
+                // have been... impossible, since every byte is significant.
+                prop_assert!(false, "corrupted blob decoded successfully");
+            }
+        }
+    }
+
+    /// Truncation at any point must fail.
+    #[test]
+    fn truncation_always_detected(
+        v in proptest::collection::vec(any::<f64>(), 0..30),
+        cut_seed in any::<usize>(),
+    ) {
+        let blob = pickle(&v);
+        let cut = cut_seed % blob.len();
+        prop_assert!(unpickle::<Vec<f64>>(&blob[..cut]).is_err());
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Meta {
+    name: String,
+    accuracy: f64,
+    trees: u32,
+    tags: Vec<String>,
+}
+
+impl Pickle for Meta {
+    const CLASS_NAME: &'static str = "Meta";
+    fn pickle_body(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_f64(self.accuracy);
+        w.put_u32(self.trees);
+        self.tags.pickle_body(w);
+    }
+    fn unpickle_body(r: &mut Reader) -> Result<Self, PickleError> {
+        Ok(Meta {
+            name: r.get_str()?.to_owned(),
+            accuracy: r.get_f64()?,
+            trees: r.get_u32()?,
+            tags: Vec::<String>::unpickle_body(r)?,
+        })
+    }
+}
+
+proptest! {
+    #[test]
+    fn struct_round_trip(
+        name in ".{0,40}",
+        accuracy in 0.0f64..1.0,
+        trees in 0u32..1000,
+        tags in proptest::collection::vec(".{0,10}", 0..8),
+    ) {
+        let m = Meta { name: name.to_string(), accuracy, trees, tags };
+        let blob = pickle(&m);
+        prop_assert_eq!(unpickle::<Meta>(&blob).unwrap(), m);
+    }
+}

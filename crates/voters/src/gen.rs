@@ -1,0 +1,255 @@
+//! Synthetic North Carolina voter data.
+
+use mlcs_columnar::{Batch, Column, DbResult, Field, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct VoterConfig {
+    /// Voter rows (paper: 7,500,000).
+    pub rows: usize,
+    /// Precinct rows (paper: 2,751).
+    pub precincts: usize,
+    /// Voter attribute columns (paper: 96, including the precinct id).
+    pub features: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VoterConfig {
+    fn default() -> Self {
+        // One-hundredth of paper scale: comfortable for tests; benches
+        // scale up via `rows`.
+        VoterConfig { rows: 75_000, precincts: 2_751, features: 96, seed: 2012 }
+    }
+}
+
+impl VoterConfig {
+    /// The paper's full scale (7.5M × 96, 2751 precincts).
+    pub fn paper_scale() -> VoterConfig {
+        VoterConfig { rows: 7_500_000, ..Default::default() }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> VoterConfig {
+        VoterConfig { rows: 2_000, precincts: 50, features: 12, seed: 7 }
+    }
+}
+
+/// The generated datasets.
+#[derive(Debug, Clone)]
+pub struct VoterData {
+    /// Voter rows: `voter_id BIGINT, precinct_id INTEGER, f00.. INTEGER`.
+    pub voters: Batch,
+    /// Precinct rows: `precinct_id INTEGER, votes_dem INTEGER,
+    /// votes_rep INTEGER`.
+    pub precincts: Batch,
+}
+
+/// Feature-column name, stable across the workspace (`f00`, `f01`, …).
+pub fn feature_name(i: usize) -> String {
+    format!("f{i:02}")
+}
+
+/// The voters schema for the given feature count.
+pub fn voters_schema(features: usize) -> Arc<Schema> {
+    let mut fields = vec![
+        Field::not_null("voter_id", mlcs_columnar::DataType::Int64),
+        Field::not_null("precinct_id", mlcs_columnar::DataType::Int32),
+    ];
+    for i in 0..features {
+        fields.push(Field::not_null(feature_name(i), mlcs_columnar::DataType::Int32));
+    }
+    Arc::new(Schema::new_unchecked(fields))
+}
+
+/// The precincts schema.
+pub fn precincts_schema() -> Arc<Schema> {
+    Arc::new(Schema::new_unchecked(vec![
+        Field::not_null("precinct_id", mlcs_columnar::DataType::Int32),
+        Field::not_null("votes_dem", mlcs_columnar::DataType::Int32),
+        Field::not_null("votes_rep", mlcs_columnar::DataType::Int32),
+    ]))
+}
+
+/// Generates the synthetic datasets.
+///
+/// Shape decisions mirroring the real data:
+/// * each precinct gets a partisan lean (dem share in \[0.15, 0.85\]);
+/// * voters are assigned to precincts roughly uniformly;
+/// * the first three feature columns are classic demographics (age,
+///   gender code, ethnicity code); the next three correlate with the
+///   precinct lean so a model can actually learn; the rest is noise —
+///   like the bulk of the 96 administrative columns;
+/// * precinct vote totals are consistent with the leans.
+pub fn generate(config: &VoterConfig) -> DbResult<VoterData> {
+    assert!(config.precincts > 0, "need at least one precinct");
+    assert!(config.features >= 6, "need at least 6 feature columns");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Precinct leans.
+    let leans: Vec<f64> =
+        (0..config.precincts).map(|_| rng.gen_range(0.15..0.85)).collect();
+
+    // Voters.
+    let mut voter_id = Vec::with_capacity(config.rows);
+    let mut precinct_id = Vec::with_capacity(config.rows);
+    let mut features: Vec<Vec<i32>> =
+        (0..config.features).map(|_| Vec::with_capacity(config.rows)).collect();
+    let mut precinct_sizes = vec![0u32; config.precincts];
+    for i in 0..config.rows {
+        let p = rng.gen_range(0..config.precincts);
+        precinct_sizes[p] += 1;
+        voter_id.push(i as i64);
+        precinct_id.push(p as i32);
+        let lean_bucket = (leans[p] * 10.0) as i32;
+        for (f, col) in features.iter_mut().enumerate() {
+            let v = match f {
+                0 => rng.gen_range(18..95),                       // age
+                1 => rng.gen_range(0..2),                         // gender code
+                2 => rng.gen_range(0..7),                         // ethnicity code
+                3..=5 => lean_bucket * 3 + rng.gen_range(-2..=2), // informative
+                _ => rng.gen_range(0..1000),                      // administrative noise
+            };
+            col.push(v);
+        }
+    }
+    let mut columns: Vec<Arc<Column>> = vec![
+        Arc::new(Column::from_i64s(voter_id)),
+        Arc::new(Column::from_i32s(precinct_id)),
+    ];
+    for col in features {
+        columns.push(Arc::new(Column::from_i32s(col)));
+    }
+    let voters = Batch::new(voters_schema(config.features), columns)?;
+
+    // Precinct vote totals consistent with the leans.
+    let mut pid = Vec::with_capacity(config.precincts);
+    let mut dem = Vec::with_capacity(config.precincts);
+    let mut rep = Vec::with_capacity(config.precincts);
+    for (p, &lean) in leans.iter().enumerate() {
+        // Turnout proportional to precinct size (at least a handful).
+        let turnout = (precinct_sizes[p].max(5) as f64 * rng.gen_range(0.5..0.9)) as i32;
+        let d = (turnout as f64 * lean).round() as i32;
+        pid.push(p as i32);
+        dem.push(d);
+        rep.push((turnout - d).max(0));
+    }
+    let precincts = Batch::new(
+        precincts_schema(),
+        vec![
+            Arc::new(Column::from_i32s(pid)),
+            Arc::new(Column::from_i32s(dem)),
+            Arc::new(Column::from_i32s(rep)),
+        ],
+    )?;
+    Ok(VoterData { voters, precincts })
+}
+
+/// Loads both datasets into database tables `voters` and `precincts`.
+pub fn load_into_db(db: &mlcs_columnar::Database, data: &VoterData) -> DbResult<()> {
+    db.catalog().put_table(
+        mlcs_columnar::Table::from_batch("voters", data.voters.clone()),
+        false,
+    )?;
+    db.catalog().put_table(
+        mlcs_columnar::Table::from_batch("precincts", data.precincts.clone()),
+        false,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_config() {
+        let cfg = VoterConfig::tiny();
+        let data = generate(&cfg).unwrap();
+        assert_eq!(data.voters.rows(), cfg.rows);
+        assert_eq!(data.voters.width(), cfg.features + 2);
+        assert_eq!(data.precincts.rows(), cfg.precincts);
+        assert_eq!(data.precincts.width(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = VoterConfig::tiny();
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.voters, b.voters);
+        assert_eq!(a.precincts, b.precincts);
+        let c = generate(&VoterConfig { seed: 8, ..cfg }).unwrap();
+        assert_ne!(a.voters, c.voters);
+    }
+
+    #[test]
+    fn every_voter_joins_a_precinct() {
+        let data = generate(&VoterConfig::tiny()).unwrap();
+        let max_pid = data
+            .voters
+            .column_by_name("precinct_id")
+            .unwrap()
+            .i32s()
+            .unwrap()
+            .iter()
+            .max()
+            .copied()
+            .unwrap();
+        assert!((max_pid as usize) < 50);
+    }
+
+    #[test]
+    fn vote_totals_plausible() {
+        let data = generate(&VoterConfig::tiny()).unwrap();
+        let dem = data.precincts.column_by_name("votes_dem").unwrap();
+        let rep = data.precincts.column_by_name("votes_rep").unwrap();
+        for i in 0..data.precincts.rows() {
+            let d = dem.i64_at(i).unwrap();
+            let r = rep.i64_at(i).unwrap();
+            assert!(d >= 0 && r >= 0);
+            assert!(d + r > 0, "precinct {i} has zero turnout");
+        }
+    }
+
+    #[test]
+    fn informative_features_correlate_with_lean() {
+        let data = generate(&VoterConfig::tiny()).unwrap();
+        // Feature 3 (index 3 => column f03 at position 5) tracks lean
+        // buckets: its per-precinct mean should vary far more than noise.
+        let f3 = data.voters.column(5).i32s().unwrap();
+        let pids = data.voters.column(1).i32s().unwrap();
+        let mut by_precinct: std::collections::HashMap<i32, (f64, u32)> =
+            std::collections::HashMap::new();
+        for (&p, &v) in pids.iter().zip(f3) {
+            let e = by_precinct.entry(p).or_insert((0.0, 0));
+            e.0 += v as f64;
+            e.1 += 1;
+        }
+        let means: Vec<f64> =
+            by_precinct.values().map(|(s, n)| s / *n as f64).collect();
+        let overall: f64 = means.iter().sum::<f64>() / means.len() as f64;
+        let spread =
+            means.iter().map(|m| (m - overall).abs()).sum::<f64>() / means.len() as f64;
+        assert!(spread > 1.0, "informative feature has no precinct signal: {spread}");
+    }
+
+    #[test]
+    fn db_load_roundtrip() {
+        let db = mlcs_columnar::Database::new();
+        let data = generate(&VoterConfig::tiny()).unwrap();
+        load_into_db(&db, &data).unwrap();
+        let n = db.query_value("SELECT COUNT(*) FROM voters").unwrap();
+        assert_eq!(n.as_i64().unwrap(), 2000);
+        let j = db
+            .query_value(
+                "SELECT COUNT(*) FROM voters v JOIN precincts p
+                 ON v.precinct_id = p.precinct_id",
+            )
+            .unwrap();
+        assert_eq!(j.as_i64().unwrap(), 2000, "join must not drop voters");
+    }
+}

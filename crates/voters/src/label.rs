@@ -1,0 +1,175 @@
+//! Weighted-random label generation (paper §4 "Preprocessing").
+//!
+//! The paper generates a "true" class label per voter from the joined
+//! precinct vote shares: a voter in a precinct that went 60% Democrat has
+//! a 60% chance of the Democrat label. We make the coin flip a
+//! deterministic hash of `(voter_id, seed)` so every data-access method
+//! produces the *same* labels and their pipeline outputs are comparable.
+
+use mlcs_columnar::{ClosureScalarUdf, Column, Database, DataType, DbError};
+use std::sync::Arc;
+
+/// The label for the Democrat class.
+pub const LABEL_DEM: i64 = 1;
+/// The label for the Republican class.
+pub const LABEL_REP: i64 = 2;
+
+/// SplitMix64: a fast, well-distributed 64-bit mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic uniform \[0, 1) draw for a voter.
+pub fn voter_uniform(voter_id: i64, seed: u64) -> f64 {
+    let h = splitmix64((voter_id as u64) ^ splitmix64(seed));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The weighted-random label for one voter given precinct vote counts.
+pub fn weighted_label(voter_id: i64, votes_dem: i64, votes_rep: i64, seed: u64) -> i64 {
+    let total = (votes_dem + votes_rep).max(1) as f64;
+    let dem_share = votes_dem as f64 / total;
+    if voter_uniform(voter_id, seed) < dem_share {
+        LABEL_DEM
+    } else {
+        LABEL_REP
+    }
+}
+
+/// Registers the `gen_label(voter_id, votes_dem, votes_rep, seed)` scalar
+/// UDF so the in-database pipeline can generate labels in SQL — its
+/// preprocessing equivalent of the paper's UDF-assisted wrangling.
+pub fn register_label_udf(db: &Database) {
+    db.register_scalar_udf(Arc::new(
+        ClosureScalarUdf::new("gen_label", DataType::Int64, |args| {
+            if args.len() != 4 {
+                return Err(DbError::Udf {
+                    function: "gen_label".into(),
+                    message: "usage: gen_label(voter_id, votes_dem, votes_rep, seed)".into(),
+                });
+            }
+            let n = args.iter().map(|c| c.len()).max().unwrap_or(0);
+            let idx = |c: &Column, i: usize| if c.len() == 1 { 0 } else { i };
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let vid = args[0].i64_at(idx(&args[0], i));
+                let dem = args[1].i64_at(idx(&args[1], i));
+                let rep = args[2].i64_at(idx(&args[2], i));
+                let seed = args[3].i64_at(idx(&args[3], i));
+                match (vid, dem, rep, seed) {
+                    (Some(v), Some(d), Some(r), Some(s)) => {
+                        out.push(weighted_label(v, d, r, s as u64))
+                    }
+                    _ => {
+                        return Err(DbError::Udf {
+                            function: "gen_label".into(),
+                            message: format!("NULL argument at row {i}"),
+                        })
+                    }
+                }
+            }
+            Ok(Column::from_i64s(out))
+        })
+        .parallel(),
+    ));
+}
+
+/// Registers `split_u(voter_id, seed)` → DOUBLE, a deterministic uniform
+/// draw used to make the train/test split inside SQL. The same function
+/// ([`voter_uniform`]) drives the client-side split, so every method
+/// trains and tests on identical rows.
+pub fn register_split_udf(db: &Database) {
+    db.register_scalar_udf(Arc::new(
+        ClosureScalarUdf::new("split_u", DataType::Float64, |args| {
+            if args.len() != 2 {
+                return Err(DbError::Udf {
+                    function: "split_u".into(),
+                    message: "usage: split_u(voter_id, seed)".into(),
+                });
+            }
+            let n = args.iter().map(|c| c.len()).max().unwrap_or(0);
+            let idx = |c: &Column, i: usize| if c.len() == 1 { 0 } else { i };
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match (args[0].i64_at(idx(&args[0], i)), args[1].i64_at(idx(&args[1], i))) {
+                    (Some(v), Some(s)) => out.push(voter_uniform(v, s as u64)),
+                    _ => {
+                        return Err(DbError::Udf {
+                            function: "split_u".into(),
+                            message: format!("NULL argument at row {i}"),
+                        })
+                    }
+                }
+            }
+            Ok(Column::from_f64s(out))
+        })
+        .parallel(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        for id in 0..1000 {
+            let u = voter_uniform(id, 42);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, voter_uniform(id, 42));
+        }
+        assert_ne!(voter_uniform(5, 1), voter_uniform(5, 2));
+    }
+
+    #[test]
+    fn label_frequencies_track_shares() {
+        let n = 50_000;
+        let dem_count = (0..n)
+            .filter(|&i| weighted_label(i, 60, 40, 7) == LABEL_DEM)
+            .count();
+        let share = dem_count as f64 / n as f64;
+        assert!((share - 0.6).abs() < 0.02, "observed dem share {share}");
+        // Degenerate precincts.
+        assert_eq!(weighted_label(1, 10, 0, 7), LABEL_DEM);
+        assert_eq!(weighted_label(1, 0, 10, 7), LABEL_REP);
+        // Zero turnout does not panic.
+        let l = weighted_label(1, 0, 0, 7);
+        assert!(l == LABEL_DEM || l == LABEL_REP);
+    }
+
+    #[test]
+    fn split_udf_matches_direct_function() {
+        let db = Database::new();
+        register_split_udf(&db);
+        db.execute("CREATE TABLE t (vid BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (0), (1), (2)").unwrap();
+        let out = db.query("SELECT vid, split_u(vid, 9) FROM t ORDER BY vid").unwrap();
+        for i in 0..3 {
+            let vid = out.row(i)[0].as_i64().unwrap();
+            assert_eq!(out.row(i)[1].as_f64().unwrap(), voter_uniform(vid, 9));
+        }
+    }
+
+    #[test]
+    fn udf_matches_direct_function() {
+        let db = Database::new();
+        register_label_udf(&db);
+        db.execute("CREATE TABLE t (vid BIGINT, d INTEGER, r INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (0, 60, 40), (1, 60, 40), (2, 10, 90)").unwrap();
+        let out = db
+            .query("SELECT vid, gen_label(vid, d, r, 42) AS label FROM t ORDER BY vid")
+            .unwrap();
+        for i in 0..3 {
+            let vid = out.row(i)[0].as_i64().unwrap();
+            let (d, r) = if vid == 2 { (10, 90) } else { (60, 40) };
+            assert_eq!(
+                out.row(i)[1].as_i64().unwrap(),
+                weighted_label(vid, d, r, 42),
+                "voter {vid}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # mlcs-voters — the voter-classification workload
+//!
+//! The paper's evaluation workload (§4): classify how North Carolina
+//! voters voted in the 2012 presidential election, using
+//!
+//! * a **voters dataset** — one row per voter with 96 attribute columns
+//!   (7.5M rows in the paper; scalable here), and
+//! * a **precinct votes dataset** — per-precinct two-party vote totals
+//!   (2,751 rows).
+//!
+//! Since the real dataset is not shipped, [`gen`] produces a synthetic
+//! statistically-shaped equivalent: same schema, same key structure, same
+//! join selectivity, with a few informative feature columns so the
+//! classifier has signal to find. The measured quantity in Figure 1 — the
+//! time to move N×96 integers through each access path and run the
+//! pipeline — does not depend on the data's provenance.
+//!
+//! [`pipeline`] implements the full classification pipeline once per data
+//! access method (in-database UDFs, NPY files, h5lite, CSV, socket text
+//! protocol, socket binary protocol, embedded row cursor), and
+//! [`report`] renders the Figure 1 comparison.
+
+pub mod analysis;
+pub mod gen;
+pub mod label;
+pub mod pipeline;
+pub mod report;
+
+pub use gen::{generate, VoterConfig, VoterData};
+pub use pipeline::{run_method, Method, PipelineOptions, PipelineRun};
+pub use report::Figure1Row;

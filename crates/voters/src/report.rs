@@ -1,0 +1,90 @@
+//! Rendering the Figure 1 comparison.
+
+use crate::pipeline::PipelineRun;
+
+/// One row of the Figure 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure1Row {
+    /// Method label.
+    pub method: &'static str,
+    /// Load + wrangle seconds (the paper's gray bar).
+    pub load_wrangle_s: f64,
+    /// Total pipeline seconds (the paper's full bar).
+    pub total_s: f64,
+    /// Quality (mean absolute precinct-share error).
+    pub share_error: f64,
+}
+
+impl From<&PipelineRun> for Figure1Row {
+    fn from(run: &PipelineRun) -> Figure1Row {
+        Figure1Row {
+            method: run.method.label(),
+            load_wrangle_s: run.load_wrangle.as_secs_f64(),
+            total_s: run.total.as_secs_f64(),
+            share_error: run.share_error,
+        }
+    }
+}
+
+/// Renders the runs the way the paper's Figure 1 presents them: total
+/// pipeline time with the load/wrangle fraction called out, slowest first
+/// (the paper sorts its bars by height).
+pub fn render_figure1(runs: &[PipelineRun]) -> String {
+    let mut rows: Vec<Figure1Row> = runs.iter().map(Figure1Row::from).collect();
+    rows.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).expect("finite"));
+    let max_total = rows.iter().map(|r| r.total_s).fold(0.0, f64::max).max(1e-9);
+    let mut out = String::new();
+    out.push_str("Figure 1: Voter Classification Benchmark (reproduction)\n");
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>8}  bar (█ load+wrangle, ░ train+predict)\n",
+        "method", "wrangle(s)", "total(s)", "err"
+    ));
+    for r in &rows {
+        let width = 40.0;
+        let bar_total = ((r.total_s / max_total) * width).round() as usize;
+        let bar_gray =
+            (((r.load_wrangle_s / max_total) * width).round() as usize).min(bar_total);
+        let mut bar = String::new();
+        bar.push_str(&"█".repeat(bar_gray));
+        bar.push_str(&"░".repeat(bar_total - bar_gray));
+        out.push_str(&format!(
+            "{:<28} {:>10.3} {:>10.3} {:>8.4}  {bar}\n",
+            r.method, r.load_wrangle_s, r.total_s, r.share_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Method;
+    use std::time::Duration;
+
+    fn fake(method: Method, wrangle_ms: u64, total_ms: u64) -> PipelineRun {
+        PipelineRun {
+            method,
+            load_wrangle: Duration::from_millis(wrangle_ms),
+            train: Duration::from_millis(total_ms - wrangle_ms),
+            predict: Duration::ZERO,
+            total: Duration::from_millis(total_ms),
+            share_error: 0.05,
+            test_rows: 100,
+        }
+    }
+
+    #[test]
+    fn renders_sorted_with_bars() {
+        let runs = vec![
+            fake(Method::InDb, 10, 100),
+            fake(Method::Csv, 900, 1000),
+        ];
+        let text = render_figure1(&runs);
+        // Slowest first.
+        let csv_pos = text.find("csv").unwrap();
+        let indb_pos = text.find("in-db").unwrap();
+        assert!(csv_pos < indb_pos, "{text}");
+        assert!(text.contains('█'));
+        assert!(text.contains("err"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Model management and ensemble learning (paper §2.2, §3.3): train a
+//! family of models, store them with metadata, query the store with SQL,
+//! pick the best, and combine them into ensembles.
+//!
+//! Run with: `cargo run --release --example model_management`
+
+use mlcs::columnar::Database;
+use mlcs::mlcore::ensemble::{ensemble_predict, EnsembleStrategy};
+use mlcs::mlcore::meta;
+use mlcs::mlcore::pipeline::{train_in_db, Algorithm, TrainOptions};
+use mlcs::mlcore::ModelStore;
+use mlcs::ml::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    mlcs::mlcore::register_ml_udfs(&db);
+
+    // A noisy two-class dataset.
+    db.execute("CREATE TABLE obs (a DOUBLE, b DOUBLE, label INTEGER)")?;
+    let mut rows = Vec::new();
+    for i in 0..600 {
+        let cls = i % 2;
+        let noise = ((i * 73) % 200) as f64 / 100.0 - 1.0;
+        let center = if cls == 0 { -1.2 } else { 1.2 };
+        rows.push(format!("({}, {}, {cls})", center + noise, center - noise * 0.7));
+    }
+    db.execute(&format!("INSERT INTO obs VALUES {}", rows.join(", ")))?;
+
+    // Train one model per algorithm, storing each with its metrics.
+    println!("Training five model families...");
+    for (name, algo) in [
+        ("rf_16", Algorithm::RandomForest { n_estimators: 16 }),
+        ("tree_d6", Algorithm::DecisionTree { max_depth: Some(6) }),
+        ("logreg", Algorithm::LogisticRegression { epochs: 200 }),
+        ("nb", Algorithm::GaussianNb),
+        ("knn_5", Algorithm::Knn { k: 5 }),
+    ] {
+        let report = train_in_db(
+            &db,
+            "SELECT a, b, label FROM obs",
+            &TrainOptions { algorithm: algo, ..Default::default() },
+            Some(name),
+        )?;
+        println!("  {name:<8} accuracy {:.3}  macro-F1 {:.3}", report.accuracy, report.macro_f1);
+    }
+
+    // Meta-analysis with plain SQL over the models table.
+    println!("\nLeaderboard (SQL over the models table):");
+    print!("{}", meta::leaderboard(&db)?.pretty());
+    println!("\nStorage cost per model:");
+    print!("{}", meta::storage_report(&db)?.pretty());
+
+    // Pick the best model by stored accuracy and use it.
+    let store = ModelStore::open(&db)?;
+    let (best_name, best) = store.load_best_by_accuracy()?;
+    println!("\nBest model by stored accuracy: {best_name}");
+    let x = Matrix::from_rows(&[[-1.5, -1.0], [1.5, 1.0]])?;
+    println!("  predictions for two probes: {:?}", best.predict(&x)?);
+
+    // Cross-validation in SQL (the paper's §3 "Training and Verification").
+    let cv = db.query(
+        "SELECT fold, accuracy FROM cross_validate('random_forest',
+           (SELECT a, b FROM obs), (SELECT label FROM obs), 5, 16)",
+    )?;
+    println!("\n5-fold cross-validation of the forest:");
+    print!("{}", cv.pretty());
+
+    // Ensembles over every stored model (paper §3.3).
+    let models: Vec<_> = store.load_all()?.into_iter().map(|(_, m)| m).collect();
+    let majority = ensemble_predict(&models, &x, EnsembleStrategy::MajorityVote)?;
+    let confident = ensemble_predict(&models, &x, EnsembleStrategy::HighestConfidence)?;
+    println!("  majority vote:        {majority:?}");
+    println!("  highest confidence:   {confident:?}");
+
+    Ok(())
+}

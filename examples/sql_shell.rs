@@ -1,0 +1,74 @@
+//! An interactive SQL shell over the embedded column store, with the ML
+//! UDFs registered — a small MonetDB-like REPL for poking at the system.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//!
+//! ```text
+//! mlcs> CREATE TABLE t (x INTEGER, label INTEGER);
+//! mlcs> INSERT INTO t VALUES (1, 0), (2, 0), (10, 1), (11, 1);
+//! mlcs> CREATE TABLE m AS SELECT * FROM train((SELECT x FROM t), (SELECT label FROM t), 8);
+//! mlcs> SELECT x, predict(x, (SELECT classifier FROM m)) FROM t;
+//! mlcs> SHOW TABLES;
+//! mlcs> \q
+//! ```
+
+use mlcs::columnar::{Database, StatementKind};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    mlcs::mlcore::register_ml_udfs(&db);
+    mlcs::voters::label::register_label_udf(&db);
+    println!("mlcs SQL shell — ML UDFs registered (train, predict, ...).");
+    println!("End statements with ';'. Commands: \\q quit, \\t timing toggle.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let mut timing = true;
+    loop {
+        if buffer.is_empty() {
+            print!("mlcs> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" | "exit" | "quit" => break,
+                "\\t" => {
+                    timing = !timing;
+                    println!("timing {}", if timing { "on" } else { "off" });
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue; // keep accumulating a multi-line statement
+        }
+        let sql = std::mem::take(&mut buffer);
+        match db.execute(&sql) {
+            Ok(result) => {
+                match result.kind() {
+                    StatementKind::Query => print!("{}", result.batch().pretty()),
+                    StatementKind::Ddl => println!("ok"),
+                    StatementKind::Dml => {
+                        println!("ok, {} row(s) affected", result.rows_affected())
+                    }
+                }
+                if timing {
+                    println!("({:.3} ms)", result.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+    Ok(())
+}

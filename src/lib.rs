@@ -1,0 +1,16 @@
+//! # mlcs — Machine Learning in a Column Store
+//!
+//! Umbrella crate re-exporting the full public API of the workspace.
+//!
+//! This is a from-scratch Rust reproduction of *Deep Integration of Machine
+//! Learning Into Column Stores* (Raasveldt et al., EDBT 2018): a columnar
+//! database engine with vectorized user-defined functions that can train,
+//! store, and apply machine-learning models entirely inside the database.
+
+pub use mlcs_columnar as columnar;
+pub use mlcs_core as mlcore;
+pub use mlcs_fileio as fileio;
+pub use mlcs_ml as ml;
+pub use mlcs_netproto as netproto;
+pub use mlcs_pickle as pickle;
+pub use mlcs_voters as voters;

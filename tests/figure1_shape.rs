@@ -1,0 +1,77 @@
+//! Integration test for the Figure 1 *shape*: at a modest scale, the
+//! in-database pipeline must spend dramatically less time on loading and
+//! wrangling than the text/socket baselines, and every method must agree
+//! on the classification outcome.
+//!
+//! Timing assertions on shared CI hardware are kept deliberately loose:
+//! we assert ordering relations with generous factors, not absolute times.
+
+use mlcs::voters::pipeline::{run_method, Method, PipelineEnv, PipelineOptions};
+use mlcs::voters::VoterConfig;
+
+fn env_and_opts(rows: usize) -> (PipelineEnv, PipelineOptions) {
+    let config = VoterConfig { rows, ..Default::default() };
+    let opts = PipelineOptions { n_estimators: 4, ..Default::default() };
+    (PipelineEnv::prepare(&config).expect("prepare"), opts)
+}
+
+#[test]
+fn in_db_wrangle_beats_text_paths() {
+    let (env, opts) = env_and_opts(30_000);
+    // Warm-up (hot runs, as in the paper).
+    for m in [Method::InDb, Method::Csv, Method::SocketText] {
+        run_method(&env, m, &opts).unwrap();
+    }
+    let indb = run_method(&env, Method::InDb, &opts).unwrap();
+    let csv = run_method(&env, Method::Csv, &opts).unwrap();
+    let sock = run_method(&env, Method::SocketText, &opts).unwrap();
+    // The paper's headline: the in-db wrangle bar is an order of
+    // magnitude below the text paths. We assert a conservative 2x.
+    assert!(
+        indb.load_wrangle.as_secs_f64() * 2.0 < csv.load_wrangle.as_secs_f64(),
+        "in-db wrangle {:?} not clearly below csv {:?}",
+        indb.load_wrangle,
+        csv.load_wrangle
+    );
+    assert!(
+        indb.load_wrangle.as_secs_f64() * 2.0 < sock.load_wrangle.as_secs_f64(),
+        "in-db wrangle {:?} not clearly below socket-text {:?}",
+        indb.load_wrangle,
+        sock.load_wrangle
+    );
+    env.cleanup();
+}
+
+#[test]
+fn binary_files_beat_csv_on_loading() {
+    let (env, opts) = env_and_opts(30_000);
+    for m in [Method::NpyFiles, Method::Csv] {
+        run_method(&env, m, &opts).unwrap();
+    }
+    let npy = run_method(&env, Method::NpyFiles, &opts).unwrap();
+    let csv = run_method(&env, Method::Csv, &opts).unwrap();
+    // Binary column files load much faster than parsed text (paper §4).
+    assert!(
+        npy.load_wrangle < csv.load_wrangle,
+        "npy {:?} not below csv {:?}",
+        npy.load_wrangle,
+        csv.load_wrangle
+    );
+    env.cleanup();
+}
+
+#[test]
+fn all_methods_reach_identical_quality() {
+    let (env, opts) = env_and_opts(10_000);
+    let mut errors = Vec::new();
+    for &m in Method::all() {
+        let run = run_method(&env, m, &opts).unwrap();
+        errors.push((m, run.share_error, run.test_rows));
+    }
+    let (m0, e0, n0) = errors[0];
+    for &(m, e, n) in &errors[1..] {
+        assert_eq!(n, n0, "{m:?} test rows differ from {m0:?}");
+        assert!((e - e0).abs() < 1e-9, "{m:?} error {e} != {m0:?} error {e0}");
+    }
+    env.cleanup();
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over the SQL engine: invariants that must hold
+//! for arbitrary data, exercised through the public API.
+
+use mlcs::columnar::{Database, Value};
+use proptest::prelude::*;
+
+/// Builds a database with one integer/float table from generated rows.
+fn db_with_rows(rows: &[(i32, f64)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k INTEGER, x DOUBLE)").unwrap();
+    if !rows.is_empty() {
+        let values: Vec<String> =
+            rows.iter().map(|(k, x)| format!("({k}, {x})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    }
+    db
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Finite, modest-magnitude doubles that render/parse exactly enough
+    // for SQL literal round trips.
+    (-1.0e9..1.0e9f64).prop_map(|v| (v * 100.0).round() / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COUNT(*) equals the number of inserted rows.
+    #[test]
+    fn count_star_matches_inserts(rows in proptest::collection::vec((any::<i32>(), finite_f64()), 0..60)) {
+        let db = db_with_rows(&rows);
+        let n = db.query_value("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(n, Value::Int64(rows.len() as i64));
+    }
+
+    /// Filtering partitions rows: |k < c| + |k >= c| == |t|.
+    #[test]
+    fn filter_partitions(
+        rows in proptest::collection::vec((any::<i32>(), finite_f64()), 0..60),
+        c in any::<i32>(),
+    ) {
+        let db = db_with_rows(&rows);
+        let lt = db.query(&format!("SELECT * FROM t WHERE k < {c}")).unwrap().rows();
+        let ge = db.query(&format!("SELECT * FROM t WHERE k >= {c}")).unwrap().rows();
+        prop_assert_eq!(lt + ge, rows.len());
+    }
+
+    /// GROUP BY COUNT sums back to the total row count, and the group
+    /// count equals the number of distinct keys.
+    #[test]
+    fn group_counts_sum_to_total(rows in proptest::collection::vec((0i32..10, finite_f64()), 1..80)) {
+        let db = db_with_rows(&rows);
+        let g = db.query("SELECT k, COUNT(*) AS n FROM t GROUP BY k").unwrap();
+        let total: i64 = (0..g.rows())
+            .map(|r| g.row(r)[1].as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        let distinct: std::collections::HashSet<i32> = rows.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(g.rows(), distinct.len());
+    }
+
+    /// ORDER BY produces a sorted permutation of the input.
+    #[test]
+    fn order_by_sorts(rows in proptest::collection::vec((any::<i32>(), finite_f64()), 0..60)) {
+        let db = db_with_rows(&rows);
+        let out = db.query("SELECT k FROM t ORDER BY k").unwrap();
+        prop_assert_eq!(out.rows(), rows.len());
+        let got: Vec<i64> = (0..out.rows()).map(|r| out.row(r)[0].as_i64().unwrap()).collect();
+        let mut expect: Vec<i64> = rows.iter().map(|(k, _)| *k as i64).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// LIMIT/OFFSET never exceed bounds and compose like slicing.
+    #[test]
+    fn limit_offset_slices(
+        rows in proptest::collection::vec((any::<i32>(), finite_f64()), 0..40),
+        limit in 0usize..50,
+        offset in 0usize..50,
+    ) {
+        let db = db_with_rows(&rows);
+        let all = db.query("SELECT k FROM t ORDER BY k, x").unwrap();
+        let page = db
+            .query(&format!("SELECT k FROM t ORDER BY k, x LIMIT {limit} OFFSET {offset}"))
+            .unwrap();
+        let start = offset.min(rows.len());
+        let expect = limit.min(rows.len() - start);
+        prop_assert_eq!(page.rows(), expect);
+        for i in 0..page.rows() {
+            prop_assert_eq!(page.row(i)[0].clone(), all.row(start + i)[0].clone());
+        }
+    }
+
+    /// DELETE + COUNT agree; DELETE everything leaves zero rows.
+    #[test]
+    fn delete_is_exact(
+        rows in proptest::collection::vec((0i32..20, finite_f64()), 0..50),
+        c in 0i32..20,
+    ) {
+        let db = db_with_rows(&rows);
+        let expect_deleted = rows.iter().filter(|(k, _)| *k == c).count();
+        let r = db.execute(&format!("DELETE FROM t WHERE k = {c}")).unwrap();
+        prop_assert_eq!(r.rows_affected(), expect_deleted);
+        let remaining = db.query_value("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(remaining, Value::Int64((rows.len() - expect_deleted) as i64));
+    }
+
+    /// A self-join on a unique key returns exactly the original rows.
+    #[test]
+    fn unique_self_join_is_identity(n in 0usize..40) {
+        let db = Database::new();
+        db.execute("CREATE TABLE u (id INTEGER, v INTEGER)").unwrap();
+        if n > 0 {
+            let values: Vec<String> = (0..n).map(|i| format!("({i}, {})", i * 7)).collect();
+            db.execute(&format!("INSERT INTO u VALUES {}", values.join(","))).unwrap();
+        }
+        let out = db
+            .query("SELECT a.id, b.v FROM u a JOIN u b ON a.id = b.id")
+            .unwrap();
+        prop_assert_eq!(out.rows(), n);
+    }
+
+    /// SUM over an integer column equals the reference sum.
+    #[test]
+    fn sum_matches_reference(rows in proptest::collection::vec((-1000i32..1000, finite_f64()), 1..60)) {
+        let db = db_with_rows(&rows);
+        let s = db.query_value("SELECT SUM(k) FROM t").unwrap();
+        let expect: i64 = rows.iter().map(|(k, _)| *k as i64).sum();
+        prop_assert_eq!(s, Value::Int64(expect));
+    }
+
+    /// UNION ALL concatenates exactly.
+    #[test]
+    fn union_all_concatenates(
+        a in proptest::collection::vec((any::<i32>(), finite_f64()), 0..30),
+        b in proptest::collection::vec((any::<i32>(), finite_f64()), 0..30),
+    ) {
+        let db = db_with_rows(&a);
+        db.execute("CREATE TABLE t2 (k INTEGER, x DOUBLE)").unwrap();
+        if !b.is_empty() {
+            let values: Vec<String> = b.iter().map(|(k, x)| format!("({k}, {x})")).collect();
+            db.execute(&format!("INSERT INTO t2 VALUES {}", values.join(","))).unwrap();
+        }
+        let out = db
+            .query("SELECT k FROM t UNION ALL SELECT k FROM t2")
+            .unwrap();
+        prop_assert_eq!(out.rows(), a.len() + b.len());
+    }
+}
