@@ -38,8 +38,7 @@ fn ensemble_strategies(c: &mut Criterion) {
             &models,
             |b, models| {
                 b.iter(|| {
-                    ensemble_predict(models, &probe, EnsembleStrategy::MajorityVote)
-                        .expect("vote")
+                    ensemble_predict(models, &probe, EnsembleStrategy::MajorityVote).expect("vote")
                 });
             },
         );
@@ -53,13 +52,9 @@ fn ensemble_strategies(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("single_best", n_models),
-            &models,
-            |b, models| {
-                b.iter(|| models[0].predict(&probe).expect("single"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("single_best", n_models), &models, |b, models| {
+            b.iter(|| models[0].predict(&probe).expect("single"));
+        });
     }
     group.finish();
 }

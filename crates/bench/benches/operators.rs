@@ -40,8 +40,7 @@ fn join_bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ROWS as u64));
     group.bench_function("hash_join_1m_x_100", |b| {
         b.iter(|| {
-            let out = exec::hash_join(&probe, &build, &[1], &[0], JoinType::Inner)
-                .expect("join");
+            let out = exec::hash_join(&probe, &build, &[1], &[0], JoinType::Inner).expect("join");
             assert_eq!(out.rows(), ROWS);
             out
         });
@@ -80,9 +79,8 @@ fn sql_end_to_end(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ROWS as u64));
     group.bench_function("sql_group_by_1m", |b| {
         b.iter(|| {
-            let out = db
-                .query("SELECT k, COUNT(*) AS n, AVG(x) AS mx FROM t GROUP BY k")
-                .expect("query");
+            let out =
+                db.query("SELECT k, COUNT(*) AS n, AVG(x) AS mx FROM t GROUP BY k").expect("query");
             assert_eq!(out.rows(), 100);
             out
         });

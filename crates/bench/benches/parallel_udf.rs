@@ -39,11 +39,9 @@ fn parallel_predict(c: &mut Criterion) {
                     let parts = parallel_map(ROWS, 16 * 1024, threads, |m| {
                         let idx: Vec<usize> = (m.start..m.start + m.len).collect();
                         let slice = probe.take_rows(&idx);
-                        sm.predict(&slice).map_err(|e| {
-                            mlcs_columnar::DbError::Udf {
-                                function: "bench predict".into(),
-                                message: e.to_string(),
-                            }
+                        sm.predict(&slice).map_err(|e| mlcs_columnar::DbError::Udf {
+                            function: "bench predict".into(),
+                            message: e.to_string(),
                         })
                     })
                     .expect("parallel predict");

@@ -42,8 +42,8 @@ fn knn_serialization(c: &mut Criterion) {
     let mut group = c.benchmark_group("serialize_knn");
     for rows in [1_000usize, 10_000, 50_000] {
         let (x, y) = blob_training_data(rows, 8, 7);
-        let sm = StoredModel::train(Model::Knn(KNearestNeighbors::new(5)), &x, &y)
-            .expect("train knn");
+        let sm =
+            StoredModel::train(Model::Knn(KNearestNeighbors::new(5)), &x, &y).expect("train knn");
         let blob = sm.to_blob();
         group.throughput(Throughput::Bytes(blob.len() as u64));
         group.bench_with_input(BenchmarkId::new("pickle", rows), &sm, |b, sm| {

@@ -9,18 +9,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlcs_bench::blob_training_data;
 use mlcs_columnar::Column;
+use mlcs_columnar::ScalarUdf;
 use mlcs_core::stored::StoredModel;
 use mlcs_core::udf::PredictUdf;
 use mlcs_ml::naive_bayes::GaussianNb;
 use mlcs_ml::Model;
-use mlcs_columnar::ScalarUdf;
 use std::sync::Arc;
 
 fn chunked_invocation(c: &mut Criterion) {
     const ROWS: usize = 50_000;
     let (x, y) = blob_training_data(2_000, 2, 3);
-    let sm = StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &y)
-        .expect("train");
+    let sm = StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &y).expect("train");
     let blob = sm.to_blob();
     let (probe, _) = blob_training_data(ROWS, 2, 5);
     // Columnar probe data, as the engine would hand it to the UDF.

@@ -82,7 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = &csv_out {
-        let mut csv = String::from("method,load_wrangle_s,train_s,predict_s,total_s,share_error,test_rows\n");
+        let mut csv =
+            String::from("method,load_wrangle_s,train_s,predict_s,total_s,share_error,test_rows\n");
         for r in &best {
             csv.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",

@@ -41,18 +41,14 @@ pub fn blob_training_data(rows: usize, features: usize, seed: u64) -> (mlcs_ml::
         }
         labels.push(cls + 1);
     }
-    (
-        mlcs_ml::Matrix::new(data, rows, features).expect("consistent shape"),
-        labels,
-    )
+    (mlcs_ml::Matrix::new(data, rows, features).expect("consistent shape"), labels)
 }
 
 /// Registers everything a full-pipeline database needs.
 pub fn full_db(batch_voters: Batch, batch_precincts: Batch) -> DbResult<Database> {
     let db = Database::new();
     db.catalog().put_table(Table::from_batch("voters", batch_voters), false)?;
-    db.catalog()
-        .put_table(Table::from_batch("precincts", batch_precincts), false)?;
+    db.catalog().put_table(Table::from_batch("precincts", batch_precincts), false)?;
     mlcs_core::register_ml_udfs(&db);
     mlcs_voters::label::register_label_udf(&db);
     mlcs_voters::label::register_split_udf(&db);

@@ -52,11 +52,7 @@ impl Batch {
 
     /// An empty batch with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Batch {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Arc::new(Column::empty(f.dtype)))
-            .collect();
+        let columns = schema.fields().iter().map(|f| Arc::new(Column::empty(f.dtype))).collect();
         let rows = 0;
         Batch { schema, columns, rows }
     }
@@ -64,8 +60,7 @@ impl Batch {
     /// Builds a batch from `(name, column)` pairs, inferring the schema
     /// from the columns (all nullable). Convenient in tests and UDFs.
     pub fn from_columns(pairs: Vec<(&str, Column)>) -> DbResult<Batch> {
-        let fields =
-            pairs.iter().map(|(n, c)| Field::new(*n, c.data_type())).collect::<Vec<_>>();
+        let fields = pairs.iter().map(|(n, c)| Field::new(*n, c.data_type())).collect::<Vec<_>>();
         let schema = Arc::new(Schema::new(fields)?);
         let columns = pairs.into_iter().map(|(_, c)| Arc::new(c)).collect();
         Batch::new(schema, columns)
@@ -135,12 +130,9 @@ impl Batch {
 
     /// Concatenates batches with identical schemas (column names/types).
     pub fn concat(batches: &[Batch]) -> DbResult<Batch> {
-        let first = batches
-            .first()
-            .ok_or_else(|| DbError::internal("concat of zero batches"))?;
+        let first = batches.first().ok_or_else(|| DbError::internal("concat of zero batches"))?;
         let schema = first.schema.clone();
-        let mut builders: Vec<Column> =
-            first.columns.iter().map(|c| c.as_ref().clone()).collect();
+        let mut builders: Vec<Column> = first.columns.iter().map(|c| c.as_ref().clone()).collect();
         for b in &batches[1..] {
             if b.schema.len() != schema.len() {
                 return Err(DbError::Shape("concat: schema width mismatch".into()));
@@ -175,8 +167,7 @@ impl Batch {
 
     /// Renders the batch as an aligned text table (for shells and tests).
     pub fn pretty(&self) -> String {
-        let names: Vec<String> =
-            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let names: Vec<String> = self.schema.fields().iter().map(|f| f.name.clone()).collect();
         let mut widths: Vec<usize> = names.iter().map(String::len).collect();
         let limit = self.rows.min(40);
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(limit);
@@ -251,9 +242,7 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        let schema = Arc::new(
-            Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap());
         // Wrong type.
         let err = Batch::new(schema.clone(), vec![Arc::new(Column::from_f64s(vec![1.0]))]);
         assert!(err.is_err());
@@ -262,18 +251,12 @@ mod tests {
         assert!(err.is_err());
         // Length mismatch across columns.
         let schema2 = Arc::new(
-            Schema::new(vec![
-                Field::new("x", DataType::Int32),
-                Field::new("y", DataType::Int32),
-            ])
-            .unwrap(),
+            Schema::new(vec![Field::new("x", DataType::Int32), Field::new("y", DataType::Int32)])
+                .unwrap(),
         );
         let err = Batch::new(
             schema2,
-            vec![
-                Arc::new(Column::from_i32s(vec![1])),
-                Arc::new(Column::from_i32s(vec![1, 2])),
-            ],
+            vec![Arc::new(Column::from_i32s(vec![1])), Arc::new(Column::from_i32s(vec![1, 2]))],
         );
         assert!(err.is_err());
     }
@@ -316,11 +299,8 @@ mod tests {
     #[test]
     fn from_rows_casts() {
         let schema = Arc::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Int64),
-                Field::new("b", DataType::Varchar),
-            ])
-            .unwrap(),
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Varchar)])
+                .unwrap(),
         );
         let b = Batch::from_rows(
             schema.clone(),

@@ -123,9 +123,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let t = cat.table("t").unwrap();
                     let mut guard = t.write();
-                    guard
-                        .append_rows(&[vec![crate::types::Value::Int32(i)]])
-                        .unwrap();
+                    guard.append_rows(&[vec![crate::types::Value::Int32(i)]]).unwrap();
                 })
             })
             .collect();

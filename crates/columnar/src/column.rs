@@ -401,9 +401,9 @@ impl Column {
         let mut b = ColumnBuilder::new(self.data_type());
         for &idx in indices {
             match idx {
-                Some(i) => b
-                    .push_value(&self.value(i as usize))
-                    .expect("same-type push cannot fail"),
+                Some(i) => {
+                    b.push_value(&self.value(i as usize)).expect("same-type push cannot fail")
+                }
                 None => b.push_null(),
             }
         }
@@ -698,9 +698,8 @@ mod tests {
     fn from_values_rejects_uncastable() {
         let err = Column::from_values(DataType::Int32, &[Value::Varchar("zzz".into())]);
         assert!(err.is_err());
-        let ok =
-            Column::from_values(DataType::Int32, &[Value::Varchar("12".into()), Value::Null])
-                .unwrap();
+        let ok = Column::from_values(DataType::Int32, &[Value::Varchar("12".into()), Value::Null])
+            .unwrap();
         assert_eq!(ok.value(0), Value::Int32(12));
         assert!(ok.is_null(1));
     }

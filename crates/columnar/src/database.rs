@@ -7,9 +7,7 @@ use crate::error::{DbError, DbResult};
 use crate::expr::{eval, eval_predicate, EvalContext};
 use crate::schema::{Field, Schema};
 use crate::sql::binder::bind;
-use crate::sql::execute::{
-    evaluate_scalar_subqueries, execute_plan, substitute_in_plan,
-};
+use crate::sql::execute::{evaluate_scalar_subqueries, execute_plan, substitute_in_plan};
 use crate::sql::optimizer::optimize;
 use crate::sql::parser::{parse, parse_many};
 use crate::sql::plan::BoundStatement;
@@ -170,6 +168,7 @@ impl Database {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
+                crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan(&plan, catalog, functions)?;
                 let rows = batch.rows();
                 let table = Table::from_batch(name.to_ascii_lowercase(), batch);
@@ -194,6 +193,7 @@ impl Database {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
+                crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan(&plan, catalog, functions)?;
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
@@ -213,8 +213,7 @@ impl Database {
                         pred.substitute_subqueries(&values);
                         let ctx = EvalContext::new(&snapshot, Some(functions));
                         let deleted = eval_predicate(&ctx, &pred)?;
-                        let dset: std::collections::HashSet<u32> =
-                            deleted.into_iter().collect();
+                        let dset: std::collections::HashSet<u32> = deleted.into_iter().collect();
                         (0..snapshot.rows() as u32).filter(|i| !dset.contains(i)).collect()
                     }
                 };
@@ -269,6 +268,7 @@ impl Database {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
+                crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan(&plan, catalog, functions)?;
                 Ok(QueryResult {
                     rows_affected: batch.rows(),
@@ -279,14 +279,21 @@ impl Database {
             }
             BoundStatement::Explain { plan, scalar_subs } => {
                 // EXPLAIN does not execute subqueries; placeholders are
-                // shown as `$subqueryN` and each subplan is listed.
+                // shown as `$subqueryN` and each subplan is listed. The
+                // verifier types the placeholders from the subplans.
                 let plan = optimize(plan)?;
+                crate::verify::verify_statement(
+                    &BoundStatement::Explain {
+                        plan: plan.clone(),
+                        scalar_subs: scalar_subs.clone(),
+                    },
+                    functions,
+                )?;
                 let mut text = plan.to_string();
                 for (i, sub) in scalar_subs.iter().enumerate() {
                     text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
                 }
-                let lines: Vec<&str> =
-                    text.lines().filter(|l| !l.trim().is_empty()).collect();
+                let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
                 let batch = Batch::from_columns(vec![(
                     "plan",
                     Column::from_strings(lines.iter().copied()),
@@ -371,8 +378,8 @@ impl Database {
         batch: Batch,
     ) -> DbResult<Batch> {
         let schema = table.schema();
-        let identity = column_map.len() == schema.len()
-            && column_map.iter().enumerate().all(|(i, &m)| i == m);
+        let identity =
+            column_map.len() == schema.len() && column_map.iter().enumerate().all(|(i, &m)| i == m);
         if identity {
             return Ok(batch);
         }
@@ -398,17 +405,13 @@ impl Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database")
-            .field("tables", &self.catalog.table_names())
-            .finish()
+        f.debug_struct("Database").field("tables", &self.catalog.table_names()).finish()
     }
 }
 
 /// Builds a `Field` list quickly in tests and loaders.
 pub fn fields(defs: &[(&str, DataType)]) -> DbResult<Arc<Schema>> {
-    Ok(Arc::new(Schema::new(
-        defs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
-    )?))
+    Ok(Arc::new(Schema::new(defs.iter().map(|(n, t)| Field::new(*n, *t)).collect())?))
 }
 
 #[cfg(test)]
@@ -447,9 +450,8 @@ mod tests {
     #[test]
     fn aggregation_via_sql() {
         let db = db();
-        let r = db
-            .query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b")
-            .unwrap();
+        let r =
+            db.query("SELECT b, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY b ORDER BY b").unwrap();
         assert_eq!(r.rows(), 3);
         assert_eq!(r.row(0), vec!["x".into(), Value::Int64(2), Value::Int64(4)]);
         assert_eq!(r.row(2), vec!["z".into(), Value::Int64(1), Value::Null]);
@@ -467,9 +469,7 @@ mod tests {
     #[test]
     fn having_filters_groups() {
         let db = db();
-        let r = db
-            .query("SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1")
-            .unwrap();
+        let r = db.query("SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1").unwrap();
         assert_eq!(r.rows(), 1);
         assert_eq!(r.row(0)[0], Value::Varchar("x".into()));
     }
@@ -479,9 +479,7 @@ mod tests {
         let db = db();
         db.execute("CREATE TABLE u (b VARCHAR, score INTEGER)").unwrap();
         db.execute("INSERT INTO u VALUES ('x', 10), ('y', 20)").unwrap();
-        let r = db
-            .query("SELECT t.a, u.score FROM t JOIN u ON t.b = u.b ORDER BY t.a")
-            .unwrap();
+        let r = db.query("SELECT t.a, u.score FROM t JOIN u ON t.b = u.b ORDER BY t.a").unwrap();
         assert_eq!(r.rows(), 3);
         assert_eq!(r.row(2), vec![Value::Int32(3), Value::Int32(10)]);
         let r = db
@@ -528,10 +526,7 @@ mod tests {
         assert_eq!(db.query_value("SELECT COUNT(*) FROM t").unwrap(), Value::Int64(3));
         let r = db.execute("UPDATE t SET c = c * 2 WHERE a = 1").unwrap();
         assert_eq!(r.rows_affected(), 1);
-        assert_eq!(
-            db.query_value("SELECT c FROM t WHERE a = 1").unwrap(),
-            Value::Float64(1.0)
-        );
+        assert_eq!(db.query_value("SELECT c FROM t WHERE a = 1").unwrap(), Value::Float64(1.0));
         // Unfiltered update touches all rows.
         let r = db.execute("UPDATE t SET b = 'w'").unwrap();
         assert_eq!(r.rows_affected(), 3);
@@ -559,9 +554,7 @@ mod tests {
     #[test]
     fn scalar_subquery_in_predicate() {
         let db = db();
-        let r = db
-            .query("SELECT a FROM t WHERE c > (SELECT AVG(c) FROM t) ORDER BY a")
-            .unwrap();
+        let r = db.query("SELECT a FROM t WHERE c > (SELECT AVG(c) FROM t) ORDER BY a").unwrap();
         assert_eq!(r.rows(), 1);
         assert_eq!(r.row(0)[0], Value::Int32(3));
     }
@@ -597,10 +590,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.row(0)[1], Value::Varchar("small".into()));
         assert_eq!(r.row(2)[1], Value::Varchar("big".into()));
-        assert_eq!(
-            db.query_value("SELECT ABS(-5)").unwrap(),
-            Value::Int64(5)
-        );
+        assert_eq!(db.query_value("SELECT ABS(-5)").unwrap(), Value::Int64(5));
         assert_eq!(
             db.query_value("SELECT UPPER('abc') || '!'").unwrap(),
             Value::Varchar("ABC!".into())
@@ -667,12 +657,9 @@ mod tests {
     #[test]
     fn explain_shows_optimized_plan() {
         let db = db();
-        let r = db
-            .query("EXPLAIN SELECT a FROM t WHERE a > 1 + 1 ORDER BY a LIMIT 3")
-            .unwrap();
-        let text: Vec<String> = (0..r.rows())
-            .map(|i| r.row(i)[0].as_str().unwrap().to_owned())
-            .collect();
+        let r = db.query("EXPLAIN SELECT a FROM t WHERE a > 1 + 1 ORDER BY a LIMIT 3").unwrap();
+        let text: Vec<String> =
+            (0..r.rows()).map(|i| r.row(i)[0].as_str().unwrap().to_owned()).collect();
         let joined = text.join("\n");
         assert!(joined.contains("Limit"), "{joined}");
         assert!(joined.contains("Scan t"), "{joined}");
@@ -703,9 +690,6 @@ mod tests {
         db.execute("INSERT INTO m VALUES (1, x'DEADBEEF')").unwrap();
         let v = db.query_value("SELECT body FROM m WHERE id = 1").unwrap();
         assert_eq!(v, Value::Blob(vec![0xDE, 0xAD, 0xBE, 0xEF]));
-        assert_eq!(
-            db.query_value("SELECT OCTET_LENGTH(body) FROM m").unwrap(),
-            Value::Int64(4)
-        );
+        assert_eq!(db.query_value("SELECT OCTET_LENGTH(body) FROM m").unwrap(), Value::Int64(4));
     }
 }

@@ -27,6 +27,15 @@ pub enum DbError {
     Udf { function: String, message: String },
     /// Unsupported SQL feature, with the feature named.
     Unsupported(String),
+    /// A logical plan failed static verification before execution (see
+    /// `verify::verify_plan`): an operator's schema, an expression's type,
+    /// or a UDF contract is inconsistent with its inputs.
+    PlanInvariant {
+        /// Operator path from the plan root to the failing node.
+        path: String,
+        /// Which invariant was violated.
+        message: String,
+    },
     /// I/O error during persistence, carrying the rendered message
     /// (std::io::Error is not Clone).
     Io(String),
@@ -45,6 +54,11 @@ impl DbError {
     /// Convenience constructor for internal errors.
     pub fn internal(msg: impl Into<String>) -> Self {
         DbError::Internal(msg.into())
+    }
+
+    /// Convenience constructor for plan-verification failures.
+    pub fn plan_invariant(path: impl Into<String>, message: impl Into<String>) -> Self {
+        DbError::PlanInvariant { path: path.into(), message: message.into() }
     }
 }
 
@@ -67,6 +81,9 @@ impl fmt::Display for DbError {
                 write!(f, "error in UDF '{function}': {message}")
             }
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::PlanInvariant { path, message } => {
+                write!(f, "plan invariant violated at {path}: {message}")
+            }
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::Internal(m) => write!(f, "internal error (bug): {m}"),

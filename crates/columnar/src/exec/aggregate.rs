@@ -107,28 +107,28 @@ impl AggState {
                 }
             },
             AggState::SumInt { sum, seen } => {
-                let c = arg.expect("SUM has an argument");
+                let c = arg.ok_or_else(|| missing_arg("SUM"))?;
                 if let Some(v) = c.i64_at(row) {
                     *sum += v as i128;
                     *seen = true;
                 }
             }
             AggState::SumFloat { sum, seen } => {
-                let c = arg.expect("SUM has an argument");
+                let c = arg.ok_or_else(|| missing_arg("SUM"))?;
                 if let Some(v) = c.f64_at(row) {
                     *sum += v;
                     *seen = true;
                 }
             }
             AggState::Avg { sum, count } => {
-                let c = arg.expect("AVG has an argument");
+                let c = arg.ok_or_else(|| missing_arg("AVG"))?;
                 if let Some(v) = c.f64_at(row) {
                     *sum += v;
                     *count += 1;
                 }
             }
             AggState::MinMax { best, is_min } => {
-                let c = arg.expect("MIN/MAX has an argument");
+                let c = arg.ok_or_else(|| missing_arg("MIN/MAX"))?;
                 let v = c.value(row);
                 if v.is_null() {
                     return Ok(());
@@ -140,9 +140,7 @@ impl AggState {
                         Some(std::cmp::Ordering::Greater) => !*is_min,
                         Some(std::cmp::Ordering::Equal) => false,
                         None => {
-                            return Err(DbError::Type(
-                                "MIN/MAX over incomparable values".into(),
-                            ))
+                            return Err(DbError::Type("MIN/MAX over incomparable values".into()))
                         }
                     },
                 };
@@ -161,9 +159,10 @@ impl AggState {
                 if !seen {
                     Value::Null
                 } else {
-                    Value::Int64(i64::try_from(sum).map_err(|_| {
-                        DbError::Arithmetic("SUM overflows BIGINT".into())
-                    })?)
+                    Value::Int64(
+                        i64::try_from(sum)
+                            .map_err(|_| DbError::Arithmetic("SUM overflows BIGINT".into()))?,
+                    )
                 }
             }
             AggState::SumFloat { sum, seen } => {
@@ -185,6 +184,12 @@ impl AggState {
     }
 }
 
+/// Error for an aggregate invoked without the argument column its function
+/// requires; the planner always provides one, so this indicates a bug.
+fn missing_arg(func: &str) -> DbError {
+    DbError::internal(format!("{func} invoked without an argument column"))
+}
+
 /// One group's accumulators plus (for DISTINCT) the sets of seen values.
 struct GroupEntry {
     first_row: u32,
@@ -202,15 +207,9 @@ struct GroupEntry {
 /// With no group keys the result is a single row over the whole input
 /// (standard SQL ungrouped aggregation, returning one row even for empty
 /// input).
-pub fn hash_aggregate(
-    input: &Batch,
-    group_keys: &[usize],
-    aggs: &[AggCall],
-) -> DbResult<Batch> {
-    let arg_types: Vec<Option<DataType>> = aggs
-        .iter()
-        .map(|a| a.arg.map(|i| input.column(i).data_type()))
-        .collect();
+pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> DbResult<Batch> {
+    let arg_types: Vec<Option<DataType>> =
+        aggs.iter().map(|a| a.arg.map(|i| input.column(i).data_type())).collect();
 
     let keys: Vec<&Column> = group_keys.iter().map(|&i| input.column(i).as_ref()).collect();
     let mut groups: Vec<GroupEntry> = Vec::new();
@@ -221,11 +220,7 @@ pub fn hash_aggregate(
 
     let new_entry = |row: u32| GroupEntry {
         first_row: row,
-        states: aggs
-            .iter()
-            .zip(&arg_types)
-            .map(|(a, t)| AggState::new(a, *t))
-            .collect(),
+        states: aggs.iter().zip(&arg_types).map(|(a, t)| AggState::new(a, *t)).collect(),
         distinct_seen: aggs
             .iter()
             .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
@@ -266,11 +261,13 @@ pub fn hash_aggregate(
         for (ai, (agg, state)) in aggs.iter().zip(entry.states.iter_mut()).enumerate() {
             let arg_col = agg.arg.map(|i| input.column(i).as_ref());
             if agg.distinct {
-                let c = arg_col.expect("DISTINCT requires an argument");
+                let c = arg_col.ok_or_else(|| missing_arg("DISTINCT aggregate"))?;
                 if c.is_null(row) {
                     continue;
                 }
-                let seen = entry.distinct_seen[ai].as_mut().expect("distinct set");
+                let Some(seen) = entry.distinct_seen[ai].as_mut() else {
+                    return Err(DbError::internal("DISTINCT aggregate without its dedup set"));
+                };
                 let mut k = Vec::new();
                 rowkey::encode_value(c, row, &mut k);
                 if !seen.insert(k) {
@@ -385,9 +382,10 @@ mod tests {
 
     #[test]
     fn null_group_key_forms_its_own_group() {
-        let b = Batch::from_columns(vec![
-            ("k", Column::from_opt_i32s(vec![Some(1), None, Some(1), None])),
-        ])
+        let b = Batch::from_columns(vec![(
+            "k",
+            Column::from_opt_i32s(vec![Some(1), None, Some(1), None]),
+        )])
         .unwrap();
         let out = hash_aggregate(&b, &[0], &[call(AggFunc::CountStar, None)]).unwrap();
         assert_eq!(out.rows(), 2);
@@ -397,10 +395,7 @@ mod tests {
 
     #[test]
     fn distinct_count_and_sum() {
-        let b = Batch::from_columns(vec![
-            ("x", Column::from_i32s(vec![1, 1, 2, 2, 3])),
-        ])
-        .unwrap();
+        let b = Batch::from_columns(vec![("x", Column::from_i32s(vec![1, 1, 2, 2, 3]))]).unwrap();
         let out = hash_aggregate(
             &b,
             &[],
@@ -416,10 +411,8 @@ mod tests {
 
     #[test]
     fn sum_overflow_detected() {
-        let b = Batch::from_columns(vec![
-            ("x", Column::from_i64s(vec![i64::MAX, i64::MAX])),
-        ])
-        .unwrap();
+        let b =
+            Batch::from_columns(vec![("x", Column::from_i64s(vec![i64::MAX, i64::MAX]))]).unwrap();
         let err = hash_aggregate(&b, &[], &[call(AggFunc::Sum, Some(0))]);
         assert!(matches!(err, Err(DbError::Arithmetic(_))));
     }
@@ -438,19 +431,10 @@ mod tests {
 
     #[test]
     fn result_types() {
-        assert_eq!(
-            AggFunc::Sum.result_type(Some(DataType::Int8)).unwrap(),
-            DataType::Int64
-        );
-        assert_eq!(
-            AggFunc::Sum.result_type(Some(DataType::Float32)).unwrap(),
-            DataType::Float64
-        );
+        assert_eq!(AggFunc::Sum.result_type(Some(DataType::Int8)).unwrap(), DataType::Int64);
+        assert_eq!(AggFunc::Sum.result_type(Some(DataType::Float32)).unwrap(), DataType::Float64);
         assert!(AggFunc::Sum.result_type(Some(DataType::Varchar)).is_err());
-        assert_eq!(
-            AggFunc::Min.result_type(Some(DataType::Varchar)).unwrap(),
-            DataType::Varchar
-        );
+        assert_eq!(AggFunc::Min.result_type(Some(DataType::Varchar)).unwrap(), DataType::Varchar);
         assert_eq!(AggFunc::CountStar.result_type(None).unwrap(), DataType::Int64);
     }
 }

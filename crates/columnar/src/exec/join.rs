@@ -115,9 +115,9 @@ pub fn hash_join(
 
 fn cross_join(left: &Batch, right: &Batch) -> DbResult<Batch> {
     let (ln, rn) = (left.rows(), right.rows());
-    let total = ln.checked_mul(rn).ok_or_else(|| {
-        DbError::Arithmetic("cross join result size overflows".into())
-    })?;
+    let total = ln
+        .checked_mul(rn)
+        .ok_or_else(|| DbError::Arithmetic("cross join result size overflows".into()))?;
     let mut lidx = Vec::with_capacity(total);
     let mut ridx = Vec::with_capacity(total);
     for l in 0..ln as u32 {
@@ -129,12 +129,7 @@ fn cross_join(left: &Batch, right: &Batch) -> DbResult<Batch> {
     assemble(left, right, &lidx, &ridx)
 }
 
-fn assemble(
-    left: &Batch,
-    right: &Batch,
-    lidx: &[u32],
-    ridx: &[Option<u32>],
-) -> DbResult<Batch> {
+fn assemble(left: &Batch, right: &Batch, lidx: &[u32], ridx: &[Option<u32>]) -> DbResult<Batch> {
     let mut fields = Vec::with_capacity(left.width() + right.width());
     fields.extend(left.schema().fields().iter().cloned());
     // Right-side fields become nullable under a left join's NULL padding.
@@ -151,11 +146,9 @@ fn assemble(
     for c in left.columns() {
         columns.push(Arc::new(c.take(lidx)));
     }
-    let all_some: Option<Vec<u32>> = if pad {
-        None
-    } else {
-        Some(ridx.iter().map(|o| o.expect("no padding")).collect())
-    };
+    // With no padding every index is Some and the plain-take fast path
+    // applies; collect() falls back to take_opt if that ever doesn't hold.
+    let all_some: Option<Vec<u32>> = if pad { None } else { ridx.iter().copied().collect() };
     for c in right.columns() {
         let col = match &all_some {
             Some(plain) => c.take(plain),
@@ -265,8 +258,7 @@ mod tests {
 
     #[test]
     fn cross_join_products() {
-        let out =
-            hash_join(&orders(), &customers(), &[], &[], JoinType::Cross).unwrap();
+        let out = hash_join(&orders(), &customers(), &[], &[], JoinType::Cross).unwrap();
         assert_eq!(out.rows(), 8);
         assert_eq!(out.width(), 4);
     }

@@ -64,10 +64,7 @@ mod tests {
 
     #[test]
     fn filter_selects_true_rows() {
-        let b = Batch::from_columns(vec![
-            ("x", Column::from_i32s(vec![1, 2, 3, 4])),
-        ])
-        .unwrap();
+        let b = Batch::from_columns(vec![("x", Column::from_i32s(vec![1, 2, 3, 4]))]).unwrap();
         let out = filter(&b, &E::binary(BinaryOp::Gt, E::col(0), E::lit(2i32)), None).unwrap();
         assert_eq!(out.rows(), 2);
         assert_eq!(out.row(0)[0], Value::Int32(3));
@@ -82,9 +79,10 @@ mod tests {
 
     #[test]
     fn distinct_dedups_with_nulls() {
-        let b = Batch::from_columns(vec![
-            ("x", Column::from_opt_i32s(vec![Some(1), None, Some(1), None, Some(2)])),
-        ])
+        let b = Batch::from_columns(vec![(
+            "x",
+            Column::from_opt_i32s(vec![Some(1), None, Some(1), None, Some(2)]),
+        )])
         .unwrap();
         let out = distinct(&b);
         assert_eq!(out.rows(), 3);

@@ -35,10 +35,7 @@ pub fn sort(input: &Batch, keys: &[SortKey]) -> DbResult<Batch> {
     }
     for k in keys {
         if k.column >= input.width() {
-            return Err(DbError::internal(format!(
-                "sort key column {} out of range",
-                k.column
-            )));
+            return Err(DbError::internal(format!("sort key column {} out of range", k.column)));
         }
     }
     let mut perm: Vec<u32> = (0..input.rows() as u32).collect();

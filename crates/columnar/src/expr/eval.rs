@@ -38,17 +38,13 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
         Expr::Column(i) => {
             let cols = ctx.batch.columns();
             let col = cols.get(*i).ok_or_else(|| {
-                DbError::internal(format!(
-                    "column index {i} out of range ({} columns)",
-                    cols.len()
-                ))
+                DbError::internal(format!("column index {i} out of range ({} columns)", cols.len()))
             })?;
             Ok(col.as_ref().clone())
         }
-        Expr::Literal(v) => Column::from_values(
-            v.data_type().unwrap_or(DataType::Int32),
-            std::slice::from_ref(v),
-        ),
+        Expr::Literal(v) => {
+            Column::from_values(v.data_type().unwrap_or(DataType::Int32), std::slice::from_ref(v))
+        }
         Expr::Binary { op, left, right } => {
             let l = eval(ctx, left)?;
             let r = eval(ctx, right)?;
@@ -61,8 +57,7 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
         Expr::Cast { expr, to } => eval(ctx, expr)?.cast(*to),
         Expr::IsNull { expr, negated } => {
             let c = eval(ctx, expr)?;
-            let out: Vec<bool> =
-                (0..c.len()).map(|i| c.is_null(i) != *negated).collect();
+            let out: Vec<bool> = (0..c.len()).map(|i| c.is_null(i) != *negated).collect();
             Ok(Column::from_bools(out))
         }
         Expr::Case { operand, branches, else_expr } => {
@@ -70,9 +65,7 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
         }
         Expr::InList { expr, list, negated } => eval_in_list(ctx, expr, list, *negated),
         Expr::Like { expr, pattern, negated } => eval_like(ctx, expr, pattern, *negated),
-        Expr::Between { expr, low, high, negated } => {
-            eval_between(ctx, expr, low, high, *negated)
-        }
+        Expr::Between { expr, low, high, negated } => eval_between(ctx, expr, low, high, *negated),
         Expr::ScalarFn { func, args } => {
             let arg_cols: Vec<Column> =
                 args.iter().map(|a| eval(ctx, a)).collect::<DbResult<_>>()?;
@@ -86,10 +79,8 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
                 DbError::Unsupported("UDF calls are not allowed in this context".into())
             })?;
             let udf = registry.scalar(name)?;
-            let arg_cols: Vec<Arc<Column>> = args
-                .iter()
-                .map(|a| eval(ctx, a).map(Arc::new))
-                .collect::<DbResult<_>>()?;
+            let arg_cols: Vec<Arc<Column>> =
+                args.iter().map(|a| eval(ctx, a).map(Arc::new)).collect::<DbResult<_>>()?;
             let n = arg_cols.iter().map(|c| c.len()).max().unwrap_or(ctx.batch.rows());
             for c in &arg_cols {
                 if c.len() != n && c.len() != 1 {
@@ -103,7 +94,7 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
                     });
                 }
             }
-            let out = udf.invoke(&arg_cols)?;
+            let out = crate::udf::invoke_scalar_checked(udf.as_ref(), &arg_cols)?;
             if out.len() != n && out.len() != 1 {
                 return Err(DbError::Udf {
                     function: name.clone(),
@@ -164,9 +155,7 @@ fn pair_len(a: &Column, b: &Column) -> DbResult<usize> {
         (x, y) if x == y => Ok(x),
         (1, y) => Ok(y),
         (x, 1) => Ok(x),
-        (x, y) => {
-            Err(DbError::Shape(format!("mismatched operand lengths {x} and {y}")))
-        }
+        (x, y) => Err(DbError::Shape(format!("mismatched operand lengths {x} and {y}"))),
     }
 }
 
@@ -195,12 +184,7 @@ fn eval_arithmetic(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
     let lt = l.data_type();
     let rt = r.data_type();
     if !lt.is_numeric() || !rt.is_numeric() {
-        return Err(DbError::Type(format!(
-            "cannot apply '{}' to {} and {}",
-            op.symbol(),
-            lt,
-            rt
-        )));
+        return Err(DbError::Type(format!("cannot apply '{}' to {} and {}", op.symbol(), lt, rt)));
     }
     let ln = l.len();
     let rn = r.len();
@@ -211,8 +195,8 @@ fn eval_arithmetic(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
         for i in 0..n {
             let (li, ri) = (bidx(ln, i), bidx(rn, i));
             if valid_at(&validity, i) {
-                let a = l.i64_at(li).expect("validity checked");
-                let b = r.i64_at(ri).expect("validity checked");
+                let a = l.i64_at(li).ok_or_else(|| non_numeric(op, l, r))?;
+                let b = r.i64_at(ri).ok_or_else(|| non_numeric(op, l, r))?;
                 let v = match op {
                     BinaryOp::Add => a.checked_add(b),
                     BinaryOp::Sub => a.checked_sub(b),
@@ -251,8 +235,8 @@ fn eval_arithmetic(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
         for i in 0..n {
             let (li, ri) = (bidx(ln, i), bidx(rn, i));
             if valid_at(&validity, i) {
-                let a = l.f64_at(li).expect("validity checked");
-                let b = r.f64_at(ri).expect("validity checked");
+                let a = l.f64_at(li).ok_or_else(|| non_numeric(op, l, r))?;
+                let b = r.f64_at(ri).ok_or_else(|| non_numeric(op, l, r))?;
                 out.push(match op {
                     BinaryOp::Add => a + b,
                     BinaryOp::Sub => a - b,
@@ -267,6 +251,17 @@ fn eval_arithmetic(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
         }
         Column::new(crate::column::ColumnData::Float64(out), validity)
     }
+}
+
+/// Error for a valid row whose cell is not readable as a number — only
+/// reachable if an operand column lies about its type.
+fn non_numeric(op: BinaryOp, l: &Column, r: &Column) -> DbError {
+    DbError::internal(format!(
+        "non-numeric cell under '{}' over {} and {}",
+        op.symbol(),
+        l.data_type(),
+        r.data_type()
+    ))
 }
 
 /// Combined validity of both operands at the broadcast length, or `None`
@@ -415,7 +410,10 @@ fn eval_concat(l: &Column, r: &Column) -> DbResult<Column> {
     let (ln, rn) = (l.len(), r.len());
     let ls = l.cast(DataType::Varchar)?;
     let rs = r.cast(DataType::Varchar)?;
-    let (la, ra) = (ls.strings().expect("cast"), rs.strings().expect("cast"));
+    let (la, ra) = match (ls.strings(), rs.strings()) {
+        (Some(la), Some(ra)) => (la, ra),
+        _ => return Err(DbError::internal("cast to VARCHAR produced a non-string column")),
+    };
     let validity = combine_validity(l, r, n);
     let mut out = crate::strings::StringColumn::with_capacity(n, 8);
     let mut buf = String::new();
@@ -456,9 +454,9 @@ fn eval_unary(op: UnaryOp, c: &Column) -> DbResult<Column> {
             }
         }
         UnaryOp::Not => {
-            let bools = c
-                .bools()
-                .ok_or_else(|| DbError::Type(format!("NOT requires BOOLEAN, got {}", c.data_type())))?;
+            let bools = c.bools().ok_or_else(|| {
+                DbError::Type(format!("NOT requires BOOLEAN, got {}", c.data_type()))
+            })?;
             let out: Vec<bool> = bools.iter().map(|b| !b).collect();
             Column::new(crate::column::ColumnData::Boolean(out), c.validity().cloned())
         }
@@ -489,8 +487,7 @@ fn eval_case(
         }
         conds.push(cond);
     }
-    let thens: Vec<Column> =
-        branches.iter().map(|(_, t)| eval(ctx, t)).collect::<DbResult<_>>()?;
+    let thens: Vec<Column> = branches.iter().map(|(_, t)| eval(ctx, t)).collect::<DbResult<_>>()?;
     let else_col = match else_expr {
         Some(e) => Some(eval(ctx, e)?),
         None => None,
@@ -501,9 +498,8 @@ fn eval_case(
         let t = c.data_type();
         out_type = Some(match out_type {
             None => t,
-            Some(prev) => DataType::common_numeric(prev, t).ok_or_else(|| {
-                DbError::Type(format!("CASE branches mix {prev} and {t}"))
-            })?,
+            Some(prev) => DataType::common_numeric(prev, t)
+                .ok_or_else(|| DbError::Type(format!("CASE branches mix {prev} and {t}")))?,
         });
     }
     let out_type = out_type.unwrap_or(DataType::Int32);
@@ -512,7 +508,7 @@ fn eval_case(
         let mut chosen: Option<Value> = None;
         for (cond, then) in conds.iter().zip(&thens) {
             let ci = bidx(cond.len(), i);
-            if !cond.is_null(ci) && cond.bools().expect("checked")[ci] {
+            if !cond.is_null(ci) && cond.bools().is_some_and(|bs| bs[ci]) {
                 chosen = Some(then.value(bidx(then.len(), i)));
                 break;
             }
@@ -617,9 +613,9 @@ fn eval_like(
     let cs = c
         .strings()
         .ok_or_else(|| DbError::Type(format!("LIKE requires VARCHAR, got {}", c.data_type())))?;
-    let ps = p
-        .strings()
-        .ok_or_else(|| DbError::Type(format!("LIKE pattern must be VARCHAR, got {}", p.data_type())))?;
+    let ps = p.strings().ok_or_else(|| {
+        DbError::Type(format!("LIKE pattern must be VARCHAR, got {}", p.data_type()))
+    })?;
     let n = pair_len(&c, &p)?;
     let validity = combine_validity(&c, &p, n);
     let mut out = Vec::with_capacity(n);
@@ -739,19 +735,13 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         // (b = 10) OR t : row1 -> NULL OR true = true; row2 -> ... etc.
-        let e = E::binary(
-            BinaryOp::Or,
-            E::binary(BinaryOp::Eq, E::col(1), E::lit(10i32)),
-            E::col(4),
-        );
+        let e =
+            E::binary(BinaryOp::Or, E::binary(BinaryOp::Eq, E::col(1), E::lit(10i32)), E::col(4));
         let c = run(&e);
         assert!(c.bools().unwrap()[0]); // true OR true
         assert!(!c.is_null(1) && c.bools().unwrap()[1]); // NULL OR true = true
-        let e = E::binary(
-            BinaryOp::And,
-            E::binary(BinaryOp::Eq, E::col(1), E::lit(10i32)),
-            E::col(4),
-        );
+        let e =
+            E::binary(BinaryOp::And, E::binary(BinaryOp::Eq, E::col(1), E::lit(10i32)), E::col(4));
         let c = run(&e);
         // row 1: b is NULL -> (b = 10) is NULL; t[1] = true -> NULL AND true = NULL
         assert!(c.is_null(1));
@@ -784,8 +774,7 @@ mod tests {
             eval_predicate(&ctx, &E::binary(BinaryOp::GtEq, E::col(0), E::lit(3i32))).unwrap();
         assert_eq!(sel, vec![2, 3]);
         // NULL rows excluded
-        let sel =
-            eval_predicate(&ctx, &E::binary(BinaryOp::Gt, E::col(1), E::lit(0i32))).unwrap();
+        let sel = eval_predicate(&ctx, &E::binary(BinaryOp::Gt, E::col(1), E::lit(0i32))).unwrap();
         assert_eq!(sel, vec![0, 2, 3]);
         // constant TRUE selects all
         let sel = eval_predicate(&ctx, &E::lit(true)).unwrap();
@@ -800,10 +789,7 @@ mod tests {
         // CASE WHEN a < 3 THEN 'small' ELSE 'big' END
         let e = E::Case {
             operand: None,
-            branches: vec![(
-                E::binary(BinaryOp::Lt, E::col(0), E::lit(3i32)),
-                E::lit("small"),
-            )],
+            branches: vec![(E::binary(BinaryOp::Lt, E::col(0), E::lit(3i32)), E::lit("small"))],
             else_expr: Some(Box::new(E::lit("big"))),
         };
         let c = run(&e);
@@ -812,10 +798,7 @@ mod tests {
         // Without ELSE, unmatched rows are NULL.
         let e = E::Case {
             operand: None,
-            branches: vec![(
-                E::binary(BinaryOp::Lt, E::col(0), E::lit(2i32)),
-                E::lit(1i32),
-            )],
+            branches: vec![(E::binary(BinaryOp::Lt, E::col(0), E::lit(2i32)), E::lit(1i32))],
             else_expr: None,
         };
         let c = run(&e);
@@ -828,10 +811,7 @@ mod tests {
         // CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END
         let e = E::Case {
             operand: Some(Box::new(E::col(0))),
-            branches: vec![
-                (E::lit(1i32), E::lit("one")),
-                (E::lit(2i32), E::lit("two")),
-            ],
+            branches: vec![(E::lit(1i32), E::lit("one")), (E::lit(2i32), E::lit("two"))],
             else_expr: Some(Box::new(E::lit("many"))),
         };
         let c = run(&e);
@@ -916,10 +896,7 @@ mod tests {
         assert_eq!(c.bools().unwrap(), &[false, true, false, false]);
         let c = run(&E::IsNull { expr: Box::new(E::col(1)), negated: true });
         assert_eq!(c.bools().unwrap(), &[true, false, true, true]);
-        let c = run(&E::Unary {
-            op: UnaryOp::Not,
-            expr: Box::new(E::col(4)),
-        });
+        let c = run(&E::Unary { op: UnaryOp::Not, expr: Box::new(E::col(4)) });
         assert_eq!(c.bools().unwrap(), &[false, false, true, true]);
     }
 

@@ -127,7 +127,13 @@ pub fn eval_builtin(func: BuiltinScalar, args: &[Column]) -> DbResult<Column> {
     if args.len() < min || args.len() > max {
         return Err(DbError::Bind(format!(
             "{func:?} expects {min}{} arguments, got {}",
-            if max == usize::MAX { "+" } else if max != min { "-3" } else { "" },
+            if max == usize::MAX {
+                "+"
+            } else if max != min {
+                "-3"
+            } else {
+                ""
+            },
             args.len()
         )));
     }
@@ -166,9 +172,9 @@ fn eval_math1(func: BuiltinScalar, c: &Column) -> DbResult<Column> {
         for i in 0..c.len() {
             let v = c.i64_at(i).unwrap_or(0);
             out.push(match func {
-                BuiltinScalar::Abs => v.checked_abs().ok_or_else(|| {
-                    DbError::Arithmetic(format!("integer overflow in ABS({v})"))
-                })?,
+                BuiltinScalar::Abs => v
+                    .checked_abs()
+                    .ok_or_else(|| DbError::Arithmetic(format!("integer overflow in ABS({v})")))?,
                 BuiltinScalar::Sign => v.signum(),
                 _ => unreachable!(),
             });
@@ -317,15 +323,22 @@ fn eval_concat_n(args: &[Column]) -> DbResult<Column> {
     let n = common_len(args)?;
     let cast: Vec<Column> =
         args.iter().map(|c| c.cast(DataType::Varchar)).collect::<DbResult<_>>()?;
+    let strs: Vec<&crate::strings::StringColumn> = cast
+        .iter()
+        .map(|c| {
+            c.strings()
+                .ok_or_else(|| DbError::internal("cast to VARCHAR produced a non-string column"))
+        })
+        .collect::<DbResult<_>>()?;
     let mut out = crate::strings::StringColumn::with_capacity(n, 16);
     let mut buf = String::new();
     for i in 0..n {
         buf.clear();
-        for c in &cast {
+        for (c, s) in cast.iter().zip(&strs) {
             let j = bidx(c.len(), i);
             if !c.is_null(j) {
                 // CONCAT skips NULLs (the common DBMS behaviour).
-                buf.push_str(c.strings().expect("cast to varchar").get(j));
+                buf.push_str(s.get(j));
             }
         }
         out.push(&buf);
@@ -339,10 +352,7 @@ fn eval_coalesce(args: &[Column]) -> DbResult<Column> {
     let mut out_type = args[0].data_type();
     for c in &args[1..] {
         out_type = DataType::common_numeric(out_type, c.data_type()).ok_or_else(|| {
-            DbError::Type(format!(
-                "COALESCE arguments mix {out_type} and {}",
-                c.data_type()
-            ))
+            DbError::Type(format!("COALESCE arguments mix {out_type} and {}", c.data_type()))
         })?;
     }
     let mut b = ColumnBuilder::new(out_type);
@@ -468,12 +478,7 @@ mod tests {
             if let Some(l) = len {
                 args.push(Column::from_i64s(vec![l]));
             }
-            eval_builtin(BuiltinScalar::Substr, &args)
-                .unwrap()
-                .strings()
-                .unwrap()
-                .get(0)
-                .to_owned()
+            eval_builtin(BuiltinScalar::Substr, &args).unwrap().strings().unwrap().get(0).to_owned()
         };
         assert_eq!(sub(2, Some(3)), "ell");
         assert_eq!(sub(1, None), "hello");
@@ -502,10 +507,7 @@ mod tests {
     fn coalesce_and_nullif() {
         let out = eval_builtin(
             BuiltinScalar::Coalesce,
-            &[
-                Column::from_opt_i32s(vec![None, Some(2)]),
-                Column::from_i32s(vec![9, 9]),
-            ],
+            &[Column::from_opt_i32s(vec![None, Some(2)]), Column::from_i32s(vec![9, 9])],
         )
         .unwrap();
         assert_eq!(out.value(0), Value::Int32(9));
@@ -523,20 +525,14 @@ mod tests {
     fn least_greatest() {
         let out = eval_builtin(
             BuiltinScalar::Greatest,
-            &[
-                Column::from_i32s(vec![1, 5]),
-                Column::from_opt_i32s(vec![Some(3), None]),
-            ],
+            &[Column::from_i32s(vec![1, 5]), Column::from_opt_i32s(vec![Some(3), None])],
         )
         .unwrap();
         assert_eq!(out.value(0), Value::Int32(3));
         assert_eq!(out.value(1), Value::Int32(5));
         let out = eval_builtin(
             BuiltinScalar::Least,
-            &[
-                Column::from_opt_i32s(vec![None]),
-                Column::from_opt_i32s(vec![None]),
-            ],
+            &[Column::from_opt_i32s(vec![None]), Column::from_opt_i32s(vec![None])],
         )
         .unwrap();
         assert!(out.is_null(0));
@@ -555,10 +551,6 @@ mod tests {
     #[test]
     fn arity_enforced() {
         assert!(eval_builtin(BuiltinScalar::Abs, &[]).is_err());
-        assert!(eval_builtin(
-            BuiltinScalar::Nullif,
-            &[Column::from_i32s(vec![1])]
-        )
-        .is_err());
+        assert!(eval_builtin(BuiltinScalar::Nullif, &[Column::from_i32s(vec![1])]).is_err());
     }
 }

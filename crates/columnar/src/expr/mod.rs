@@ -222,9 +222,9 @@ impl Expr {
                 left.referenced_columns(out);
                 right.referenced_columns(out);
             }
-            Expr::Unary { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.referenced_columns(out)
+            }
             Expr::Case { operand, branches, else_expr } => {
                 if let Some(o) = operand {
                     o.referenced_columns(out);
@@ -270,9 +270,9 @@ impl Expr {
                 left.remap_columns(map);
                 right.remap_columns(map);
             }
-            Expr::Unary { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => expr.remap_columns(map),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.remap_columns(map)
+            }
             Expr::Case { operand, branches, else_expr } => {
                 if let Some(o) = operand {
                     o.remap_columns(map);
@@ -322,9 +322,9 @@ impl Expr {
                 left.substitute_subqueries(values);
                 right.substitute_subqueries(values);
             }
-            Expr::Unary { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => expr.substitute_subqueries(values),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.substitute_subqueries(values)
+            }
             Expr::Case { operand, branches, else_expr } => {
                 if let Some(o) = operand {
                     o.substitute_subqueries(values);
@@ -367,9 +367,9 @@ impl Expr {
             Expr::Subquery(_) => true,
             Expr::Column(_) | Expr::Literal(_) => false,
             Expr::Binary { left, right, .. } => left.has_subquery() || right.has_subquery(),
-            Expr::Unary { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => expr.has_subquery(),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.has_subquery()
+            }
             Expr::Case { operand, branches, else_expr } => {
                 operand.as_ref().is_some_and(|o| o.has_subquery())
                     || branches.iter().any(|(w, t)| w.has_subquery() || t.has_subquery())
@@ -412,11 +412,9 @@ impl fmt::Display for Expr {
             Expr::Like { expr, pattern, negated } => {
                 write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
             }
-            Expr::Between { expr, low, high, negated } => write!(
-                f,
-                "({expr} {}BETWEEN {low} AND {high})",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
             Expr::ScalarFn { func, args } => {
                 write!(f, "{func:?}(")?;
                 for (i, a) in args.iter().enumerate() {

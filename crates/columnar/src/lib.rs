@@ -36,8 +36,8 @@
 pub mod batch;
 pub mod bitmap;
 pub mod catalog;
-pub mod database;
 pub mod column;
+pub mod database;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -49,15 +49,17 @@ pub mod strings;
 pub mod table;
 pub mod types;
 pub mod udf;
+pub mod verify;
 
 pub use batch::Batch;
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
-pub use database::{Database, QueryResult, StatementKind};
 pub use column::{Column, ColumnBuilder, ColumnData};
+pub use database::{Database, QueryResult, StatementKind};
 pub use error::{DbError, DbResult};
 pub use schema::{Field, Schema};
 pub use strings::{BlobColumn, StringColumn};
 pub use table::Table;
 pub use types::{DataType, Value};
 pub use udf::{ClosureScalarUdf, FunctionRegistry, ScalarUdf, TableUdf};
+pub use verify::{verify_plan, verify_statement};

@@ -88,10 +88,7 @@ where
     for (i, r) in rx {
         results[i] = Some(r);
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("every morsel processed"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every morsel processed")).collect()
 }
 
 #[cfg(test)]
@@ -126,10 +123,8 @@ mod tests {
     fn parallel_map_computes() {
         // Sum of 0..n via per-morsel partial sums.
         let n = 100_000usize;
-        let parts = parallel_map(n, 1024, 8, |m| {
-            Ok((m.start..m.start + m.len).sum::<usize>())
-        })
-        .unwrap();
+        let parts =
+            parallel_map(n, 1024, 8, |m| Ok((m.start..m.start + m.len).sum::<usize>())).unwrap();
         assert_eq!(parts.iter().sum::<usize>(), n * (n - 1) / 2);
     }
 

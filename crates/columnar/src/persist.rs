@@ -285,9 +285,7 @@ fn decode_column(tag: u8, rows: usize, r: &mut Reader<'_>) -> DbResult<Column> {
                 offsets.push(r.get_varint().map_err(corrupt)?);
             }
             let bytes = r.get_bytes().map_err(corrupt)?.to_vec();
-            ColumnData::Blob(
-                BlobColumn::from_raw_parts(offsets, bytes).map_err(DbError::Corrupt)?,
-            )
+            ColumnData::Blob(BlobColumn::from_raw_parts(offsets, bytes).map_err(DbError::Corrupt)?)
         }
     };
     Column::new(data, validity)
@@ -299,10 +297,7 @@ mod tests {
     use crate::types::Value;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "mlcs_persist_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mlcs_persist_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -334,9 +329,7 @@ mod tests {
         assert_eq!(r.row(2)[2], Value::Float64(-1.5));
         assert_eq!(r.row(0)[3], Value::Blob(vec![0x00, 0xFF]));
         // NOT NULL survives.
-        assert!(db2
-            .execute("INSERT INTO v VALUES (NULL, 'x', 1.0, x'00')")
-            .is_err());
+        assert!(db2.execute("INSERT INTO v VALUES (NULL, 'x', 1.0, x'00')").is_err());
         assert_eq!(db2.query("SELECT * FROM empty_t").unwrap().rows(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }

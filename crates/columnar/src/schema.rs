@@ -114,20 +114,16 @@ mod tests {
 
     #[test]
     fn duplicates_rejected() {
-        let err = Schema::new(vec![
-            Field::new("a", DataType::Int32),
-            Field::new("A", DataType::Int64),
-        ]);
+        let err =
+            Schema::new(vec![Field::new("a", DataType::Int32), Field::new("A", DataType::Int64)]);
         assert!(matches!(err, Err(DbError::Bind(_))));
     }
 
     #[test]
     fn names_in_order() {
-        let s = Schema::new(vec![
-            Field::new("x", DataType::Int32),
-            Field::new("y", DataType::Float64),
-        ])
-        .unwrap();
+        let s =
+            Schema::new(vec![Field::new("x", DataType::Int32), Field::new("y", DataType::Float64)])
+                .unwrap();
         assert_eq!(s.names(), vec!["x", "y"]);
         assert_eq!(s.len(), 2);
     }

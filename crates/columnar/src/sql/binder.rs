@@ -80,9 +80,7 @@ impl Scope {
         for (i, c) in self.cols.iter().enumerate() {
             if c.name == name && c.qualifier.as_deref() == Some(qualifier) {
                 if found.is_some() {
-                    return Err(DbError::bind(format!(
-                        "column '{qualifier}.{name}' is ambiguous"
-                    )));
+                    return Err(DbError::bind(format!("column '{qualifier}.{name}' is ambiguous")));
                 }
                 found = Some(i);
             }
@@ -147,7 +145,9 @@ impl<'a> Binder<'a> {
                     scalar_subs: std::mem::take(&mut self.scalar_subs),
                 })
             }
-            Statement::Insert { table, columns, source } => self.bind_insert(table, columns, source),
+            Statement::Insert { table, columns, source } => {
+                self.bind_insert(table, columns, source)
+            }
             Statement::Delete { table, filter } => {
                 let handle = self.catalog.table(&table)?;
                 let schema = handle.read().schema().clone();
@@ -316,12 +316,8 @@ impl<'a> Binder<'a> {
         }
         let schema = Arc::new(Schema::new_unchecked(fields));
         let coerce = |plan: LogicalPlan, schema: &Arc<Schema>| -> LogicalPlan {
-            let needs = plan
-                .schema()
-                .fields()
-                .iter()
-                .zip(schema.fields())
-                .any(|(a, b)| a.dtype != b.dtype);
+            let needs =
+                plan.schema().fields().iter().zip(schema.fields()).any(|(a, b)| a.dtype != b.dtype);
             if !needs {
                 return plan;
             }
@@ -387,16 +383,12 @@ impl<'a> Binder<'a> {
                 // HAVING without aggregates or grouping: treat as filter.
                 has_agg = false;
                 let _ = has_agg;
-                return Err(DbError::Unsupported(
-                    "HAVING without GROUP BY or aggregates".into(),
-                ));
+                return Err(DbError::Unsupported("HAVING without GROUP BY or aggregates".into()));
             }
 
             // Bind group exprs and agg args over the FROM scope.
-            let group_exprs: Vec<Expr> = group_asts
-                .iter()
-                .map(|g| self.bind_expr(g, &scope))
-                .collect::<DbResult<_>>()?;
+            let group_exprs: Vec<Expr> =
+                group_asts.iter().map(|g| self.bind_expr(g, &scope)).collect::<DbResult<_>>()?;
             let mut plan_aggs = Vec::with_capacity(agg_asts.len());
             for a in &agg_asts {
                 plan_aggs.push(self.bind_aggregate_call(a, &scope)?);
@@ -430,7 +422,8 @@ impl<'a> Binder<'a> {
 
             // Post-aggregate binding rewrites group-expr and agg-call ASTs
             // to positional refs into the aggregate output.
-            let post = PostAggScope { group_asts: &group_asts, agg_asts: &agg_asts, schema: &agg_schema };
+            let post =
+                PostAggScope { group_asts: &group_asts, agg_asts: &agg_asts, schema: &agg_schema };
 
             if let Some(h) = &s.having {
                 let predicate = self.bind_post_agg(h, &post)?;
@@ -606,8 +599,7 @@ impl<'a> Binder<'a> {
             // Drop the hidden sort columns.
             let schema = plan.schema();
             let exprs: Vec<Expr> = (0..visible).map(Expr::Column).collect();
-            let fields: Vec<Field> =
-                schema.fields()[..visible].to_vec();
+            let fields: Vec<Field> = schema.fields()[..visible].to_vec();
             plan = LogicalPlan::Project {
                 input: Box::new(plan),
                 exprs,
@@ -641,17 +633,13 @@ impl<'a> Binder<'a> {
 
     /// Resolves a GROUP BY item: a 1-based ordinal or an alias of a
     /// projection item expands to the projected expression.
-    fn resolve_group_item(
-        &self,
-        g: &AstExpr,
-        projection: &[SelectItem],
-    ) -> DbResult<AstExpr> {
+    fn resolve_group_item(&self, g: &AstExpr, projection: &[SelectItem]) -> DbResult<AstExpr> {
         match g {
             AstExpr::Literal(Value::Int32(n)) => {
                 let idx = *n as usize;
-                let item = projection.get(idx.wrapping_sub(1)).ok_or_else(|| {
-                    DbError::bind(format!("GROUP BY ordinal {n} out of range"))
-                })?;
+                let item = projection
+                    .get(idx.wrapping_sub(1))
+                    .ok_or_else(|| DbError::bind(format!("GROUP BY ordinal {n} out of range")))?;
                 match item {
                     SelectItem::Expr { expr, .. } => Ok(expr.clone()),
                     _ => Err(DbError::bind("GROUP BY ordinal points at *")),
@@ -722,9 +710,9 @@ impl<'a> Binder<'a> {
                 }),
                 None => {
                     return Err(DbError::bind(format!(
-                        "ORDER BY expression '{:?}' must reference an output column, alias, or ordinal",
-                        item.expr
-                    )))
+                    "ORDER BY expression '{:?}' must reference an output column, alias, or ordinal",
+                    item.expr
+                )))
                 }
             }
         }
@@ -850,8 +838,7 @@ impl<'a> Binder<'a> {
                             },
                         });
                     }
-                    residual =
-                        Some(self.bind_expr(&combined_pred.expect("nonempty"), &combined)?);
+                    residual = Some(self.bind_expr(&combined_pred.expect("nonempty"), &combined)?);
                 }
                 if left_keys.is_empty() && jt != JoinType::Cross {
                     return Err(DbError::Unsupported(
@@ -905,18 +892,15 @@ impl<'a> Binder<'a> {
                 left: Box::new(self.bind_expr(left, scope)?),
                 right: Box::new(self.bind_expr(right, scope)?),
             }),
-            AstExpr::Unary { op, expr } => Ok(Expr::Unary {
-                op: *op,
-                expr: Box::new(self.bind_expr(expr, scope)?),
-            }),
-            AstExpr::Cast { expr, to } => Ok(Expr::Cast {
-                expr: Box::new(self.bind_expr(expr, scope)?),
-                to: *to,
-            }),
-            AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
-                expr: Box::new(self.bind_expr(expr, scope)?),
-                negated: *negated,
-            }),
+            AstExpr::Unary { op, expr } => {
+                Ok(Expr::Unary { op: *op, expr: Box::new(self.bind_expr(expr, scope)?) })
+            }
+            AstExpr::Cast { expr, to } => {
+                Ok(Expr::Cast { expr: Box::new(self.bind_expr(expr, scope)?), to: *to })
+            }
+            AstExpr::IsNull { expr, negated } => {
+                Ok(Expr::IsNull { expr: Box::new(self.bind_expr(expr, scope)?), negated: *negated })
+            }
             AstExpr::Case { operand, branches, else_expr } => Ok(Expr::Case {
                 operand: match operand {
                     Some(o) => Some(Box::new(self.bind_expr(o, scope)?)),
@@ -924,9 +908,7 @@ impl<'a> Binder<'a> {
                 },
                 branches: branches
                     .iter()
-                    .map(|(w, t)| {
-                        Ok((self.bind_expr(w, scope)?, self.bind_expr(t, scope)?))
-                    })
+                    .map(|(w, t)| Ok((self.bind_expr(w, scope)?, self.bind_expr(t, scope)?)))
                     .collect::<DbResult<_>>()?,
                 else_expr: match else_expr {
                     Some(e) => Some(Box::new(self.bind_expr(e, scope)?)),
@@ -935,10 +917,7 @@ impl<'a> Binder<'a> {
             }),
             AstExpr::InList { expr, list, negated } => Ok(Expr::InList {
                 expr: Box::new(self.bind_expr(expr, scope)?),
-                list: list
-                    .iter()
-                    .map(|e| self.bind_expr(e, scope))
-                    .collect::<DbResult<_>>()?,
+                list: list.iter().map(|e| self.bind_expr(e, scope)).collect::<DbResult<_>>()?,
                 negated: *negated,
             }),
             AstExpr::Like { expr, pattern, negated } => Ok(Expr::Like {
@@ -972,10 +951,8 @@ impl<'a> Binder<'a> {
                         )));
                     }
                 }
-                let bound_args: Vec<Expr> = args
-                    .iter()
-                    .map(|a| self.bind_expr(a, scope))
-                    .collect::<DbResult<_>>()?;
+                let bound_args: Vec<Expr> =
+                    args.iter().map(|a| self.bind_expr(a, scope)).collect::<DbResult<_>>()?;
                 if let Some(f) = BuiltinScalar::from_name(name) {
                     let (min, max) = f.arity();
                     if bound_args.len() < min || bound_args.len() > max {
@@ -1011,9 +988,7 @@ impl<'a> Binder<'a> {
                     return Ok(PlanAgg { func: AggFunc::CountStar, arg: None, distinct: false });
                 }
                 if args.len() != 1 {
-                    return Err(DbError::bind(format!(
-                        "{name}() expects exactly one argument"
-                    )));
+                    return Err(DbError::bind(format!("{name}() expects exactly one argument")));
                 }
                 let arg = self.bind_expr(&args[0], scope)?;
                 Ok(PlanAgg { func, arg: Some(arg), distinct: *distinct })
@@ -1051,14 +1026,12 @@ impl<'a> Binder<'a> {
                 left: Box::new(self.bind_post_agg(left, post)?),
                 right: Box::new(self.bind_post_agg(right, post)?),
             }),
-            AstExpr::Unary { op, expr } => Ok(Expr::Unary {
-                op: *op,
-                expr: Box::new(self.bind_post_agg(expr, post)?),
-            }),
-            AstExpr::Cast { expr, to } => Ok(Expr::Cast {
-                expr: Box::new(self.bind_post_agg(expr, post)?),
-                to: *to,
-            }),
+            AstExpr::Unary { op, expr } => {
+                Ok(Expr::Unary { op: *op, expr: Box::new(self.bind_post_agg(expr, post)?) })
+            }
+            AstExpr::Cast { expr, to } => {
+                Ok(Expr::Cast { expr: Box::new(self.bind_post_agg(expr, post)?), to: *to })
+            }
             AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
                 expr: Box::new(self.bind_post_agg(expr, post)?),
                 negated: *negated,
@@ -1070,9 +1043,7 @@ impl<'a> Binder<'a> {
                 },
                 branches: branches
                     .iter()
-                    .map(|(w, t)| {
-                        Ok((self.bind_post_agg(w, post)?, self.bind_post_agg(t, post)?))
-                    })
+                    .map(|(w, t)| Ok((self.bind_post_agg(w, post)?, self.bind_post_agg(t, post)?)))
                     .collect::<DbResult<_>>()?,
                 else_expr: match else_expr {
                     Some(x) => Some(Box::new(self.bind_post_agg(x, post)?)),
@@ -1081,10 +1052,7 @@ impl<'a> Binder<'a> {
             }),
             AstExpr::InList { expr, list, negated } => Ok(Expr::InList {
                 expr: Box::new(self.bind_post_agg(expr, post)?),
-                list: list
-                    .iter()
-                    .map(|x| self.bind_post_agg(x, post))
-                    .collect::<DbResult<_>>()?,
+                list: list.iter().map(|x| self.bind_post_agg(x, post)).collect::<DbResult<_>>()?,
                 negated: *negated,
             }),
             AstExpr::Like { expr, pattern, negated } => Ok(Expr::Like {
@@ -1101,9 +1069,7 @@ impl<'a> Binder<'a> {
             AstExpr::ScalarSubquery(q) => {
                 let plan = self.bind_query((**q).clone())?;
                 if plan.schema().len() != 1 {
-                    return Err(DbError::bind(
-                        "scalar subquery must return one column",
-                    ));
+                    return Err(DbError::bind("scalar subquery must return one column"));
                 }
                 self.scalar_subs.push(plan);
                 Ok(Expr::Subquery(self.scalar_subs.len() - 1))
@@ -1112,10 +1078,8 @@ impl<'a> Binder<'a> {
                 if AggFunc::from_name(name).is_some() {
                     return Err(DbError::bind("nested aggregate functions"));
                 }
-                let bound: Vec<Expr> = args
-                    .iter()
-                    .map(|a| self.bind_post_agg(a, post))
-                    .collect::<DbResult<_>>()?;
+                let bound: Vec<Expr> =
+                    args.iter().map(|a| self.bind_post_agg(a, post)).collect::<DbResult<_>>()?;
                 if let Some(f) = BuiltinScalar::from_name(name) {
                     return Ok(Expr::ScalarFn { func: f, args: bound });
                 }
@@ -1233,19 +1197,16 @@ impl<'a> Binder<'a> {
                     let mut t = self.infer_type(&args[0], input)?;
                     for a in &args[1..] {
                         let at = self.infer_type(a, input)?;
-                        t = DataType::common_numeric(t, at).ok_or_else(|| {
-                            DbError::Type(format!("arguments mix {t} and {at}"))
-                        })?;
+                        t = DataType::common_numeric(t, at)
+                            .ok_or_else(|| DbError::Type(format!("arguments mix {t} and {at}")))?;
                     }
                     t
                 }
             },
             Expr::Udf { name, args } => {
                 let udf = self.functions.scalar(name)?;
-                let arg_types: Vec<DataType> = args
-                    .iter()
-                    .map(|a| self.infer_type(a, input))
-                    .collect::<DbResult<_>>()?;
+                let arg_types: Vec<DataType> =
+                    args.iter().map(|a| self.infer_type(a, input)).collect::<DbResult<_>>()?;
                 udf.return_type(&arg_types)?
             }
             Expr::Subquery(i) => {
@@ -1303,9 +1264,9 @@ fn collect_aggregates(e: &AstExpr, out: &mut Vec<AstExpr>) {
             collect_aggregates(left, out);
             collect_aggregates(right, out);
         }
-        AstExpr::Unary { expr, .. }
-        | AstExpr::Cast { expr, .. }
-        | AstExpr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        AstExpr::Unary { expr, .. } | AstExpr::Cast { expr, .. } | AstExpr::IsNull { expr, .. } => {
+            collect_aggregates(expr, out)
+        }
         AstExpr::Case { operand, branches, else_expr } => {
             if let Some(o) = operand {
                 collect_aggregates(o, out);
@@ -1377,14 +1338,10 @@ pub fn eval_constant(e: &Expr) -> DbResult<Value> {
     let mut refs = Vec::new();
     e.referenced_columns(&mut refs);
     if !refs.is_empty() {
-        return Err(DbError::bind(
-            "expression must be constant (no column references)",
-        ));
+        return Err(DbError::bind("expression must be constant (no column references)"));
     }
     if e.has_subquery() {
-        return Err(DbError::bind(
-            "constant expression cannot contain a subquery here",
-        ));
+        return Err(DbError::bind("constant expression cannot contain a subquery here"));
     }
     // Evaluate over a one-row unit batch.
     let unit = crate::batch::Batch::from_columns(vec![(

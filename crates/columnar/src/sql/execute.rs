@@ -16,7 +16,21 @@ use std::sync::Arc;
 ///
 /// Scalar subqueries must already be substituted (see
 /// [`substitute_in_plan`]); encountering a placeholder is an internal error.
+/// Debug builds re-verify the plan (see [`crate::verify`]) before running
+/// it, so plans reaching the executor through any entry point are checked.
 pub fn execute_plan(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &FunctionRegistry,
+) -> DbResult<Batch> {
+    #[cfg(debug_assertions)]
+    crate::verify::verify_plan(plan, functions)?;
+    execute_node(plan, catalog, functions)
+}
+
+/// The recursive executor behind [`execute_plan`], without the per-entry
+/// verification pass.
+fn execute_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     functions: &FunctionRegistry,
@@ -35,7 +49,7 @@ pub fn execute_plan(
                         arg_cols.push(Arc::new(eval(&ctx, e)?));
                     }
                     BoundTableArg::Plan(p) => {
-                        let b = execute_plan(p, catalog, functions)?;
+                        let b = execute_node(p, catalog, functions)?;
                         arg_cols.extend(b.columns().iter().cloned());
                     }
                 }
@@ -44,16 +58,16 @@ pub fn execute_plan(
             conform(out, schema.clone())
         }
         LogicalPlan::Filter { input, predicate } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             exec::filter(&b, predicate, Some(functions))
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             project(&b, exprs, schema.clone(), functions)
         }
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
-            let l = execute_plan(left, catalog, functions)?;
-            let r = execute_plan(right, catalog, functions)?;
+            let l = execute_node(left, catalog, functions)?;
+            let r = execute_node(right, catalog, functions)?;
             let mut joined = exec::hash_join(&l, &r, left_keys, right_keys, *join_type)?;
             if let Some(pred) = residual {
                 joined = exec::filter(&joined, pred, Some(functions))?;
@@ -61,11 +75,11 @@ pub fn execute_plan(
             conform(joined, schema.clone())
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             aggregate(&b, group, aggs, schema.clone(), functions)
         }
         LogicalPlan::Sort { input, keys } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             let keys: Vec<exec::SortKey> = keys
                 .iter()
                 .map(|k| exec::SortKey {
@@ -77,19 +91,18 @@ pub fn execute_plan(
             exec::sort(&b, &keys)
         }
         LogicalPlan::Limit { input, limit, offset } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             Ok(exec::limit(&b, *limit, *offset))
         }
         LogicalPlan::Distinct { input } => {
-            let b = execute_plan(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions)?;
             Ok(exec::distinct(&b))
         }
         LogicalPlan::UnionAll { inputs, schema } => {
             let batches: Vec<Batch> = inputs
                 .iter()
                 .map(|p| {
-                    execute_plan(p, catalog, functions)
-                        .and_then(|b| conform(b, schema.clone()))
+                    execute_node(p, catalog, functions).and_then(|b| conform(b, schema.clone()))
                 })
                 .collect::<DbResult<_>>()?;
             Batch::concat(&batches)
@@ -157,9 +170,7 @@ fn aggregate(
         // column so the pre-batch still knows the input row count.
         pre_cols.push(("__rows".to_owned(), Column::from_bools(vec![false; n])));
     }
-    let pre = Batch::from_columns(
-        pre_cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect(),
-    )?;
+    let pre = Batch::from_columns(pre_cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect())?;
     let group_keys: Vec<usize> = (0..group.len()).collect();
     let out = exec::hash_aggregate(&pre, &group_keys, &calls)?;
     conform(out, schema)
@@ -251,7 +262,8 @@ pub fn evaluate_scalar_subqueries(
     for sub in subs {
         let mut plan = sub.clone();
         substitute_in_plan(&mut plan, &values);
-        let batch = execute_plan(&plan, catalog, functions)?;
+        crate::verify::verify_plan(&plan, functions)?;
+        let batch = execute_node(&plan, catalog, functions)?;
         if batch.width() != 1 {
             return Err(DbError::bind(format!(
                 "scalar subquery returned {} columns",

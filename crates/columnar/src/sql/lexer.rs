@@ -54,11 +54,7 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
                 out.push(Token::Semicolon);
                 i += 1;
             }
-            '.' if !bytes
-                .get(i + 1)
-                .map(|b| b.is_ascii_digit())
-                .unwrap_or(false) =>
-            {
+            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
                 out.push(Token::Dot);
                 i += 1;
             }
@@ -154,13 +150,17 @@ pub fn tokenize(sql: &str) -> DbResult<Vec<Token>> {
                 let hex = &sql[hex_start..i];
                 i += 1;
                 if !hex.len().is_multiple_of(2) {
-                    return Err(err("blob literal must have an even number of hex digits".into(), start));
+                    return Err(err(
+                        "blob literal must have an even number of hex digits".into(),
+                        start,
+                    ));
                 }
                 let mut blob = Vec::with_capacity(hex.len() / 2);
                 for pair in hex.as_bytes().chunks(2) {
                     let s = std::str::from_utf8(pair).expect("ascii hex");
-                    let byte = u8::from_str_radix(s, 16)
-                        .map_err(|_| err(format!("invalid hex digits '{s}' in blob literal"), start))?;
+                    let byte = u8::from_str_radix(s, 16).map_err(|_| {
+                        err(format!("invalid hex digits '{s}' in blob literal"), start)
+                    })?;
                     blob.push(byte);
                 }
                 out.push(Token::Blob(blob));
@@ -251,10 +251,7 @@ mod tests {
     #[test]
     fn strings_with_escapes() {
         let t = tokenize("'it''s' 'ünïcode'").unwrap();
-        assert_eq!(
-            t,
-            vec![Token::String("it's".into()), Token::String("ünïcode".into())]
-        );
+        assert_eq!(t, vec![Token::String("it's".into()), Token::String("ünïcode".into())]);
     }
 
     #[test]
@@ -313,10 +310,7 @@ mod tests {
     #[test]
     fn compound_idents() {
         let t = tokenize("t.col").unwrap();
-        assert_eq!(
-            t,
-            vec![Token::Ident("t".into()), Token::Dot, Token::Ident("col".into())]
-        );
+        assert_eq!(t, vec![Token::Ident("t".into()), Token::Dot, Token::Ident("col".into())]);
     }
 
     #[test]

@@ -24,8 +24,14 @@ use crate::sql::plan::LogicalPlan;
 use crate::types::Value;
 
 /// Optimizes a plan (bottom-up, fixed small pass set).
+///
+/// Debug builds re-run the structural plan verifier after each rewrite
+/// pass, so an optimizer bug that breaks schema propagation or column
+/// bounds is caught here rather than downstream in the executor.
 pub fn optimize(plan: LogicalPlan) -> DbResult<LogicalPlan> {
     let plan = rewrite(plan)?;
+    #[cfg(debug_assertions)]
+    crate::verify::verify_rewrite(&plan)?;
     Ok(plan)
 }
 
@@ -68,12 +74,7 @@ fn rewrite(plan: LogicalPlan) -> DbResult<LogicalPlan> {
                     fold_expr(arg);
                 }
             }
-            LogicalPlan::Aggregate {
-                input: Box::new(rewrite(*input)?),
-                group,
-                aggs,
-                schema,
-            }
+            LogicalPlan::Aggregate { input: Box::new(rewrite(*input)?), group, aggs, schema }
         }
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(rewrite(*input)?), keys }
@@ -108,13 +109,12 @@ fn push_filter(predicate: Expr, input: LogicalPlan) -> DbResult<LogicalPlan> {
             push_filter(fused, *input)
         }
         // Filter over Sort/Distinct commutes (set-preserving operators).
-        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
-            input: Box::new(push_filter(predicate, *input)?),
-            keys,
-        }),
-        LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
-            input: Box::new(push_filter(predicate, *input)?),
-        }),
+        LogicalPlan::Sort { input, keys } => {
+            Ok(LogicalPlan::Sort { input: Box::new(push_filter(predicate, *input)?), keys })
+        }
+        LogicalPlan::Distinct { input } => {
+            Ok(LogicalPlan::Distinct { input: Box::new(push_filter(predicate, *input)?) })
+        }
         // Filter over Project pushes down when every referenced output
         // column is a plain pass-through (`Column(i)`) — rewrite the
         // predicate in input coordinates.
@@ -225,9 +225,9 @@ fn foldable(e: &Expr) -> bool {
             Expr::Column(_) | Expr::Subquery(_) | Expr::Udf { .. } => false,
             Expr::Literal(_) => true,
             Expr::Binary { left, right, .. } => pure(left) && pure(right),
-            Expr::Unary { expr, .. }
-            | Expr::Cast { expr, .. }
-            | Expr::IsNull { expr, .. } => pure(expr),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                pure(expr)
+            }
             Expr::Case { operand, branches, else_expr } => {
                 operand.as_deref().is_none_or(pure)
                     && branches.iter().all(|(w, t)| pure(w) && pure(t))
@@ -235,9 +235,7 @@ fn foldable(e: &Expr) -> bool {
             }
             Expr::InList { expr, list, .. } => pure(expr) && list.iter().all(pure),
             Expr::Like { expr, pattern, .. } => pure(expr) && pure(pattern),
-            Expr::Between { expr, low, high, .. } => {
-                pure(expr) && pure(low) && pure(high)
-            }
+            Expr::Between { expr, low, high, .. } => pure(expr) && pure(low) && pure(high),
             Expr::ScalarFn { args, .. } => args.iter().all(pure),
         }
     }
@@ -332,9 +330,8 @@ mod tests {
 
     fn scan(cols: usize) -> LogicalPlan {
         use crate::schema::{Field, Schema};
-        let fields = (0..cols)
-            .map(|i| Field::new(format!("c{i}"), crate::types::DataType::Int32))
-            .collect();
+        let fields =
+            (0..cols).map(|i| Field::new(format!("c{i}"), crate::types::DataType::Int32)).collect();
         LogicalPlan::Scan {
             table: "t".into(),
             schema: std::sync::Arc::new(Schema::new_unchecked(fields)),
@@ -343,10 +340,7 @@ mod tests {
 
     #[test]
     fn true_filter_removed() {
-        let plan = LogicalPlan::Filter {
-            input: Box::new(scan(1)),
-            predicate: E::lit(true),
-        };
+        let plan = LogicalPlan::Filter { input: Box::new(scan(1)), predicate: E::lit(true) };
         let out = optimize(plan).unwrap();
         assert!(matches!(out, LogicalPlan::Scan { .. }), "{out}");
     }
@@ -390,10 +384,7 @@ mod tests {
             LogicalPlan::Project { input, .. } => match *input {
                 LogicalPlan::Filter { predicate, input } => {
                     // Output column 1 maps back to input column 0.
-                    assert_eq!(
-                        predicate,
-                        E::binary(BinaryOp::Eq, E::col(0), E::lit(5i32))
-                    );
+                    assert_eq!(predicate, E::binary(BinaryOp::Eq, E::col(0), E::lit(5i32)));
                     assert!(matches!(*input, LogicalPlan::Scan { .. }));
                 }
                 other => panic!("expected filter under project, got {other}"),
@@ -453,10 +444,7 @@ mod tests {
         // Top: the cross-side conjunct stays as a filter over the join.
         match out {
             LogicalPlan::Filter { input, predicate } => {
-                assert_eq!(
-                    predicate,
-                    E::binary(BinaryOp::Eq, E::col(0), E::col(2))
-                );
+                assert_eq!(predicate, E::binary(BinaryOp::Eq, E::col(0), E::col(2)));
                 match *input {
                     LogicalPlan::Join { left, right, .. } => {
                         assert!(

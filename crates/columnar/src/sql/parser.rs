@@ -38,11 +38,11 @@ pub fn parse_many(sql: &str) -> DbResult<Vec<Statement>> {
 
 /// Words that cannot be used as implicit (AS-less) aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "offset", "union",
-    "join", "inner", "left", "right", "outer", "cross", "on", "using", "as", "and",
-    "or", "not", "case", "when", "then", "else", "end", "values", "set", "insert",
-    "update", "delete", "create", "drop", "table", "into", "distinct", "by", "is",
-    "null", "like", "between", "in", "asc", "desc", "nulls", "first", "last", "exists",
+    "select", "from", "where", "group", "having", "order", "limit", "offset", "union", "join",
+    "inner", "left", "right", "outer", "cross", "on", "using", "as", "and", "or", "not", "case",
+    "when", "then", "else", "end", "values", "set", "insert", "update", "delete", "create", "drop",
+    "table", "into", "distinct", "by", "is", "null", "like", "between", "in", "asc", "desc",
+    "nulls", "first", "last", "exists",
 ];
 
 struct Parser {
@@ -91,7 +91,11 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(self.error(format!("expected '{}', found '{}'", kw.to_uppercase(), self.peek_text())))
+            Err(self.error(format!(
+                "expected '{}', found '{}'",
+                kw.to_uppercase(),
+                self.peek_text()
+            )))
         }
     }
 
@@ -520,11 +524,8 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_keyword("or") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary {
-                op: BinaryOp::Or,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -533,11 +534,8 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_keyword("and") {
             let right = self.not_expr()?;
-            left = AstExpr::Binary {
-                op: BinaryOp::And,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -580,11 +578,7 @@ impl Parser {
         }
         if self.eat_keyword("like") {
             let pattern = self.additive()?;
-            return Ok(AstExpr::Like {
-                expr: Box::new(left),
-                pattern: Box::new(pattern),
-                negated,
-            });
+            return Ok(AstExpr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
         }
         if self.eat_keyword("between") {
             let low = self.additive()?;
@@ -729,11 +723,8 @@ impl Parser {
                 }
                 "case" => {
                     self.pos += 1;
-                    let operand = if self.at_keyword("when") {
-                        None
-                    } else {
-                        Some(Box::new(self.expr()?))
-                    };
+                    let operand =
+                        if self.at_keyword("when") { None } else { Some(Box::new(self.expr()?)) };
                     let mut branches = Vec::new();
                     while self.eat_keyword("when") {
                         let w = self.expr()?;
@@ -744,11 +735,8 @@ impl Parser {
                     if branches.is_empty() {
                         return Err(self.error("CASE requires at least one WHEN".into()));
                     }
-                    let else_expr = if self.eat_keyword("else") {
-                        Some(Box::new(self.expr()?))
-                    } else {
-                        None
-                    };
+                    let else_expr =
+                        if self.eat_keyword("else") { Some(Box::new(self.expr()?)) } else { None };
                     self.expect_keyword("end")?;
                     Ok(AstExpr::Case { operand, branches, else_expr })
                 }
@@ -853,18 +841,13 @@ mod tests {
     #[test]
     fn parses_insert_select() {
         let s = parse("INSERT INTO t SELECT a FROM u").unwrap();
-        assert!(matches!(
-            s,
-            Statement::Insert { source: InsertSource::Query(_), .. }
-        ));
+        assert!(matches!(s, Statement::Insert { source: InsertSource::Query(_), .. }));
     }
 
     #[test]
     fn parses_select_with_everything() {
-        let s = sel(
-            "SELECT DISTINCT a, t.b AS bb, COUNT(*) c FROM t WHERE a > 1 \
-             GROUP BY a, t.b HAVING COUNT(*) > 2",
-        );
+        let s = sel("SELECT DISTINCT a, t.b AS bb, COUNT(*) c FROM t WHERE a > 1 \
+             GROUP BY a, t.b HAVING COUNT(*) > 2");
         assert!(s.distinct);
         assert_eq!(s.projection.len(), 3);
         assert!(s.where_clause.is_some());
@@ -884,15 +867,13 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let s = sel("SELECT * FROM a, b");
-        assert!(matches!(
-            s.from.unwrap(),
-            TableRef::Join { join_type: AstJoinType::Cross, .. }
-        ));
+        assert!(matches!(s.from.unwrap(), TableRef::Join { join_type: AstJoinType::Cross, .. }));
     }
 
     #[test]
     fn parses_table_function_with_subquery_args() {
-        let s = sel("SELECT * FROM train((SELECT age FROM voters), (SELECT label FROM voters), 16)");
+        let s =
+            sel("SELECT * FROM train((SELECT age FROM voters), (SELECT label FROM voters), 16)");
         match s.from.unwrap() {
             TableRef::TableFunction { name, args, .. } => {
                 assert_eq!(name, "train");
@@ -918,7 +899,9 @@ mod tests {
 
     #[test]
     fn parses_order_limit_offset() {
-        let q = match parse("SELECT a FROM t ORDER BY a DESC NULLS LAST, 2 LIMIT 10 OFFSET 5").unwrap() {
+        let q = match parse("SELECT a FROM t ORDER BY a DESC NULLS LAST, 2 LIMIT 10 OFFSET 5")
+            .unwrap()
+        {
             Statement::Query(q) => q,
             other => panic!("{other:?}"),
         };
@@ -943,19 +926,13 @@ mod tests {
         let s = sel("SELECT * FROM t WHERE a IS NOT NULL AND b NOT IN (1,2) AND c LIKE 'x%' AND d BETWEEN 1 AND 5");
         assert!(s.where_clause.is_some());
         let s = sel("SELECT * FROM t WHERE NOT (a = 1 OR b = 2)");
-        assert!(matches!(
-            s.where_clause.unwrap(),
-            AstExpr::Unary { op: UnaryOp::Not, .. }
-        ));
+        assert!(matches!(s.where_clause.unwrap(), AstExpr::Unary { op: UnaryOp::Not, .. }));
     }
 
     #[test]
     fn parses_case() {
         let s = sel("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
-        assert!(matches!(
-            &s.projection[0],
-            SelectItem::Expr { expr: AstExpr::Case { .. }, .. }
-        ));
+        assert!(matches!(&s.projection[0], SelectItem::Expr { expr: AstExpr::Case { .. }, .. }));
         let s = sel("SELECT CASE a WHEN 1 THEN 'one' END FROM t");
         match &s.projection[0] {
             SelectItem::Expr { expr: AstExpr::Case { operand, .. }, .. } => {

@@ -150,6 +150,47 @@ impl LogicalPlan {
         }
     }
 
+    /// A short operator label used in verifier diagnostics and plan paths
+    /// (`"Scan(t)"`, `"Project"`, …).
+    pub fn node_name(&self) -> String {
+        match self {
+            LogicalPlan::Scan { table, .. } => format!("Scan({table})"),
+            LogicalPlan::TableFunction { name, .. } => format!("TableFunction({name})"),
+            LogicalPlan::UnitRow => "UnitRow".to_owned(),
+            LogicalPlan::Filter { .. } => "Filter".to_owned(),
+            LogicalPlan::Project { .. } => "Project".to_owned(),
+            LogicalPlan::Join { join_type, .. } => format!("Join({join_type:?})"),
+            LogicalPlan::Aggregate { .. } => "Aggregate".to_owned(),
+            LogicalPlan::Sort { .. } => "Sort".to_owned(),
+            LogicalPlan::Limit { .. } => "Limit".to_owned(),
+            LogicalPlan::Distinct { .. } => "Distinct".to_owned(),
+            LogicalPlan::UnionAll { .. } => "UnionAll".to_owned(),
+        }
+    }
+
+    /// The operator's direct plan inputs, including table-function argument
+    /// subplans. Leaves return an empty list.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::UnitRow => Vec::new(),
+            LogicalPlan::TableFunction { args, .. } => args
+                .iter()
+                .filter_map(|a| match a {
+                    BoundTableArg::Plan(p) => Some(p),
+                    BoundTableArg::Scalar(_) => None,
+                })
+                .collect(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+            LogicalPlan::UnionAll { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
     fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         match self {

@@ -24,11 +24,7 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Table {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| Arc::new(Column::empty(f.dtype)))
-            .collect();
+        let columns = schema.fields().iter().map(|f| Arc::new(Column::empty(f.dtype))).collect();
         Table { name: name.into(), schema, columns, rows: 0 }
     }
 

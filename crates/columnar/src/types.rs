@@ -285,15 +285,15 @@ impl Value {
                     v => v.as_i64().ok_or_else(fail)?,
                 };
                 match target {
-                    DataType::Int8 => i8::try_from(i)
-                        .map(Value::Int8)
-                        .map_err(|_| out_of_range(&i)),
-                    DataType::Int16 => i16::try_from(i)
-                        .map(Value::Int16)
-                        .map_err(|_| out_of_range(&i)),
-                    DataType::Int32 => i32::try_from(i)
-                        .map(Value::Int32)
-                        .map_err(|_| out_of_range(&i)),
+                    DataType::Int8 => {
+                        i8::try_from(i).map(Value::Int8).map_err(|_| out_of_range(&i))
+                    }
+                    DataType::Int16 => {
+                        i16::try_from(i).map(Value::Int16).map_err(|_| out_of_range(&i))
+                    }
+                    DataType::Int32 => {
+                        i32::try_from(i).map(Value::Int32).map_err(|_| out_of_range(&i))
+                    }
                     _ => Ok(Value::Int64(i)),
                 }
             }
@@ -462,21 +462,18 @@ mod tests {
         assert_eq!(Value::Int64(300).cast(DataType::Int16).unwrap(), Value::Int16(300));
         assert!(Value::Int64(40_000).cast(DataType::Int16).is_err());
         assert_eq!(Value::Float64(3.9).cast(DataType::Int32).unwrap(), Value::Int32(3));
-        assert_eq!(
-            Value::Varchar(" 42 ".into()).cast(DataType::Int32).unwrap(),
-            Value::Int32(42)
-        );
-        assert_eq!(
-            Value::Int32(5).cast(DataType::Varchar).unwrap(),
-            Value::Varchar("5".into())
-        );
+        assert_eq!(Value::Varchar(" 42 ".into()).cast(DataType::Int32).unwrap(), Value::Int32(42));
+        assert_eq!(Value::Int32(5).cast(DataType::Varchar).unwrap(), Value::Varchar("5".into()));
         assert!(Value::Float64(f64::NAN).cast(DataType::Int64).is_err());
         assert_eq!(Value::Null.cast(DataType::Blob).unwrap(), Value::Null);
     }
 
     #[test]
     fn bool_casts() {
-        assert_eq!(Value::Varchar("true".into()).cast(DataType::Boolean).unwrap(), Value::Boolean(true));
+        assert_eq!(
+            Value::Varchar("true".into()).cast(DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
         assert_eq!(Value::Int32(0).cast(DataType::Boolean).unwrap(), Value::Boolean(false));
         assert!(Value::Varchar("maybe".into()).cast(DataType::Boolean).is_err());
     }

@@ -113,10 +113,7 @@ impl FunctionRegistry {
 
     /// Names of all registered functions `(scalar, table)`, sorted.
     pub fn names(&self) -> (Vec<String>, Vec<String>) {
-        (
-            self.scalar.read().keys().cloned().collect(),
-            self.table.read().keys().cloned().collect(),
-        )
+        (self.scalar.read().keys().cloned().collect(), self.table.read().keys().cloned().collect())
     }
 
     /// Removes a function of either kind; errors if no such function.
@@ -138,12 +135,61 @@ impl std::fmt::Debug for FunctionRegistry {
     }
 }
 
+/// Invokes a scalar UDF and, in debug builds, checks the output against the
+/// function's declared contract: the column length must equal the common
+/// argument length (or 1, the broadcast convention), and the column type
+/// must equal what `return_type` declared for these argument types. A
+/// violation is reported as a typed [`DbError::Udf`] naming the function,
+/// never a panic downstream. Release builds skip the re-check and only pay
+/// for the call itself.
+///
+/// All engine call sites (expression evaluation) route through this wrapper
+/// rather than calling [`ScalarUdf::invoke`] directly.
+pub fn invoke_scalar_checked(udf: &dyn ScalarUdf, args: &[Arc<Column>]) -> DbResult<Column> {
+    let out = udf.invoke(args)?;
+    #[cfg(debug_assertions)]
+    {
+        let rows = args.iter().map(|c| c.len()).max();
+        if let Some(rows) = rows {
+            if out.len() != rows && out.len() != 1 {
+                return Err(DbError::Udf {
+                    function: udf.name().to_owned(),
+                    message: format!(
+                        "contract violation: returned {} rows for {} input rows \
+                         (must be {} or 1)",
+                        out.len(),
+                        rows,
+                        rows
+                    ),
+                });
+            }
+        }
+        let arg_types: Vec<DataType> = args.iter().map(|c| c.data_type()).collect();
+        // Only check when the function accepts these types; a rejection here
+        // means the binder never vetted this call, which eval reports itself.
+        if let Ok(declared) = udf.return_type(&arg_types) {
+            if out.data_type() != declared {
+                return Err(DbError::Udf {
+                    function: udf.name().to_owned(),
+                    message: format!(
+                        "contract violation: declared return type {declared} but \
+                         returned a {} column",
+                        out.data_type()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// A [`ScalarUdf`] built from a closure, for quick registration without a
 /// dedicated type. The closure receives the argument columns.
 pub struct ClosureScalarUdf<F> {
     name: String,
     ret: DataType,
     parallel_safe: bool,
+    arity: Option<(usize, usize)>,
     f: F,
 }
 
@@ -151,14 +197,28 @@ impl<F> ClosureScalarUdf<F>
 where
     F: Fn(&[Arc<Column>]) -> DbResult<Column> + Send + Sync,
 {
-    /// Wraps `f` as a scalar UDF returning `ret`.
+    /// Wraps `f` as a scalar UDF returning `ret`. Until an arity is set
+    /// with [`Self::with_arity`], any argument count is accepted.
     pub fn new(name: impl Into<String>, ret: DataType, f: F) -> Self {
-        ClosureScalarUdf { name: name.into(), ret, parallel_safe: false, f }
+        ClosureScalarUdf { name: name.into(), ret, parallel_safe: false, arity: None, f }
     }
 
     /// Marks the function safe for morsel-parallel invocation.
     pub fn parallel(mut self) -> Self {
         self.parallel_safe = true;
+        self
+    }
+
+    /// Declares an exact argument count; `return_type` then rejects any
+    /// other arity with a typed error (caught by the plan verifier before
+    /// execution).
+    pub fn with_arity(self, n: usize) -> Self {
+        self.with_arity_range(n, n)
+    }
+
+    /// Declares an inclusive argument-count range.
+    pub fn with_arity_range(mut self, min: usize, max: usize) -> Self {
+        self.arity = Some((min, max));
         self
     }
 }
@@ -170,7 +230,19 @@ where
     fn name(&self) -> &str {
         &self.name
     }
-    fn return_type(&self, _arg_types: &[DataType]) -> DbResult<DataType> {
+    fn return_type(&self, arg_types: &[DataType]) -> DbResult<DataType> {
+        if let Some((min, max)) = self.arity {
+            if arg_types.len() < min || arg_types.len() > max {
+                return Err(DbError::Udf {
+                    function: self.name.clone(),
+                    message: format!(
+                        "expects {} argument(s), got {}",
+                        if min == max { min.to_string() } else { format!("{min}..={max}") },
+                        arg_types.len()
+                    ),
+                });
+            }
+        }
         Ok(self.ret)
     }
     fn invoke(&self, args: &[Arc<Column>]) -> DbResult<Column> {
@@ -187,9 +259,8 @@ mod tests {
 
     fn plus_one() -> Arc<dyn ScalarUdf> {
         Arc::new(ClosureScalarUdf::new("plus_one", DataType::Int64, |args| {
-            let xs = args[0]
-                .i64s()
-                .ok_or_else(|| DbError::Type("plus_one expects BIGINT".into()))?;
+            let xs =
+                args[0].i64s().ok_or_else(|| DbError::Type("plus_one expects BIGINT".into()))?;
             Ok(Column::from_i64s(xs.iter().map(|x| x + 1).collect()))
         }))
     }
@@ -209,17 +280,75 @@ mod tests {
     fn replace_semantics() {
         let reg = FunctionRegistry::new();
         reg.register_scalar(plus_one());
-        reg.register_scalar(Arc::new(ClosureScalarUdf::new(
-            "plus_one",
-            DataType::Int64,
-            |args| {
-                let xs = args[0].i64s().unwrap();
-                Ok(Column::from_i64s(xs.iter().map(|x| x + 100).collect()))
-            },
-        )));
+        reg.register_scalar(Arc::new(ClosureScalarUdf::new("plus_one", DataType::Int64, |args| {
+            let xs = args[0].i64s().unwrap();
+            Ok(Column::from_i64s(xs.iter().map(|x| x + 100).collect()))
+        })));
         let f = reg.scalar("plus_one").unwrap();
         let out = f.invoke(&[Arc::new(Column::from_i64s(vec![1]))]).unwrap();
         assert_eq!(out.i64s().unwrap(), &[101]);
+    }
+
+    #[test]
+    fn declared_arity_enforced_in_return_type() {
+        let udf = ClosureScalarUdf::new("f", DataType::Int64, |args| Ok(args[0].as_ref().clone()))
+            .with_arity(1);
+        assert_eq!(udf.return_type(&[DataType::Int64]).unwrap(), DataType::Int64);
+        let err = udf.return_type(&[DataType::Int64, DataType::Int64]).unwrap_err();
+        match err {
+            DbError::Udf { function, message } => {
+                assert_eq!(function, "f");
+                assert!(message.contains("expects 1 argument(s), got 2"), "{message}");
+            }
+            other => panic!("expected DbError::Udf, got {other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn checked_invoke_rejects_wrong_output_length() {
+        // Declares Int64 and honors it, but returns 3 rows for 2 inputs.
+        let bad = ClosureScalarUdf::new("bad_len", DataType::Int64, |_| {
+            Ok(Column::from_i64s(vec![1, 2, 3]))
+        });
+        let args = [Arc::new(Column::from_i64s(vec![10, 20]))];
+        let err = invoke_scalar_checked(&bad, &args).unwrap_err();
+        match err {
+            DbError::Udf { function, message } => {
+                assert_eq!(function, "bad_len");
+                assert!(message.contains("returned 3 rows for 2 input rows"), "{message}");
+            }
+            other => panic!("expected DbError::Udf, got {other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn checked_invoke_rejects_wrong_output_type() {
+        // Declares VARCHAR but returns BIGINT.
+        let bad = ClosureScalarUdf::new("bad_type", DataType::Varchar, |args| {
+            Ok(args[0].as_ref().clone())
+        });
+        let args = [Arc::new(Column::from_i64s(vec![1]))];
+        let err = invoke_scalar_checked(&bad, &args).unwrap_err();
+        match err {
+            DbError::Udf { function, message } => {
+                assert_eq!(function, "bad_type");
+                assert!(message.contains("declared return type VARCHAR"), "{message}");
+            }
+            other => panic!("expected DbError::Udf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_invoke_accepts_broadcast_output() {
+        // A length-1 (constant) output for N input rows is the broadcast
+        // convention and must pass.
+        let constant =
+            ClosureScalarUdf::new("constant", DataType::Int64, |_| Ok(Column::from_i64s(vec![42])));
+        let args = [Arc::new(Column::from_i64s(vec![1, 2, 3]))];
+        let out = invoke_scalar_checked(&constant, &args).unwrap();
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -26,9 +26,7 @@ fn concurrent_readers_and_writers() {
                 for _ in 0..50 {
                     // Any observed count is valid; the query must never
                     // fail or see torn state (row with worker but no seq).
-                    let batch = db
-                        .query("SELECT COUNT(*) AS n, COUNT(seq) AS s FROM log")
-                        .unwrap();
+                    let batch = db.query("SELECT COUNT(*) AS n, COUNT(seq) AS s FROM log").unwrap();
                     let n = batch.row(0)[0].as_i64().unwrap();
                     let s = batch.row(0)[1].as_i64().unwrap();
                     assert_eq!(n, s, "torn row observed");
@@ -39,14 +37,10 @@ fn concurrent_readers_and_writers() {
     for t in writers.into_iter().chain(readers) {
         t.join().unwrap();
     }
-    assert_eq!(
-        db.query_value("SELECT COUNT(*) FROM log").unwrap(),
-        Value::Int64(200)
-    );
+    assert_eq!(db.query_value("SELECT COUNT(*) FROM log").unwrap(), Value::Int64(200));
     // Every worker wrote its full sequence.
-    let per = db
-        .query("SELECT worker, COUNT(*) AS n FROM log GROUP BY worker ORDER BY worker")
-        .unwrap();
+    let per =
+        db.query("SELECT worker, COUNT(*) AS n FROM log GROUP BY worker ORDER BY worker").unwrap();
     assert_eq!(per.rows(), 4);
     for r in 0..4 {
         assert_eq!(per.row(r)[1], Value::Int64(50));

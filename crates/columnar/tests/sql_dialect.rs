@@ -21,9 +21,7 @@ fn db() -> Database {
 #[test]
 fn qualified_wildcards_and_aliases() {
     let db = db();
-    let r = db
-        .query("SELECT e.* FROM emp e WHERE e.dept = 'eng' ORDER BY e.id")
-        .unwrap();
+    let r = db.query("SELECT e.* FROM emp e WHERE e.dept = 'eng' ORDER BY e.id").unwrap();
     assert_eq!(r.rows(), 2);
     assert_eq!(r.width(), 5);
     let r = db
@@ -76,9 +74,7 @@ fn order_by_non_projected_column() {
     // The hidden sort column does not leak into the output.
     assert_eq!(r.width(), 1);
     // Expressions over non-projected columns also work.
-    let r = db
-        .query("SELECT name FROM emp ORDER BY salary * -1 ASC LIMIT 1")
-        .unwrap();
+    let r = db.query("SELECT name FROM emp ORDER BY salary * -1 ASC LIMIT 1").unwrap();
     assert_eq!(r.row(0)[0], Value::Varchar("ada".into()));
 }
 
@@ -163,13 +159,9 @@ fn distinct_and_union_all_pipeline() {
 #[test]
 fn update_with_expression_and_where() {
     let db = db();
-    let r = db
-        .execute("UPDATE emp SET salary = salary * 1.1 WHERE dept = 'sales'")
-        .unwrap();
+    let r = db.execute("UPDATE emp SET salary = salary * 1.1 WHERE dept = 'sales'").unwrap();
     assert_eq!(r.rows_affected(), 2);
-    let v = db
-        .query_value("SELECT salary FROM emp WHERE name = 'cat'")
-        .unwrap();
+    let v = db.query_value("SELECT salary FROM emp WHERE name = 'cat'").unwrap();
     assert!((v.as_f64().unwrap() - 77.0).abs() < 1e-9);
     // Other rows untouched.
     assert_eq!(
@@ -238,9 +230,7 @@ fn ambiguity_and_resolution_errors() {
     let err = db.execute("SELECT name FROM emp JOIN emp2 ON emp.id = emp2.id");
     assert!(matches!(err, Err(DbError::Bind(m)) if m.contains("ambiguous")));
     // Qualified resolution works.
-    let r = db
-        .query("SELECT emp2.name FROM emp JOIN emp2 ON emp.id = emp2.id")
-        .unwrap();
+    let r = db.query("SELECT emp2.name FROM emp JOIN emp2 ON emp.id = emp2.id").unwrap();
     assert_eq!(r.rows(), 1);
 }
 
@@ -248,18 +238,9 @@ fn ambiguity_and_resolution_errors() {
 fn null_semantics_through_sql() {
     let db = db();
     // NULL dept: excluded by both = and <>, caught only by IS NULL.
-    assert_eq!(
-        db.query("SELECT * FROM emp WHERE dept = 'hr'").unwrap().rows(),
-        1
-    );
-    assert_eq!(
-        db.query("SELECT * FROM emp WHERE dept <> 'hr'").unwrap().rows(),
-        4
-    );
-    assert_eq!(
-        db.query("SELECT * FROM emp WHERE dept IS NULL").unwrap().rows(),
-        1
-    );
+    assert_eq!(db.query("SELECT * FROM emp WHERE dept = 'hr'").unwrap().rows(), 1);
+    assert_eq!(db.query("SELECT * FROM emp WHERE dept <> 'hr'").unwrap().rows(), 4);
+    assert_eq!(db.query("SELECT * FROM emp WHERE dept IS NULL").unwrap().rows(), 1);
     // COALESCE fills the hole.
     assert_eq!(
         db.query_value("SELECT COALESCE(dept, 'unknown') FROM emp WHERE id = 6").unwrap(),
@@ -276,9 +257,8 @@ fn explain_over_joins() {
              WHERE e.salary > 50 + 10",
         )
         .unwrap();
-    let text: Vec<String> = (0..r.rows())
-        .map(|i| r.row(i)[0].as_str().unwrap().to_owned())
-        .collect();
+    let text: Vec<String> =
+        (0..r.rows()).map(|i| r.row(i)[0].as_str().unwrap().to_owned()).collect();
     let joined = text.join("\n");
     assert!(joined.contains("Join"), "{joined}");
     // Constant folded and pushed into the probe side below the join.

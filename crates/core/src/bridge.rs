@@ -24,13 +24,9 @@ pub fn matrix_from_columns(cols: &[&Column]) -> DbResult<Matrix> {
             )));
         }
     }
-    let vecs: Vec<Vec<f64>> = cols
-        .iter()
-        .map(|c| c.to_f64_vec())
-        .collect::<DbResult<_>>()?;
+    let vecs: Vec<Vec<f64>> = cols.iter().map(|c| c.to_f64_vec()).collect::<DbResult<_>>()?;
     let refs: Vec<&[f64]> = vecs.iter().map(Vec::as_slice).collect();
-    Matrix::from_columns(&refs)
-        .map_err(|e| DbError::Shape(format!("building feature matrix: {e}")))
+    Matrix::from_columns(&refs).map_err(|e| DbError::Shape(format!("building feature matrix: {e}")))
 }
 
 /// Extracts integer class labels from a column. NULL labels are an error

@@ -112,8 +112,7 @@ mod tests {
     use mlcs_ml::{Matrix, Model};
 
     fn blob(seed: f64) -> Vec<u8> {
-        let x = Matrix::from_rows(&[[seed], [seed + 1.0], [seed + 10.0], [seed + 11.0]])
-            .unwrap();
+        let x = Matrix::from_rows(&[[seed], [seed + 1.0], [seed + 10.0], [seed + 11.0]]).unwrap();
         StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &[1, 1, 2, 2])
             .unwrap()
             .to_blob()

@@ -87,8 +87,7 @@ pub fn ensemble_predict_weighted(
             message: "weights must be finite and non-negative".into(),
         });
     }
-    let preds: Vec<Vec<i64>> =
-        models.iter().map(|m| m.predict(x)).collect::<MlResult<_>>()?;
+    let preds: Vec<Vec<i64>> = models.iter().map(|m| m.predict(x)).collect::<MlResult<_>>()?;
     let mut out = Vec::with_capacity(x.rows());
     let mut votes: HashMap<i64, f64> = HashMap::new();
     for r in 0..x.rows() {
@@ -101,9 +100,7 @@ pub fn ensemble_predict_weighted(
             .map(|(&label, &w)| (label, w))
             .max_by(|a, b| {
                 // Higher weight wins; on ties the smaller label wins.
-                a.1.partial_cmp(&b.1)
-                    .expect("finite weights")
-                    .then(b.0.cmp(&a.0))
+                a.1.partial_cmp(&b.1).expect("finite weights").then(b.0.cmp(&a.0))
             })
             .map(|(label, _)| label)
             .expect("at least one vote");
@@ -114,11 +111,7 @@ pub fn ensemble_predict_weighted(
 
 /// Mean per-class probability across models ("soft voting"): returns the
 /// per-row probability that the ensemble assigns to `raw_label`.
-pub fn ensemble_proba_of(
-    models: &[StoredModel],
-    x: &Matrix,
-    raw_label: i64,
-) -> MlResult<Vec<f64>> {
+pub fn ensemble_proba_of(models: &[StoredModel], x: &Matrix, raw_label: i64) -> MlResult<Vec<f64>> {
     if models.is_empty() {
         return Err(MlError::BadData("ensemble of zero models".into()));
     }
@@ -179,8 +172,7 @@ mod tests {
     #[test]
     fn highest_confidence_agrees_on_easy_data() {
         let (x, y, models) = three_models();
-        let pred =
-            ensemble_predict(&models, &x, EnsembleStrategy::HighestConfidence).unwrap();
+        let pred = ensemble_predict(&models, &x, EnsembleStrategy::HighestConfidence).unwrap();
         assert_eq!(pred, y);
     }
 
@@ -191,8 +183,7 @@ mod tests {
         // on constant labels... ClassMap needs 2 classes; instead weight
         // model 0 overwhelmingly and verify output equals model 0's.
         let solo = models[0].predict(&x).unwrap();
-        let pred =
-            ensemble_predict_weighted(&models, &x, &[100.0, 0.1, 0.1]).unwrap();
+        let pred = ensemble_predict_weighted(&models, &x, &[100.0, 0.1, 0.1]).unwrap();
         assert_eq!(pred, solo);
     }
 

@@ -66,11 +66,8 @@ mod tests {
         let y = [1i64, 1, 2, 2];
         let nb = StoredModel::train(Model::GaussianNb(GaussianNb::new()), &x, &y).unwrap();
         let dt =
-            StoredModel::train(Model::DecisionTree(DecisionTreeClassifier::new()), &x, &y)
-                .unwrap();
-        for (model, name, acc) in
-            [(&nb, "nb_a", 0.8), (&nb, "nb_b", 0.9), (&dt, "dt_a", 0.85)]
-        {
+            StoredModel::train(Model::DecisionTree(DecisionTreeClassifier::new()), &x, &y).unwrap();
+        for (model, name, acc) in [(&nb, "nb_a", 0.8), (&nb, "nb_b", 0.9), (&dt, "dt_a", 0.85)] {
             store
                 .save(
                     model,
@@ -103,9 +100,8 @@ mod tests {
         let by = accuracy_by_algorithm(&db).unwrap();
         assert_eq!(by.rows(), 2);
         // gaussian_nb mean = 0.85, decision_tree mean = 0.85; both present.
-        let algos: Vec<String> = (0..2)
-            .map(|r| by.row(r)[0].as_str().unwrap().to_owned())
-            .collect();
+        let algos: Vec<String> =
+            (0..2).map(|r| by.row(r)[0].as_str().unwrap().to_owned()).collect();
         assert!(algos.contains(&"gaussian_nb".to_owned()));
         assert!(algos.contains(&"decision_tree".to_owned()));
     }

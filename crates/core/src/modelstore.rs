@@ -77,17 +77,16 @@ impl ModelStore {
 
     /// Loads a model by name.
     pub fn load(&self, name: &str) -> DbResult<StoredModel> {
-        let batch = self.db.query(&format!(
-            "SELECT classifier FROM models WHERE name = '{}'",
-            escape(name)
-        ))?;
+        let batch = self
+            .db
+            .query(&format!("SELECT classifier FROM models WHERE name = '{}'", escape(name)))?;
         if batch.rows() == 0 {
             return Err(DbError::NotFound { kind: "model", name: name.to_owned() });
         }
         let blob = batch.column(0).value(0);
-        let blob = blob.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
-        StoredModel::from_blob(blob)
-            .map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))
+        let blob =
+            blob.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
+        StoredModel::from_blob(blob).map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))
     }
 
     /// Loads the model with the highest recorded accuracy — the paper's
@@ -103,7 +102,8 @@ impl ModelStore {
         }
         let name = batch.column(0).value(0).as_str().unwrap_or_default().to_owned();
         let blob_v = batch.column(1).value(0);
-        let blob = blob_v.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
+        let blob =
+            blob_v.as_blob().ok_or_else(|| DbError::Corrupt("classifier is not a BLOB".into()))?;
         let sm = StoredModel::from_blob(blob)
             .map_err(|e| DbError::Corrupt(format!("model '{name}': {e}")))?;
         Ok((name, sm))
@@ -155,17 +155,14 @@ impl ModelStore {
     }
 
     fn lookup_id(&self, name: &str) -> DbResult<Option<i64>> {
-        let batch = self.db.query(&format!(
-            "SELECT id FROM models WHERE name = '{}'",
-            escape(name)
-        ))?;
+        let batch =
+            self.db.query(&format!("SELECT id FROM models WHERE name = '{}'", escape(name)))?;
         Ok(if batch.rows() == 0 { None } else { batch.column(0).value(0).as_i64() })
     }
 
     fn next_id(&self) -> DbResult<i64> {
         let v = self.db.query_value("SELECT COALESCE(MAX(id), 0) + 1 FROM models")?;
-        v.as_i64()
-            .ok_or_else(|| DbError::internal("MAX(id) returned a non-integer"))
+        v.as_i64().ok_or_else(|| DbError::internal("MAX(id) returned a non-integer"))
     }
 }
 
@@ -238,9 +235,7 @@ mod tests {
         store.save(&trained(), &meta("a", 0.7)).unwrap();
         store.save(&trained(), &meta("b", 0.9)).unwrap();
         // The paper's meta-analysis: ordinary SQL over model metadata.
-        let v = db
-            .query_value("SELECT name FROM models WHERE accuracy > 0.8")
-            .unwrap();
+        let v = db.query_value("SELECT name FROM models WHERE accuracy > 0.8").unwrap();
         assert_eq!(v, Value::Varchar("b".into()));
         let list = store.list().unwrap();
         assert_eq!(list.rows(), 2);

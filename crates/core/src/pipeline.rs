@@ -47,9 +47,7 @@ impl Algorithm {
     fn build(self, seed: u64, n_jobs: usize) -> Model {
         match self {
             Algorithm::RandomForest { n_estimators } => Model::RandomForest(
-                RandomForestClassifier::new(n_estimators)
-                    .with_seed(seed)
-                    .with_n_jobs(n_jobs),
+                RandomForestClassifier::new(n_estimators).with_seed(seed).with_n_jobs(n_jobs),
             ),
             Algorithm::DecisionTree { max_depth } => {
                 let mut t = DecisionTreeClassifier::new().with_seed(seed);
@@ -132,8 +130,7 @@ pub fn train_in_db(
     let batch = db.query(query)?;
     if batch.width() < 2 {
         return Err(DbError::Shape(
-            "training query must return at least one feature column plus the label column"
-                .into(),
+            "training query must return at least one feature column plus the label column".into(),
         ));
     }
     let label_col = batch.column(batch.width() - 1);
@@ -218,19 +215,13 @@ mod tests {
     #[test]
     fn full_pipeline_trains_evaluates_stores() {
         let db = db_with_blobs(200);
-        let report = train_in_db(
-            &db,
-            "SELECT x, y, label FROM pts",
-            &TrainOptions::default(),
-            Some("rf16"),
-        )
-        .unwrap();
+        let report =
+            train_in_db(&db, "SELECT x, y, label FROM pts", &TrainOptions::default(), Some("rf16"))
+                .unwrap();
         assert!(report.accuracy > 0.95, "accuracy {}", report.accuracy);
         assert_eq!(report.train_rows + report.test_rows, 200);
         // The model is now in the models table, queryable by SQL.
-        let acc = db
-            .query_value("SELECT accuracy FROM models WHERE name = 'rf16'")
-            .unwrap();
+        let acc = db.query_value("SELECT accuracy FROM models WHERE name = 'rf16'").unwrap();
         assert!(acc.as_f64().unwrap() > 0.95);
     }
 
@@ -247,9 +238,7 @@ mod tests {
         let pred = predict_in_db(&db, "SELECT x, y FROM pts", &report.model).unwrap();
         assert_eq!(pred.len(), 100);
         let labels = db.query("SELECT label FROM pts").unwrap();
-        let correct = (0..100)
-            .filter(|&i| pred.i64_at(i) == labels.column(0).i64_at(i))
-            .count();
+        let correct = (0..100).filter(|&i| pred.i64_at(i) == labels.column(0).i64_at(i)).count();
         assert!(correct > 95);
     }
 
@@ -278,11 +267,9 @@ mod tests {
     fn rejects_bad_training_queries() {
         let db = db_with_blobs(10);
         // Only one column: no features.
-        assert!(train_in_db(&db, "SELECT label FROM pts", &TrainOptions::default(), None)
-            .is_err());
+        assert!(train_in_db(&db, "SELECT label FROM pts", &TrainOptions::default(), None).is_err());
         // Labels are floats.
-        assert!(train_in_db(&db, "SELECT x, y FROM pts", &TrainOptions::default(), None)
-            .is_err());
+        assert!(train_in_db(&db, "SELECT x, y FROM pts", &TrainOptions::default(), None).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::bridge::{labels_from_column, matrix_from_columns};
 use crate::stored::StoredModel;
 use mlcs_columnar::parallel::{parallel_map, worker_count, DEFAULT_MORSEL_ROWS};
 use mlcs_columnar::{
-    Batch, Column, Database, DataType, DbError, DbResult, Field, Schema, ScalarUdf, TableUdf,
+    Batch, Column, DataType, Database, DbError, DbResult, Field, ScalarUdf, Schema, TableUdf,
 };
 use mlcs_ml::forest::RandomForestClassifier;
 use mlcs_ml::knn::KNearestNeighbors;
@@ -88,8 +88,7 @@ fn split_train_args<'a>(
             ),
         });
     }
-    let scalars: Vec<&Column> =
-        args[args.len() - n_scalars..].iter().map(|c| c.as_ref()).collect();
+    let scalars: Vec<&Column> = args[args.len() - n_scalars..].iter().map(|c| c.as_ref()).collect();
     for (i, s) in scalars.iter().enumerate() {
         if s.len() != 1 {
             return Err(DbError::Udf {
@@ -205,13 +204,10 @@ impl TableUdf for TrainModelUdf {
                 message: "algorithm name must be a scalar string".into(),
             });
         }
-        let algo = args[0]
-            .strings()
-            .map(|s| s.get(0).to_owned())
-            .ok_or_else(|| DbError::Udf {
-                function: "train_model".into(),
-                message: "algorithm name must be a VARCHAR".into(),
-            })?;
+        let algo = args[0].strings().map(|s| s.get(0).to_owned()).ok_or_else(|| DbError::Udf {
+            function: "train_model".into(),
+            message: "algorithm name must be a VARCHAR".into(),
+        })?;
         let (features, labels, scalars) = split_train_args("train_model", &args[1..], 1)?;
         let param = scalars[0].i64_at(0).unwrap_or(0);
         let model = match algo.as_str() {
@@ -242,8 +238,7 @@ impl TableUdf for TrainModelUdf {
         };
         let x = matrix_from_columns(&features)?;
         let y = labels_from_column(labels)?;
-        let sm =
-            StoredModel::train(model, &x, &y).map_err(|e| udf_err("train_model", e))?;
+        let sm = StoredModel::train(model, &x, &y).map_err(|e| udf_err("train_model", e))?;
         train_output(&sm, format!("algorithm={algo},param={param}"), x.rows())
     }
 }
@@ -267,19 +262,12 @@ fn split_predict_args<'a>(
             ),
         });
     }
-    let extras: Vec<&Column> =
-        args[args.len() - n_extra..].iter().map(|c| c.as_ref()).collect();
+    let extras: Vec<&Column> = args[args.len() - n_extra..].iter().map(|c| c.as_ref()).collect();
     let model_col = args[args.len() - n_extra - 1].as_ref();
-    let blob = model_col
-        .blobs()
-        .map(|b| b.get(0))
-        .ok_or_else(|| DbError::Udf {
-            function: function.to_owned(),
-            message: format!(
-                "classifier argument must be a BLOB, got {}",
-                model_col.data_type()
-            ),
-        })?;
+    let blob = model_col.blobs().map(|b| b.get(0)).ok_or_else(|| DbError::Udf {
+        function: function.to_owned(),
+        message: format!("classifier argument must be a BLOB, got {}", model_col.data_type()),
+    })?;
     let sm = StoredModel::from_blob(blob).map_err(|e| udf_err(function, e))?;
     let features: Vec<&Column> =
         args[..args.len() - n_extra - 1].iter().map(|c| c.as_ref()).collect();
@@ -507,31 +495,23 @@ impl TableUdf for EvaluateUdf {
         let model_col = args[args.len() - 1].as_ref();
         let blob = model_col.blobs().map(|b| b.get(0)).ok_or_else(|| DbError::Udf {
             function: "evaluate".into(),
-            message: format!(
-                "classifier argument must be a BLOB, got {}",
-                model_col.data_type()
-            ),
+            message: format!("classifier argument must be a BLOB, got {}", model_col.data_type()),
         })?;
         let sm = StoredModel::from_blob(blob).map_err(|e| udf_err("evaluate", e))?;
         let labels_col = args[args.len() - 2].as_ref();
-        let features: Vec<&Column> =
-            args[..args.len() - 2].iter().map(|c| c.as_ref()).collect();
+        let features: Vec<&Column> = args[..args.len() - 2].iter().map(|c| c.as_ref()).collect();
         let x = matrix_from_columns(&features)?;
         let raw = labels_from_column(labels_col)?;
-        let truth = sm
-            .classes
-            .encode(&raw)
-            .map_err(|e| udf_err("evaluate", e))?;
+        let truth = sm.classes.encode(&raw).map_err(|e| udf_err("evaluate", e))?;
         let n_classes = sm.classes.n_classes();
         use mlcs_ml::Classifier;
         let pred_idx = sm.model.predict(&x).map_err(|e| udf_err("evaluate", e))?;
         let proba = sm.model.predict_proba(&x).map_err(|e| udf_err("evaluate", e))?;
-        let accuracy = mlcs_ml::metrics::accuracy(&truth, &pred_idx)
-            .map_err(|e| udf_err("evaluate", e))?;
+        let accuracy =
+            mlcs_ml::metrics::accuracy(&truth, &pred_idx).map_err(|e| udf_err("evaluate", e))?;
         let scores = mlcs_ml::metrics::precision_recall_f1(&truth, &pred_idx, n_classes)
             .map_err(|e| udf_err("evaluate", e))?;
-        let ll = mlcs_ml::metrics::log_loss(&truth, &proba)
-            .map_err(|e| udf_err("evaluate", e))?;
+        let ll = mlcs_ml::metrics::log_loss(&truth, &proba).map_err(|e| udf_err("evaluate", e))?;
         Batch::new(
             self.schema(&args.iter().map(|c| c.data_type()).collect::<Vec<_>>())?,
             vec![
@@ -568,8 +548,7 @@ impl TableUdf for CrossValidateUdf {
         if arg_types.len() < 5 {
             return Err(DbError::Udf {
                 function: "cross_validate".into(),
-                message: "usage: cross_validate('algorithm', features..., labels, k, param)"
-                    .into(),
+                message: "usage: cross_validate('algorithm', features..., labels, k, param)".into(),
             });
         }
         Ok(Arc::new(Schema::new(vec![
@@ -582,17 +561,13 @@ impl TableUdf for CrossValidateUdf {
         if args.len() < 5 || args[0].len() != 1 {
             return Err(DbError::Udf {
                 function: "cross_validate".into(),
-                message: "usage: cross_validate('algorithm', features..., labels, k, param)"
-                    .into(),
+                message: "usage: cross_validate('algorithm', features..., labels, k, param)".into(),
             });
         }
-        let algo = args[0]
-            .strings()
-            .map(|s| s.get(0).to_owned())
-            .ok_or_else(|| DbError::Udf {
-                function: "cross_validate".into(),
-                message: "algorithm name must be a VARCHAR".into(),
-            })?;
+        let algo = args[0].strings().map(|s| s.get(0).to_owned()).ok_or_else(|| DbError::Udf {
+            function: "cross_validate".into(),
+            message: "algorithm name must be a VARCHAR".into(),
+        })?;
         let (features, labels, scalars) = split_train_args("cross_validate", &args[1..], 2)?;
         let k = scalars[0].i64_at(0).unwrap_or(0);
         if k < 2 {
@@ -605,9 +580,7 @@ impl TableUdf for CrossValidateUdf {
         let x = matrix_from_columns(&features)?;
         let raw = labels_from_column(labels)?;
         let classes = mlcs_ml::dataset::ClassMap::fit(&raw);
-        let y = classes
-            .encode(&raw)
-            .map_err(|e| udf_err("cross_validate", e))?;
+        let y = classes.encode(&raw).map_err(|e| udf_err("cross_validate", e))?;
         let seed = self.seed;
         let scores = match algo.as_str() {
             "random_forest" => mlcs_ml::model_selection::cross_validate(
@@ -715,18 +688,13 @@ mod tests {
     fn listing1_train_from_sql() {
         let db = db_with_points();
         let out = db
-            .query(
-                "SELECT * FROM train((SELECT x, y FROM pts), (SELECT label FROM pts), 8)",
-            )
+            .query("SELECT * FROM train((SELECT x, y FROM pts), (SELECT label FROM pts), 8)")
             .unwrap();
         assert_eq!(out.rows(), 1);
-        assert_eq!(out.schema().names(), vec![
-            "classifier",
-            "algorithm",
-            "parameters",
-            "n_features",
-            "train_rows"
-        ]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["classifier", "algorithm", "parameters", "n_features", "train_rows"]
+        );
         assert_eq!(out.row(0)[1], mlcs_columnar::Value::Varchar("random_forest".into()));
         assert_eq!(out.row(0)[4], mlcs_columnar::Value::Int64(40));
         let blob = out.row(0)[0].as_blob().unwrap().to_vec();
@@ -742,14 +710,11 @@ mod tests {
         )
         .unwrap();
         let out = db
-            .query(
-                "SELECT label, predict(x, y, (SELECT classifier FROM models)) AS p FROM pts",
-            )
+            .query("SELECT label, predict(x, y, (SELECT classifier FROM models)) AS p FROM pts")
             .unwrap();
         assert_eq!(out.rows(), 40);
-        let correct = (0..out.rows())
-            .filter(|&r| out.row(r)[0].as_i64() == out.row(r)[1].as_i64())
-            .count();
+        let correct =
+            (0..out.rows()).filter(|&r| out.row(r)[0].as_i64() == out.row(r)[1].as_i64()).count();
         assert!(correct >= 38, "only {correct}/40 correct");
     }
 
@@ -761,15 +726,12 @@ mod tests {
                (SELECT x, y FROM pts), (SELECT label FROM pts), 4)",
         )
         .unwrap();
-        let plain = db
-            .query("SELECT predict(x, y, (SELECT classifier FROM models)) FROM pts")
-            .unwrap();
+        let plain =
+            db.query("SELECT predict(x, y, (SELECT classifier FROM models)) FROM pts").unwrap();
         // Run twice so the second call exercises the cache-hit path.
         for _ in 0..2 {
             let cached = db
-                .query(
-                    "SELECT predict_cached(x, y, (SELECT classifier FROM models)) FROM pts",
-                )
+                .query("SELECT predict_cached(x, y, (SELECT classifier FROM models)) FROM pts")
                 .unwrap();
             assert_eq!(cached.column(0), plain.column(0));
         }
@@ -783,9 +745,8 @@ mod tests {
                (SELECT x, y FROM pts), (SELECT label FROM pts), 4)",
         )
         .unwrap();
-        let serial = db
-            .query("SELECT predict(x, y, (SELECT classifier FROM models)) FROM pts")
-            .unwrap();
+        let serial =
+            db.query("SELECT predict(x, y, (SELECT classifier FROM models)) FROM pts").unwrap();
         let parallel = db
             .query("SELECT predict_parallel(x, y, (SELECT classifier FROM models)) FROM pts")
             .unwrap();
@@ -895,10 +856,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.rows(), 1);
-        assert_eq!(
-            out.schema().names(),
-            vec!["accuracy", "macro_f1", "log_loss", "test_rows"]
-        );
+        assert_eq!(out.schema().names(), vec!["accuracy", "macro_f1", "log_loss", "test_rows"]);
         let acc = out.row(0)[0].as_f64().unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
         assert!(out.row(0)[2].as_f64().unwrap() >= 0.0);
@@ -913,14 +871,10 @@ mod tests {
     fn helpful_errors_on_misuse() {
         let db = db_with_points();
         // Too few arguments.
-        assert!(db
-            .execute("SELECT * FROM train((SELECT x FROM pts), 4)")
-            .is_err());
+        assert!(db.execute("SELECT * FROM train((SELECT x FROM pts), 4)").is_err());
         // Non-integer labels.
         assert!(db
-            .execute(
-                "SELECT * FROM train((SELECT x FROM pts), (SELECT y FROM pts), 4)"
-            )
+            .execute("SELECT * FROM train((SELECT x FROM pts), (SELECT y FROM pts), 4)")
             .is_err());
         // Predict with a non-BLOB classifier.
         assert!(db.execute("SELECT predict(x, y, 5) FROM pts").is_err());
@@ -938,9 +892,7 @@ mod tests {
         )
         .unwrap();
         let out = db
-            .query(
-                "SELECT predict(x, y, (SELECT classifier FROM m2 WHERE name = 'rf')) FROM pts",
-            )
+            .query("SELECT predict(x, y, (SELECT classifier FROM m2 WHERE name = 'rf')) FROM pts")
             .unwrap();
         assert_eq!(out.rows(), 40);
     }

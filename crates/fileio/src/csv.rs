@@ -135,21 +135,14 @@ fn push_parsed(b: &mut ColumnBuilder, text: &str, quoted: bool, row: usize) -> D
         b.push_null();
         return Ok(());
     }
-    let bad = |what: &str| {
-        DbError::Corrupt(format!("CSV row {row}: cannot parse '{text}' as {what}"))
-    };
+    let bad =
+        |what: &str| DbError::Corrupt(format!("CSV row {row}: cannot parse '{text}' as {what}"));
     match b.data_type() {
         DataType::Int8 => b.push_value(&Value::Int8(text.parse().map_err(|_| bad("TINYINT"))?)),
-        DataType::Int16 => {
-            b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?))
-        }
-        DataType::Int32 => {
-            b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?))
-        }
+        DataType::Int16 => b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?)),
+        DataType::Int32 => b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?)),
         DataType::Int64 => b.push_value(&Value::Int64(text.parse().map_err(|_| bad("BIGINT"))?)),
-        DataType::Float32 => {
-            b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?))
-        }
+        DataType::Float32 => b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?)),
         DataType::Float64 => {
             b.push_value(&Value::Float64(text.parse().map_err(|_| bad("DOUBLE"))?))
         }
@@ -159,9 +152,7 @@ fn push_parsed(b: &mut ColumnBuilder, text: &str, quoted: bool, row: usize) -> D
             _ => Err(bad("BOOLEAN")),
         },
         DataType::Varchar => b.push_value(&Value::Varchar(text.to_owned())),
-        DataType::Blob => {
-            Err(DbError::Unsupported("BLOB columns in CSV".into()))
-        }
+        DataType::Blob => Err(DbError::Unsupported("BLOB columns in CSV".into())),
     }
 }
 
@@ -250,21 +241,13 @@ mod tests {
 
     #[test]
     fn null_vs_empty_string() {
-        let batch = Batch::from_columns(vec![(
-            "s",
-            Column::from_opt_f64s(vec![None]),
-        )])
-        .unwrap();
+        let batch = Batch::from_columns(vec![("s", Column::from_opt_f64s(vec![None]))]).unwrap();
         let mut buf = Vec::new();
         write_csv_to(&mut buf, &batch).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text, "s\n\n");
         // Strings: empty string round-trips quoted, NULL as bare empty.
-        let sb = Batch::from_columns(vec![(
-            "t",
-            Column::from_strings([""]),
-        )])
-        .unwrap();
+        let sb = Batch::from_columns(vec![("t", Column::from_strings([""]))]).unwrap();
         let mut buf = Vec::new();
         write_csv_to(&mut buf, &sb).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "t\n\"\"\n");
@@ -288,9 +271,7 @@ mod tests {
 
     #[test]
     fn bad_values_reported_with_row() {
-        let schema = Arc::new(
-            Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap());
         let err = read_csv_from("x\n1\nzzz\n".as_bytes(), schema).unwrap_err();
         match err {
             DbError::Corrupt(m) => assert!(m.contains("row 3") && m.contains("zzz"), "{m}"),
@@ -301,14 +282,10 @@ mod tests {
     #[test]
     fn quoted_fields_parse() {
         let schema = Arc::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Varchar),
-                Field::new("b", DataType::Int32),
-            ])
-            .unwrap(),
+            Schema::new(vec![Field::new("a", DataType::Varchar), Field::new("b", DataType::Int32)])
+                .unwrap(),
         );
-        let batch =
-            read_csv_from("a,b\n\"x,\"\"y\",7\n".as_bytes(), schema).unwrap();
+        let batch = read_csv_from("a,b\n\"x,\"\"y\",7\n".as_bytes(), schema).unwrap();
         assert_eq!(batch.row(0)[0], Value::Varchar("x,\"y".into()));
         assert_eq!(batch.row(0)[1], Value::Int32(7));
     }
@@ -316,20 +293,15 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let schema = Arc::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Int32),
-                Field::new("b", DataType::Int32),
-            ])
-            .unwrap(),
+            Schema::new(vec![Field::new("a", DataType::Int32), Field::new("b", DataType::Int32)])
+                .unwrap(),
         );
         assert!(read_csv_from("a,b\n1\n".as_bytes(), schema).is_err());
     }
 
     #[test]
     fn empty_file_rejected_and_empty_batch_ok() {
-        let schema = Arc::new(
-            Schema::new(vec![Field::new("a", DataType::Int32)]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int32)]).unwrap());
         assert!(read_csv_from("".as_bytes(), schema.clone()).is_err());
         let batch = read_csv_from("a\n".as_bytes(), schema).unwrap();
         assert_eq!(batch.rows(), 0);
@@ -338,11 +310,8 @@ mod tests {
     #[test]
     fn trailing_comma_is_trailing_null() {
         let schema = Arc::new(
-            Schema::new(vec![
-                Field::new("a", DataType::Int32),
-                Field::new("b", DataType::Int32),
-            ])
-            .unwrap(),
+            Schema::new(vec![Field::new("a", DataType::Int32), Field::new("b", DataType::Int32)])
+                .unwrap(),
         );
         let batch = read_csv_from("a,b\n1,\n".as_bytes(), schema).unwrap();
         assert!(batch.row(0)[1].is_null());

@@ -16,9 +16,7 @@
 //! reader undoes it. This reproduces the paper's PyTables/HDF5 baseline
 //! cost profile: one structured file, chunked reads, per-chunk decode.
 
-use mlcs_columnar::{
-    Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema,
-};
+use mlcs_columnar::{Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -73,9 +71,7 @@ impl H5LiteWriter {
     /// Appends one numeric column as a named dataset.
     pub fn write_dataset(&mut self, name: &str, column: &Column) -> DbResult<()> {
         if column.validity().is_some() {
-            return Err(DbError::Unsupported(
-                "h5lite datasets cannot represent NULLs".into(),
-            ));
+            return Err(DbError::Unsupported("h5lite datasets cannot represent NULLs".into()));
         }
         if self.toc.iter().any(|d| d.name == name) {
             return Err(DbError::AlreadyExists { kind: "dataset", name: name.to_owned() });
@@ -100,9 +96,7 @@ impl H5LiteWriter {
             header.extend_from_slice(&(len as u64).to_le_bytes());
             self.file.write_all(&header)?;
             self.file.write_all(&payload)?;
-            entry
-                .chunks
-                .push((self.offset, (header.len() + payload.len()) as u64));
+            entry.chunks.push((self.offset, (header.len() + payload.len()) as u64));
             self.offset += (header.len() + payload.len()) as u64;
             start += len;
         }
@@ -468,9 +462,7 @@ mod tests {
         let mut w = H5LiteWriter::create(&path).unwrap();
         w.write_dataset("x", &Column::from_i32s(vec![1])).unwrap();
         assert!(w.write_dataset("x", &Column::from_i32s(vec![2])).is_err());
-        assert!(w
-            .write_dataset("n", &Column::from_opt_i32s(vec![None]))
-            .is_err());
+        assert!(w.write_dataset("n", &Column::from_opt_i32s(vec![None])).is_err());
         assert!(w.write_dataset("s", &Column::from_strings(["x"])).is_err());
         w.finish().unwrap();
         std::fs::remove_file(&path).unwrap();
@@ -499,10 +491,7 @@ mod tests {
         w.write_dataset("present", &Column::from_i32s(vec![1])).unwrap();
         w.finish().unwrap();
         let mut r = H5LiteReader::open(&path).unwrap();
-        assert!(matches!(
-            r.read_dataset("absent"),
-            Err(DbError::NotFound { .. })
-        ));
+        assert!(matches!(r.read_dataset("absent"), Err(DbError::NotFound { .. })));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -7,9 +7,7 @@
 //! separate file on disk"). Loading is nearly a straight memcpy, which is
 //! why this baseline is fast but operationally awkward.
 
-use mlcs_columnar::{
-    Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema,
-};
+use mlcs_columnar::{Batch, Column, ColumnData, DataType, DbError, DbResult, Field, Schema};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -64,9 +62,7 @@ pub fn write_npy_column(path: &Path, column: &Column) -> DbResult<()> {
             }
         }
         ColumnData::Varchar(_) | ColumnData::Blob(_) => {
-            return Err(DbError::Unsupported(
-                "NPY files hold fixed-width numeric data only".into(),
-            ))
+            return Err(DbError::Unsupported("NPY files hold fixed-width numeric data only".into()))
         }
     }
     w.flush()?;
@@ -201,13 +197,15 @@ mod tests {
     #[test]
     fn column_round_trip_all_numeric_types() {
         let d = tmpdir("types");
-        let cols = [Column::from_bools(vec![true, false, true]),
+        let cols = [
+            Column::from_bools(vec![true, false, true]),
             Column::from_i8s(vec![-1, 0, 1]),
             Column::from_i16s(vec![-300, 0, 300]),
             Column::from_i32s(vec![i32::MIN, 0, i32::MAX]),
             Column::from_i64s(vec![i64::MIN, 0, i64::MAX]),
             Column::from_f32s(vec![-1.5, 0.0, 1.5]),
-            Column::from_f64s(vec![f64::MIN, 0.0, f64::MAX])];
+            Column::from_f64s(vec![f64::MIN, 0.0, f64::MAX]),
+        ];
         for (i, c) in cols.iter().enumerate() {
             let p = d.join(format!("c{i}.mlnpy"));
             write_npy_column(&p, c).unwrap();

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn tempfile(tag: &str, case: u64) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!(
-        "mlcs_pf_{tag}_{}_{case}.bin",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("mlcs_pf_{tag}_{}_{case}.bin", std::process::id()))
 }
 
 proptest! {

@@ -201,10 +201,7 @@ impl ClassMap {
         indices
             .iter()
             .map(|&i| {
-                self.label(i).ok_or(MlError::BadLabel {
-                    label: i,
-                    n_classes: self.n_classes(),
-                })
+                self.label(i).ok_or(MlError::BadLabel { label: i, n_classes: self.n_classes() })
             })
             .collect()
     }
@@ -230,11 +227,7 @@ pub fn validate_fit_inputs(x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<
         return Err(MlError::BadData("cannot fit on zero rows".into()));
     }
     if x.rows() != y.len() {
-        return Err(MlError::Shape(format!(
-            "{} feature rows but {} labels",
-            x.rows(),
-            y.len()
-        )));
+        return Err(MlError::Shape(format!("{} feature rows but {} labels", x.rows(), y.len())));
     }
     if n_classes < 2 {
         return Err(MlError::InvalidParam {

@@ -80,9 +80,7 @@ impl RandomForestClassifier {
     /// what ensemble selection by "highest confidence" (paper §3.3) uses.
     pub fn confidence(&self, x: &Matrix) -> MlResult<Vec<f64>> {
         let p = self.predict_proba(x)?;
-        Ok((0..p.rows())
-            .map(|r| p.row(r).iter().cloned().fold(0.0, f64::max))
-            .collect())
+        Ok((0..p.rows()).map(|r| p.row(r).iter().cloned().fold(0.0, f64::max)).collect())
     }
 
     /// Mean split-usage feature importances across trees.
@@ -154,8 +152,7 @@ impl Classifier for RandomForestClassifier {
         // Parallel fit: a shared counter hands out tree indices; results
         // come back over a channel tagged with their slot.
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) =
-            crossbeam::channel::unbounded::<(usize, MlResult<DecisionTreeClassifier>)>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, MlResult<DecisionTreeClassifier>)>();
         crossbeam::thread::scope(|scope| {
             for _ in 0..jobs {
                 let tx = tx.clone();
@@ -306,10 +303,7 @@ mod tests {
         for i in 0..n {
             let cls = (i % 2) as u32;
             let center = if cls == 0 { -2.0 } else { 2.0 };
-            rows.push([
-                center + rng.gen_range(-1.0..1.0),
-                center + rng.gen_range(-1.0..1.0),
-            ]);
+            rows.push([center + rng.gen_range(-1.0..1.0), center + rng.gen_range(-1.0..1.0)]);
             labels.push(cls);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)

@@ -165,9 +165,7 @@ mod tests {
         let (x, y) = data();
         let mut knn = KNearestNeighbors::new(3);
         knn.fit(&x, &y, 2).unwrap();
-        let pred = knn
-            .predict(&Matrix::from_rows(&[[0.5, 0.5], [10.5, 10.5]]).unwrap())
-            .unwrap();
+        let pred = knn.predict(&Matrix::from_rows(&[[0.5, 0.5], [10.5, 10.5]]).unwrap()).unwrap();
         assert_eq!(pred, vec![0, 1]);
     }
 

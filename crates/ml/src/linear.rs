@@ -353,10 +353,7 @@ mod tests {
     #[test]
     fn misuse_errors() {
         let lr = LogisticRegression::new();
-        assert_eq!(
-            lr.predict(&Matrix::zeros(1, 1)).unwrap_err(),
-            MlError::NotFitted
-        );
+        assert_eq!(lr.predict(&Matrix::zeros(1, 1)).unwrap_err(), MlError::NotFitted);
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl ClassScores {
 }
 
 /// Computes precision/recall/F1 per class from labels.
-pub fn precision_recall_f1(
-    truth: &[u32],
-    pred: &[u32],
-    n_classes: usize,
-) -> MlResult<ClassScores> {
+pub fn precision_recall_f1(truth: &[u32], pred: &[u32], n_classes: usize) -> MlResult<ClassScores> {
     let m = confusion_matrix(truth, pred, n_classes)?;
     let mut precision = vec![0.0; n_classes];
     let mut recall = vec![0.0; n_classes];

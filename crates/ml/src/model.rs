@@ -59,15 +59,9 @@ impl Model {
     pub fn from_blob(blob: &[u8]) -> MlResult<Model> {
         let class = unpickle_class_name(blob)?;
         Ok(match class.as_str() {
-            RandomForestClassifier::CLASS_NAME => {
-                Model::RandomForest(unpickle(blob)?)
-            }
-            DecisionTreeClassifier::CLASS_NAME => {
-                Model::DecisionTree(unpickle(blob)?)
-            }
-            LogisticRegression::CLASS_NAME => {
-                Model::LogisticRegression(unpickle(blob)?)
-            }
+            RandomForestClassifier::CLASS_NAME => Model::RandomForest(unpickle(blob)?),
+            DecisionTreeClassifier::CLASS_NAME => Model::DecisionTree(unpickle(blob)?),
+            LogisticRegression::CLASS_NAME => Model::LogisticRegression(unpickle(blob)?),
             GaussianNb::CLASS_NAME => Model::GaussianNb(unpickle(blob)?),
             KNearestNeighbors::CLASS_NAME => Model::Knn(unpickle(blob)?),
             other => {
@@ -81,9 +75,7 @@ impl Model {
     /// Per-row confidence: probability of the predicted class.
     pub fn confidence(&self, x: &Matrix) -> MlResult<Vec<f64>> {
         let p = self.predict_proba(x)?;
-        Ok((0..p.rows())
-            .map(|r| p.row(r).iter().cloned().fold(0.0, f64::max))
-            .collect())
+        Ok((0..p.rows()).map(|r| p.row(r).iter().cloned().fold(0.0, f64::max)).collect())
     }
 }
 

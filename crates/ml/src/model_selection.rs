@@ -27,18 +27,9 @@ pub struct Split {
 
 /// Shuffles rows with the seeded RNG and splits off `test_fraction` of
 /// them as the test set (the paper's train/test division before Listing 1).
-pub fn train_test_split(
-    x: &Matrix,
-    y: &[u32],
-    test_fraction: f64,
-    seed: u64,
-) -> MlResult<Split> {
+pub fn train_test_split(x: &Matrix, y: &[u32], test_fraction: f64, seed: u64) -> MlResult<Split> {
     if x.rows() != y.len() {
-        return Err(MlError::Shape(format!(
-            "{} rows but {} labels",
-            x.rows(),
-            y.len()
-        )));
+        return Err(MlError::Shape(format!("{} rows but {} labels", x.rows(), y.len())));
     }
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
         return Err(MlError::InvalidParam {
@@ -88,10 +79,7 @@ where
         });
     }
     if x.rows() < k {
-        return Err(MlError::BadData(format!(
-            "cannot make {k} folds from {} rows",
-            x.rows()
-        )));
+        return Err(MlError::BadData(format!("cannot make {k} folds from {} rows", x.rows())));
     }
     let mut indices: Vec<usize> = (0..x.rows()).collect();
     indices.shuffle(&mut StdRng::seed_from_u64(seed));
@@ -134,8 +122,7 @@ mod tests {
         assert_eq!(s.x_train.rows(), 75);
         assert_eq!(s.y_train.len(), 75);
         // Every original index appears exactly once.
-        let mut all: Vec<usize> =
-            s.train_indices.iter().chain(&s.test_indices).copied().collect();
+        let mut all: Vec<usize> = s.train_indices.iter().chain(&s.test_indices).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
         // Deterministic given the seed.
@@ -158,8 +145,7 @@ mod tests {
     #[test]
     fn cross_validation_scores_easy_data_high() {
         let (x, y) = data(100);
-        let scores =
-            cross_validate(&x, &y, 2, 5, 7, DecisionTreeClassifier::new).unwrap();
+        let scores = cross_validate(&x, &y, 2, 5, 7, DecisionTreeClassifier::new).unwrap();
         assert_eq!(scores.len(), 5);
         let mean: f64 = scores.iter().sum::<f64>() / 5.0;
         assert!(mean > 0.9, "scores {scores:?}");

@@ -73,13 +73,7 @@ impl Classifier for GaussianNb {
         }
         self.log_priors = counts
             .iter()
-            .map(|&c| {
-                if c == 0 {
-                    f64::NEG_INFINITY
-                } else {
-                    (c as f64 / y.len() as f64).ln()
-                }
-            })
+            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / y.len() as f64).ln() })
             .collect();
         self.means = means;
         self.vars = vars;

@@ -214,11 +214,7 @@ impl Classifier for DecisionTreeClassifier {
             depth: usize,
         }
         self.nodes.push(Node::Leaf { proba: vec![] }); // placeholder root
-        let mut stack = vec![Work {
-            node_slot: 0,
-            indices: (0..x.rows()).collect(),
-            depth: 0,
-        }];
+        let mut stack = vec![Work { node_slot: 0, indices: (0..x.rows()).collect(), depth: 0 }];
 
         // Reusable scratch buffers.
         let mut counts = vec![0.0f64; n_classes];
@@ -233,9 +229,8 @@ impl Classifier for DecisionTreeClassifier {
             let node_gini = gini(&counts, total);
 
             let depth_ok = self.max_depth.is_none_or(|d| work.depth < d);
-            let can_split = depth_ok
-                && work.indices.len() >= self.min_samples_split
-                && node_gini > 1e-12;
+            let can_split =
+                depth_ok && work.indices.len() >= self.min_samples_split && node_gini > 1e-12;
 
             let best = if can_split {
                 // Feature subsample for this split.
@@ -409,11 +404,7 @@ fn find_best_split(
             if score <= parent_gini + 1e-12
                 && score < best.as_ref().map_or(f64::INFINITY, |b| b.score)
             {
-                best = Some(BestSplit {
-                    feature: f,
-                    threshold: v + (next_v - v) / 2.0,
-                    score,
-                });
+                best = Some(BestSplit { feature: f, threshold: v + (next_v - v) / 2.0, score });
             }
         }
     }
@@ -612,12 +603,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = xor_data();
-        let mut a = DecisionTreeClassifier::new()
-            .with_max_features(MaxFeatures::Count(1))
-            .with_seed(7);
-        let mut b = DecisionTreeClassifier::new()
-            .with_max_features(MaxFeatures::Count(1))
-            .with_seed(7);
+        let mut a =
+            DecisionTreeClassifier::new().with_max_features(MaxFeatures::Count(1)).with_seed(7);
+        let mut b =
+            DecisionTreeClassifier::new().with_max_features(MaxFeatures::Count(1)).with_seed(7);
         a.fit(&x, &y, 2).unwrap();
         b.fit(&x, &y, 2).unwrap();
         assert_eq!(a, b);

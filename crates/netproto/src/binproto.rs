@@ -1,12 +1,8 @@
 //! Binary-protocol client (MySQL-binary cost profile).
 
-use crate::framing::{
-    decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind,
-};
+use crate::framing::{decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind};
 use bytes::Buf;
-use mlcs_columnar::{
-    Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value,
-};
+use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -30,11 +26,7 @@ impl BinaryClient {
 
     /// Runs a query and materializes the result as a client-side batch.
     pub fn query(&mut self, sql: &str) -> DbResult<Batch> {
-        write_frame(
-            &mut self.writer,
-            FrameKind::Query,
-            &encode_query(Encoding::Binary, sql),
-        )?;
+        write_frame(&mut self.writer, FrameKind::Query, &encode_query(Encoding::Binary, sql))?;
         let (kind, payload) = read_frame(&mut self.reader)?;
         match kind {
             FrameKind::Error => {
@@ -44,9 +36,7 @@ impl BinaryClient {
                 )))
             }
             FrameKind::Schema => {}
-            other => {
-                return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}")))
-            }
+            other => return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}"))),
         }
         let fields = decode_schema(&payload)?;
         let schema = Arc::new(Schema::new_unchecked(
@@ -66,9 +56,7 @@ impl BinaryClient {
                         String::from_utf8_lossy(&payload)
                     )))
                 }
-                other => {
-                    return Err(DbError::Corrupt(format!("unexpected frame {other:?}")))
-                }
+                other => return Err(DbError::Corrupt(format!("unexpected frame {other:?}"))),
             }
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();

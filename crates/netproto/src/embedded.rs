@@ -96,10 +96,7 @@ mod tests {
         while cur.step() {
             seen.push((cur.get_i64(0), cur.get_f64(1)));
         }
-        assert_eq!(
-            seen,
-            vec![(Some(1), Some(0.5)), (Some(2), None), (Some(3), Some(2.5))]
-        );
+        assert_eq!(seen, vec![(Some(1), Some(0.5)), (Some(2), None), (Some(3), Some(2.5))]);
         assert!(!cur.step(), "exhausted cursor stays exhausted");
     }
 

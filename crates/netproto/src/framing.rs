@@ -34,9 +34,7 @@ impl FrameKind {
             4 => FrameKind::RowsBinary,
             5 => FrameKind::Done,
             6 => FrameKind::Error,
-            other => {
-                return Err(DbError::Corrupt(format!("unknown frame kind {other:#04x}")))
-            }
+            other => return Err(DbError::Corrupt(format!("unknown frame kind {other:#04x}"))),
         })
     }
 }
@@ -182,10 +180,8 @@ mod tests {
 
     #[test]
     fn schema_round_trip() {
-        let fields = vec![
-            ("id".to_owned(), DataType::Int32),
-            ("name".to_owned(), DataType::Varchar),
-        ];
+        let fields =
+            vec![("id".to_owned(), DataType::Int32), ("name".to_owned(), DataType::Varchar)];
         let enc = encode_schema(&fields);
         assert_eq!(decode_schema(&enc).unwrap(), fields);
         assert!(decode_schema(&enc[..3]).is_err());

@@ -6,9 +6,7 @@
 //! row by row, shipped through the kernel, and re-parsed on the client —
 //! work the in-database UDFs never do.
 
-use crate::framing::{
-    decode_query, encode_schema, write_frame, Encoding, FrameKind,
-};
+use crate::framing::{decode_query, encode_schema, write_frame, Encoding, FrameKind};
 use mlcs_columnar::{Batch, Database, DbResult, Value};
 use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -120,12 +118,8 @@ fn handle_connection(stream: TcpStream, db: Database) -> DbResult<()> {
 
 /// Streams one result set: schema frame, row frames, done frame.
 fn stream_result(w: &mut impl Write, batch: &Batch, encoding: Encoding) -> DbResult<()> {
-    let fields: Vec<(String, mlcs_columnar::DataType)> = batch
-        .schema()
-        .fields()
-        .iter()
-        .map(|f| (f.name.clone(), f.dtype))
-        .collect();
+    let fields: Vec<(String, mlcs_columnar::DataType)> =
+        batch.schema().fields().iter().map(|f| (f.name.clone(), f.dtype)).collect();
     write_frame(w, FrameKind::Schema, &encode_schema(&fields))?;
     let mut payload = Vec::with_capacity(64 * ROWS_PER_FRAME);
     let mut start = 0;

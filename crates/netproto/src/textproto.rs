@@ -1,8 +1,6 @@
 //! Text-protocol client (PostgreSQL-classic cost profile).
 
-use crate::framing::{
-    decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind,
-};
+use crate::framing::{decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind};
 use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -58,9 +56,7 @@ impl TextClient {
                         String::from_utf8_lossy(&payload)
                     )))
                 }
-                other => {
-                    return Err(DbError::Corrupt(format!("unexpected frame {other:?}")))
-                }
+                other => return Err(DbError::Corrupt(format!("unexpected frame {other:?}"))),
             }
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
@@ -137,16 +133,10 @@ fn push_text_value(b: &mut ColumnBuilder, text: &str, is_null: bool) -> DbResult
             _ => Err(bad("BOOLEAN")),
         },
         DataType::Int8 => b.push_value(&Value::Int8(text.parse().map_err(|_| bad("TINYINT"))?)),
-        DataType::Int16 => {
-            b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?))
-        }
-        DataType::Int32 => {
-            b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?))
-        }
+        DataType::Int16 => b.push_value(&Value::Int16(text.parse().map_err(|_| bad("SMALLINT"))?)),
+        DataType::Int32 => b.push_value(&Value::Int32(text.parse().map_err(|_| bad("INTEGER"))?)),
         DataType::Int64 => b.push_value(&Value::Int64(text.parse().map_err(|_| bad("BIGINT"))?)),
-        DataType::Float32 => {
-            b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?))
-        }
+        DataType::Float32 => b.push_value(&Value::Float32(text.parse().map_err(|_| bad("REAL"))?)),
         DataType::Float64 => {
             b.push_value(&Value::Float64(text.parse().map_err(|_| bad("DOUBLE"))?))
         }

@@ -3,8 +3,8 @@
 
 use mlcs_columnar::{ColumnBuilder, DataType};
 use mlcs_netproto::framing::{
-    decode_query, decode_schema, encode_query, encode_schema, read_frame, write_frame,
-    Encoding, FrameKind,
+    decode_query, decode_schema, encode_query, encode_schema, read_frame, write_frame, Encoding,
+    FrameKind,
 };
 use proptest::prelude::*;
 

@@ -42,7 +42,10 @@ pub fn pickle<T: Pickle>(value: &T) -> Vec<u8> {
 }
 
 /// Reads and validates the envelope header, returning the payload slice.
-fn open_envelope<'a>(blob: &'a [u8], expected_class: Option<&'static str>) -> Result<(&'a str, &'a [u8]), PickleError> {
+fn open_envelope<'a>(
+    blob: &'a [u8],
+    expected_class: Option<&'static str>,
+) -> Result<(&'a str, &'a [u8]), PickleError> {
     let mut r = Reader::new(blob);
     let magic = r.get_raw(4)?;
     if magic != MAGIC {

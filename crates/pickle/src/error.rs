@@ -87,20 +87,18 @@ impl fmt::Display for PickleError {
                 f,
                 "pickle format version {found} is newer than supported version {supported}"
             ),
-            PickleError::ClassMismatch { found, expected } => write!(
-                f,
-                "pickle holds a '{found}' object but a '{expected}' was requested"
-            ),
+            PickleError::ClassMismatch { found, expected } => {
+                write!(f, "pickle holds a '{found}' object but a '{expected}' was requested")
+            }
             PickleError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "pickle payload corrupted: stored crc32 {stored:#010x} != computed {computed:#010x}"
             ),
             PickleError::VarintOverflow => write!(f, "varint exceeded maximum width"),
             PickleError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
-            PickleError::ImplausibleLength { length, remaining } => write!(
-                f,
-                "length prefix {length} exceeds the {remaining} bytes remaining"
-            ),
+            PickleError::ImplausibleLength { length, remaining } => {
+                write!(f, "length prefix {length} exceeds the {remaining} bytes remaining")
+            }
             PickleError::InvalidTag { tag, context } => {
                 write!(f, "invalid tag byte {tag:#04x} while decoding {context}")
             }

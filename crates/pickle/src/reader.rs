@@ -129,7 +129,10 @@ impl<'a> Reader<'a> {
     pub fn get_len(&mut self) -> Result<usize, PickleError> {
         let len = self.get_varint()?;
         if len > self.remaining() as u64 {
-            return Err(PickleError::ImplausibleLength { length: len, remaining: self.remaining() });
+            return Err(PickleError::ImplausibleLength {
+                length: len,
+                remaining: self.remaining(),
+            });
         }
         Ok(len as usize)
     }

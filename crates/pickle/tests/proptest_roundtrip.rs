@@ -1,7 +1,7 @@
 //! Property-based tests: every value that can be pickled unpickles to an
 //! equal value, and no mutation of the blob is silently accepted.
 
-use mlcs_pickle::{pickle, unpickle, PickleError, Pickle, Reader, Writer};
+use mlcs_pickle::{pickle, unpickle, Pickle, PickleError, Reader, Writer};
 use proptest::prelude::*;
 
 proptest! {

@@ -27,9 +27,10 @@ pub fn wrangle(voters: &Batch, precincts: &Batch, seed: u64) -> DbResult<Wrangle
     let rep_col = precincts.column_by_name("votes_rep")?;
     let mut votes: HashMap<i32, (i64, i64)> = HashMap::with_capacity(precincts.rows());
     for i in 0..precincts.rows() {
-        let pid = pid_col.i64_at(i).ok_or_else(|| {
-            DbError::Corrupt("NULL precinct_id in precincts".into())
-        })? as i32;
+        let pid = pid_col
+            .i64_at(i)
+            .ok_or_else(|| DbError::Corrupt("NULL precinct_id in precincts".into()))?
+            as i32;
         let d = dem_col.i64_at(i).unwrap_or(0);
         let r = rep_col.i64_at(i).unwrap_or(0);
         votes.insert(pid, (d, r));
@@ -39,12 +40,9 @@ pub fn wrangle(voters: &Batch, precincts: &Batch, seed: u64) -> DbResult<Wrangle
     let mut labels = Vec::with_capacity(voters.rows());
     let mut precinct_ids = Vec::with_capacity(voters.rows());
     for i in 0..voters.rows() {
-        let vid = vid_col
-            .i64_at(i)
-            .ok_or_else(|| DbError::Corrupt("NULL voter_id".into()))?;
-        let pid = vpid_col
-            .i64_at(i)
-            .ok_or_else(|| DbError::Corrupt("NULL precinct_id".into()))? as i32;
+        let vid = vid_col.i64_at(i).ok_or_else(|| DbError::Corrupt("NULL voter_id".into()))?;
+        let pid =
+            vpid_col.i64_at(i).ok_or_else(|| DbError::Corrupt("NULL precinct_id".into()))? as i32;
         let (d, r) = votes.get(&pid).copied().ok_or_else(|| {
             DbError::Corrupt(format!("voter {vid} references unknown precinct {pid}"))
         })?;
@@ -178,7 +176,13 @@ mod tests {
         let inverted: Vec<i64> = w
             .labels
             .iter()
-            .map(|&l| if l == crate::label::LABEL_DEM { crate::label::LABEL_REP } else { crate::label::LABEL_DEM })
+            .map(|&l| {
+                if l == crate::label::LABEL_DEM {
+                    crate::label::LABEL_REP
+                } else {
+                    crate::label::LABEL_DEM
+                }
+            })
             .collect();
         let good = precinct_share_error(&w.precinct_ids, &w.labels, &data.precincts).unwrap();
         let bad = precinct_share_error(&w.precinct_ids, &inverted, &data.precincts).unwrap();

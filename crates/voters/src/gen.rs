@@ -90,8 +90,7 @@ pub fn generate(config: &VoterConfig) -> DbResult<VoterData> {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Precinct leans.
-    let leans: Vec<f64> =
-        (0..config.precincts).map(|_| rng.gen_range(0.15..0.85)).collect();
+    let leans: Vec<f64> = (0..config.precincts).map(|_| rng.gen_range(0.15..0.85)).collect();
 
     // Voters.
     let mut voter_id = Vec::with_capacity(config.rows);
@@ -116,10 +115,8 @@ pub fn generate(config: &VoterConfig) -> DbResult<VoterData> {
             col.push(v);
         }
     }
-    let mut columns: Vec<Arc<Column>> = vec![
-        Arc::new(Column::from_i64s(voter_id)),
-        Arc::new(Column::from_i32s(precinct_id)),
-    ];
+    let mut columns: Vec<Arc<Column>> =
+        vec![Arc::new(Column::from_i64s(voter_id)), Arc::new(Column::from_i32s(precinct_id))];
     for col in features {
         columns.push(Arc::new(Column::from_i32s(col)));
     }
@@ -150,14 +147,10 @@ pub fn generate(config: &VoterConfig) -> DbResult<VoterData> {
 
 /// Loads both datasets into database tables `voters` and `precincts`.
 pub fn load_into_db(db: &mlcs_columnar::Database, data: &VoterData) -> DbResult<()> {
-    db.catalog().put_table(
-        mlcs_columnar::Table::from_batch("voters", data.voters.clone()),
-        false,
-    )?;
-    db.catalog().put_table(
-        mlcs_columnar::Table::from_batch("precincts", data.precincts.clone()),
-        false,
-    )?;
+    db.catalog()
+        .put_table(mlcs_columnar::Table::from_batch("voters", data.voters.clone()), false)?;
+    db.catalog()
+        .put_table(mlcs_columnar::Table::from_batch("precincts", data.precincts.clone()), false)?;
     Ok(())
 }
 
@@ -229,11 +222,9 @@ mod tests {
             e.0 += v as f64;
             e.1 += 1;
         }
-        let means: Vec<f64> =
-            by_precinct.values().map(|(s, n)| s / *n as f64).collect();
+        let means: Vec<f64> = by_precinct.values().map(|(s, n)| s / *n as f64).collect();
         let overall: f64 = means.iter().sum::<f64>() / means.len() as f64;
-        let spread =
-            means.iter().map(|m| (m - overall).abs()).sum::<f64>() / means.len() as f64;
+        let spread = means.iter().map(|m| (m - overall).abs()).sum::<f64>() / means.len() as f64;
         assert!(spread > 1.0, "informative feature has no precinct signal: {spread}");
     }
 

@@ -6,7 +6,7 @@
 //! deterministic hash of `(voter_id, seed)` so every data-access method
 //! produces the *same* labels and their pipeline outputs are comparable.
 
-use mlcs_columnar::{ClosureScalarUdf, Column, Database, DataType, DbError};
+use mlcs_columnar::{ClosureScalarUdf, Column, DataType, Database, DbError};
 use std::sync::Arc;
 
 /// The label for the Democrat class.
@@ -127,9 +127,7 @@ mod tests {
     #[test]
     fn label_frequencies_track_shares() {
         let n = 50_000;
-        let dem_count = (0..n)
-            .filter(|&i| weighted_label(i, 60, 40, 7) == LABEL_DEM)
-            .count();
+        let dem_count = (0..n).filter(|&i| weighted_label(i, 60, 40, 7) == LABEL_DEM).count();
         let share = dem_count as f64 / n as f64;
         assert!((share - 0.6).abs() < 0.02, "observed dem share {share}");
         // Degenerate precincts.
@@ -159,9 +157,8 @@ mod tests {
         register_label_udf(&db);
         db.execute("CREATE TABLE t (vid BIGINT, d INTEGER, r INTEGER)").unwrap();
         db.execute("INSERT INTO t VALUES (0, 60, 40), (1, 60, 40), (2, 10, 90)").unwrap();
-        let out = db
-            .query("SELECT vid, gen_label(vid, d, r, 42) AS label FROM t ORDER BY vid")
-            .unwrap();
+        let out =
+            db.query("SELECT vid, gen_label(vid, d, r, 42) AS label FROM t ORDER BY vid").unwrap();
         for i in 0..3 {
             let vid = out.row(i)[0].as_i64().unwrap();
             let (d, r) = if vid == 2 { (10, 90) } else { (60, 40) };

@@ -173,13 +173,12 @@ impl PipelineEnv {
             w.write_batch(&data.precincts)?;
             w.finish()?;
         }
-        let server = if methods.contains(&Method::SocketText)
-            || methods.contains(&Method::SocketBinary)
-        {
-            Some(Server::start(db.clone())?)
-        } else {
-            None
-        };
+        let server =
+            if methods.contains(&Method::SocketText) || methods.contains(&Method::SocketBinary) {
+                Some(Server::start(db.clone())?)
+            } else {
+                None
+            };
         Ok(PipelineEnv { data, db, dir, server })
     }
 
@@ -201,18 +200,15 @@ pub fn run_method(
     match method {
         Method::InDb => run_in_db(env, opts, false),
         Method::InDbParallel => run_in_db(env, opts, true),
-        Method::NpyFiles => {
-            run_client_side(env, method, opts, |env| {
-                Ok((
-                    read_npy_dir(&env.dir.join("voters_npy"))?,
-                    read_npy_dir(&env.dir.join("precincts_npy"))?,
-                ))
-            })
-        }
+        Method::NpyFiles => run_client_side(env, method, opts, |env| {
+            Ok((
+                read_npy_dir(&env.dir.join("voters_npy"))?,
+                read_npy_dir(&env.dir.join("precincts_npy"))?,
+            ))
+        }),
         Method::H5Lite => run_client_side(env, method, opts, |env| {
             let voters = H5LiteReader::open(&env.dir.join("voters.h5l"))?.read_batch()?;
-            let precincts =
-                H5LiteReader::open(&env.dir.join("precincts.h5l"))?.read_batch()?;
+            let precincts = H5LiteReader::open(&env.dir.join("precincts.h5l"))?.read_batch()?;
             Ok((voters, precincts))
         }),
         Method::Csv => run_client_side(env, method, opts, |env| {
@@ -225,34 +221,21 @@ pub fn run_method(
             ))
         }),
         Method::SocketText => run_client_side(env, method, opts, |env| {
-            let addr = env
-                .server
-                .as_ref()
-                .ok_or_else(|| DbError::internal("server not prepared"))?
-                .addr();
+            let addr =
+                env.server.as_ref().ok_or_else(|| DbError::internal("server not prepared"))?.addr();
             let mut client = TextClient::connect(addr)?;
-            Ok((
-                client.query("SELECT * FROM voters")?,
-                client.query("SELECT * FROM precincts")?,
-            ))
+            Ok((client.query("SELECT * FROM voters")?, client.query("SELECT * FROM precincts")?))
         }),
         Method::SocketBinary => run_client_side(env, method, opts, |env| {
-            let addr = env
-                .server
-                .as_ref()
-                .ok_or_else(|| DbError::internal("server not prepared"))?
-                .addr();
+            let addr =
+                env.server.as_ref().ok_or_else(|| DbError::internal("server not prepared"))?.addr();
             let mut client = BinaryClient::connect(addr)?;
-            Ok((
-                client.query("SELECT * FROM voters")?,
-                client.query("SELECT * FROM precincts")?,
-            ))
+            Ok((client.query("SELECT * FROM voters")?, client.query("SELECT * FROM precincts")?))
         }),
         Method::EmbeddedRows => run_client_side(env, method, opts, |env| {
             // Row-at-a-time extraction from the embedded database,
             // column-rebuilt on the client (the SQLite consumption style).
-            let voters =
-                RowCursor::query(&env.db, "SELECT * FROM voters")?.drain_to_batch()?;
+            let voters = RowCursor::query(&env.db, "SELECT * FROM voters")?.drain_to_batch()?;
             let precincts =
                 RowCursor::query(&env.db, "SELECT * FROM precincts")?.drain_to_batch()?;
             Ok((voters, precincts))
@@ -264,12 +247,8 @@ pub fn run_method(
 fn run_in_db(env: &PipelineEnv, opts: &PipelineOptions, parallel: bool) -> DbResult<PipelineRun> {
     let db = &env.db;
     let feats = opts.train_features.join(", ");
-    let v_feats = opts
-        .train_features
-        .iter()
-        .map(|f| format!("v.{f}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let v_feats =
+        opts.train_features.iter().map(|f| format!("v.{f}")).collect::<Vec<_>>().join(", ");
     let seed = opts.seed;
     let split_seed = opts.seed.wrapping_add(1);
     let frac = opts.test_fraction;
@@ -316,10 +295,8 @@ fn run_in_db(env: &PipelineEnv, opts: &PipelineOptions, parallel: bool) -> DbRes
                 COUNT(*) AS n
          FROM predictions GROUP BY precinct_id",
     )?;
-    let test_rows = db
-        .query_value("SELECT COUNT(*) FROM predictions")?
-        .as_i64()
-        .unwrap_or(0) as usize;
+    let test_rows =
+        db.query_value("SELECT COUNT(*) FROM predictions")?.as_i64().unwrap_or(0) as usize;
     let predict = t0.elapsed();
 
     // Quality: compare aggregated predictions with the actual precinct
@@ -408,11 +385,11 @@ fn run_client_side(
     // 3. Predict the test split and aggregate by precinct.
     let t0 = Instant::now();
     let x_test = x.take_rows(&test_idx);
-    let pred = model
-        .predict(&x_test)
-        .map_err(|e| DbError::Udf { function: "pipeline predict".into(), message: e.to_string() })?;
-    let test_pids: Vec<i32> =
-        test_idx.iter().map(|&i| wrangled.precinct_ids[i]).collect();
+    let pred = model.predict(&x_test).map_err(|e| DbError::Udf {
+        function: "pipeline predict".into(),
+        message: e.to_string(),
+    })?;
+    let test_pids: Vec<i32> = test_idx.iter().map(|&i| wrangled.precinct_ids[i]).collect();
     let share_error = precinct_share_error(&test_pids, &pred, &precincts)?;
     let predict = t0.elapsed();
 
@@ -458,14 +435,9 @@ mod tests {
         let opts = tiny_opts();
         let mut runs = Vec::new();
         for &m in Method::all() {
-            let run = run_method(&env, m, &opts)
-                .unwrap_or_else(|e| panic!("{m:?} failed: {e}"));
+            let run = run_method(&env, m, &opts).unwrap_or_else(|e| panic!("{m:?} failed: {e}"));
             assert!(run.test_rows > 0, "{m:?} classified nothing");
-            assert!(
-                run.share_error < 0.25,
-                "{m:?} share error {} too large",
-                run.share_error
-            );
+            assert!(run.share_error < 0.25, "{m:?} share error {} too large", run.share_error);
             runs.push(run);
         }
         // All methods classify the same test rows and produce identical

@@ -42,8 +42,7 @@ pub fn render_figure1(runs: &[PipelineRun]) -> String {
     for r in &rows {
         let width = 40.0;
         let bar_total = ((r.total_s / max_total) * width).round() as usize;
-        let bar_gray =
-            (((r.load_wrangle_s / max_total) * width).round() as usize).min(bar_total);
+        let bar_gray = (((r.load_wrangle_s / max_total) * width).round() as usize).min(bar_total);
         let mut bar = String::new();
         bar.push_str(&"█".repeat(bar_gray));
         bar.push_str(&"░".repeat(bar_total - bar_gray));
@@ -75,10 +74,7 @@ mod tests {
 
     #[test]
     fn renders_sorted_with_bars() {
-        let runs = vec![
-            fake(Method::InDb, 10, 100),
-            fake(Method::Csv, 900, 1000),
-        ];
+        let runs = vec![fake(Method::InDb, 10, 100), fake(Method::Csv, 900, 1000)];
         let text = render_figure1(&runs);
         // Slowest first.
         let csv_pos = text.find("csv").unwrap();

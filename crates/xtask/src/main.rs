@@ -1,0 +1,258 @@
+//! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
+//!
+//! Std-only by design — this binary must build in the offline environment
+//! with zero dependencies.
+//!
+//! # `cargo xtask lint`
+//!
+//! A source-level lint pass complementing the runtime plan verifier:
+//!
+//! * **Panic-free hot paths.** In the modules the executor hits per batch
+//!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/udf.rs`,
+//!   `core/src/udf.rs`), non-test code must not call `.unwrap()`,
+//!   `.expect(…)`, `panic!…`, or `todo!…` — errors there must surface as
+//!   typed `DbResult` values, never process aborts mid-query. A site that
+//!   genuinely cannot fail may be annotated on the same line with
+//!   `// lint: allow(<reason>)`.
+//! * **Unsafe inventory.** Every `unsafe` occurrence in the workspace is
+//!   listed so new unsafe code is visible in review. The inventory is
+//!   informational and does not fail the lint.
+//!
+//! Exits non-zero when any unannotated hot-path violation exists.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Module prefixes (relative to the workspace root) whose non-test code
+/// must be panic-free. A trailing `/` marks a directory subtree.
+const HOT_PATHS: &[&str] = &[
+    "crates/columnar/src/exec/",
+    "crates/columnar/src/expr/",
+    "crates/columnar/src/udf.rs",
+    "crates/core/src/udf.rs",
+];
+
+/// Source patterns forbidden in hot-path modules. Substring matches, so
+/// `.unwrap()` does not catch `unwrap_or(..)` and `.expect(` does not catch
+/// `.expect_err(`.
+const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!"];
+
+/// Escape hatch marker: a forbidden call on the same line as this marker
+/// (with a reason in parentheses) is accepted.
+const ALLOW_MARKER: &str = "// lint: allow(";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask command '{other}'; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    panic-free hot-path check + unsafe inventory");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One flagged source line.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    pattern: &'static str,
+    text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: forbidden `{}` in hot-path module: {}",
+            self.file.display(),
+            self.line,
+            self.pattern,
+            self.text.trim()
+        )
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut sources = Vec::new();
+    for dir in ["crates", "shims", "src", "tests", "benches"] {
+        collect_rust_files(&root.join(dir), &mut sources);
+    }
+    sources.sort();
+
+    let mut violations = Vec::new();
+    let mut unsafe_sites = Vec::new();
+    for path in &sources {
+        let Ok(content) = std::fs::read_to_string(path) else {
+            eprintln!("warning: unreadable source file {}", path.display());
+            continue;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        if is_hot_path(rel) {
+            scan_hot_path(rel, &content, &mut violations);
+        }
+        // The linter's own sources talk about "unsafe" in strings and
+        // patterns; excluding them keeps the inventory to real code.
+        if !rel.starts_with("crates/xtask") {
+            scan_unsafe(rel, &content, &mut unsafe_sites);
+        }
+    }
+
+    if unsafe_sites.is_empty() {
+        println!("unsafe inventory: no unsafe code in the workspace");
+    } else {
+        println!("unsafe inventory ({} sites):", unsafe_sites.len());
+        for (file, line, text) in &unsafe_sites {
+            println!("  {}:{}: {}", file.display(), line, text.trim());
+        }
+    }
+
+    if violations.is_empty() {
+        println!("lint ok: {} files scanned, hot-path modules are panic-free", sources.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "\nlint failed: {} unannotated hot-path violation(s). Return a typed \
+             DbResult error instead, or annotate the line with `{ALLOW_MARKER}<reason>)`.",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rust_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn is_hot_path(rel: &Path) -> bool {
+    // Compare with forward slashes so the check is platform-independent.
+    let rel = rel.to_string_lossy().replace('\\', "/");
+    HOT_PATHS.iter().any(|p| if p.ends_with('/') { rel.starts_with(p) } else { rel == *p })
+}
+
+/// Flags forbidden patterns in the non-test portion of a hot-path file.
+///
+/// Enforcement stops at the first `#[cfg(test)]` — by workspace convention
+/// the unit-test module sits at the end of each file, and test code is free
+/// to unwrap.
+fn scan_hot_path(rel: &Path, content: &str, out: &mut Vec<Violation>) {
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        // Comments (incl. doc comments) may discuss panicking freely.
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        if line.contains(ALLOW_MARKER) {
+            continue;
+        }
+        for pattern in FORBIDDEN {
+            if line.contains(pattern) {
+                out.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: i + 1,
+                    pattern,
+                    text: line.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Records `unsafe` occurrences (blocks, fns, impls) for the inventory.
+fn scan_unsafe(rel: &Path, content: &str, out: &mut Vec<(PathBuf, usize, String)>) {
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        // Word-boundary check so identifiers like `unsafe_mode` don't count.
+        let mut rest = line;
+        let mut found = false;
+        while let Some(pos) = rest.find("unsafe") {
+            let after = &rest[pos + "unsafe".len()..];
+            let before_ok =
+                rest[..pos].chars().next_back().is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            let after_ok = after.chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if before_ok && after_ok {
+                found = true;
+                break;
+            }
+            rest = after;
+        }
+        if found {
+            out.push((rel.to_path_buf(), i + 1, line.to_owned()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_matching() {
+        assert!(is_hot_path(Path::new("crates/columnar/src/exec/join.rs")));
+        assert!(is_hot_path(Path::new("crates/columnar/src/expr/eval.rs")));
+        assert!(is_hot_path(Path::new("crates/columnar/src/udf.rs")));
+        assert!(is_hot_path(Path::new("crates/core/src/udf.rs")));
+        assert!(!is_hot_path(Path::new("crates/columnar/src/sql/binder.rs")));
+        assert!(!is_hot_path(Path::new("crates/columnar/src/udf_helpers.rs")));
+    }
+
+    #[test]
+    fn scan_flags_and_allows() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    z.unwrap(); // lint: allow(infallible by construction)\n    let v = o.unwrap_or(0);\n}\n#[cfg(test)]\nmod tests {\n    fn g() { t.unwrap(); }\n}\n";
+        let mut out = Vec::new();
+        scan_hot_path(Path::new("x.rs"), src, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn scan_skips_comments_and_macros_in_docs() {
+        let src = "/// Calls panic! when poked.\n// .unwrap() discussion\nfn f() {}\n";
+        let mut out = Vec::new();
+        scan_hot_path(Path::new("x.rs"), src, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsafe_word_boundaries() {
+        let mut out = Vec::new();
+        scan_unsafe(Path::new("x.rs"), "let unsafe_mode = 1;\n", &mut out);
+        assert!(out.is_empty());
+        scan_unsafe(Path::new("x.rs"), "unsafe { std::hint::unreachable_unchecked() }\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1);
+    }
+}

@@ -5,11 +5,11 @@
 //! Run with: `cargo run --release --example model_management`
 
 use mlcs::columnar::Database;
+use mlcs::ml::Matrix;
 use mlcs::mlcore::ensemble::{ensemble_predict, EnsembleStrategy};
 use mlcs::mlcore::meta;
 use mlcs::mlcore::pipeline::{train_in_db, Algorithm, TrainOptions};
 use mlcs::mlcore::ModelStore;
-use mlcs::ml::Matrix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::new();

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                              16)",
     )?;
     println!("\nStored model:");
-    print!("{}", db.query("SELECT algorithm, parameters, n_features, train_rows FROM models")?.pretty());
+    print!(
+        "{}",
+        db.query("SELECT algorithm, parameters, n_features, train_rows FROM models")?.pretty()
+    );
 
     // 4. Classify with the stored model — the paper's Listing 2. The model
     //    BLOB arrives via a scalar subquery and is unpickled once.
@@ -53,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Meta-analysis: models are rows, so SQL answers questions about
     //    them (paper §3.3).
-    let meta = db.query(
-        "SELECT algorithm, OCTET_LENGTH(classifier) AS bytes FROM models",
-    )?;
+    let meta = db.query("SELECT algorithm, OCTET_LENGTH(classifier) AS bytes FROM models")?;
     println!("\nModel storage:");
     print!("{}", meta.pretty());
 

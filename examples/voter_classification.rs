@@ -10,11 +10,7 @@ use mlcs::voters::report::render_figure1;
 use mlcs::voters::VoterConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(75_000);
+    let rows: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(75_000);
     let config = VoterConfig { rows, ..Default::default() };
     let opts = PipelineOptions::default();
     println!(

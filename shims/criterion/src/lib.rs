@@ -1,0 +1,206 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace's
+//! benches use. Each benchmark runs a fixed small number of timed
+//! iterations and prints mean wall-clock time per iteration — enough for
+//! `cargo bench` to build and produce comparable numbers, with none of
+//! criterion's statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_ITERS: u64 = 10;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op: CLI args are ignored by the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, f);
+        self
+    }
+}
+
+/// Units processed per iteration, for reporting rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// No-op in the shim: iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// No-op in the shim: measurement time is bounded by iteration count.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Records units-per-iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A label with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// A label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Handed to each benchmark closure; times the routine.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { mean_ns: 0.0 };
+    f(&mut bencher);
+    let per_iter = bencher.mean_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.3} MiB/s)", n as f64 / per_iter * 1e9 / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {:.1} us/iter{rate}", per_iter / 1e3);
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| ran += 1);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(42), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: `channel::unbounded` and `thread::scope`, both delegating to the
+//! standard library (`std::sync::mpsc`, `std::thread::scope`).
+
+/// MPMC-ish channels (MPSC underneath, which is all the workspace needs).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Sending half; clonable across worker threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates until every sender is dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Error returned when every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads with crossbeam's `Result`-returning panic handling.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// `Err` carries the panic payload of a worker (or the closure).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// A spawn scope; crossbeam passes this to both the scope closure and
+    /// every spawned closure (enabling nested spawns).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to this scope. The closure receives the
+        /// scope again, crossbeam-style; ignore it with `|_|` if unused.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope, joining all spawned threads before
+    /// returning. Unlike `std::thread::scope`, a panicking worker (or a
+    /// panic in `f` itself) surfaces as `Err` instead of propagating.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(move || std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for i in 0..8 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        super::thread::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+        })
+        .unwrap();
+        drop(tx);
+        let mut got: Vec<usize> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,92 @@
+//! `any::<T>()`: whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws a uniform value over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats draw uniform bit patterns, so NaNs, infinities, subnormals, and
+// signed zeros all appear — matching proptest's any::<f64>() coverage of
+// special values (round-trip tests compare via to_bits()).
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Uniform over scalar values, rejecting the surrogate gap.
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_covered() {
+        let mut rng = TestRng::from_seed(5);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..100 {
+            let v: i32 = any::<i32>().generate(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+        let b: bool = any::<bool>().generate(&mut rng);
+        let _ = b;
+        let f = any::<f64>().generate(&mut rng);
+        let _ = f.to_bits();
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Accepted length specs for [`vec`]: an exact `usize`, `a..b`, or `a..=b`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { lo: exact, hi_inclusive: exact }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi_inclusive - self.size.lo + 1;
+        let len = self.size.lo + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_specs() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = vec(0i32..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+        let exact = vec(0i32..5, 7).generate(&mut rng);
+        assert_eq!(exact.len(), 7);
+        let incl = vec(0i32..5, 1..=3).generate(&mut rng);
+        assert!((1..=3).contains(&incl.len()));
+    }
+}

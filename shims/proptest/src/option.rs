@@ -1,0 +1,49 @@
+//! Option strategies: `of(inner)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some(inner)` about 3 in 4 draws and `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(9);
+        let s = of(0i32..100);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..400 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..100).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

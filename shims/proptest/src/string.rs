@@ -1,0 +1,171 @@
+//! Regex-lite string generation for string-literal strategies.
+//!
+//! Supports exactly the pattern forms the workspace tests use:
+//! character classes (`[a-z0-9_]`, with ranges and literal members),
+//! `.` (any printable char except newline), literal characters, and an
+//! optional `{m}` / `{m,n}` / `*` / `+` / `?` quantifier after an atom.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One char drawn uniformly from the listed choices.
+    Class(Vec<char>),
+    /// `.`: any printable char except newline.
+    AnyPrintable,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+// Pool for `.`: printable ASCII plus a few multibyte chars so UTF-8
+// handling gets exercised.
+const ANY_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '5', '9', ' ', '!', '#', '%', '&', '(', ')', '*',
+    '+', ',', '-', '.', '/', ':', ';', '<', '=', '>', '?', '@', '[', ']', '^', '_', '`', '{', '|',
+    '}', '~', '"', '\'', '\\', 'é', 'λ', '中', '🦀',
+];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut members = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        members.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                        j += 3;
+                    } else {
+                        members.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(members)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing '\\' in pattern {pattern:?}");
+                let c = chars[i + 1];
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().expect("bad quantifier lower bound");
+                            let hi = hi.trim().parse().expect("bad quantifier upper bound");
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern` (regex-lite, see module docs).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Class(members) => {
+                    out.push(members[rng.below(members.len() as u64) as usize]);
+                }
+                Atom::AnyPrintable => {
+                    out.push(ANY_POOL[rng.below(ANY_POOL.len() as u64) as usize]);
+                }
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z_][a-z0-9_]{0,20}", &mut rng);
+            assert!((1..=21).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_and_literals() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = generate_matching(".{0,10}", &mut rng);
+            assert!((0..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(!s.contains('\n'));
+        }
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,234 @@
+//! Case runner and config: drives each property over `cases` random
+//! inputs, reporting the generated values on failure.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A generator for one case, derived from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut st = seed;
+        TestRng {
+            s: [
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+            ],
+        }
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, width)`.
+    pub fn below(&mut self, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        ((self.next_u64() as u128 * width as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs one property: generates inputs with `generate`, executes `run`,
+/// and panics with the inputs attached on the first failing case.
+pub fn run_cases<T: std::fmt::Debug>(
+    config: ProptestConfig,
+    name: &str,
+    mut generate: impl FnMut(&mut TestRng) -> T,
+    mut run: impl FnMut(T) -> Result<(), TestCaseError>,
+) {
+    // Deterministic base seed per test name, so failures reproduce.
+    let mut seed = 0x243F_6A88_85A3_08D3u64;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::from_seed(seed.wrapping_add(case_index.wrapping_mul(0x9E37_79B9)));
+        case_index += 1;
+        let value = generate(&mut rng);
+        let repr = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s): {msg}\n\
+                     inputs: {repr}"
+                );
+            }
+            Err(payload) => {
+                panic!(
+                    "proptest '{name}' panicked after {passed} passing case(s): {}\n\
+                     inputs: {repr}",
+                    panic_message(payload.as_ref())
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0u32;
+        run_cases(
+            ProptestConfig::with_cases(10),
+            "counting",
+            |rng| rng.next_u64(),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_cases(
+                ProptestConfig::with_cases(10),
+                "failing",
+                |_| 42u32,
+                |v| Err(TestCaseError::fail(format!("value was {v}"))),
+            )
+        }));
+        let msg = panic_message(r.unwrap_err().as_ref());
+        assert!(msg.contains("value was 42"), "{msg}");
+        assert!(msg.contains("inputs: 42"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut attempts = 0u32;
+        run_cases(
+            ProptestConfig::with_cases(5),
+            "rejecting",
+            |rng| rng.next_u64(),
+            |v| {
+                attempts += 1;
+                if v % 2 == 0 {
+                    Err(TestCaseError::reject("odd only"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(attempts >= 5);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            run_cases(
+                ProptestConfig::with_cases(8),
+                "determinism",
+                |rng| rng.next_u64(),
+                |v| {
+                    out.push(v);
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -34,22 +34,14 @@ fn all_access_paths_deliver_identical_voters_data() {
 
     // Database + protocols.
     let db = Database::new();
-    db.catalog()
-        .put_table(Table::from_batch("voters", reference.clone()), false)
-        .unwrap();
+    db.catalog().put_table(Table::from_batch("voters", reference.clone()), false).unwrap();
     let server = Server::start(db.clone()).unwrap();
-    let from_text = TextClient::connect(server.addr())
-        .unwrap()
-        .query("SELECT * FROM voters")
-        .unwrap();
-    let from_bin = BinaryClient::connect(server.addr())
-        .unwrap()
-        .query("SELECT * FROM voters")
-        .unwrap();
-    let from_cursor = RowCursor::query(&db, "SELECT * FROM voters")
-        .unwrap()
-        .drain_to_batch()
-        .unwrap();
+    let from_text =
+        TextClient::connect(server.addr()).unwrap().query("SELECT * FROM voters").unwrap();
+    let from_bin =
+        BinaryClient::connect(server.addr()).unwrap().query("SELECT * FROM voters").unwrap();
+    let from_cursor =
+        RowCursor::query(&db, "SELECT * FROM voters").unwrap().drain_to_batch().unwrap();
     server.shutdown();
 
     for (name, batch) in [

@@ -9,8 +9,7 @@ use mlcs::mlcore::register_ml_udfs;
 fn setup(n: usize) -> Database {
     let db = Database::new();
     register_ml_udfs(&db);
-    db.execute("CREATE TABLE obs (id BIGINT, a DOUBLE, b DOUBLE, label INTEGER)")
-        .unwrap();
+    db.execute("CREATE TABLE obs (id BIGINT, a DOUBLE, b DOUBLE, label INTEGER)").unwrap();
     let mut rows = Vec::new();
     for i in 0..n {
         let (c, label) = if i % 2 == 0 { (-2.0, 100) } else { (2.0, 200) };
@@ -36,11 +35,8 @@ fn listing1_listing2_full_cycle() {
         db.query_value("SELECT algorithm FROM models").unwrap(),
         Value::Varchar("random_forest".into())
     );
-    let blob_bytes = db
-        .query_value("SELECT OCTET_LENGTH(classifier) FROM models")
-        .unwrap()
-        .as_i64()
-        .unwrap();
+    let blob_bytes =
+        db.query_value("SELECT OCTET_LENGTH(classifier) FROM models").unwrap().as_i64().unwrap();
     assert!(blob_bytes > 100, "model blob is only {blob_bytes} bytes");
 
     // Listing 2: classify using the stored model, fully in SQL.
@@ -59,10 +55,7 @@ fn listing1_listing2_full_cycle() {
 #[test]
 fn insert_select_from_train_then_predict() {
     let db = setup(100);
-    db.execute(
-        "CREATE TABLE models (name VARCHAR, classifier BLOB, params VARCHAR)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE models (name VARCHAR, classifier BLOB, params VARCHAR)").unwrap();
     db.execute(
         "INSERT INTO models
          SELECT 'rf8', classifier, parameters
@@ -83,11 +76,9 @@ fn multiple_models_meta_analysis_and_best_selection() {
     let db = setup(240);
     // Train three different families through the generic trainer.
     db.execute("CREATE TABLE models (name VARCHAR, classifier BLOB)").unwrap();
-    for (name, algo, param) in [
-        ("rf", "random_forest", 8),
-        ("nb", "gaussian_nb", 0),
-        ("knn", "knn", 3),
-    ] {
+    for (name, algo, param) in
+        [("rf", "random_forest", 8), ("nb", "gaussian_nb", 0), ("knn", "knn", 3)]
+    {
         db.execute(&format!(
             "INSERT INTO models
              SELECT '{name}', classifier
@@ -96,10 +87,7 @@ fn multiple_models_meta_analysis_and_best_selection() {
         ))
         .unwrap();
     }
-    assert_eq!(
-        db.query_value("SELECT COUNT(*) FROM models").unwrap(),
-        Value::Int64(3)
-    );
+    assert_eq!(db.query_value("SELECT COUNT(*) FROM models").unwrap(), Value::Int64(3));
     // Apply every stored model to the same rows via SQL and compare: the
     // paper's "classify the same data using multiple models".
     for name in ["rf", "nb", "knn"] {
@@ -140,9 +128,8 @@ fn confidence_based_selection_in_sql() {
              FROM obs",
         )
         .unwrap();
-    let correct = (0..out.rows())
-        .filter(|&r| out.row(r)[0].as_i64() == out.row(r)[1].as_i64())
-        .count();
+    let correct =
+        (0..out.rows()).filter(|&r| out.row(r)[0].as_i64() == out.row(r)[1].as_i64()).count();
     assert!(correct as f64 / out.rows() as f64 > 0.95);
 }
 
@@ -177,9 +164,7 @@ fn preprocessing_in_sql_feeds_training() {
     let db = setup(100);
     db.execute("INSERT INTO obs VALUES (9999, NULL, 0.0, 100)").unwrap();
     // Training on the raw table fails loudly because of the NULL...
-    let err = db.execute(
-        "SELECT * FROM train((SELECT a, b FROM obs), (SELECT label FROM obs), 4)",
-    );
+    let err = db.execute("SELECT * FROM train((SELECT a, b FROM obs), (SELECT label FROM obs), 4)");
     assert!(err.is_err(), "NULL features must be rejected, not learned from");
     // ...and succeeds after SQL cleaning.
     db.execute(
@@ -188,8 +173,5 @@ fn preprocessing_in_sql_feeds_training() {
                              (SELECT label FROM obs WHERE a IS NOT NULL), 4)",
     )
     .unwrap();
-    assert_eq!(
-        db.query_value("SELECT train_rows FROM trained").unwrap(),
-        Value::Int64(100)
-    );
+    assert_eq!(db.query_value("SELECT train_rows FROM trained").unwrap(), Value::Int64(100));
 }

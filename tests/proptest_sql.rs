@@ -1,7 +1,8 @@
 //! Property-based tests over the SQL engine: invariants that must hold
 //! for arbitrary data, exercised through the public API.
 
-use mlcs::columnar::{Database, Value};
+use mlcs::columnar::sql::{bind, parse};
+use mlcs::columnar::{verify_statement, Database, Value};
 use proptest::prelude::*;
 
 /// Builds a database with one integer/float table from generated rows.
@@ -9,11 +10,117 @@ fn db_with_rows(rows: &[(i32, f64)]) -> Database {
     let db = Database::new();
     db.execute("CREATE TABLE t (k INTEGER, x DOUBLE)").unwrap();
     if !rows.is_empty() {
-        let values: Vec<String> =
-            rows.iter().map(|(k, x)| format!("({k}, {x})")).collect();
+        let values: Vec<String> = rows.iter().map(|(k, x)| format!("({k}, {x})")).collect();
         db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
     }
     db
+}
+
+/// Builds a database whose table `t` carries an integer, a float, and a
+/// string column, for the plan-verifier property below.
+fn db_with_mixed_rows(rows: &[(i32, f64)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k INTEGER, x DOUBLE, s VARCHAR)").unwrap();
+    if !rows.is_empty() {
+        let values: Vec<String> =
+            rows.iter().enumerate().map(|(i, (k, x))| format!("({k}, {x}, 'a{i}')")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    }
+    db
+}
+
+/// Deterministically assembles a SELECT statement from random words,
+/// drawing every fragment from menus the binder accepts over
+/// `t (k INTEGER, x DOUBLE, s VARCHAR)`. Exercises projections, builtins,
+/// CASE, predicates (incl. scalar subqueries), joins, grouping, set ops,
+/// ordering, and limits.
+fn build_query(r: &[u64]) -> String {
+    let pick = |w: u64, menu: &[&str]| menu[(w % menu.len() as u64) as usize].to_owned();
+    let exprs = [
+        "k",
+        "x",
+        "s",
+        "k + 1",
+        "x * 2.0",
+        "k % 7",
+        "-k",
+        "ABS(k)",
+        "ROUND(x)",
+        "UPPER(s)",
+        "LENGTH(s)",
+        "COALESCE(k, 0)",
+        "CASE WHEN k > 0 THEN 'pos' ELSE 'neg' END",
+        "CAST(k AS DOUBLE)",
+        "s || '!'",
+    ];
+    let preds = [
+        "k > 3",
+        "x < 100.0",
+        "s LIKE 'a%'",
+        "k IS NOT NULL",
+        "k BETWEEN 1 AND 5",
+        "k IN (1, 2, 3)",
+        "NOT (k = 2)",
+        "x > (SELECT AVG(x) FROM t)",
+        "k > 1 AND x < 50.0",
+    ];
+    let aggs = ["COUNT(*)", "SUM(k)", "AVG(x)", "MIN(s)", "MAX(k)", "COUNT(DISTINCT k)"];
+    let shape = r.first().copied().unwrap_or(0) % 4;
+    let w = |i: usize| r.get(i).copied().unwrap_or(0);
+    match shape {
+        0 => {
+            // Plain projection with optional filter/order/limit.
+            let mut q = format!("SELECT {}, {} FROM t", pick(w(1), &exprs), pick(w(2), &exprs));
+            if w(3) % 2 == 0 {
+                q += &format!(" WHERE {}", pick(w(4), &preds));
+            }
+            if w(5) % 2 == 0 {
+                q += " ORDER BY 1";
+            }
+            if w(6) % 3 == 0 {
+                q += &format!(" LIMIT {}", w(7) % 10);
+            }
+            q
+        }
+        1 => {
+            // Grouped aggregation with optional HAVING.
+            let mut q = format!("SELECT k % 3 AS g, {} FROM t GROUP BY k % 3", pick(w(1), &aggs));
+            if w(2) % 2 == 0 {
+                q += " HAVING COUNT(*) > 0";
+            }
+            if w(3) % 2 == 0 {
+                q += " ORDER BY g";
+            }
+            q
+        }
+        2 => {
+            // Self-join on the integer key.
+            let join_preds = [
+                "a.k > 3",
+                "b.x < 100.0",
+                "a.s LIKE 'a%'",
+                "a.k IS NOT NULL",
+                "a.k BETWEEN 1 AND 5",
+                "b.k IN (1, 2, 3)",
+                "NOT (a.k = 2)",
+            ];
+            format!(
+                "SELECT a.{}, b.{} FROM t a JOIN t b ON a.k = b.k WHERE {}",
+                pick(w(1), &["k", "x", "s"]),
+                pick(w(2), &["k", "x", "s"]),
+                pick(w(3), &join_preds),
+            )
+        }
+        _ => {
+            // UNION ALL of two compatible branches.
+            format!(
+                "SELECT {} FROM t UNION ALL SELECT {} FROM t WHERE {}",
+                pick(w(1), &["k", "x", "k + 1"]),
+                pick(w(2), &["k", "x", "k * 2"]),
+                pick(w(3), &preds[..7]),
+            )
+        }
+    }
 }
 
 fn finite_f64() -> impl Strategy<Value = f64> {
@@ -145,5 +252,34 @@ proptest! {
             .query("SELECT k FROM t UNION ALL SELECT k FROM t2")
             .unwrap();
         prop_assert_eq!(out.rows(), a.len() + b.len());
+    }
+
+    /// Every statement the binder accepts produces a plan the static
+    /// verifier passes, and executing it returns a Result (no panics).
+    #[test]
+    fn binder_accepted_statements_verify_and_execute(
+        rows in proptest::collection::vec((-50i32..50, finite_f64()), 0..20),
+        words in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        let db = db_with_mixed_rows(&rows);
+        let sql = build_query(&words);
+        let stmt = parse(&sql).unwrap();
+        match bind(stmt, db.catalog(), db.functions()) {
+            Ok(bound) => {
+                let verified = verify_statement(&bound, db.functions());
+                prop_assert!(
+                    verified.is_ok(),
+                    "verifier rejected a binder-accepted statement: {sql}\n{:?}",
+                    verified.err()
+                );
+                // Execution may fail with a typed error (e.g. a runtime
+                // cast), but must never panic.
+                let _ = db.execute(&sql);
+            }
+            // The generator aims for bindable SQL, but a binder rejection
+            // is a valid outcome — only panics and verifier/binder
+            // disagreements are failures.
+            Err(_) => {}
+        }
     }
 }
