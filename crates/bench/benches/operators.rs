@@ -1,14 +1,52 @@
 //! Exp 7 (substrate): columnar operator microbenchmarks establishing that
 //! the engine underneath the UDFs is a credible column store — vectorized
-//! filter, hash join, and hash aggregation over 1M rows.
+//! filter, hash join, hash aggregation, and sort over 1M rows, each in a
+//! serial and a morsel-parallel variant (2 / 4 / all-hardware workers).
+//!
+//! Every parallel variant asserts, once before timing, that its output is
+//! byte-identical to the serial operator's.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mlcs_bench::{db_with, synth_table};
-use mlcs_columnar::exec::{self, AggCall, AggFunc, JoinType};
+use mlcs_columnar::exec::{self, AggCall, AggFunc, JoinType, Parallelism, SortKey};
 use mlcs_columnar::expr::{BinaryOp, Expr};
-use mlcs_columnar::{Batch, Column};
+use mlcs_columnar::parallel::hardware_threads;
+use mlcs_columnar::{Batch, Column, Value};
 
 const ROWS: usize = 1_000_000;
+
+/// Worker counts to benchmark: 2, 4, and all hardware threads, deduplicated
+/// and capped at what the machine actually has.
+fn thread_counts() -> Vec<usize> {
+    let hw = hardware_threads();
+    let mut counts: Vec<usize> = [2, 4, hw].into_iter().filter(|&t| t > 1 && t <= hw).collect();
+    counts.dedup();
+    counts
+}
+
+/// The policy the parallel variants run under: always engage (threshold 1)
+/// with 64K-row morsels.
+fn par(threads: usize) -> Parallelism {
+    Parallelism { threads, threshold: 1, morsel_rows: 64 * 1024 }
+}
+
+/// Row-by-row equality with a relative tolerance for doubles — the parallel
+/// aggregate sums float partials per morsel, a different (equally valid)
+/// association than the serial fold.
+fn assert_batches_close(a: &Batch, b: &Batch, what: &str) {
+    assert_eq!(a.rows(), b.rows(), "{what}: row count differs");
+    for r in 0..a.rows() {
+        for (va, vb) in a.row(r).iter().zip(&b.row(r)) {
+            match (va, vb) {
+                (Value::Float64(x), Value::Float64(y)) => {
+                    let tol = 1e-9 * x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() <= tol, "{what}: row {r} differs: {x} vs {y}");
+                }
+                _ => assert_eq!(va, vb, "{what}: row {r} differs"),
+            }
+        }
+    }
+}
 
 fn filter_bench(c: &mut Criterion) {
     let batch = synth_table(ROWS, 1).expect("synth");
@@ -17,6 +55,7 @@ fn filter_bench(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ROWS as u64));
     // ~10% selectivity on an i32 column.
     let pred = Expr::binary(BinaryOp::Lt, Expr::col(2), Expr::lit(100_000i32));
+    let serial = exec::filter(&batch, &pred, None).expect("filter");
     group.bench_function("filter_1m_10pct", |b| {
         b.iter(|| {
             let out = exec::filter(&batch, &pred, None).expect("filter");
@@ -24,6 +63,17 @@ fn filter_bench(c: &mut Criterion) {
             out
         });
     });
+    for threads in thread_counts() {
+        let parallel = exec::filter_par(&batch, &pred, None, par(threads)).expect("filter_par");
+        assert_eq!(parallel, serial, "parallel filter must match serial");
+        group.bench_function(format!("filter_1m_10pct_par{threads}"), |b| {
+            b.iter(|| {
+                let out = exec::filter_par(&batch, &pred, None, par(threads)).expect("filter_par");
+                assert!(out.rows() > 0);
+                out
+            });
+        });
+    }
     group.finish();
 }
 
@@ -38,6 +88,7 @@ fn join_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("operators");
     group.sample_size(10);
     group.throughput(Throughput::Elements(ROWS as u64));
+    let serial = exec::hash_join(&probe, &build, &[1], &[0], JoinType::Inner).expect("join");
     group.bench_function("hash_join_1m_x_100", |b| {
         b.iter(|| {
             let out = exec::hash_join(&probe, &build, &[1], &[0], JoinType::Inner).expect("join");
@@ -45,30 +96,89 @@ fn join_bench(c: &mut Criterion) {
             out
         });
     });
+    for threads in thread_counts() {
+        let parallel =
+            exec::hash_join_par(&probe, &build, &[1], &[0], JoinType::Inner, par(threads))
+                .expect("join_par");
+        assert_eq!(parallel, serial, "parallel join must match serial");
+        group.bench_function(format!("hash_join_1m_x_100_par{threads}"), |b| {
+            b.iter(|| {
+                let out =
+                    exec::hash_join_par(&probe, &build, &[1], &[0], JoinType::Inner, par(threads))
+                        .expect("join_par");
+                assert_eq!(out.rows(), ROWS);
+                out
+            });
+        });
+    }
     group.finish();
+}
+
+fn aggregate_calls() -> Vec<AggCall> {
+    vec![
+        AggCall { func: AggFunc::CountStar, arg: None, distinct: false },
+        AggCall { func: AggFunc::Sum, arg: Some(2), distinct: false },
+        AggCall { func: AggFunc::Avg, arg: Some(3), distinct: false },
+    ]
 }
 
 fn aggregate_bench(c: &mut Criterion) {
     let batch = synth_table(ROWS, 3).expect("synth");
+    let calls = aggregate_calls();
     let mut group = c.benchmark_group("operators");
     group.sample_size(10);
     group.throughput(Throughput::Elements(ROWS as u64));
+    let serial = exec::hash_aggregate(&batch, &[1], &calls).expect("aggregate");
     group.bench_function("hash_aggregate_1m_100_groups", |b| {
         b.iter(|| {
-            let out = exec::hash_aggregate(
-                &batch,
-                &[1],
-                &[
-                    AggCall { func: AggFunc::CountStar, arg: None, distinct: false },
-                    AggCall { func: AggFunc::Sum, arg: Some(2), distinct: false },
-                    AggCall { func: AggFunc::Avg, arg: Some(3), distinct: false },
-                ],
-            )
-            .expect("aggregate");
+            let out = exec::hash_aggregate(&batch, &[1], &calls).expect("aggregate");
             assert_eq!(out.rows(), 100);
             out
         });
     });
+    for threads in thread_counts() {
+        let parallel =
+            exec::hash_aggregate_par(&batch, &[1], &calls, par(threads)).expect("aggregate_par");
+        assert_batches_close(&serial, &parallel, "parallel aggregate vs serial");
+        group.bench_function(format!("hash_aggregate_1m_100_groups_par{threads}"), |b| {
+            b.iter(|| {
+                let out = exec::hash_aggregate_par(&batch, &[1], &calls, par(threads))
+                    .expect("aggregate_par");
+                assert_eq!(out.rows(), 100);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sort_bench(c: &mut Criterion) {
+    let batch = synth_table(ROWS, 5).expect("synth");
+    // Low-cardinality primary key plus a tiebreaker column exercises both
+    // the comparator and the merge phase.
+    let keys = [SortKey::asc(1), SortKey::asc(2)];
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ROWS as u64));
+    let serial = exec::sort(&batch, &keys).expect("sort");
+    group.bench_function("sort_1m_two_keys", |b| {
+        b.iter(|| {
+            let out = exec::sort(&batch, &keys).expect("sort");
+            assert_eq!(out.rows(), ROWS);
+            out
+        });
+    });
+    for threads in thread_counts() {
+        let parallel = exec::sort_par(&batch, &keys, par(threads)).expect("sort_par");
+        assert_eq!(parallel, serial, "parallel sort must match serial");
+        group.bench_function(format!("sort_1m_two_keys_par{threads}"), |b| {
+            b.iter(|| {
+                let out = exec::sort_par(&batch, &keys, par(threads)).expect("sort_par");
+                assert_eq!(out.rows(), ROWS);
+                out
+            });
+        });
+    }
     group.finish();
 }
 
@@ -77,7 +187,18 @@ fn sql_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("operators");
     group.sample_size(10);
     group.throughput(Throughput::Elements(ROWS as u64));
+    db.set_threads(1);
     group.bench_function("sql_group_by_1m", |b| {
+        b.iter(|| {
+            let out =
+                db.query("SELECT k, COUNT(*) AS n, AVG(x) AS mx FROM t GROUP BY k").expect("query");
+            assert_eq!(out.rows(), 100);
+            out
+        });
+    });
+    db.set_threads(0); // hardware default
+    db.set_parallel_threshold(1);
+    group.bench_function("sql_group_by_1m_par", |b| {
         b.iter(|| {
             let out =
                 db.query("SELECT k, COUNT(*) AS n, AVG(x) AS mx FROM t GROUP BY k").expect("query");
@@ -88,5 +209,5 @@ fn sql_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, filter_bench, join_bench, aggregate_bench, sql_end_to_end);
+criterion_group!(benches, filter_bench, join_bench, aggregate_bench, sort_bench, sql_end_to_end);
 criterion_main!(benches);

@@ -8,17 +8,21 @@ use mlcs_columnar::parallel::parallel_map;
 use mlcs_core::stored::StoredModel;
 use mlcs_ml::forest::RandomForestClassifier;
 use mlcs_ml::Model;
+use std::sync::Arc;
 
 fn parallel_predict(c: &mut Criterion) {
     const ROWS: usize = 200_000;
     let (x, y) = blob_training_data(4_000, 4, 3);
-    let sm = StoredModel::train(
-        Model::RandomForest(RandomForestClassifier::new(16).with_seed(1)),
-        &x,
-        &y,
-    )
-    .expect("train");
+    let sm = Arc::new(
+        StoredModel::train(
+            Model::RandomForest(RandomForestClassifier::new(16).with_seed(1)),
+            &x,
+            &y,
+        )
+        .expect("train"),
+    );
     let (probe, _) = blob_training_data(ROWS, 4, 5);
+    let probe = Arc::new(probe);
 
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut counts = vec![1usize, 2, 4, 8];
@@ -36,7 +40,9 @@ fn parallel_predict(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let parts = parallel_map(ROWS, 16 * 1024, threads, |m| {
+                    let probe = Arc::clone(&probe);
+                    let sm = Arc::clone(&sm);
+                    let parts = parallel_map(ROWS, 16 * 1024, threads, move |m| {
                         let idx: Vec<usize> = (m.start..m.start + m.len).collect();
                         let slice = probe.take_rows(&idx);
                         sm.predict(&slice).map_err(|e| mlcs_columnar::DbError::Udf {

@@ -7,13 +7,17 @@ use crate::error::{DbError, DbResult};
 use crate::expr::{eval, eval_predicate, EvalContext};
 use crate::schema::{Field, Schema};
 use crate::sql::binder::bind;
-use crate::sql::execute::{evaluate_scalar_subqueries, execute_plan, substitute_in_plan};
-use crate::sql::optimizer::optimize;
+use crate::sql::execute::{
+    evaluate_scalar_subqueries, execute_plan_with, substitute_in_plan, ExecOptions,
+    DEFAULT_PARALLEL_THRESHOLD,
+};
+use crate::sql::optimizer::{optimize, parallel_annotation};
 use crate::sql::parser::{parse, parse_many};
 use crate::sql::plan::BoundStatement;
 use crate::table::Table;
 use crate::types::{DataType, Value};
 use crate::udf::{FunctionRegistry, ScalarUdf, TableUdf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +77,12 @@ impl QueryResult {
 pub struct Database {
     catalog: Arc<Catalog>,
     functions: Arc<FunctionRegistry>,
+    /// Worker count for parallel operators; `0` = hardware threads (or the
+    /// `MLCS_THREADS` env override). Shared across clones.
+    threads: Arc<AtomicUsize>,
+    /// Minimum operator input rows before the parallel path engages;
+    /// `0` = [`DEFAULT_PARALLEL_THRESHOLD`]. Shared across clones.
+    parallel_threshold: Arc<AtomicUsize>,
 }
 
 impl Database {
@@ -89,6 +99,37 @@ impl Database {
     /// The UDF registry.
     pub fn functions(&self) -> &Arc<FunctionRegistry> {
         &self.functions
+    }
+
+    /// Sets the worker count for parallel query execution. `0` restores
+    /// the default (hardware threads, or the `MLCS_THREADS` override);
+    /// `1` forces serial execution.
+    pub fn set_threads(&self, n: usize) {
+        self.threads.store(n, Ordering::Relaxed);
+    }
+
+    /// The configured worker count (`0` = hardware default).
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Sets the minimum operator input rows before the parallel path
+    /// engages. `0` restores [`DEFAULT_PARALLEL_THRESHOLD`].
+    pub fn set_parallel_threshold(&self, rows: usize) {
+        self.parallel_threshold.store(rows, Ordering::Relaxed);
+    }
+
+    /// The execution options derived from this database's settings.
+    fn exec_options(&self) -> ExecOptions {
+        let threshold = match self.parallel_threshold.load(Ordering::Relaxed) {
+            0 => DEFAULT_PARALLEL_THRESHOLD,
+            n => n,
+        };
+        ExecOptions {
+            threads: self.threads.load(Ordering::Relaxed),
+            parallel_threshold: threshold,
+            ..ExecOptions::default()
+        }
     }
 
     /// Registers a vectorized scalar UDF (usable in any expression).
@@ -169,7 +210,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan(&plan, catalog, functions)?;
+                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
                 let rows = batch.rows();
                 let table = Table::from_batch(name.to_ascii_lowercase(), batch);
                 catalog.put_table(table, if_not_exists)?;
@@ -194,7 +235,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan(&plan, catalog, functions)?;
+                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let reordered = self.reorder_for_insert(&guard, &column_map, batch)?;
@@ -269,7 +310,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan(&plan, catalog, functions)?;
+                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
                 Ok(QueryResult {
                     rows_affected: batch.rows(),
                     batch,
@@ -289,7 +330,10 @@ impl Database {
                     },
                     functions,
                 )?;
-                let mut text = plan.to_string();
+                // Annotate operators the executor may run in parallel
+                // (expression safety; the row threshold decides at run
+                // time).
+                let mut text = plan.display_with(&|n| parallel_annotation(n, functions));
                 for (i, sub) in scalar_subs.iter().enumerate() {
                     text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
                 }

@@ -3,7 +3,8 @@
 use crate::batch::Batch;
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{DbError, DbResult};
-use crate::exec::rowkey;
+use crate::exec::{rowkey, Parallelism};
+use crate::parallel::{parallel_map, Morsel};
 use crate::schema::{Field, Schema};
 use crate::types::{DataType, Value};
 use std::collections::{HashMap, HashSet};
@@ -152,6 +153,49 @@ impl AggState {
         Ok(())
     }
 
+    /// Folds another partial state (from a thread-local table) into this
+    /// one. Both states come from `AggState::new` on the same call, so a
+    /// kind mismatch indicates a bug.
+    fn merge(&mut self, other: AggState) -> DbResult<()> {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (AggState::SumInt { sum, seen }, AggState::SumInt { sum: s2, seen: sn2 }) => {
+                *sum += s2;
+                *seen |= sn2;
+            }
+            (AggState::SumFloat { sum, seen }, AggState::SumFloat { sum: s2, seen: sn2 }) => {
+                *sum += s2;
+                *seen |= sn2;
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (AggState::MinMax { best, is_min }, AggState::MinMax { best: b2, .. }) => {
+                if let Some(v) = b2 {
+                    let replace = match best {
+                        None => true,
+                        Some(cur) => match v.sql_cmp(cur) {
+                            Some(std::cmp::Ordering::Less) => *is_min,
+                            Some(std::cmp::Ordering::Greater) => !*is_min,
+                            Some(std::cmp::Ordering::Equal) => false,
+                            None => {
+                                return Err(DbError::Type(
+                                    "MIN/MAX over incomparable values".into(),
+                                ))
+                            }
+                        },
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            _ => return Err(DbError::internal("aggregate state kind mismatch in parallel merge")),
+        }
+        Ok(())
+    }
+
     fn finish(self) -> DbResult<Value> {
         Ok(match self {
             AggState::Count(n) => Value::Int64(n),
@@ -278,7 +322,18 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
         }
     }
 
-    // Assemble output: group key columns, then aggregate columns.
+    assemble_output(input, group_keys, aggs, &arg_types, groups)
+}
+
+/// Builds the result batch: group key columns (gathered at each group's
+/// first row), then one column per aggregate.
+fn assemble_output(
+    input: &Batch,
+    group_keys: &[usize],
+    aggs: &[AggCall],
+    arg_types: &[Option<DataType>],
+    groups: Vec<GroupEntry>,
+) -> DbResult<Batch> {
     let first_rows: Vec<u32> = groups.iter().map(|g| g.first_row).collect();
     let mut fields = Vec::new();
     let mut columns: Vec<Arc<Column>> = Vec::new();
@@ -288,7 +343,7 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
     }
     let mut agg_builders: Vec<ColumnBuilder> = aggs
         .iter()
-        .zip(&arg_types)
+        .zip(arg_types)
         .map(|(a, t)| a.func.result_type(*t).map(ColumnBuilder::new))
         .collect::<DbResult<_>>()?;
     for g in groups {
@@ -301,6 +356,120 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
         columns.push(Arc::new(b.finish()));
     }
     Batch::new(Arc::new(Schema::new_unchecked(fields)), columns)
+}
+
+/// A group key as seen by one thread-local aggregation table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum LocalKey {
+    /// No GROUP BY: the single global group.
+    Ungrouped,
+    /// Single-integer-key fast path.
+    Int(i64),
+    /// The NULL group on the fast path.
+    IntNull,
+    /// General byte-encoded key.
+    Bytes(Vec<u8>),
+}
+
+/// Aggregates one morsel into a local table; rows are addressed by their
+/// GLOBAL index (the batch is shared, not sliced), so `first_row` values
+/// survive the merge unchanged. Groups are kept in first-appearance order.
+fn local_aggregate(
+    input: &Batch,
+    group_keys: &[usize],
+    aggs: &[AggCall],
+    arg_types: &[Option<DataType>],
+    m: Morsel,
+) -> DbResult<Vec<(LocalKey, GroupEntry)>> {
+    let keys: Vec<&Column> = group_keys.iter().map(|&i| input.column(i).as_ref()).collect();
+    let use_int = rowkey::int_fast_path(&keys);
+    let mut groups: Vec<(LocalKey, GroupEntry)> = Vec::new();
+    let mut index: HashMap<LocalKey, usize> = HashMap::new();
+    let new_entry = |row: u32| GroupEntry {
+        first_row: row,
+        states: aggs.iter().zip(arg_types).map(|(a, t)| AggState::new(a, *t)).collect(),
+        distinct_seen: aggs.iter().map(|_| None).collect(),
+    };
+    if group_keys.is_empty() {
+        groups.push((LocalKey::Ungrouped, new_entry(m.start as u32)));
+    }
+    let mut keybuf = Vec::new();
+    for row in m.start..m.start + m.len {
+        let gid = if group_keys.is_empty() {
+            0
+        } else {
+            let key = if use_int {
+                match rowkey::int_key(keys[0], row) {
+                    Some(k) => LocalKey::Int(k),
+                    None => LocalKey::IntNull,
+                }
+            } else {
+                rowkey::encode_key(&keys, row, &mut keybuf);
+                LocalKey::Bytes(keybuf.clone())
+            };
+            match index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    groups.push((key.clone(), new_entry(row as u32)));
+                    index.insert(key, groups.len() - 1);
+                    groups.len() - 1
+                }
+            }
+        };
+        let entry = &mut groups[gid].1;
+        for (agg, state) in aggs.iter().zip(entry.states.iter_mut()) {
+            let arg_col = agg.arg.map(|i| input.column(i).as_ref());
+            state.update(arg_col, row)?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Morsel-parallel [`hash_aggregate`]: each morsel builds a thread-local
+/// table on the pool, then the locals are merged serially *in morsel order*
+/// so group output order matches the serial first-appearance order exactly.
+///
+/// DISTINCT aggregates cannot merge across local tables (each local dedup
+/// set only sees its own morsel), so they — and inputs below the policy
+/// threshold — take the serial path.
+pub fn hash_aggregate_par(
+    input: &Batch,
+    group_keys: &[usize],
+    aggs: &[AggCall],
+    par: Parallelism,
+) -> DbResult<Batch> {
+    if !par.enabled(input.rows()) || aggs.iter().any(|a| a.distinct) {
+        return hash_aggregate(input, group_keys, aggs);
+    }
+    let arg_types: Vec<Option<DataType>> =
+        aggs.iter().map(|a| a.arg.map(|i| input.column(i).data_type())).collect();
+    let locals = {
+        let batch = input.clone();
+        let gk = group_keys.to_vec();
+        let ag = aggs.to_vec();
+        let at = arg_types.clone();
+        parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+            local_aggregate(&batch, &gk, &ag, &at, m)
+        })?
+    };
+    let mut groups: Vec<GroupEntry> = Vec::new();
+    let mut index: HashMap<LocalKey, usize> = HashMap::new();
+    for local in locals {
+        for (key, entry) in local {
+            match index.get(&key) {
+                Some(&g) => {
+                    for (dst, src) in groups[g].states.iter_mut().zip(entry.states) {
+                        dst.merge(src)?;
+                    }
+                }
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push(entry);
+                }
+            }
+        }
+    }
+    assemble_output(input, group_keys, aggs, &arg_types, groups)
 }
 
 #[cfg(test)]
@@ -427,6 +596,71 @@ mod tests {
         let out = hash_aggregate(&b, &[0, 1], &[call(AggFunc::CountStar, None)]).unwrap();
         assert_eq!(out.rows(), 3);
         assert_eq!(out.row(0)[2], Value::Int64(2)); // (1, x)
+    }
+
+    fn force_par() -> Parallelism {
+        Parallelism { threads: 4, threshold: 1, morsel_rows: 7 }
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_grouped() {
+        let b = Batch::from_columns(vec![
+            (
+                "k",
+                Column::from_opt_i32s(
+                    (0..101).map(|i| if i % 9 == 0 { None } else { Some(i % 5) }).collect(),
+                ),
+            ),
+            (
+                "x",
+                Column::from_opt_i32s(
+                    (0..101).map(|i| if i % 4 == 0 { None } else { Some(i) }).collect(),
+                ),
+            ),
+        ])
+        .unwrap();
+        let aggs = [
+            call(AggFunc::CountStar, None),
+            call(AggFunc::Count, Some(1)),
+            call(AggFunc::Sum, Some(1)),
+            call(AggFunc::Avg, Some(1)),
+            call(AggFunc::Min, Some(1)),
+            call(AggFunc::Max, Some(1)),
+        ];
+        let serial = hash_aggregate(&b, &[0], &aggs).unwrap();
+        let parallel = hash_aggregate_par(&b, &[0], &aggs, force_par()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_ungrouped() {
+        let b = Batch::from_columns(vec![("x", Column::from_i32s((0..50).collect()))]).unwrap();
+        let aggs = [call(AggFunc::CountStar, None), call(AggFunc::Sum, Some(0))];
+        let serial = hash_aggregate(&b, &[], &aggs).unwrap();
+        let parallel = hash_aggregate_par(&b, &[], &aggs, force_par()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_aggregate_byte_keys_match_serial() {
+        let ks: Vec<String> = (0..60).map(|i| format!("g{}", i % 7)).collect();
+        let b = Batch::from_columns(vec![
+            ("k", Column::from_strings(ks.iter().map(String::as_str))),
+            ("x", Column::from_f64s((0..60).map(|i| i as f64 * 0.5).collect())),
+        ])
+        .unwrap();
+        let aggs = [call(AggFunc::Avg, Some(1)), call(AggFunc::Max, Some(1))];
+        let serial = hash_aggregate(&b, &[0], &aggs).unwrap();
+        let parallel = hash_aggregate_par(&b, &[0], &aggs, force_par()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_distinct_falls_back_to_serial() {
+        let b = Batch::from_columns(vec![("x", Column::from_i32s(vec![1, 1, 2, 2, 3]))]).unwrap();
+        let aggs = [AggCall { func: AggFunc::Count, arg: Some(0), distinct: true }];
+        let out = hash_aggregate_par(&b, &[], &aggs, force_par()).unwrap();
+        assert_eq!(out.row(0)[0], Value::Int64(3));
     }
 
     #[test]

@@ -5,9 +5,12 @@
 
 use crate::batch::Batch;
 use crate::error::{DbError, DbResult};
-use crate::exec::rowkey;
+use crate::exec::{rowkey, Parallelism};
+use crate::parallel::{parallel_map, Morsel};
 use crate::schema::Schema;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
 /// Which join to perform.
@@ -110,6 +113,184 @@ pub fn hash_join(
         }
     }
 
+    assemble(left, right, &lidx, &ridx)
+}
+
+/// Morsel-parallel [`hash_join`]: a partitioned parallel build followed by a
+/// morsel-parallel probe, stitched back in probe-row order so the output is
+/// identical to the serial join. Falls back to the serial path for cross
+/// joins and below the policy threshold.
+pub fn hash_join_par(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    par: Parallelism,
+) -> DbResult<Batch> {
+    if join_type == JoinType::Cross || !par.enabled(left.rows().max(right.rows())) {
+        return hash_join(left, right, left_keys, right_keys, join_type);
+    }
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(DbError::internal(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let int_keys = {
+        let lcols: Vec<_> = left_keys.iter().map(|&i| left.column(i).as_ref()).collect();
+        let rcols: Vec<_> = right_keys.iter().map(|&i| right.column(i).as_ref()).collect();
+        rowkey::int_fast_path(&lcols) && rowkey::int_fast_path(&rcols)
+    };
+    if int_keys {
+        join_par_generic(left, right, left_keys, right_keys, join_type, par, morsel_keys_int)
+    } else {
+        join_par_generic(left, right, left_keys, right_keys, join_type, par, morsel_keys_bytes)
+    }
+}
+
+/// Join keys for one morsel on the single-integer fast path; `None` marks a
+/// NULL key (which never matches).
+fn morsel_keys_int(b: &Batch, keys: &[usize], m: Morsel) -> Vec<Option<i64>> {
+    let col = b.column(keys[0]);
+    (m.start..m.start + m.len).map(|row| rowkey::int_key(col.as_ref(), row)).collect()
+}
+
+/// Byte-encoded join keys for one morsel on the general path.
+fn morsel_keys_bytes(b: &Batch, keys: &[usize], m: Morsel) -> Vec<Option<Vec<u8>>> {
+    let cols: Vec<_> = keys.iter().map(|&i| b.column(i).as_ref()).collect();
+    let mut out = Vec::with_capacity(m.len);
+    let mut buf = Vec::new();
+    for row in m.start..m.start + m.len {
+        if cols.iter().any(|c| c.is_null(row)) {
+            out.push(None); // NULL keys never match
+        } else {
+            rowkey::encode_key(&cols, row, &mut buf);
+            out.push(Some(buf.clone()));
+        }
+    }
+    out
+}
+
+/// Stable key-to-partition assignment for the partitioned build.
+fn part_of<K: Hash + ?Sized>(k: &K, nparts: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() % nparts as u64) as usize
+}
+
+/// One partition's build input: `(key, row)` chunks in morsel order.
+type PartitionChunks<K> = Vec<Vec<(K, u32)>>;
+
+/// The three-phase parallel equi-join, generic over the key representation.
+///
+/// 1. Each build-side morsel scatters its `(key, row)` pairs into per-
+///    partition buckets on the pool.
+/// 2. The buckets are regrouped by partition *in morsel order* (so every
+///    per-key row list stays ascending, exactly as the serial build
+///    produces), then each partition's hash table is built on the pool.
+/// 3. Probe morsels look up their partition's table and emit index pairs,
+///    which are concatenated in morsel order before assembly.
+fn join_par_generic<K, KF>(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    par: Parallelism,
+    key_fn: KF,
+) -> DbResult<Batch>
+where
+    K: Eq + Hash + Send + Sync + 'static,
+    KF: Fn(&Batch, &[usize], Morsel) -> Vec<Option<K>> + Send + Sync + Copy + 'static,
+{
+    let nparts = par.threads.max(1);
+
+    // Phase 1: partition the build side per morsel.
+    let buckets = {
+        let rbatch = right.clone();
+        let rkeys = right_keys.to_vec();
+        parallel_map(right.rows(), par.morsel_rows, par.threads, move |m| {
+            let ks = key_fn(&rbatch, &rkeys, m);
+            let mut parts: Vec<Vec<(K, u32)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for (i, k) in ks.into_iter().enumerate() {
+                if let Some(k) = k {
+                    let p = part_of(&k, nparts);
+                    parts[p].push((k, (m.start + i) as u32));
+                }
+            }
+            Ok(parts)
+        })?
+    };
+
+    // Phase 2: regroup the morsel buckets by partition (morsel order keeps
+    // per-key row lists ascending), then build each partition's table.
+    let mut per_part: Vec<PartitionChunks<K>> = (0..nparts).map(|_| Vec::new()).collect();
+    for morsel_parts in buckets {
+        for (p, chunk) in morsel_parts.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                per_part[p].push(chunk);
+            }
+        }
+    }
+    let per_part: Arc<Vec<Mutex<PartitionChunks<K>>>> =
+        Arc::new(per_part.into_iter().map(Mutex::new).collect());
+    let tables: Vec<HashMap<K, Vec<u32>>> = {
+        let pp = Arc::clone(&per_part);
+        parallel_map(nparts, 1, par.threads, move |m| {
+            let chunks = std::mem::take(&mut *pp[m.start].lock());
+            let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+            for chunk in chunks {
+                for (k, row) in chunk {
+                    table.entry(k).or_default().push(row);
+                }
+            }
+            Ok(table)
+        })?
+    };
+
+    // Phase 3: morsel-parallel probe.
+    let pairs = {
+        let tables = Arc::new(tables);
+        let lbatch = left.clone();
+        let lkeys = left_keys.to_vec();
+        parallel_map(left.rows(), par.morsel_rows, par.threads, move |m| {
+            let ks = key_fn(&lbatch, &lkeys, m);
+            let mut lidx: Vec<u32> = Vec::new();
+            let mut ridx: Vec<Option<u32>> = Vec::new();
+            for (i, k) in ks.into_iter().enumerate() {
+                let row = (m.start + i) as u32;
+                let matches = match &k {
+                    Some(key) => tables[part_of(key, nparts)].get(key),
+                    None => None,
+                };
+                match matches {
+                    Some(ms) => {
+                        for &mr in ms {
+                            lidx.push(row);
+                            ridx.push(Some(mr));
+                        }
+                    }
+                    None => {
+                        if join_type == JoinType::Left {
+                            lidx.push(row);
+                            ridx.push(None);
+                        }
+                    }
+                }
+            }
+            Ok((lidx, ridx))
+        })?
+    };
+    let total: usize = pairs.iter().map(|(l, _)| l.len()).sum();
+    let mut lidx: Vec<u32> = Vec::with_capacity(total);
+    let mut ridx: Vec<Option<u32>> = Vec::with_capacity(total);
+    for (l, r) in pairs {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
     assemble(left, right, &lidx, &ridx)
 }
 
@@ -280,5 +461,67 @@ mod tests {
         let out = hash_join(&customers(), &l, &[0], &[0], JoinType::Left).unwrap();
         assert_eq!(out.rows(), 2);
         assert!(out.row(0)[2].is_null());
+    }
+
+    fn force_par() -> Parallelism {
+        Parallelism { threads: 4, threshold: 1, morsel_rows: 3 }
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_int_keys() {
+        let l = Batch::from_columns(vec![
+            (
+                "k",
+                Column::from_opt_i32s(
+                    (0..100).map(|i| if i % 7 == 0 { None } else { Some(i % 13) }).collect(),
+                ),
+            ),
+            ("v", Column::from_i32s((0..100).collect())),
+        ])
+        .unwrap();
+        let r = Batch::from_columns(vec![
+            (
+                "k",
+                Column::from_opt_i32s(
+                    (0..40).map(|i| if i % 5 == 0 { None } else { Some(i % 11) }).collect(),
+                ),
+            ),
+            ("w", Column::from_i32s((100..140).collect())),
+        ])
+        .unwrap();
+        for jt in [JoinType::Inner, JoinType::Left] {
+            let serial = hash_join(&l, &r, &[0], &[0], jt).unwrap();
+            let parallel = hash_join_par(&l, &r, &[0], &[0], jt, force_par()).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_byte_keys() {
+        let names: Vec<String> = (0..60).map(|i| format!("n{}", i % 9)).collect();
+        let l = Batch::from_columns(vec![
+            ("name", Column::from_strings(names.iter().map(String::as_str))),
+            ("v", Column::from_i32s((0..60).collect())),
+        ])
+        .unwrap();
+        let rnames: Vec<String> = (0..20).map(|i| format!("n{}", i % 6)).collect();
+        let r = Batch::from_columns(vec![
+            ("name", Column::from_strings(rnames.iter().map(String::as_str))),
+            ("w", Column::from_i32s((0..20).collect())),
+        ])
+        .unwrap();
+        for jt in [JoinType::Inner, JoinType::Left] {
+            let serial = hash_join(&l, &r, &[0], &[0], jt).unwrap();
+            let parallel = hash_join_par(&l, &r, &[0], &[0], jt, force_par()).unwrap();
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_join_below_threshold_is_serial() {
+        let par = Parallelism { threads: 4, threshold: 1_000_000, morsel_rows: 3 };
+        let out = hash_join_par(&orders(), &customers(), &[1], &[0], JoinType::Inner, par).unwrap();
+        let serial = hash_join(&orders(), &customers(), &[1], &[0], JoinType::Inner).unwrap();
+        assert_eq!(out, serial);
     }
 }

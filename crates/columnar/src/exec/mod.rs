@@ -10,16 +10,45 @@ pub mod join;
 pub mod rowkey;
 pub mod sort;
 
-pub use aggregate::{hash_aggregate, AggCall, AggFunc};
-pub use join::{hash_join, JoinType};
-pub use sort::{limit, sort, SortKey};
+pub use aggregate::{hash_aggregate, hash_aggregate_par, AggCall, AggFunc};
+pub use join::{hash_join, hash_join_par, JoinType};
+pub use sort::{limit, sort, sort_par, SortKey};
 
 use crate::batch::Batch;
 use crate::error::DbResult;
 use crate::exec::rowkey::encode_key;
-use crate::expr::{eval_predicate, EvalContext, Expr};
+use crate::expr::{eval_predicate, eval_predicate_offset, EvalContext, Expr};
+use crate::parallel::{parallel_map, DEFAULT_MORSEL_ROWS};
 use crate::udf::FunctionRegistry;
 use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The parallelism policy one operator invocation runs under: how many
+/// workers (including the calling thread), above which input size the
+/// parallel path engages, and the morsel granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct Parallelism {
+    /// Total workers including the caller; `1` forces the serial path.
+    pub threads: usize,
+    /// Minimum input rows before the parallel path is taken.
+    pub threshold: usize,
+    /// Rows per morsel.
+    pub morsel_rows: usize,
+}
+
+impl Parallelism {
+    /// The policy that always takes the serial path.
+    pub fn serial() -> Parallelism {
+        Parallelism { threads: 1, threshold: usize::MAX, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// Whether an input of `rows` rows should run in parallel under this
+    /// policy. Empty inputs always run serially (some operators have
+    /// special empty-input semantics, e.g. ungrouped aggregation).
+    pub fn enabled(&self, rows: usize) -> bool {
+        self.threads > 1 && rows >= self.threshold.max(1)
+    }
+}
 
 /// Filters a batch by a predicate expression, returning only rows where it
 /// evaluates to TRUE.
@@ -34,6 +63,37 @@ pub fn filter(
         return Ok(input.clone()); // nothing filtered out; skip the gather
     }
     Ok(input.take(&sel))
+}
+
+/// Morsel-parallel [`filter`]: evaluates the predicate per morsel on the
+/// worker pool and stitches the per-morsel selections back in row order.
+/// Falls back to the serial path below the policy threshold.
+pub fn filter_par(
+    input: &Batch,
+    predicate: &Expr,
+    functions: Option<&Arc<FunctionRegistry>>,
+    par: Parallelism,
+) -> DbResult<Batch> {
+    if !par.enabled(input.rows()) {
+        return filter(input, predicate, functions.map(Arc::as_ref));
+    }
+    let batch = input.clone();
+    let pred = predicate.clone();
+    let funcs = functions.cloned();
+    let sels = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+        let slice = batch.slice(m.start, m.len);
+        let ctx = EvalContext::new(&slice, funcs.as_deref());
+        eval_predicate_offset(&ctx, &pred, m.start)
+    })?;
+    let total: usize = sels.iter().map(Vec::len).sum();
+    if total == input.rows() {
+        return Ok(input.clone()); // nothing filtered out; skip the gather
+    }
+    let mut keep: Vec<u32> = Vec::with_capacity(total);
+    for s in sels {
+        keep.extend(s);
+    }
+    Ok(input.take(&keep))
 }
 
 /// Removes duplicate rows, keeping first occurrences in order.

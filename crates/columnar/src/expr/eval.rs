@@ -149,6 +149,26 @@ pub fn eval_predicate(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Vec<u32>> 
     Ok(sel)
 }
 
+/// [`eval_predicate`] for a batch that is a slice of a larger input:
+/// returned indices are shifted by `offset` into the original batch's row
+/// space. The morsel-parallel filter evaluates each morsel slice with
+/// this and concatenates the per-morsel selections.
+pub fn eval_predicate_offset(
+    ctx: &EvalContext<'_>,
+    expr: &Expr,
+    offset: usize,
+) -> DbResult<Vec<u32>> {
+    let mut sel = eval_predicate(ctx, expr)?;
+    if offset > 0 {
+        let off = u32::try_from(offset)
+            .map_err(|_| DbError::Shape(format!("row offset {offset} exceeds u32 range")))?;
+        for i in &mut sel {
+            *i += off;
+        }
+    }
+    Ok(sel)
+}
+
 /// Broadcast helper: the common evaluation length of a two-column op.
 fn pair_len(a: &Column, b: &Column) -> DbResult<usize> {
     match (a.len(), b.len()) {

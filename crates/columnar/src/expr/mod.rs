@@ -5,7 +5,7 @@
 mod eval;
 mod functions;
 
-pub use eval::{eval, eval_predicate, EvalContext};
+pub use eval::{eval, eval_predicate, eval_predicate_offset, EvalContext};
 pub use functions::BuiltinScalar;
 
 use crate::types::{DataType, Value};

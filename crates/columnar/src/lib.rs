@@ -16,8 +16,10 @@
 //! * **Vectorized UDF hooks** — scalar and table-valued functions receive
 //!   whole columns, zero-copy ([`udf`]); the ML integration in `mlcs-core`
 //!   registers its `train`/`predict` functions through these.
-//! * **Morsel parallelism** — helpers to split column ranges across threads
-//!   ([`parallel`]).
+//! * **Morsel parallelism** — a persistent worker pool and `parallel_map`
+//!   primitive ([`parallel`]) driving parallel variants of every relational
+//!   operator; the planner picks them when the input is large enough and
+//!   every expression involved is parallel-safe.
 //! * **Persistence** — a simple binary on-disk format for saving/loading a
 //!   database directory ([`persist`]).
 //!

@@ -1,11 +1,28 @@
-//! Morsel-driven parallelism helpers.
+//! Morsel-driven parallelism on a persistent worker pool.
 //!
 //! The paper lists parallel UDF execution as future work (§5.1); this
-//! module implements the substrate for it. A column range is split into
-//! *morsels* — contiguous row ranges — that worker threads process
-//! independently, with results stitched back in order.
+//! module implements the substrate for it and for the parallel relational
+//! operators in [`crate::exec`]. A column range is split into *morsels* —
+//! contiguous row ranges — that workers claim from a shared atomic counter
+//! and process independently, with results stitched back in morsel order.
+//!
+//! Work runs on a **persistent pool**: worker threads are spawned once, on
+//! first use, and reused by every subsequent query — never per call. The
+//! pool is sized by [`hardware_threads`] (the `MLCS_THREADS` environment
+//! override, else `available_parallelism`) at first use. Each
+//! [`parallel_map`] call enqueues claim-loop tasks on the pool and then
+//! participates as a worker itself, so a map completes even when every
+//! pool worker is busy elsewhere; a task that arrives after the morsels
+//! are drained simply exits. Calls made *from* a pool worker (nested
+//! parallelism, e.g. `predict_parallel` inside a parallel operator) run
+//! inline on that worker, which keeps the pool deadlock-free.
 
 use crate::error::{DbError, DbResult};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 
 /// Default number of rows per morsel. Large enough to amortize dispatch,
 /// small enough to load-balance across cores.
@@ -20,9 +37,10 @@ pub struct Morsel {
     pub len: usize,
 }
 
-/// Splits `rows` into morsels of at most `morsel_rows` rows.
+/// Splits `rows` into morsels of at most `morsel_rows` rows. A zero
+/// `morsel_rows` is treated as one row per morsel.
 pub fn morsels(rows: usize, morsel_rows: usize) -> Vec<Morsel> {
-    assert!(morsel_rows > 0, "morsel size must be positive");
+    let morsel_rows = morsel_rows.max(1);
     let mut out = Vec::with_capacity(rows.div_ceil(morsel_rows));
     let mut start = 0;
     while start < rows {
@@ -33,62 +51,189 @@ pub fn morsels(rows: usize, morsel_rows: usize) -> Vec<Morsel> {
     out
 }
 
-/// The number of worker threads to use: the available parallelism, capped
-/// by the morsel count so tiny inputs do not spawn idle threads.
-pub fn worker_count(num_morsels: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(num_morsels).max(1)
+/// The thread count the machine provides: the `MLCS_THREADS` environment
+/// variable when set to a positive integer (for reproducible runs on
+/// shared CI hardware), else `available_parallelism`.
+pub fn hardware_threads() -> usize {
+    match std::env::var("MLCS_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
 }
 
-/// Runs `f` over every morsel of `rows`, in parallel, collecting results in
-/// morsel order. `f` must be pure with respect to row ranges (each morsel
-/// processed independently).
+fn available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a requested worker count: `0` means "auto"
+/// ([`hardware_threads`]); anything else is taken as given.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        hardware_threads()
+    } else {
+        requested
+    }
+}
+
+/// The number of worker threads to use: [`hardware_threads`], capped by
+/// the morsel count so tiny inputs do not schedule idle tasks.
+pub fn worker_count(num_morsels: usize) -> usize {
+    hardware_threads().min(num_morsels).max(1)
+}
+
+/// One unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The persistent worker pool: a job queue plus detached worker threads
+/// that live for the process lifetime.
+struct Pool {
+    sender: Mutex<mpsc::Sender<Job>>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set on pool worker threads so nested [`parallel_map`] calls run
+    /// inline instead of waiting on queue slots they may be blocking.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lazily starts (once) and returns the pool.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = hardware_threads().max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            // A failed spawn leaves the pool smaller; parallel_map still
+            // completes because the caller participates in every map.
+            let _ = std::thread::Builder::new().name(format!("mlcs-worker-{i}")).spawn(move || {
+                IS_POOL_WORKER.with(|f| f.set(true));
+                loop {
+                    let job = rx.lock().recv();
+                    match job {
+                        Ok(job) => {
+                            // A panicking job must not kill the worker;
+                            // the submitting map reports it as a typed
+                            // error through its result slots.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        Pool { sender: Mutex::new(tx), workers }
+    })
+}
+
+/// The persistent pool's worker-thread count, starting the pool if it has
+/// not run yet. Exposed for tests and diagnostics.
+pub fn pool_workers() -> usize {
+    pool().workers
+}
+
+/// Enqueues one task. The send can only fail if every worker is gone
+/// (spawn failure at pool startup); callers tolerate lost tasks because
+/// the submitting thread always processes the shared work itself.
+fn submit(job: Job) {
+    let _ = pool().sender.lock().send(job);
+}
+
+/// Shared state of one in-flight `parallel_map`: the morsel list, the
+/// claim counter, and one preallocated result slot per morsel.
+struct MapState<T, F> {
+    work: Vec<Morsel>,
+    next: AtomicUsize,
+    slots: Vec<Mutex<Option<DbResult<T>>>>,
+    f: F,
+}
+
+/// Claims and processes morsels until none remain. Runs on pool workers
+/// and on the calling thread alike.
+fn run_claim_loop<T, F>(state: &MapState<T, F>)
+where
+    F: Fn(Morsel) -> DbResult<T>,
+{
+    loop {
+        let i = state.next.fetch_add(1, Ordering::Relaxed);
+        if i >= state.work.len() {
+            break;
+        }
+        let r = (state.f)(state.work[i]);
+        *state.slots[i].lock() = Some(r);
+    }
+}
+
+/// Sends a completion signal when dropped, so a helper task that panics
+/// mid-morsel still unblocks the caller's drain.
+struct DoneGuard(mpsc::Sender<()>);
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        let _ = self.0.send(());
+    }
+}
+
+/// Runs `f` over every morsel of `rows` on the persistent worker pool,
+/// collecting results in morsel order into preallocated slots. `f` must be
+/// pure with respect to row ranges (each morsel processed independently).
 ///
-/// Errors from any morsel abort the whole operation; the first error in
-/// morsel order is returned.
+/// `threads` is the total worker count including the calling thread, which
+/// always participates; `0` means auto ([`effective_threads`]). Errors
+/// from any morsel abort the whole operation; the first error in morsel
+/// order is returned. A morsel whose worker panicked reports a typed
+/// internal error instead of aborting the process.
 pub fn parallel_map<T, F>(rows: usize, morsel_rows: usize, threads: usize, f: F) -> DbResult<Vec<T>>
 where
-    T: Send,
-    F: Fn(Morsel) -> DbResult<T> + Sync,
+    T: Send + 'static,
+    F: Fn(Morsel) -> DbResult<T> + Send + Sync + 'static,
 {
     let work = morsels(rows, morsel_rows);
     if work.is_empty() {
         return Ok(Vec::new());
     }
-    let threads = threads.clamp(1, work.len());
+    let mut threads = effective_threads(threads).clamp(1, work.len());
+    if IS_POOL_WORKER.with(Cell::get) {
+        threads = 1; // nested call on a pool worker runs inline
+    }
     if threads == 1 {
         return work.into_iter().map(f).collect();
     }
-    // Work-stealing over a shared atomic counter: each worker claims the
-    // next unprocessed morsel until none remain, sending indexed results
-    // over a channel so they can be reassembled in morsel order.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, DbResult<T>)>();
-    crossbeam::thread::scope(|scope| {
-        let next = &next;
-        let work = &work;
-        let f = &f;
-        for _ in 0..threads {
-            let tx = tx.clone();
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                if tx.send((i, f(work[i]))).is_err() {
-                    break;
-                }
-            });
-        }
-    })
-    .map_err(|_| DbError::internal("parallel worker panicked"))?;
-    drop(tx);
-    let mut results: Vec<Option<DbResult<T>>> = Vec::with_capacity(work.len());
-    results.resize_with(work.len(), || None);
-    for (i, r) in rx {
-        results[i] = Some(r);
+    let mut slots = Vec::with_capacity(work.len());
+    slots.resize_with(work.len(), || Mutex::new(None));
+    let state = Arc::new(MapState { work, next: AtomicUsize::new(0), slots, f });
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    for _ in 0..threads - 1 {
+        let state = Arc::clone(&state);
+        let guard = DoneGuard(done_tx.clone());
+        submit(Box::new(move || {
+            let _guard = guard;
+            run_claim_loop(state.as_ref());
+        }));
     }
-    results.into_iter().map(|r| r.expect("every morsel processed")).collect()
+    drop(done_tx);
+    // The caller is one of the workers. Its panics are contained so the
+    // helper tasks are always drained before returning — otherwise they
+    // could outlive the map and race a later one.
+    let caller = catch_unwind(AssertUnwindSafe(|| run_claim_loop(state.as_ref())));
+    while done_rx.recv().is_ok() {}
+    if caller.is_err() {
+        return Err(DbError::internal("parallel worker panicked"));
+    }
+    let mut out = Vec::with_capacity(state.slots.len());
+    for slot in &state.slots {
+        match slot.lock().take() {
+            Some(r) => out.push(r?),
+            None => return Err(DbError::internal("parallel worker panicked")),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -110,6 +255,11 @@ mod tests {
         );
         let total: usize = m.iter().map(|x| x.len).sum();
         assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn zero_morsel_rows_tolerated() {
+        assert_eq!(morsels(3, 0).len(), 3);
     }
 
     #[test]
@@ -141,6 +291,21 @@ mod tests {
     }
 
     #[test]
+    fn first_error_in_morsel_order_wins() {
+        let r = parallel_map(100, 10, 4, |m| {
+            if m.start >= 30 {
+                Err(DbError::internal(format!("boom at {}", m.start)))
+            } else {
+                Ok(())
+            }
+        });
+        match r {
+            Err(e) => assert!(e.to_string().contains("boom at 30"), "{e}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
     fn single_thread_path() {
         let out = parallel_map(10, 3, 1, |m| Ok(m.len)).unwrap();
         assert_eq!(out, vec![3, 3, 3, 1]);
@@ -151,5 +316,48 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(1000) >= 1);
         assert!(worker_count(2) <= 2);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn nested_parallel_map_completes() {
+        // A map whose morsel closure itself calls parallel_map must not
+        // deadlock the pool (inner calls run inline on pool workers).
+        let out = parallel_map(64, 4, 4, |outer| {
+            let inner = parallel_map(32, 4, 4, move |m| Ok(m.len))?;
+            Ok(outer.len + inner.iter().sum::<usize>())
+        })
+        .unwrap();
+        assert_eq!(out.len(), 16);
+        assert!(out.iter().all(|&v| v == 4 + 32));
+    }
+
+    #[test]
+    fn pool_reused_across_maps() {
+        // The pool spawns once: its worker count is stable across calls.
+        let before = pool_workers();
+        for _ in 0..5 {
+            let _ = parallel_map(10_000, 64, 4, |m| Ok(m.len)).unwrap();
+        }
+        assert_eq!(pool_workers(), before);
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        let r = parallel_map(100, 10, 4, |m| {
+            if m.start == 40 {
+                panic!("morsel panic");
+            }
+            Ok(m.len)
+        });
+        match r {
+            Err(e) => assert!(e.to_string().contains("panicked"), "{e}"),
+            Ok(_) => panic!("expected a typed error from the panicking morsel"),
+        }
     }
 }

@@ -6,13 +6,69 @@ use crate::column::Column;
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::expr::{eval, EvalContext, Expr};
+use crate::parallel::{effective_threads, parallel_map, DEFAULT_MORSEL_ROWS};
 use crate::schema::Schema;
 use crate::sql::plan::{BoundTableArg, LogicalPlan, PlanAgg};
 use crate::types::Value;
 use crate::udf::FunctionRegistry;
 use std::sync::Arc;
 
-/// Executes a plan against the catalog and function registry.
+/// Input rows below which operators stay serial by default: morsel
+/// scheduling overhead swamps the win on small batches.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32 * 1024;
+
+/// Knobs controlling parallel execution of a plan.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker count including the calling thread; `0` resolves to the
+    /// hardware thread count (or the `MLCS_THREADS` override).
+    pub threads: usize,
+    /// Minimum operator input rows before the parallel path engages.
+    pub parallel_threshold: usize,
+    /// Rows per morsel.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            threads: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options that always take the serial path.
+    pub fn serial() -> ExecOptions {
+        ExecOptions { threads: 1, parallel_threshold: usize::MAX, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// The operator-level policy under these options, given whether every
+    /// expression the operator evaluates is parallel-safe.
+    fn parallelism(&self, safe: bool) -> exec::Parallelism {
+        if !safe {
+            return exec::Parallelism::serial();
+        }
+        exec::Parallelism {
+            threads: effective_threads(self.threads),
+            threshold: self.parallel_threshold,
+            morsel_rows: self.morsel_rows.max(1),
+        }
+    }
+}
+
+/// The policy for an operator that evaluates `exprs`: parallel only when
+/// every expression is safe to run concurrently (see
+/// [`crate::verify::expr_parallel_safe`]).
+fn par_for(opts: &ExecOptions, exprs: &[&Expr], functions: &FunctionRegistry) -> exec::Parallelism {
+    let safe = exprs.iter().all(|e| crate::verify::expr_parallel_safe(e, functions));
+    opts.parallelism(safe)
+}
+
+/// Executes a plan against the catalog and function registry with default
+/// [`ExecOptions`] (parallel above the row threshold).
 ///
 /// Scalar subqueries must already be substituted (see
 /// [`substitute_in_plan`]); encountering a placeholder is an internal error.
@@ -21,19 +77,30 @@ use std::sync::Arc;
 pub fn execute_plan(
     plan: &LogicalPlan,
     catalog: &Catalog,
-    functions: &FunctionRegistry,
+    functions: &Arc<FunctionRegistry>,
+) -> DbResult<Batch> {
+    execute_plan_with(plan, catalog, functions, &ExecOptions::default())
+}
+
+/// [`execute_plan`] with explicit parallelism options.
+pub fn execute_plan_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &Arc<FunctionRegistry>,
+    opts: &ExecOptions,
 ) -> DbResult<Batch> {
     #[cfg(debug_assertions)]
     crate::verify::verify_plan(plan, functions)?;
-    execute_node(plan, catalog, functions)
+    execute_node(plan, catalog, functions, opts)
 }
 
-/// The recursive executor behind [`execute_plan`], without the per-entry
-/// verification pass.
+/// The recursive executor behind [`execute_plan_with`], without the
+/// per-entry verification pass.
 fn execute_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
-    functions: &FunctionRegistry,
+    functions: &Arc<FunctionRegistry>,
+    opts: &ExecOptions,
 ) -> DbResult<Batch> {
     match plan {
         LogicalPlan::Scan { table, .. } => Ok(catalog.table(table)?.read().scan()),
@@ -45,11 +112,11 @@ fn execute_node(
                 match a {
                     BoundTableArg::Scalar(e) => {
                         let unit = unit_batch()?;
-                        let ctx = EvalContext::new(&unit, Some(functions));
+                        let ctx = EvalContext::new(&unit, Some(functions.as_ref()));
                         arg_cols.push(Arc::new(eval(&ctx, e)?));
                     }
                     BoundTableArg::Plan(p) => {
-                        let b = execute_node(p, catalog, functions)?;
+                        let b = execute_node(p, catalog, functions, opts)?;
                         arg_cols.extend(b.columns().iter().cloned());
                     }
                 }
@@ -58,28 +125,35 @@ fn execute_node(
             conform(out, schema.clone())
         }
         LogicalPlan::Filter { input, predicate } => {
-            let b = execute_node(input, catalog, functions)?;
-            exec::filter(&b, predicate, Some(functions))
+            let b = execute_node(input, catalog, functions, opts)?;
+            let par = par_for(opts, &[predicate], functions);
+            exec::filter_par(&b, predicate, Some(functions), par)
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let b = execute_node(input, catalog, functions)?;
-            project(&b, exprs, schema.clone(), functions)
+            let b = execute_node(input, catalog, functions, opts)?;
+            let refs: Vec<&Expr> = exprs.iter().collect();
+            let par = par_for(opts, &refs, functions);
+            project_par(&b, exprs, schema.clone(), functions, par)
         }
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
-            let l = execute_node(left, catalog, functions)?;
-            let r = execute_node(right, catalog, functions)?;
-            let mut joined = exec::hash_join(&l, &r, left_keys, right_keys, *join_type)?;
+            let l = execute_node(left, catalog, functions, opts)?;
+            let r = execute_node(right, catalog, functions, opts)?;
+            // The hash join itself evaluates no expressions, so it is
+            // gated only by the row threshold.
+            let par = opts.parallelism(true);
+            let mut joined = exec::hash_join_par(&l, &r, left_keys, right_keys, *join_type, par)?;
             if let Some(pred) = residual {
-                joined = exec::filter(&joined, pred, Some(functions))?;
+                let par = par_for(opts, &[pred], functions);
+                joined = exec::filter_par(&joined, pred, Some(functions), par)?;
             }
             conform(joined, schema.clone())
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let b = execute_node(input, catalog, functions)?;
-            aggregate(&b, group, aggs, schema.clone(), functions)
+            let b = execute_node(input, catalog, functions, opts)?;
+            aggregate(&b, group, aggs, schema.clone(), functions, opts)
         }
         LogicalPlan::Sort { input, keys } => {
-            let b = execute_node(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions, opts)?;
             let keys: Vec<exec::SortKey> = keys
                 .iter()
                 .map(|k| exec::SortKey {
@@ -88,21 +162,22 @@ fn execute_node(
                     nulls_first: k.nulls_first,
                 })
                 .collect();
-            exec::sort(&b, &keys)
+            exec::sort_par(&b, &keys, opts.parallelism(true))
         }
         LogicalPlan::Limit { input, limit, offset } => {
-            let b = execute_node(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions, opts)?;
             Ok(exec::limit(&b, *limit, *offset))
         }
         LogicalPlan::Distinct { input } => {
-            let b = execute_node(input, catalog, functions)?;
+            let b = execute_node(input, catalog, functions, opts)?;
             Ok(exec::distinct(&b))
         }
         LogicalPlan::UnionAll { inputs, schema } => {
             let batches: Vec<Batch> = inputs
                 .iter()
                 .map(|p| {
-                    execute_node(p, catalog, functions).and_then(|b| conform(b, schema.clone()))
+                    execute_node(p, catalog, functions, opts)
+                        .and_then(|b| conform(b, schema.clone()))
                 })
                 .collect::<DbResult<_>>()?;
             Batch::concat(&batches)
@@ -114,6 +189,30 @@ fn execute_node(
 /// expressions that reference no input (e.g. `SELECT 1`).
 fn unit_batch() -> DbResult<Batch> {
     Batch::from_columns(vec![("__unit", Column::from_bools(vec![false]))])
+}
+
+/// Morsel-parallel projection: each morsel evaluates the expressions over
+/// its slice of the input, and the per-morsel batches are concatenated in
+/// morsel order. Falls back to [`project`] below the policy threshold.
+fn project_par(
+    input: &Batch,
+    exprs: &[Expr],
+    schema: Arc<Schema>,
+    functions: &Arc<FunctionRegistry>,
+    par: exec::Parallelism,
+) -> DbResult<Batch> {
+    if !par.enabled(input.rows()) {
+        return project(input, exprs, schema, functions);
+    }
+    let batch = input.clone();
+    let ex = exprs.to_vec();
+    let sch = schema.clone();
+    let funcs = Arc::clone(functions);
+    let parts = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+        let slice = batch.slice(m.start, m.len);
+        project(&slice, &ex, sch.clone(), &funcs)
+    })?;
+    Batch::concat(&parts)
 }
 
 /// Evaluates projection expressions over `input` and labels the result with
@@ -144,6 +243,7 @@ fn aggregate(
     aggs: &[PlanAgg],
     schema: Arc<Schema>,
     functions: &FunctionRegistry,
+    opts: &ExecOptions,
 ) -> DbResult<Batch> {
     let ctx = EvalContext::new(input, Some(functions));
     let n = input.rows();
@@ -172,7 +272,13 @@ fn aggregate(
     }
     let pre = Batch::from_columns(pre_cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect())?;
     let group_keys: Vec<usize> = (0..group.len()).collect();
-    let out = exec::hash_aggregate(&pre, &group_keys, &calls)?;
+    // The hash aggregate reads only the materialized pre-batch, but stay
+    // conservative and mirror the EXPLAIN gating: parallel only when the
+    // whole pipeline's expressions are safe.
+    let mut exprs: Vec<&Expr> = group.iter().collect();
+    exprs.extend(aggs.iter().filter_map(|a| a.arg.as_ref()));
+    let par = par_for(opts, &exprs, functions);
+    let out = exec::hash_aggregate_par(&pre, &group_keys, &calls, par)?;
     conform(out, schema)
 }
 
@@ -256,14 +362,17 @@ pub fn substitute_in_plan(plan: &mut LogicalPlan, values: &[Value]) {
 pub fn evaluate_scalar_subqueries(
     subs: &[LogicalPlan],
     catalog: &Catalog,
-    functions: &FunctionRegistry,
+    functions: &Arc<FunctionRegistry>,
 ) -> DbResult<Vec<Value>> {
+    // Scalar subqueries run serially: they execute once per statement and
+    // their plans are re-verified here rather than gated per operator.
+    let opts = ExecOptions::serial();
     let mut values: Vec<Value> = Vec::with_capacity(subs.len());
     for sub in subs {
         let mut plan = sub.clone();
         substitute_in_plan(&mut plan, &values);
         crate::verify::verify_plan(&plan, functions)?;
-        let batch = execute_node(&plan, catalog, functions)?;
+        let batch = execute_node(&plan, catalog, functions, &opts)?;
         if batch.width() != 1 {
             return Err(DbError::bind(format!(
                 "scalar subquery returned {} columns",

@@ -24,7 +24,9 @@ pub mod plan;
 pub mod token;
 
 pub use binder::bind;
-pub use execute::{execute_plan, substitute_in_plan};
+pub use execute::{
+    execute_plan, execute_plan_with, substitute_in_plan, ExecOptions, DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use optimizer::optimize;
 pub use parser::{parse, parse_many};
 pub use plan::{BoundStatement, LogicalPlan};

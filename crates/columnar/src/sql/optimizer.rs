@@ -22,6 +22,34 @@ use crate::expr::{BinaryOp, Expr};
 use crate::sql::binder::eval_constant;
 use crate::sql::plan::LogicalPlan;
 use crate::types::Value;
+use crate::udf::FunctionRegistry;
+use crate::verify::{expr_parallel_safe, exprs_parallel_safe};
+
+/// The `EXPLAIN` annotation for one plan node: `" [parallel]"` when the
+/// executor is *eligible* to run the operator in parallel (every expression
+/// it evaluates is parallel-safe); the row threshold still decides at run
+/// time. Pass to [`LogicalPlan::display_with`].
+pub fn parallel_annotation(plan: &LogicalPlan, functions: &FunctionRegistry) -> Option<String> {
+    let eligible = match plan {
+        LogicalPlan::Filter { predicate, .. } => expr_parallel_safe(predicate, functions),
+        LogicalPlan::Project { exprs, .. } => exprs_parallel_safe(exprs, functions),
+        LogicalPlan::Join { join_type, residual, .. } => {
+            *join_type != JoinType::Cross
+                && residual.as_ref().map(|r| expr_parallel_safe(r, functions)).unwrap_or(true)
+        }
+        LogicalPlan::Aggregate { group, aggs, .. } => {
+            aggs.iter().all(|a| !a.distinct)
+                && exprs_parallel_safe(group, functions)
+                && aggs
+                    .iter()
+                    .filter_map(|a| a.arg.as_ref())
+                    .all(|e| expr_parallel_safe(e, functions))
+        }
+        LogicalPlan::Sort { keys, .. } => !keys.is_empty(),
+        _ => false,
+    };
+    eligible.then(|| " [parallel]".to_owned())
+}
 
 /// Optimizes a plan (bottom-up, fixed small pass set).
 ///

@@ -191,23 +191,39 @@ impl LogicalPlan {
         }
     }
 
-    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+    /// Renders the plan tree with a per-node annotation appended to each
+    /// node's head line — e.g. the optimizer's `" [parallel]"` marker in
+    /// `EXPLAIN` output. Plain `Display` is `display_with(&|_| None)`.
+    pub fn display_with(&self, ann: &dyn Fn(&LogicalPlan) -> Option<String>) -> String {
+        let mut out = String::new();
+        // Writing into a String is infallible.
+        let _ = self.push_lines(&mut out, 0, ann);
+        out
+    }
+
+    fn push_lines(
+        &self,
+        f: &mut dyn fmt::Write,
+        indent: usize,
+        ann: &dyn Fn(&LogicalPlan) -> Option<String>,
+    ) -> fmt::Result {
         let pad = "  ".repeat(indent);
+        let sfx = ann(self).unwrap_or_default();
         match self {
-            LogicalPlan::Scan { table, .. } => writeln!(f, "{pad}Scan {table}"),
+            LogicalPlan::Scan { table, .. } => writeln!(f, "{pad}Scan {table}{sfx}"),
             LogicalPlan::TableFunction { name, args, .. } => {
-                writeln!(f, "{pad}TableFunction {name} ({} args)", args.len())?;
+                writeln!(f, "{pad}TableFunction {name} ({} args){sfx}", args.len())?;
                 for a in args {
                     if let BoundTableArg::Plan(p) = a {
-                        p.fmt_indent(f, indent + 1)?;
+                        p.push_lines(f, indent + 1, ann)?;
                     }
                 }
                 Ok(())
             }
-            LogicalPlan::UnitRow => writeln!(f, "{pad}UnitRow"),
+            LogicalPlan::UnitRow => writeln!(f, "{pad}UnitRow{sfx}"),
             LogicalPlan::Filter { input, predicate } => {
-                writeln!(f, "{pad}Filter {predicate}")?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Filter {predicate}{sfx}")?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Project { input, exprs, schema } => {
                 write!(f, "{pad}Project ")?;
@@ -217,34 +233,34 @@ impl LogicalPlan {
                     }
                     write!(f, "{e} AS {}", fld.name)?;
                 }
-                writeln!(f)?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{sfx}")?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Join { left, right, join_type, left_keys, right_keys, .. } => {
-                writeln!(f, "{pad}Join {join_type:?} on {left_keys:?} = {right_keys:?}")?;
-                left.fmt_indent(f, indent + 1)?;
-                right.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Join {join_type:?} on {left_keys:?} = {right_keys:?}{sfx}")?;
+                left.push_lines(f, indent + 1, ann)?;
+                right.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Aggregate { input, group, aggs, .. } => {
-                writeln!(f, "{pad}Aggregate groups={} aggs={}", group.len(), aggs.len())?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Aggregate groups={} aggs={}{sfx}", group.len(), aggs.len())?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Sort { input, keys } => {
-                writeln!(f, "{pad}Sort {} keys", keys.len())?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Sort {} keys{sfx}", keys.len())?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Limit { input, limit, offset } => {
-                writeln!(f, "{pad}Limit {limit:?} offset {offset}")?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Limit {limit:?} offset {offset}{sfx}")?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::Distinct { input } => {
-                writeln!(f, "{pad}Distinct")?;
-                input.fmt_indent(f, indent + 1)
+                writeln!(f, "{pad}Distinct{sfx}")?;
+                input.push_lines(f, indent + 1, ann)
             }
             LogicalPlan::UnionAll { inputs, .. } => {
-                writeln!(f, "{pad}UnionAll")?;
+                writeln!(f, "{pad}UnionAll{sfx}")?;
                 for i in inputs {
-                    i.fmt_indent(f, indent + 1)?;
+                    i.push_lines(f, indent + 1, ann)?;
                 }
                 Ok(())
             }
@@ -254,7 +270,7 @@ impl LogicalPlan {
 
 impl fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.fmt_indent(f, 0)
+        self.push_lines(f, 0, &|_| None)
     }
 }
 

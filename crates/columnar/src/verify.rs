@@ -98,6 +98,52 @@ pub(crate) fn verify_rewrite(plan: &LogicalPlan) -> DbResult<()> {
     Verifier::new(None, Subqueries::Opaque).run(plan)
 }
 
+/// Whether evaluating `e` concurrently over disjoint morsels is safe: every
+/// referenced scalar UDF must declare itself `parallel_safe`; builtins,
+/// plain expressions, and already-substituted subquery values always are.
+/// An unregistered UDF name is conservatively unsafe (execution will fail
+/// on it anyway).
+pub fn expr_parallel_safe(e: &Expr, functions: &FunctionRegistry) -> bool {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Subquery(_) => true,
+        Expr::Binary { left, right, .. } => {
+            expr_parallel_safe(left, functions) && expr_parallel_safe(right, functions)
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            expr_parallel_safe(expr, functions)
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            operand.iter().all(|e| expr_parallel_safe(e, functions))
+                && branches.iter().all(|(w, t)| {
+                    expr_parallel_safe(w, functions) && expr_parallel_safe(t, functions)
+                })
+                && else_expr.iter().all(|e| expr_parallel_safe(e, functions))
+        }
+        Expr::InList { expr, list, .. } => {
+            expr_parallel_safe(expr, functions)
+                && list.iter().all(|e| expr_parallel_safe(e, functions))
+        }
+        Expr::Like { expr, pattern, .. } => {
+            expr_parallel_safe(expr, functions) && expr_parallel_safe(pattern, functions)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            expr_parallel_safe(expr, functions)
+                && expr_parallel_safe(low, functions)
+                && expr_parallel_safe(high, functions)
+        }
+        Expr::ScalarFn { args, .. } => args.iter().all(|e| expr_parallel_safe(e, functions)),
+        Expr::Udf { name, args } => {
+            functions.scalar(name).map(|u| u.parallel_safe()).unwrap_or(false)
+                && args.iter().all(|e| expr_parallel_safe(e, functions))
+        }
+    }
+}
+
+/// [`expr_parallel_safe`] over a slice of expressions.
+pub fn exprs_parallel_safe(exprs: &[Expr], functions: &FunctionRegistry) -> bool {
+    exprs.iter().all(|e| expr_parallel_safe(e, functions))
+}
+
 /// How `Expr::Subquery` placeholders are typed during verification.
 enum Subqueries {
     /// Types computed from the statement's scalar-subquery plans; an index

@@ -14,7 +14,7 @@
 
 use crate::bridge::{labels_from_column, matrix_from_columns};
 use crate::stored::StoredModel;
-use mlcs_columnar::parallel::{parallel_map, worker_count, DEFAULT_MORSEL_ROWS};
+use mlcs_columnar::parallel::{hardware_threads, parallel_map, worker_count, DEFAULT_MORSEL_ROWS};
 use mlcs_columnar::{
     Batch, Column, DataType, Database, DbError, DbResult, Field, ScalarUdf, Schema, TableUdf,
 };
@@ -150,9 +150,12 @@ impl TableUdf for TrainUdf {
         }
         let x = matrix_from_columns(&features)?;
         let y = labels_from_column(labels)?;
+        // `n_jobs == 0` resolves through the shared thread policy, so the
+        // MLCS_THREADS override also pins tree-fitting parallelism.
+        let jobs = if self.n_jobs == 0 { hardware_threads() } else { self.n_jobs };
         let forest = RandomForestClassifier::new(n_estimators as usize)
             .with_seed(self.seed)
-            .with_n_jobs(self.n_jobs);
+            .with_n_jobs(jobs);
         let sm = StoredModel::train(Model::RandomForest(forest), &x, &y)
             .map_err(|e| udf_err("train", e))?;
         train_output(&sm, format!("n_estimators={n_estimators}"), x.rows())
@@ -372,11 +375,16 @@ impl ScalarUdf for PredictUdf {
             let pred = sm.predict(&x).map_err(|e| udf_err(self.name(), e))?;
             return Ok(Column::from_i64s(pred));
         }
-        let threads = worker_count(rows.div_ceil(self.morsel_rows));
-        let parts = parallel_map(rows, self.morsel_rows, threads, |m| {
+        let threads = worker_count(rows.div_ceil(self.morsel_rows.max(1)));
+        // The persistent pool requires 'static tasks: share the matrix and
+        // model via Arc instead of borrowing from this stack frame.
+        let x = Arc::new(x);
+        let sm = Arc::new(sm);
+        let name = self.name().to_owned();
+        let parts = parallel_map(rows, self.morsel_rows, threads, move |m| {
             let idx: Vec<usize> = (m.start..m.start + m.len).collect();
             let slice = x.take_rows(&idx);
-            sm.predict(&slice).map_err(|e| udf_err(self.name(), e))
+            sm.predict(&slice).map_err(|e| udf_err(&name, e))
         })?;
         let mut out = Vec::with_capacity(rows);
         for p in parts {

@@ -8,8 +8,9 @@
 //! A source-level lint pass complementing the runtime plan verifier:
 //!
 //! * **Panic-free hot paths.** In the modules the executor hits per batch
-//!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/udf.rs`,
-//!   `core/src/udf.rs`), non-test code must not call `.unwrap()`,
+//!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/parallel.rs`,
+//!   `columnar/src/udf.rs`, `core/src/udf.rs`), non-test code must not call
+//!   `.unwrap()`,
 //!   `.expect(…)`, `panic!…`, or `todo!…` — errors there must surface as
 //!   typed `DbResult` values, never process aborts mid-query. A site that
 //!   genuinely cannot fail may be annotated on the same line with
@@ -29,6 +30,7 @@ use std::process::ExitCode;
 const HOT_PATHS: &[&str] = &[
     "crates/columnar/src/exec/",
     "crates/columnar/src/expr/",
+    "crates/columnar/src/parallel.rs",
     "crates/columnar/src/udf.rs",
     "crates/core/src/udf.rs",
 ];
@@ -223,6 +225,7 @@ mod tests {
     fn hot_path_matching() {
         assert!(is_hot_path(Path::new("crates/columnar/src/exec/join.rs")));
         assert!(is_hot_path(Path::new("crates/columnar/src/expr/eval.rs")));
+        assert!(is_hot_path(Path::new("crates/columnar/src/parallel.rs")));
         assert!(is_hot_path(Path::new("crates/columnar/src/udf.rs")));
         assert!(is_hot_path(Path::new("crates/core/src/udf.rs")));
         assert!(!is_hot_path(Path::new("crates/columnar/src/sql/binder.rs")));

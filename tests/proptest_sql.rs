@@ -123,6 +123,45 @@ fn build_query(r: &[u64]) -> String {
     }
 }
 
+/// Builds the same NULL-heavy mixed table in two databases: one pinned to
+/// the serial executor, one forced onto the morsel-parallel path.
+fn serial_parallel_pair(rows: &[(Option<i32>, Option<f64>)]) -> (Database, Database) {
+    let serial = Database::new();
+    serial.set_threads(1);
+    let parallel = Database::new();
+    parallel.set_threads(4);
+    parallel.set_parallel_threshold(1);
+    for db in [&serial, &parallel] {
+        db.execute("CREATE TABLE t (k INTEGER, x DOUBLE, s VARCHAR)").unwrap();
+        if !rows.is_empty() {
+            let values: Vec<String> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, (k, x))| {
+                    let k = k.map_or("NULL".to_owned(), |v| v.to_string());
+                    let x = x.map_or("NULL".to_owned(), |v| v.to_string());
+                    let s = if i % 5 == 0 { "NULL".to_owned() } else { format!("'a{i}'") };
+                    format!("({k}, {x}, {s})")
+                })
+                .collect();
+            db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+        }
+    }
+    (serial, parallel)
+}
+
+/// Value equality with a relative tolerance for doubles: the parallel
+/// aggregate sums float partials per morsel, which is a different (but
+/// equally valid) association than the serial fold.
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => {
+            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+        }
+        _ => a == b,
+    }
+}
+
 fn finite_f64() -> impl Strategy<Value = f64> {
     // Finite, modest-magnitude doubles that render/parse exactly enough
     // for SQL literal round trips.
@@ -280,6 +319,46 @@ proptest! {
             // is a valid outcome — only panics and verifier/binder
             // disagreements are failures.
             Err(_) => {}
+        }
+    }
+
+    /// Any generated query produces identical results on the serial and
+    /// the forced-parallel executor — filter, projection, join,
+    /// aggregation, sort, and set ops, over NULL-heavy columns.
+    #[test]
+    fn parallel_matches_serial(
+        rows in proptest::collection::vec(
+            (proptest::option::of(-50i32..50), proptest::option::of(finite_f64())),
+            0..40,
+        ),
+        words in proptest::collection::vec(any::<u64>(), 8),
+    ) {
+        let (serial, parallel) = serial_parallel_pair(&rows);
+        let sql = build_query(&words);
+        match (serial.query(&sql), parallel.query(&sql)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.rows(), b.rows(), "row count diverged for {}", &sql);
+                for r in 0..a.rows() {
+                    let (ra, rb) = (a.row(r), b.row(r));
+                    prop_assert_eq!(ra.len(), rb.len(), "arity diverged for {}", &sql);
+                    for (va, vb) in ra.iter().zip(&rb) {
+                        prop_assert!(
+                            values_close(va, vb),
+                            "row {} diverged for {}: {:?} vs {:?}",
+                            r, &sql, va, vb
+                        );
+                    }
+                }
+            }
+            // Typed runtime errors must not depend on the executor.
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "serial/parallel disagreed on success for {sql}: serial {:?}, parallel {:?}",
+                    a.map(|x| x.rows()),
+                    b.map(|x| x.rows()),
+                )));
+            }
         }
     }
 }
