@@ -14,6 +14,10 @@
 //! in-db fastest with a near-zero wrangle bar; binary files close behind;
 //! CSV and the socket protocols an order of magnitude slower on wrangling
 //! — matching the published figure.
+//!
+//! All stage times come from the `mlcs_columnar::metrics` registry (the
+//! `fig1.*` duration histograms); `--metrics` additionally dumps the full
+//! registry snapshot after the measurement passes.
 
 use mlcs_voters::pipeline::{run_method, Method, PipelineEnv, PipelineOptions};
 use mlcs_voters::report::render_figure1;
@@ -24,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trees = 16usize;
     let mut repeat = 1usize;
     let mut csv_out: Option<String> = None;
+    let mut dump_metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,9 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--trees" => trees = args.next().expect("--trees T").parse()?,
             "--repeat" => repeat = args.next().expect("--repeat R").parse()?,
             "--csv" => csv_out = Some(args.next().expect("--csv PATH")),
+            "--metrics" => dump_metrics = true,
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: fig1 [--rows N] [--trees T] [--repeat R] [--csv PATH]");
+                eprintln!(
+                    "usage: fig1 [--rows N] [--trees T] [--repeat R] [--csv PATH] [--metrics]"
+                );
                 std::process::exit(2);
             }
         }
@@ -103,11 +111,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("{}", render_figure1(&best));
     println!(
-        "rows={} columns={} trees={} (best of {repeat} hot run(s))",
+        "rows={} columns={} trees={} (best of {repeat} hot run(s); stage times \
+         from the metrics registry)",
         config.rows,
         config.features + 2,
         trees
     );
+    if dump_metrics {
+        println!();
+        println!("metrics snapshot:");
+        print!("{}", mlcs_columnar::metrics::snapshot().render());
+    }
     env.cleanup();
     Ok(())
 }

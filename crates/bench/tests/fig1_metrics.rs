@@ -1,0 +1,58 @@
+//! Figure 1's wrangle/total split must be *sourced from the metrics
+//! registry*: the stage durations a [`mlcs_voters::PipelineRun`] reports
+//! are exactly the values recorded into the `fig1.*` duration histograms.
+//!
+//! This integration binary deliberately holds a single `#[test]`: the
+//! registry is process-global, and a concurrently running test could
+//! otherwise record its own `fig1.*` samples between our two snapshots.
+
+use mlcs_columnar::metrics;
+use mlcs_voters::pipeline::{run_method, Method, PipelineEnv, PipelineOptions};
+use mlcs_voters::report::render_figure1;
+use mlcs_voters::VoterConfig;
+
+#[test]
+fn figure1_split_agrees_with_registry_snapshot() {
+    let cfg = VoterConfig::tiny();
+    let opts = PipelineOptions { n_estimators: 4, ..Default::default() };
+    let env = PipelineEnv::prepare_for(&cfg, &[Method::InDb]).unwrap();
+
+    let before = metrics::snapshot();
+    let run = run_method(&env, Method::InDb, &opts).unwrap();
+    let delta = metrics::snapshot().since(&before);
+
+    // Exactly one pipeline ran between the snapshots, so each stage
+    // histogram gained exactly one sample — and that sample's value IS
+    // the duration the run reports (time_section returns what it records).
+    for (name, stage) in [
+        ("fig1.load_wrangle", run.load_wrangle),
+        ("fig1.train", run.train),
+        ("fig1.predict", run.predict),
+        ("fig1.total", run.total),
+    ] {
+        let hist = delta.histogram(name).unwrap_or_else(|| panic!("{name} not recorded"));
+        assert_eq!(hist.count, 1, "{name} should have one sample");
+        assert_eq!(delta.duration_sum(name), stage, "{name} disagrees with the run");
+    }
+
+    // The stages nest inside the total, so the registry's own numbers are
+    // internally consistent too.
+    let stage_sum = delta.duration_sum("fig1.load_wrangle")
+        + delta.duration_sum("fig1.train")
+        + delta.duration_sum("fig1.predict");
+    assert!(
+        stage_sum <= delta.duration_sum("fig1.total"),
+        "stages ({stage_sum:?}) exceed total ({:?})",
+        delta.duration_sum("fig1.total")
+    );
+
+    // And the printed Figure 1 table renders those same registry-sourced
+    // values (same formatting render_figure1 uses).
+    let text = render_figure1(std::slice::from_ref(&run));
+    let wrangle_s = format!("{:.3}", run.load_wrangle.as_secs_f64());
+    let total_s = format!("{:.3}", run.total.as_secs_f64());
+    assert!(text.contains(&wrangle_s), "wrangle {wrangle_s} missing from:\n{text}");
+    assert!(text.contains(&total_s), "total {total_s} missing from:\n{text}");
+
+    env.cleanup();
+}

@@ -8,8 +8,8 @@ use crate::expr::{eval, eval_predicate, EvalContext};
 use crate::schema::{Field, Schema};
 use crate::sql::binder::bind;
 use crate::sql::execute::{
-    evaluate_scalar_subqueries, execute_plan_with, substitute_in_plan, ExecOptions,
-    DEFAULT_PARALLEL_THRESHOLD,
+    evaluate_scalar_subqueries, execute_plan_traced, execute_plan_with, substitute_in_plan,
+    ExecOptions, PlanTrace, DEFAULT_PARALLEL_THRESHOLD,
 };
 use crate::sql::optimizer::{optimize, parallel_annotation};
 use crate::sql::parser::{parse, parse_many};
@@ -318,25 +318,56 @@ impl Database {
                     kind: StatementKind::Query,
                 })
             }
-            BoundStatement::Explain { plan, scalar_subs } => {
-                // EXPLAIN does not execute subqueries; placeholders are
-                // shown as `$subqueryN` and each subplan is listed. The
-                // verifier types the placeholders from the subplans.
-                let plan = optimize(plan)?;
-                crate::verify::verify_statement(
-                    &BoundStatement::Explain {
-                        plan: plan.clone(),
-                        scalar_subs: scalar_subs.clone(),
-                    },
-                    functions,
-                )?;
-                // Annotate operators the executor may run in parallel
-                // (expression safety; the row threshold decides at run
-                // time).
-                let mut text = plan.display_with(&|n| parallel_annotation(n, functions));
-                for (i, sub) in scalar_subs.iter().enumerate() {
-                    text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
-                }
+            BoundStatement::Explain { mut plan, scalar_subs, analyze } => {
+                let text = if analyze {
+                    // EXPLAIN ANALYZE runs the statement exactly as a plain
+                    // query would (subqueries evaluated and substituted),
+                    // collecting per-operator rows, wall time, and whether
+                    // the parallel path engaged.
+                    let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                    substitute_in_plan(&mut plan, &values);
+                    let plan = optimize(plan)?;
+                    crate::verify::verify_plan(&plan, functions)?;
+                    let trace = PlanTrace::new();
+                    let start = Instant::now();
+                    let result = execute_plan_traced(
+                        &plan,
+                        catalog,
+                        functions,
+                        &self.exec_options(),
+                        &trace,
+                    )?;
+                    let total = start.elapsed();
+                    let mut text = plan.display_with(&|n| trace.annotation(n));
+                    text.push_str(&format!(
+                        "execution: {} rows in {:.3}ms\n",
+                        result.rows(),
+                        total.as_secs_f64() * 1e3
+                    ));
+                    text
+                } else {
+                    // Plain EXPLAIN does not execute subqueries;
+                    // placeholders are shown as `$subqueryN` and each
+                    // subplan is listed. The verifier types the
+                    // placeholders from the subplans.
+                    let plan = optimize(plan)?;
+                    crate::verify::verify_statement(
+                        &BoundStatement::Explain {
+                            plan: plan.clone(),
+                            scalar_subs: scalar_subs.clone(),
+                            analyze,
+                        },
+                        functions,
+                    )?;
+                    // Annotate operators the executor may run in parallel
+                    // (expression safety; the row threshold decides at run
+                    // time).
+                    let mut text = plan.display_with(&|n| parallel_annotation(n, functions));
+                    for (i, sub) in scalar_subs.iter().enumerate() {
+                        text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
+                    }
+                    text
+                };
                 let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
                 let batch = Batch::from_columns(vec![(
                     "plan",

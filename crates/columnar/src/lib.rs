@@ -22,6 +22,9 @@
 //!   every expression involved is parallel-safe.
 //! * **Persistence** — a simple binary on-disk format for saving/loading a
 //!   database directory ([`persist`]).
+//! * **Observability** — a process-wide metrics registry ([`metrics`]) that
+//!   every substrate reports into, and `EXPLAIN ANALYZE` annotating each
+//!   plan operator with rows, wall time, and whether the parallel path ran.
 //!
 //! ## Quick start
 //!
@@ -43,6 +46,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod metrics;
 pub mod parallel;
 pub mod persist;
 pub mod schema;

@@ -114,14 +114,23 @@ fn pool() -> &'static Pool {
             // completes because the caller participates in every map.
             let _ = std::thread::Builder::new().name(format!("mlcs-worker-{i}")).spawn(move || {
                 IS_POOL_WORKER.with(|f| f.set(true));
+                // Handles are resolved once per worker; recording is a
+                // relaxed atomic per job.
+                let queue_depth = crate::metrics::gauge("pool.queue_depth");
+                let completed = crate::metrics::counter("pool.jobs_completed");
+                let busy = crate::metrics::histogram("pool.busy_time_ns");
                 loop {
                     let job = rx.lock().recv();
                     match job {
                         Ok(job) => {
+                            queue_depth.add(-1);
+                            let start = std::time::Instant::now();
                             // A panicking job must not kill the worker;
                             // the submitting map reports it as a typed
                             // error through its result slots.
                             let _ = catch_unwind(AssertUnwindSafe(job));
+                            busy.record_duration(start.elapsed());
+                            completed.incr();
                         }
                         Err(_) => break,
                     }
@@ -142,6 +151,8 @@ pub fn pool_workers() -> usize {
 /// (spawn failure at pool startup); callers tolerate lost tasks because
 /// the submitting thread always processes the shared work itself.
 fn submit(job: Job) {
+    crate::metrics::counter("pool.jobs_submitted").incr();
+    crate::metrics::gauge("pool.queue_depth").add(1);
     let _ = pool().sender.lock().send(job);
 }
 
@@ -205,6 +216,8 @@ where
     if threads == 1 {
         return work.into_iter().map(f).collect();
     }
+    crate::metrics::counter("pool.parallel_maps").incr();
+    crate::metrics::counter("pool.morsels").add(work.len() as u64);
     let mut slots = Vec::with_capacity(work.len());
     slots.resize_with(work.len(), || Mutex::new(None));
     let state = Arc::new(MapState { work, next: AtomicUsize::new(0), slots, f });

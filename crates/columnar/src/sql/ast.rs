@@ -62,7 +62,14 @@ pub enum Statement {
     /// A `SELECT` query.
     Query(Query),
     /// `EXPLAIN SELECT ...` — shows the optimized logical plan.
-    Explain(Query),
+    /// With `analyze` set (`EXPLAIN ANALYZE`), also executes the query and
+    /// annotates each operator with its observed rows and wall time.
+    Explain {
+        /// The query being explained.
+        query: Query,
+        /// Whether to execute the query and report per-operator runtime.
+        analyze: bool,
+    },
     /// `SHOW TABLES`.
     ShowTables,
     /// `SHOW FUNCTIONS` — lists registered UDFs.

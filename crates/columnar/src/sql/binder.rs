@@ -138,11 +138,12 @@ impl<'a> Binder<'a> {
                     scalar_subs: std::mem::take(&mut self.scalar_subs),
                 })
             }
-            Statement::Explain(q) => {
-                let plan = self.bind_query(q)?;
+            Statement::Explain { query, analyze } => {
+                let plan = self.bind_query(query)?;
                 Ok(BoundStatement::Explain {
                     plan,
                     scalar_subs: std::mem::take(&mut self.scalar_subs),
+                    analyze,
                 })
             }
             Statement::Insert { table, columns, source } => {

@@ -6,12 +6,15 @@ use crate::column::Column;
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::expr::{eval, EvalContext, Expr};
+use crate::metrics;
 use crate::parallel::{effective_threads, parallel_map, DEFAULT_MORSEL_ROWS};
 use crate::schema::Schema;
 use crate::sql::plan::{BoundTableArg, LogicalPlan, PlanAgg};
 use crate::types::Value;
 use crate::udf::FunctionRegistry;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Input rows below which operators stay serial by default: morsel
 /// scheduling overhead swamps the win on small batches.
@@ -67,6 +70,108 @@ fn par_for(opts: &ExecOptions, exprs: &[&Expr], functions: &FunctionRegistry) ->
     opts.parallelism(safe)
 }
 
+/// Runtime statistics observed for one plan operator during a traced
+/// (`EXPLAIN ANALYZE`) execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Total rows fed into the operator (sum of its inputs' output rows;
+    /// zero for leaves).
+    pub rows_in: usize,
+    /// Rows the operator produced.
+    pub rows_out: usize,
+    /// Wall time including the operator's inputs (inclusive time, as in
+    /// `EXPLAIN ANALYZE` elsewhere); per-morsel work is folded in because
+    /// the caller blocks until every morsel finishes.
+    pub elapsed: Duration,
+    /// Whether the parallel path actually engaged (threshold met, workers
+    /// available, expressions safe).
+    pub parallel: bool,
+}
+
+/// Per-node statistics collected while executing a plan, keyed by node
+/// identity. Populated by [`execute_plan_traced`]; the plan value must not
+/// move between execution and [`PlanTrace::annotation`] lookups.
+#[derive(Debug, Default)]
+pub struct PlanTrace {
+    nodes: Mutex<HashMap<usize, NodeStats>>,
+}
+
+impl PlanTrace {
+    /// An empty trace.
+    pub fn new() -> PlanTrace {
+        PlanTrace::default()
+    }
+
+    fn key(plan: &LogicalPlan) -> usize {
+        plan as *const LogicalPlan as usize
+    }
+
+    fn record(&self, plan: &LogicalPlan, stats: NodeStats) {
+        let mut nodes = match self.nodes.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        nodes.insert(Self::key(plan), stats);
+    }
+
+    /// The statistics recorded for `plan`'s node, if it executed.
+    pub fn get(&self, plan: &LogicalPlan) -> Option<NodeStats> {
+        let nodes = match self.nodes.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        nodes.get(&Self::key(plan)).copied()
+    }
+
+    fn rows_out(&self, plan: &LogicalPlan) -> usize {
+        self.get(plan).map(|s| s.rows_out).unwrap_or(0)
+    }
+
+    /// The `EXPLAIN ANALYZE` suffix for `plan`'s node, e.g.
+    /// `" (rows=1000, in=32768, time=1.204ms) [parallel]"`. Returns `None`
+    /// for nodes that never executed.
+    pub fn annotation(&self, plan: &LogicalPlan) -> Option<String> {
+        let s = self.get(plan)?;
+        let mut out = format!(" (rows={}", s.rows_out);
+        if !plan.children().is_empty() {
+            out.push_str(&format!(", in={}", s.rows_in));
+        }
+        out.push_str(&format!(", time={})", format_duration(s.elapsed)));
+        if s.parallel {
+            out.push_str(" [parallel]");
+        }
+        Some(out)
+    }
+}
+
+/// Renders a duration for plan annotations: sub-second values in
+/// milliseconds with microsecond precision, longer ones in seconds.
+fn format_duration(d: Duration) -> String {
+    if d < Duration::from_secs(1) {
+        format!("{:.3}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.3}s", d.as_secs_f64())
+    }
+}
+
+/// The lowercase metric segment for an operator, as used in the
+/// `exec.<op>.rows` / `exec.<op>.time_ns` registry names.
+fn metric_op(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Scan { .. } => "scan",
+        LogicalPlan::UnitRow => "unit_row",
+        LogicalPlan::TableFunction { .. } => "table_function",
+        LogicalPlan::Filter { .. } => "filter",
+        LogicalPlan::Project { .. } => "project",
+        LogicalPlan::Join { .. } => "hash_join",
+        LogicalPlan::Aggregate { .. } => "aggregate",
+        LogicalPlan::Sort { .. } => "sort",
+        LogicalPlan::Limit { .. } => "limit",
+        LogicalPlan::Distinct { .. } => "distinct",
+        LogicalPlan::UnionAll { .. } => "union_all",
+    }
+}
+
 /// Executes a plan against the catalog and function registry with default
 /// [`ExecOptions`] (parallel above the row threshold).
 ///
@@ -91,20 +196,61 @@ pub fn execute_plan_with(
 ) -> DbResult<Batch> {
     #[cfg(debug_assertions)]
     crate::verify::verify_plan(plan, functions)?;
-    execute_node(plan, catalog, functions, opts)
+    execute_node(plan, catalog, functions, opts, None)
+}
+
+/// [`execute_plan_with`] recording per-node runtime statistics into `trace`
+/// — the execution engine behind `EXPLAIN ANALYZE`. The same `plan` value
+/// must be used for later [`PlanTrace::annotation`] lookups.
+pub fn execute_plan_traced(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &Arc<FunctionRegistry>,
+    opts: &ExecOptions,
+    trace: &PlanTrace,
+) -> DbResult<Batch> {
+    #[cfg(debug_assertions)]
+    crate::verify::verify_plan(plan, functions)?;
+    execute_node(plan, catalog, functions, opts, Some(trace))
 }
 
 /// The recursive executor behind [`execute_plan_with`], without the
-/// per-entry verification pass.
+/// per-entry verification pass. Each node's output rows and inclusive wall
+/// time feed the `exec.<op>.rows` / `exec.<op>.time_ns` registry metrics,
+/// and — when tracing — the per-node [`PlanTrace`] used by
+/// `EXPLAIN ANALYZE`.
 fn execute_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
     functions: &Arc<FunctionRegistry>,
     opts: &ExecOptions,
+    trace: Option<&PlanTrace>,
 ) -> DbResult<Batch> {
+    let start = Instant::now();
+    let (batch, parallel) = run_operator(plan, catalog, functions, opts, trace)?;
+    let elapsed = start.elapsed();
+    let op = metric_op(plan);
+    metrics::counter(&format!("exec.{op}.rows")).add(batch.rows() as u64);
+    metrics::record_duration(&format!("exec.{op}.time_ns"), elapsed);
+    if let Some(tr) = trace {
+        let rows_in = plan.children().iter().map(|c| tr.rows_out(c)).sum();
+        tr.record(plan, NodeStats { rows_in, rows_out: batch.rows(), elapsed, parallel });
+    }
+    Ok(batch)
+}
+
+/// One operator's work: produces the node's output batch and reports
+/// whether the parallel path actually engaged for it.
+fn run_operator(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &Arc<FunctionRegistry>,
+    opts: &ExecOptions,
+    trace: Option<&PlanTrace>,
+) -> DbResult<(Batch, bool)> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Ok(catalog.table(table)?.read().scan()),
-        LogicalPlan::UnitRow => unit_batch(),
+        LogicalPlan::Scan { table, .. } => Ok((catalog.table(table)?.read().scan(), false)),
+        LogicalPlan::UnitRow => Ok((unit_batch()?, false)),
         LogicalPlan::TableFunction { name, args, schema } => {
             let udf = functions.table(name)?;
             let mut arg_cols: Vec<Arc<Column>> = Vec::new();
@@ -116,44 +262,52 @@ fn execute_node(
                         arg_cols.push(Arc::new(eval(&ctx, e)?));
                     }
                     BoundTableArg::Plan(p) => {
-                        let b = execute_node(p, catalog, functions, opts)?;
+                        let b = execute_node(p, catalog, functions, opts, trace)?;
                         arg_cols.extend(b.columns().iter().cloned());
                     }
                 }
             }
+            metrics::counter(&format!("udf.{name}.invocations")).incr();
+            metrics::counter("udf.table.invocations").incr();
             let out = udf.invoke(&arg_cols)?;
-            conform(out, schema.clone())
+            Ok((conform(out, schema.clone())?, false))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let b = execute_node(input, catalog, functions, opts)?;
+            let b = execute_node(input, catalog, functions, opts, trace)?;
             let par = par_for(opts, &[predicate], functions);
-            exec::filter_par(&b, predicate, Some(functions), par)
+            let ran_parallel = par.enabled(b.rows());
+            Ok((exec::filter_par(&b, predicate, Some(functions), par)?, ran_parallel))
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let b = execute_node(input, catalog, functions, opts)?;
+            let b = execute_node(input, catalog, functions, opts, trace)?;
             let refs: Vec<&Expr> = exprs.iter().collect();
             let par = par_for(opts, &refs, functions);
-            project_par(&b, exprs, schema.clone(), functions, par)
+            let ran_parallel = par.enabled(b.rows());
+            Ok((project_par(&b, exprs, schema.clone(), functions, par)?, ran_parallel))
         }
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
-            let l = execute_node(left, catalog, functions, opts)?;
-            let r = execute_node(right, catalog, functions, opts)?;
+            let l = execute_node(left, catalog, functions, opts, trace)?;
+            let r = execute_node(right, catalog, functions, opts, trace)?;
             // The hash join itself evaluates no expressions, so it is
             // gated only by the row threshold.
             let par = opts.parallelism(true);
+            // Mirror hash_join_par's own gate (build or probe side big
+            // enough, cross joins always serial).
+            let ran_parallel =
+                *join_type != exec::JoinType::Cross && par.enabled(l.rows().max(r.rows()));
             let mut joined = exec::hash_join_par(&l, &r, left_keys, right_keys, *join_type, par)?;
             if let Some(pred) = residual {
                 let par = par_for(opts, &[pred], functions);
                 joined = exec::filter_par(&joined, pred, Some(functions), par)?;
             }
-            conform(joined, schema.clone())
+            Ok((conform(joined, schema.clone())?, ran_parallel))
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let b = execute_node(input, catalog, functions, opts)?;
+            let b = execute_node(input, catalog, functions, opts, trace)?;
             aggregate(&b, group, aggs, schema.clone(), functions, opts)
         }
         LogicalPlan::Sort { input, keys } => {
-            let b = execute_node(input, catalog, functions, opts)?;
+            let b = execute_node(input, catalog, functions, opts, trace)?;
             let keys: Vec<exec::SortKey> = keys
                 .iter()
                 .map(|k| exec::SortKey {
@@ -162,25 +316,27 @@ fn execute_node(
                     nulls_first: k.nulls_first,
                 })
                 .collect();
-            exec::sort_par(&b, &keys, opts.parallelism(true))
+            let par = opts.parallelism(true);
+            let ran_parallel = !keys.is_empty() && par.enabled(b.rows());
+            Ok((exec::sort_par(&b, &keys, par)?, ran_parallel))
         }
         LogicalPlan::Limit { input, limit, offset } => {
-            let b = execute_node(input, catalog, functions, opts)?;
-            Ok(exec::limit(&b, *limit, *offset))
+            let b = execute_node(input, catalog, functions, opts, trace)?;
+            Ok((exec::limit(&b, *limit, *offset), false))
         }
         LogicalPlan::Distinct { input } => {
-            let b = execute_node(input, catalog, functions, opts)?;
-            Ok(exec::distinct(&b))
+            let b = execute_node(input, catalog, functions, opts, trace)?;
+            Ok((exec::distinct(&b), false))
         }
         LogicalPlan::UnionAll { inputs, schema } => {
             let batches: Vec<Batch> = inputs
                 .iter()
                 .map(|p| {
-                    execute_node(p, catalog, functions, opts)
+                    execute_node(p, catalog, functions, opts, trace)
                         .and_then(|b| conform(b, schema.clone()))
                 })
                 .collect::<DbResult<_>>()?;
-            Batch::concat(&batches)
+            Ok((Batch::concat(&batches)?, false))
         }
     }
 }
@@ -236,7 +392,8 @@ fn project(
 }
 
 /// Evaluates group and aggregate-argument expressions, runs the hash
-/// aggregate, and labels the output with the plan schema.
+/// aggregate, and labels the output with the plan schema. Also reports
+/// whether the parallel aggregate path engaged.
 fn aggregate(
     input: &Batch,
     group: &[Expr],
@@ -244,7 +401,7 @@ fn aggregate(
     schema: Arc<Schema>,
     functions: &FunctionRegistry,
     opts: &ExecOptions,
-) -> DbResult<Batch> {
+) -> DbResult<(Batch, bool)> {
     let ctx = EvalContext::new(input, Some(functions));
     let n = input.rows();
     // Pre-batch: group key columns first, then aggregate arguments.
@@ -278,8 +435,11 @@ fn aggregate(
     let mut exprs: Vec<&Expr> = group.iter().collect();
     exprs.extend(aggs.iter().filter_map(|a| a.arg.as_ref()));
     let par = par_for(opts, &exprs, functions);
+    // Mirror hash_aggregate_par's gate: DISTINCT aggregates and inputs
+    // below the threshold take the serial path.
+    let ran_parallel = par.enabled(pre.rows()) && !calls.iter().any(|c| c.distinct);
     let out = exec::hash_aggregate_par(&pre, &group_keys, &calls, par)?;
-    conform(out, schema)
+    Ok((conform(out, schema)?, ran_parallel))
 }
 
 /// Relabels `batch` with `schema`, casting columns whose types differ.
@@ -372,7 +532,7 @@ pub fn evaluate_scalar_subqueries(
         let mut plan = sub.clone();
         substitute_in_plan(&mut plan, &values);
         crate::verify::verify_plan(&plan, functions)?;
-        let batch = execute_node(&plan, catalog, functions, &opts)?;
+        let batch = execute_node(&plan, catalog, functions, &opts, None)?;
         if batch.width() != 1 {
             return Err(DbError::bind(format!(
                 "scalar subquery returned {} columns",

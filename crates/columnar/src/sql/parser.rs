@@ -169,8 +169,9 @@ impl Parser {
             return Ok(Statement::Query(self.query()?));
         }
         if self.eat_keyword("explain") {
+            let analyze = self.eat_keyword("analyze");
             let q = self.query()?;
-            return Ok(Statement::Explain(q));
+            return Ok(Statement::Explain { query: q, analyze });
         }
         Err(self.error(format!("expected a statement, found '{}'", self.peek_text())))
     }

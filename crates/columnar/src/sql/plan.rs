@@ -351,12 +351,18 @@ pub enum BoundStatement {
         /// Scalar subqueries.
         scalar_subs: Vec<LogicalPlan>,
     },
-    /// `EXPLAIN`: render the optimized plan instead of executing it.
+    /// `EXPLAIN`: render the optimized plan instead of executing it. With
+    /// `analyze`, the query also runs and each operator line reports its
+    /// observed input/output rows, wall time, and whether the parallel path
+    /// actually engaged.
     Explain {
         /// The plan to describe.
         plan: LogicalPlan,
-        /// Scalar subqueries (listed, not executed).
+        /// Scalar subqueries (listed under plain `EXPLAIN`, executed and
+        /// substituted under `EXPLAIN ANALYZE`).
         scalar_subs: Vec<LogicalPlan>,
+        /// Whether to execute the plan and annotate runtime statistics.
+        analyze: bool,
     },
     /// `SHOW TABLES`.
     ShowTables,

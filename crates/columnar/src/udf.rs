@@ -146,6 +146,8 @@ impl std::fmt::Debug for FunctionRegistry {
 /// All engine call sites (expression evaluation) route through this wrapper
 /// rather than calling [`ScalarUdf::invoke`] directly.
 pub fn invoke_scalar_checked(udf: &dyn ScalarUdf, args: &[Arc<Column>]) -> DbResult<Column> {
+    crate::metrics::counter(&format!("udf.{}.invocations", udf.name())).incr();
+    crate::metrics::counter("udf.scalar.invocations").incr();
     let out = udf.invoke(args)?;
     #[cfg(debug_assertions)]
     {

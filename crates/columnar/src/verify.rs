@@ -59,7 +59,7 @@ pub fn verify_plan(plan: &LogicalPlan, functions: &FunctionRegistry) -> DbResult
 pub fn verify_statement(stmt: &BoundStatement, functions: &FunctionRegistry) -> DbResult<()> {
     let (plan, subs): (Option<&LogicalPlan>, &[LogicalPlan]) = match stmt {
         BoundStatement::Query { plan, scalar_subs }
-        | BoundStatement::Explain { plan, scalar_subs }
+        | BoundStatement::Explain { plan, scalar_subs, .. }
         | BoundStatement::CreateTableAs { plan, scalar_subs, .. }
         | BoundStatement::InsertQuery { plan, scalar_subs, .. } => (Some(plan), scalar_subs),
         BoundStatement::Delete { scalar_subs, .. } | BoundStatement::Update { scalar_subs, .. } => {

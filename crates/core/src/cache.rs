@@ -58,9 +58,11 @@ impl ModelCache {
         let key = (fnv1a(blob), blob.len());
         if let Some(hit) = self.entries.lock().get(&key).cloned() {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            mlcs_columnar::metrics::counter("modelstore.cache.hits").incr();
             return Ok(hit);
         }
         self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        mlcs_columnar::metrics::counter("modelstore.cache.misses").incr();
         let model = Arc::new(StoredModel::from_blob(blob).map_err(|e| DbError::Udf {
             function: "model cache".into(),
             message: e.to_string(),

@@ -52,6 +52,8 @@
 //! assert_eq!(out.rows(), 6);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bridge;
 pub mod cache;
 pub mod ensemble;

@@ -50,12 +50,23 @@ impl StoredModel {
     }
 
     /// Serializes into a BLOB for storage in the database.
+    ///
+    /// Each call feeds the `pickle.serialize.invocations` counter and the
+    /// `pickle.serialize.bytes` histogram — `mlcs-pickle` itself is a leaf
+    /// crate, so the envelope's byte accounting hooks in here, at the point
+    /// where models cross into the engine.
     pub fn to_blob(&self) -> Vec<u8> {
-        mlcs_pickle::pickle(self)
+        let blob = mlcs_pickle::pickle(self);
+        mlcs_columnar::metrics::counter("pickle.serialize.invocations").incr();
+        mlcs_columnar::metrics::record_bytes("pickle.serialize.bytes", blob.len());
+        blob
     }
 
-    /// Revives a stored model from a BLOB.
+    /// Revives a stored model from a BLOB, feeding the
+    /// `pickle.deserialize.*` metrics (see [`StoredModel::to_blob`]).
     pub fn from_blob(blob: &[u8]) -> MlResult<StoredModel> {
+        mlcs_columnar::metrics::counter("pickle.deserialize.invocations").incr();
+        mlcs_columnar::metrics::record_bytes("pickle.deserialize.bytes", blob.len());
         Ok(mlcs_pickle::unpickle(blob)?)
     }
 

@@ -156,8 +156,11 @@ impl TableUdf for TrainUdf {
         let forest = RandomForestClassifier::new(n_estimators as usize)
             .with_seed(self.seed)
             .with_n_jobs(jobs);
-        let sm = StoredModel::train(Model::RandomForest(forest), &x, &y)
-            .map_err(|e| udf_err("train", e))?;
+        mlcs_columnar::metrics::counter("udf.train.rows").add(x.rows() as u64);
+        let (sm, _) = mlcs_columnar::metrics::time_section("udf.train.time_ns", || {
+            StoredModel::train(Model::RandomForest(forest), &x, &y)
+        });
+        let sm = sm.map_err(|e| udf_err("train", e))?;
         train_output(&sm, format!("n_estimators={n_estimators}"), x.rows())
     }
 }
@@ -361,6 +364,7 @@ impl ScalarUdf for PredictUdf {
             if rows == 0 {
                 return Ok(Column::from_i64s(Vec::new()));
             }
+            mlcs_columnar::metrics::counter(&format!("udf.{}.rows", self.name())).add(rows as u64);
             let x = matrix_from_columns(&features)?;
             let pred = sm.predict(&x).map_err(|e| udf_err(self.name(), e))?;
             return Ok(Column::from_i64s(pred));
@@ -370,6 +374,7 @@ impl ScalarUdf for PredictUdf {
         if rows == 0 {
             return Ok(Column::from_i64s(Vec::new()));
         }
+        mlcs_columnar::metrics::counter(&format!("udf.{}.rows", self.name())).add(rows as u64);
         let x = matrix_from_columns(&features)?;
         if !self.parallel {
             let pred = sm.predict(&x).map_err(|e| udf_err(self.name(), e))?;

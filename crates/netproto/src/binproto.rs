@@ -48,7 +48,11 @@ impl BinaryClient {
         loop {
             let (kind, payload) = read_frame(&mut self.reader)?;
             match kind {
-                FrameKind::RowsBinary => parse_binary_rows(&payload, &types, &mut builders)?,
+                FrameKind::RowsBinary => {
+                    mlcs_columnar::metrics::counter("netproto.binary.bytes_received")
+                        .add(payload.len() as u64);
+                    parse_binary_rows(&payload, &types, &mut builders)?
+                }
                 FrameKind::Done => break,
                 FrameKind::Error => {
                     return Err(DbError::Io(format!(
@@ -60,7 +64,10 @@ impl BinaryClient {
             }
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
-        Batch::new(schema, columns)
+        let batch = Batch::new(schema, columns)?;
+        mlcs_columnar::metrics::counter("netproto.binary.queries").incr();
+        mlcs_columnar::metrics::counter("netproto.binary.rows").add(batch.rows() as u64);
+        Ok(batch)
     }
 }
 

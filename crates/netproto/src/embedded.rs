@@ -18,6 +18,7 @@ pub struct RowCursor {
 impl RowCursor {
     /// Executes `sql` and returns a cursor positioned before the first row.
     pub fn query(db: &Database, sql: &str) -> DbResult<RowCursor> {
+        mlcs_columnar::metrics::counter("netproto.embedded.queries").incr();
         Ok(RowCursor { batch: db.query(sql)?, row: -1 })
     }
 
@@ -66,11 +67,14 @@ impl RowCursor {
         let schema = self.batch.schema().clone();
         let mut builders: Vec<ColumnBuilder> =
             schema.fields().iter().map(|f| ColumnBuilder::new(f.dtype)).collect();
+        let mut rows: u64 = 0;
         while self.step() {
             for (c, b) in builders.iter_mut().enumerate() {
                 b.push_value(&self.get(c))?;
             }
+            rows += 1;
         }
+        mlcs_columnar::metrics::counter("netproto.embedded.rows").add(rows);
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         Batch::new(schema, columns)
     }

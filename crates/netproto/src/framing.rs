@@ -50,6 +50,9 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> DbRes
     header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
+    mlcs_columnar::metrics::counter("netproto.frames_sent").incr();
+    mlcs_columnar::metrics::counter("netproto.bytes_sent")
+        .add((header.len() + payload.len()) as u64);
     Ok(())
 }
 
@@ -64,6 +67,8 @@ pub fn read_frame(r: &mut impl Read) -> DbResult<(FrameKind, Vec<u8>)> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    mlcs_columnar::metrics::counter("netproto.frames_received").incr();
+    mlcs_columnar::metrics::counter("netproto.bytes_received").add((header.len() + len) as u64);
     Ok((kind, payload))
 }
 

@@ -134,9 +134,15 @@ fn stream_result(w: &mut impl Write, batch: &Batch, encoding: Encoding) -> DbRes
             Encoding::Text => FrameKind::RowsText,
             Encoding::Binary => FrameKind::RowsBinary,
         };
+        let sent = match encoding {
+            Encoding::Text => "netproto.text.bytes_sent",
+            Encoding::Binary => "netproto.binary.bytes_sent",
+        };
+        mlcs_columnar::metrics::counter(sent).add(payload.len() as u64);
         write_frame(w, kind, &payload)?;
         start = end;
     }
+    mlcs_columnar::metrics::counter("netproto.server.queries").incr();
     write_frame(w, FrameKind::Done, &(batch.rows() as u64).to_le_bytes())?;
     Ok(())
 }

@@ -47,6 +47,8 @@ impl TextClient {
             let (kind, payload) = read_frame(&mut self.reader)?;
             match kind {
                 FrameKind::RowsText => {
+                    mlcs_columnar::metrics::counter("netproto.text.bytes_received")
+                        .add(payload.len() as u64);
                     parse_text_rows(&payload, &mut builders)?;
                 }
                 FrameKind::Done => break,
@@ -60,7 +62,10 @@ impl TextClient {
             }
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
-        Batch::new(schema, columns)
+        let batch = Batch::new(schema, columns)?;
+        mlcs_columnar::metrics::counter("netproto.text.queries").incr();
+        mlcs_columnar::metrics::counter("netproto.text.rows").add(batch.rows() as u64);
+        Ok(batch)
     }
 }
 

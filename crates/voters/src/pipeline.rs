@@ -19,6 +19,7 @@
 use crate::analysis::{precinct_share_error, wrangle};
 use crate::gen::{feature_name, load_into_db, VoterConfig, VoterData};
 use crate::label::{register_label_udf, register_split_udf, voter_uniform, LABEL_DEM};
+use mlcs_columnar::metrics;
 use mlcs_columnar::{Batch, Column, Database, DbError, DbResult};
 use mlcs_core::register_ml_udfs;
 use mlcs_core::stored::StoredModel;
@@ -28,7 +29,7 @@ use mlcs_ml::forest::RandomForestClassifier;
 use mlcs_ml::Model;
 use mlcs_netproto::{BinaryClient, RowCursor, Server, TextClient};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The data-access methods of Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -256,48 +257,58 @@ fn run_in_db(env: &PipelineEnv, opts: &PipelineOptions, parallel: bool) -> DbRes
     for t in ["labeled", "model", "predictions"] {
         db.execute(&format!("DROP TABLE IF EXISTS {t}"))?;
     }
-    let start = Instant::now();
+    // Stage timing goes through the metrics registry (the `fig1.*`
+    // duration histograms), never raw Instant calls: the durations in the
+    // returned PipelineRun are exactly the values recorded, so Figure 1's
+    // split and a registry snapshot agree by construction.
+    let (stages, total) = metrics::time_section("fig1.total", || -> DbResult<_> {
+        // 1. Preprocessing in SQL: join + weighted label + split draw.
+        let (r, load_wrangle) = metrics::time_section("fig1.load_wrangle", || {
+            db.execute(&format!(
+                "CREATE TABLE labeled AS
+                 SELECT v.voter_id, v.precinct_id, {v_feats},
+                        gen_label(v.voter_id, p.votes_dem, p.votes_rep, {seed}) AS label,
+                        split_u(v.voter_id, {split_seed}) AS u
+                 FROM voters v JOIN precincts p ON v.precinct_id = p.precinct_id"
+            ))
+        });
+        r?;
 
-    // 1. Preprocessing in SQL: join + weighted label + split draw.
-    let t0 = Instant::now();
-    db.execute(&format!(
-        "CREATE TABLE labeled AS
-         SELECT v.voter_id, v.precinct_id, {v_feats},
-                gen_label(v.voter_id, p.votes_dem, p.votes_rep, {seed}) AS label,
-                split_u(v.voter_id, {split_seed}) AS u
-         FROM voters v JOIN precincts p ON v.precinct_id = p.precinct_id"
-    ))?;
-    let load_wrangle = t0.elapsed();
+        // 2. Training through the paper's `train` table UDF (Listing 1).
+        let (r, train) = metrics::time_section("fig1.train", || {
+            db.execute(&format!(
+                "CREATE TABLE model AS SELECT * FROM train(
+                   (SELECT {feats} FROM labeled WHERE u >= {frac}),
+                   (SELECT label FROM labeled WHERE u >= {frac}),
+                   {n})",
+                n = opts.n_estimators
+            ))
+        });
+        r?;
 
-    // 2. Training through the paper's `train` table UDF (Listing 1).
-    let t0 = Instant::now();
-    db.execute(&format!(
-        "CREATE TABLE model AS SELECT * FROM train(
-           (SELECT {feats} FROM labeled WHERE u >= {frac}),
-           (SELECT label FROM labeled WHERE u >= {frac}),
-           {n})",
-        n = opts.n_estimators
-    ))?;
-    let train = t0.elapsed();
-
-    // 3. Prediction (Listing 2) + in-SQL per-precinct aggregation.
-    let t0 = Instant::now();
-    let predict_fn = if parallel { "predict_parallel" } else { "predict" };
-    db.execute(&format!(
-        "CREATE TABLE predictions AS
-         SELECT precinct_id,
-                {predict_fn}({feats}, (SELECT classifier FROM model)) AS pred
-         FROM labeled WHERE u < {frac}"
-    ))?;
-    let agg = db.query(
-        "SELECT precinct_id,
-                SUM(CASE WHEN pred = 1 THEN 1 ELSE 0 END) AS pred_dem,
-                COUNT(*) AS n
-         FROM predictions GROUP BY precinct_id",
-    )?;
-    let test_rows =
-        db.query_value("SELECT COUNT(*) FROM predictions")?.as_i64().unwrap_or(0) as usize;
-    let predict = t0.elapsed();
+        // 3. Prediction (Listing 2) + in-SQL per-precinct aggregation.
+        let predict_fn = if parallel { "predict_parallel" } else { "predict" };
+        let (r, predict) = metrics::time_section("fig1.predict", || -> DbResult<_> {
+            db.execute(&format!(
+                "CREATE TABLE predictions AS
+                 SELECT precinct_id,
+                        {predict_fn}({feats}, (SELECT classifier FROM model)) AS pred
+                 FROM labeled WHERE u < {frac}"
+            ))?;
+            let agg = db.query(
+                "SELECT precinct_id,
+                        SUM(CASE WHEN pred = 1 THEN 1 ELSE 0 END) AS pred_dem,
+                        COUNT(*) AS n
+                 FROM predictions GROUP BY precinct_id",
+            )?;
+            let test_rows =
+                db.query_value("SELECT COUNT(*) FROM predictions")?.as_i64().unwrap_or(0) as usize;
+            Ok((agg, test_rows))
+        });
+        let (agg, test_rows) = r?;
+        Ok((load_wrangle, train, predict, agg, test_rows))
+    });
+    let (load_wrangle, train, predict, agg, test_rows) = stages?;
 
     // Quality: compare aggregated predictions with the actual precinct
     // shares (small data; evaluated client-side like the paper's plots).
@@ -307,7 +318,7 @@ fn run_in_db(env: &PipelineEnv, opts: &PipelineOptions, parallel: bool) -> DbRes
         load_wrangle,
         train,
         predict,
-        total: start.elapsed(),
+        total,
         share_error,
         test_rows,
     })
@@ -344,64 +355,67 @@ fn run_client_side(
     opts: &PipelineOptions,
     load: impl FnOnce(&PipelineEnv) -> DbResult<(Batch, Batch)>,
 ) -> DbResult<PipelineRun> {
-    let start = Instant::now();
+    // Stage timing through the metrics registry, as in `run_in_db`.
+    let (stages, total) = metrics::time_section("fig1.total", || -> DbResult<_> {
+        // 1. Load through the access path, then wrangle client-side.
+        let (r, load_wrangle) = metrics::time_section("fig1.load_wrangle", || -> DbResult<_> {
+            let (voters, precincts) = load(env)?;
+            let wrangled = wrangle(&voters, &precincts, opts.seed)?;
+            Ok((voters, precincts, wrangled))
+        });
+        let (voters, precincts, wrangled) = r?;
 
-    // 1. Load through the access path, then wrangle client-side.
-    let t0 = Instant::now();
-    let (voters, precincts) = load(env)?;
-    let wrangled = wrangle(&voters, &precincts, opts.seed)?;
-    let load_wrangle = t0.elapsed();
+        // 2. Train on the training split.
+        let (r, train) = metrics::time_section("fig1.train", || -> DbResult<_> {
+            let feature_cols: Vec<&Column> = opts
+                .train_features
+                .iter()
+                .map(|f| voters.column_by_name(f).map(|c| c.as_ref()))
+                .collect::<DbResult<_>>()?;
+            let x = mlcs_core::bridge::matrix_from_columns(&feature_cols)?;
+            let vid_col = voters.column_by_name("voter_id")?;
+            let split_seed = opts.seed.wrapping_add(1);
+            let mut train_idx = Vec::new();
+            let mut test_idx = Vec::new();
+            for i in 0..voters.rows() {
+                let vid = vid_col.i64_at(i).unwrap_or(i as i64);
+                if voter_uniform(vid, split_seed) < opts.test_fraction {
+                    test_idx.push(i);
+                } else {
+                    train_idx.push(i);
+                }
+            }
+            let x_train = x.take_rows(&train_idx);
+            let y_train: Vec<i64> = train_idx.iter().map(|&i| wrangled.labels[i]).collect();
+            // Seed with the in-database trainer's default so the
+            // client-side forest is bit-identical to the one `train(...)`
+            // builds in SQL.
+            let forest = RandomForestClassifier::new(opts.n_estimators)
+                .with_seed(mlcs_core::udf::DEFAULT_TRAIN_SEED);
+            let model =
+                StoredModel::train(Model::RandomForest(forest), &x_train, &y_train).map_err(
+                    |e| DbError::Udf { function: "pipeline train".into(), message: e.to_string() },
+                )?;
+            Ok((x, model, test_idx))
+        });
+        let (x, model, test_idx) = r?;
 
-    // 2. Train on the training split.
-    let t0 = Instant::now();
-    let feature_cols: Vec<&Column> = opts
-        .train_features
-        .iter()
-        .map(|f| voters.column_by_name(f).map(|c| c.as_ref()))
-        .collect::<DbResult<_>>()?;
-    let x = mlcs_core::bridge::matrix_from_columns(&feature_cols)?;
-    let vid_col = voters.column_by_name("voter_id")?;
-    let split_seed = opts.seed.wrapping_add(1);
-    let mut train_idx = Vec::new();
-    let mut test_idx = Vec::new();
-    for i in 0..voters.rows() {
-        let vid = vid_col.i64_at(i).unwrap_or(i as i64);
-        if voter_uniform(vid, split_seed) < opts.test_fraction {
-            test_idx.push(i);
-        } else {
-            train_idx.push(i);
-        }
-    }
-    let x_train = x.take_rows(&train_idx);
-    let y_train: Vec<i64> = train_idx.iter().map(|&i| wrangled.labels[i]).collect();
-    // Seed with the in-database trainer's default so the client-side
-    // forest is bit-identical to the one `train(...)` builds in SQL.
-    let forest = RandomForestClassifier::new(opts.n_estimators)
-        .with_seed(mlcs_core::udf::DEFAULT_TRAIN_SEED);
-    let model = StoredModel::train(Model::RandomForest(forest), &x_train, &y_train)
-        .map_err(|e| DbError::Udf { function: "pipeline train".into(), message: e.to_string() })?;
-    let train = t0.elapsed();
+        // 3. Predict the test split and aggregate by precinct.
+        let (r, predict) = metrics::time_section("fig1.predict", || -> DbResult<_> {
+            let x_test = x.take_rows(&test_idx);
+            let pred = model.predict(&x_test).map_err(|e| DbError::Udf {
+                function: "pipeline predict".into(),
+                message: e.to_string(),
+            })?;
+            let test_pids: Vec<i32> = test_idx.iter().map(|&i| wrangled.precinct_ids[i]).collect();
+            precinct_share_error(&test_pids, &pred, &precincts)
+        });
+        let share_error = r?;
+        Ok((load_wrangle, train, predict, share_error, test_idx.len()))
+    });
+    let (load_wrangle, train, predict, share_error, test_rows) = stages?;
 
-    // 3. Predict the test split and aggregate by precinct.
-    let t0 = Instant::now();
-    let x_test = x.take_rows(&test_idx);
-    let pred = model.predict(&x_test).map_err(|e| DbError::Udf {
-        function: "pipeline predict".into(),
-        message: e.to_string(),
-    })?;
-    let test_pids: Vec<i32> = test_idx.iter().map(|&i| wrangled.precinct_ids[i]).collect();
-    let share_error = precinct_share_error(&test_pids, &pred, &precincts)?;
-    let predict = t0.elapsed();
-
-    Ok(PipelineRun {
-        method,
-        load_wrangle,
-        train,
-        predict,
-        total: start.elapsed(),
-        share_error,
-        test_rows: test_idx.len(),
-    })
+    Ok(PipelineRun { method, load_wrangle, train, predict, total, share_error, test_rows })
 }
 
 /// Convenience used by tests and the example binaries: prepare, run the

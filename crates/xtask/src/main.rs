@@ -15,11 +15,17 @@
 //!   typed `DbResult` values, never process aborts mid-query. A site that
 //!   genuinely cannot fail may be annotated on the same line with
 //!   `// lint: allow(<reason>)`.
+//! * **Registry-sourced harness timing.** The Figure 1 harness modules
+//!   (`voters/src/pipeline.rs`, `bench/src/`) must derive stage timings
+//!   from the `mlcs_columnar::metrics` registry (`metrics::time_section`),
+//!   never from raw `std::time::Instant` arithmetic — hand-rolled timers
+//!   let the printed wrangle/total split drift from what a metrics
+//!   snapshot reports. The same `// lint: allow(<reason>)` escape applies.
 //! * **Unsafe inventory.** Every `unsafe` occurrence in the workspace is
 //!   listed so new unsafe code is visible in review. The inventory is
 //!   informational and does not fail the lint.
 //!
-//! Exits non-zero when any unannotated hot-path violation exists.
+//! Exits non-zero when any unannotated violation exists.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -40,6 +46,16 @@ const HOT_PATHS: &[&str] = &[
 /// `.expect_err(`.
 const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!"];
 
+/// Harness modules whose stage timing must be sourced from the metrics
+/// registry (`mlcs_columnar::metrics::time_section`) so the printed
+/// Figure 1 split and a registry snapshot agree by construction. Same
+/// path-matching rules as [`HOT_PATHS`].
+const REGISTRY_TIMED_PATHS: &[&str] = &["crates/voters/src/pipeline.rs", "crates/bench/src/"];
+
+/// Pattern forbidden in registry-timed harness modules: any mention of
+/// `Instant` in code (comments are skipped; discussing the rule is fine).
+const TIMER_FORBIDDEN: &[&str] = &["Instant"];
+
 /// Escape hatch marker: a forbidden call on the same line as this marker
 /// (with a reason in parentheses) is accepted.
 const ALLOW_MARKER: &str = "// lint: allow(";
@@ -53,7 +69,7 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    panic-free hot-path check + unsafe inventory");
+            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    panic-free hot paths + registry-sourced harness timing + unsafe inventory");
             ExitCode::FAILURE
         }
     }
@@ -64,6 +80,8 @@ struct Violation {
     file: PathBuf,
     line: usize,
     pattern: &'static str,
+    /// Which rule flagged the line (rendered in the diagnostic).
+    rule: &'static str,
     text: String,
 }
 
@@ -71,14 +89,22 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: forbidden `{}` in hot-path module: {}",
+            "{}:{}: forbidden `{}` {}: {}",
             self.file.display(),
             self.line,
             self.pattern,
+            self.rule,
             self.text.trim()
         )
     }
 }
+
+/// Diagnostic tag for the panic-free hot-path rule.
+const RULE_HOT_PATH: &str = "in hot-path module";
+
+/// Diagnostic tag for the registry-timing rule.
+const RULE_REGISTRY_TIMING: &str =
+    "in registry-timed harness code (use mlcs_columnar::metrics::time_section)";
 
 fn lint() -> ExitCode {
     let root = workspace_root();
@@ -97,7 +123,10 @@ fn lint() -> ExitCode {
         };
         let rel = path.strip_prefix(&root).unwrap_or(path);
         if is_hot_path(rel) {
-            scan_hot_path(rel, &content, &mut violations);
+            scan_forbidden(rel, &content, FORBIDDEN, RULE_HOT_PATH, &mut violations);
+        }
+        if matches_any(rel, REGISTRY_TIMED_PATHS) {
+            scan_forbidden(rel, &content, TIMER_FORBIDDEN, RULE_REGISTRY_TIMING, &mut violations);
         }
         // The linter's own sources talk about "unsafe" in strings and
         // patterns; excluding them keeps the inventory to real code.
@@ -116,15 +145,19 @@ fn lint() -> ExitCode {
     }
 
     if violations.is_empty() {
-        println!("lint ok: {} files scanned, hot-path modules are panic-free", sources.len());
+        println!(
+            "lint ok: {} files scanned, hot paths panic-free, harness timing registry-sourced",
+            sources.len()
+        );
         ExitCode::SUCCESS
     } else {
         for v in &violations {
             eprintln!("{v}");
         }
         eprintln!(
-            "\nlint failed: {} unannotated hot-path violation(s). Return a typed \
-             DbResult error instead, or annotate the line with `{ALLOW_MARKER}<reason>)`.",
+            "\nlint failed: {} unannotated violation(s). Fix the line (typed DbResult \
+             errors in hot paths; metrics::time_section for harness timing), or \
+             annotate it with `{ALLOW_MARKER}<reason>)`.",
             violations.len()
         );
         ExitCode::FAILURE
@@ -154,35 +187,51 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 fn is_hot_path(rel: &Path) -> bool {
-    // Compare with forward slashes so the check is platform-independent.
-    let rel = rel.to_string_lossy().replace('\\', "/");
-    HOT_PATHS.iter().any(|p| if p.ends_with('/') { rel.starts_with(p) } else { rel == *p })
+    matches_any(rel, HOT_PATHS)
 }
 
-/// Flags forbidden patterns in the non-test portion of a hot-path file.
+/// Whether `rel` matches any prefix list entry (a trailing `/` marks a
+/// directory subtree; otherwise an exact file match).
+fn matches_any(rel: &Path, prefixes: &[&str]) -> bool {
+    // Compare with forward slashes so the check is platform-independent.
+    let rel = rel.to_string_lossy().replace('\\', "/");
+    prefixes.iter().any(|p| if p.ends_with('/') { rel.starts_with(p) } else { rel == *p })
+}
+
+/// Flags `patterns` in the non-test portion of a file, tagging each hit
+/// with `rule` for the diagnostic.
 ///
 /// Enforcement stops at the first `#[cfg(test)]` — by workspace convention
 /// the unit-test module sits at the end of each file, and test code is free
-/// to unwrap.
-fn scan_hot_path(rel: &Path, content: &str, out: &mut Vec<Violation>) {
+/// to unwrap (or hand-time). Comment lines are skipped so prose may discuss
+/// the forbidden constructs, and `// lint: allow(<reason>)` on the same
+/// line as a hit accepts it.
+fn scan_forbidden(
+    rel: &Path,
+    content: &str,
+    patterns: &[&'static str],
+    rule: &'static str,
+    out: &mut Vec<Violation>,
+) {
     for (i, line) in content.lines().enumerate() {
         let trimmed = line.trim_start();
         if trimmed.starts_with("#[cfg(test)]") {
             break;
         }
-        // Comments (incl. doc comments) may discuss panicking freely.
+        // Comments (incl. doc comments) may discuss the constructs freely.
         if trimmed.starts_with("//") {
             continue;
         }
         if line.contains(ALLOW_MARKER) {
             continue;
         }
-        for pattern in FORBIDDEN {
+        for pattern in patterns {
             if line.contains(pattern) {
                 out.push(Violation {
                     file: rel.to_path_buf(),
                     line: i + 1,
                     pattern,
+                    rule,
                     text: line.to_owned(),
                 });
             }
@@ -233,19 +282,37 @@ mod tests {
     }
 
     #[test]
+    fn registry_timed_matching() {
+        assert!(matches_any(Path::new("crates/voters/src/pipeline.rs"), REGISTRY_TIMED_PATHS));
+        assert!(matches_any(Path::new("crates/bench/src/bin/fig1.rs"), REGISTRY_TIMED_PATHS));
+        assert!(matches_any(Path::new("crates/bench/src/lib.rs"), REGISTRY_TIMED_PATHS));
+        assert!(!matches_any(Path::new("crates/voters/src/report.rs"), REGISTRY_TIMED_PATHS));
+        assert!(!matches_any(Path::new("crates/columnar/src/metrics.rs"), REGISTRY_TIMED_PATHS));
+    }
+
+    #[test]
     fn scan_flags_and_allows() {
         let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    z.unwrap(); // lint: allow(infallible by construction)\n    let v = o.unwrap_or(0);\n}\n#[cfg(test)]\nmod tests {\n    fn g() { t.unwrap(); }\n}\n";
         let mut out = Vec::new();
-        scan_hot_path(Path::new("x.rs"), src, &mut out);
+        scan_forbidden(Path::new("x.rs"), src, FORBIDDEN, RULE_HOT_PATH, &mut out);
         let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
         assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn scan_flags_raw_timers() {
+        let src = "use std::time::Instant;\n// Instant is discussed here, which is fine.\nfn f() {\n    let t = Instant::now();\n    let ok = Instant::now(); // lint: allow(warm-up timing only)\n}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = Instant::now(); }\n}\n";
+        let mut out = Vec::new();
+        scan_forbidden(Path::new("x.rs"), src, TIMER_FORBIDDEN, RULE_REGISTRY_TIMING, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 4]);
     }
 
     #[test]
     fn scan_skips_comments_and_macros_in_docs() {
         let src = "/// Calls panic! when poked.\n// .unwrap() discussion\nfn f() {}\n";
         let mut out = Vec::new();
-        scan_hot_path(Path::new("x.rs"), src, &mut out);
+        scan_forbidden(Path::new("x.rs"), src, FORBIDDEN, RULE_HOT_PATH, &mut out);
         assert!(out.is_empty());
     }
 

@@ -8,9 +8,16 @@
 //! mlcs> INSERT INTO t VALUES (1, 0), (2, 0), (10, 1), (11, 1);
 //! mlcs> CREATE TABLE m AS SELECT * FROM train((SELECT x FROM t), (SELECT label FROM t), 8);
 //! mlcs> SELECT x, predict(x, (SELECT classifier FROM m)) FROM t;
+//! mlcs> EXPLAIN ANALYZE SELECT x, predict(x, (SELECT classifier FROM m)) FROM t;
+//! mlcs> \m
 //! mlcs> SHOW TABLES;
 //! mlcs> \q
 //! ```
+//!
+//! `EXPLAIN ANALYZE <stmt>` executes the statement and prints the plan
+//! with per-operator actual rows, wall time, and `[parallel]` markers;
+//! `\m` dumps the process-wide metrics registry (UDF invocations, pickle
+//! bytes, operator rows — see `mlcs_columnar::metrics`), `\mr` resets it.
 
 use mlcs::columnar::{Database, StatementKind};
 use std::io::{BufRead, Write};
@@ -20,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mlcs::mlcore::register_ml_udfs(&db);
     mlcs::voters::label::register_label_udf(&db);
     println!("mlcs SQL shell — ML UDFs registered (train, predict, ...).");
-    println!("End statements with ';'. Commands: \\q quit, \\t timing toggle.");
+    println!(
+        "End statements with ';'. Commands: \\q quit, \\t timing toggle, \
+         \\m metrics snapshot, \\mr metrics reset."
+    );
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut timing = true;
@@ -42,6 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "\\t" => {
                     timing = !timing;
                     println!("timing {}", if timing { "on" } else { "off" });
+                    continue;
+                }
+                "\\m" => {
+                    let rendered = mlcs::columnar::metrics::snapshot().render();
+                    if rendered.is_empty() {
+                        println!("(no metrics recorded yet)");
+                    } else {
+                        print!("{rendered}");
+                    }
+                    continue;
+                }
+                "\\mr" => {
+                    mlcs::columnar::metrics::reset();
+                    println!("metrics reset");
                     continue;
                 }
                 "" => continue,

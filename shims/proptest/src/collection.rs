@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Accepted length specs for [`vec`]: an exact `usize`, `a..b`, or `a..=b`.
+/// Accepted length specs for [`vec()`]: an exact `usize`, `a..b`, or `a..=b`.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -1,0 +1,106 @@
+//! EXPLAIN ANALYZE output shape: every operator line carries actual row
+//! counts and wall time, and the `[parallel]` annotation appears exactly
+//! when the engine's per-operator gates would pick the parallel path —
+//! the same gates `tests/parallel_exec.rs` exercises for correctness.
+
+use mlcs::columnar::{Database, Value};
+
+/// Seeds `rows` voters-like rows into table `t` plus a small dimension `d`.
+fn seed(db: &Database, rows: i64) {
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER)").unwrap();
+    db.execute("CREATE TABLE d (k INTEGER, label VARCHAR)").unwrap();
+    db.execute("INSERT INTO d VALUES (0, 'zero'), (1, 'one'), (2, 'two')").unwrap();
+    let mut values = Vec::with_capacity(rows as usize);
+    for i in 0..rows {
+        values.push(format!("({}, {})", i % 5, i % 11));
+    }
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+}
+
+/// Runs a statement and joins the one-column result into plan text.
+fn text_of(db: &Database, sql: &str) -> String {
+    let batch = db.query(sql).unwrap();
+    (0..batch.rows())
+        .map(|r| match &batch.row(r)[0] {
+            Value::Varchar(s) => format!("{s}\n"),
+            other => panic!("EXPLAIN returned {other:?}"),
+        })
+        .collect()
+}
+
+const QUERY: &str =
+    "EXPLAIN ANALYZE SELECT t.k, COUNT(*) FROM t JOIN d ON t.k = d.k WHERE t.v > 3 \
+     GROUP BY t.k ORDER BY t.k";
+
+#[test]
+fn analyze_annotates_every_operator_with_rows_and_time() {
+    let db = Database::new();
+    db.set_threads(1);
+    seed(&db, 500);
+    let text = text_of(&db, QUERY);
+    for node in ["Scan t", "Scan d", "Join", "Filter", "Aggregate", "Sort"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(node))
+            .unwrap_or_else(|| panic!("{node} missing from:\n{text}"));
+        assert!(line.contains("rows="), "{node} has no row count:\n{text}");
+        assert!(line.contains("time="), "{node} has no wall time:\n{text}");
+    }
+    // Non-leaf operators also report their input cardinality.
+    let sort = text.lines().find(|l| l.contains("Sort")).unwrap();
+    assert!(sort.contains("in="), "Sort has no input count:\n{text}");
+    // The scan's actual row count is the table's size.
+    let scan = text.lines().find(|l| l.contains("Scan t")).unwrap();
+    assert!(scan.contains("rows=500"), "Scan t wrong cardinality:\n{text}");
+    // And a whole-statement summary line closes the output.
+    assert!(text.contains("execution:"), "missing execution summary:\n{text}");
+}
+
+#[test]
+fn analyze_parallel_annotation_follows_the_executor_gates() {
+    // Forced-parallel database: every eligible operator takes the morsel
+    // path regardless of the machine's core count (same convention as
+    // tests/parallel_exec.rs).
+    let par = Database::new();
+    par.set_threads(4);
+    par.set_parallel_threshold(1);
+    seed(&par, 500);
+    let text = text_of(&par, QUERY);
+    for node in ["Filter", "Join", "Aggregate", "Sort"] {
+        let line = text.lines().find(|l| l.contains(node)).unwrap();
+        assert!(line.contains("[parallel]"), "{node} should run parallel:\n{text}");
+    }
+    // Scans materialize views of stored columns; they never fan out.
+    let scan = text.lines().find(|l| l.contains("Scan t")).unwrap();
+    assert!(!scan.contains("[parallel]"), "Scan t cannot be parallel:\n{text}");
+
+    // Serial database: identical plan, no [parallel] anywhere.
+    let ser = Database::new();
+    ser.set_threads(1);
+    seed(&ser, 500);
+    let text = text_of(&ser, QUERY);
+    assert!(text.contains("rows="), "serial ANALYZE lost its stats:\n{text}");
+    assert!(!text.contains("[parallel]"), "serial plan claims parallelism:\n{text}");
+}
+
+#[test]
+fn plain_explain_is_unchanged_by_the_analyze_path() {
+    let db = Database::new();
+    db.set_threads(1);
+    seed(&db, 100);
+    let text = text_of(&db, "EXPLAIN SELECT k FROM t WHERE v > 3");
+    assert!(!text.contains("rows="), "plain EXPLAIN must not execute:\n{text}");
+    assert!(!text.contains("time="), "plain EXPLAIN must not time:\n{text}");
+    assert!(!text.contains("execution:"), "plain EXPLAIN must not run:\n{text}");
+}
+
+#[test]
+fn analyze_summary_matches_the_result_cardinality() {
+    let db = Database::new();
+    db.set_threads(1);
+    seed(&db, 200);
+    // The underlying SELECT returns 5 groups; ANALYZE must report exactly
+    // the rows the statement would have produced.
+    let text = text_of(&db, "EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t GROUP BY k");
+    assert!(text.contains("execution: 5 rows"), "wrong summary:\n{text}");
+}

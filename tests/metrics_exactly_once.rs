@@ -1,0 +1,69 @@
+//! The registry's counters must move exactly once per event: one
+//! invocation counter tick per UDF call (not per row — the UDFs are
+//! vectorized) and one serialize/deserialize tick per pickle round-trip,
+//! with byte histograms matching the blob sizes exactly.
+//!
+//! A single `#[test]` on purpose: the registry is process-global, and a
+//! concurrent test in the same binary could move the very counters whose
+//! deltas are asserted here.
+
+use mlcs::columnar::{metrics, Database, Value};
+use mlcs::mlcore::{register_ml_udfs, StoredModel};
+
+#[test]
+fn counters_move_exactly_once_per_event() {
+    let db = Database::new();
+    register_ml_udfs(&db);
+    db.execute("CREATE TABLE points (x DOUBLE, y DOUBLE, label INTEGER)").unwrap();
+    db.execute(
+        "INSERT INTO points VALUES (-2.0, -2.0, 0), (-1.5, -1.0, 0),
+                                   (-1.0, -2.5, 0), ( 1.0,  1.5, 1),
+                                   ( 2.0,  1.0, 1), ( 1.5,  2.5, 1)",
+    )
+    .unwrap();
+
+    // Table UDF: one `train(...)` statement is one invocation.
+    let before = metrics::snapshot();
+    db.execute(
+        "CREATE TABLE models AS SELECT * FROM train(
+           (SELECT x, y FROM points), (SELECT label FROM points), 4)",
+    )
+    .unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("udf.train.invocations"), 1, "train ticked more than once");
+    assert_eq!(delta.counter("udf.table.invocations"), 1);
+
+    // Scalar UDF: one vectorized invocation covers all six rows.
+    let before = metrics::snapshot();
+    let out =
+        db.query("SELECT predict(x, y, (SELECT classifier FROM models)) AS p FROM points").unwrap();
+    assert_eq!(out.rows(), 6);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("udf.predict.invocations"), 1, "predict is vectorized: one call");
+    assert_eq!(delta.counter("udf.scalar.invocations"), 1);
+    assert_eq!(delta.counter("udf.predict.rows"), 6, "all rows in the one call");
+
+    // Pickle round-trip: one deserialize tick sized to the blob ...
+    let blob = match db.query_value("SELECT classifier FROM models").unwrap() {
+        Value::Blob(b) => b,
+        other => panic!("classifier column holds {other:?}"),
+    };
+    let before = metrics::snapshot();
+    let model = StoredModel::from_blob(&blob).unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("pickle.deserialize.invocations"), 1);
+    assert_eq!(delta.histogram("pickle.deserialize.bytes").map(|h| h.sum), Some(blob.len() as u64));
+    assert_eq!(delta.counter("pickle.serialize.invocations"), 0, "no serialize on the read path");
+
+    // ... and one serialize tick sized to the re-pickled blob.
+    let before = metrics::snapshot();
+    let blob2 = model.to_blob();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("pickle.serialize.invocations"), 1);
+    assert_eq!(delta.histogram("pickle.serialize.bytes").map(|h| h.sum), Some(blob2.len() as u64));
+    assert_eq!(
+        delta.counter("pickle.deserialize.invocations"),
+        0,
+        "no deserialize on the write path"
+    );
+}
