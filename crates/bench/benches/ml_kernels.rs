@@ -1,0 +1,88 @@
+//! ML kernel microbenchmarks: split-finding strategy (exact sort vs
+//! binned histogram) for training, and serial vs pooled morsel-parallel
+//! prediction.
+//!
+//! Uses the noisy multi-class dataset so every tree level keeps large
+//! mixed nodes — the regime where split finding dominates training cost.
+//! Measured numbers and environment caveats are recorded in
+//! EXPERIMENTS.md (Exp 8).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mlcs_bench::noisy_training_data;
+use mlcs_ml::forest::RandomForestClassifier;
+use mlcs_ml::tree::{DecisionTreeClassifier, SplitStrategy};
+use mlcs_ml::Classifier;
+
+const TRAIN_ROWS: usize = 100_000;
+const PREDICT_ROWS: usize = 200_000;
+
+/// Training: one deep CART tree on 100k rows, exact O(n·log n) sort-based
+/// split finding against O(n + bins) histogram scanning.
+fn train_split_strategies(c: &mut Criterion) {
+    let (x, y) = noisy_training_data(TRAIN_ROWS, 8, 4, 3);
+
+    let mut group = c.benchmark_group("ml_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRAIN_ROWS as u64));
+    for (name, strategy) in [
+        ("train_exact_100k", SplitStrategy::Exact),
+        ("train_histogram_100k", SplitStrategy::default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut tree = DecisionTreeClassifier::new()
+                    .with_seed(1)
+                    .with_max_depth(10)
+                    .with_split_strategy(strategy);
+                tree.fit(&x, &y, 4).expect("fit");
+                tree
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Training: a 16-tree forest on the worker pool vs one fitting thread,
+/// both with histogram split finding.
+fn train_pooled_forest(c: &mut Criterion) {
+    let (x, y) = noisy_training_data(20_000, 8, 4, 3);
+
+    let mut group = c.benchmark_group("ml_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20_000));
+    for (name, jobs) in [("train_forest_serial", 1usize), ("train_forest_pooled", 0usize)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut f = RandomForestClassifier::new(16).with_seed(1).with_n_jobs(jobs);
+                f.fit(&x, &y, 4).expect("fit");
+                f
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Prediction: one trained forest classifying 200k rows, pinned to one
+/// thread vs morsel-parallel on 4 pool workers.
+fn predict_serial_vs_pooled(c: &mut Criterion) {
+    let (x, y) = noisy_training_data(4_000, 4, 4, 7);
+    let mut forest = RandomForestClassifier::new(16).with_seed(1);
+    forest.fit(&x, &y, 4).expect("train");
+    let (probe, _) = noisy_training_data(PREDICT_ROWS, 4, 4, 9);
+
+    let mut group = c.benchmark_group("ml_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(PREDICT_ROWS as u64));
+    for (name, threads) in [("predict_serial_200k", 1usize), ("predict_pooled4_200k", 4usize)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                mlcs_ml::parallel::with_threads(threads, || forest.predict(&probe))
+                    .expect("predict")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, train_split_strategies, train_pooled_forest, predict_serial_vs_pooled);
+criterion_main!(benches);

@@ -117,10 +117,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.features + 2,
         trees
     );
+
+    // ML kernel split, sourced from the `ml.*` registry series the model
+    // layer records: cumulative train/predict wall time, rows, split
+    // candidates scanned, and prediction morsels across every pass above.
+    let snap = mlcs_columnar::metrics::snapshot();
+    println!();
+    println!(
+        "ml kernels (cumulative over all passes): train {:.3}s / {} rows \
+         ({} split candidates), predict {:.3}s / {} rows ({} pool morsels)",
+        snap.duration_sum("ml.train.time_ns").as_secs_f64(),
+        snap.counter("ml.train.rows"),
+        snap.counter("ml.train.splits_evaluated"),
+        snap.duration_sum("ml.predict.time_ns").as_secs_f64(),
+        snap.counter("ml.predict.rows"),
+        snap.counter("ml.predict.morsels"),
+    );
     if dump_metrics {
         println!();
         println!("metrics snapshot:");
-        print!("{}", mlcs_columnar::metrics::snapshot().render());
+        print!("{}", snap.render());
     }
     env.cleanup();
     Ok(())

@@ -44,6 +44,36 @@ pub fn blob_training_data(rows: usize, features: usize, seed: u64) -> (mlcs_ml::
     (mlcs_ml::Matrix::new(data, rows, features).expect("consistent shape"), labels)
 }
 
+/// A hard multi-class dataset for split-finding benchmarks: uniform
+/// features, labels from the quantized feature mean with 20% random
+/// flips. Unlike the well-separated blobs, fitting this keeps every tree
+/// level busy with large mixed nodes — the regime where split-finding
+/// cost dominates training.
+pub fn noisy_training_data(
+    rows: usize,
+    features: usize,
+    classes: u32,
+    seed: u64,
+) -> (mlcs_ml::Matrix, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows * features);
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut sum = 0.0;
+        for _ in 0..features {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            sum += v;
+            data.push(v);
+        }
+        let mut label = ((sum / features as f64) * classes as f64) as u32 % classes;
+        if rng.gen_range(0.0..1.0) < 0.2 {
+            label = rng.gen_range(0..classes);
+        }
+        labels.push(label);
+    }
+    (mlcs_ml::Matrix::new(data, rows, features).expect("consistent shape"), labels)
+}
+
 /// Registers everything a full-pipeline database needs.
 pub fn full_db(batch_voters: Batch, batch_precincts: Batch) -> DbResult<Database> {
     let db = Database::new();

@@ -156,39 +156,116 @@ fn submit(job: Job) {
     let _ = pool().sender.lock().send(job);
 }
 
-/// Shared state of one in-flight `parallel_map`: the morsel list, the
-/// claim counter, and one preallocated result slot per morsel.
-struct MapState<T, F> {
-    work: Vec<Morsel>,
-    next: AtomicUsize,
-    slots: Vec<Mutex<Option<DbResult<T>>>>,
-    f: F,
-}
-
-/// Claims and processes morsels until none remain. Runs on pool workers
-/// and on the calling thread alike.
-fn run_claim_loop<T, F>(state: &MapState<T, F>)
+/// Claims and processes task indices until none remain. Runs on pool
+/// workers and on the calling thread alike.
+fn run_task_loop<T, E, F>(next: &AtomicUsize, slots: &[Mutex<Option<Result<T, E>>>], f: &F)
 where
-    F: Fn(Morsel) -> DbResult<T>,
+    F: Fn(usize) -> Result<T, E>,
 {
     loop {
-        let i = state.next.fetch_add(1, Ordering::Relaxed);
-        if i >= state.work.len() {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= slots.len() {
             break;
         }
-        let r = (state.f)(state.work[i]);
-        *state.slots[i].lock() = Some(r);
+        let r = f(i);
+        *slots[i].lock() = Some(r);
     }
 }
 
 /// Sends a completion signal when dropped, so a helper task that panics
-/// mid-morsel still unblocks the caller's drain.
+/// mid-task still unblocks the caller's drain.
 struct DoneGuard(mpsc::Sender<()>);
 
 impl Drop for DoneGuard {
     fn drop(&mut self) {
         let _ = self.0.send(());
     }
+}
+
+/// Runs `count` independent indexed tasks on the persistent worker pool,
+/// collecting results in index order. This is the scoped building block
+/// under [`parallel_map`]: the closure may borrow from the caller's stack
+/// (no `'static` bound), which lets callers like `mlcs-ml` fan out over
+/// borrowed matrices and models without `Arc`-wrapping or copying.
+///
+/// `threads` is the total worker count including the calling thread, which
+/// always participates; `0` means auto ([`effective_threads`]). Calls from
+/// a pool worker (nested parallelism) run inline. The first error in task
+/// order is returned; a task whose worker panicked reports `panic_error()`
+/// instead of aborting the process.
+pub fn parallel_tasks<T, E, F, P>(
+    count: usize,
+    threads: usize,
+    panic_error: P,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Send + Sync,
+    P: Fn() -> E,
+{
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let mut threads = effective_threads(threads).clamp(1, count);
+    if IS_POOL_WORKER.with(Cell::get) {
+        threads = 1; // nested call on a pool worker runs inline
+    }
+    if threads == 1 {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<Result<T, E>>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || Mutex::new(None));
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    {
+        let next = &next;
+        let slots = &slots[..];
+        let f = &f;
+        for _ in 0..threads - 1 {
+            let guard = DoneGuard(done_tx.clone());
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                run_task_loop(next, slots, f);
+                // The guard's drop sends the done signal; it runs after the
+                // task loop has released every borrow (also on unwind, where
+                // captured fields drop after the loop's frame).
+                drop(guard);
+            });
+            // SAFETY: the job borrows `next`/`slots`/`f`, which outlive it:
+            // every job owns a `DoneGuard` whose drop (normal exit or
+            // unwind) signals `done_rx`, and this function drains one
+            // signal per job before touching `slots` or returning. After
+            // the signal a job only deallocates its closure (no borrow is
+            // dereferenced), so extending the lifetime to `'static` for the
+            // pool's queue cannot observe freed stack data.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            submit(job);
+        }
+    }
+    drop(done_tx);
+    // The caller is one of the workers. Its panics are contained so the
+    // helper tasks are always drained before returning — otherwise they
+    // could outlive the call and race a later one (or read a dead frame).
+    let caller = catch_unwind(AssertUnwindSafe(|| run_task_loop(&next, &slots, &f)));
+    while done_rx.recv().is_ok() {}
+    if caller.is_err() {
+        return Err(panic_error());
+    }
+    let mut out = Vec::with_capacity(count);
+    for slot in &slots {
+        match slot.lock().take() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => return Err(panic_error()),
+        }
+    }
+    Ok(out)
 }
 
 /// Runs `f` over every morsel of `rows` on the persistent worker pool,
@@ -202,51 +279,26 @@ impl Drop for DoneGuard {
 /// internal error instead of aborting the process.
 pub fn parallel_map<T, F>(rows: usize, morsel_rows: usize, threads: usize, f: F) -> DbResult<Vec<T>>
 where
-    T: Send + 'static,
-    F: Fn(Morsel) -> DbResult<T> + Send + Sync + 'static,
+    T: Send,
+    F: Fn(Morsel) -> DbResult<T> + Send + Sync,
 {
     let work = morsels(rows, morsel_rows);
     if work.is_empty() {
         return Ok(Vec::new());
     }
-    let mut threads = effective_threads(threads).clamp(1, work.len());
-    if IS_POOL_WORKER.with(Cell::get) {
-        threads = 1; // nested call on a pool worker runs inline
+    let actually_parallel =
+        effective_threads(threads).clamp(1, work.len()) > 1 && !IS_POOL_WORKER.with(Cell::get);
+    if actually_parallel {
+        crate::metrics::counter("pool.parallel_maps").incr();
+        crate::metrics::counter("pool.morsels").add(work.len() as u64);
     }
-    if threads == 1 {
-        return work.into_iter().map(f).collect();
-    }
-    crate::metrics::counter("pool.parallel_maps").incr();
-    crate::metrics::counter("pool.morsels").add(work.len() as u64);
-    let mut slots = Vec::with_capacity(work.len());
-    slots.resize_with(work.len(), || Mutex::new(None));
-    let state = Arc::new(MapState { work, next: AtomicUsize::new(0), slots, f });
-    let (done_tx, done_rx) = mpsc::channel::<()>();
-    for _ in 0..threads - 1 {
-        let state = Arc::clone(&state);
-        let guard = DoneGuard(done_tx.clone());
-        submit(Box::new(move || {
-            let _guard = guard;
-            run_claim_loop(state.as_ref());
-        }));
-    }
-    drop(done_tx);
-    // The caller is one of the workers. Its panics are contained so the
-    // helper tasks are always drained before returning — otherwise they
-    // could outlive the map and race a later one.
-    let caller = catch_unwind(AssertUnwindSafe(|| run_claim_loop(state.as_ref())));
-    while done_rx.recv().is_ok() {}
-    if caller.is_err() {
-        return Err(DbError::internal("parallel worker panicked"));
-    }
-    let mut out = Vec::with_capacity(state.slots.len());
-    for slot in &state.slots {
-        match slot.lock().take() {
-            Some(r) => out.push(r?),
-            None => return Err(DbError::internal("parallel worker panicked")),
-        }
-    }
-    Ok(out)
+    let work = &work;
+    parallel_tasks(
+        work.len(),
+        threads,
+        || DbError::internal("parallel worker panicked"),
+        |i| f(work[i]),
+    )
 }
 
 #[cfg(test)]
@@ -358,6 +410,77 @@ mod tests {
             let _ = parallel_map(10_000, 64, 4, |m| Ok(m.len)).unwrap();
         }
         assert_eq!(pool_workers(), before);
+    }
+
+    #[test]
+    fn parallel_tasks_borrows_stack_data() {
+        // The scoped API must accept non-'static closures: sum borrowed
+        // chunks without Arc-wrapping or copying.
+        let data: Vec<u64> = (0..1000).collect();
+        let out = parallel_tasks(
+            10,
+            4,
+            || DbError::internal("panicked"),
+            |i| Ok::<u64, DbError>(data[i * 100..(i + 1) * 100].iter().sum()),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_tasks_first_error_in_index_order() {
+        let r = parallel_tasks(
+            100,
+            4,
+            || DbError::internal("panicked"),
+            |i| {
+                if i >= 30 {
+                    Err(DbError::internal(format!("boom at {i}")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        match r {
+            Err(e) => assert!(e.to_string().contains("boom at 30"), "{e}"),
+            Ok(_) => panic!("expected an error"),
+        }
+    }
+
+    #[test]
+    fn parallel_tasks_panic_maps_to_custom_error() {
+        let r = parallel_tasks(
+            64,
+            4,
+            || "worker died",
+            |i| {
+                if i == 40 {
+                    panic!("task panic");
+                }
+                Ok::<usize, &str>(i)
+            },
+        );
+        assert_eq!(r, Err("worker died"));
+    }
+
+    #[test]
+    fn parallel_tasks_nested_runs_inline() {
+        let out = parallel_tasks(
+            8,
+            4,
+            || DbError::internal("panicked"),
+            |outer| {
+                let inner =
+                    parallel_tasks(8, 4, || DbError::internal("panicked"), Ok::<usize, DbError>)?;
+                Ok::<usize, DbError>(outer + inner.iter().sum::<usize>())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 8);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i + 28);
+        }
     }
 
     #[test]

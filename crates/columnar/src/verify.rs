@@ -705,8 +705,7 @@ mod tests {
     use crate::database::Database;
     use crate::schema::Field;
     use crate::sql::plan::PlanSortKey;
-    use crate::types::Value;
-    use crate::udf::{ClosureScalarUdf, ScalarUdf, TableUdf};
+    use crate::udf::{ClosureScalarUdf, TableUdf};
     use crate::Batch;
 
     fn scan(types: &[DataType]) -> LogicalPlan {

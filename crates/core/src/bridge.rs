@@ -24,9 +24,27 @@ pub fn matrix_from_columns(cols: &[&Column]) -> DbResult<Matrix> {
             )));
         }
     }
-    let vecs: Vec<Vec<f64>> = cols.iter().map(|c| c.to_f64_vec()).collect::<DbResult<_>>()?;
-    let refs: Vec<&[f64]> = vecs.iter().map(Vec::as_slice).collect();
-    Matrix::from_columns(&refs).map_err(|e| DbError::Shape(format!("building feature matrix: {e}")))
+    let ncols = cols.len();
+    let mut data = vec![0.0f64; rows * ncols];
+    for (j, col) in cols.iter().enumerate() {
+        // NULL-free Float64 columns scatter straight from the borrowed
+        // buffer; other types (or NULL-bearing columns) widen once into a
+        // scratch vector first. Either way each cell is written exactly
+        // once — the old path copied every column twice.
+        let widened;
+        let src: &[f64] = match col.f64s() {
+            Some(s) if col.null_count() == 0 => s,
+            _ => {
+                widened = col.to_f64_vec()?;
+                &widened
+            }
+        };
+        for (r, &v) in src.iter().enumerate() {
+            data[r * ncols + j] = v;
+        }
+    }
+    Matrix::new(data, rows, ncols)
+        .map_err(|e| DbError::Shape(format!("building feature matrix: {e}")))
 }
 
 /// Extracts integer class labels from a column. NULL labels are an error

@@ -14,7 +14,7 @@
 
 use crate::bridge::{labels_from_column, matrix_from_columns};
 use crate::stored::StoredModel;
-use mlcs_columnar::parallel::{hardware_threads, parallel_map, worker_count, DEFAULT_MORSEL_ROWS};
+use mlcs_columnar::parallel::hardware_threads;
 use mlcs_columnar::{
     Batch, Column, DataType, Database, DbError, DbResult, Field, ScalarUdf, Schema, TableUdf,
 };
@@ -286,34 +286,37 @@ fn split_predict_args<'a>(
 /// SQL: `SELECT predict(f1, f2, (SELECT classifier FROM models ...)) FROM t`.
 /// The classifier argument is a length-1 constant column (typically a
 /// scalar subquery); feature columns are full length. With `parallel`,
-/// rows are split into morsels predicted on worker threads — the paper's
-/// future-work item, registered separately as `predict_parallel`. With a
-/// [`crate::cache::ModelCache`] attached (`predict_cached`), repeated
-/// calls skip BLOB deserialization entirely — the §5.1 in-memory-snapshot
-/// proposal.
+/// the model layer splits rows into morsels predicted on the shared worker
+/// pool — the paper's future-work item, registered separately as
+/// `predict_parallel`. With a [`crate::cache::ModelCache`] attached
+/// (`predict_cached`), repeated calls skip BLOB deserialization entirely —
+/// the §5.1 in-memory-snapshot proposal. Every variant reuses the
+/// column→matrix layout through a [`crate::cache::MatrixCache`] when
+/// invoked again on the same column buffers.
 pub struct PredictUdf {
-    /// Morsel-parallel prediction.
+    /// Morsel-parallel prediction (delegated to the model layer's pool
+    /// integration; serial mode pins prediction to one thread).
     pub parallel: bool,
-    /// Rows per morsel in parallel mode.
-    pub morsel_rows: usize,
     /// Shared in-memory model snapshots; `None` decodes per invocation.
     pub cache: Option<Arc<crate::cache::ModelCache>>,
+    /// Reused column→matrix layouts keyed by column buffer identity.
+    pub matrix_cache: Arc<crate::cache::MatrixCache>,
 }
 
 impl PredictUdf {
     /// Single-threaded `predict`.
     pub fn serial() -> Self {
-        PredictUdf { parallel: false, morsel_rows: DEFAULT_MORSEL_ROWS, cache: None }
+        PredictUdf { parallel: false, cache: None, matrix_cache: Arc::default() }
     }
 
     /// Morsel-parallel `predict_parallel`.
     pub fn parallel() -> Self {
-        PredictUdf { parallel: true, morsel_rows: DEFAULT_MORSEL_ROWS, cache: None }
+        PredictUdf { parallel: true, cache: None, matrix_cache: Arc::default() }
     }
 
     /// `predict_cached`: serial prediction through a shared snapshot cache.
     pub fn cached(cache: Arc<crate::cache::ModelCache>) -> Self {
-        PredictUdf { parallel: false, morsel_rows: DEFAULT_MORSEL_ROWS, cache: Some(cache) }
+        PredictUdf { parallel: false, cache: Some(cache), matrix_cache: Arc::default() }
     }
 }
 
@@ -339,63 +342,41 @@ impl ScalarUdf for PredictUdf {
     }
 
     fn invoke(&self, args: &[Arc<Column>]) -> DbResult<Column> {
-        // The cached path revives the model through the snapshot cache and
-        // borrows it; the uncached path deserializes per invocation (the
-        // cost the paper's §5.1 wants to avoid).
-        if let Some(cache) = &self.cache {
-            if args.len() < 2 {
-                return Err(DbError::Udf {
-                    function: self.name().to_owned(),
-                    message: "usage: predict_cached(features..., classifier)".into(),
-                });
-            }
-            let model_col = args[args.len() - 1].as_ref();
-            let blob = model_col.blobs().map(|b| b.get(0)).ok_or_else(|| DbError::Udf {
+        if args.len() < 2 {
+            return Err(DbError::Udf {
                 function: self.name().to_owned(),
-                message: format!(
-                    "classifier argument must be a BLOB, got {}",
-                    model_col.data_type()
-                ),
-            })?;
-            let sm = cache.get_or_decode(blob)?;
-            let features: Vec<&Column> =
-                args[..args.len() - 1].iter().map(|c| c.as_ref()).collect();
-            let rows = features.first().map_or(0, |c| c.len());
-            if rows == 0 {
-                return Ok(Column::from_i64s(Vec::new()));
-            }
-            mlcs_columnar::metrics::counter(&format!("udf.{}.rows", self.name())).add(rows as u64);
-            let x = matrix_from_columns(&features)?;
-            let pred = sm.predict(&x).map_err(|e| udf_err(self.name(), e))?;
-            return Ok(Column::from_i64s(pred));
+                message: format!("usage: {}(features..., classifier)", self.name()),
+            });
         }
-        let (features, sm, _) = split_predict_args(self.name(), args, 0)?;
-        let rows = features.first().map_or(0, |c| c.len());
+        let model_col = args[args.len() - 1].as_ref();
+        let blob = model_col.blobs().map(|b| b.get(0)).ok_or_else(|| DbError::Udf {
+            function: self.name().to_owned(),
+            message: format!("classifier argument must be a BLOB, got {}", model_col.data_type()),
+        })?;
+        // With a snapshot cache attached, repeated calls reuse the decoded
+        // model (§5.1); otherwise deserialize per invocation — the cost the
+        // paper wants to avoid, kept as the baseline `predict` measures.
+        let sm: Arc<StoredModel> = match &self.cache {
+            Some(cache) => cache.get_or_decode(blob)?,
+            None => Arc::new(StoredModel::from_blob(blob).map_err(|e| udf_err(self.name(), e))?),
+        };
+        let feature_cols = &args[..args.len() - 1];
+        let rows = feature_cols.first().map_or(0, |c| c.len());
         if rows == 0 {
             return Ok(Column::from_i64s(Vec::new()));
         }
         mlcs_columnar::metrics::counter(&format!("udf.{}.rows", self.name())).add(rows as u64);
-        let x = matrix_from_columns(&features)?;
-        if !self.parallel {
-            let pred = sm.predict(&x).map_err(|e| udf_err(self.name(), e))?;
-            return Ok(Column::from_i64s(pred));
+        let x = self.matrix_cache.get_or_build(feature_cols)?;
+        // The model layer splits rows into pool morsels on its own; the
+        // serial variant pins it to one thread so `predict` stays a true
+        // single-threaded baseline for the parallel speedup measurement.
+        let pred = if self.parallel {
+            sm.predict(&x)
+        } else {
+            mlcs_ml::parallel::with_threads(1, || sm.predict(&x))
         }
-        let threads = worker_count(rows.div_ceil(self.morsel_rows.max(1)));
-        // The persistent pool requires 'static tasks: share the matrix and
-        // model via Arc instead of borrowing from this stack frame.
-        let x = Arc::new(x);
-        let sm = Arc::new(sm);
-        let name = self.name().to_owned();
-        let parts = parallel_map(rows, self.morsel_rows, threads, move |m| {
-            let idx: Vec<usize> = (m.start..m.start + m.len).collect();
-            let slice = x.take_rows(&idx);
-            sm.predict(&slice).map_err(|e| udf_err(&name, e))
-        })?;
-        let mut out = Vec::with_capacity(rows);
-        for p in parts {
-            out.extend(p);
-        }
-        Ok(Column::from_i64s(out))
+        .map_err(|e| udf_err(self.name(), e))?;
+        Ok(Column::from_i64s(pred))
     }
 
     fn parallel_safe(&self) -> bool {

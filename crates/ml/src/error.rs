@@ -27,6 +27,8 @@ pub enum MlError {
     BadData(String),
     /// Model (de)serialization failed.
     Serde(String),
+    /// An internal invariant failed (e.g. a worker thread panicked).
+    Internal(String),
 }
 
 impl fmt::Display for MlError {
@@ -42,6 +44,7 @@ impl fmt::Display for MlError {
             }
             MlError::BadData(m) => write!(f, "bad training data: {m}"),
             MlError::Serde(m) => write!(f, "model serialization error: {m}"),
+            MlError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

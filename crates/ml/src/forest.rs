@@ -1,10 +1,18 @@
 //! Random forest: bagged CART trees with feature subsampling, fitted in
-//! parallel. This is the model the paper trains inside the database
-//! (`RandomForestClassifier(n_estimators)` in Listing 1).
+//! parallel on the engine's persistent worker pool. This is the model the
+//! paper trains inside the database (`RandomForestClassifier(n_estimators)`
+//! in Listing 1).
+//!
+//! Tree-level parallelism shares threads with the relational operators:
+//! `n_jobs == 0` follows the pool policy (`MLCS_THREADS`, else core count),
+//! and fitting nests safely inside parallel operators (the pool runs nested
+//! work inline). Results are bit-identical for any thread count because
+//! every tree derives its RNG stream from a per-tree seed and trees are
+//! collected in index order.
 
 use crate::dataset::{validate_fit_inputs, Matrix};
 use crate::error::{MlError, MlResult};
-use crate::tree::{DecisionTreeClassifier, MaxFeatures};
+use crate::tree::{DecisionTreeClassifier, MaxFeatures, SplitStrategy};
 use crate::Classifier;
 use mlcs_pickle::{Pickle, PickleError, Reader, Writer};
 use rand::rngs::StdRng;
@@ -28,7 +36,10 @@ pub struct RandomForestClassifier {
     pub max_features: MaxFeatures,
     /// Fit trees on bootstrap samples (true, the default) or the full set.
     pub bootstrap: bool,
-    /// Worker threads for fitting (0 = use available parallelism).
+    /// Split-finding strategy applied to every tree.
+    pub split_strategy: SplitStrategy,
+    /// Worker threads for fitting (0 = pool policy: `MLCS_THREADS`, else
+    /// available parallelism).
     pub n_jobs: usize,
     seed: u64,
     trees: Vec<DecisionTreeClassifier>,
@@ -45,6 +56,7 @@ impl RandomForestClassifier {
             min_samples_split: 2,
             max_features: MaxFeatures::Sqrt,
             bootstrap: true,
+            split_strategy: SplitStrategy::default(),
             n_jobs: 0,
             seed: 0,
             trees: Vec::new(),
@@ -65,9 +77,15 @@ impl RandomForestClassifier {
         self
     }
 
-    /// Sets the worker-thread count (0 = available parallelism).
+    /// Sets the worker-thread count (0 = pool policy).
     pub fn with_n_jobs(mut self, jobs: usize) -> Self {
         self.n_jobs = jobs;
+        self
+    }
+
+    /// Sets the split-finding strategy applied to every tree.
+    pub fn with_split_strategy(mut self, s: SplitStrategy) -> Self {
+        self.split_strategy = s;
         self
     }
 
@@ -117,18 +135,11 @@ impl Classifier for RandomForestClassifier {
         let mut seeder = StdRng::seed_from_u64(self.seed);
         let tree_seeds: Vec<u64> = (0..self.n_estimators).map(|_| seeder.gen()).collect();
 
-        let jobs = if self.n_jobs == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.n_jobs
-        }
-        .min(self.n_estimators)
-        .max(1);
-
         let fit_one = |seed: u64| -> MlResult<DecisionTreeClassifier> {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut tree = DecisionTreeClassifier::new()
                 .with_max_features(self.max_features)
+                .with_split_strategy(self.split_strategy)
                 .with_seed(rng.gen());
             tree.max_depth = self.max_depth;
             tree.min_samples_split = self.min_samples_split;
@@ -144,42 +155,15 @@ impl Classifier for RandomForestClassifier {
             Ok(tree)
         };
 
-        if jobs == 1 {
-            self.trees = tree_seeds.iter().map(|&s| fit_one(s)).collect::<MlResult<_>>()?;
-            return Ok(());
-        }
-
-        // Parallel fit: a shared counter hands out tree indices; results
-        // come back over a channel tagged with their slot.
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, MlResult<DecisionTreeClassifier>)>();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..jobs {
-                let tx = tx.clone();
-                let next = &next;
-                let tree_seeds = &tree_seeds;
-                let fit_one = &fit_one;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= tree_seeds.len() {
-                        break;
-                    }
-                    if tx.send((i, fit_one(tree_seeds[i]))).is_err() {
-                        break;
-                    }
-                });
-            }
-        })
-        .map_err(|_| MlError::BadData("forest fitting worker panicked".into()))?;
-        drop(tx);
-        let mut slots: Vec<Option<DecisionTreeClassifier>> = vec![None; self.n_estimators];
-        for (i, res) in rx {
-            slots[i] = Some(res?);
-        }
-        self.trees = slots
-            .into_iter()
-            .map(|s| s.ok_or_else(|| MlError::BadData("missing tree after parallel fit".into())))
-            .collect::<MlResult<_>>()?;
+        // Fit on the shared worker pool: tree i always consumes tree_seeds[i]
+        // and results come back in index order, so the forest is bit-identical
+        // for any thread count (including fully serial).
+        self.trees = mlcs_columnar::parallel::parallel_tasks(
+            self.n_estimators,
+            self.n_jobs,
+            || MlError::Internal("forest fitting worker panicked".into()),
+            |i| fit_one(tree_seeds[i]),
+        )?;
         Ok(())
     }
 
@@ -198,22 +182,28 @@ impl Classifier for RandomForestClassifier {
                 x.cols()
             )));
         }
-        let mut sum = Matrix::zeros(x.rows(), self.n_classes);
-        for tree in &self.trees {
-            let p = tree.predict_proba(x)?;
-            for r in 0..x.rows() {
-                for c in 0..self.n_classes {
-                    sum.set(r, c, sum.get(r, c) + p.get(r, c));
+        // Morsel-parallel over rows, trees inner: each output row accumulates
+        // the tree leaf distributions in tree order and divides once, so the
+        // floating-point evaluation order per cell is the same as a fully
+        // serial trees-outer sweep — parallel prediction is bit-identical.
+        let cols = self.n_classes;
+        let k = self.trees.len() as f64;
+        crate::parallel::fill_rows_parallel(x.rows(), cols, |m, out| {
+            for r in 0..m.len {
+                let row = x.row(m.start + r);
+                let acc = &mut out[r * cols..(r + 1) * cols];
+                for tree in &self.trees {
+                    let proba = tree.leaf_for_row(row)?;
+                    for (a, &p) in acc.iter_mut().zip(proba) {
+                        *a += p;
+                    }
+                }
+                for a in acc.iter_mut() {
+                    *a /= k;
                 }
             }
-        }
-        let k = self.trees.len() as f64;
-        for r in 0..x.rows() {
-            for c in 0..self.n_classes {
-                sum.set(r, c, sum.get(r, c) / k);
-            }
-        }
-        Ok(sum)
+            Ok(())
+        })
     }
 
     fn n_classes(&self) -> usize {
@@ -240,6 +230,7 @@ impl Pickle for RandomForestClassifier {
             }
         }
         w.put_bool(self.bootstrap);
+        crate::tree::pickle_split_strategy(w, self.split_strategy);
         w.put_u64(self.seed);
         w.put_varint(self.n_classes as u64);
         w.put_varint(self.n_features as u64);
@@ -263,6 +254,7 @@ impl Pickle for RandomForestClassifier {
             tag => return Err(PickleError::InvalidTag { tag, context: "MaxFeatures" }),
         };
         let bootstrap = r.get_bool()?;
+        let split_strategy = crate::tree::unpickle_split_strategy(r)?;
         let seed = r.get_u64()?;
         let n_classes = r.get_varint()? as usize;
         let n_features = r.get_varint()? as usize;
@@ -277,6 +269,7 @@ impl Pickle for RandomForestClassifier {
             min_samples_split,
             max_features,
             bootstrap,
+            split_strategy,
             n_jobs: 0,
             seed,
             trees,
@@ -328,6 +321,36 @@ mod tests {
         a.fit(&x, &y, 2).unwrap();
         b.fit(&x, &y, 2).unwrap();
         assert_eq!(a.trees(), b.trees());
+    }
+
+    #[test]
+    fn pooled_fit_matches_serial_fit() {
+        let (x, y) = blobs(100, 8);
+        let mut serial = RandomForestClassifier::new(8).with_seed(3).with_n_jobs(1);
+        let mut pooled = RandomForestClassifier::new(8).with_seed(3); // n_jobs = 0
+        serial.fit(&x, &y, 2).unwrap();
+        pooled.fit(&x, &y, 2).unwrap();
+        assert_eq!(serial.trees(), pooled.trees());
+    }
+
+    #[test]
+    fn parallel_predict_bit_identical_to_serial() {
+        let (x, y) = blobs(300, 13);
+        let mut rf = RandomForestClassifier::new(12).with_seed(21);
+        rf.fit(&x, &y, 2).unwrap();
+        let serial = crate::parallel::with_threads(1, || rf.predict_proba(&x)).unwrap();
+        let pooled = crate::parallel::with_threads(4, || rf.predict_proba(&x)).unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn exact_strategy_forest_classifies() {
+        let (x, y) = blobs(120, 17);
+        let mut rf =
+            RandomForestClassifier::new(8).with_seed(1).with_split_strategy(SplitStrategy::Exact);
+        rf.fit(&x, &y, 2).unwrap();
+        let acc = crate::metrics::accuracy(&y, &rf.predict(&x).unwrap()).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
     }
 
     #[test]

@@ -67,34 +67,37 @@ impl Classifier for KNearestNeighbors {
                 x.cols()
             )));
         }
-        let mut out = Matrix::zeros(x.rows(), self.n_classes);
-        let mut dists: Vec<(f64, u32)> = Vec::with_capacity(train.rows());
-        for r in 0..x.rows() {
-            let q = x.row(r);
-            dists.clear();
-            for t in 0..train.rows() {
-                let mut d2 = 0.0;
-                for (a, b) in q.iter().zip(train.row(t)) {
-                    let d = a - b;
-                    d2 += d * d;
+        let cols = self.n_classes;
+        crate::parallel::fill_rows_parallel(x.rows(), cols, |m, out| {
+            let mut dists: Vec<(f64, u32)> = Vec::with_capacity(train.rows());
+            let mut votes = vec![0.0; cols];
+            for r in 0..m.len {
+                let q = x.row(m.start + r);
+                dists.clear();
+                for t in 0..train.rows() {
+                    let mut d2 = 0.0;
+                    for (a, b) in q.iter().zip(train.row(t)) {
+                        let d = a - b;
+                        d2 += d * d;
+                    }
+                    dists.push((d2, self.y[t]));
                 }
-                dists.push((d2, self.y[t]));
+                // Partial selection of the k smallest distances; distances
+                // are NaN-free after fit validation, so total_cmp orders
+                // like partial_cmp without the panic path.
+                dists.select_nth_unstable_by(self.k - 1, |a, b| a.0.total_cmp(&b.0));
+                votes.iter_mut().for_each(|v| *v = 0.0);
+                for &(d2, cls) in &dists[..self.k] {
+                    let w = if self.distance_weighted { 1.0 / (d2.sqrt() + 1e-12) } else { 1.0 };
+                    votes[cls as usize] += w;
+                }
+                let total: f64 = votes.iter().sum();
+                for (c, v) in votes.iter().enumerate() {
+                    out[r * cols + c] = v / total;
+                }
             }
-            // Partial selection of the k smallest distances.
-            dists.select_nth_unstable_by(self.k - 1, |a, b| {
-                a.0.partial_cmp(&b.0).expect("distances are finite")
-            });
-            let mut votes = vec![0.0; self.n_classes];
-            for &(d2, cls) in &dists[..self.k] {
-                let w = if self.distance_weighted { 1.0 / (d2.sqrt() + 1e-12) } else { 1.0 };
-                votes[cls as usize] += w;
-            }
-            let total: f64 = votes.iter().sum();
-            for (c, v) in votes.iter().enumerate() {
-                out.set(r, c, v / total);
-            }
-        }
-        Ok(out)
+            Ok(())
+        })
     }
 
     fn n_classes(&self) -> usize {

@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod model;
 pub mod model_selection;
 pub mod naive_bayes;
+pub mod parallel;
 pub mod tree;
 
 pub use dataset::Matrix;

@@ -184,23 +184,25 @@ impl Classifier for LogisticRegression {
                 x.cols()
             )));
         }
-        let mut out = Matrix::zeros(x.rows(), self.n_classes);
-        let mut z = vec![0.0; x.cols()];
-        for r in 0..x.rows() {
-            self.standardize(x.row(r), &mut z);
-            let mut total = 0.0;
-            for k in 0..self.n_classes {
-                let p = sigmoid(self.score(k, &z));
-                out.set(r, k, p);
-                total += p;
-            }
-            if total > 0.0 {
-                for k in 0..self.n_classes {
-                    out.set(r, k, out.get(r, k) / total);
+        let cols = self.n_classes;
+        crate::parallel::fill_rows_parallel(x.rows(), cols, |m, out| {
+            let mut z = vec![0.0; x.cols()];
+            for r in 0..m.len {
+                self.standardize(x.row(m.start + r), &mut z);
+                let scores = &mut out[r * cols..(r + 1) * cols];
+                let mut total = 0.0;
+                for (k, s) in scores.iter_mut().enumerate() {
+                    *s = sigmoid(self.score(k, &z));
+                    total += *s;
+                }
+                if total > 0.0 {
+                    for s in scores.iter_mut() {
+                        *s /= total;
+                    }
                 }
             }
-        }
-        Ok(out)
+            Ok(())
+        })
     }
 
     fn n_classes(&self) -> usize {

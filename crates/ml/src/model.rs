@@ -80,34 +80,45 @@ impl Model {
 }
 
 impl Classifier for Model {
+    // The `Model` wrapper is the entry point every database-side caller
+    // (UDFs, the model store, fig1) goes through, so train/predict wall
+    // time and row counts are recorded here in the shared registry.
     fn fit(&mut self, x: &Matrix, y: &[u32], n_classes: usize) -> MlResult<()> {
-        match self {
+        mlcs_columnar::metrics::counter("ml.train.rows").add(x.rows() as u64);
+        let (result, _) = mlcs_columnar::metrics::time_section("ml.train.time_ns", || match self {
             Model::RandomForest(m) => m.fit(x, y, n_classes),
             Model::DecisionTree(m) => m.fit(x, y, n_classes),
             Model::LogisticRegression(m) => m.fit(x, y, n_classes),
             Model::GaussianNb(m) => m.fit(x, y, n_classes),
             Model::Knn(m) => m.fit(x, y, n_classes),
-        }
+        });
+        result
     }
 
     fn predict(&self, x: &Matrix) -> MlResult<Vec<u32>> {
-        match self {
-            Model::RandomForest(m) => m.predict(x),
-            Model::DecisionTree(m) => m.predict(x),
-            Model::LogisticRegression(m) => m.predict(x),
-            Model::GaussianNb(m) => m.predict(x),
-            Model::Knn(m) => m.predict(x),
-        }
+        mlcs_columnar::metrics::counter("ml.predict.rows").add(x.rows() as u64);
+        let (result, _) =
+            mlcs_columnar::metrics::time_section("ml.predict.time_ns", || match self {
+                Model::RandomForest(m) => m.predict(x),
+                Model::DecisionTree(m) => m.predict(x),
+                Model::LogisticRegression(m) => m.predict(x),
+                Model::GaussianNb(m) => m.predict(x),
+                Model::Knn(m) => m.predict(x),
+            });
+        result
     }
 
     fn predict_proba(&self, x: &Matrix) -> MlResult<Matrix> {
-        match self {
-            Model::RandomForest(m) => m.predict_proba(x),
-            Model::DecisionTree(m) => m.predict_proba(x),
-            Model::LogisticRegression(m) => m.predict_proba(x),
-            Model::GaussianNb(m) => m.predict_proba(x),
-            Model::Knn(m) => m.predict_proba(x),
-        }
+        mlcs_columnar::metrics::counter("ml.predict.rows").add(x.rows() as u64);
+        let (result, _) =
+            mlcs_columnar::metrics::time_section("ml.predict.time_ns", || match self {
+                Model::RandomForest(m) => m.predict_proba(x),
+                Model::DecisionTree(m) => m.predict_proba(x),
+                Model::LogisticRegression(m) => m.predict_proba(x),
+                Model::GaussianNb(m) => m.predict_proba(x),
+                Model::Knn(m) => m.predict_proba(x),
+            });
+        result
     }
 
     fn n_classes(&self) -> usize {

@@ -95,30 +95,32 @@ impl Classifier for GaussianNb {
                 x.cols()
             )));
         }
-        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let cols = self.n_classes;
         let ln_2pi = (2.0 * std::f64::consts::PI).ln();
-        for r in 0..x.rows() {
-            // Log joint per class, then softmax for probabilities.
-            let mut logp = vec![0.0; self.n_classes];
-            for (c, lp) in logp.iter_mut().enumerate() {
-                *lp = self.log_priors[c];
-                for j in 0..self.n_features {
-                    let var = self.vars[c][j];
-                    let d = x.get(r, j) - self.means[c][j];
-                    *lp += -0.5 * (ln_2pi + var.ln()) - d * d / (2.0 * var);
+        crate::parallel::fill_rows_parallel(x.rows(), cols, |m, out| {
+            for r in 0..m.len {
+                let row = x.row(m.start + r);
+                // Log joint per class, then softmax for probabilities.
+                let logp = &mut out[r * cols..(r + 1) * cols];
+                for (c, lp) in logp.iter_mut().enumerate() {
+                    *lp = self.log_priors[c];
+                    for ((&v, &var), &mean) in row.iter().zip(&self.vars[c]).zip(&self.means[c]) {
+                        let d = v - mean;
+                        *lp += -0.5 * (ln_2pi + var.ln()) - d * d / (2.0 * var);
+                    }
+                }
+                let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut total = 0.0;
+                for lp in logp.iter_mut() {
+                    *lp = (*lp - max).exp();
+                    total += *lp;
+                }
+                for lp in logp.iter_mut() {
+                    *lp /= total;
                 }
             }
-            let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let mut total = 0.0;
-            for lp in &mut logp {
-                *lp = (*lp - max).exp();
-                total += *lp;
-            }
-            for (c, lp) in logp.iter().enumerate() {
-                out.set(r, c, lp / total);
-            }
-        }
-        Ok(out)
+            Ok(())
+        })
     }
 
     fn n_classes(&self) -> usize {

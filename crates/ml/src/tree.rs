@@ -1,4 +1,11 @@
 //! CART decision-tree classifier with Gini impurity.
+//!
+//! Split finding supports two strategies (see [`SplitStrategy`]): the
+//! classic exact scan that re-sorts each candidate feature per node, and a
+//! histogram kernel that bins each feature once per tree and scans
+//! cumulative class-count histograms per node — O(n + bins) instead of
+//! O(n·log n) per node per feature, the same idea LightGBM and JoinBoost
+//! build on.
 
 use crate::dataset::{validate_fit_inputs, Matrix};
 use crate::error::{MlError, MlResult};
@@ -30,6 +37,35 @@ impl MaxFeatures {
     }
 }
 
+/// How candidate split thresholds are enumerated during `fit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Sort the node's rows per candidate feature and scan every boundary
+    /// between distinct values: O(n·log n) per node per feature.
+    Exact,
+    /// Bin each feature once per tree, then scan cumulative class-count
+    /// histograms per node: O(n + bins) per node per feature. Whenever a
+    /// feature has at most `bins` distinct values the bin edges are exactly
+    /// the midpoints the exact scan would propose, so the strategies pick
+    /// identical partitions; with more distinct values the thresholds are
+    /// quantile-spaced approximations.
+    Histogram {
+        /// Maximum bin count per feature (values below 2 behave as 2).
+        bins: u16,
+    },
+}
+
+impl SplitStrategy {
+    /// Default histogram bin count (255, as in LightGBM: codes fit a byte).
+    pub const DEFAULT_BINS: u16 = 255;
+}
+
+impl Default for SplitStrategy {
+    fn default() -> Self {
+        SplitStrategy::Histogram { bins: SplitStrategy::DEFAULT_BINS }
+    }
+}
+
 /// One node of the fitted tree, stored in a flat arena.
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
@@ -54,8 +90,9 @@ enum Node {
 /// A CART decision-tree classifier.
 ///
 /// Splits minimize weighted Gini impurity; thresholds are midpoints between
-/// consecutive distinct feature values. Deterministic given a seed (the
-/// seed only matters when `max_features` subsamples features).
+/// consecutive distinct feature values (bin edges under the histogram
+/// strategy). Deterministic given a seed (the seed only matters when
+/// `max_features` subsamples features).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTreeClassifier {
     /// Maximum tree depth (`None` = unbounded).
@@ -66,6 +103,8 @@ pub struct DecisionTreeClassifier {
     pub min_samples_leaf: usize,
     /// Features considered per split.
     pub max_features: MaxFeatures,
+    /// Split-finding strategy.
+    pub split_strategy: SplitStrategy,
     seed: u64,
     nodes: Vec<Node>,
     n_classes: usize,
@@ -79,13 +118,14 @@ impl Default for DecisionTreeClassifier {
 }
 
 impl DecisionTreeClassifier {
-    /// A tree with scikit-learn-like defaults.
+    /// A tree with scikit-learn-like defaults (histogram split finding).
     pub fn new() -> Self {
         DecisionTreeClassifier {
             max_depth: None,
             min_samples_split: 2,
             min_samples_leaf: 1,
             max_features: MaxFeatures::All,
+            split_strategy: SplitStrategy::default(),
             seed: 0,
             nodes: Vec::new(),
             n_classes: 0,
@@ -108,6 +148,12 @@ impl DecisionTreeClassifier {
     /// Sets the RNG seed (used for feature subsampling).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the split-finding strategy.
+    pub fn with_split_strategy(mut self, s: SplitStrategy) -> Self {
+        self.split_strategy = s;
         self
     }
 
@@ -162,6 +208,31 @@ impl DecisionTreeClassifier {
         };
         Node::Leaf { proba }
     }
+
+    /// The leaf class distribution reached by one feature row.
+    ///
+    /// A well-formed tree reaches a leaf within `nodes.len()` hops; the
+    /// bound turns a cyclic (corrupt) node graph into an error instead of
+    /// an infinite loop.
+    pub(crate) fn leaf_for_row(&self, row: &[f64]) -> MlResult<&[f64]> {
+        let mut node = 0usize;
+        let mut hops = self.nodes.len() + 1;
+        loop {
+            hops = hops.checked_sub(1).ok_or_else(|| {
+                MlError::Serde("decision tree node graph contains a cycle".into())
+            })?;
+            match &self.nodes[node] {
+                Node::Leaf { proba } => return Ok(proba),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
 }
 
 /// Gini impurity of a class-count vector with the given total.
@@ -182,6 +253,61 @@ struct BestSplit {
     feature: usize,
     threshold: f64,
     score: f64, // weighted child impurity (lower is better)
+}
+
+/// Per-tree feature binning for [`SplitStrategy::Histogram`].
+struct BinnedFeatures {
+    /// Row-major bin codes: `codes[row * n_features + f]`.
+    codes: Vec<u16>,
+    /// Ascending bin boundaries per feature; bin `b` holds values
+    /// `<= edges[b]` and the last bin is unbounded above. Empty for a
+    /// constant feature. The invariant `code(v) <= b  ⟺  v <= edges[b]`
+    /// makes bin-space split decisions identical to value-space ones
+    /// (the split *threshold* itself is derived from the node's values,
+    /// see [`find_best_split_histogram`]).
+    edges: Vec<Vec<f64>>,
+    n_features: usize,
+}
+
+/// Bins every feature of `x` into at most `max_bins` bins.
+///
+/// When a feature has at most `max_bins` distinct values the edges are the
+/// midpoints between consecutive distinct values — the exact scan's full
+/// candidate set. Otherwise edges sit at quantile positions of the sorted
+/// distinct values, so dense value regions get more resolution.
+fn bin_features(x: &Matrix, max_bins: u16) -> BinnedFeatures {
+    let max_bins = max_bins.max(2) as usize;
+    let mut edges: Vec<Vec<f64>> = Vec::with_capacity(x.cols());
+    let mut distinct: Vec<f64> = Vec::new();
+    for f in 0..x.cols() {
+        distinct.clear();
+        distinct.extend((0..x.rows()).map(|r| x.get(r, f)));
+        distinct.sort_unstable_by(f64::total_cmp);
+        distinct.dedup();
+        let e: Vec<f64> = if distinct.len() <= 1 {
+            Vec::new()
+        } else if distinct.len() <= max_bins {
+            distinct.windows(2).map(|w| w[0] + (w[1] - w[0]) / 2.0).collect()
+        } else {
+            // k*len/max_bins is strictly increasing in k here because
+            // len > max_bins, so each edge strictly exceeds the last.
+            (1..max_bins)
+                .map(|k| {
+                    let i = k * distinct.len() / max_bins;
+                    distinct[i - 1] + (distinct[i] - distinct[i - 1]) / 2.0
+                })
+                .collect()
+        };
+        edges.push(e);
+    }
+    let mut codes = vec![0u16; x.rows() * x.cols()];
+    for r in 0..x.rows() {
+        for (f, e) in edges.iter().enumerate() {
+            let v = x.get(r, f);
+            codes[r * x.cols() + f] = e.partition_point(|edge| *edge < v) as u16;
+        }
+    }
+    BinnedFeatures { codes, edges, n_features: x.cols() }
 }
 
 impl Classifier for DecisionTreeClassifier {
@@ -206,6 +332,11 @@ impl Classifier for DecisionTreeClassifier {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let k_features = self.max_features.resolve(x.cols());
         let all_features: Vec<usize> = (0..x.cols()).collect();
+        let binned = match self.split_strategy {
+            SplitStrategy::Histogram { bins } => Some(bin_features(x, bins)),
+            SplitStrategy::Exact => None,
+        };
+        let mut splits_evaluated = 0u64;
 
         // Explicit work stack avoids recursion-depth issues on deep trees.
         struct Work {
@@ -219,6 +350,7 @@ impl Classifier for DecisionTreeClassifier {
         // Reusable scratch buffers.
         let mut counts = vec![0.0f64; n_classes];
         let mut sorted: Vec<(f64, u32)> = Vec::new();
+        let mut hist = HistScratch::default();
 
         while let Some(work) = stack.pop() {
             counts.iter_mut().for_each(|c| *c = 0.0);
@@ -242,16 +374,31 @@ impl Classifier for DecisionTreeClassifier {
                     f.truncate(k_features);
                     f
                 };
-                find_best_split(
-                    x,
-                    y,
-                    &work.indices,
-                    &feats,
-                    n_classes,
-                    self.min_samples_leaf,
-                    node_gini,
-                    &mut sorted,
-                )
+                match &binned {
+                    Some(b) => find_best_split_histogram(
+                        x,
+                        b,
+                        y,
+                        &work.indices,
+                        &feats,
+                        n_classes,
+                        self.min_samples_leaf,
+                        node_gini,
+                        &mut hist,
+                        &mut splits_evaluated,
+                    ),
+                    None => find_best_split(
+                        x,
+                        y,
+                        &work.indices,
+                        &feats,
+                        n_classes,
+                        self.min_samples_leaf,
+                        node_gini,
+                        &mut sorted,
+                        &mut splits_evaluated,
+                    ),
+                }
             } else {
                 None
             };
@@ -293,6 +440,7 @@ impl Classifier for DecisionTreeClassifier {
                 }
             }
         }
+        mlcs_columnar::metrics::counter("ml.train.splits_evaluated").add(splits_evaluated);
         Ok(())
     }
 
@@ -311,36 +459,16 @@ impl Classifier for DecisionTreeClassifier {
                 x.cols()
             )));
         }
-        let mut out = Matrix::zeros(x.rows(), self.n_classes);
-        for r in 0..x.rows() {
-            let row = x.row(r);
-            let mut node = 0usize;
-            // A well-formed tree reaches a leaf within `nodes.len()` hops;
-            // the bound turns a cyclic (corrupt) node graph into an error
-            // instead of an infinite loop.
-            let mut hops = self.nodes.len() + 1;
-            loop {
-                hops = hops.checked_sub(1).ok_or_else(|| {
-                    MlError::Serde("decision tree node graph contains a cycle".into())
-                })?;
-                match &self.nodes[node] {
-                    Node::Leaf { proba } => {
-                        for (c, &p) in proba.iter().enumerate() {
-                            out.set(r, c, p);
-                        }
-                        break;
-                    }
-                    Node::Split { feature, threshold, left, right } => {
-                        node = if row[*feature as usize] <= *threshold {
-                            *left as usize
-                        } else {
-                            *right as usize
-                        };
-                    }
+        let cols = self.n_classes;
+        crate::parallel::fill_rows_parallel(x.rows(), cols, |m, out| {
+            for r in 0..m.len {
+                let proba = self.leaf_for_row(x.row(m.start + r))?;
+                for (c, &p) in proba.iter().enumerate() {
+                    out[r * cols + c] = p;
                 }
             }
-        }
-        Ok(out)
+            Ok(())
+        })
     }
 
     fn n_classes(&self) -> usize {
@@ -352,7 +480,8 @@ impl Classifier for DecisionTreeClassifier {
     }
 }
 
-/// Finds the impurity-minimizing split over the candidate features.
+/// Finds the impurity-minimizing split over the candidate features by
+/// sorting the node's rows per feature ([`SplitStrategy::Exact`]).
 #[allow(clippy::too_many_arguments)]
 fn find_best_split(
     x: &Matrix,
@@ -363,6 +492,7 @@ fn find_best_split(
     min_leaf: usize,
     parent_gini: f64,
     sorted: &mut Vec<(f64, u32)>,
+    splits_evaluated: &mut u64,
 ) -> Option<BestSplit> {
     let total = indices.len() as f64;
     let mut best: Option<BestSplit> = None;
@@ -372,7 +502,9 @@ fn find_best_split(
     for &f in features {
         sorted.clear();
         sorted.extend(indices.iter().map(|&i| (x.get(i, f), y[i])));
-        sorted.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after validation"));
+        // Inputs are NaN-free after validation, so total_cmp sorts like
+        // partial_cmp without the panic path.
+        sorted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         if sorted[0].0 == sorted[sorted.len() - 1].0 {
             continue; // constant feature
         }
@@ -395,6 +527,7 @@ fn find_best_split(
             if (n_left as usize) < min_leaf || (n_right as usize) < min_leaf {
                 continue;
             }
+            *splits_evaluated += 1;
             let score = (n_left / total) * gini(&left_counts, n_left)
                 + (n_right / total) * gini(&right_counts, n_right);
             // Zero-gain splits (score == parent impurity) are allowed, as
@@ -411,6 +544,144 @@ fn find_best_split(
     best
 }
 
+/// Reusable per-node scratch for [`find_best_split_histogram`]: the
+/// class-count histogram plus the node-local value range of every bin.
+#[derive(Default)]
+struct HistScratch {
+    /// `hist[bin * n_classes + class]` — class counts per bin.
+    hist: Vec<f64>,
+    /// Smallest node value falling in each bin (`+inf` when empty).
+    bin_min: Vec<f64>,
+    /// Largest node value falling in each bin (`-inf` when empty).
+    bin_max: Vec<f64>,
+    /// Indices of the bins the node populates, ascending.
+    nonempty: Vec<usize>,
+}
+
+/// Finds the impurity-minimizing split over the candidate features by
+/// scanning cumulative class-count histograms of the pre-binned features
+/// ([`SplitStrategy::Histogram`]). One O(n) pass builds the node's
+/// histogram per feature; the boundary scan is O(bins · classes).
+///
+/// Thresholds are node-local: the midpoint between the largest value in
+/// the left bin and the smallest value in the next populated bin — the
+/// same formula (and, when every distinct value has its own bin, the same
+/// bits) as the exact scan's `v + (next_v - v) / 2`. This keeps the two
+/// strategies in exact agreement on rows the node never saw (out-of-bag
+/// and test rows), not just on the fitted partition.
+#[allow(clippy::too_many_arguments)]
+fn find_best_split_histogram(
+    x: &Matrix,
+    binned: &BinnedFeatures,
+    y: &[u32],
+    indices: &[usize],
+    features: &[usize],
+    n_classes: usize,
+    min_leaf: usize,
+    parent_gini: f64,
+    scratch: &mut HistScratch,
+    splits_evaluated: &mut u64,
+) -> Option<BestSplit> {
+    let total = indices.len() as f64;
+    let mut best: Option<BestSplit> = None;
+    let mut left_counts = vec![0.0f64; n_classes];
+    let mut right_counts = vec![0.0f64; n_classes];
+    let HistScratch { hist, bin_min, bin_max, nonempty } = scratch;
+
+    for &f in features {
+        let edges = &binned.edges[f];
+        if edges.is_empty() {
+            continue; // globally constant feature
+        }
+        let n_bins = edges.len() + 1;
+        hist.clear();
+        hist.resize(n_bins * n_classes, 0.0);
+        bin_min.clear();
+        bin_min.resize(n_bins, f64::INFINITY);
+        bin_max.clear();
+        bin_max.resize(n_bins, f64::NEG_INFINITY);
+        for &i in indices {
+            let code = binned.codes[i * binned.n_features + f] as usize;
+            hist[code * n_classes + y[i] as usize] += 1.0;
+            let v = x.get(i, f);
+            if v < bin_min[code] {
+                bin_min[code] = v;
+            }
+            if v > bin_max[code] {
+                bin_max[code] = v;
+            }
+        }
+        nonempty.clear();
+        nonempty.extend((0..n_bins).filter(|&b| bin_max[b] >= bin_min[b]));
+        if nonempty.len() < 2 {
+            continue; // constant within this node
+        }
+        left_counts.iter_mut().for_each(|c| *c = 0.0);
+        right_counts.iter_mut().for_each(|c| *c = 0.0);
+        for &b in nonempty.iter() {
+            for c in 0..n_classes {
+                right_counts[c] += hist[b * n_classes + c];
+            }
+        }
+        // Scan the populated-bin boundaries in ascending order, moving each
+        // bin's counts from the right child to the left — the cumulative-
+        // histogram analogue of the exact scan's element-by-element sweep.
+        let mut n_left = 0usize;
+        for w in 0..nonempty.len() - 1 {
+            let b = nonempty[w];
+            let row = &hist[b * n_classes..(b + 1) * n_classes];
+            let mut bin_total = 0.0;
+            for (c, &v) in row.iter().enumerate() {
+                left_counts[c] += v;
+                right_counts[c] -= v;
+                bin_total += v;
+            }
+            n_left += bin_total as usize;
+            let n_right = indices.len() - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            *splits_evaluated += 1;
+            let (nl, nr) = (n_left as f64, n_right as f64);
+            let score =
+                (nl / total) * gini(&left_counts, nl) + (nr / total) * gini(&right_counts, nr);
+            // Same acceptance rules as the exact scan: zero-gain splits
+            // allowed, strict improvement over the best so far.
+            if score <= parent_gini + 1e-12
+                && score < best.as_ref().map_or(f64::INFINITY, |b| b.score)
+            {
+                let (v, next_v) = (bin_max[b], bin_min[nonempty[w + 1]]);
+                best = Some(BestSplit { feature: f, threshold: v + (next_v - v) / 2.0, score });
+            }
+        }
+    }
+    best
+}
+
+pub(crate) fn pickle_split_strategy(w: &mut Writer, s: SplitStrategy) {
+    match s {
+        SplitStrategy::Exact => w.put_u8(0),
+        SplitStrategy::Histogram { bins } => {
+            w.put_u8(1);
+            w.put_varint(bins as u64);
+        }
+    }
+}
+
+pub(crate) fn unpickle_split_strategy(r: &mut Reader) -> Result<SplitStrategy, PickleError> {
+    match r.get_u8()? {
+        0 => Ok(SplitStrategy::Exact),
+        1 => {
+            let bins = r.get_varint()?;
+            if bins < 2 || bins > u16::MAX as u64 {
+                return Err(PickleError::Invalid(format!("histogram bin count {bins}")));
+            }
+            Ok(SplitStrategy::Histogram { bins: bins as u16 })
+        }
+        tag => Err(PickleError::InvalidTag { tag, context: "SplitStrategy" }),
+    }
+}
+
 impl Pickle for DecisionTreeClassifier {
     const CLASS_NAME: &'static str = "DecisionTreeClassifier";
     fn pickle_body(&self, w: &mut Writer) {
@@ -425,6 +696,7 @@ impl Pickle for DecisionTreeClassifier {
                 w.put_varint(n as u64);
             }
         }
+        pickle_split_strategy(w, self.split_strategy);
         w.put_u64(self.seed);
         w.put_varint(self.n_classes as u64);
         w.put_varint(self.n_features as u64);
@@ -459,6 +731,7 @@ impl Pickle for DecisionTreeClassifier {
             2 => MaxFeatures::Count(r.get_varint()? as usize),
             tag => return Err(PickleError::InvalidTag { tag, context: "MaxFeatures" }),
         };
+        let split_strategy = unpickle_split_strategy(r)?;
         let seed = r.get_u64()?;
         let n_classes = r.get_varint()? as usize;
         let n_features = r.get_varint()? as usize;
@@ -504,6 +777,7 @@ impl Pickle for DecisionTreeClassifier {
             min_samples_split,
             min_samples_leaf,
             max_features,
+            split_strategy,
             seed,
             nodes,
             n_classes,
@@ -537,6 +811,25 @@ mod tests {
         (x, y)
     }
 
+    /// A deterministic pseudo-random classification problem: well-separated
+    /// noisy blobs, with the noise quantized to `levels` steps so tests can
+    /// control how many distinct values each feature takes.
+    fn blob_data(rows: usize, cols: usize, classes: usize, levels: u64) -> (Matrix, Vec<u32>) {
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut y = Vec::with_capacity(rows);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for r in 0..rows {
+            let cls = r % classes;
+            y.push(cls as u32);
+            for c in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 40) % levels) as f64 / levels as f64; // [0, 1)
+                data.push(cls as f64 * 2.0 + noise + (c as f64) * 0.1);
+            }
+        }
+        (Matrix::new(data, rows, cols).unwrap(), y)
+    }
+
     #[test]
     fn fits_xor_perfectly() {
         let (x, y) = xor_data();
@@ -544,6 +837,54 @@ mod tests {
         t.fit(&x, &y, 2).unwrap();
         assert_eq!(t.predict(&x).unwrap(), y);
         assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn fits_xor_perfectly_exact() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new().with_split_strategy(SplitStrategy::Exact);
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn strategies_agree_when_distinct_values_fit_in_bins() {
+        // Every feature has <= 255 distinct values (3 classes × 40 noise
+        // levels), so histogram edges are exactly the midpoints the exact
+        // scan proposes and both strategies choose identical partitions.
+        let (x, y) = blob_data(600, 3, 3, 40);
+        let mut exact = DecisionTreeClassifier::new().with_split_strategy(SplitStrategy::Exact);
+        let mut hist = DecisionTreeClassifier::new();
+        exact.fit(&x, &y, 3).unwrap();
+        hist.fit(&x, &y, 3).unwrap();
+        assert_eq!(exact.predict(&x).unwrap(), hist.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn strategies_match_accuracy_with_few_bins() {
+        // With only 16 bins on ~600 distinct values the trees differ, but
+        // training accuracy on well-separated blobs must match.
+        let (x, y) = blob_data(600, 2, 3, 1 << 24);
+        let mut exact = DecisionTreeClassifier::new().with_split_strategy(SplitStrategy::Exact);
+        let mut hist = DecisionTreeClassifier::new()
+            .with_split_strategy(SplitStrategy::Histogram { bins: 16 });
+        exact.fit(&x, &y, 3).unwrap();
+        hist.fit(&x, &y, 3).unwrap();
+        let acc = |pred: &[u32]| {
+            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64
+        };
+        let (ea, ha) = (acc(&exact.predict(&x).unwrap()), acc(&hist.predict(&x).unwrap()));
+        assert!(ea >= 0.99, "exact accuracy {ea}");
+        assert!(ha >= 0.99, "histogram accuracy {ha}");
+    }
+
+    #[test]
+    fn histogram_bins_clamped_to_two() {
+        let (x, y) = xor_data();
+        let mut t =
+            DecisionTreeClassifier::new().with_split_strategy(SplitStrategy::Histogram { bins: 0 });
+        t.fit(&x, &y, 2).unwrap();
+        assert!(t.node_count() >= 1);
     }
 
     #[test]
@@ -621,6 +962,16 @@ mod tests {
         let back: DecisionTreeClassifier = mlcs_pickle::unpickle(&blob).unwrap();
         assert_eq!(back, t);
         assert_eq!(back.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn pickle_round_trip_exact_strategy() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTreeClassifier::new().with_split_strategy(SplitStrategy::Exact);
+        t.fit(&x, &y, 2).unwrap();
+        let back: DecisionTreeClassifier = mlcs_pickle::unpickle(&mlcs_pickle::pickle(&t)).unwrap();
+        assert_eq!(back.split_strategy, SplitStrategy::Exact);
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Shared helper for the `MLCS_THREADS` determinism integration tests.
+//!
+//! Forest training and prediction must be bit-identical for any thread
+//! count. The pool sizes itself from `MLCS_THREADS` once per process, so
+//! each thread count gets its own integration binary holding a single
+//! `#[test]` that sets the variable before anything touches the pool.
+//! Each binary then proves pooled == serial *within* its process; since
+//! the serial path is thread-count independent by construction, the pooled
+//! results are transitively identical across every `MLCS_THREADS` value.
+
+use mlcs_ml::dataset::Matrix;
+use mlcs_ml::forest::RandomForestClassifier;
+use mlcs_ml::Classifier;
+
+/// A deterministic 3-class blob problem, ~500 rows.
+fn blob_data() -> (Matrix, Vec<u32>, usize) {
+    let rows = 500;
+    let cols = 4;
+    let classes = 3;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut y = Vec::with_capacity(rows);
+    let mut state: u64 = 0x5eed_cafe;
+    for i in 0..rows {
+        let c = i % classes;
+        y.push(c as u32);
+        for _ in 0..cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 40) % 1000) as f64 / 1000.0;
+            data.push(c as f64 * 3.0 + noise);
+        }
+    }
+    (Matrix::new(data, rows, cols).expect("shape"), y, classes)
+}
+
+/// Sets `MLCS_THREADS`, then asserts that pool-policy training
+/// (`n_jobs = 0`) and morsel-parallel prediction are bit-identical to a
+/// single-threaded reference in the same process.
+pub fn assert_pool_matches_serial(threads: &str) {
+    std::env::set_var("MLCS_THREADS", threads);
+    let (x, y, classes) = blob_data();
+
+    // Serial reference: one fitting thread, prediction pinned to the
+    // calling thread. Independent of MLCS_THREADS by construction.
+    let mut serial = RandomForestClassifier::new(16).with_seed(7).with_n_jobs(1);
+    serial.fit(&x, &y, classes).expect("serial fit");
+    let serial_proba =
+        mlcs_ml::parallel::with_threads(1, || serial.predict_proba(&x)).expect("serial proba");
+    let serial_pred =
+        mlcs_ml::parallel::with_threads(1, || serial.predict(&x)).expect("serial predict");
+
+    // Pool policy: n_jobs = 0 resolves through MLCS_THREADS, prediction
+    // splits morsels across the shared pool.
+    let mut pooled = RandomForestClassifier::new(16).with_seed(7).with_n_jobs(0);
+    pooled.fit(&x, &y, classes).expect("pooled fit");
+    let pooled_proba = pooled.predict_proba(&x).expect("pooled proba");
+    let pooled_pred = pooled.predict(&x).expect("pooled predict");
+
+    assert_eq!(serial.trees(), pooled.trees(), "MLCS_THREADS={threads}: trained trees differ");
+    assert_eq!(serial_pred, pooled_pred, "MLCS_THREADS={threads}: predicted labels differ");
+    for r in 0..serial_proba.rows() {
+        for c in 0..serial_proba.cols() {
+            // Bit equality, not approximate: the determinism contract.
+            assert_eq!(
+                serial_proba.get(r, c).to_bits(),
+                pooled_proba.get(r, c).to_bits(),
+                "MLCS_THREADS={threads}: proba[{r}][{c}] differs"
+            );
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Forest train + predict determinism with `MLCS_THREADS=4`.
+//!
+//! Single `#[test]` on purpose: the worker pool sizes itself from
+//! `MLCS_THREADS` once per process (see `tests/common/mod.rs`).
+
+mod common;
+
+#[test]
+fn forest_bit_identical_with_four_threads() {
+    common::assert_pool_matches_serial("4");
+}

@@ -127,4 +127,41 @@ proptest! {
         b.fit(&x, &y, classes).expect("fit");
         prop_assert_eq!(a.trees(), b.trees());
     }
+
+    /// Histogram and exact split finding never disagree on predicted
+    /// labels: with at most 60 rows every feature has at most 60 distinct
+    /// values, which fit in the default 255 bins, where the histogram
+    /// strategy scans exactly the midpoint thresholds the sort-based
+    /// strategy does — so the trees partition identically.
+    #[test]
+    fn split_strategies_agree_on_predictions((x, y, classes) in training_problem()) {
+        use mlcs_ml::tree::SplitStrategy;
+        let mut exact = DecisionTreeClassifier::new()
+            .with_seed(11)
+            .with_split_strategy(SplitStrategy::Exact);
+        let mut hist = DecisionTreeClassifier::new()
+            .with_seed(11)
+            .with_split_strategy(SplitStrategy::default());
+        exact.fit(&x, &y, classes).expect("fit exact");
+        hist.fit(&x, &y, classes).expect("fit histogram");
+        prop_assert_eq!(
+            exact.predict(&x).expect("predict exact"),
+            hist.predict(&x).expect("predict histogram"),
+            "tree strategies disagree"
+        );
+
+        let mut f_exact = RandomForestClassifier::new(5)
+            .with_seed(11)
+            .with_split_strategy(SplitStrategy::Exact);
+        let mut f_hist = RandomForestClassifier::new(5)
+            .with_seed(11)
+            .with_split_strategy(SplitStrategy::default());
+        f_exact.fit(&x, &y, classes).expect("fit exact forest");
+        f_hist.fit(&x, &y, classes).expect("fit histogram forest");
+        prop_assert_eq!(
+            f_exact.predict(&x).expect("predict exact forest"),
+            f_hist.predict(&x).expect("predict histogram forest"),
+            "forest strategies disagree"
+        );
+    }
 }

@@ -9,7 +9,9 @@
 //!
 //! * **Panic-free hot paths.** In the modules the executor hits per batch
 //!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/parallel.rs`,
-//!   `columnar/src/udf.rs`, `core/src/udf.rs`), non-test code must not call
+//!   `columnar/src/udf.rs`, `core/src/udf.rs`, and the ML model hot paths
+//!   `ml/src/{tree,forest,knn,linear,naive_bayes,model,parallel}.rs`),
+//!   non-test code must not call
 //!   `.unwrap()`,
 //!   `.expect(…)`, `panic!…`, or `todo!…` — errors there must surface as
 //!   typed `DbResult` values, never process aborts mid-query. A site that
@@ -39,6 +41,13 @@ const HOT_PATHS: &[&str] = &[
     "crates/columnar/src/parallel.rs",
     "crates/columnar/src/udf.rs",
     "crates/core/src/udf.rs",
+    "crates/ml/src/tree.rs",
+    "crates/ml/src/forest.rs",
+    "crates/ml/src/knn.rs",
+    "crates/ml/src/linear.rs",
+    "crates/ml/src/naive_bayes.rs",
+    "crates/ml/src/model.rs",
+    "crates/ml/src/parallel.rs",
 ];
 
 /// Source patterns forbidden in hot-path modules. Substring matches, so
@@ -277,6 +286,11 @@ mod tests {
         assert!(is_hot_path(Path::new("crates/columnar/src/parallel.rs")));
         assert!(is_hot_path(Path::new("crates/columnar/src/udf.rs")));
         assert!(is_hot_path(Path::new("crates/core/src/udf.rs")));
+        assert!(is_hot_path(Path::new("crates/ml/src/tree.rs")));
+        assert!(is_hot_path(Path::new("crates/ml/src/forest.rs")));
+        assert!(is_hot_path(Path::new("crates/ml/src/model.rs")));
+        assert!(is_hot_path(Path::new("crates/ml/src/parallel.rs")));
+        assert!(!is_hot_path(Path::new("crates/ml/src/dataset.rs")));
         assert!(!is_hot_path(Path::new("crates/columnar/src/sql/binder.rs")));
         assert!(!is_hot_path(Path::new("crates/columnar/src/udf_helpers.rs")));
     }

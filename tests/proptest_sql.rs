@@ -303,22 +303,19 @@ proptest! {
         let db = db_with_mixed_rows(&rows);
         let sql = build_query(&words);
         let stmt = parse(&sql).unwrap();
-        match bind(stmt, db.catalog(), db.functions()) {
-            Ok(bound) => {
-                let verified = verify_statement(&bound, db.functions());
-                prop_assert!(
-                    verified.is_ok(),
-                    "verifier rejected a binder-accepted statement: {sql}\n{:?}",
-                    verified.err()
-                );
-                // Execution may fail with a typed error (e.g. a runtime
-                // cast), but must never panic.
-                let _ = db.execute(&sql);
-            }
-            // The generator aims for bindable SQL, but a binder rejection
-            // is a valid outcome — only panics and verifier/binder
-            // disagreements are failures.
-            Err(_) => {}
+        // The generator aims for bindable SQL, but a binder rejection is a
+        // valid outcome — only panics and verifier/binder disagreements are
+        // failures.
+        if let Ok(bound) = bind(stmt, db.catalog(), db.functions()) {
+            let verified = verify_statement(&bound, db.functions());
+            prop_assert!(
+                verified.is_ok(),
+                "verifier rejected a binder-accepted statement: {sql}\n{:?}",
+                verified.err()
+            );
+            // Execution may fail with a typed error (e.g. a runtime
+            // cast), but must never panic.
+            let _ = db.execute(&sql);
         }
     }
 
