@@ -27,7 +27,7 @@ fn thread_counts() -> Vec<usize> {
 /// The policy the parallel variants run under: always engage (threshold 1)
 /// with 64K-row morsels.
 fn par(threads: usize) -> Parallelism {
-    Parallelism { threads, threshold: 1, morsel_rows: 64 * 1024 }
+    Parallelism { threads, threshold: 1, morsel_rows: 64 * 1024, deadline: None }
 }
 
 /// Row-by-row equality with a relative tolerance for doubles — the parallel

@@ -144,10 +144,25 @@ impl Database {
 
     /// Parses, binds, and executes a single SQL statement.
     pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        self.execute_with(sql, &self.exec_options())
+    }
+
+    /// [`Self::execute`] with a wall-clock deadline: the statement aborts
+    /// with [`DbError::Timeout`] (naming the operator that observed the
+    /// expiry) once `timeout` has elapsed. Checked at operator and morsel
+    /// boundaries, so cancellation happens within one morsel of the
+    /// deadline.
+    pub fn execute_with_timeout(&self, sql: &str, timeout: Duration) -> DbResult<QueryResult> {
+        self.execute_with(sql, &self.exec_options().with_timeout(timeout))
+    }
+
+    /// [`Self::execute`] with explicit execution options (parallelism and
+    /// deadline).
+    pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> DbResult<QueryResult> {
         let start = Instant::now();
         let stmt = parse(sql)?;
         let bound = bind(stmt, &self.catalog, &self.functions)?;
-        let mut result = self.run_bound(bound)?;
+        let mut result = self.run_bound(bound, opts)?;
         result.elapsed = start.elapsed();
         Ok(result)
     }
@@ -162,7 +177,7 @@ impl Database {
         let mut last = None;
         for stmt in stmts {
             let bound = bind(stmt, &self.catalog, &self.functions)?;
-            last = Some(self.run_bound(bound)?);
+            last = Some(self.run_bound(bound, &self.exec_options())?);
         }
         let mut result = last.expect("nonempty");
         result.elapsed = start.elapsed();
@@ -187,7 +202,7 @@ impl Database {
         Ok(batch.column(0).value(0))
     }
 
-    fn run_bound(&self, bound: BoundStatement) -> DbResult<QueryResult> {
+    fn run_bound(&self, bound: BoundStatement, opts: &ExecOptions) -> DbResult<QueryResult> {
         let catalog = &self.catalog;
         let functions = &self.functions;
         let empty = |kind: StatementKind, rows: usize| QueryResult {
@@ -210,7 +225,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
+                let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let rows = batch.rows();
                 let table = Table::from_batch(name.to_ascii_lowercase(), batch);
                 catalog.put_table(table, if_not_exists)?;
@@ -235,7 +250,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
+                let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let reordered = self.reorder_for_insert(&guard, &column_map, batch)?;
@@ -310,7 +325,7 @@ impl Database {
                 substitute_in_plan(&mut plan, &values);
                 let plan = optimize(plan)?;
                 crate::verify::verify_plan(&plan, functions)?;
-                let batch = execute_plan_with(&plan, catalog, functions, &self.exec_options())?;
+                let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 Ok(QueryResult {
                     rows_affected: batch.rows(),
                     batch,
@@ -330,13 +345,7 @@ impl Database {
                     crate::verify::verify_plan(&plan, functions)?;
                     let trace = PlanTrace::new();
                     let start = Instant::now();
-                    let result = execute_plan_traced(
-                        &plan,
-                        catalog,
-                        functions,
-                        &self.exec_options(),
-                        &trace,
-                    )?;
+                    let result = execute_plan_traced(&plan, catalog, functions, opts, &trace)?;
                     let total = start.elapsed();
                     let mut text = plan.display_with(&|n| trace.annotation(n));
                     text.push_str(&format!(

@@ -36,6 +36,12 @@ pub enum DbError {
         /// Which invariant was violated.
         message: String,
     },
+    /// A query (or network read/write) exceeded its deadline.
+    Timeout {
+        /// Operator path from the plan root to the node that observed the
+        /// expired deadline, or a transport point like `net.read`.
+        path: String,
+    },
     /// I/O error during persistence, carrying the rendered message
     /// (std::io::Error is not Clone).
     Io(String),
@@ -54,6 +60,11 @@ impl DbError {
     /// Convenience constructor for internal errors.
     pub fn internal(msg: impl Into<String>) -> Self {
         DbError::Internal(msg.into())
+    }
+
+    /// Convenience constructor for deadline expiries.
+    pub fn timeout(path: impl Into<String>) -> Self {
+        DbError::Timeout { path: path.into() }
     }
 
     /// Convenience constructor for plan-verification failures.
@@ -83,6 +94,9 @@ impl fmt::Display for DbError {
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::PlanInvariant { path, message } => {
                 write!(f, "plan invariant violated at {path}: {message}")
+            }
+            DbError::Timeout { path } => {
+                write!(f, "query deadline exceeded at {path}")
             }
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),

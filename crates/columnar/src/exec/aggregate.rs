@@ -449,6 +449,7 @@ pub fn hash_aggregate_par(
         let ag = aggs.to_vec();
         let at = arg_types.clone();
         parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
             local_aggregate(&batch, &gk, &ag, &at, m)
         })?
     };
@@ -599,7 +600,7 @@ mod tests {
     }
 
     fn force_par() -> Parallelism {
-        Parallelism { threads: 4, threshold: 1, morsel_rows: 7 }
+        Parallelism { threads: 4, threshold: 1, morsel_rows: 7, deadline: None }
     }
 
     #[test]

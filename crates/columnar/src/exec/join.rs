@@ -213,6 +213,7 @@ where
         let rbatch = right.clone();
         let rkeys = right_keys.to_vec();
         parallel_map(right.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
             let ks = key_fn(&rbatch, &rkeys, m);
             let mut parts: Vec<Vec<(K, u32)>> = (0..nparts).map(|_| Vec::new()).collect();
             for (i, k) in ks.into_iter().enumerate() {
@@ -257,6 +258,7 @@ where
         let lbatch = left.clone();
         let lkeys = left_keys.to_vec();
         parallel_map(left.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
             let ks = key_fn(&lbatch, &lkeys, m);
             let mut lidx: Vec<u32> = Vec::new();
             let mut ridx: Vec<Option<u32>> = Vec::new();
@@ -464,7 +466,7 @@ mod tests {
     }
 
     fn force_par() -> Parallelism {
-        Parallelism { threads: 4, threshold: 1, morsel_rows: 3 }
+        Parallelism { threads: 4, threshold: 1, morsel_rows: 3, deadline: None }
     }
 
     #[test]
@@ -519,7 +521,7 @@ mod tests {
 
     #[test]
     fn parallel_join_below_threshold_is_serial() {
-        let par = Parallelism { threads: 4, threshold: 1_000_000, morsel_rows: 3 };
+        let par = Parallelism { threads: 4, threshold: 1_000_000, morsel_rows: 3, deadline: None };
         let out = hash_join_par(&orders(), &customers(), &[1], &[0], JoinType::Inner, par).unwrap();
         let serial = hash_join(&orders(), &customers(), &[1], &[0], JoinType::Inner).unwrap();
         assert_eq!(out, serial);

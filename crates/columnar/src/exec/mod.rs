@@ -15,7 +15,7 @@ pub use join::{hash_join, hash_join_par, JoinType};
 pub use sort::{limit, sort, sort_par, SortKey};
 
 use crate::batch::Batch;
-use crate::error::DbResult;
+use crate::error::{DbError, DbResult};
 use crate::exec::rowkey::encode_key;
 use crate::expr::{eval_predicate, eval_predicate_offset, EvalContext, Expr};
 use crate::parallel::{parallel_map, DEFAULT_MORSEL_ROWS};
@@ -34,12 +34,22 @@ pub struct Parallelism {
     pub threshold: usize,
     /// Rows per morsel.
     pub morsel_rows: usize,
+    /// Wall-clock instant past which the query must abort with
+    /// [`DbError::Timeout`]. Checked at morsel boundaries (and at batch
+    /// boundaries by the executor), so a runaway operator stops within one
+    /// morsel of the deadline rather than running to completion.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Parallelism {
     /// The policy that always takes the serial path.
     pub fn serial() -> Parallelism {
-        Parallelism { threads: 1, threshold: usize::MAX, morsel_rows: DEFAULT_MORSEL_ROWS }
+        Parallelism {
+            threads: 1,
+            threshold: usize::MAX,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            deadline: None,
+        }
     }
 
     /// Whether an input of `rows` rows should run in parallel under this
@@ -47,6 +57,18 @@ impl Parallelism {
     /// special empty-input semantics, e.g. ungrouped aggregation).
     pub fn enabled(&self, rows: usize) -> bool {
         self.threads > 1 && rows >= self.threshold.max(1)
+    }
+
+    /// Errors with [`DbError::Timeout`] when the deadline has passed. The
+    /// path is left empty here; the executor prepends the operator path as
+    /// the error unwinds (see `execute_node`).
+    pub fn check_deadline(&self) -> DbResult<()> {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                Err(DbError::Timeout { path: String::new() })
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -81,6 +103,7 @@ pub fn filter_par(
     let pred = predicate.clone();
     let funcs = functions.cloned();
     let sels = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+        par.check_deadline()?;
         let slice = batch.slice(m.start, m.len);
         let ctx = EvalContext::new(&slice, funcs.as_deref());
         eval_predicate_offset(&ctx, &pred, m.start)

@@ -132,6 +132,7 @@ pub fn sort_par(input: &Batch, keys: &[SortKey], par: Parallelism) -> DbResult<B
         let batch = input.clone();
         let ks = keys.to_vec();
         parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
             let cols: Vec<&Column> = ks.iter().map(|k| batch.column(k.column).as_ref()).collect();
             let mut idx: Vec<u32> = (m.start as u32..(m.start + m.len) as u32).collect();
             idx.sort_by(|&a, &b| compare_rows(&ks, &cols, a, b));
@@ -241,7 +242,7 @@ mod tests {
     }
 
     fn force_par() -> Parallelism {
-        Parallelism { threads: 4, threshold: 1, morsel_rows: 5 }
+        Parallelism { threads: 4, threshold: 1, morsel_rows: 5, deadline: None }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod database;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod faults;
 pub mod metrics;
 pub mod parallel;
 pub mod persist;

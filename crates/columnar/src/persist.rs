@@ -5,11 +5,33 @@
 //! mlcs binary format: a magic header, the schema, then each column as a
 //! type tag, optional validity bitmap, and a typed payload. Everything is
 //! little-endian and checksummed per file.
+//!
+//! # Crash safety
+//!
+//! Every file is written atomically: the bytes go to a `*.tmp` sibling,
+//! the file is fsynced, renamed into place, and the directory is fsynced
+//! so the rename itself is durable. Table files land before the manifest,
+//! and the manifest rename is the commit point — a crash at any earlier
+//! step leaves the previous manifest intact, and every file it references
+//! is complete and checksummed. Because each table file is swapped
+//! atomically on its own, a table that keeps its name across generations
+//! may already hold the (fully written) new content when the save dies;
+//! at worst some stale `*.tmp` debris and new table files the old
+//! manifest does not reference remain. The guarantee is catalog-level
+//! consistency, not snapshot isolation across generations: every load
+//! sees only fully-written, checksummed table files.
+//!
+//! [`load_database_with`] offers a [`RecoveryMode::Recover`] that skips
+//! damaged or missing table files (reporting them in a [`RecoveryReport`])
+//! instead of aborting the whole load, so one corrupted table cannot hold
+//! every stored model hostage.
 
 use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnData};
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
+use crate::faults;
+use crate::metrics;
 use crate::schema::{Field, Schema};
 use crate::strings::{BlobColumn, StringColumn};
 use crate::table::Table;
@@ -21,8 +43,70 @@ use std::sync::Arc;
 const TABLE_MAGIC: &[u8; 8] = b"MLCSTBL1";
 const MANIFEST_MAGIC: &[u8; 8] = b"MLCSDB_1";
 
+/// How [`load_database_with`] reacts to damaged table files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Any unreadable or corrupt table file fails the whole load.
+    Strict,
+    /// Damaged tables are skipped and reported; everything readable loads.
+    /// Manifest damage is still fatal — without it there is no catalog.
+    Recover,
+}
+
+/// One table [`RecoveryMode::Recover`] had to skip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DamagedTable {
+    /// The table name as listed in the manifest.
+    pub name: String,
+    /// The rendered [`DbError`] that made it unloadable.
+    pub reason: String,
+}
+
+/// What [`load_database_with`] found: which tables loaded, which were
+/// damaged (empty in [`RecoveryMode::Strict`], which errors out instead),
+/// and any stale `*.tmp` files an interrupted save left behind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Tables loaded into the catalog, in manifest order.
+    pub loaded: Vec<String>,
+    /// Tables skipped because their files were missing or corrupt.
+    pub damaged: Vec<DamagedTable>,
+    /// File names of leftover `*.tmp` files from an interrupted save.
+    /// Harmless (no manifest references them) but worth cleaning up.
+    pub stale_tmp: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Whether every manifest table loaded and no debris was found.
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty() && self.stale_tmp.is_empty()
+    }
+}
+
+/// Writes `bytes` to `dir/<name>` atomically: `<name>.tmp` + fsync +
+/// rename + directory fsync. A crash at any point leaves either the old
+/// file or the new one, never a torn mix; at worst a stale `.tmp` remains.
+fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8]) -> DbResult<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut file = faults::FaultyFile::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    faults::rename(&tmp, &dir.join(name))?;
+    sync_dir(dir)
+}
+
+/// Fsyncs a directory so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> DbResult<()> {
+    std::fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
 /// Saves every table of the database into `dir` (created if missing).
 /// Existing table files in the directory are overwritten.
+///
+/// Each file is written atomically and the manifest goes last, so an
+/// interrupted save never damages the previous on-disk generation (see
+/// the module docs for the exact guarantee).
 pub fn save_database(db: &Database, dir: &Path) -> DbResult<()> {
     std::fs::create_dir_all(dir)?;
     let names = db.catalog().table_names();
@@ -34,29 +118,68 @@ pub fn save_database(db: &Database, dir: &Path) -> DbResult<()> {
         let handle = db.catalog().table(name)?;
         let table = handle.read();
         let bytes = encode_table(&table);
-        std::fs::write(dir.join(format!("{name}.mlcstbl")), bytes)?;
+        write_file_atomic(dir, &format!("{name}.mlcstbl"), &bytes)?;
     }
-    std::fs::write(dir.join("catalog.mlcsdb"), manifest.into_bytes())?;
-    Ok(())
+    // The commit point: only once every table file is durable does the new
+    // manifest generation become visible.
+    write_file_atomic(dir, "catalog.mlcsdb", &manifest.into_bytes())
 }
 
 /// Loads a database saved by [`save_database`]. Tables are added to the
-/// given database's catalog; name clashes are an error.
+/// given database's catalog; name clashes are an error. Equivalent to
+/// [`load_database_with`] in [`RecoveryMode::Strict`].
 pub fn load_database(db: &Database, dir: &Path) -> DbResult<()> {
+    load_database_with(db, dir, RecoveryMode::Strict).map(|_| ())
+}
+
+/// Loads a database saved by [`save_database`], with explicit handling of
+/// damaged table files.
+///
+/// In [`RecoveryMode::Recover`], unreadable or corrupt table files are
+/// skipped — each one is listed in the report's `damaged` set and counted
+/// on the `persist.recovered_tables` metric — and every healthy table
+/// still loads. Manifest errors are fatal in both modes.
+pub fn load_database_with(
+    db: &Database,
+    dir: &Path,
+    mode: RecoveryMode,
+) -> DbResult<RecoveryReport> {
     let manifest = std::fs::read(dir.join("catalog.mlcsdb"))?;
     let mut r = Reader::new(&manifest);
     let magic = r.get_raw(8).map_err(corrupt)?;
     if magic != MANIFEST_MAGIC {
         return Err(DbError::Corrupt("bad manifest magic".into()));
     }
+    let mut report = RecoveryReport::default();
     let n = r.get_count(1).map_err(corrupt)?;
     for _ in 0..n {
         let name = r.get_str().map_err(corrupt)?.to_owned();
-        let bytes = std::fs::read(dir.join(format!("{name}.mlcstbl")))?;
-        let table = decode_table(&name, &bytes)?;
-        db.catalog().put_table(table, false)?;
+        match load_table(db, dir, &name) {
+            Ok(()) => report.loaded.push(name),
+            Err(e) if mode == RecoveryMode::Recover => {
+                metrics::counter("persist.recovered_tables").incr();
+                report.damaged.push(DamagedTable { name, reason: e.to_string() });
+            }
+            Err(e) => return Err(e),
+        }
     }
-    Ok(())
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let fname = entry.file_name().to_string_lossy().into_owned();
+            if fname.ends_with(".tmp") {
+                report.stale_tmp.push(fname);
+            }
+        }
+        report.stale_tmp.sort();
+    }
+    Ok(report)
+}
+
+/// Reads, decodes, and registers one table file.
+fn load_table(db: &Database, dir: &Path, name: &str) -> DbResult<()> {
+    let bytes = std::fs::read(dir.join(format!("{name}.mlcstbl")))?;
+    let table = decode_table(name, &bytes)?;
+    db.catalog().put_table(table, false)
 }
 
 fn corrupt(e: mlcs_pickle::PickleError) -> DbError {

@@ -30,6 +30,11 @@ pub struct ExecOptions {
     pub parallel_threshold: usize,
     /// Rows per morsel.
     pub morsel_rows: usize,
+    /// Wall-clock deadline for the whole statement. Checked at every
+    /// operator (batch) boundary and inside every parallel operator at
+    /// morsel boundaries; expiry surfaces as [`DbError::Timeout`] carrying
+    /// the operator path that observed it.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ExecOptions {
@@ -38,6 +43,7 @@ impl Default for ExecOptions {
             threads: 0,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            deadline: None,
         }
     }
 }
@@ -45,19 +51,33 @@ impl Default for ExecOptions {
 impl ExecOptions {
     /// Options that always take the serial path.
     pub fn serial() -> ExecOptions {
-        ExecOptions { threads: 1, parallel_threshold: usize::MAX, morsel_rows: DEFAULT_MORSEL_ROWS }
+        ExecOptions {
+            threads: 1,
+            parallel_threshold: usize::MAX,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            deadline: None,
+        }
+    }
+
+    /// These options with the statement deadline set `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> ExecOptions {
+        self.deadline = Some(Instant::now() + timeout);
+        self
     }
 
     /// The operator-level policy under these options, given whether every
-    /// expression the operator evaluates is parallel-safe.
+    /// expression the operator evaluates is parallel-safe. The deadline is
+    /// carried into the policy even on the serial path so morsel-level
+    /// checks stay active wherever the operator ends up running.
     fn parallelism(&self, safe: bool) -> exec::Parallelism {
         if !safe {
-            return exec::Parallelism::serial();
+            return exec::Parallelism { deadline: self.deadline, ..exec::Parallelism::serial() };
         }
         exec::Parallelism {
             threads: effective_threads(self.threads),
             threshold: self.parallel_threshold,
             morsel_rows: self.morsel_rows.max(1),
+            deadline: self.deadline,
         }
     }
 }
@@ -226,10 +246,27 @@ fn execute_node(
     opts: &ExecOptions,
     trace: Option<&PlanTrace>,
 ) -> DbResult<Batch> {
-    let start = Instant::now();
-    let (batch, parallel) = run_operator(plan, catalog, functions, opts, trace)?;
-    let elapsed = start.elapsed();
     let op = metric_op(plan);
+    if let Some(d) = opts.deadline {
+        if Instant::now() >= d {
+            metrics::counter("exec.deadline_expired").incr();
+            return Err(DbError::Timeout { path: op.to_owned() });
+        }
+    }
+    let start = Instant::now();
+    let (batch, parallel) =
+        run_operator(plan, catalog, functions, opts, trace).map_err(|e| match e {
+            // Grow the operator path as the timeout unwinds: a morsel-level
+            // check reports an empty path, the operator that observed it
+            // contributes its name, and each ancestor prepends its own.
+            DbError::Timeout { path } if path.is_empty() => {
+                metrics::counter("exec.deadline_expired").incr();
+                DbError::Timeout { path: op.to_owned() }
+            }
+            DbError::Timeout { path } => DbError::Timeout { path: format!("{op}/{path}") },
+            other => other,
+        })?;
+    let elapsed = start.elapsed();
     metrics::counter(&format!("exec.{op}.rows")).add(batch.rows() as u64);
     metrics::record_duration(&format!("exec.{op}.time_ns"), elapsed);
     if let Some(tr) = trace {
@@ -365,6 +402,7 @@ fn project_par(
     let sch = schema.clone();
     let funcs = Arc::clone(functions);
     let parts = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+        par.check_deadline()?;
         let slice = batch.slice(m.start, m.len);
         project(&slice, &ex, sch.clone(), &funcs)
     })?;

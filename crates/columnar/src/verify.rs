@@ -93,7 +93,9 @@ pub fn verify_statement(stmt: &BoundStatement, functions: &FunctionRegistry) -> 
 /// Structural re-verification after an optimizer rewrite: no registry is
 /// available inside the optimizer, so UDF contracts are skipped (their
 /// types become unknown) but schema propagation, column bounds, and key
-/// compatibility are still enforced.
+/// compatibility are still enforced. Only called from debug builds (the
+/// optimizer gates it on `debug_assertions`).
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
 pub(crate) fn verify_rewrite(plan: &LogicalPlan) -> DbResult<()> {
     Verifier::new(None, Subqueries::Opaque).run(plan)
 }

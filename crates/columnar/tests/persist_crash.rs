@@ -1,0 +1,174 @@
+//! Crash-safety tests for persistence: a save killed at *every* injected
+//! fault point must leave a directory that still loads, and recovery mode
+//! must report damage exactly.
+//!
+//! The fault injector is process-global, so the tests serialize on a
+//! mutex and disarm it on drop.
+
+use mlcs_columnar::persist::{load_database, load_database_with, save_database, RecoveryMode};
+use mlcs_columnar::{faults, metrics, Database, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+struct TestGuard {
+    _lock: MutexGuard<'static, ()>,
+    dir: PathBuf,
+}
+
+impl TestGuard {
+    fn arm(test: &str) -> TestGuard {
+        static LOCK: Mutex<()> = Mutex::new(());
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear();
+        let dir = std::env::temp_dir().join(format!(
+            "mlcs-persist-crash-{}-{}-{test}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TestGuard { _lock: lock, dir }
+    }
+}
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        faults::clear();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Three tables whose single integer column holds `base`, `base + 1`,
+/// `base + 2` — enough to tell generations apart per table.
+fn generation(base: i64) -> Database {
+    let db = Database::new();
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        db.execute(&format!("CREATE TABLE {name} (v BIGINT)")).unwrap();
+        db.execute(&format!("INSERT INTO {name} VALUES ({})", base + i as i64)).unwrap();
+    }
+    db
+}
+
+/// The single value of `name`'s only row in `db`.
+fn table_value(db: &Database, name: &str) -> i64 {
+    match db.query_value(&format!("SELECT v FROM {name}")).unwrap() {
+        Value::Int64(v) => v,
+        other => panic!("{name} holds {other:?}"),
+    }
+}
+
+/// Flips one byte in the middle of a file.
+fn corrupt_file(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// Kills the save at every fault point in turn (each `fs.write`, then
+/// each `fs.rename`) and checks the directory still strict-loads a fully
+/// consistent catalog afterwards: every table is complete and holds
+/// either the old or the new generation, never a torn mix — and an
+/// untouched fault point means the save just succeeds.
+#[test]
+fn save_killed_at_every_fault_point_still_loads() {
+    for point_spec in ["fs.write:torn:1", "fs.rename:err:1"] {
+        let guard = TestGuard::arm("kill-points");
+        let dir = guard.dir.clone();
+        let gen1 = generation(100);
+        save_database(&gen1, &dir).unwrap();
+        let gen2 = generation(200);
+
+        let mut crashes = 0;
+        for nth in 1..64 {
+            faults::configure_str(&format!("{point_spec}:{nth}"), 7).unwrap();
+            let outcome = save_database(&gen2, &dir);
+            faults::clear();
+            if outcome.is_ok() {
+                // The fault point lies beyond the save's I/O count: done.
+                break;
+            }
+            crashes += 1;
+            let fresh = Database::new();
+            load_database(&fresh, &dir)
+                .unwrap_or_else(|e| panic!("directory unloadable after {point_spec}:{nth}: {e}"));
+            for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+                let v = table_value(&fresh, name);
+                let (old, new) = (100 + i as i64, 200 + i as i64);
+                assert!(
+                    v == old || v == new,
+                    "{name} holds torn value {v} after {point_spec}:{nth}"
+                );
+            }
+            assert!(nth < 63, "save never ran out of fault points for {point_spec}");
+        }
+        // 3 table writes + 1 manifest write, each with one faultable write
+        // and one faultable rename.
+        assert_eq!(crashes, 4, "unexpected I/O count for {point_spec}");
+
+        // The final fault-free save committed generation 2 in full.
+        let fresh = Database::new();
+        load_database(&fresh, &dir).unwrap();
+        for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            assert_eq!(table_value(&fresh, name), 200 + i as i64);
+        }
+    }
+}
+
+/// Recovery mode skips exactly the damaged tables, loads the rest, counts
+/// each skip on `persist.recovered_tables`, and strict mode refuses the
+/// same directory.
+#[test]
+fn recovery_reports_exact_damage() {
+    let guard = TestGuard::arm("recovery-report");
+    let dir = guard.dir.clone();
+    save_database(&generation(10), &dir).unwrap();
+    corrupt_file(&dir.join("beta.mlcstbl"));
+
+    // Strict: the corrupt table fails the whole load.
+    assert!(load_database(&Database::new(), &dir).is_err());
+
+    let before = metrics::snapshot();
+    let report = load_database_with(&Database::new(), &dir, RecoveryMode::Recover).unwrap();
+    assert_eq!(report.loaded, vec!["alpha".to_owned(), "gamma".to_owned()]);
+    assert_eq!(report.damaged.len(), 1);
+    assert_eq!(report.damaged[0].name, "beta");
+    assert!(!report.damaged[0].reason.is_empty());
+    assert!(report.stale_tmp.is_empty());
+    assert!(!report.is_clean());
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("persist.recovered_tables"), 1);
+
+    // A missing file is damage too.
+    std::fs::remove_file(dir.join("gamma.mlcstbl")).unwrap();
+    let report = load_database_with(&Database::new(), &dir, RecoveryMode::Recover).unwrap();
+    assert_eq!(report.loaded, vec!["alpha".to_owned()]);
+    let damaged: Vec<&str> = report.damaged.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(damaged, vec!["beta", "gamma"]);
+
+    // Manifest damage stays fatal even in recovery mode.
+    corrupt_file(&dir.join("catalog.mlcsdb"));
+    assert!(load_database_with(&Database::new(), &dir, RecoveryMode::Recover).is_err());
+}
+
+/// An interrupted save leaves `*.tmp` debris that the next load reports
+/// (but is otherwise unharmed by).
+#[test]
+fn interrupted_save_leaves_reported_tmp_debris() {
+    let guard = TestGuard::arm("tmp-debris");
+    let dir = guard.dir.clone();
+    save_database(&generation(10), &dir).unwrap();
+
+    // Kill generation 2's save at its first rename: alpha's fresh bytes
+    // are on disk as `alpha.mlcstbl.tmp`, never renamed into place.
+    faults::configure_str("fs.rename:err:1:1", 7).unwrap();
+    assert!(save_database(&generation(20), &dir).is_err());
+    faults::clear();
+
+    let report = load_database_with(&Database::new(), &dir, RecoveryMode::Recover).unwrap();
+    assert_eq!(report.loaded.len(), 3);
+    assert!(report.damaged.is_empty());
+    assert_eq!(report.stale_tmp, vec!["alpha.mlcstbl.tmp".to_owned()]);
+    assert!(!report.is_clean());
+}

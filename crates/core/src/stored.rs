@@ -64,10 +64,33 @@ impl StoredModel {
 
     /// Revives a stored model from a BLOB, feeding the
     /// `pickle.deserialize.*` metrics (see [`StoredModel::to_blob`]).
+    ///
+    /// This is also the `pickle.decode` fault-injection point: `mlcs-pickle`
+    /// is a leaf crate below the injector, so — like the metrics hooks —
+    /// decode faults are applied here, where model bytes cross back into
+    /// the engine. An injected `flip` exercises the envelope's checksum
+    /// path; every other kind fails the decode outright.
     pub fn from_blob(blob: &[u8]) -> MlResult<StoredModel> {
         mlcs_columnar::metrics::counter("pickle.deserialize.invocations").incr();
         mlcs_columnar::metrics::record_bytes("pickle.deserialize.bytes", blob.len());
-        Ok(mlcs_pickle::unpickle(blob)?)
+        match mlcs_columnar::faults::decide("pickle.decode") {
+            None => Ok(mlcs_pickle::unpickle(blob)?),
+            Some(f) => match f.kind {
+                mlcs_columnar::faults::FaultKind::Delay => {
+                    std::thread::sleep(mlcs_columnar::faults::DELAY);
+                    Ok(mlcs_pickle::unpickle(blob)?)
+                }
+                mlcs_columnar::faults::FaultKind::Flip => {
+                    let mut copy = blob.to_vec();
+                    if !copy.is_empty() {
+                        let pos = (f.rand as usize) % copy.len();
+                        copy[pos] ^= 1 + ((f.rand >> 17) % 255) as u8;
+                    }
+                    Ok(mlcs_pickle::unpickle(&copy)?)
+                }
+                _ => Err(PickleError::Invalid("injected fault: pickle.decode".into()).into()),
+            },
+        }
     }
 
     /// The algorithm name of the wrapped model.

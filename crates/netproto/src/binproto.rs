@@ -1,67 +1,46 @@
 //! Binary-protocol client (MySQL-binary cost profile).
 
-use crate::framing::{decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind};
+use crate::client::ClientCore;
+use crate::config::NetConfig;
+use crate::framing::{Encoding, FrameKind};
 use bytes::Buf;
 use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// A client that fetches results in the binary row encoding: no text
 /// conversion, but still row-at-a-time decoding and a rows→columns
 /// transpose on the client.
 pub struct BinaryClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    core: ClientCore,
 }
 
 impl BinaryClient {
-    /// Connects to a [`crate::Server`].
+    /// Connects to a [`crate::Server`] with default [`NetConfig`].
     pub fn connect(addr: SocketAddr) -> DbResult<BinaryClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
-        Ok(BinaryClient { reader, writer: stream })
+        BinaryClient::connect_with(addr, NetConfig::default())
+    }
+
+    /// Connects with explicit timeouts and retry budget.
+    pub fn connect_with(addr: SocketAddr, config: NetConfig) -> DbResult<BinaryClient> {
+        Ok(BinaryClient { core: ClientCore::connect(addr, config)? })
     }
 
     /// Runs a query and materializes the result as a client-side batch.
+    /// Transport failures before the first `Schema` frame are retried per
+    /// the configured budget; a server `Error` frame is never retried.
     pub fn query(&mut self, sql: &str) -> DbResult<Batch> {
-        write_frame(&mut self.writer, FrameKind::Query, &encode_query(Encoding::Binary, sql))?;
-        let (kind, payload) = read_frame(&mut self.reader)?;
-        match kind {
-            FrameKind::Error => {
-                return Err(DbError::Io(format!(
-                    "server error: {}",
-                    String::from_utf8_lossy(&payload)
-                )))
-            }
-            FrameKind::Schema => {}
-            other => return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}"))),
-        }
-        let fields = decode_schema(&payload)?;
+        let raw = self.core.query_raw(Encoding::Binary, FrameKind::RowsBinary, sql)?;
         let schema = Arc::new(Schema::new_unchecked(
-            fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
+            raw.fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
         ));
-        let types: Vec<DataType> = fields.iter().map(|(_, t)| *t).collect();
+        let types: Vec<DataType> = raw.fields.iter().map(|(_, t)| *t).collect();
         let mut builders: Vec<ColumnBuilder> =
             types.iter().map(|t| ColumnBuilder::new(*t)).collect();
-        loop {
-            let (kind, payload) = read_frame(&mut self.reader)?;
-            match kind {
-                FrameKind::RowsBinary => {
-                    mlcs_columnar::metrics::counter("netproto.binary.bytes_received")
-                        .add(payload.len() as u64);
-                    parse_binary_rows(&payload, &types, &mut builders)?
-                }
-                FrameKind::Done => break,
-                FrameKind::Error => {
-                    return Err(DbError::Io(format!(
-                        "server error: {}",
-                        String::from_utf8_lossy(&payload)
-                    )))
-                }
-                other => return Err(DbError::Corrupt(format!("unexpected frame {other:?}"))),
-            }
+        for payload in &raw.row_frames {
+            mlcs_columnar::metrics::counter("netproto.binary.bytes_received")
+                .add(payload.len() as u64);
+            parse_binary_rows(payload, &types, &mut builders)?;
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         let batch = Batch::new(schema, columns)?;

@@ -48,25 +48,57 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> DbRes
     let mut header = [0u8; 5];
     header[0] = kind as u8;
     header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+    w.write_all(&header).map_err(|e| io_to_db("net.write", e))?;
+    w.write_all(payload).map_err(|e| io_to_db("net.write", e))?;
     mlcs_columnar::metrics::counter("netproto.frames_sent").incr();
     mlcs_columnar::metrics::counter("netproto.bytes_sent")
         .add((header.len() + payload.len()) as u64);
     Ok(())
 }
 
+/// Maps a transport error observed at `point` (`net.read` / `net.write`)
+/// to a typed [`DbError`]: socket deadline expiries become
+/// [`DbError::Timeout`], everything else [`DbError::Io`].
+pub fn io_to_db(point: &str, e: std::io::Error) -> DbError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            DbError::Timeout { path: point.to_owned() }
+        }
+        _ => DbError::Io(e.to_string()),
+    }
+}
+
 /// Reads one frame.
+///
+/// Error taxonomy: a clean EOF before any header byte is
+/// `DbError::Io("connection closed")` (the peer simply hung up between
+/// frames); an EOF after at least one byte of the header or payload is
+/// `DbError::Corrupt` naming the truncated part; a socket deadline expiry
+/// is `DbError::Timeout`.
 pub fn read_frame(r: &mut impl Read) -> DbResult<(FrameKind, Vec<u8>)> {
     let mut header = [0u8; 5];
-    r.read_exact(&mut header)?;
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(DbError::Io("connection closed".into())),
+            Ok(0) => return Err(DbError::Corrupt("truncated frame header".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_to_db("net.read", e)),
+        }
+    }
     let kind = FrameKind::from_byte(header[0])?;
-    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
     if len > MAX_FRAME {
         return Err(DbError::Corrupt(format!("frame of {len} bytes exceeds the cap")));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    if let Err(e) = r.read_exact(&mut payload) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => DbError::Corrupt("truncated frame payload".into()),
+            _ => io_to_db("net.read", e),
+        });
+    }
     mlcs_columnar::metrics::counter("netproto.frames_received").incr();
     mlcs_columnar::metrics::counter("netproto.bytes_received").add((header.len() + len) as u64);
     Ok((kind, payload))

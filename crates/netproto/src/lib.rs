@@ -19,12 +19,15 @@
 //! redundant rows→columns round trip the paper's in-database UDFs avoid.
 
 pub mod binproto;
+pub(crate) mod client;
+pub mod config;
 pub mod embedded;
 pub mod framing;
 pub mod server;
 pub mod textproto;
 
 pub use binproto::BinaryClient;
+pub use config::NetConfig;
 pub use embedded::RowCursor;
 pub use server::Server;
 pub use textproto::TextClient;

@@ -6,11 +6,13 @@
 //! row by row, shipped through the kernel, and re-parsed on the client —
 //! work the in-database UDFs never do.
 
+use crate::config::NetConfig;
 use crate::framing::{decode_query, encode_schema, write_frame, Encoding, FrameKind};
-use mlcs_columnar::{Batch, Database, DbResult, Value};
+use mlcs_columnar::faults::FaultyStream;
+use mlcs_columnar::{Batch, Database, DbError, DbResult, Value};
 use std::io::{BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Rows per `Rows*` frame.
@@ -23,28 +25,56 @@ pub struct Server {
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Decrements the active-connection count when a worker exits, however it
+/// exits (including by panic — the guard drops during unwind).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Server {
-    /// Starts serving `db` on a fresh localhost port.
+    /// Starts serving `db` on a fresh localhost port with default
+    /// [`NetConfig`].
     pub fn start(db: Database) -> DbResult<Server> {
+        Server::start_with(db, NetConfig::default())
+    }
+
+    /// Starts serving `db` on a fresh localhost port with explicit
+    /// timeouts, per-query deadline, and connection cap.
+    pub fn start_with(db: Database, config: NetConfig) -> DbResult<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         listener.set_nonblocking(true)?;
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_thread = std::thread::Builder::new()
             .name("mlcs-server-accept".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            if active.load(Ordering::Relaxed) >= config.max_connections.max(1) {
+                                reject_connection(stream, &config);
+                                continue;
+                            }
+                            active.fetch_add(1, Ordering::Relaxed);
+                            let guard = ConnGuard(active.clone());
                             let db = db.clone();
+                            let stop = stop2.clone();
                             // Workers are detached: joining them here would
                             // deadlock shutdown whenever a client keeps its
                             // connection open. A worker exits as soon as its
-                            // client disconnects; a read timeout bounds how
-                            // long an idle connection can outlive the server.
+                            // client disconnects, and the socket read
+                            // timeout set in `handle_connection` bounds how
+                            // long an idle connection can outlive the
+                            // server.
                             std::thread::spawn(move || {
-                                let _ = handle_connection(stream, db);
+                                let _guard = guard;
+                                let _ = handle_connection(stream, db, config, stop);
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -54,7 +84,7 @@ impl Server {
                     }
                 }
             })
-            .expect("spawn accept thread");
+            .map_err(|e| DbError::Io(format!("spawn accept thread: {e}")))?;
         Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
     }
 
@@ -81,13 +111,65 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, db: Database) -> DbResult<()> {
+/// Tells a client the server is at capacity: best-effort typed `Error`
+/// frame, then the connection drops. Never blocks the accept loop for
+/// long — a short write timeout guards the frame.
+fn reject_connection(stream: TcpStream, config: &NetConfig) {
+    mlcs_columnar::metrics::counter("netproto.conn_rejected").incr();
+    let _ = stream
+        .set_write_timeout(Some(config.write_timeout.unwrap_or(std::time::Duration::from_secs(1))));
+    let mut w = stream;
+    let _ = write_frame(
+        &mut w,
+        FrameKind::Error,
+        format!("io error: server at capacity ({} connections)", config.max_connections).as_bytes(),
+    );
+    let _ = w.flush();
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    db: Database,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+) -> DbResult<()> {
     stream.set_nodelay(true)?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = BufWriter::with_capacity(1 << 16, stream);
+    // The idle-connection bound: a worker blocked on the next query frame
+    // gives up once the read deadline passes instead of outliving the
+    // server indefinitely.
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    let mut reader = FaultyStream::new(stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(1 << 16, FaultyStream::new(stream));
     loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
         let (kind, payload) = match crate::framing::read_frame(&mut reader) {
             Ok(f) => f,
+            Err(DbError::Timeout { .. }) => {
+                // Idle past the read deadline: close the connection.
+                mlcs_columnar::metrics::counter("netproto.timeouts").incr();
+                return Ok(());
+            }
+            Err(e @ DbError::Corrupt(_)) => {
+                // A torn or garbled frame: tell the client (best-effort)
+                // and close — framing sync is lost.
+                let _ = write_frame(&mut writer, FrameKind::Error, e.to_string().as_bytes());
+                let _ = writer.flush();
+                return Ok(());
+            }
             Err(_) => return Ok(()), // client hung up
         };
         if kind != FrameKind::Query {
@@ -103,11 +185,28 @@ fn handle_connection(stream: TcpStream, db: Database) -> DbResult<()> {
                 continue;
             }
         };
-        match db.execute(&sql) {
-            Err(e) => {
+        // Panic isolation: a panicking UDF (or engine bug) must cost the
+        // client one Error frame, not the whole connection — and must never
+        // take down the worker silently.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match config.query_deadline {
+                Some(d) => db.execute_with_timeout(&sql, d),
+                None => db.execute(&sql),
+            }
+        }));
+        match executed {
+            Err(panic) => {
+                mlcs_columnar::metrics::counter("netproto.panics_caught").incr();
+                let msg = format!("query panicked: {}", panic_message(panic.as_ref()));
+                write_frame(&mut writer, FrameKind::Error, msg.as_bytes())?;
+            }
+            Ok(Err(e)) => {
+                if matches!(e, DbError::Timeout { .. }) {
+                    mlcs_columnar::metrics::counter("netproto.timeouts").incr();
+                }
                 write_frame(&mut writer, FrameKind::Error, e.to_string().as_bytes())?;
             }
-            Ok(result) => {
+            Ok(Ok(result)) => {
                 let batch = result.batch();
                 stream_result(&mut writer, batch, encoding)?;
             }
@@ -222,6 +321,27 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         drop(stream);
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_does_not_hang_with_open_connections() {
+        let db = Database::new();
+        let config = NetConfig {
+            read_timeout: Some(std::time::Duration::from_millis(200)),
+            ..NetConfig::default()
+        };
+        let server = Server::start_with(db, config).unwrap();
+        // A client that connects and then goes idle, holding its end open.
+        // Workers are detached and bounded by the read deadline, so
+        // shutdown must return promptly regardless.
+        let idle = TcpStream::connect(server.addr()).unwrap();
+        let begin = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            begin.elapsed() < std::time::Duration::from_secs(2),
+            "shutdown blocked on an idle connection"
+        );
+        drop(idle);
     }
 
     #[test]

@@ -1,65 +1,44 @@
 //! Text-protocol client (PostgreSQL-classic cost profile).
 
-use crate::framing::{decode_schema, encode_query, read_frame, write_frame, Encoding, FrameKind};
+use crate::client::ClientCore;
+use crate::config::NetConfig;
+use crate::framing::{Encoding, FrameKind};
 use mlcs_columnar::{Batch, ColumnBuilder, DataType, DbError, DbResult, Field, Schema, Value};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// A client that fetches results in the text encoding: every value crosses
 /// the wire as text and is parsed back into its native type on the client.
 pub struct TextClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    core: ClientCore,
 }
 
 impl TextClient {
-    /// Connects to a [`crate::Server`].
+    /// Connects to a [`crate::Server`] with default [`NetConfig`].
     pub fn connect(addr: SocketAddr) -> DbResult<TextClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::with_capacity(1 << 16, stream.try_clone()?);
-        Ok(TextClient { reader, writer: stream })
+        TextClient::connect_with(addr, NetConfig::default())
+    }
+
+    /// Connects with explicit timeouts and retry budget.
+    pub fn connect_with(addr: SocketAddr, config: NetConfig) -> DbResult<TextClient> {
+        Ok(TextClient { core: ClientCore::connect(addr, config)? })
     }
 
     /// Runs a query and materializes the full result as a client-side
-    /// batch (rebuilding columns from the streamed rows).
+    /// batch (rebuilding columns from the streamed rows). Transport
+    /// failures before the first `Schema` frame are retried per the
+    /// configured budget; a server `Error` frame is never retried.
     pub fn query(&mut self, sql: &str) -> DbResult<Batch> {
-        write_frame(&mut self.writer, FrameKind::Query, &encode_query(Encoding::Text, sql))?;
-        let (kind, payload) = read_frame(&mut self.reader)?;
-        match kind {
-            FrameKind::Error => {
-                return Err(DbError::Io(format!(
-                    "server error: {}",
-                    String::from_utf8_lossy(&payload)
-                )))
-            }
-            FrameKind::Schema => {}
-            other => return Err(DbError::Corrupt(format!("expected schema frame, got {other:?}"))),
-        }
-        let fields = decode_schema(&payload)?;
+        let raw = self.core.query_raw(Encoding::Text, FrameKind::RowsText, sql)?;
         let schema = Arc::new(Schema::new_unchecked(
-            fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
+            raw.fields.iter().map(|(n, t)| Field::new(n.clone(), *t)).collect(),
         ));
         let mut builders: Vec<ColumnBuilder> =
-            fields.iter().map(|(_, t)| ColumnBuilder::new(*t)).collect();
-        loop {
-            let (kind, payload) = read_frame(&mut self.reader)?;
-            match kind {
-                FrameKind::RowsText => {
-                    mlcs_columnar::metrics::counter("netproto.text.bytes_received")
-                        .add(payload.len() as u64);
-                    parse_text_rows(&payload, &mut builders)?;
-                }
-                FrameKind::Done => break,
-                FrameKind::Error => {
-                    return Err(DbError::Io(format!(
-                        "server error: {}",
-                        String::from_utf8_lossy(&payload)
-                    )))
-                }
-                other => return Err(DbError::Corrupt(format!("unexpected frame {other:?}"))),
-            }
+            raw.fields.iter().map(|(_, t)| ColumnBuilder::new(*t)).collect();
+        for payload in &raw.row_frames {
+            mlcs_columnar::metrics::counter("netproto.text.bytes_received")
+                .add(payload.len() as u64);
+            parse_text_rows(payload, &mut builders)?;
         }
         let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
         let batch = Batch::new(schema, columns)?;

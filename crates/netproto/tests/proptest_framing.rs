@@ -67,6 +67,55 @@ proptest! {
     }
 }
 
+/// A valid frame truncated at **every** byte offset must yield a typed
+/// error following the documented taxonomy — clean EOF at byte 0 is "the
+/// peer hung up", a partial header or payload is corruption — and never a
+/// panic or a bogus `Ok`.
+#[test]
+fn truncation_at_every_offset_yields_typed_errors() {
+    for payload_len in [0usize, 1, 18, 300] {
+        let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::RowsBinary, &payload).unwrap();
+        for cut in 0..wire.len() {
+            let err = read_frame(&mut &wire[..cut]).unwrap_err();
+            let msg = err.to_string();
+            if cut == 0 {
+                assert!(msg.contains("connection closed"), "len {payload_len} cut 0: {msg}");
+            } else if cut < 5 {
+                assert!(
+                    msg.contains("truncated frame header"),
+                    "len {payload_len} cut {cut}: {msg}"
+                );
+            } else {
+                assert!(
+                    msg.contains("truncated frame payload"),
+                    "len {payload_len} cut {cut}: {msg}"
+                );
+            }
+        }
+        // The untruncated frame still reads back exactly.
+        let (kind, back) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::RowsBinary);
+        assert_eq!(back, payload);
+    }
+}
+
+proptest! {
+    /// The truncation taxonomy holds for arbitrary payloads and cut
+    /// points, not just the hand-picked sizes above.
+    #[test]
+    fn truncated_random_frames_error_and_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::RowsText, &payload).unwrap();
+        let cut = (cut_seed as usize) % wire.len();
+        prop_assert!(read_frame(&mut &wire[..cut]).is_err());
+    }
+}
+
 // The binary row decoder is not public, but the TextClient/BinaryClient
 // paths over a real socket are covered elsewhere. Validate here that the
 // builder the clients drive handles arbitrary push sequences.

@@ -9,8 +9,10 @@
 //!
 //! * **Panic-free hot paths.** In the modules the executor hits per batch
 //!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/parallel.rs`,
-//!   `columnar/src/udf.rs`, `core/src/udf.rs`, and the ML model hot paths
-//!   `ml/src/{tree,forest,knn,linear,naive_bayes,model,parallel}.rs`),
+//!   `columnar/src/udf.rs`, `core/src/udf.rs`, the ML model hot paths
+//!   `ml/src/{tree,forest,knn,linear,naive_bayes,model,parallel}.rs`, and
+//!   the resilience surfaces `columnar/src/faults.rs`,
+//!   `columnar/src/persist.rs`, and all of `netproto/src/`),
 //!   non-test code must not call
 //!   `.unwrap()`,
 //!   `.expect(…)`, `panic!…`, or `todo!…` — errors there must surface as
@@ -38,8 +40,11 @@ use std::process::ExitCode;
 const HOT_PATHS: &[&str] = &[
     "crates/columnar/src/exec/",
     "crates/columnar/src/expr/",
+    "crates/columnar/src/faults.rs",
     "crates/columnar/src/parallel.rs",
+    "crates/columnar/src/persist.rs",
     "crates/columnar/src/udf.rs",
+    "crates/netproto/src/",
     "crates/core/src/udf.rs",
     "crates/ml/src/tree.rs",
     "crates/ml/src/forest.rs",
@@ -290,6 +295,10 @@ mod tests {
         assert!(is_hot_path(Path::new("crates/ml/src/forest.rs")));
         assert!(is_hot_path(Path::new("crates/ml/src/model.rs")));
         assert!(is_hot_path(Path::new("crates/ml/src/parallel.rs")));
+        assert!(is_hot_path(Path::new("crates/columnar/src/faults.rs")));
+        assert!(is_hot_path(Path::new("crates/columnar/src/persist.rs")));
+        assert!(is_hot_path(Path::new("crates/netproto/src/server.rs")));
+        assert!(is_hot_path(Path::new("crates/netproto/src/client.rs")));
         assert!(!is_hot_path(Path::new("crates/ml/src/dataset.rs")));
         assert!(!is_hot_path(Path::new("crates/columnar/src/sql/binder.rs")));
         assert!(!is_hot_path(Path::new("crates/columnar/src/udf_helpers.rs")));

@@ -1,0 +1,333 @@
+//! Chaos suite: end-to-end resilience invariants under injected faults.
+//!
+//! Every test asserts some subset of the four invariants the resilience
+//! layer promises:
+//!
+//! 1. **No hangs** — every operation completes; a watchdog aborts the
+//!    process if a test wedges instead of timing out.
+//! 2. **No panic escapes** a public API: a panicking UDF costs the client
+//!    one `Error` frame, never the connection or the server.
+//! 3. **Typed errors only** — failures surface as `DbError` variants, with
+//!    socket deadline expiries and query deadlines as `DbError::Timeout`.
+//! 4. **Byte-identical retried results** — a query that succeeds after
+//!    client retries returns exactly the fault-free result.
+//!
+//! The fault injector and the metrics registry are process-global, so the
+//! tests serialize on a mutex and disarm the injector on drop (even when
+//! a test panics). The fault seed comes from `MLCS_CHAOS_SEED` (CI runs a
+//! fixed seed plus a randomized one) and is printed so any failure can be
+//! replayed exactly.
+
+use mlcs::columnar::{
+    faults, metrics, ClosureScalarUdf, Column, DataType, Database, DbError, Value,
+};
+use mlcs::mlcore::{register_ml_udfs, StoredModel};
+use mlcs::netproto::{BinaryClient, NetConfig, Server, TextClient};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes the chaos tests (the injector and metrics are global) and
+/// guarantees the injector is disarmed when the test exits, pass or fail.
+struct TestGuard {
+    _lock: MutexGuard<'static, ()>,
+    _watchdog: Watchdog,
+}
+
+impl TestGuard {
+    fn arm(test: &'static str) -> TestGuard {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        faults::clear();
+        TestGuard { _lock: lock, _watchdog: Watchdog::arm(test) }
+    }
+}
+
+impl Drop for TestGuard {
+    fn drop(&mut self) {
+        faults::clear();
+    }
+}
+
+/// Aborts the whole process if a test runs longer than its budget — a
+/// hang must fail loudly, not stall the suite forever.
+struct Watchdog {
+    done: mpsc::Sender<()>,
+}
+
+impl Watchdog {
+    fn arm(test: &'static str) -> Watchdog {
+        let (done, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(Duration::from_secs(120))
+            {
+                eprintln!("chaos watchdog: test '{test}' exceeded 120s — aborting (hang)");
+                std::process::abort();
+            }
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let _ = self.done.send(());
+    }
+}
+
+/// The chaos seed: `MLCS_CHAOS_SEED` if set (the randomized CI job), a
+/// fixed default otherwise. Printed so failures replay exactly.
+fn chaos_seed() -> u64 {
+    let seed =
+        std::env::var("MLCS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+    println!("chaos seed: {seed} (set MLCS_CHAOS_SEED to replay)");
+    seed
+}
+
+/// A failure observed through the network stack must be a typed transport
+/// or deadline error — never a panic, never a stringly untyped surprise.
+fn assert_transport_error(e: &DbError, seed: u64) {
+    match e {
+        DbError::Io(_) | DbError::Corrupt(_) | DbError::Timeout { .. } => {}
+        other => panic!("untyped/unexpected error category {other:?} (seed {seed})"),
+    }
+}
+
+/// Tight timeouts so injected connection faults convert to fast typed
+/// errors instead of multi-second stalls.
+fn chaos_net_config() -> NetConfig {
+    NetConfig {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        retries: 6,
+        retry_base_delay: Duration::from_millis(2),
+        ..NetConfig::default()
+    }
+}
+
+fn seeded_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x INTEGER, s VARCHAR)").unwrap();
+    let values: Vec<String> = (0..rows).map(|i| format!("({i}, 'row-{i}')")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    db
+}
+
+fn assert_batches_equal(got: &mlcs::columnar::Batch, want: &mlcs::columnar::Batch, seed: u64) {
+    assert_eq!(got.rows(), want.rows(), "row count differs (seed {seed})");
+    for r in 0..want.rows() {
+        assert_eq!(got.row(r), want.row(r), "row {r} differs after retry (seed {seed})");
+    }
+}
+
+/// Connection-level faults (errors and short reads — nothing that can
+/// silently alter delivered bytes): every query either returns exactly the
+/// fault-free result or a typed transport error. Retries must rescue a
+/// healthy majority of queries.
+#[test]
+fn connection_faults_yield_exact_results_or_typed_errors() {
+    let _guard = TestGuard::arm("connection_faults_yield_exact_results_or_typed_errors");
+    let seed = chaos_seed();
+    let db = seeded_db(200);
+    let expected = db.execute("SELECT x, s FROM t ORDER BY x").unwrap();
+    let expected = expected.batch();
+
+    let server = Server::start_with(db.clone(), chaos_net_config()).unwrap();
+    let before = metrics::snapshot();
+    faults::configure_str("net.read:err:0.05,net.write:err:0.04,net.read:short:0.03", seed)
+        .unwrap();
+
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for _ in 0..25 {
+        let mut client = match TextClient::connect_with(server.addr(), chaos_net_config()) {
+            Ok(c) => c,
+            Err(e) => {
+                assert_transport_error(&e, seed);
+                failed += 1;
+                continue;
+            }
+        };
+        match client.query("SELECT x, s FROM t ORDER BY x") {
+            Ok(batch) => {
+                assert_batches_equal(&batch, expected, seed);
+                ok += 1;
+            }
+            Err(e) => {
+                assert_transport_error(&e, seed);
+                failed += 1;
+            }
+        }
+    }
+    faults::clear();
+
+    let delta = metrics::snapshot().since(&before);
+    let injected: u64 = delta
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("faults.injected."))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(injected > 0, "no faults fired — the chaos run was vacuous (seed {seed})");
+    assert!(ok > 0, "all 25 queries failed; retries never rescued one (seed {seed})");
+    println!("connection chaos: {ok} ok, {failed} typed failures, {injected} faults injected");
+    server.shutdown();
+}
+
+/// Byte-flip faults can deliver altered payloads (the frame protocol has
+/// no checksum), so exactness is not promised — but the decoders must
+/// still return typed errors or results, never panic, hang, or
+/// over-allocate.
+#[test]
+fn byte_flip_faults_never_panic_or_hang() {
+    let _guard = TestGuard::arm("byte_flip_faults_never_panic_or_hang");
+    let seed = chaos_seed();
+    let db = seeded_db(100);
+    let server = Server::start_with(db, chaos_net_config()).unwrap();
+    faults::configure_str("net.read:flip:0.1", seed ^ 0x1).unwrap();
+
+    for _ in 0..30 {
+        let mut client = match BinaryClient::connect_with(server.addr(), chaos_net_config()) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        // Any DbError variant is acceptable here (a flipped byte can land
+        // anywhere, including mid-value); completing with a typed Result
+        // is the invariant.
+        let _ = client.query("SELECT x, s FROM t ORDER BY x");
+    }
+    faults::clear();
+    server.shutdown();
+}
+
+/// A deterministic single-shot write fault: the first attempt dies, the
+/// retry succeeds, and the delivered batch is byte-identical to the
+/// fault-free result — with exactly one retry on the books.
+#[test]
+fn retried_query_returns_byte_identical_result() {
+    let _guard = TestGuard::arm("retried_query_returns_byte_identical_result");
+    let seed = chaos_seed();
+    let db = seeded_db(50);
+    let expected = db.execute("SELECT x, s FROM t ORDER BY x").unwrap();
+    let expected = expected.batch();
+    let server = Server::start_with(db.clone(), chaos_net_config()).unwrap();
+    let mut client = TextClient::connect_with(server.addr(), chaos_net_config()).unwrap();
+
+    let before = metrics::snapshot();
+    // nth-mode: exactly the first net.write I/O in the process fails,
+    // which is this client's next query-frame write.
+    faults::configure_str("net.write:err:1:1", seed).unwrap();
+    let batch = client.query("SELECT x, s FROM t ORDER BY x").unwrap();
+    faults::clear();
+
+    assert_batches_equal(&batch, expected, seed);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("netproto.retries"), 1, "expected exactly one retry");
+    assert_eq!(delta.counter("faults.injected.net.write.err"), 1);
+    server.shutdown();
+}
+
+/// A panicking UDF costs the client one typed error frame; the connection
+/// and the server both survive, and the panic is counted.
+#[test]
+fn panicking_udf_is_isolated_to_an_error_frame() {
+    let _guard = TestGuard::arm("panicking_udf_is_isolated_to_an_error_frame");
+    let db = seeded_db(10);
+    db.register_scalar_udf(Arc::new(
+        ClosureScalarUdf::new("boom", DataType::Int64, |_: &[Arc<Column>]| {
+            panic!("kaboom from a udf")
+        })
+        .with_arity(1),
+    ));
+    let server = Server::start_with(db, chaos_net_config()).unwrap();
+    let mut client = TextClient::connect_with(server.addr(), chaos_net_config()).unwrap();
+
+    let before = metrics::snapshot();
+    // Silence the default panic hook for the intentional panic; the server
+    // catches it and the hook would only spam the test log.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = client.query("SELECT boom(x) FROM t").unwrap_err();
+    std::panic::set_hook(prev_hook);
+
+    assert!(err.to_string().contains("query panicked"), "expected a panic error frame, got: {err}");
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("netproto.panics_caught"), 1);
+
+    // The same connection keeps working.
+    let batch = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(batch.row(0)[0], Value::Int64(10));
+    server.shutdown();
+}
+
+/// A server-side query deadline surfaces to the client as a typed
+/// `DbError::Timeout` naming the operator path, and is counted.
+#[test]
+fn query_deadline_surfaces_as_typed_timeout() {
+    let _guard = TestGuard::arm("query_deadline_surfaces_as_typed_timeout");
+    let db = seeded_db(100);
+    let config = NetConfig { query_deadline: Some(Duration::ZERO), ..chaos_net_config() };
+    let server = Server::start_with(db, config).unwrap();
+    let mut client = TextClient::connect_with(server.addr(), chaos_net_config()).unwrap();
+
+    let before = metrics::snapshot();
+    let err = client.query("SELECT x FROM t ORDER BY x").unwrap_err();
+    match &err {
+        DbError::Timeout { path } => {
+            assert!(!path.is_empty(), "timeout must name the operator path")
+        }
+        other => panic!("expected DbError::Timeout, got {other:?}"),
+    }
+    let delta = metrics::snapshot().since(&before);
+    assert!(delta.counter("netproto.timeouts") >= 1);
+
+    // The connection survives a deadline expiry: the next query gets its
+    // own typed answer (another timeout — the deadline is per-server)
+    // instead of a dead socket.
+    let err2 = client.query("SELECT 1").unwrap_err();
+    assert!(matches!(err2, DbError::Timeout { .. }), "connection died after a timeout: {err2}");
+    server.shutdown();
+}
+
+/// Faults at the pickle decode boundary surface as typed errors (a flip
+/// exercises the envelope checksum), and a clean decode still round-trips
+/// once the injector is disarmed.
+#[test]
+fn pickle_decode_faults_surface_typed_errors() {
+    let _guard = TestGuard::arm("pickle_decode_faults_surface_typed_errors");
+    let seed = chaos_seed();
+    let db = Database::new();
+    register_ml_udfs(&db);
+    db.execute("CREATE TABLE points (x DOUBLE, y DOUBLE, label INTEGER)").unwrap();
+    db.execute(
+        "INSERT INTO points VALUES (-2.0, -2.0, 0), (-1.5, -1.0, 0),
+                                   (-1.0, -2.5, 0), ( 1.0,  1.5, 1),
+                                   ( 2.0,  1.0, 1), ( 1.5,  2.5, 1)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE models AS SELECT * FROM train(
+           (SELECT x, y FROM points), (SELECT label FROM points), 4)",
+    )
+    .unwrap();
+    let blob = match db.query_value("SELECT classifier FROM models").unwrap() {
+        Value::Blob(b) => b,
+        other => panic!("classifier column holds {other:?}"),
+    };
+    let clean = StoredModel::from_blob(&blob).unwrap();
+
+    let before = metrics::snapshot();
+    // A flipped byte anywhere in the blob must trip the envelope checksum.
+    faults::configure_str("pickle.decode:flip:1", seed).unwrap();
+    assert!(StoredModel::from_blob(&blob).is_err(), "flipped blob decoded cleanly");
+    // An outright decode error is typed too.
+    faults::configure_str("pickle.decode:err:1", seed).unwrap();
+    assert!(StoredModel::from_blob(&blob).is_err());
+    faults::clear();
+
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("faults.injected.pickle.decode.flip"), 1);
+    assert_eq!(delta.counter("faults.injected.pickle.decode.err"), 1);
+
+    // Disarmed: the same blob decodes to the same model.
+    assert_eq!(StoredModel::from_blob(&blob).unwrap(), clean);
+}

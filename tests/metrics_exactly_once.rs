@@ -1,14 +1,32 @@
 //! The registry's counters must move exactly once per event: one
 //! invocation counter tick per UDF call (not per row — the UDFs are
-//! vectorized) and one serialize/deserialize tick per pickle round-trip,
-//! with byte histograms matching the blob sizes exactly.
+//! vectorized), one serialize/deserialize tick per pickle round-trip with
+//! byte histograms matching the blob sizes exactly, and one tick per
+//! resilience event (connection rejected, idle timeout, client retry,
+//! recovered table, injected fault).
 //!
 //! A single `#[test]` on purpose: the registry is process-global, and a
 //! concurrent test in the same binary could move the very counters whose
 //! deltas are asserted here.
 
-use mlcs::columnar::{metrics, Database, Value};
+use mlcs::columnar::persist::{load_database_with, save_database, RecoveryMode};
+use mlcs::columnar::{faults, metrics, Database, Value};
 use mlcs::mlcore::{register_ml_udfs, StoredModel};
+use mlcs::netproto::{NetConfig, Server, TextClient};
+use std::time::Duration;
+
+/// Polls until `cond` holds; server-side ticks land on worker threads, so
+/// the assertions on them need a bounded wait.
+fn wait_for(what: &str, cond: impl Fn() -> bool) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < Duration::from_secs(5) {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
 
 #[test]
 fn counters_move_exactly_once_per_event() {
@@ -66,4 +84,76 @@ fn counters_move_exactly_once_per_event() {
         0,
         "no deserialize on the write path"
     );
+
+    // Connection cap: the client over the 1-connection limit is turned
+    // away with exactly one rejection tick, counted at accept time.
+    let ndb = Database::new();
+    ndb.execute("CREATE TABLE r (x INTEGER)").unwrap();
+    ndb.execute("INSERT INTO r VALUES (7)").unwrap();
+    let server =
+        Server::start_with(ndb.clone(), NetConfig { max_connections: 1, ..NetConfig::default() })
+            .unwrap();
+    let mut first = TextClient::connect(server.addr()).unwrap();
+    assert_eq!(first.query("SELECT x FROM r").unwrap().rows(), 1); // holds the slot
+    let before = metrics::snapshot();
+    let second = TextClient::connect(server.addr()); // rejected at accept
+    wait_for("the conn_rejected tick", || {
+        metrics::snapshot().since(&before).counter("netproto.conn_rejected") == 1
+    });
+    drop(second);
+    drop(first);
+    server.shutdown();
+
+    // Idle timeout: a connection that sends nothing costs exactly one
+    // timeout tick when the server-side read deadline expires.
+    let server = Server::start_with(
+        ndb.clone(),
+        NetConfig { read_timeout: Some(Duration::from_millis(150)), ..NetConfig::default() },
+    )
+    .unwrap();
+    let before = metrics::snapshot();
+    let idle = TextClient::connect(server.addr()).unwrap();
+    wait_for("the idle-timeout tick", || {
+        metrics::snapshot().since(&before).counter("netproto.timeouts") == 1
+    });
+    drop(idle);
+    server.shutdown();
+
+    // Client retry: one deterministically injected write fault costs one
+    // retry tick and one injection tick — then the query succeeds.
+    let server = Server::start(ndb.clone()).unwrap();
+    let mut client = TextClient::connect_with(
+        server.addr(),
+        NetConfig { retry_base_delay: Duration::from_millis(1), ..NetConfig::default() },
+    )
+    .unwrap();
+    let before = metrics::snapshot();
+    faults::configure_str("net.write:err:1:1", 1).unwrap();
+    let batch = client.query("SELECT x FROM r").unwrap();
+    faults::clear();
+    assert_eq!(batch.rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("netproto.retries"), 1, "one injected fault, one retry");
+    assert_eq!(delta.counter("faults.injected.net.write.err"), 1);
+    drop(client);
+    server.shutdown();
+
+    // Recovery: each table skipped by a recovering load is one tick.
+    let dir = std::env::temp_dir().join(format!("mlcs-metrics-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pdb = Database::new();
+    pdb.execute("CREATE TABLE stored (x INTEGER)").unwrap();
+    pdb.execute("INSERT INTO stored VALUES (1)").unwrap();
+    save_database(&pdb, &dir).unwrap();
+    let table_file = dir.join("stored.mlcstbl");
+    let mut bytes = std::fs::read(&table_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&table_file, bytes).unwrap();
+    let before = metrics::snapshot();
+    let report = load_database_with(&Database::new(), &dir, RecoveryMode::Recover).unwrap();
+    assert_eq!(report.damaged.len(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("persist.recovered_tables"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
