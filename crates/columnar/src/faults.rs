@@ -48,10 +48,11 @@
 //! once, on first use; programmatic [`configure`]/[`clear`] override them.
 
 use crate::metrics;
+use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// How long a `delay` fault sleeps before letting the operation proceed.
@@ -131,6 +132,7 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FaultSpec>, String> {
         }
         let parts: Vec<&str> = entry.split(':').collect();
         if parts.len() < 3 || parts.len() > 4 {
+            // lint: allow(configure-time spec parse, not a query path)
             return Err(format!("bad fault entry '{entry}': expected point:kind:prob[:nth]"));
         }
         let kind = FaultKind::parse(parts[1])
@@ -139,6 +141,7 @@ pub fn parse_spec(spec: &str) -> Result<Vec<FaultSpec>, String> {
             .parse()
             .map_err(|_| format!("bad fault probability '{}' in '{entry}'", parts[2]))?;
         if !(0.0..=1.0).contains(&prob) {
+            // lint: allow(configure-time spec parse, not a query path)
             return Err(format!("fault probability {prob} outside [0, 1] in '{entry}'"));
         }
         let nth = match parts.get(3) {
@@ -231,11 +234,8 @@ fn injector() -> &'static Mutex<Injector> {
     })
 }
 
-fn lock() -> std::sync::MutexGuard<'static, Injector> {
-    match injector().lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
+fn lock() -> parking_lot::MutexGuard<'static, Injector> {
+    injector().lock()
 }
 
 /// Arms the injector with `specs`, seeding the decision stream with `seed`.
@@ -460,15 +460,12 @@ pub fn rename(from: &Path, to: &Path) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex as TestMutex, OnceLock as TestOnce};
+    use std::sync::OnceLock as TestOnce;
 
     /// The injector is process-global; tests that arm it serialize here.
-    fn guard() -> std::sync::MutexGuard<'static, ()> {
-        static G: TestOnce<TestMutex<()>> = TestOnce::new();
-        match G.get_or_init(|| TestMutex::new(())).lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        }
+    fn guard() -> parking_lot::MutexGuard<'static, ()> {
+        static G: TestOnce<Mutex<()>> = TestOnce::new();
+        G.get_or_init(|| Mutex::new(())).lock()
     }
 
     #[test]

@@ -35,9 +35,10 @@
 //! ```
 #![deny(missing_docs)]
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Number of power-of-two buckets a [`Histogram`] tracks; bucket `i` counts
@@ -192,10 +193,7 @@ fn registry() -> &'static Registry {
 }
 
 fn lookup<T: Default>(table: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    let mut map = match table.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let mut map = table.lock();
     if let Some(existing) = map.get(name) {
         return Arc::clone(existing);
     }
@@ -341,27 +339,9 @@ impl Snapshot {
 /// Takes a point-in-time copy of every instrument.
 pub fn snapshot() -> Snapshot {
     let reg = registry();
-    let counters = match reg.counters.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .iter()
-    .map(|(k, v)| (k.clone(), v.get()))
-    .collect();
-    let gauges = match reg.gauges.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .iter()
-    .map(|(k, v)| (k.clone(), v.get()))
-    .collect();
-    let histograms = match reg.histograms.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .iter()
-    .map(|(k, v)| (k.clone(), v.snapshot()))
-    .collect();
+    let counters = reg.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+    let gauges = reg.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+    let histograms = reg.histograms.lock().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
     Snapshot { counters, gauges, histograms }
 }
 
@@ -369,28 +349,13 @@ pub fn snapshot() -> Snapshot {
 /// [`gauge`], and [`histogram`] stay valid and keep recording.
 pub fn reset() {
     let reg = registry();
-    for c in match reg.counters.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .values()
-    {
+    for c in reg.counters.lock().values() {
         c.reset();
     }
-    for g in match reg.gauges.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .values()
-    {
+    for g in reg.gauges.lock().values() {
         g.reset();
     }
-    for h in match reg.histograms.lock() {
-        Ok(g) => g,
-        Err(p) => p.into_inner(),
-    }
-    .values()
-    {
+    for h in reg.histograms.lock().values() {
         h.reset();
     }
 }

@@ -16,8 +16,20 @@
 //! are drained simply exits. Calls made *from* a pool worker (nested
 //! parallelism, e.g. `predict_parallel` inside a parallel operator) run
 //! inline on that worker, which keeps the pool deadlock-free.
+//!
+//! Two debug/test companions make that claim checkable rather than
+//! asserted: [`lock_order`] wraps the pool's own mutexes in a
+//! [`TrackedMutex`] that reports lock-ordering cycles as typed
+//! diagnostics, and [`interleave`] plants seeded yield points at every
+//! scheduling edge so the pool-interleaving suite can drive hundreds of
+//! deterministic thread schedules through one binary.
+
+pub mod interleave;
+pub mod lock_order;
 
 use crate::error::{DbError, DbResult};
+use interleave::YieldPoint;
+use lock_order::TrackedMutex;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -90,7 +102,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// The persistent worker pool: a job queue plus detached worker threads
 /// that live for the process lifetime.
 struct Pool {
-    sender: Mutex<mpsc::Sender<Job>>,
+    sender: TrackedMutex<mpsc::Sender<Job>>,
     workers: usize,
 }
 
@@ -107,7 +119,7 @@ fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let workers = hardware_threads().max(1);
         let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(TrackedMutex::new("pool.queue", rx));
         for i in 0..workers {
             let rx = Arc::clone(&rx);
             // A failed spawn leaves the pool smaller; parallel_map still
@@ -123,6 +135,7 @@ fn pool() -> &'static Pool {
                     let job = rx.lock().recv();
                     match job {
                         Ok(job) => {
+                            interleave::yield_point(YieldPoint::Steal);
                             queue_depth.add(-1);
                             let start = std::time::Instant::now();
                             // A panicking job must not kill the worker;
@@ -137,7 +150,7 @@ fn pool() -> &'static Pool {
                 }
             });
         }
-        Pool { sender: Mutex::new(tx), workers }
+        Pool { sender: TrackedMutex::new("pool.sender", tx), workers }
     })
 }
 
@@ -151,6 +164,7 @@ pub fn pool_workers() -> usize {
 /// (spawn failure at pool startup); callers tolerate lost tasks because
 /// the submitting thread always processes the shared work itself.
 fn submit(job: Job) {
+    interleave::yield_point(YieldPoint::Submit);
     crate::metrics::counter("pool.jobs_submitted").incr();
     crate::metrics::gauge("pool.queue_depth").add(1);
     let _ = pool().sender.lock().send(job);
@@ -167,7 +181,9 @@ where
         if i >= slots.len() {
             break;
         }
+        interleave::yield_point(YieldPoint::Steal);
         let r = f(i);
+        interleave::yield_point(YieldPoint::SlotWrite);
         *slots[i].lock() = Some(r);
     }
 }
@@ -178,6 +194,7 @@ struct DoneGuard(mpsc::Sender<()>);
 
 impl Drop for DoneGuard {
     fn drop(&mut self) {
+        interleave::yield_point(YieldPoint::Shutdown);
         let _ = self.0.send(());
     }
 }
@@ -253,7 +270,12 @@ where
     // helper tasks are always drained before returning — otherwise they
     // could outlive the call and race a later one (or read a dead frame).
     let caller = catch_unwind(AssertUnwindSafe(|| run_task_loop(&next, &slots, &f)));
-    while done_rx.recv().is_ok() {}
+    loop {
+        interleave::yield_point(YieldPoint::Drain);
+        if done_rx.recv().is_err() {
+            break;
+        }
+    }
     if caller.is_err() {
         return Err(panic_error());
     }

@@ -1,0 +1,149 @@
+//! Deterministic schedule perturbation for the worker pool — "loom-lite".
+//!
+//! Proving the pool free of deadlocks and lost result slots requires
+//! driving it through *many* thread interleavings, not just the one the
+//! OS scheduler happens to pick on a quiet CI machine. This module plants
+//! named [`YieldPoint`]s at every scheduling-relevant edge of the pool
+//! (task submission, work stealing, result-slot writes, the caller's
+//! drain, and worker shutdown signalling) and, when a schedule is armed,
+//! injects a seeded, deterministic amount of yielding/spinning/micro-sleep
+//! at each point. Different seeds produce different interleavings; the
+//! same seed reproduces the same perturbation sequence, so any failure a
+//! randomized CI run finds is replayable from its printed seed — the same
+//! contract as [`crate::faults`].
+//!
+//! The module follows the fault injector's cost discipline: when no
+//! schedule is armed (the default, and the only production state) every
+//! yield point is one relaxed atomic load.
+//!
+//! Armed via [`set_schedule`] (tests) and disarmed via [`clear`]. The
+//! pool-interleaving suite (`crates/columnar/tests/pool_interleave.rs`)
+//! sweeps hundreds of seeds and asserts `parallel_map` output is
+//! bit-identical across all of them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scheduling-relevant edge inside the pool where an armed schedule may
+/// perturb thread timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldPoint {
+    /// A task is about to be enqueued on the pool ([`super::parallel_tasks`]).
+    Submit,
+    /// A worker (pool thread or the caller) has claimed a task index and
+    /// is about to run it.
+    Steal,
+    /// A worker is about to publish a task result into its slot.
+    SlotWrite,
+    /// The caller is about to wait for one helper-task completion signal.
+    Drain,
+    /// A helper task is about to send its completion signal (also on
+    /// unwind, via the guard drop).
+    Shutdown,
+}
+
+impl YieldPoint {
+    /// Stable per-point salt mixed into the schedule stream.
+    fn salt(self) -> u64 {
+        match self {
+            YieldPoint::Submit => 0x9e37_79b9_7f4a_7c15,
+            YieldPoint::Steal => 0xbf58_476d_1ce4_e5b9,
+            YieldPoint::SlotWrite => 0x94d0_49bb_1331_11eb,
+            YieldPoint::Drain => 0x2545_f491_4f6c_dd1d,
+            YieldPoint::Shutdown => 0x6c62_272e_07bb_0142,
+        }
+    }
+}
+
+/// The armed schedule seed; `0` means disarmed (the production state).
+static SCHEDULE: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone event counter an armed schedule mixes into each decision, so
+/// the Nth visit to a point perturbs differently from the first.
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 — the workspace's standard small deterministic mixer (the
+/// fault injector uses the same one).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Arms schedule perturbation with `seed` (`0` disarms, like [`clear`]).
+pub fn set_schedule(seed: u64) {
+    EVENTS.store(0, Ordering::Relaxed);
+    SCHEDULE.store(seed, Ordering::Relaxed);
+}
+
+/// Disarms schedule perturbation; yield points return to one relaxed load.
+pub fn clear() {
+    SCHEDULE.store(0, Ordering::Relaxed);
+}
+
+/// Whether a schedule is currently armed. Exposed for tests.
+pub fn armed() -> bool {
+    SCHEDULE.load(Ordering::Relaxed) != 0
+}
+
+/// The pool calls this at every scheduling edge. Disarmed: one relaxed
+/// load. Armed: a deterministic (per seed, point, and visit count) mix of
+/// nothing, spin loops, `yield_now`, and micro-sleeps — enough to push
+/// workers past each other in every order the schedule space covers.
+#[inline]
+pub fn yield_point(point: YieldPoint) {
+    let seed = SCHEDULE.load(Ordering::Relaxed);
+    if seed == 0 {
+        return;
+    }
+    perturb(seed, point);
+}
+
+#[cold]
+fn perturb(seed: u64, point: YieldPoint) {
+    let n = EVENTS.fetch_add(1, Ordering::Relaxed);
+    let h = splitmix64(seed ^ point.salt() ^ n.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    match h % 8 {
+        // 0..=2: run through — some points must proceed unperturbed or
+        // every schedule degenerates into lockstep.
+        0..=2 => {}
+        3 | 4 => std::thread::yield_now(),
+        5 => {
+            for _ in 0..(h >> 3) % 64 {
+                std::hint::spin_loop();
+            }
+        }
+        6 => {
+            std::thread::yield_now();
+            std::thread::yield_now();
+        }
+        _ => std::thread::sleep(std::time::Duration::from_micros((h >> 3) % 3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_by_default_and_after_clear() {
+        clear();
+        assert!(!armed());
+        set_schedule(42);
+        assert!(armed());
+        // Perturbation must not wedge a caller.
+        for _ in 0..100 {
+            yield_point(YieldPoint::Steal);
+        }
+        clear();
+        assert!(!armed());
+        yield_point(YieldPoint::Submit); // one relaxed load, returns
+    }
+
+    #[test]
+    fn zero_seed_disarms() {
+        set_schedule(0);
+        assert!(!armed());
+    }
+}

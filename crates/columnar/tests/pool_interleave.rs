@@ -1,0 +1,173 @@
+//! Deterministic pool-interleaving suite — "loom-lite" for the worker
+//! pool.
+//!
+//! Drives the persistent pool through hundreds of seeded schedules (the
+//! `parallel::interleave` yield points perturb thread timing at
+//! submit/steal/slot-write/drain/shutdown) and asserts, for every
+//! schedule:
+//!
+//! 1. **No deadlock** — every call completes; a watchdog aborts the
+//!    process (printing the seed) if the suite wedges.
+//! 2. **No lost result slot** — `parallel_map` returns exactly one result
+//!    per morsel, every time; a seeded worker panic still surfaces as the
+//!    typed error, never a missing slot or a hang.
+//! 3. **Bit-identical output** — results equal the serial computation on
+//!    every schedule, including nested maps and error propagation order.
+//!
+//! The base seed comes from `MLCS_POOL_SEED` (CI runs a fixed seed and a
+//! randomized printed one); each iteration derives its schedule seed from
+//! the base, and every assertion message carries the schedule seed so a
+//! failure replays exactly: `MLCS_POOL_SEED=<seed> MLCS_POOL_SCHEDULES=1`.
+//!
+//! One `#[test]` on purpose: the interleave schedule is process-global,
+//! so concurrent tests in this binary would perturb each other's
+//! schedules and break replayability.
+
+use mlcs_columnar::parallel::{interleave, parallel_map, parallel_tasks};
+use mlcs_columnar::DbError;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Aborts the whole process if the suite runs longer than its budget — a
+/// pool deadlock must fail loudly, not stall CI forever.
+struct Watchdog {
+    done: mpsc::Sender<()>,
+}
+
+impl Watchdog {
+    fn arm(base_seed: u64) -> Watchdog {
+        let (done, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(Duration::from_secs(240))
+            {
+                eprintln!(
+                    "interleave watchdog: suite exceeded 240s — aborting (deadlock). \
+                     Replay with MLCS_POOL_SEED={base_seed}"
+                );
+                std::process::abort();
+            }
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let _ = self.done.send(());
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Restores the disarmed state even when an assertion panics, so a
+/// failure in this suite cannot perturb later runs in a shared process.
+struct ClearGuard;
+
+impl Drop for ClearGuard {
+    fn drop(&mut self) {
+        interleave::clear();
+    }
+}
+
+#[test]
+fn pool_invariants_hold_across_seeded_schedules() {
+    let base_seed = env_u64("MLCS_POOL_SEED", 0x00D1_5EA5_E001_F00D);
+    let schedules = env_u64("MLCS_POOL_SCHEDULES", 200);
+    println!(
+        "pool interleave: {schedules} schedules from MLCS_POOL_SEED={base_seed} \
+         (MLCS_THREADS={})",
+        std::env::var("MLCS_THREADS").unwrap_or_else(|_| "<unset>".into())
+    );
+    let _watchdog = Watchdog::arm(base_seed);
+    let _clear = ClearGuard;
+
+    // Serial ground truth, computed once with perturbation disarmed.
+    interleave::clear();
+    let rows = 4096usize;
+    let morsel = 37usize;
+    let expected: Vec<u64> = parallel_map(rows, morsel, 1, |m| {
+        Ok((m.start..m.start + m.len).map(|i| i as u64 * 2654435761).sum::<u64>())
+    })
+    .expect("serial ground truth");
+    let expected_tasks: Vec<usize> = (0..64).map(|i| i * i).collect();
+
+    for k in 0..schedules {
+        let seed = splitmix64(base_seed.wrapping_add(k));
+        interleave::set_schedule(seed);
+
+        // Invariants 2+3: one result per morsel, bit-identical to serial.
+        let out = parallel_map(rows, morsel, 4, |m| {
+            Ok((m.start..m.start + m.len).map(|i| i as u64 * 2654435761).sum::<u64>())
+        })
+        .unwrap_or_else(|e| panic!("schedule {seed}: parallel_map failed: {e}"));
+        assert_eq!(out.len(), expected.len(), "schedule {seed}: lost or duplicated slot");
+        assert_eq!(out, expected, "schedule {seed}: output differs from serial");
+
+        // parallel_tasks with borrowed state: same checks.
+        let out = parallel_tasks(64, 4, || DbError::internal("panicked"), |i| Ok(i * i))
+            .unwrap_or_else(|e| panic!("schedule {seed}: parallel_tasks failed: {e}"));
+        assert_eq!(out, expected_tasks, "schedule {seed}: task results differ");
+
+        // Error propagation: the first error in task order wins on every
+        // schedule, regardless of which worker hit it first in wall time.
+        let r = parallel_map(1000, 10, 4, |m| {
+            if m.start >= 300 {
+                Err(DbError::internal(format!("boom at {}", m.start)))
+            } else {
+                Ok(())
+            }
+        });
+        match r {
+            Err(e) => assert!(
+                e.to_string().contains("boom at 300"),
+                "schedule {seed}: wrong first error: {e}"
+            ),
+            Ok(_) => panic!("schedule {seed}: expected an error"),
+        }
+
+        // Nested maps must complete (inner calls run inline on workers).
+        if k % 10 == 0 {
+            let out = parallel_map(64, 4, 4, |outer| {
+                let inner = parallel_map(32, 4, 4, move |m| Ok(m.len))?;
+                Ok(outer.len + inner.iter().sum::<usize>())
+            })
+            .unwrap_or_else(|e| panic!("schedule {seed}: nested map failed: {e}"));
+            assert!(out.iter().all(|&v| v == 4 + 32), "schedule {seed}: nested map wrong");
+        }
+
+        // A panicking task must become the typed error — not a lost slot,
+        // not a deadlocked drain — on every schedule. Sampled (panics are
+        // slow and noisy) with the default hook silenced around the call.
+        if k % 25 == 0 {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let r = parallel_map(200, 10, 4, |m| {
+                if m.start == 100 {
+                    panic!("seeded morsel panic");
+                }
+                Ok(m.len)
+            });
+            std::panic::set_hook(prev);
+            match r {
+                Err(e) => assert!(
+                    e.to_string().contains("panicked"),
+                    "schedule {seed}: panic not typed: {e}"
+                ),
+                Ok(_) => panic!("schedule {seed}: panicking morsel reported success"),
+            }
+        }
+    }
+
+    interleave::clear();
+    assert!(!interleave::armed());
+}

@@ -233,11 +233,12 @@ fn stream_result(w: &mut impl Write, batch: &Batch, encoding: Encoding) -> DbRes
             Encoding::Text => FrameKind::RowsText,
             Encoding::Binary => FrameKind::RowsBinary,
         };
-        let sent = match encoding {
-            Encoding::Text => "netproto.text.bytes_sent",
-            Encoding::Binary => "netproto.binary.bytes_sent",
-        };
-        mlcs_columnar::metrics::counter(sent).add(payload.len() as u64);
+        match encoding {
+            Encoding::Text => mlcs_columnar::metrics::counter("netproto.text.bytes_sent")
+                .add(payload.len() as u64),
+            Encoding::Binary => mlcs_columnar::metrics::counter("netproto.binary.bytes_sent")
+                .add(payload.len() as u64),
+        }
         write_frame(w, kind, &payload)?;
         start = end;
     }

@@ -1,178 +1,155 @@
-//! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
+//! Workspace static analysis, invoked as `cargo xtask analyze`.
 //!
 //! Std-only by design — this binary must build in the offline environment
 //! with zero dependencies.
 //!
-//! # `cargo xtask lint`
+//! # Architecture
 //!
-//! A source-level lint pass complementing the runtime plan verifier:
+//! [`scan`] turns every workspace source file into a [`scan::ScannedFile`]:
+//! the raw text plus a *masked* copy (comments and string/char literals
+//! blanked, offsets preserved) and a structural inventory (functions,
+//! enums with variants, `#[cfg(test)]` regions, string literals,
+//! `// lint: allow(reason)` markers). The [`passes`] then run over the
+//! scanned files, never raw text:
 //!
-//! * **Panic-free hot paths.** In the modules the executor hits per batch
-//!   (`columnar/src/exec/`, `columnar/src/expr/`, `columnar/src/parallel.rs`,
-//!   `columnar/src/udf.rs`, `core/src/udf.rs`, the ML model hot paths
-//!   `ml/src/{tree,forest,knn,linear,naive_bayes,model,parallel}.rs`, and
-//!   the resilience surfaces `columnar/src/faults.rs`,
-//!   `columnar/src/persist.rs`, and all of `netproto/src/`),
-//!   non-test code must not call
-//!   `.unwrap()`,
-//!   `.expect(…)`, `panic!…`, or `todo!…` — errors there must surface as
-//!   typed `DbResult` values, never process aborts mid-query. A site that
-//!   genuinely cannot fail may be annotated on the same line with
-//!   `// lint: allow(<reason>)`.
-//! * **Registry-sourced harness timing.** The Figure 1 harness modules
-//!   (`voters/src/pipeline.rs`, `bench/src/`) must derive stage timings
-//!   from the `mlcs_columnar::metrics` registry (`metrics::time_section`),
-//!   never from raw `std::time::Instant` arithmetic — hand-rolled timers
-//!   let the printed wrangle/total split drift from what a metrics
-//!   snapshot reports. The same `// lint: allow(<reason>)` escape applies.
-//! * **Unsafe inventory.** Every `unsafe` occurrence in the workspace is
-//!   listed so new unsafe code is visible in review. The inventory is
-//!   informational and does not fail the lint.
+//! * **lock** — single-lock discipline in the pool hot paths, no
+//!   blocking calls in `run_task_loop`, plus a synchronization-primitive
+//!   inventory. The static rule is the release-build complement of the
+//!   debug lock-order tracker in `mlcs_columnar::parallel::lock_order`.
+//! * **metrics** — every tick site's metric name is a literal that
+//!   appears in the DESIGN.md metric inventory; every documented name is
+//!   ticked somewhere; the names pinned by `tests/metrics_exactly_once.rs`
+//!   exist on both sides.
+//! * **taxonomy** — every `DbError` variant is constructed somewhere and
+//!   matched/rendered somewhere; no stringly `Err(format!…)` in hot paths.
+//! * **panic** — panic-free hot paths and registry-sourced harness
+//!   timing (the original lint, minus its string/comment false
+//!   positives), plus the `unsafe` inventory.
 //!
-//! Exits non-zero when any unannotated violation exists.
+//! Malformed `lint: allow` markers anywhere are themselves findings: an
+//! escape hatch that silently fails to parse must not silently excuse
+//! nothing. The driver exits non-zero when any pass reports a finding.
 
-use std::fmt;
+mod passes;
+mod scan;
+
+use passes::Finding;
+use scan::ScannedFile;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Module prefixes (relative to the workspace root) whose non-test code
-/// must be panic-free. A trailing `/` marks a directory subtree.
-const HOT_PATHS: &[&str] = &[
-    "crates/columnar/src/exec/",
-    "crates/columnar/src/expr/",
-    "crates/columnar/src/faults.rs",
-    "crates/columnar/src/parallel.rs",
-    "crates/columnar/src/persist.rs",
-    "crates/columnar/src/udf.rs",
-    "crates/netproto/src/",
-    "crates/core/src/udf.rs",
-    "crates/ml/src/tree.rs",
-    "crates/ml/src/forest.rs",
-    "crates/ml/src/knn.rs",
-    "crates/ml/src/linear.rs",
-    "crates/ml/src/naive_bayes.rs",
-    "crates/ml/src/model.rs",
-    "crates/ml/src/parallel.rs",
-];
-
-/// Source patterns forbidden in hot-path modules. Substring matches, so
-/// `.unwrap()` does not catch `unwrap_or(..)` and `.expect(` does not catch
-/// `.expect_err(`.
-const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!"];
-
-/// Harness modules whose stage timing must be sourced from the metrics
-/// registry (`mlcs_columnar::metrics::time_section`) so the printed
-/// Figure 1 split and a registry snapshot agree by construction. Same
-/// path-matching rules as [`HOT_PATHS`].
-const REGISTRY_TIMED_PATHS: &[&str] = &["crates/voters/src/pipeline.rs", "crates/bench/src/"];
-
-/// Pattern forbidden in registry-timed harness modules: any mention of
-/// `Instant` in code (comments are skipped; discussing the rule is fine).
-const TIMER_FORBIDDEN: &[&str] = &["Instant"];
-
-/// Escape hatch marker: a forbidden call on the same line as this marker
-/// (with a reason in parentheses) is accepted.
-const ALLOW_MARKER: &str = "// lint: allow(";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => lint(),
+        Some("analyze") => analyze(),
+        Some("lint") => {
+            eprintln!("note: `cargo xtask lint` is now an alias for `cargo xtask analyze`");
+            analyze()
+        }
         Some(other) => {
-            eprintln!("unknown xtask command '{other}'; available: lint");
+            eprintln!("unknown xtask command '{other}'; available: analyze");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <command>\n\ncommands:\n  lint    panic-free hot paths + registry-sourced harness timing + unsafe inventory");
+            eprintln!(
+                "usage: cargo xtask <command>\n\ncommands:\n  analyze    lock discipline + \
+                 metric-name consistency + error-taxonomy exhaustiveness + panic-free hot \
+                 paths (alias: lint)"
+            );
             ExitCode::FAILURE
         }
     }
 }
 
-/// One flagged source line.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    pattern: &'static str,
-    /// Which rule flagged the line (rendered in the diagnostic).
-    rule: &'static str,
-    text: String,
+/// Everything one analysis run produces.
+struct AnalysisReport {
+    files_scanned: usize,
+    findings: Vec<Finding>,
+    lock_inventory: Vec<String>,
+    unsafe_sites: Vec<(PathBuf, usize, String)>,
 }
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: forbidden `{}` {}: {}",
-            self.file.display(),
-            self.line,
-            self.pattern,
-            self.rule,
-            self.text.trim()
-        )
+fn analyze() -> ExitCode {
+    let report = run_analysis(&workspace_root());
+    print_report(&report)
+}
+
+/// Scans the workspace under `root` and runs every pass. Separated from
+/// the exit-code plumbing so tests can drive it against fixture trees.
+fn run_analysis(root: &Path) -> AnalysisReport {
+    let files = scan_workspace(root);
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+
+    let mut findings = passes::allow_markers(&files);
+    findings.extend(passes::lock::run(&files));
+    findings.extend(passes::metric_names::run(&files, design.as_deref()));
+    findings.extend(passes::taxonomy::run(&files));
+    findings.extend(passes::panics::run(&files));
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    AnalysisReport {
+        files_scanned: files.len(),
+        findings,
+        lock_inventory: passes::lock::inventory(&files),
+        unsafe_sites: passes::panics::unsafe_inventory(&files),
     }
 }
 
-/// Diagnostic tag for the panic-free hot-path rule.
-const RULE_HOT_PATH: &str = "in hot-path module";
-
-/// Diagnostic tag for the registry-timing rule.
-const RULE_REGISTRY_TIMING: &str =
-    "in registry-timed harness code (use mlcs_columnar::metrics::time_section)";
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut sources = Vec::new();
+/// Reads and scans every `.rs` file in the workspace's source roots.
+fn scan_workspace(root: &Path) -> Vec<ScannedFile> {
+    let mut paths = Vec::new();
     for dir in ["crates", "shims", "src", "tests", "benches"] {
-        collect_rust_files(&root.join(dir), &mut sources);
+        collect_rust_files(&root.join(dir), &mut paths);
     }
-    sources.sort();
-
-    let mut violations = Vec::new();
-    let mut unsafe_sites = Vec::new();
-    for path in &sources {
+    paths.sort();
+    let mut files = Vec::new();
+    for path in &paths {
         let Ok(content) = std::fs::read_to_string(path) else {
             eprintln!("warning: unreadable source file {}", path.display());
             continue;
         };
-        let rel = path.strip_prefix(&root).unwrap_or(path);
-        if is_hot_path(rel) {
-            scan_forbidden(rel, &content, FORBIDDEN, RULE_HOT_PATH, &mut violations);
-        }
-        if matches_any(rel, REGISTRY_TIMED_PATHS) {
-            scan_forbidden(rel, &content, TIMER_FORBIDDEN, RULE_REGISTRY_TIMING, &mut violations);
-        }
-        // The linter's own sources talk about "unsafe" in strings and
-        // patterns; excluding them keeps the inventory to real code.
-        if !rel.starts_with("crates/xtask") {
-            scan_unsafe(rel, &content, &mut unsafe_sites);
-        }
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        files.push(scan::scan_str(rel, &content));
     }
+    files
+}
 
-    if unsafe_sites.is_empty() {
+fn print_report(report: &AnalysisReport) -> ExitCode {
+    if report.unsafe_sites.is_empty() {
         println!("unsafe inventory: no unsafe code in the workspace");
     } else {
-        println!("unsafe inventory ({} sites):", unsafe_sites.len());
-        for (file, line, text) in &unsafe_sites {
+        println!("unsafe inventory ({} sites):", report.unsafe_sites.len());
+        for (file, line, text) in &report.unsafe_sites {
             println!("  {}:{}: {}", file.display(), line, text.trim());
         }
     }
+    println!("lock inventory ({} files mention sync primitives):", report.lock_inventory.len());
+    for entry in &report.lock_inventory {
+        println!("  {entry}");
+    }
 
-    if violations.is_empty() {
+    if report.findings.is_empty() {
         println!(
-            "lint ok: {} files scanned, hot paths panic-free, harness timing registry-sourced",
-            sources.len()
+            "analyze ok: {} files scanned; lock discipline, metric names, error taxonomy, \
+             and panic-free hot paths all hold",
+            report.files_scanned
         );
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
-            eprintln!("{v}");
+        for f in &report.findings {
+            eprintln!("{f}");
         }
+        let mut by_pass: std::collections::BTreeMap<&str, usize> = Default::default();
+        for f in &report.findings {
+            *by_pass.entry(f.pass).or_default() += 1;
+        }
+        let summary: Vec<String> = by_pass.iter().map(|(pass, n)| format!("{pass}: {n}")).collect();
         eprintln!(
-            "\nlint failed: {} unannotated violation(s). Fix the line (typed DbResult \
-             errors in hot paths; metrics::time_section for harness timing), or \
-             annotate it with `{ALLOW_MARKER}<reason>)`.",
-            violations.len()
+            "\nanalyze failed: {} finding(s) ({}). Fix the line or annotate it with \
+             `// lint: allow(<reason>)` — the reason is required.",
+            report.findings.len(),
+            summary.join(", ")
         );
         ExitCode::FAILURE
     }
@@ -200,152 +177,143 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn is_hot_path(rel: &Path) -> bool {
-    matches_any(rel, HOT_PATHS)
-}
-
-/// Whether `rel` matches any prefix list entry (a trailing `/` marks a
-/// directory subtree; otherwise an exact file match).
-fn matches_any(rel: &Path, prefixes: &[&str]) -> bool {
-    // Compare with forward slashes so the check is platform-independent.
-    let rel = rel.to_string_lossy().replace('\\', "/");
-    prefixes.iter().any(|p| if p.ends_with('/') { rel.starts_with(p) } else { rel == *p })
-}
-
-/// Flags `patterns` in the non-test portion of a file, tagging each hit
-/// with `rule` for the diagnostic.
-///
-/// Enforcement stops at the first `#[cfg(test)]` — by workspace convention
-/// the unit-test module sits at the end of each file, and test code is free
-/// to unwrap (or hand-time). Comment lines are skipped so prose may discuss
-/// the forbidden constructs, and `// lint: allow(<reason>)` on the same
-/// line as a hit accepts it.
-fn scan_forbidden(
-    rel: &Path,
-    content: &str,
-    patterns: &[&'static str],
-    rule: &'static str,
-    out: &mut Vec<Violation>,
-) {
-    for (i, line) in content.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break;
-        }
-        // Comments (incl. doc comments) may discuss the constructs freely.
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        if line.contains(ALLOW_MARKER) {
-            continue;
-        }
-        for pattern in patterns {
-            if line.contains(pattern) {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: i + 1,
-                    pattern,
-                    rule,
-                    text: line.to_owned(),
-                });
-            }
-        }
-    }
-}
-
-/// Records `unsafe` occurrences (blocks, fns, impls) for the inventory.
-fn scan_unsafe(rel: &Path, content: &str, out: &mut Vec<(PathBuf, usize, String)>) {
-    for (i, line) in content.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue;
-        }
-        // Word-boundary check so identifiers like `unsafe_mode` don't count.
-        let mut rest = line;
-        let mut found = false;
-        while let Some(pos) = rest.find("unsafe") {
-            let after = &rest[pos + "unsafe".len()..];
-            let before_ok =
-                rest[..pos].chars().next_back().is_none_or(|c| !c.is_alphanumeric() && c != '_');
-            let after_ok = after.chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_');
-            if before_ok && after_ok {
-                found = true;
-                break;
-            }
-            rest = after;
-        }
-        if found {
-            out.push((rel.to_path_buf(), i + 1, line.to_owned()));
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
+    /// The real workspace must be clean: this is the acceptance bar for
+    /// `cargo xtask analyze` wired into CI, enforced from the test suite
+    /// so a regression fails `cargo test` too.
     #[test]
-    fn hot_path_matching() {
-        assert!(is_hot_path(Path::new("crates/columnar/src/exec/join.rs")));
-        assert!(is_hot_path(Path::new("crates/columnar/src/expr/eval.rs")));
-        assert!(is_hot_path(Path::new("crates/columnar/src/parallel.rs")));
-        assert!(is_hot_path(Path::new("crates/columnar/src/udf.rs")));
-        assert!(is_hot_path(Path::new("crates/core/src/udf.rs")));
-        assert!(is_hot_path(Path::new("crates/ml/src/tree.rs")));
-        assert!(is_hot_path(Path::new("crates/ml/src/forest.rs")));
-        assert!(is_hot_path(Path::new("crates/ml/src/model.rs")));
-        assert!(is_hot_path(Path::new("crates/ml/src/parallel.rs")));
-        assert!(is_hot_path(Path::new("crates/columnar/src/faults.rs")));
-        assert!(is_hot_path(Path::new("crates/columnar/src/persist.rs")));
-        assert!(is_hot_path(Path::new("crates/netproto/src/server.rs")));
-        assert!(is_hot_path(Path::new("crates/netproto/src/client.rs")));
-        assert!(!is_hot_path(Path::new("crates/ml/src/dataset.rs")));
-        assert!(!is_hot_path(Path::new("crates/columnar/src/sql/binder.rs")));
-        assert!(!is_hot_path(Path::new("crates/columnar/src/udf_helpers.rs")));
+    fn workspace_analysis_is_clean() {
+        let report = run_analysis(&workspace_root());
+        assert!(report.files_scanned > 50, "workspace scan found {}", report.files_scanned);
+        assert!(
+            report.findings.is_empty(),
+            "workspace has findings:\n{}",
+            report.findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+        // The scoped-job transmute in the pool must stay inventoried.
+        assert!(
+            report.unsafe_sites.iter().any(|(f, _, _)| f.ends_with("parallel.rs")),
+            "pool transmute missing from the unsafe inventory: {:?}",
+            report.unsafe_sites
+        );
+    }
+
+    static FIXTURE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// Writes `(relative_path, content)` pairs into a fresh temp tree and
+    /// returns its root.
+    fn fixture(files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "mlcs-xtask-fixture-{}-{}",
+            std::process::id(),
+            FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        for (rel, content) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+        }
+        root
+    }
+
+    fn findings_for<'a>(report: &'a AnalysisReport, pass: &str) -> Vec<&'a Finding> {
+        report.findings.iter().filter(|f| f.pass == pass).collect()
+    }
+
+    /// A seeded violation per pass, driven through the same entry point
+    /// the CLI uses: each must produce findings (⇒ non-zero exit).
+    #[test]
+    fn seeded_lock_violation_fails() {
+        let root = fixture(&[(
+            "crates/columnar/src/parallel/bad.rs",
+            "fn f() {\n    let g = a.lock();\n    let h = b.lock();\n}\n",
+        )]);
+        let report = run_analysis(&root);
+        assert_eq!(findings_for(&report, "lock").len(), 1, "{:?}", report.findings);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn registry_timed_matching() {
-        assert!(matches_any(Path::new("crates/voters/src/pipeline.rs"), REGISTRY_TIMED_PATHS));
-        assert!(matches_any(Path::new("crates/bench/src/bin/fig1.rs"), REGISTRY_TIMED_PATHS));
-        assert!(matches_any(Path::new("crates/bench/src/lib.rs"), REGISTRY_TIMED_PATHS));
-        assert!(!matches_any(Path::new("crates/voters/src/report.rs"), REGISTRY_TIMED_PATHS));
-        assert!(!matches_any(Path::new("crates/columnar/src/metrics.rs"), REGISTRY_TIMED_PATHS));
+    fn seeded_metric_violation_fails() {
+        let root = fixture(&[
+            (
+                "crates/a/src/x.rs",
+                "fn f() { metrics::counter(\"rogue.metric\").incr(); }\n",
+            ),
+            ("DESIGN.md", "**Metric inventory**\n\n| Metric | Kind |\n|---|---|\n| `rogue.metric` | counter |\n| `ghost.metric` | counter |\n"),
+        ]);
+        let report = run_analysis(&root);
+        let metric = findings_for(&report, "metrics");
+        assert_eq!(metric.len(), 1, "{:?}", report.findings);
+        assert!(metric[0].message.contains("`ghost.metric`"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn scan_flags_and_allows() {
-        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    z.unwrap(); // lint: allow(infallible by construction)\n    let v = o.unwrap_or(0);\n}\n#[cfg(test)]\nmod tests {\n    fn g() { t.unwrap(); }\n}\n";
-        let mut out = Vec::new();
-        scan_forbidden(Path::new("x.rs"), src, FORBIDDEN, RULE_HOT_PATH, &mut out);
-        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
-        assert_eq!(lines, vec![2, 3]);
+    fn seeded_taxonomy_violation_fails() {
+        let root = fixture(&[(
+            "crates/columnar/src/error.rs",
+            "pub enum DbError {\n    Io(String),\n}\nimpl fmt::Display for DbError {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        match self { DbError::Io(m) => write!(f, \"{m}\") }\n    }\n}\n",
+        )]);
+        let report = run_analysis(&root);
+        let tax = findings_for(&report, "taxonomy");
+        assert_eq!(tax.len(), 1, "{:?}", report.findings);
+        assert!(tax[0].message.contains("never constructed"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn scan_flags_raw_timers() {
-        let src = "use std::time::Instant;\n// Instant is discussed here, which is fine.\nfn f() {\n    let t = Instant::now();\n    let ok = Instant::now(); // lint: allow(warm-up timing only)\n}\n#[cfg(test)]\nmod tests {\n    fn g() { let _ = Instant::now(); }\n}\n";
-        let mut out = Vec::new();
-        scan_forbidden(Path::new("x.rs"), src, TIMER_FORBIDDEN, RULE_REGISTRY_TIMING, &mut out);
-        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
-        assert_eq!(lines, vec![1, 4]);
+    fn seeded_panic_violation_fails() {
+        let root = fixture(&[("crates/columnar/src/exec/bad.rs", "fn f() { x.unwrap(); }\n")]);
+        let report = run_analysis(&root);
+        assert_eq!(findings_for(&report, "panic").len(), 1, "{:?}", report.findings);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn scan_skips_comments_and_macros_in_docs() {
-        let src = "/// Calls panic! when poked.\n// .unwrap() discussion\nfn f() {}\n";
-        let mut out = Vec::new();
-        scan_forbidden(Path::new("x.rs"), src, FORBIDDEN, RULE_HOT_PATH, &mut out);
-        assert!(out.is_empty());
+    fn seeded_malformed_allow_marker_fails() {
+        let root = fixture(&[("crates/a/src/x.rs", "fn f() { x(); } // lint: allow()\n")]);
+        let report = run_analysis(&root);
+        assert_eq!(findings_for(&report, "allow").len(), 1, "{:?}", report.findings);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn unsafe_word_boundaries() {
-        let mut out = Vec::new();
-        scan_unsafe(Path::new("x.rs"), "let unsafe_mode = 1;\n", &mut out);
-        assert!(out.is_empty());
-        scan_unsafe(Path::new("x.rs"), "unsafe { std::hint::unreachable_unchecked() }\n", &mut out);
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].1, 1);
+    fn clean_fixture_passes() {
+        let root = fixture(&[(
+            "crates/columnar/src/exec/good.rs",
+            "fn f() -> Result<u8, E> {\n    let v = o.unwrap_or(0); // fine: not .unwrap()\n    Ok(v)\n}\n",
+        )]);
+        let report = run_analysis(&root);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn findings_drive_the_exit_code() {
+        let clean = AnalysisReport {
+            files_scanned: 1,
+            findings: vec![],
+            lock_inventory: vec![],
+            unsafe_sites: vec![],
+        };
+        assert_eq!(format!("{:?}", print_report(&clean)), format!("{:?}", ExitCode::SUCCESS));
+        let dirty = AnalysisReport {
+            files_scanned: 1,
+            findings: vec![Finding {
+                file: "x.rs".into(),
+                line: 1,
+                pass: "panic",
+                message: "m".into(),
+                text: String::new(),
+            }],
+            lock_inventory: vec![],
+            unsafe_sites: vec![],
+        };
+        assert_eq!(format!("{:?}", print_report(&dirty)), format!("{:?}", ExitCode::FAILURE));
     }
 }

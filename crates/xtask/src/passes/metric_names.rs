@@ -1,0 +1,483 @@
+//! Metric-name consistency pass.
+//!
+//! Three sources of truth must agree on the metric namespace:
+//!
+//! * **Code** — every `metrics::counter(…)`/`gauge`/`histogram`/
+//!   `record_duration`/`record_bytes`/`time_section` tick site in
+//!   first-party `src/` trees. The name must be a string literal at the
+//!   call (possibly inside `format!`, where placeholder segments like
+//!   `{op}` become wildcards) so this pass can read it.
+//! * **DESIGN.md** — the metric inventory table, the operator-facing
+//!   contract. `<op>`-style and `{…}`-placeholder segments are wildcards;
+//!   `{text,binary}` alternations expand; a `.suffix` token continues the
+//!   previous name (`a.b.sent` / `.received`).
+//! * **Pins** — the names asserted in `tests/metrics_exactly_once.rs`.
+//!
+//! Findings: a tick whose name cannot be read (non-literal), a ticked
+//! name missing from the inventory, a documented name never ticked, and
+//! a pinned name missing from either side. Wildcards unify with one or
+//! more segments, so `faults.injected.<point>.<kind>` matches the pinned
+//! `faults.injected.net.write.err`.
+
+use super::{in_src_scope, matching_paren, Finding};
+use crate::scan::ScannedFile;
+use std::path::Path;
+
+/// Tick-site tokens. `metrics.rs` itself (the registry) is excluded from
+/// the sweep, so these only match call sites.
+const TICK_TOKENS: &[&str] = &[
+    "metrics::counter(",
+    "metrics::gauge(",
+    "metrics::histogram(",
+    "metrics::record_duration(",
+    "metrics::record_bytes(",
+    "metrics::time_section(",
+];
+
+/// Read-side tokens used to extract pins from the exactly-once suite.
+const PIN_TOKENS: &[&str] = &[".counter(", ".gauge(", ".histogram("];
+
+/// The file whose assertions pin metric names.
+const PINS_FILE: &str = "tests/metrics_exactly_once.rs";
+
+/// One segment of a dot-separated metric name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    Lit(String),
+    /// `<op>`, `{op}`, `{}` — matches one or more segments.
+    Wild,
+}
+
+/// A metric name pattern with its origin for diagnostics.
+#[derive(Debug, Clone)]
+struct NamePat {
+    raw: String,
+    segs: Vec<Seg>,
+    file: String,
+    line: usize,
+}
+
+fn parse_segs(name: &str) -> Vec<Seg> {
+    name.split('.')
+        .map(
+            |s| {
+                if s.contains('{') || s.contains('<') {
+                    Seg::Wild
+                } else {
+                    Seg::Lit(s.to_owned())
+                }
+            },
+        )
+        .collect()
+}
+
+/// Whether two patterns can denote the same metric: literals match
+/// exactly, a wildcard consumes one or more segments on the other side.
+fn unify(a: &[Seg], b: &[Seg]) -> bool {
+    match (a.first(), b.first()) {
+        (None, None) => true,
+        (None, _) | (_, None) => false,
+        (Some(Seg::Lit(x)), Some(Seg::Lit(y))) => x == y && unify(&a[1..], &b[1..]),
+        (Some(Seg::Wild), _) => (1..=b.len()).any(|i| unify(&a[1..], &b[i..])),
+        (_, Some(Seg::Wild)) => (1..=a.len()).any(|i| unify(&a[i..], &b[1..])),
+    }
+}
+
+pub fn run(files: &[ScannedFile], design: Option<&str>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let ticks = collect_ticks(files, &mut out);
+    let pins = collect_pins(files);
+    let Some(design) = design else {
+        // No inventory to check against (fixture workspaces); only the
+        // non-literal findings from collect_ticks apply.
+        return out;
+    };
+    let documented = parse_inventory(design);
+
+    // Deduplicate tick names so one undocumented metric is one finding.
+    let mut seen = std::collections::BTreeSet::new();
+    for tick in &ticks {
+        if !seen.insert(tick.raw.clone()) {
+            continue;
+        }
+        if !documented.iter().any(|d| unify(&tick.segs, &d.segs)) {
+            out.push(Finding {
+                file: tick.file.clone().into(),
+                line: tick.line,
+                pass: "metrics",
+                message: format!(
+                    "metric `{}` is ticked here but missing from the DESIGN.md metric \
+                     inventory — document it or remove the tick",
+                    tick.raw
+                ),
+                text: String::new(),
+            });
+        }
+    }
+    for doc in &documented {
+        if !ticks.iter().any(|t| unify(&doc.segs, &t.segs)) {
+            out.push(Finding {
+                file: doc.file.clone().into(),
+                line: doc.line,
+                pass: "metrics",
+                message: format!(
+                    "metric `{}` is documented in the inventory but never ticked in the \
+                     workspace — stale documentation or a lost instrumentation site",
+                    doc.raw
+                ),
+                text: String::new(),
+            });
+        }
+    }
+    for pin in &pins {
+        if !documented.iter().any(|d| unify(&pin.segs, &d.segs)) {
+            out.push(Finding {
+                file: pin.file.clone().into(),
+                line: pin.line,
+                pass: "metrics",
+                message: format!(
+                    "pinned metric `{}` is missing from the DESIGN.md metric inventory",
+                    pin.raw
+                ),
+                text: String::new(),
+            });
+        }
+        if !ticks.iter().any(|t| unify(&pin.segs, &t.segs)) {
+            out.push(Finding {
+                file: pin.file.clone().into(),
+                line: pin.line,
+                pass: "metrics",
+                message: format!(
+                    "pinned metric `{}` has no tick site in first-party code — the \
+                     exactly-once assertion can only see zero",
+                    pin.raw
+                ),
+                text: String::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts the names at every tick site, reporting sites whose name is
+/// not a readable literal.
+fn collect_ticks(files: &[ScannedFile], out: &mut Vec<Finding>) -> Vec<NamePat> {
+    let mut ticks = Vec::new();
+    for file in files {
+        if !in_src_scope(&file.rel) || file.rel == Path::new("crates/columnar/src/metrics.rs") {
+            continue;
+        }
+        for tok in TICK_TOKENS {
+            for (at, lineno) in token_sites(file, tok) {
+                if file.is_test_line(lineno) {
+                    continue;
+                }
+                match literal_in_call(file, at + tok.len() - 1) {
+                    Some(lit) => ticks.push(NamePat {
+                        segs: parse_segs(&lit),
+                        raw: lit,
+                        file: file.rel.to_string_lossy().replace('\\', "/"),
+                        line: lineno,
+                    }),
+                    None => {
+                        if !file.line_allowed(lineno) {
+                            out.push(Finding {
+                                file: file.rel.clone(),
+                                line: lineno,
+                                pass: "metrics",
+                                message: "metric name is not a string literal at the tick \
+                                          site — the consistency pass cannot cross-check \
+                                          it against DESIGN.md"
+                                    .into(),
+                                text: file.raw_line(lineno).to_owned(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ticks
+}
+
+/// Names asserted by the exactly-once suite (read sites on deltas).
+fn collect_pins(files: &[ScannedFile]) -> Vec<NamePat> {
+    let mut pins = Vec::new();
+    for file in files {
+        if file.rel != Path::new(PINS_FILE) {
+            continue;
+        }
+        for tok in PIN_TOKENS {
+            for (at, lineno) in token_sites(file, tok) {
+                if let Some(lit) = literal_in_call(file, at + tok.len() - 1) {
+                    pins.push(NamePat {
+                        segs: parse_segs(&lit),
+                        raw: lit,
+                        file: file.rel.to_string_lossy().replace('\\', "/"),
+                        line: lineno,
+                    });
+                }
+            }
+        }
+    }
+    pins
+}
+
+/// Byte offsets (and lines) of every occurrence of `tok` in masked code.
+fn token_sites(file: &ScannedFile, tok: &str) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = file.masked[search..].find(tok) {
+        let at = search + pos;
+        search = at + tok.len();
+        let lineno = file.masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+        sites.push((at, lineno));
+    }
+    sites
+}
+
+/// The first string literal inside the call whose `(` is at `open`.
+fn literal_in_call(file: &ScannedFile, open: usize) -> Option<String> {
+    let close = matching_paren(file.masked.as_bytes(), open)?;
+    file.strings.iter().find(|s| s.offset > open && s.offset < close).map(|s| s.value.clone())
+}
+
+/// Parses the DESIGN.md metric inventory table into name patterns.
+fn parse_inventory(design: &str) -> Vec<NamePat> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in design.lines().enumerate() {
+        if line.contains("**Metric inventory**") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            if out.is_empty() {
+                continue; // blank line between the heading and the table
+            }
+            break; // table over
+        }
+        if !trimmed.starts_with('|') {
+            break;
+        }
+        let first_cell = trimmed.trim_matches('|').split('|').next().unwrap_or("");
+        if first_cell.contains("---") || first_cell.trim() == "Metric" {
+            continue;
+        }
+        let mut last_full: Option<String> = None;
+        for token in backtick_tokens(first_cell) {
+            if !token.contains('.') {
+                continue; // enum of `<op>` values, not a metric name
+            }
+            let name = if let Some(suffix) = token.strip_prefix('.') {
+                // `.received` continues the previous name by replacing
+                // its trailing segments.
+                let Some(base) = &last_full else { continue };
+                let base_segs: Vec<&str> = base.split('.').collect();
+                let suffix_segs: Vec<&str> = suffix.split('.').collect();
+                if suffix_segs.len() >= base_segs.len() {
+                    continue;
+                }
+                let keep = base_segs.len() - suffix_segs.len();
+                let mut segs: Vec<&str> = base_segs[..keep].to_vec();
+                segs.extend(&suffix_segs);
+                segs.join(".")
+            } else {
+                last_full = Some(token.clone());
+                token
+            };
+            for expanded in expand_alternations(&name) {
+                out.push(NamePat {
+                    segs: parse_segs(&expanded),
+                    raw: expanded,
+                    file: "DESIGN.md".into(),
+                    line: idx + 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The `code` spans of a markdown table cell.
+fn backtick_tokens(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        out.push(after[..end].to_owned());
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+/// Expands `{a,b,c}` alternations: `x.{t,b}.y` → `x.t.y`, `x.b.y`.
+/// Braced placeholders without commas (`{op}`) are left for the wildcard
+/// classifier.
+fn expand_alternations(name: &str) -> Vec<String> {
+    let Some(open) = name.find('{') else { return vec![name.to_owned()] };
+    let Some(close_rel) = name[open..].find('}') else { return vec![name.to_owned()] };
+    let close = open + close_rel;
+    let inner = &name[open + 1..close];
+    if !inner.contains(',') {
+        return vec![name.to_owned()];
+    }
+    let mut out = Vec::new();
+    for alt in inner.split(',') {
+        let candidate = format!("{}{}{}", &name[..open], alt.trim(), &name[close + 1..]);
+        out.extend(expand_alternations(&candidate));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    fn pat(name: &str) -> Vec<Seg> {
+        parse_segs(name)
+    }
+
+    #[test]
+    fn unification_rules() {
+        assert!(unify(&pat("a.b.c"), &pat("a.b.c")));
+        assert!(!unify(&pat("a.b.c"), &pat("a.b.d")));
+        assert!(unify(&pat("exec.{op}.rows"), &pat("exec.<op>.rows")));
+        assert!(unify(&pat("exec.<op>.rows"), &pat("exec.scan.rows")));
+        // A wildcard consumes one or more segments.
+        assert!(unify(
+            &pat("faults.injected.<point>.<kind>"),
+            &pat("faults.injected.net.write.err")
+        ));
+        assert!(!unify(&pat("a.<x>"), &pat("a")));
+        assert!(!unify(&pat("a.b"), &pat("a.b.c")));
+    }
+
+    #[test]
+    fn alternation_expansion() {
+        assert_eq!(
+            expand_alternations("netproto.{text,binary}.bytes_sent"),
+            vec!["netproto.text.bytes_sent", "netproto.binary.bytes_sent"]
+        );
+        assert_eq!(expand_alternations("exec.{op}.rows"), vec!["exec.{op}.rows"]);
+    }
+
+    const DESIGN: &str = "\
+Some prose.
+
+**Metric inventory** (name → kind):
+
+| Metric | Kind |
+|---|---|
+| `exec.<op>.rows` (`scan`, `filter`) | counter |
+| `netproto.{text,binary}.bytes_sent` / `.bytes_received` | counter |
+| `pool.morsels` | counter |
+
+Naming convention: `<substrate>.<site>.<what>` prose is not a row.
+";
+
+    #[test]
+    fn inventory_parsing() {
+        let pats = parse_inventory(DESIGN);
+        let names: Vec<&str> = pats.iter().map(|p| p.raw.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "exec.<op>.rows",
+                "netproto.text.bytes_sent",
+                "netproto.binary.bytes_sent",
+                "netproto.text.bytes_received",
+                "netproto.binary.bytes_received",
+                "pool.morsels",
+            ],
+            "prose after the table must not be parsed"
+        );
+    }
+
+    #[test]
+    fn undocumented_tick_flagged() {
+        let files = vec![scan_str(
+            "crates/a/src/x.rs",
+            "fn f() { metrics::counter(\"pool.morsels\").incr(); metrics::counter(\"rogue.metric\").incr(); }\n",
+        )];
+        let found = run(&files, Some(DESIGN));
+        assert!(found.iter().any(|f| f.message.contains("`rogue.metric`")), "{found:?}");
+        assert!(!found
+            .iter()
+            .any(|f| f.message.contains("`pool.morsels`") && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn documented_but_never_ticked_flagged() {
+        let files = vec![scan_str(
+            "crates/a/src/x.rs",
+            "fn f() { metrics::counter(\"pool.morsels\").incr(); metrics::counter(&format!(\"exec.{op}.rows\")).incr(); metrics::counter(\"netproto.text.bytes_sent\").incr(); }\n",
+        )];
+        let found = run(&files, Some(DESIGN));
+        // binary + both received variants have no ticks.
+        assert!(
+            found.iter().any(|f| f.message.contains("`netproto.binary.bytes_sent`")),
+            "{found:?}"
+        );
+        assert!(
+            !found.iter().any(|f| f.message.contains("`exec.{op}.rows`")),
+            "format! literal ticks the wildcard: {found:?}"
+        );
+    }
+
+    #[test]
+    fn non_literal_name_flagged() {
+        let files = vec![scan_str(
+            "crates/a/src/x.rs",
+            "fn f(name: &str) { metrics::counter(name).incr(); }\n",
+        )];
+        let found = run(&files, Some(DESIGN));
+        assert_eq!(found.iter().filter(|f| f.message.contains("not a string literal")).count(), 1);
+    }
+
+    #[test]
+    fn pins_checked_against_both_sides() {
+        let files = vec![
+            scan_str("crates/a/src/x.rs", "fn f() { metrics::counter(\"pool.morsels\").incr(); }\n"),
+            scan_str(
+                "tests/metrics_exactly_once.rs",
+                "fn t() { assert_eq!(delta.counter(\"pool.morsels\"), 1); assert_eq!(delta.counter(\"ghost.pin\"), 1); }\n",
+            ),
+        ];
+        let found = run(&files, Some(DESIGN));
+        assert!(
+            found.iter().any(|f| f.message.contains("pinned metric `ghost.pin` is missing")),
+            "{found:?}"
+        );
+        assert!(
+            found.iter().any(|f| f.message.contains("pinned metric `ghost.pin` has no tick")),
+            "{found:?}"
+        );
+        assert!(!found.iter().any(|f| f.message.contains("`pool.morsels`")
+            && f.pass == "metrics"
+            && f.message.contains("pinned")));
+    }
+
+    #[test]
+    fn test_lines_and_registry_excluded() {
+        let files = vec![
+            scan_str(
+                "crates/a/src/x.rs",
+                "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { metrics::counter(\"test.only\").incr(); }\n}\n",
+            ),
+            scan_str(
+                "crates/columnar/src/metrics.rs",
+                "fn doc() { metrics::counter(\"registry.example\").incr(); }\n",
+            ),
+        ];
+        let found = run(&files, Some(DESIGN));
+        assert!(!found.iter().any(|f| f.message.contains("test.only")), "{found:?}");
+        assert!(!found.iter().any(|f| f.message.contains("registry.example")), "{found:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Panic-free hot paths and registry-sourced harness timing — the
+//! original `cargo xtask lint` rules, re-homed on the masked scanner.
+//!
+//! The move to [`crate::scan`] fixes the old substring false positives:
+//! a `panic!` inside a string literal, a `// .unwrap() is fine here`
+//! comment, or a doc example no longer trips the lint, and `#[cfg(test)]`
+//! regions are tracked structurally instead of "everything after the
+//! first attribute".
+
+use super::{contains_word, matches_any, Finding};
+use crate::scan::ScannedFile;
+use std::path::PathBuf;
+
+/// Module prefixes whose non-test code must be panic-free: everything the
+/// executor hits per batch plus the resilience surfaces. A trailing `/`
+/// marks a subtree; a bare prefix (`…/parallel`) covers a module file and
+/// its submodule directory alike.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/columnar/src/exec/",
+    "crates/columnar/src/expr/",
+    "crates/columnar/src/faults.rs",
+    "crates/columnar/src/parallel",
+    "crates/columnar/src/persist.rs",
+    "crates/columnar/src/udf.rs",
+    "crates/netproto/src/",
+    "crates/core/src/udf.rs",
+    "crates/ml/src/tree.rs",
+    "crates/ml/src/forest.rs",
+    "crates/ml/src/knn.rs",
+    "crates/ml/src/linear.rs",
+    "crates/ml/src/naive_bayes.rs",
+    "crates/ml/src/model.rs",
+    "crates/ml/src/parallel.rs",
+];
+
+/// Constructs forbidden in hot-path code. Substring matches on masked
+/// text, so `.unwrap()` does not catch `unwrap_or(…)` and `.expect(`
+/// does not catch `.expect_err(`.
+const FORBIDDEN: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!"];
+
+/// Harness modules whose stage timing must come from the metrics registry
+/// (`metrics::time_section`), never raw `Instant` arithmetic.
+pub const REGISTRY_TIMED_PATHS: &[&str] = &["crates/voters/src/pipeline.rs", "crates/bench/src/"];
+
+pub fn run(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        if matches_any(&file.rel, HOT_PATHS) {
+            for (idx, line) in file.masked.lines().enumerate() {
+                let lineno = idx + 1;
+                if file.is_test_line(lineno) || file.line_allowed(lineno) {
+                    continue;
+                }
+                for pat in FORBIDDEN {
+                    if line.contains(pat) {
+                        out.push(Finding {
+                            file: file.rel.clone(),
+                            line: lineno,
+                            pass: "panic",
+                            message: format!(
+                                "forbidden `{pat}` in a hot-path module — surface a typed \
+                                 DbResult error instead of aborting mid-query"
+                            ),
+                            text: file.raw_line(lineno).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+        if matches_any(&file.rel, REGISTRY_TIMED_PATHS) {
+            for (idx, line) in file.masked.lines().enumerate() {
+                let lineno = idx + 1;
+                if file.is_test_line(lineno) || file.line_allowed(lineno) {
+                    continue;
+                }
+                if contains_word(line, "Instant") {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: lineno,
+                        pass: "panic",
+                        message: "raw `Instant` timing in registry-timed harness code — \
+                                  use mlcs_columnar::metrics::time_section so the printed \
+                                  split and a metrics snapshot agree by construction"
+                            .into(),
+                        text: file.raw_line(lineno).to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Informational inventory of `unsafe` occurrences (word-boundary,
+/// masked, non-test) so new unsafe code is visible in review. The
+/// analyzer's own sources are excluded — they discuss `unsafe` as data.
+pub fn unsafe_inventory(files: &[ScannedFile]) -> Vec<(PathBuf, usize, String)> {
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file.rel.to_string_lossy().replace('\\', "/");
+        if rel.starts_with("crates/xtask") {
+            continue;
+        }
+        for (idx, line) in file.masked.lines().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            if contains_word(line, "unsafe") {
+                out.push((file.rel.clone(), lineno, file.raw_line(lineno).to_owned()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    #[test]
+    fn flags_and_allows_in_hot_path() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    z.unwrap(); // lint: allow(infallible by construction)\n    let v = o.unwrap_or(0);\n}\n#[cfg(test)]\nmod tests {\n    fn g() { t.unwrap(); }\n}\n";
+        let found = run(&[scan_str("crates/columnar/src/exec/join.rs", src)]);
+        let lines: Vec<usize> = found.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn strings_comments_and_doc_examples_clean() {
+        // The old substring lint flagged all three of these.
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {\n    // .unwrap() would be wrong here\n    let s = \"contains panic! text\";\n    let _ = s;\n}\n";
+        assert!(run(&[scan_str("crates/columnar/src/exec/join.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_still_scanned() {
+        // The old lint stopped at the first #[cfg(test)]; the scanner
+        // tracks the region structurally.
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\nfn live() { b.unwrap(); }\n";
+        let found = run(&[scan_str("crates/columnar/src/exec/join.rs", src)]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 5);
+    }
+
+    #[test]
+    fn parallel_submodules_are_hot() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(run(&[scan_str("crates/columnar/src/parallel/lock_order.rs", src)]).len(), 1);
+        assert_eq!(run(&[scan_str("crates/columnar/src/parallel.rs", src)]).len(), 1);
+        assert!(run(&[scan_str("crates/columnar/src/sql/binder.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn raw_timers_flagged_in_harness() {
+        let src = "use std::time::Instant;\n// Instant discussed in a comment is fine.\nfn f() {\n    let t = Instant::now();\n    let ok = Instant::now(); // lint: allow(warm-up timing only)\n}\n";
+        let found = run(&[scan_str("crates/voters/src/pipeline.rs", src)]);
+        let lines: Vec<usize> = found.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 4]);
+    }
+
+    #[test]
+    fn unsafe_inventory_word_boundaries() {
+        let files = vec![scan_str(
+            "crates/a/src/x.rs",
+            "let unsafe_mode = 1;\nunsafe { std::hint::unreachable_unchecked() }\n// unsafe in a comment\n",
+        )];
+        let inv = unsafe_inventory(&files);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].1, 2);
+    }
+}

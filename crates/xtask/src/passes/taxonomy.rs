@@ -1,0 +1,257 @@
+//! Error-taxonomy exhaustiveness pass.
+//!
+//! `DbError` is the one error type every substrate funnels into. The
+//! taxonomy only stays honest if each variant is both *produced* and
+//! *consumed*: a variant nobody constructs is dead taxonomy, a variant
+//! nobody matches (not even the `Display` renderer) is a black hole,
+//! and a hot path that returns `Err(format!(…))`-style strings bypasses
+//! the taxonomy entirely.
+//!
+//! Occurrences of `DbError::Variant` are classified by line shape:
+//! a `=>` after the occurrence, or a `matches!`/`if let`/`while let`
+//! before it, makes it a *pattern*; anything else is a *construction*.
+//! The convenience constructors (`DbError::bind(…)` etc.) count as
+//! constructions of the variant they wrap.
+
+use super::{contains_word, matches_any, Finding};
+use crate::scan::ScannedFile;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The file that defines (and renders) the taxonomy.
+const ERROR_FILE: &str = "crates/columnar/src/error.rs";
+
+/// Lowercase convenience constructors and the variants they build.
+const CTORS: &[(&str, &str)] = &[
+    ("bind", "Bind"),
+    ("internal", "Internal"),
+    ("timeout", "Timeout"),
+    ("plan_invariant", "PlanInvariant"),
+];
+
+/// Stringly-error shapes that bypass the taxonomy, banned in the same
+/// hot paths the panic pass guards.
+const STRINGLY: &[&str] =
+    &["Err(format!", "Err(String::from(", ".map_err(|e| e.to_string())", "Err(e.to_string())"];
+
+#[derive(Default)]
+struct VariantUse {
+    constructed: bool,
+    matched: bool,
+}
+
+pub fn run(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(error_file) = files.iter().find(|f| f.rel == Path::new(ERROR_FILE)) else {
+        // Fixture workspaces without the taxonomy: only the stringly rule
+        // applies.
+        stringly_errors(files, &mut out);
+        return out;
+    };
+    let Some(db_error) = error_file.enums.iter().find(|e| e.name == "DbError") else {
+        stringly_errors(files, &mut out);
+        return out;
+    };
+
+    let mut uses: BTreeMap<&str, VariantUse> =
+        db_error.variants.iter().map(|(n, _)| (n.as_str(), VariantUse::default())).collect();
+    for file in files {
+        let rel = file.rel.to_string_lossy().replace('\\', "/");
+        if rel.starts_with("crates/xtask") || rel.starts_with("shims/") {
+            continue;
+        }
+        classify_occurrences(file, &mut uses);
+    }
+
+    for (name, line) in &db_error.variants {
+        let used = &uses[name.as_str()];
+        if !used.constructed {
+            out.push(Finding {
+                file: error_file.rel.clone(),
+                line: *line,
+                pass: "taxonomy",
+                message: format!(
+                    "`DbError::{name}` is never constructed anywhere in the workspace — \
+                     dead taxonomy; remove the variant or wire up the error path"
+                ),
+                text: error_file.raw_line(*line).to_owned(),
+            });
+        }
+        if !used.matched {
+            out.push(Finding {
+                file: error_file.rel.clone(),
+                line: *line,
+                pass: "taxonomy",
+                message: format!(
+                    "`DbError::{name}` is never matched or rendered — no pattern \
+                     (not even Display) consumes it"
+                ),
+                text: error_file.raw_line(*line).to_owned(),
+            });
+        }
+    }
+    stringly_errors(files, &mut out);
+    out
+}
+
+/// Walks `DbError::<ident>` occurrences in masked, non-test code and
+/// marks each variant constructed and/or matched.
+fn classify_occurrences(file: &ScannedFile, uses: &mut BTreeMap<&str, VariantUse>) {
+    for (idx, line) in file.masked.lines().enumerate() {
+        if file.is_test_line(idx + 1) {
+            continue;
+        }
+        let mut search = 0;
+        while let Some(pos) = line[search..].find("DbError::") {
+            let at = search + pos;
+            search = at + "DbError::".len();
+            let after = &line[at + "DbError::".len()..];
+            let ident: String =
+                after.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if let Some((_, variant)) = CTORS.iter().find(|(c, _)| *c == ident) {
+                if let Some(u) = uses.get_mut(variant) {
+                    u.constructed = true;
+                }
+                continue;
+            }
+            let Some(u) = uses.get_mut(ident.as_str()) else { continue };
+            if is_pattern_line(line, at) {
+                u.matched = true;
+            } else {
+                u.constructed = true;
+            }
+        }
+    }
+}
+
+/// Whether the `DbError::…` occurrence at byte `at` of `line` sits in a
+/// pattern position rather than an expression.
+fn is_pattern_line(line: &str, at: usize) -> bool {
+    let before = &line[..at];
+    let after = &line[at..];
+    after.contains("=>")
+        || before.contains("matches!(")
+        || contains_word(before, "if") && before.contains("let ")
+        || contains_word(before, "while") && before.contains("let ")
+}
+
+fn stringly_errors(files: &[ScannedFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if !matches_any(&file.rel, super::panics::HOT_PATHS) {
+            continue;
+        }
+        for (idx, line) in file.masked.lines().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) || file.line_allowed(lineno) {
+                continue;
+            }
+            for pat in STRINGLY {
+                if line.contains(pat) {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: lineno,
+                        pass: "taxonomy",
+                        message: format!(
+                            "stringly error `{pat}…` in a hot path — construct a typed \
+                             `DbError` variant so callers can match on it"
+                        ),
+                        text: file.raw_line(lineno).to_owned(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    fn error_rs(variants: &str) -> ScannedFile {
+        scan_str(
+            ERROR_FILE,
+            &format!(
+                "pub enum DbError {{\n{variants}\n}}\nimpl DbError {{\n    pub fn internal(m: String) -> Self {{ DbError::Internal(m) }}\n}}\n"
+            ),
+        )
+    }
+
+    #[test]
+    fn unconstructed_variant_flagged() {
+        let files = vec![
+            error_rs("    Io(String),\n    Ghost(String),"),
+            scan_str(
+                "crates/a/src/x.rs",
+                "fn f() -> Result<(), DbError> { Err(DbError::Io(s)) }\nfn g(e: &DbError) { match e { DbError::Io(m) => p(m), DbError::Ghost(m) => p(m) } }\n",
+            ),
+        ];
+        let found = run(&files);
+        assert!(
+            found.iter().any(|f| f.message.contains("`DbError::Ghost` is never constructed")),
+            "{found:?}"
+        );
+        assert!(!found.iter().any(|f| f.message.contains("`DbError::Io`")), "{found:?}");
+    }
+
+    #[test]
+    fn unmatched_variant_flagged() {
+        let files = vec![
+            error_rs("    Io(String),\n    Hole(String),"),
+            scan_str(
+                "crates/a/src/x.rs",
+                "fn f() { let _ = DbError::Io(s); let _ = DbError::Hole(s); }\nfn g(e: &DbError) { if let DbError::Io(m) = e { p(m) } }\n",
+            ),
+        ];
+        let found = run(&files);
+        assert!(
+            found.iter().any(|f| f.message.contains("`DbError::Hole` is never matched")),
+            "{found:?}"
+        );
+        assert!(!found.iter().any(|f| f.message.contains("`DbError::Io`")), "{found:?}");
+    }
+
+    #[test]
+    fn display_arm_counts_as_match_and_ctor_as_construction() {
+        let files = vec![scan_str(
+            ERROR_FILE,
+            "pub enum DbError {\n    Internal(String),\n}\nimpl DbError {\n    pub fn internal(m: String) -> Self { DbError::Internal(m) }\n}\nimpl fmt::Display for DbError {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {\n        match self {\n            DbError::Internal(m) => write!(f, \"internal: {m}\"),\n        }\n    }\n}\n",
+        )];
+        let found = run(&files);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn matches_macro_is_a_pattern() {
+        let files = vec![
+            error_rs("    Timeout { path: String },"),
+            scan_str(
+                "crates/a/src/x.rs",
+                "fn f(e: &DbError) -> bool { matches!(e, DbError::Timeout { .. }) }\nfn g() -> DbError { DbError::timeout(\"net.read\") }\n",
+            ),
+        ];
+        let found = run(&files);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn stringly_error_in_hot_path_flagged() {
+        let files = vec![scan_str(
+            "crates/netproto/src/server.rs",
+            "fn f() -> Result<(), String> {\n    Err(format!(\"boom {x}\"))\n}\n",
+        )];
+        let found = run(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("stringly error"));
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn stringly_error_outside_hot_path_ignored() {
+        let files = vec![scan_str(
+            "crates/bench/src/lib.rs",
+            "fn f() -> Result<(), String> { Err(format!(\"boom\")) }\n",
+        )];
+        assert!(run(&files).is_empty());
+    }
+}

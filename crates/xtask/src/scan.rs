@@ -1,0 +1,772 @@
+//! A small, std-only Rust source scanner: comment/string-aware masking
+//! plus a per-file item inventory.
+//!
+//! Every analysis pass works on a [`ScannedFile`], never on raw text, so
+//! a pattern match can no longer fire inside a string literal, a comment,
+//! or a doc example — the substring false positives the old lint had.
+//!
+//! The scanner is a character-class tokenizer, not a parser: it tracks
+//! exactly the lexical state needed to blank out non-code bytes (line and
+//! nested block comments, plain/raw/byte string literals, char literals
+//! vs. lifetimes) while preserving byte offsets and line structure, then
+//! runs cheap structural sweeps over the masked text to inventory
+//! functions, enums (with variants), `#[cfg(test)]` regions, and
+//! `// lint: allow(reason)` escape markers.
+
+use std::path::PathBuf;
+
+/// A captured string literal (plain, raw, or byte) with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// Literal contents, without delimiters and unprocessed (escape
+    /// sequences are kept verbatim — the passes only match names).
+    pub value: String,
+    /// Byte offset of the opening delimiter in the file.
+    pub offset: usize,
+    /// 1-based line of the opening delimiter.
+    pub line: usize,
+}
+
+/// One `// lint: allow(...)` escape marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-based line the marker sits on.
+    pub line: usize,
+    /// The reason inside the parentheses; `None` when the marker is
+    /// malformed (no closing paren or an empty reason).
+    pub reason: Option<String>,
+}
+
+impl AllowMarker {
+    /// Whether this marker is well-formed and therefore excuses its line.
+    pub fn is_valid(&self) -> bool {
+        self.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+    }
+}
+
+/// An inventoried `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based body range (lines of `{` … `}`), or `None` for a bodyless
+    /// declaration (trait method signature).
+    pub body: Option<(usize, usize)>,
+}
+
+/// An inventoried `enum` item with its variant names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    /// Enum name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Variant names with their 1-based lines.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// A scanned source file: raw text, a code-only mask, and the inventory.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path, normalized to forward slashes.
+    pub rel: PathBuf,
+    /// Original file contents.
+    pub raw: String,
+    /// Same length as `raw`, with comments and string/char literals
+    /// blanked to spaces (newlines preserved), so pattern matches can
+    /// only hit real code.
+    pub masked: String,
+    /// Every string literal, in file order.
+    pub strings: Vec<StrLit>,
+    /// Every `lint: allow` marker, in file order.
+    pub allows: Vec<AllowMarker>,
+    /// Per line (0-based index), whether the line is inside a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Inventoried functions.
+    pub fns: Vec<FnItem>,
+    /// Inventoried enums.
+    pub enums: Vec<EnumItem>,
+}
+
+impl ScannedFile {
+    /// The masked (code-only) text of 1-based `line`.
+    pub fn masked_line(&self, line: usize) -> &str {
+        self.masked.lines().nth(line - 1).unwrap_or("")
+    }
+
+    /// The raw text of 1-based `line`.
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.raw.lines().nth(line - 1).unwrap_or("")
+    }
+
+    /// Whether 1-based `line` is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Whether 1-based `line` is excused by a *well-formed* allow marker:
+    /// either a trailing marker on the line itself, or a marker that is
+    /// the whole line directly above (rustfmt-stable placement for lines
+    /// too long to carry a trailing comment).
+    pub fn line_allowed(&self, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.is_valid()
+                && (a.line == line
+                    || (a.line + 1 == line && self.masked_line(a.line).trim().is_empty()))
+        })
+    }
+}
+
+/// Scans `content` as the file `rel`.
+pub fn scan_str(rel: impl Into<PathBuf>, content: &str) -> ScannedFile {
+    let raw = content.to_owned();
+    let (masked, strings) = mask(&raw);
+    let allows = find_allow_markers(&raw, &masked);
+    let test_lines = find_test_lines(&masked);
+    let fns = find_fns(&masked);
+    let enums = find_enums(&masked);
+    ScannedFile { rel: rel.into(), raw, masked, strings, allows, test_lines, fns, enums }
+}
+
+/// Lexical state for [`mask`].
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth.
+    BlockComment(usize),
+    /// Plain or byte string.
+    Str,
+    /// Raw string with `n` hashes in the delimiter.
+    RawStr(usize),
+}
+
+/// Blanks comments and string/char literals to spaces (preserving
+/// newlines and byte offsets) and collects the string literals.
+fn mask(raw: &str) -> (String, Vec<StrLit>) {
+    let bytes = raw.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut lit_start = 0usize; // content start of the current literal
+    let mut lit_line = 0usize;
+    let mut lit_open = 0usize; // offset of the opening delimiter
+
+    macro_rules! blank {
+        ($idx:expr) => {
+            if out[$idx] != b'\n' {
+                out[$idx] = b' ';
+            }
+        };
+    }
+    // Inclusive-range form of `blank!`, newline-preserving like it.
+    fn blank_range(out: &mut [u8], lo: usize, hi: usize) {
+        for b in &mut out[lo..=hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+        }
+        match state {
+            State::Code => {
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = State::LineComment;
+                        blank!(i);
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = State::BlockComment(1);
+                        blank!(i);
+                        blank!(i + 1);
+                        i += 2;
+                        continue;
+                    }
+                    b'"' => {
+                        state = State::Str;
+                        lit_open = i;
+                        lit_start = i + 1;
+                        lit_line = line;
+                        blank!(i);
+                    }
+                    b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                        // r"…", r#"…"#, br"…", b"…" — find the hashes and
+                        // the opening quote.
+                        let mut j = i;
+                        if bytes[j] == b'b' {
+                            j += 1;
+                        }
+                        let is_raw = bytes.get(j) == Some(&b'r');
+                        if is_raw {
+                            j += 1;
+                        }
+                        let mut hashes = 0;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // is_raw_string_start guarantees a quote at j.
+                        blank_range(&mut out, i, j);
+                        state = if is_raw { State::RawStr(hashes) } else { State::Str };
+                        lit_open = i;
+                        lit_start = j + 1;
+                        lit_line = line;
+                        i = j + 1;
+                        continue;
+                    }
+                    b'\'' => {
+                        if let Some(end) = char_literal_end(bytes, i) {
+                            // Blank the whole char literal.
+                            blank_range(&mut out, i, end);
+                            i = end + 1;
+                            continue;
+                        }
+                        // Lifetime — leave as code.
+                    }
+                    _ => {}
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                } else {
+                    blank!(i);
+                }
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    blank!(i);
+                    blank!(i + 1);
+                    i += 2;
+                    continue;
+                }
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    blank!(i);
+                    blank!(i + 1);
+                    i += 2;
+                    continue;
+                }
+                blank!(i);
+            }
+            State::Str => {
+                if b == b'\\' {
+                    blank!(i);
+                    if i + 1 < bytes.len() {
+                        blank!(i + 1);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b == b'"' {
+                    strings.push(StrLit {
+                        value: raw[lit_start..i].to_owned(),
+                        offset: lit_open,
+                        line: lit_line,
+                    });
+                    state = State::Code;
+                }
+                blank!(i);
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    strings.push(StrLit {
+                        value: raw[lit_start..i].to_owned(),
+                        offset: lit_open,
+                        line: lit_line,
+                    });
+                    blank_range(&mut out, i, (i + hashes).min(bytes.len() - 1));
+                    state = State::Code;
+                    i += 1 + hashes;
+                    continue;
+                }
+                blank!(i);
+            }
+        }
+        i += 1;
+    }
+    // String::from_utf8 cannot fail: only ASCII bytes were overwritten,
+    // and multi-byte sequences are blanked byte-for-byte below 0x80 only
+    // when they are ASCII. Replace any stray continuation bytes too.
+    for b in out.iter_mut() {
+        if *b >= 0x80 {
+            *b = b' ';
+        }
+    }
+    let masked = String::from_utf8(out).unwrap_or_default();
+    (masked, strings)
+}
+
+/// Whether `bytes[i]` starts a raw/byte string literal (`r"`, `r#"`,
+/// `b"`, `br#"` …) at an identifier boundary.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // b"…" (byte string without raw marker)
+    bytes[i] == b'b' && bytes.get(j) == Some(&b'"')
+}
+
+/// Whether the quote at `i` is followed by `hashes` `#`s, closing a raw
+/// string.
+fn closes_raw(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// If the `'` at `i` opens a char literal (not a lifetime), returns the
+/// offset of the closing `'`.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: find the closing quote (handles '\'' and '\u{…}').
+        let mut j = i + 2;
+        while j < bytes.len() {
+            if bytes[j] == b'\'' {
+                return Some(j);
+            }
+            if bytes[j] == b'\n' {
+                return None;
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // 'x' is a char literal only when a quote follows one scalar; 'a
+    // (identifier char, no closing quote right after) is a lifetime.
+    // Handle multi-byte scalars by scanning to the next quote within a
+    // few bytes.
+    let mut j = i + 1;
+    let limit = (i + 6).min(bytes.len());
+    while j < limit {
+        if bytes[j] == b'\'' {
+            return if j > i + 1 { Some(j) } else { None };
+        }
+        if bytes[j] == b'\n' || bytes[j] == b' ' {
+            return None;
+        }
+        // Lifetimes are ASCII identifiers; an identifier char followed by
+        // anything but a prompt quote means lifetime.
+        if (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') && j > i + 1 {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The escape-hatch marker, shared with the passes.
+pub const ALLOW_MARKER: &str = "lint: allow";
+
+/// Finds every allow marker. A marker must *begin* its own line comment
+/// (`code; // lint: allow(reason)`) and carry a non-empty parenthesized
+/// reason to be valid; a parenthesis-less or reason-less marker is
+/// recorded with `reason: None` so the driver can report it as
+/// malformed. Prose *mentioning* the marker mid-comment and string
+/// literals containing it are not markers.
+fn find_allow_markers(raw: &str, masked: &str) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for (idx, (raw_line, masked_line)) in raw.lines().zip(masked.lines()).enumerate() {
+        let Some(pos) = raw_line.find(ALLOW_MARKER) else { continue };
+        // The marker must directly follow a `//` (or `//!`/`///`) opener…
+        let lead = raw_line[..pos].trim_end();
+        let Some(comment_at) = lead.rfind("//") else { continue };
+        if !lead[comment_at..].chars().all(|c| matches!(c, '/' | '!')) {
+            continue; // mid-prose mention, not a marker
+        }
+        // …and that `//` must be a real comment running to end of line:
+        // in the masked text a comment is blank through EOL, while a
+        // string literal containing the marker is followed by live code.
+        let is_comment = masked_line.get(comment_at..).is_none_or(|m| m.trim().is_empty());
+        if !is_comment {
+            continue;
+        }
+        let rest = &raw_line[pos + ALLOW_MARKER.len()..];
+        let reason = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(reason, _)| reason.trim())
+            .filter(|r| !r.is_empty())
+            .map(str::to_owned);
+        out.push(AllowMarker { line: idx + 1, reason });
+    }
+    out
+}
+
+/// Marks every line inside a `#[cfg(test)]` item (module or function).
+fn find_test_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut flags = vec![false; line_count];
+    let bytes = masked.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let at = search + pos;
+        search = at + 1;
+        // The region runs from the attribute to the end of the item it
+        // decorates: the matching close of the first `{`, or the first
+        // `;` if one comes sooner (e.g. a cfg'd `use`).
+        let mut j = at + "#[cfg(test)]".len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = match open {
+            Some(open_at) => matching_brace(bytes, open_at).unwrap_or(bytes.len() - 1),
+            None => j.min(bytes.len().saturating_sub(1)),
+        };
+        let start_line = line_of(masked, at);
+        let end_line = line_of(masked, end);
+        for flag in flags.iter_mut().take(end_line.min(line_count)).skip(start_line - 1) {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+/// Offset of the `}` matching the `{` at `open`, if any.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// 1-based line of byte `offset`.
+fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+/// Reads the identifier starting at `i`, if any.
+fn ident_at(bytes: &[u8], mut i: usize) -> Option<(String, usize)> {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i == start {
+        return None;
+    }
+    Some((String::from_utf8_lossy(&bytes[start..i]).into_owned(), i))
+}
+
+/// Whether the keyword at `pos` sits on identifier boundaries.
+fn word_at(bytes: &[u8], pos: usize, word: &str) -> bool {
+    let before_ok = pos == 0 || {
+        let b = bytes[pos - 1];
+        !b.is_ascii_alphanumeric() && b != b'_'
+    };
+    let after = pos + word.len();
+    let after_ok = after >= bytes.len() || {
+        let b = bytes[after];
+        !b.is_ascii_alphanumeric() && b != b'_'
+    };
+    before_ok && after_ok
+}
+
+/// Inventories `fn` items (name + body line range) from the masked text.
+fn find_fns(masked: &str) -> Vec<FnItem> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find("fn ") {
+        let at = search + pos;
+        search = at + 3;
+        if !word_at(bytes, at, "fn") {
+            continue;
+        }
+        let Some((name, after_name)) = ident_at(bytes, at + 3) else { continue };
+        // Body: first `{` before a `;` at signature level.
+        let mut j = after_name;
+        let mut body = None;
+        let mut angle = 0i32; // generic params may contain , ; keep simple
+        while j < bytes.len() {
+            match bytes[j] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'{' if angle <= 0 => {
+                    if let Some(close) = matching_brace(bytes, j) {
+                        body = Some((line_of(masked, j), line_of(masked, close)));
+                    }
+                    break;
+                }
+                b';' if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnItem { name, line: line_of(masked, at), body });
+    }
+    out
+}
+
+/// Inventories `enum` items with their variant names.
+fn find_enums(masked: &str) -> Vec<EnumItem> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find("enum ") {
+        let at = search + pos;
+        search = at + 5;
+        if !word_at(bytes, at, "enum") {
+            continue;
+        }
+        let Some((name, after_name)) = ident_at(bytes, at + 5) else { continue };
+        let Some(open_rel) = masked[after_name..].find('{') else { continue };
+        let open = after_name + open_rel;
+        let Some(close) = matching_brace(bytes, open) else { continue };
+        let mut variants = Vec::new();
+        // Variants are idents at brace depth 1 outside any payload
+        // parens/brackets, at the start of a comma-separated slot,
+        // skipping attributes.
+        let mut depth = 0usize; // {} depth relative to the enum body
+        let mut pdepth = 0usize; // ()/[] depth inside a variant payload
+        let mut expect_variant = false;
+        let mut j = open;
+        while j <= close {
+            let at_slot = depth == 1 && pdepth == 0;
+            match bytes[j] {
+                b'{' => {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_variant = true;
+                    }
+                }
+                b'}' => depth = depth.saturating_sub(1),
+                b'(' | b'[' => pdepth += 1,
+                b')' | b']' => pdepth = pdepth.saturating_sub(1),
+                b',' if at_slot => expect_variant = true,
+                b'#' if at_slot && expect_variant && bytes.get(j + 1) == Some(&b'[') => {
+                    // Skip an attribute `#[…]`.
+                    let mut k = j + 1;
+                    let mut bd = 0;
+                    while k <= close {
+                        match bytes[k] {
+                            b'[' => bd += 1,
+                            b']' => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                }
+                b if at_slot && expect_variant && (b.is_ascii_alphabetic() || b == b'_') => {
+                    if let Some((vname, end)) = ident_at(bytes, j) {
+                        variants.push((vname, line_of(masked, j)));
+                        expect_variant = false;
+                        j = end;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(EnumItem { name, line: line_of(masked, at), variants });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_nested_block_comments() {
+        let f = scan_str("x.rs", "code(); // .unwrap() here\n/* a /* nested */ b */ more();\n");
+        assert!(f.masked.contains("code();"));
+        assert!(f.masked.contains("more();"));
+        assert!(!f.masked.contains(".unwrap()"));
+        assert!(!f.masked.contains("nested"));
+        assert_eq!(f.masked.lines().count(), f.raw.lines().count());
+    }
+
+    #[test]
+    fn masks_strings_and_captures_them() {
+        let f = scan_str("x.rs", "let s = \"panic! inside\"; t(\"two\");\n");
+        assert!(!f.masked.contains("panic!"));
+        assert_eq!(f.strings.len(), 2);
+        assert_eq!(f.strings[0].value, "panic! inside");
+        assert_eq!(f.strings[1].value, "two");
+        assert_eq!(f.strings[0].line, 1);
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and // not a comment\"#; after();\n";
+        let f = scan_str("x.rs", src);
+        assert!(f.masked.contains("after();"));
+        assert!(!f.masked.contains("quotes"));
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].value, "has \"quotes\" and // not a comment");
+    }
+
+    #[test]
+    fn masks_byte_and_double_hash_raw_strings() {
+        let f = scan_str("x.rs", "let a = b\"bytes\"; let b = r##\"x \"# y\"##; end();\n");
+        assert_eq!(f.strings.len(), 2);
+        assert_eq!(f.strings[0].value, "bytes");
+        assert_eq!(f.strings[1].value, "x \"# y");
+        assert!(f.masked.contains("end();"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let f = scan_str("x.rs", "let s = \"a \\\" b\"; code();\n");
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].value, "a \\\" b");
+        assert!(f.masked.contains("code();"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let f = scan_str("x.rs", "fn f<'a>(x: &'a str) { let c = '\"'; let q = '\\''; }\n");
+        assert!(f.masked.contains("'a str"), "lifetime survives: {}", f.masked);
+        assert!(!f.masked.contains("'\"'"));
+        // No string literal was opened by the quote char.
+        assert!(f.strings.is_empty());
+    }
+
+    #[test]
+    fn doc_examples_are_comments() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        let f = scan_str("x.rs", src);
+        assert!(!f.masked.contains("unwrap"));
+        assert_eq!(f.fns.len(), 1);
+    }
+
+    #[test]
+    fn allow_marker_parses_reason() {
+        let f = scan_str("x.rs", "x.unwrap(); // lint: allow(startup only)\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].reason.as_deref(), Some("startup only"));
+        assert!(f.line_allowed(1));
+    }
+
+    #[test]
+    fn malformed_allow_markers_detected() {
+        let f = scan_str(
+            "x.rs",
+            "a(); // lint: allow(\nb(); // lint: allow()\nc(); // lint: allow( )\nd(); // lint: allow no parens\n",
+        );
+        assert_eq!(f.allows.len(), 4);
+        assert!(f.allows.iter().all(|a| !a.is_valid()));
+        assert!(!f.line_allowed(1));
+        assert!(!f.line_allowed(2));
+    }
+
+    #[test]
+    fn own_line_allow_marker_excuses_the_next_line() {
+        let f = scan_str(
+            "x.rs",
+            "// lint: allow(startup only)\na.unwrap();\nb.unwrap();\nc(); // trailing\n",
+        );
+        assert!(f.line_allowed(2), "marker on its own line covers the line below");
+        assert!(!f.line_allowed(3), "…and only that line");
+        // A trailing marker does NOT spill onto the next line.
+        let g = scan_str("x.rs", "a(); // lint: allow(here)\nb.unwrap();\n");
+        assert!(g.line_allowed(1));
+        assert!(!g.line_allowed(2));
+    }
+
+    #[test]
+    fn allow_marker_in_string_is_not_a_marker() {
+        let f = scan_str("x.rs", "let s = \"lint: allow(nope)\";\n");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn after() {}\n";
+        let f = scan_str("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6), "code after the test module is live again");
+    }
+
+    #[test]
+    fn fn_inventory_names_and_bodies() {
+        let src = "fn one() {\n    body();\n}\npub(crate) fn two(x: u8) -> u8 { x }\ntrait T { fn sig(&self); }\n";
+        let f = scan_str("x.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two", "sig"]);
+        assert_eq!(f.fns[0].body, Some((1, 3)));
+        assert_eq!(f.fns[1].body, Some((4, 4)));
+        assert_eq!(f.fns[2].body, None);
+    }
+
+    #[test]
+    fn enum_inventory_lists_variants() {
+        let src = "pub enum E {\n    Plain,\n    #[allow(dead_code)]\n    Tuple(u8, String),\n    Struct { a: u8 },\n}\n";
+        let f = scan_str("x.rs", src);
+        assert_eq!(f.enums.len(), 1);
+        assert_eq!(f.enums[0].name, "E");
+        let names: Vec<&str> = f.enums[0].variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Plain", "Tuple", "Struct"]);
+    }
+
+    #[test]
+    fn enum_variant_payload_fields_not_variants() {
+        let src = "enum E { A { path: String, message: String }, B(Vec<u8>) }\n";
+        let f = scan_str("x.rs", src);
+        let names: Vec<&str> = f.enums[0].variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn masked_offsets_align_with_raw() {
+        let src = "let a = \"s\"; // c\nlet b = 2;\n";
+        let f = scan_str("x.rs", src);
+        assert_eq!(f.raw.len(), f.masked.len());
+        assert_eq!(f.masked_line(2), "let b = 2;");
+    }
+}

@@ -9,6 +9,7 @@
 //! concurrent test in the same binary could move the very counters whose
 //! deltas are asserted here.
 
+use mlcs::columnar::parallel::lock_order::{self, TrackedMutex};
 use mlcs::columnar::persist::{load_database_with, save_database, RecoveryMode};
 use mlcs::columnar::{faults, metrics, Database, Value};
 use mlcs::mlcore::{register_ml_udfs, StoredModel};
@@ -156,4 +157,28 @@ fn counters_move_exactly_once_per_event() {
     let delta = metrics::snapshot().since(&before);
     assert_eq!(delta.counter("persist.recovered_tables"), 1);
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Lock-order tracking: one A→B then B→A inversion is exactly one
+    // violations tick in debug builds (release builds compile the
+    // tracker's bookkeeping out, so the counter must not move).
+    let a = TrackedMutex::new("pin.order.a", ());
+    let b = TrackedMutex::new("pin.order.b", ());
+    lock_order::reset();
+    let before = metrics::snapshot();
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // records the order a → b
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // inverts it: the one violation
+    }
+    let delta = metrics::snapshot().since(&before);
+    let expected = if cfg!(debug_assertions) { 1 } else { 0 };
+    assert_eq!(
+        delta.counter("analyze.lock_order.violations"),
+        expected,
+        "one inversion, one tick (debug builds only)"
+    );
+    lock_order::reset();
 }
