@@ -5,11 +5,26 @@
 //! whole columns at a time (MonetDB's operator-at-a-time model) through the
 //! typed slice accessors ([`Column::i32s`] etc.), which is also exactly how
 //! vectorized UDFs receive their inputs — as borrowed slices, zero-copy.
+//!
+//! ## Compressed representations
+//!
+//! A column may additionally carry a compressed representation
+//! ([`Encoding`]): dictionary (`codes` into a vector of distinct values) or
+//! run-length (`run_ends` over one stored value per run). Encodings are
+//! transparent to the scalar accessors (`value`, `f64_at`, `i64_at`) which
+//! resolve through [`Column::physical_index`]; the typed *slice* accessors
+//! return `None` for encoded columns so vectorized fast paths either handle
+//! the encoding explicitly or fall back after [`Column::decode`]. Encoding
+//! covers the *raw physical* values only — NULL placeholder slots encode
+//! like any other value and the validity bitmap stays logical-length — so
+//! `encode` ∘ `decode` reproduces the original column bit for bit.
 
 use crate::bitmap::Bitmap;
 use crate::error::{DbError, DbResult};
 use crate::strings::{BlobColumn, StringColumn};
 use crate::types::{DataType, Value};
+use std::borrow::Cow;
+use std::fmt;
 
 /// The typed payload of a column.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,22 +101,96 @@ impl ColumnData {
     }
 }
 
+/// Gathers `data[indices[k]]` into a new payload of the same type.
+pub(crate) fn take_data(data: &ColumnData, indices: &[u32]) -> ColumnData {
+    match data {
+        ColumnData::Boolean(v) => {
+            ColumnData::Boolean(indices.iter().map(|&i| v[i as usize]).collect())
+        }
+        ColumnData::Int8(v) => ColumnData::Int8(indices.iter().map(|&i| v[i as usize]).collect()),
+        ColumnData::Int16(v) => ColumnData::Int16(indices.iter().map(|&i| v[i as usize]).collect()),
+        ColumnData::Int32(v) => ColumnData::Int32(indices.iter().map(|&i| v[i as usize]).collect()),
+        ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i as usize]).collect()),
+        ColumnData::Float32(v) => {
+            ColumnData::Float32(indices.iter().map(|&i| v[i as usize]).collect())
+        }
+        ColumnData::Float64(v) => {
+            ColumnData::Float64(indices.iter().map(|&i| v[i as usize]).collect())
+        }
+        ColumnData::Varchar(v) => ColumnData::Varchar(v.take(indices)),
+        ColumnData::Blob(v) => ColumnData::Blob(v.take(indices)),
+    }
+}
+
+/// Physical representation of a column's payload.
+///
+/// `Plain` stores one value per row. `Dict` stores each distinct value once
+/// plus a per-row code. `Rle` stores one value per run plus the exclusive
+/// end offset of each run. See the module docs for the accessor contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// One value per row (the default).
+    Plain,
+    /// Distinct values plus per-row codes.
+    Dict,
+    /// Run values plus exclusive run ends.
+    Rle,
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Encoding::Plain => "plain",
+            Encoding::Dict => "dict",
+            Encoding::Rle => "rle",
+        })
+    }
+}
+
+/// Private per-column representation state. For `Dict`, `data` holds the
+/// dictionary of distinct values and `codes[i]` indexes it; for `Rle`,
+/// `data` holds one value per run and `run_ends[r]` is the exclusive
+/// logical end of run `r` (strictly increasing; the last entry is the
+/// logical length).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Repr {
+    Plain,
+    Dict { codes: Vec<u32> },
+    Rle { run_ends: Vec<u32> },
+}
+
 /// A column: typed data plus optional validity bitmap.
 ///
-/// Invariant: if a validity bitmap is present it has exactly `len()` bits.
-/// NULL slots still hold a placeholder value in the data vector (zero /
-/// empty string) so the typed slices are always fully populated.
-#[derive(Debug, Clone, PartialEq)]
+/// Invariant: if a validity bitmap is present it has exactly `len()` bits
+/// (the *logical* length, regardless of encoding). NULL slots still hold a
+/// placeholder value in the data vector (zero / empty string) so the typed
+/// slices are always fully populated.
+#[derive(Debug, Clone)]
 pub struct Column {
     data: ColumnData,
     validity: Option<Bitmap>,
+    repr: Repr,
+}
+
+impl PartialEq for Column {
+    /// Logical equality: encoded columns compare equal to their plain
+    /// decoding (including placeholder values at NULL slots, matching the
+    /// field-wise comparison plain columns have always used).
+    fn eq(&self, other: &Self) -> bool {
+        if self.repr == Repr::Plain && other.repr == Repr::Plain {
+            return self.data == other.data && self.validity == other.validity;
+        }
+        let a = self.decoded();
+        let b = other.decoded();
+        a.data == b.data && a.validity == b.validity
+    }
 }
 
 macro_rules! from_native {
     ($fn_name:ident, $opt_fn:ident, $native:ty, $variant:ident, $default:expr) => {
         /// Builds an all-valid column from native values.
         pub fn $fn_name(values: Vec<$native>) -> Column {
-            Column { data: ColumnData::$variant(values.into()), validity: None }
+            Column { data: ColumnData::$variant(values.into()), validity: None, repr: Repr::Plain }
         }
 
         /// Builds a nullable column from optional native values.
@@ -125,6 +214,7 @@ macro_rules! from_native {
             Column {
                 data: ColumnData::$variant(data.into()),
                 validity: if any_null { Some(validity) } else { None },
+                repr: Repr::Plain,
             }
         }
     };
@@ -132,8 +222,12 @@ macro_rules! from_native {
 
 macro_rules! slice_accessor {
     ($name:ident, $native:ty, $variant:ident) => {
-        /// Borrowed typed slice, or `None` if the column has another type.
+        /// Borrowed typed slice, or `None` if the column has another type
+        /// or a non-plain encoding (decode first, or handle the encoding).
         pub fn $name(&self) -> Option<&[$native]> {
+            if self.repr != Repr::Plain {
+                return None;
+            }
             match &self.data {
                 ColumnData::$variant(v) => Some(v),
                 _ => None,
@@ -143,7 +237,8 @@ macro_rules! slice_accessor {
 }
 
 impl Column {
-    /// Wraps raw parts into a column, checking the bitmap length invariant.
+    /// Wraps raw parts into a plain column, checking the bitmap length
+    /// invariant.
     pub fn new(data: ColumnData, validity: Option<Bitmap>) -> DbResult<Column> {
         if let Some(bm) = &validity {
             if bm.len() != data.len() {
@@ -154,15 +249,23 @@ impl Column {
                 )));
             }
             if bm.all_set() {
-                return Ok(Column { data, validity: None });
+                return Ok(Column { data, validity: None, repr: Repr::Plain });
             }
         }
-        Ok(Column { data, validity })
+        Ok(Column { data, validity, repr: Repr::Plain })
+    }
+
+    /// Internal constructor: normalizes an all-set bitmap away, trusting
+    /// the caller on lengths (which are correct by construction at every
+    /// call site — gathers and slices preserve shape).
+    pub(crate) fn with_repr(data: ColumnData, validity: Option<Bitmap>, repr: Repr) -> Column {
+        let validity = validity.filter(|bm| !bm.all_set());
+        Column { data, validity, repr }
     }
 
     /// An empty column of the given type.
     pub fn empty(dtype: DataType) -> Column {
-        Column { data: ColumnData::empty(dtype), validity: None }
+        Column { data: ColumnData::empty(dtype), validity: None, repr: Repr::Plain }
     }
 
     /// A column of `len` NULLs of the given type.
@@ -187,7 +290,7 @@ impl Column {
                 }
             }
         }
-        Column { data, validity: Some(Bitmap::filled(len, false)) }
+        Column { data, validity: Some(Bitmap::filled(len, false)), repr: Repr::Plain }
     }
 
     from_native!(from_bools, from_opt_bools, bool, Boolean, false);
@@ -200,12 +303,20 @@ impl Column {
 
     /// Builds an all-valid VARCHAR column.
     pub fn from_strings<'a>(values: impl IntoIterator<Item = &'a str>) -> Column {
-        Column { data: ColumnData::Varchar(StringColumn::from_strs(values)), validity: None }
+        Column {
+            data: ColumnData::Varchar(StringColumn::from_strs(values)),
+            validity: None,
+            repr: Repr::Plain,
+        }
     }
 
     /// Builds an all-valid BLOB column.
     pub fn from_blobs<'a>(values: impl IntoIterator<Item = &'a [u8]>) -> Column {
-        Column { data: ColumnData::Blob(BlobColumn::from_slices(values)), validity: None }
+        Column {
+            data: ColumnData::Blob(BlobColumn::from_slices(values)),
+            validity: None,
+            repr: Repr::Plain,
+        }
     }
 
     /// Builds a column of type `dtype` from scalar [`Value`]s, casting each
@@ -218,14 +329,18 @@ impl Column {
         Ok(b.finish())
     }
 
-    /// Number of rows.
+    /// Number of (logical) rows.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.repr {
+            Repr::Plain => self.data.len(),
+            Repr::Dict { codes } => codes.len(),
+            Repr::Rle { run_ends } => run_ends.last().map_or(0, |&e| e as usize),
+        }
     }
 
     /// True when the column holds zero rows.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The column's data type.
@@ -233,9 +348,150 @@ impl Column {
         self.data.data_type()
     }
 
-    /// The typed payload.
+    /// The *physical* payload: per-row values for plain columns, the
+    /// dictionary for dict columns, per-run values for RLE columns. Callers
+    /// indexing rows directly must hold a plain column (see the typed slice
+    /// accessors) or resolve through [`Column::physical_index`].
     pub fn data(&self) -> &ColumnData {
         &self.data
+    }
+
+    /// The column's physical representation.
+    pub fn encoding(&self) -> Encoding {
+        match &self.repr {
+            Repr::Plain => Encoding::Plain,
+            Repr::Dict { .. } => Encoding::Dict,
+            Repr::Rle { .. } => Encoding::Rle,
+        }
+    }
+
+    /// True when one physical value is stored per row.
+    pub fn is_plain(&self) -> bool {
+        self.repr == Repr::Plain
+    }
+
+    /// Maps a logical row to its physical index in [`Column::data`].
+    #[inline]
+    pub fn physical_index(&self, i: usize) -> usize {
+        match &self.repr {
+            Repr::Plain => i,
+            Repr::Dict { codes } => codes[i] as usize,
+            Repr::Rle { run_ends } => run_ends.partition_point(|&e| e as usize <= i),
+        }
+    }
+
+    /// Dictionary codes and values, if dict-encoded.
+    pub(crate) fn dict_parts(&self) -> Option<(&[u32], &ColumnData)> {
+        match &self.repr {
+            Repr::Dict { codes } => Some((codes, &self.data)),
+            _ => None,
+        }
+    }
+
+    /// Run ends and per-run values, if RLE-encoded.
+    pub(crate) fn rle_parts(&self) -> Option<(&[u32], &ColumnData)> {
+        match &self.repr {
+            Repr::Rle { run_ends } => Some((run_ends, &self.data)),
+            _ => None,
+        }
+    }
+
+    /// Materializes a plain copy (identity clone when already plain). The
+    /// raw data — including NULL placeholder slots — round-trips exactly.
+    pub fn decode(&self) -> Column {
+        match &self.repr {
+            Repr::Plain => self.clone(),
+            Repr::Dict { codes } => Column {
+                data: take_data(&self.data, codes),
+                validity: self.validity.clone(),
+                repr: Repr::Plain,
+            },
+            Repr::Rle { run_ends } => {
+                let mut phys: Vec<u32> = Vec::with_capacity(self.len());
+                let mut start = 0u32;
+                for (run, &end) in run_ends.iter().enumerate() {
+                    for _ in start..end {
+                        phys.push(run as u32);
+                    }
+                    start = end;
+                }
+                Column {
+                    data: take_data(&self.data, &phys),
+                    validity: self.validity.clone(),
+                    repr: Repr::Plain,
+                }
+            }
+        }
+    }
+
+    /// Borrows plain columns, decodes encoded ones.
+    pub fn decoded(&self) -> Cow<'_, Column> {
+        if self.is_plain() {
+            Cow::Borrowed(self)
+        } else {
+            Cow::Owned(self.decode())
+        }
+    }
+
+    /// Re-encodes into the requested representation (decoding first if
+    /// already encoded). Unconditional: ignores the auto-selection
+    /// heuristic, so callers can force a dictionary on all-distinct data.
+    pub fn encode(&self, enc: Encoding) -> Column {
+        crate::encoding::encode(self, enc)
+    }
+
+    /// Encodes per the NDV/run-length heuristic (see [`crate::encoding`]);
+    /// returns a clone when no encoding pays off.
+    pub fn encode_auto(&self) -> Column {
+        crate::encoding::encode_auto(self)
+    }
+
+    /// Validates the encoding invariants: dict codes in range, run ends
+    /// strictly increasing, validity bitmap logical-length. Plain columns
+    /// always pass. Used by the plan verifier and tests.
+    pub fn check_encoding(&self) -> DbResult<()> {
+        if let Some(bm) = &self.validity {
+            if bm.len() != self.len() {
+                return Err(DbError::internal(format!(
+                    "validity bitmap has {} bits but column has {} logical rows",
+                    bm.len(),
+                    self.len()
+                )));
+            }
+        }
+        match &self.repr {
+            Repr::Plain => Ok(()),
+            Repr::Dict { codes } => {
+                let nd = self.data.len();
+                for &c in codes {
+                    if c as usize >= nd {
+                        return Err(DbError::internal(format!(
+                            "dict code {c} out of range for dictionary of {nd}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Repr::Rle { run_ends } => {
+                if run_ends.len() != self.data.len() {
+                    return Err(DbError::internal(format!(
+                        "{} run ends for {} run values",
+                        run_ends.len(),
+                        self.data.len()
+                    )));
+                }
+                let mut prev = 0u32;
+                for (r, &end) in run_ends.iter().enumerate() {
+                    if end <= prev {
+                        return Err(DbError::internal(format!(
+                            "run {r} ends at {end}, not after {prev}"
+                        )));
+                    }
+                    prev = end;
+                }
+                Ok(())
+            }
+        }
     }
 
     /// The validity bitmap, if any rows are NULL.
@@ -265,16 +521,22 @@ impl Column {
     slice_accessor!(f32s, f32, Float32);
     slice_accessor!(f64s, f64, Float64);
 
-    /// The string payload, if this is a VARCHAR column.
+    /// The string payload, if this is a plain VARCHAR column.
     pub fn strings(&self) -> Option<&StringColumn> {
+        if self.repr != Repr::Plain {
+            return None;
+        }
         match &self.data {
             ColumnData::Varchar(v) => Some(v),
             _ => None,
         }
     }
 
-    /// The blob payload, if this is a BLOB column.
+    /// The blob payload, if this is a plain BLOB column.
     pub fn blobs(&self) -> Option<&BlobColumn> {
+        if self.repr != Repr::Plain {
+            return None;
+        }
         match &self.data {
             ColumnData::Blob(v) => Some(v),
             _ => None,
@@ -287,16 +549,17 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
+        let p = self.physical_index(i);
         match &self.data {
-            ColumnData::Boolean(v) => Value::Boolean(v[i]),
-            ColumnData::Int8(v) => Value::Int8(v[i]),
-            ColumnData::Int16(v) => Value::Int16(v[i]),
-            ColumnData::Int32(v) => Value::Int32(v[i]),
-            ColumnData::Int64(v) => Value::Int64(v[i]),
-            ColumnData::Float32(v) => Value::Float32(v[i]),
-            ColumnData::Float64(v) => Value::Float64(v[i]),
-            ColumnData::Varchar(v) => Value::Varchar(v.get(i).to_owned()),
-            ColumnData::Blob(v) => Value::Blob(v.get(i).to_vec()),
+            ColumnData::Boolean(v) => Value::Boolean(v[p]),
+            ColumnData::Int8(v) => Value::Int8(v[p]),
+            ColumnData::Int16(v) => Value::Int16(v[p]),
+            ColumnData::Int32(v) => Value::Int32(v[p]),
+            ColumnData::Int64(v) => Value::Int64(v[p]),
+            ColumnData::Float32(v) => Value::Float32(v[p]),
+            ColumnData::Float64(v) => Value::Float64(v[p]),
+            ColumnData::Varchar(v) => Value::Varchar(v.get(p).to_owned()),
+            ColumnData::Blob(v) => Value::Blob(v.get(p).to_vec()),
         }
     }
 
@@ -306,14 +569,15 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
+        let p = self.physical_index(i);
         Some(match &self.data {
-            ColumnData::Boolean(v) => v[i] as u8 as f64,
-            ColumnData::Int8(v) => v[i] as f64,
-            ColumnData::Int16(v) => v[i] as f64,
-            ColumnData::Int32(v) => v[i] as f64,
-            ColumnData::Int64(v) => v[i] as f64,
-            ColumnData::Float32(v) => v[i] as f64,
-            ColumnData::Float64(v) => v[i],
+            ColumnData::Boolean(v) => v[p] as u8 as f64,
+            ColumnData::Int8(v) => v[p] as f64,
+            ColumnData::Int16(v) => v[p] as f64,
+            ColumnData::Int32(v) => v[p] as f64,
+            ColumnData::Int64(v) => v[p] as f64,
+            ColumnData::Float32(v) => v[p] as f64,
+            ColumnData::Float64(v) => v[p],
             _ => return None,
         })
     }
@@ -324,12 +588,13 @@ impl Column {
         if self.is_null(i) {
             return None;
         }
+        let p = self.physical_index(i);
         Some(match &self.data {
-            ColumnData::Boolean(v) => v[i] as i64,
-            ColumnData::Int8(v) => v[i] as i64,
-            ColumnData::Int16(v) => v[i] as i64,
-            ColumnData::Int32(v) => v[i] as i64,
-            ColumnData::Int64(v) => v[i],
+            ColumnData::Boolean(v) => v[p] as i64,
+            ColumnData::Int8(v) => v[p] as i64,
+            ColumnData::Int16(v) => v[p] as i64,
+            ColumnData::Int32(v) => v[p] as i64,
+            ColumnData::Int64(v) => v[p],
             _ => return None,
         })
     }
@@ -337,6 +602,9 @@ impl Column {
     /// Materializes the whole numeric column as `f64`s; NULLs become NaN.
     /// This is the bridge into the ML library, which trains on f64 matrices.
     pub fn to_f64_vec(&self) -> DbResult<Vec<f64>> {
+        if !self.is_plain() {
+            return self.decode().to_f64_vec();
+        }
         let n = self.len();
         let mut out: Vec<f64> = Vec::with_capacity(n);
         match &self.data {
@@ -365,34 +633,24 @@ impl Column {
     }
 
     /// Gathers rows by index into a new column (`out[k] = self[indices[k]]`).
+    ///
+    /// Dict columns stay dict (codes are gathered, the dictionary is
+    /// shared-by-copy) — the late-materialization fast path. RLE columns
+    /// materialize plain, since an arbitrary gather destroys runs.
     pub fn take(&self, indices: &[u32]) -> Column {
-        let data = match &self.data {
-            ColumnData::Boolean(v) => {
-                ColumnData::Boolean(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Int8(v) => {
-                ColumnData::Int8(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Int16(v) => {
-                ColumnData::Int16(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Int32(v) => {
-                ColumnData::Int32(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Int64(v) => {
-                ColumnData::Int64(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Float32(v) => {
-                ColumnData::Float32(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Float64(v) => {
-                ColumnData::Float64(indices.iter().map(|&i| v[i as usize]).collect())
-            }
-            ColumnData::Varchar(v) => ColumnData::Varchar(v.take(indices)),
-            ColumnData::Blob(v) => ColumnData::Blob(v.take(indices)),
-        };
         let validity = self.validity.as_ref().map(|bm| bm.take(indices));
-        Column::new(data, validity).expect("take preserves shape")
+        match &self.repr {
+            Repr::Plain => Column::with_repr(take_data(&self.data, indices), validity, Repr::Plain),
+            Repr::Dict { codes } => {
+                let gathered: Vec<u32> = indices.iter().map(|&i| codes[i as usize]).collect();
+                Column::with_repr(self.data.clone(), validity, Repr::Dict { codes: gathered })
+            }
+            Repr::Rle { .. } => {
+                let phys: Vec<u32> =
+                    indices.iter().map(|&i| self.physical_index(i as usize) as u32).collect();
+                Column::with_repr(take_data(&self.data, &phys), validity, Repr::Plain)
+            }
+        }
     }
 
     /// Gathers rows by optional index: `None` produces a NULL row. Used by
@@ -426,24 +684,60 @@ impl Column {
         Ok(self.take(&indices))
     }
 
-    /// Copies rows `offset..offset+len` into a new column.
+    /// Copies rows `offset..offset+len` into a new column. Encodings are
+    /// preserved (runs are clipped, codes are sliced) so morsel slices of
+    /// encoded columns stay encoded.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
-        let data = match &self.data {
-            ColumnData::Boolean(v) => ColumnData::Boolean(v[offset..offset + len].to_vec()),
-            ColumnData::Int8(v) => ColumnData::Int8(v[offset..offset + len].to_vec()),
-            ColumnData::Int16(v) => ColumnData::Int16(v[offset..offset + len].to_vec()),
-            ColumnData::Int32(v) => ColumnData::Int32(v[offset..offset + len].to_vec()),
-            ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
-            ColumnData::Float32(v) => ColumnData::Float32(v[offset..offset + len].to_vec()),
-            ColumnData::Float64(v) => ColumnData::Float64(v[offset..offset + len].to_vec()),
-            ColumnData::Varchar(v) => ColumnData::Varchar(v.slice(offset, len)),
-            ColumnData::Blob(v) => ColumnData::Blob(v.slice(offset, len)),
-        };
         let validity = self.validity.as_ref().map(|bm| bm.slice(offset, len));
-        Column::new(data, validity).expect("slice preserves shape")
+        match &self.repr {
+            Repr::Plain => {
+                let data = match &self.data {
+                    ColumnData::Boolean(v) => ColumnData::Boolean(v[offset..offset + len].to_vec()),
+                    ColumnData::Int8(v) => ColumnData::Int8(v[offset..offset + len].to_vec()),
+                    ColumnData::Int16(v) => ColumnData::Int16(v[offset..offset + len].to_vec()),
+                    ColumnData::Int32(v) => ColumnData::Int32(v[offset..offset + len].to_vec()),
+                    ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
+                    ColumnData::Float32(v) => ColumnData::Float32(v[offset..offset + len].to_vec()),
+                    ColumnData::Float64(v) => ColumnData::Float64(v[offset..offset + len].to_vec()),
+                    ColumnData::Varchar(v) => ColumnData::Varchar(v.slice(offset, len)),
+                    ColumnData::Blob(v) => ColumnData::Blob(v.slice(offset, len)),
+                };
+                Column::with_repr(data, validity, Repr::Plain)
+            }
+            Repr::Dict { codes } => Column::with_repr(
+                self.data.clone(),
+                validity,
+                Repr::Dict { codes: codes[offset..offset + len].to_vec() },
+            ),
+            Repr::Rle { run_ends } => {
+                if len == 0 {
+                    return Column::empty(self.data_type());
+                }
+                let first = run_ends.partition_point(|&e| e as usize <= offset);
+                let mut new_ends: Vec<u32> = Vec::new();
+                let mut phys: Vec<u32> = Vec::new();
+                let mut run = first;
+                while run < run_ends.len() {
+                    let end = run_ends[run] as usize;
+                    new_ends.push((end.min(offset + len) - offset) as u32);
+                    phys.push(run as u32);
+                    if end >= offset + len {
+                        break;
+                    }
+                    run += 1;
+                }
+                Column::with_repr(
+                    take_data(&self.data, &phys),
+                    validity,
+                    Repr::Rle { run_ends: new_ends },
+                )
+            }
+        }
     }
 
     /// Appends all rows of `other`, which must have the same data type.
+    /// Either side being encoded decodes first; tables re-encode on their
+    /// own growth schedule.
     pub fn extend(&mut self, other: &Column) -> DbResult<()> {
         if self.data_type() != other.data_type() {
             return Err(DbError::Type(format!(
@@ -452,6 +746,11 @@ impl Column {
                 self.data_type()
             )));
         }
+        if !self.is_plain() {
+            *self = self.decode();
+        }
+        let other = other.decoded();
+        let other: &Column = &other;
         // Materialize a bitmap on either side having NULLs.
         if self.validity.is_none() && other.validity.is_some() {
             self.validity = Some(Bitmap::filled(self.len(), true));
@@ -579,7 +878,7 @@ impl ColumnBuilder {
     /// Finishes the column.
     pub fn finish(self) -> Column {
         let validity = if self.any_null { Some(self.validity) } else { None };
-        Column { data: self.data, validity }
+        Column { data: self.data, validity, repr: Repr::Plain }
     }
 }
 
@@ -712,5 +1011,73 @@ mod tests {
         assert_eq!(c.i64_at(0), Some(3));
         let s = Column::from_strings(["x"]);
         assert_eq!(s.f64_at(0), None);
+    }
+
+    #[test]
+    fn dict_round_trip_is_bit_identical() {
+        let c = Column::from_opt_i32s(vec![Some(2), None, Some(2), Some(5), None, Some(5)]);
+        let d = c.encode(Encoding::Dict);
+        assert_eq!(d.encoding(), Encoding::Dict);
+        assert_eq!(d.len(), 6);
+        assert!(d.i32s().is_none(), "typed slices refuse encoded columns");
+        assert_eq!(d.value(3), Value::Int32(5));
+        assert_eq!(d.value(1), Value::Null);
+        assert_eq!(d.i64_at(5), Some(5));
+        let back = d.decode();
+        assert!(back.is_plain());
+        assert_eq!(back.data(), c.data(), "placeholder slots round-trip too");
+        assert_eq!(back, c);
+        assert_eq!(d, c, "logical equality across encodings");
+        d.check_encoding().unwrap();
+    }
+
+    #[test]
+    fn rle_round_trip_and_slice() {
+        let c = Column::from_i64s(vec![7, 7, 7, 3, 3, 9]);
+        let r = c.encode(Encoding::Rle);
+        assert_eq!(r.encoding(), Encoding::Rle);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.data().len(), 3, "three runs stored");
+        assert_eq!(r.value(2), Value::Int64(7));
+        assert_eq!(r.value(4), Value::Int64(3));
+        assert_eq!(r.decode(), c);
+        r.check_encoding().unwrap();
+        // Slicing clips runs and stays RLE.
+        let s = r.slice(1, 4);
+        assert_eq!(s.encoding(), Encoding::Rle);
+        assert_eq!(s, c.slice(1, 4));
+        s.check_encoding().unwrap();
+    }
+
+    #[test]
+    fn dict_take_stays_dict() {
+        let c = Column::from_strings(["a", "b", "a", "b", "c"]);
+        let d = c.encode(Encoding::Dict);
+        let t = d.take(&[4, 0, 2]);
+        assert_eq!(t.encoding(), Encoding::Dict);
+        assert_eq!(t, c.take(&[4, 0, 2]));
+        // RLE gathers materialize plain.
+        let r = c.encode(Encoding::Rle);
+        let t = r.take(&[4, 0, 2]);
+        assert!(t.is_plain());
+        assert_eq!(t, c.take(&[4, 0, 2]));
+    }
+
+    #[test]
+    fn encoded_extend_decodes() {
+        let mut d = Column::from_i32s(vec![1, 1, 2]).encode(Encoding::Dict);
+        d.extend(&Column::from_i32s(vec![3]).encode(Encoding::Rle)).unwrap();
+        assert!(d.is_plain());
+        assert_eq!(d.i32s().unwrap(), &[1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn encode_plain_decodes() {
+        let c = Column::from_i32s(vec![4, 4, 4]);
+        let r = c.encode(Encoding::Rle);
+        assert_eq!(r.encode(Encoding::Plain), c);
+        // Dict over all-distinct data still works when forced.
+        let u = Column::from_i32s(vec![1, 2, 3]);
+        assert_eq!(u.encode(Encoding::Dict), u);
     }
 }

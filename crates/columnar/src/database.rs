@@ -11,7 +11,7 @@ use crate::sql::execute::{
     evaluate_scalar_subqueries, execute_plan_traced, execute_plan_with, substitute_in_plan,
     ExecOptions, PlanTrace, DEFAULT_PARALLEL_THRESHOLD,
 };
-use crate::sql::optimizer::{optimize, parallel_annotation};
+use crate::sql::optimizer::{explain_annotation, optimize};
 use crate::sql::parser::{parse, parse_many};
 use crate::sql::plan::BoundStatement;
 use crate::table::Table;
@@ -370,8 +370,10 @@ impl Database {
                     )?;
                     // Annotate operators the executor may run in parallel
                     // (expression safety; the row threshold decides at run
-                    // time).
-                    let mut text = plan.display_with(&|n| parallel_annotation(n, functions));
+                    // time), predicates with fusible shapes, and scans over
+                    // encoded tables.
+                    let mut text =
+                        plan.display_with(&|n| explain_annotation(n, functions, catalog));
                     for (i, sub) in scalar_subs.iter().enumerate() {
                         text.push_str(&format!("scalar subquery ${i}:\n{sub}"));
                     }

@@ -1,0 +1,357 @@
+//! Encoding selection and builders for compressed column representations.
+//!
+//! Columns can execute in three physical forms ([`Encoding`]): plain,
+//! dictionary (one entry per distinct value plus per-row codes), and
+//! run-length (one value per run plus exclusive run ends). This module owns
+//! the builders and the auto-selection heuristic; the representation itself
+//! lives inside [`Column`] so every accessor resolves it transparently.
+//!
+//! ## Selection heuristic
+//!
+//! `encode_auto` looks at a column once, in order:
+//!
+//! 1. columns shorter than [`MIN_ENCODE_ROWS`] stay plain — the bookkeeping
+//!    would cost more than the scan it saves;
+//! 2. if one run covers ≥ [`RLE_FACTOR`] rows on average, RLE wins — filters
+//!    and aggregates then touch runs, not rows;
+//! 3. otherwise a dictionary build runs with an NDV cap of `len / 4`
+//!    (bounded by [`DICT_MAX_NDV`]) and bails out early the moment the cap
+//!    is exceeded, so high-cardinality columns pay one hash probe per row
+//!    at most;
+//! 4. anything else stays plain.
+//!
+//! BLOBs are never auto-encoded (model pickles are few and unique).
+//! Setting `MLCS_FORCE_ENCODING=1` drops the row floor to 2 and raises the
+//! NDV cap to the row count, which is how CI forces the encoded paths over
+//! small fixtures. Explicit [`Column::encode`] ignores the heuristic
+//! entirely.
+//!
+//! Encoding covers raw physical values only: NULL placeholder slots are
+//! dictionary entries / run members like any other value and the validity
+//! bitmap is carried unchanged, so decode reproduces the plain column bit
+//! for bit.
+
+use crate::column::{take_data, Column, ColumnData, Encoding, Repr};
+use crate::metrics;
+use crate::types::DataType;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::OnceLock;
+
+/// Columns shorter than this stay plain under the auto heuristic.
+pub const MIN_ENCODE_ROWS: usize = 1024;
+
+/// Average run length required before RLE is chosen.
+pub const RLE_FACTOR: usize = 8;
+
+/// Hard ceiling on dictionary size, whatever the row count.
+pub const DICT_MAX_NDV: usize = 65536;
+
+/// True when `MLCS_FORCE_ENCODING` asks for aggressive encoding (CI smoke
+/// runs use this to exercise the encoded paths over small fixtures).
+pub fn forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("MLCS_FORCE_ENCODING").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    })
+}
+
+/// Unconditionally re-encodes `col` into `enc` (decoding first when the
+/// column is already encoded). Backs [`Column::encode`].
+pub(crate) fn encode(col: &Column, enc: Encoding) -> Column {
+    let plain = col.decoded();
+    let out = match enc {
+        Encoding::Plain => plain.into_owned(),
+        Encoding::Dict => match dict_build(&plain, plain.len()) {
+            Some((values, codes)) => {
+                Column::with_repr(values, plain.validity().cloned(), Repr::Dict { codes })
+            }
+            None => plain.into_owned(),
+        },
+        Encoding::Rle => {
+            let (values, run_ends) = rle_build(&plain);
+            Column::with_repr(values, plain.validity().cloned(), Repr::Rle { run_ends })
+        }
+    };
+    if !out.is_plain() {
+        metrics::counter("exec.encoding.columns_encoded").incr();
+    }
+    out
+}
+
+/// Encodes per the heuristic in the module docs; clones when nothing pays.
+/// Backs [`Column::encode_auto`].
+pub(crate) fn encode_auto(col: &Column) -> Column {
+    let n = col.len();
+    let force = forced();
+    let floor = if force { 2 } else { MIN_ENCODE_ROWS };
+    if !col.is_plain() || n < floor || col.data_type() == DataType::Blob {
+        return col.clone();
+    }
+    if count_runs(col) * RLE_FACTOR <= n {
+        return encode(col, Encoding::Rle);
+    }
+    let cap = if force { n.min(DICT_MAX_NDV) } else { (n / 4).clamp(16, DICT_MAX_NDV) };
+    if let Some((values, codes)) = dict_build(col, cap) {
+        let out = Column::with_repr(values, col.validity().cloned(), Repr::Dict { codes });
+        metrics::counter("exec.encoding.columns_encoded").incr();
+        return out;
+    }
+    col.clone()
+}
+
+/// Counts runs of equal raw values (floats compared by bit pattern so the
+/// later decode is exact). An empty column has zero runs.
+fn count_runs(col: &Column) -> usize {
+    match col.data() {
+        ColumnData::Boolean(v) => runs_by(v, |&x| x),
+        ColumnData::Int8(v) => runs_by(v, |&x| x),
+        ColumnData::Int16(v) => runs_by(v, |&x| x),
+        ColumnData::Int32(v) => runs_by(v, |&x| x),
+        ColumnData::Int64(v) => runs_by(v, |&x| x),
+        ColumnData::Float32(v) => runs_by(v, |x| x.to_bits()),
+        ColumnData::Float64(v) => runs_by(v, |x| x.to_bits()),
+        ColumnData::Varchar(s) => {
+            let mut runs = 0;
+            for i in 0..s.len() {
+                if i == 0 || s.get(i) != s.get(i - 1) {
+                    runs += 1;
+                }
+            }
+            runs
+        }
+        ColumnData::Blob(b) => {
+            let mut runs = 0;
+            for i in 0..b.len() {
+                if i == 0 || b.get(i) != b.get(i - 1) {
+                    runs += 1;
+                }
+            }
+            runs
+        }
+    }
+}
+
+fn runs_by<T, K: PartialEq>(v: &[T], key: impl Fn(&T) -> K) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<K> = None;
+    for x in v {
+        let k = key(x);
+        if prev.as_ref() != Some(&k) {
+            runs += 1;
+        }
+        prev = Some(k);
+    }
+    runs
+}
+
+/// Builds `(run values, run ends)` for a plain column.
+fn rle_build(col: &Column) -> (ColumnData, Vec<u32>) {
+    let n = col.len();
+    let mut firsts: Vec<u32> = Vec::new();
+    let mut run_ends: Vec<u32> = Vec::new();
+    match col.data() {
+        ColumnData::Boolean(v) => rle_scan(v, |&x| x, &mut firsts, &mut run_ends),
+        ColumnData::Int8(v) => rle_scan(v, |&x| x, &mut firsts, &mut run_ends),
+        ColumnData::Int16(v) => rle_scan(v, |&x| x, &mut firsts, &mut run_ends),
+        ColumnData::Int32(v) => rle_scan(v, |&x| x, &mut firsts, &mut run_ends),
+        ColumnData::Int64(v) => rle_scan(v, |&x| x, &mut firsts, &mut run_ends),
+        ColumnData::Float32(v) => rle_scan(v, |x| x.to_bits(), &mut firsts, &mut run_ends),
+        ColumnData::Float64(v) => rle_scan(v, |x| x.to_bits(), &mut firsts, &mut run_ends),
+        ColumnData::Varchar(s) => {
+            for i in 0..n {
+                if i == 0 || s.get(i) != s.get(i - 1) {
+                    firsts.push(i as u32);
+                    run_ends.push(i as u32);
+                }
+            }
+            close_runs(&mut run_ends, n);
+        }
+        ColumnData::Blob(b) => {
+            for i in 0..n {
+                if i == 0 || b.get(i) != b.get(i - 1) {
+                    firsts.push(i as u32);
+                    run_ends.push(i as u32);
+                }
+            }
+            close_runs(&mut run_ends, n);
+        }
+    }
+    (take_data(col.data(), &firsts), run_ends)
+}
+
+fn rle_scan<T, K: PartialEq>(
+    v: &[T],
+    key: impl Fn(&T) -> K,
+    firsts: &mut Vec<u32>,
+    run_ends: &mut Vec<u32>,
+) {
+    let mut prev: Option<K> = None;
+    for (i, x) in v.iter().enumerate() {
+        let k = key(x);
+        if prev.as_ref() != Some(&k) {
+            firsts.push(i as u32);
+            run_ends.push(i as u32);
+        }
+        prev = Some(k);
+    }
+    close_runs(run_ends, v.len());
+}
+
+/// Shifts run starts into exclusive run ends: each recorded start becomes
+/// the end of the *previous* run, and the final run ends at `n`.
+fn close_runs(run_ends: &mut Vec<u32>, n: usize) {
+    if run_ends.is_empty() {
+        return;
+    }
+    run_ends.remove(0);
+    run_ends.push(n as u32);
+}
+
+/// Builds `(dictionary, codes)` with first-appearance dictionary order,
+/// bailing out with `None` the moment the dictionary would exceed `cap`.
+fn dict_build(col: &Column, cap: usize) -> Option<(ColumnData, Vec<u32>)> {
+    let cap = cap.max(1);
+    match col.data() {
+        ColumnData::Boolean(v) => {
+            dict_prim(v, cap, |&x| x).map(|(d, c)| (ColumnData::Boolean(d), c))
+        }
+        ColumnData::Int8(v) => dict_prim(v, cap, |&x| x).map(|(d, c)| (ColumnData::Int8(d), c)),
+        ColumnData::Int16(v) => dict_prim(v, cap, |&x| x).map(|(d, c)| (ColumnData::Int16(d), c)),
+        ColumnData::Int32(v) => dict_prim(v, cap, |&x| x).map(|(d, c)| (ColumnData::Int32(d), c)),
+        ColumnData::Int64(v) => dict_prim(v, cap, |&x| x).map(|(d, c)| (ColumnData::Int64(d), c)),
+        ColumnData::Float32(v) => {
+            dict_prim(v, cap, |x| x.to_bits()).map(|(d, c)| (ColumnData::Float32(d), c))
+        }
+        ColumnData::Float64(v) => {
+            dict_prim(v, cap, |x| x.to_bits()).map(|(d, c)| (ColumnData::Float64(d), c))
+        }
+        ColumnData::Varchar(s) => {
+            let mut map: HashMap<&str, u32> = HashMap::new();
+            let mut firsts: Vec<u32> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(s.len());
+            for i in 0..s.len() {
+                let next = firsts.len() as u32;
+                let code = *map.entry(s.get(i)).or_insert(next);
+                if code == next {
+                    if firsts.len() >= cap {
+                        return None;
+                    }
+                    firsts.push(i as u32);
+                }
+                codes.push(code);
+            }
+            Some((take_data(col.data(), &firsts), codes))
+        }
+        ColumnData::Blob(b) => {
+            let mut map: HashMap<&[u8], u32> = HashMap::new();
+            let mut firsts: Vec<u32> = Vec::new();
+            let mut codes: Vec<u32> = Vec::with_capacity(b.len());
+            for i in 0..b.len() {
+                let next = firsts.len() as u32;
+                let code = *map.entry(b.get(i)).or_insert(next);
+                if code == next {
+                    if firsts.len() >= cap {
+                        return None;
+                    }
+                    firsts.push(i as u32);
+                }
+                codes.push(code);
+            }
+            Some((take_data(col.data(), &firsts), codes))
+        }
+    }
+}
+
+fn dict_prim<T: Copy, K: Eq + Hash>(
+    v: &[T],
+    cap: usize,
+    key: impl Fn(&T) -> K,
+) -> Option<(Vec<T>, Vec<u32>)> {
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut values: Vec<T> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(v.len());
+    for x in v {
+        let next = values.len() as u32;
+        let code = *map.entry(key(x)).or_insert(next);
+        if code == next {
+            if values.len() >= cap {
+                return None;
+            }
+            values.push(*x);
+        }
+        codes.push(code);
+    }
+    Some((values, codes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_rle_for_long_runs() {
+        let mut v = Vec::new();
+        for run in 0..4i32 {
+            v.extend(std::iter::repeat_n(run, 400));
+        }
+        let c = Column::from_i32s(v);
+        let e = c.encode_auto();
+        assert_eq!(e.encoding(), Encoding::Rle);
+        assert_eq!(e.decode(), c);
+    }
+
+    #[test]
+    fn auto_picks_dict_for_low_ndv() {
+        let v: Vec<i32> = (0..2000).map(|i| i % 7).collect();
+        let c = Column::from_i32s(v);
+        let e = c.encode_auto();
+        assert_eq!(e.encoding(), Encoding::Dict);
+        assert_eq!(e.data().len(), 7);
+        assert_eq!(e.decode(), c);
+    }
+
+    #[test]
+    fn auto_leaves_high_ndv_and_short_columns_plain() {
+        let v: Vec<i32> = (0..2000).collect();
+        assert!(Column::from_i32s(v).encode_auto().is_plain(), "all-distinct stays plain");
+        let short: Vec<i32> = vec![1; 10];
+        assert!(Column::from_i32s(short).encode_auto().is_plain(), "short stays plain");
+    }
+
+    #[test]
+    fn dict_build_bails_at_cap() {
+        let c = Column::from_i64s((0..100).collect());
+        assert!(dict_build(&c, 10).is_none());
+        assert!(dict_build(&c, 100).is_some());
+    }
+
+    #[test]
+    fn float_runs_compare_by_bits() {
+        let c = Column::from_f64s(vec![0.0, -0.0, f64::NAN, f64::NAN]);
+        // -0.0 breaks the run; the NaNs share a bit pattern and merge.
+        assert_eq!(count_runs(&c), 3);
+        let r = c.encode(Encoding::Rle);
+        let back = r.decode();
+        assert_eq!(back.f64s().unwrap()[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(back.f64s().unwrap()[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back.f64s().unwrap()[2].is_nan());
+    }
+
+    #[test]
+    fn nulls_encode_as_placeholders() {
+        let c = Column::from_opt_i32s(vec![Some(1), None, Some(1), None]);
+        let d = c.encode(Encoding::Dict);
+        // Placeholder 0 joins the dictionary; validity is untouched.
+        assert_eq!(d.data().len(), 2);
+        assert_eq!(d.null_count(), 2);
+        assert_eq!(d.decode().data(), c.data());
+    }
+
+    #[test]
+    fn empty_columns_encode() {
+        let c = Column::empty(DataType::Int32);
+        assert_eq!(c.encode(Encoding::Dict).len(), 0);
+        assert_eq!(c.encode(Encoding::Rle).len(), 0);
+    }
+}

@@ -4,6 +4,7 @@ use crate::batch::Batch;
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{DbError, DbResult};
 use crate::exec::{rowkey, Parallelism};
+use crate::metrics;
 use crate::parallel::{parallel_map, Morsel};
 use crate::schema::{Field, Schema};
 use crate::types::{DataType, Value};
@@ -261,6 +262,17 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
     let mut int_index: HashMap<i64, usize> = HashMap::new();
     let mut null_int_group: Option<usize> = None;
     let use_int = rowkey::int_fast_path(&keys);
+    // Single dictionary-encoded group key: group ids come straight off the
+    // codes — one array slot per distinct value, no hash probe per row.
+    let dict_codes: Option<&[u32]> =
+        if keys.len() == 1 { keys[0].dict_parts().map(|(codes, _)| codes) } else { None };
+    let mut code_gid: Vec<Option<usize>> = match dict_codes {
+        Some(_) => vec![None; keys[0].data().len()],
+        None => Vec::new(),
+    };
+    if dict_codes.is_some() {
+        metrics::counter("exec.encoding.dict_rows").add(input.rows() as u64);
+    }
 
     let new_entry = |row: u32| GroupEntry {
         first_row: row,
@@ -275,10 +287,36 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
         groups.push(new_entry(0));
     }
 
+    let mut run_done = vec![false; aggs.len()];
+    if group_keys.is_empty() {
+        run_aggregate(input, aggs, &mut groups[0].states, &mut run_done)?;
+    }
+    let all_run_done = group_keys.is_empty() && !aggs.is_empty() && run_done.iter().all(|&d| d);
+
     let mut keybuf = Vec::new();
     for row in 0..input.rows() {
+        if all_run_done {
+            break;
+        }
         let gid = if group_keys.is_empty() {
             0
+        } else if let Some(codes) = dict_codes {
+            if keys[0].is_null(row) {
+                *null_int_group.get_or_insert_with(|| {
+                    groups.push(new_entry(row as u32));
+                    groups.len() - 1
+                })
+            } else {
+                let code = codes[row] as usize;
+                match code_gid[code] {
+                    Some(g) => g,
+                    None => {
+                        groups.push(new_entry(row as u32));
+                        code_gid[code] = Some(groups.len() - 1);
+                        groups.len() - 1
+                    }
+                }
+            }
         } else if use_int {
             match rowkey::int_key(keys[0], row) {
                 Some(k) => *int_index.entry(k).or_insert_with(|| {
@@ -303,6 +341,9 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
         };
         let entry = &mut groups[gid];
         for (ai, (agg, state)) in aggs.iter().zip(entry.states.iter_mut()).enumerate() {
+            if run_done[ai] {
+                continue;
+            }
             let arg_col = agg.arg.map(|i| input.column(i).as_ref());
             if agg.distinct {
                 let c = arg_col.ok_or_else(|| missing_arg("DISTINCT aggregate"))?;
@@ -323,6 +364,90 @@ pub fn hash_aggregate(input: &Batch, group_keys: &[usize], aggs: &[AggCall]) -> 
     }
 
     assemble_output(input, group_keys, aggs, &arg_types, groups)
+}
+
+/// Ungrouped run-at-a-time aggregation over RLE argument columns: folds
+/// whole runs instead of rows for the aggregates where doing so is exact —
+/// `COUNT(*)`, `COUNT(x)`, integer `SUM` (i128 accumulation makes
+/// `v * run_len` identical to repeated addition), and `MIN`/`MAX` (every
+/// row of a run is equal). Float sums stay row-at-a-time: `v * k` and `k`
+/// additions round differently, and encoded execution must be bit-identical
+/// to plain. Columns with a validity bitmap also stay row-at-a-time (a run
+/// may mix valid and NULL rows). Marks handled aggregates in `done` so the
+/// row loop skips them.
+fn run_aggregate(
+    input: &Batch,
+    aggs: &[AggCall],
+    states: &mut [AggState],
+    done: &mut [bool],
+) -> DbResult<()> {
+    for (ai, (agg, state)) in aggs.iter().zip(states.iter_mut()).enumerate() {
+        if agg.distinct {
+            continue;
+        }
+        if agg.func == AggFunc::CountStar {
+            if let AggState::Count(n) = state {
+                *n += input.rows() as i64;
+                done[ai] = true;
+            }
+            continue;
+        }
+        let Some(arg) = agg.arg else { continue };
+        let col = input.column(arg).as_ref();
+        if col.validity().is_some() {
+            continue;
+        }
+        let Some((run_ends, _)) = col.rle_parts() else { continue };
+        let n_runs = run_ends.len() as u64;
+        let handled = if matches!(state, AggState::MinMax { .. }) {
+            let mut start = 0u32;
+            for &end in run_ends {
+                state.update(Some(col), start as usize)?;
+                start = end;
+            }
+            true
+        } else {
+            match state {
+                AggState::Count(n) => {
+                    *n += col.len() as i64; // no validity bitmap: all rows count
+                    true
+                }
+                AggState::SumInt { sum, seen } => {
+                    // Fold into a local accumulator first: the state must not
+                    // move unless every run folds (else the row loop would
+                    // double-count).
+                    let mut acc = 0i128;
+                    let mut any = false;
+                    let mut ok = true;
+                    let mut start = 0u32;
+                    for &end in run_ends {
+                        match col.i64_at(start as usize) {
+                            Some(v) => {
+                                acc += v as i128 * (end - start) as i128;
+                                any = true;
+                            }
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        start = end;
+                    }
+                    if ok {
+                        *sum += acc;
+                        *seen |= any;
+                    }
+                    ok
+                }
+                _ => false,
+            }
+        };
+        if handled {
+            metrics::counter("exec.encoding.rle_runs").add(n_runs);
+            done[ai] = true;
+        }
+    }
+    Ok(())
 }
 
 /// Builds the result batch: group key columns (gathered at each group's
@@ -383,6 +508,13 @@ fn local_aggregate(
 ) -> DbResult<Vec<(LocalKey, GroupEntry)>> {
     let keys: Vec<&Column> = group_keys.iter().map(|&i| input.column(i).as_ref()).collect();
     let use_int = rowkey::int_fast_path(&keys);
+    // The batch is shared (not sliced), so dictionary codes are globally
+    // consistent across morsels and can serve directly as local keys.
+    let dict_codes: Option<&[u32]> =
+        if keys.len() == 1 { keys[0].dict_parts().map(|(codes, _)| codes) } else { None };
+    if dict_codes.is_some() {
+        metrics::counter("exec.encoding.dict_rows").add(m.len as u64);
+    }
     let mut groups: Vec<(LocalKey, GroupEntry)> = Vec::new();
     let mut index: HashMap<LocalKey, usize> = HashMap::new();
     let new_entry = |row: u32| GroupEntry {
@@ -398,7 +530,13 @@ fn local_aggregate(
         let gid = if group_keys.is_empty() {
             0
         } else {
-            let key = if use_int {
+            let key = if let Some(codes) = dict_codes {
+                if keys[0].is_null(row) {
+                    LocalKey::IntNull
+                } else {
+                    LocalKey::Int(codes[row] as i64)
+                }
+            } else if use_int {
                 match rowkey::int_key(keys[0], row) {
                     Some(k) => LocalKey::Int(k),
                     None => LocalKey::IntNull,
@@ -662,6 +800,51 @@ mod tests {
         let aggs = [AggCall { func: AggFunc::Count, arg: Some(0), distinct: true }];
         let out = hash_aggregate_par(&b, &[], &aggs, force_par()).unwrap();
         assert_eq!(out.row(0)[0], Value::Int64(3));
+    }
+
+    #[test]
+    fn dict_group_key_matches_plain() {
+        use crate::column::Encoding;
+        let ks: Vec<Option<i32>> =
+            (0..90).map(|i| if i % 11 == 0 { None } else { Some(i % 6) }).collect();
+        let plain = Batch::from_columns(vec![
+            ("k", Column::from_opt_i32s(ks.clone())),
+            ("x", Column::from_f64s((0..90).map(|i| i as f64).collect())),
+        ])
+        .unwrap();
+        let encoded = Batch::from_columns(vec![
+            ("k", Column::from_opt_i32s(ks).encode(Encoding::Dict)),
+            ("x", Column::from_f64s((0..90).map(|i| i as f64).collect())),
+        ])
+        .unwrap();
+        let aggs = [
+            call(AggFunc::CountStar, None),
+            call(AggFunc::Sum, Some(1)),
+            call(AggFunc::Min, Some(1)),
+        ];
+        let want = hash_aggregate(&plain, &[0], &aggs).unwrap();
+        assert_eq!(hash_aggregate(&encoded, &[0], &aggs).unwrap(), want);
+        assert_eq!(hash_aggregate_par(&encoded, &[0], &aggs, force_par()).unwrap(), want);
+    }
+
+    #[test]
+    fn rle_ungrouped_matches_plain() {
+        use crate::column::Encoding;
+        let xs: Vec<i32> = (0..80).map(|i| i / 10).collect();
+        let plain = Batch::from_columns(vec![("x", Column::from_i32s(xs.clone()))]).unwrap();
+        let encoded =
+            Batch::from_columns(vec![("x", Column::from_i32s(xs).encode(Encoding::Rle))]).unwrap();
+        let aggs = [
+            call(AggFunc::CountStar, None),
+            call(AggFunc::Count, Some(0)),
+            call(AggFunc::Sum, Some(0)),
+            call(AggFunc::Avg, Some(0)),
+            call(AggFunc::Min, Some(0)),
+            call(AggFunc::Max, Some(0)),
+        ];
+        let want = hash_aggregate(&plain, &[], &aggs).unwrap();
+        assert_eq!(hash_aggregate(&encoded, &[], &aggs).unwrap(), want);
+        assert_eq!(hash_aggregate_par(&encoded, &[], &aggs, force_par()).unwrap(), want);
     }
 
     #[test]

@@ -17,7 +17,8 @@ pub use sort::{limit, sort, sort_par, SortKey};
 use crate::batch::Batch;
 use crate::error::{DbError, DbResult};
 use crate::exec::rowkey::encode_key;
-use crate::expr::{eval_predicate, eval_predicate_offset, EvalContext, Expr};
+use crate::expr::{eval_predicate_offset, fuse, EvalContext, Expr};
+use crate::metrics;
 use crate::parallel::{parallel_map, DEFAULT_MORSEL_ROWS};
 use crate::udf::FunctionRegistry;
 use std::collections::HashSet;
@@ -72,6 +73,86 @@ impl Parallelism {
     }
 }
 
+/// How a filter evaluation ran: which specialized paths engaged. Surfaced
+/// through `EXPLAIN ANALYZE` as `[fused]` / `[parallel]` markers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FilterStats {
+    /// The predicate compiled to a fused single-pass kernel.
+    pub fused: bool,
+    /// The morsel-parallel path ran.
+    pub parallel: bool,
+}
+
+/// Evaluates `predicate` over `input` and returns the selection vector of
+/// rows where it is TRUE — the late-materialization primitive: callers
+/// gather only the columns they go on to touch. Tries a fused kernel
+/// first, falling back to vectorized evaluation.
+pub fn filter_sel(
+    input: &Batch,
+    predicate: &Expr,
+    functions: Option<&FunctionRegistry>,
+) -> DbResult<(Vec<u32>, FilterStats)> {
+    filter_sel_offset(input, predicate, functions, 0)
+}
+
+/// [`filter_sel`] with `base` added to every selected index, for morsel
+/// workers stitching per-slice selections back into batch coordinates.
+fn filter_sel_offset(
+    input: &Batch,
+    predicate: &Expr,
+    functions: Option<&FunctionRegistry>,
+    base: usize,
+) -> DbResult<(Vec<u32>, FilterStats)> {
+    if let Some(kernel) = fuse::compile(predicate, input) {
+        let n = input.rows();
+        let mut sel = Vec::new();
+        for i in 0..n {
+            if kernel.eval(i) == Some(true) {
+                sel.push((base + i) as u32);
+            }
+        }
+        metrics::counter("expr.fused.rows").add(n as u64);
+        if kernel.dict_leaves > 0 {
+            metrics::counter("exec.encoding.dict_rows").add(n as u64 * kernel.dict_leaves as u64);
+        }
+        return Ok((sel, FilterStats { fused: true, parallel: false }));
+    }
+    let ctx = EvalContext::new(input, functions);
+    let sel = eval_predicate_offset(&ctx, predicate, base)?;
+    Ok((sel, FilterStats::default()))
+}
+
+/// Morsel-parallel [`filter_sel`]: evaluates the predicate per morsel on
+/// the worker pool (compiling a fused kernel per slice — kernels borrow
+/// their batch, so nothing needs to be `Send`) and stitches the selections
+/// back in row order. Falls back to the serial path below the threshold.
+pub fn filter_sel_par(
+    input: &Batch,
+    predicate: &Expr,
+    functions: Option<&Arc<FunctionRegistry>>,
+    par: Parallelism,
+) -> DbResult<(Vec<u32>, FilterStats)> {
+    if !par.enabled(input.rows()) {
+        return filter_sel(input, predicate, functions.map(Arc::as_ref));
+    }
+    let batch = input.clone();
+    let pred = predicate.clone();
+    let funcs = functions.cloned();
+    let parts = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
+        par.check_deadline()?;
+        let slice = batch.slice(m.start, m.len);
+        filter_sel_offset(&slice, &pred, funcs.as_deref(), m.start)
+    })?;
+    // Slicing preserves encodings, so fusion decides uniformly per morsel.
+    let fused = parts.iter().all(|(_, st)| st.fused);
+    let total: usize = parts.iter().map(|(s, _)| s.len()).sum();
+    let mut keep: Vec<u32> = Vec::with_capacity(total);
+    for (s, _) in parts {
+        keep.extend(s);
+    }
+    Ok((keep, FilterStats { fused, parallel: true }))
+}
+
 /// Filters a batch by a predicate expression, returning only rows where it
 /// evaluates to TRUE.
 pub fn filter(
@@ -79,8 +160,7 @@ pub fn filter(
     predicate: &Expr,
     functions: Option<&FunctionRegistry>,
 ) -> DbResult<Batch> {
-    let ctx = EvalContext::new(input, functions);
-    let sel = eval_predicate(&ctx, predicate)?;
+    let (sel, _) = filter_sel(input, predicate, functions)?;
     if sel.len() == input.rows() {
         return Ok(input.clone()); // nothing filtered out; skip the gather
     }
@@ -96,25 +176,9 @@ pub fn filter_par(
     functions: Option<&Arc<FunctionRegistry>>,
     par: Parallelism,
 ) -> DbResult<Batch> {
-    if !par.enabled(input.rows()) {
-        return filter(input, predicate, functions.map(Arc::as_ref));
-    }
-    let batch = input.clone();
-    let pred = predicate.clone();
-    let funcs = functions.cloned();
-    let sels = parallel_map(input.rows(), par.morsel_rows, par.threads, move |m| {
-        par.check_deadline()?;
-        let slice = batch.slice(m.start, m.len);
-        let ctx = EvalContext::new(&slice, funcs.as_deref());
-        eval_predicate_offset(&ctx, &pred, m.start)
-    })?;
-    let total: usize = sels.iter().map(Vec::len).sum();
-    if total == input.rows() {
+    let (keep, _) = filter_sel_par(input, predicate, functions, par)?;
+    if keep.len() == input.rows() {
         return Ok(input.clone()); // nothing filtered out; skip the gather
-    }
-    let mut keep: Vec<u32> = Vec::with_capacity(total);
-    for s in sels {
-        keep.extend(s);
     }
     Ok(input.take(&keep))
 }

@@ -21,6 +21,9 @@ pub fn encode_value(col: &Column, row: usize, out: &mut Vec<u8>) {
         return;
     }
     out.push(1);
+    // Encoded columns store one physical value per distinct value (dict)
+    // or per run (RLE); resolve the logical row to its physical slot.
+    let row = col.physical_index(row);
     match col.data() {
         ColumnData::Boolean(v) => out.push(v[row] as u8),
         ColumnData::Int8(v) => out.extend_from_slice(&(v[row] as i64).to_le_bytes()),

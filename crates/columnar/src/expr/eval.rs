@@ -10,6 +10,7 @@ use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{DbError, DbResult};
 use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::metrics;
 use crate::types::{DataType, Value};
 use crate::udf::FunctionRegistry;
 use std::cmp::Ordering;
@@ -67,8 +68,11 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
         Expr::Like { expr, pattern, negated } => eval_like(ctx, expr, pattern, *negated),
         Expr::Between { expr, low, high, negated } => eval_between(ctx, expr, low, high, *negated),
         Expr::ScalarFn { func, args } => {
-            let arg_cols: Vec<Column> =
-                args.iter().map(|a| eval(ctx, a)).collect::<DbResult<_>>()?;
+            // Builtins consume typed slices; hand them plain columns.
+            let arg_cols: Vec<Column> = args
+                .iter()
+                .map(|a| eval(ctx, a).map(|c| c.decoded().into_owned()))
+                .collect::<DbResult<_>>()?;
             super::functions::eval_builtin(*func, &arg_cols)
         }
         Expr::Subquery(i) => Err(DbError::internal(format!(
@@ -79,8 +83,11 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
                 DbError::Unsupported("UDF calls are not allowed in this context".into())
             })?;
             let udf = registry.scalar(name)?;
-            let arg_cols: Vec<Arc<Column>> =
-                args.iter().map(|a| eval(ctx, a).map(Arc::new)).collect::<DbResult<_>>()?;
+            // UDFs receive borrowed typed slices; hand them plain columns.
+            let arg_cols: Vec<Arc<Column>> = args
+                .iter()
+                .map(|a| eval(ctx, a).map(|c| Arc::new(c.decoded().into_owned())))
+                .collect::<DbResult<_>>()?;
             let n = arg_cols.iter().map(|c| c.len()).max().unwrap_or(ctx.batch.rows());
             for c in &arg_cols {
                 if c.len() != n && c.len() != 1 {
@@ -110,7 +117,7 @@ pub fn eval(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Column> {
 /// it is TRUE (NULL counts as not-true, per SQL `WHERE`).
 pub fn eval_predicate(ctx: &EvalContext<'_>, expr: &Expr) -> DbResult<Vec<u32>> {
     let rows = ctx.batch.rows();
-    let c = eval(ctx, expr)?;
+    let c = eval(ctx, expr)?.decoded().into_owned();
     let bools = c.bools().ok_or_else(|| {
         DbError::Type(format!("predicate must be BOOLEAN, got {}", c.data_type()))
     })?;
@@ -306,7 +313,93 @@ fn valid_at(validity: &Option<Bitmap>, i: usize) -> bool {
     validity.as_ref().is_none_or(|bm| bm.get(i))
 }
 
+/// True when the pair can be compared from types alone, so a per-distinct
+/// or per-run comparison cannot raise errors a per-row comparison would
+/// have skipped (all-NULL rows never reach the row loop).
+fn cmp_types_total(l: &Column, r: &Column) -> bool {
+    let (lt, rt) = (l.data_type(), r.data_type());
+    lt == rt || (lt.is_numeric() && rt.is_numeric())
+}
+
+/// Encoded comparison fast lanes: a dict or RLE column against a length-1
+/// constant compares once per distinct value (or run), then maps the
+/// verdicts back through the codes (or runs). Returns `Ok(None)` when no
+/// lane applies; the caller decodes and takes the plain path.
+fn eval_comparison_encoded(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Option<Column>> {
+    let (enc, konst, enc_left) = if !l.is_plain() && r.len() == 1 && r.is_plain() {
+        (l, r, true)
+    } else if !r.is_plain() && l.len() == 1 && l.is_plain() {
+        (r, l, false)
+    } else {
+        return Ok(None);
+    };
+    if !cmp_types_total(l, r) {
+        return Ok(None);
+    }
+    let n = enc.len();
+    let validity = combine_validity(l, r, n);
+    // Compare the physical values (dictionary entries or run values) once,
+    // through the same lanes plain columns use, so the verdict per distinct
+    // value is bit-identical to what a row-at-a-time comparison computes.
+    let phys = Column::new(enc.data().clone(), None)?;
+    let verdicts = if enc_left {
+        eval_comparison(op, &phys, konst)?
+    } else {
+        eval_comparison(op, konst, &phys)?
+    };
+    let lut = verdicts
+        .bools()
+        .ok_or_else(|| DbError::internal("comparison produced a non-boolean column"))?;
+    let mut out: Vec<bool> = vec![false; n];
+    if let Some((codes, _)) = enc.dict_parts() {
+        metrics::counter("exec.encoding.dict_rows").add(n as u64);
+        for (i, o) in out.iter_mut().enumerate() {
+            if valid_at(&validity, i) {
+                *o = lut[codes[i] as usize];
+            }
+        }
+    } else if let Some((run_ends, _)) = enc.rle_parts() {
+        metrics::counter("exec.encoding.rle_runs").add(run_ends.len() as u64);
+        let mut start = 0usize;
+        for (run, &end) in run_ends.iter().enumerate() {
+            if lut[run] {
+                for o in out.iter_mut().take(end as usize).skip(start) {
+                    *o = true;
+                }
+            }
+            start = end as usize;
+        }
+        if let Some(bm) = &validity {
+            for (i, o) in out.iter_mut().enumerate() {
+                if !bm.get(i) {
+                    *o = false;
+                }
+            }
+        }
+    } else {
+        return Ok(None);
+    }
+    Column::new(crate::column::ColumnData::Boolean(out), validity).map(Some)
+}
+
 fn eval_comparison(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
+    if let Some(out) = eval_comparison_encoded(op, l, r)? {
+        return Ok(out);
+    }
+    let ld;
+    let l = if l.is_plain() {
+        l
+    } else {
+        ld = l.decode();
+        &ld
+    };
+    let rd;
+    let r = if r.is_plain() {
+        r
+    } else {
+        rd = r.decode();
+        &rd
+    };
     let n = pair_len(l, r)?;
     let (ln, rn) = (l.len(), r.len());
     let validity = combine_validity(l, r, n);
@@ -377,6 +470,20 @@ fn eval_comparison(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
 }
 
 fn eval_logical(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
+    let ld;
+    let l = if l.is_plain() {
+        l
+    } else {
+        ld = l.decode();
+        &ld
+    };
+    let rd;
+    let r = if r.is_plain() {
+        r
+    } else {
+        rd = r.decode();
+        &rd
+    };
     let n = pair_len(l, r)?;
     let (ln, rn) = (l.len(), r.len());
     let (la, ra) = match (l.bools(), r.bools()) {
@@ -428,8 +535,9 @@ fn eval_logical(op: BinaryOp, l: &Column, r: &Column) -> DbResult<Column> {
 fn eval_concat(l: &Column, r: &Column) -> DbResult<Column> {
     let n = pair_len(l, r)?;
     let (ln, rn) = (l.len(), r.len());
-    let ls = l.cast(DataType::Varchar)?;
-    let rs = r.cast(DataType::Varchar)?;
+    // Same-type casts clone, so decode first to guarantee plain strings.
+    let ls = l.decoded().cast(DataType::Varchar)?;
+    let rs = r.decoded().cast(DataType::Varchar)?;
     let (la, ra) = match (ls.strings(), rs.strings()) {
         (Some(la), Some(ra)) => (la, ra),
         _ => return Err(DbError::internal("cast to VARCHAR produced a non-string column")),
@@ -474,6 +582,7 @@ fn eval_unary(op: UnaryOp, c: &Column) -> DbResult<Column> {
             }
         }
         UnaryOp::Not => {
+            let c = c.decoded();
             let bools = c.bools().ok_or_else(|| {
                 DbError::Type(format!("NOT requires BOOLEAN, got {}", c.data_type()))
             })?;
@@ -502,6 +611,7 @@ fn eval_case(
             }
             None => eval(ctx, when)?,
         };
+        let cond = cond.decoded().into_owned();
         if cond.bools().is_none() {
             return Err(DbError::Type("CASE WHEN condition must be BOOLEAN".into()));
         }
@@ -553,6 +663,41 @@ fn eval_in_list(
 ) -> DbResult<Column> {
     let c = eval(ctx, expr)?;
     let items: Vec<Column> = list.iter().map(|e| eval(ctx, e)).collect::<DbResult<_>>()?;
+    // Dict lane: with constant list items, probe each distinct value once
+    // and map the verdicts through the codes, mirroring the row loop below
+    // exactly (NULL rows yield false-and-invalid, matching its output).
+    if let Some((codes, _)) = c.dict_parts() {
+        if items.iter().all(|it| it.len() == 1 && it.is_plain()) {
+            let phys = Column::new(c.data().clone(), None)?;
+            let lut = in_list_columns(&phys, &items, negated)?;
+            let lut_bools =
+                lut.bools().ok_or_else(|| DbError::internal("IN produced a non-boolean column"))?;
+            let n = c.len();
+            metrics::counter("exec.encoding.dict_rows").add(n as u64);
+            let mut out = Vec::with_capacity(n);
+            let mut validity = Bitmap::filled(n, true);
+            let mut any_null = false;
+            for (i, &raw) in codes.iter().enumerate().take(n) {
+                let code = raw as usize;
+                if c.is_null(i) || lut.is_null(code) {
+                    out.push(false);
+                    validity.set(i, false);
+                    any_null = true;
+                } else {
+                    out.push(lut_bools[code]);
+                }
+            }
+            return Column::new(
+                crate::column::ColumnData::Boolean(out),
+                if any_null { Some(validity) } else { None },
+            );
+        }
+    }
+    let c = c.decoded();
+    in_list_columns(&c, &items, negated)
+}
+
+fn in_list_columns(c: &Column, items: &[Column], negated: bool) -> DbResult<Column> {
     let n = c.len();
     let mut out = Vec::with_capacity(n);
     let mut validity = Bitmap::filled(n, true);
@@ -567,7 +712,7 @@ fn eval_in_list(
         }
         let mut found = false;
         let mut saw_null = false;
-        for item in &items {
+        for item in items {
             let w = item.value(bidx(item.len(), i));
             if w.is_null() {
                 saw_null = true;
@@ -630,14 +775,39 @@ fn eval_like(
 ) -> DbResult<Column> {
     let c = eval(ctx, expr)?;
     let p = eval(ctx, pattern)?;
+    // Dict lane: with a constant pattern, run the matcher once per
+    // distinct string and gather the verdicts through the codes.
+    if let Some((codes, _)) = c.dict_parts() {
+        if c.data_type() == DataType::Varchar && p.len() == 1 && p.is_plain() {
+            let phys = Column::new(c.data().clone(), None)?;
+            let lut = like_columns(&phys, &p, negated)?;
+            let lut_bools = lut
+                .bools()
+                .ok_or_else(|| DbError::internal("LIKE produced a non-boolean column"))?;
+            let n = c.len();
+            metrics::counter("exec.encoding.dict_rows").add(n as u64);
+            let validity = combine_validity(&c, &p, n);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(valid_at(&validity, i) && lut_bools[codes[i] as usize]);
+            }
+            return Column::new(crate::column::ColumnData::Boolean(out), validity);
+        }
+    }
+    let c = c.decoded();
+    let p = p.decoded();
+    like_columns(&c, &p, negated)
+}
+
+fn like_columns(c: &Column, p: &Column, negated: bool) -> DbResult<Column> {
     let cs = c
         .strings()
         .ok_or_else(|| DbError::Type(format!("LIKE requires VARCHAR, got {}", c.data_type())))?;
     let ps = p.strings().ok_or_else(|| {
         DbError::Type(format!("LIKE pattern must be VARCHAR, got {}", p.data_type()))
     })?;
-    let n = pair_len(&c, &p)?;
-    let validity = combine_validity(&c, &p, n);
+    let n = pair_len(c, p)?;
+    let validity = combine_validity(c, p, n);
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         if valid_at(&validity, i) {

@@ -4,6 +4,7 @@
 
 mod eval;
 mod functions;
+pub mod fuse;
 
 pub use eval::{eval, eval_predicate, eval_predicate_offset, EvalContext};
 pub use functions::BuiltinScalar;

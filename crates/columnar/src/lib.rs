@@ -43,6 +43,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod database;
+pub mod encoding;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -61,7 +62,7 @@ pub mod verify;
 pub use batch::Batch;
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
-pub use column::{Column, ColumnBuilder, ColumnData};
+pub use column::{Column, ColumnBuilder, ColumnData, Encoding};
 pub use database::{Database, QueryResult, StatementKind};
 pub use error::{DbError, DbResult};
 pub use schema::{Field, Schema};

@@ -255,6 +255,11 @@ pub fn decode_table(name: &str, bytes: &[u8]) -> DbResult<Table> {
 }
 
 fn encode_column(col: &Column, w: &mut Writer) {
+    // The on-disk format stores plain columns only; in-memory encodings
+    // are an execution concern and are re-derived by `Table::from_batch`
+    // when the file is loaded.
+    let col = col.decoded();
+    let col: &Column = &col;
     match col.validity() {
         None => w.put_bool(false),
         Some(bm) => {

@@ -2,7 +2,7 @@
 
 use crate::batch::Batch;
 use crate::catalog::Catalog;
-use crate::column::Column;
+use crate::column::{Column, Encoding};
 use crate::error::{DbError, DbResult};
 use crate::exec;
 use crate::expr::{eval, EvalContext, Expr};
@@ -106,6 +106,12 @@ pub struct NodeStats {
     /// Whether the parallel path actually engaged (threshold met, workers
     /// available, expressions safe).
     pub parallel: bool,
+    /// Whether a fused predicate kernel ran (filters only).
+    pub fused: bool,
+    /// Whether the operator saw dictionary-encoded input columns.
+    pub dict: bool,
+    /// Whether the operator saw run-length-encoded input columns.
+    pub rle: bool,
 }
 
 /// Per-node statistics collected while executing a plan, keyed by node
@@ -159,6 +165,15 @@ impl PlanTrace {
         out.push_str(&format!(", time={})", format_duration(s.elapsed)));
         if s.parallel {
             out.push_str(" [parallel]");
+        }
+        if s.fused {
+            out.push_str(" [fused]");
+        }
+        if s.dict {
+            out.push_str(" [dict]");
+        }
+        if s.rle {
+            out.push_str(" [rle]");
         }
         Some(out)
     }
@@ -234,11 +249,93 @@ pub fn execute_plan_traced(
     execute_node(plan, catalog, functions, opts, Some(trace))
 }
 
-/// The recursive executor behind [`execute_plan_with`], without the
-/// per-entry verification pass. Each node's output rows and inclusive wall
-/// time feed the `exec.<op>.rows` / `exec.<op>.time_ns` registry metrics,
-/// and — when tracing — the per-node [`PlanTrace`] used by
-/// `EXPLAIN ANALYZE`.
+/// A batch plus an optional selection vector over it — the unit flowing
+/// between pipeline-friendly operators (scan → filter → project/aggregate).
+/// A filter records *which* rows survive without gathering them; the
+/// consumer then gathers only the columns it actually touches (late
+/// materialization). `sel` indices are strictly increasing row numbers
+/// into `batch`; `None` means all rows.
+struct ExecView {
+    batch: Batch,
+    sel: Option<Vec<u32>>,
+}
+
+impl ExecView {
+    fn full(batch: Batch) -> ExecView {
+        ExecView { batch, sel: None }
+    }
+
+    /// Logical row count (after the selection).
+    fn rows(&self) -> usize {
+        self.sel.as_ref().map_or(self.batch.rows(), Vec::len)
+    }
+
+    /// Gathers the selected rows across all columns. A full selection is
+    /// the identity (selections are increasing), so no gather happens.
+    fn materialize(self) -> Batch {
+        match self.sel {
+            None => self.batch,
+            Some(s) if s.len() == self.batch.rows() => self.batch,
+            Some(s) => self.batch.take(&s),
+        }
+    }
+
+    /// The late-materialization gather: only the columns in `cols`, only
+    /// the selected rows. Dictionary columns gather codes, not values.
+    fn gather(&self, cols: &[usize]) -> DbResult<Batch> {
+        let narrow = self.batch.project(cols)?;
+        Ok(match &self.sel {
+            None => narrow,
+            Some(s) if s.len() == self.batch.rows() => narrow,
+            Some(s) => narrow.take(s),
+        })
+    }
+}
+
+/// Per-operator execution flags feeding [`NodeStats`] markers.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpFlags {
+    parallel: bool,
+    fused: bool,
+    dict: bool,
+    rle: bool,
+}
+
+impl OpFlags {
+    /// Flags with dict/rle derived from the columns of `b`.
+    fn encodings(b: &Batch) -> OpFlags {
+        OpFlags {
+            dict: b.columns().iter().any(|c| c.encoding() == Encoding::Dict),
+            rle: b.columns().iter().any(|c| c.encoding() == Encoding::Rle),
+            ..OpFlags::default()
+        }
+    }
+}
+
+/// The sorted, deduplicated input columns referenced by `exprs`.
+fn referenced(exprs: &[&Expr]) -> Vec<usize> {
+    let mut refs = Vec::new();
+    for e in exprs {
+        e.referenced_columns(&mut refs);
+    }
+    refs.sort_unstable();
+    refs.dedup();
+    refs
+}
+
+/// The remap table sending original column index → position in `refs`
+/// (for [`Expr::remap_columns`] after a [`ExecView::gather`]).
+fn remap_table(refs: &[usize], width: usize) -> Vec<usize> {
+    let mut map = vec![0usize; width];
+    for (pos, &i) in refs.iter().enumerate() {
+        map[i] = pos;
+    }
+    map
+}
+
+/// The recursive executor behind [`execute_plan_with`]: [`execute_view`]
+/// with the output materialized, for operators (and public entry points)
+/// that need a plain batch.
 fn execute_node(
     plan: &LogicalPlan,
     catalog: &Catalog,
@@ -246,6 +343,20 @@ fn execute_node(
     opts: &ExecOptions,
     trace: Option<&PlanTrace>,
 ) -> DbResult<Batch> {
+    Ok(execute_view(plan, catalog, functions, opts, trace)?.materialize())
+}
+
+/// The recursive executor, producing a view (possibly with a pending
+/// selection). Each node's output rows and inclusive wall time feed the
+/// `exec.<op>.rows` / `exec.<op>.time_ns` registry metrics, and — when
+/// tracing — the per-node [`PlanTrace`] used by `EXPLAIN ANALYZE`.
+fn execute_view(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    functions: &Arc<FunctionRegistry>,
+    opts: &ExecOptions,
+    trace: Option<&PlanTrace>,
+) -> DbResult<ExecView> {
     let op = metric_op(plan);
     if let Some(d) = opts.deadline {
         if Instant::now() >= d {
@@ -254,7 +365,7 @@ fn execute_node(
         }
     }
     let start = Instant::now();
-    let (batch, parallel) =
+    let (view, flags) =
         run_operator(plan, catalog, functions, opts, trace).map_err(|e| match e {
             // Grow the operator path as the timeout unwinds: a morsel-level
             // check reports an empty path, the operator that observed it
@@ -267,27 +378,44 @@ fn execute_node(
             other => other,
         })?;
     let elapsed = start.elapsed();
-    metrics::counter(&format!("exec.{op}.rows")).add(batch.rows() as u64);
+    metrics::counter(&format!("exec.{op}.rows")).add(view.rows() as u64);
     metrics::record_duration(&format!("exec.{op}.time_ns"), elapsed);
     if let Some(tr) = trace {
         let rows_in = plan.children().iter().map(|c| tr.rows_out(c)).sum();
-        tr.record(plan, NodeStats { rows_in, rows_out: batch.rows(), elapsed, parallel });
+        tr.record(
+            plan,
+            NodeStats {
+                rows_in,
+                rows_out: view.rows(),
+                elapsed,
+                parallel: flags.parallel,
+                fused: flags.fused,
+                dict: flags.dict,
+                rle: flags.rle,
+            },
+        );
     }
-    Ok(batch)
+    Ok(view)
 }
 
-/// One operator's work: produces the node's output batch and reports
-/// whether the parallel path actually engaged for it.
+/// One operator's work: produces the node's output view and the flags
+/// describing which specialized paths engaged for it.
 fn run_operator(
     plan: &LogicalPlan,
     catalog: &Catalog,
     functions: &Arc<FunctionRegistry>,
     opts: &ExecOptions,
     trace: Option<&PlanTrace>,
-) -> DbResult<(Batch, bool)> {
+) -> DbResult<(ExecView, OpFlags)> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Ok((catalog.table(table)?.read().scan(), false)),
-        LogicalPlan::UnitRow => Ok((unit_batch()?, false)),
+        LogicalPlan::Scan { table, .. } => {
+            let b = catalog.table(table)?.read().scan();
+            #[cfg(debug_assertions)]
+            crate::verify::verify_batch_encodings(&b)?;
+            let flags = OpFlags::encodings(&b);
+            Ok((ExecView::full(b), flags))
+        }
+        LogicalPlan::UnitRow => Ok((ExecView::full(unit_batch()?), OpFlags::default())),
         LogicalPlan::TableFunction { name, args, schema } => {
             let udf = functions.table(name)?;
             let mut arg_cols: Vec<Arc<Column>> = Vec::new();
@@ -307,20 +435,59 @@ fn run_operator(
             metrics::counter(&format!("udf.{name}.invocations")).incr();
             metrics::counter("udf.table.invocations").incr();
             let out = udf.invoke(&arg_cols)?;
-            Ok((conform(out, schema.clone())?, false))
+            Ok((ExecView::full(conform(out, schema.clone())?), OpFlags::default()))
         }
         LogicalPlan::Filter { input, predicate } => {
-            let b = execute_node(input, catalog, functions, opts, trace)?;
+            let v = execute_view(input, catalog, functions, opts, trace)?;
             let par = par_for(opts, &[predicate], functions);
-            let ran_parallel = par.enabled(b.rows());
-            Ok((exec::filter_par(&b, predicate, Some(functions), par)?, ran_parallel))
+            let mut flags = OpFlags::encodings(&v.batch);
+            match v.sel {
+                None => {
+                    // Produce a selection over the input batch; rows are
+                    // gathered only when a downstream operator needs them.
+                    let (sel, st) =
+                        exec::filter_sel_par(&v.batch, predicate, Some(functions), par)?;
+                    flags.parallel = st.parallel;
+                    flags.fused = st.fused;
+                    Ok((ExecView { batch: v.batch, sel: Some(sel) }, flags))
+                }
+                Some(prev) => {
+                    // Stacked filters: evaluate over only the columns this
+                    // predicate references, restricted to the surviving
+                    // rows, then map back to input-batch row numbers.
+                    let refs = referenced(&[predicate]);
+                    let narrow = ExecView { batch: v.batch.clone(), sel: Some(prev.clone()) }
+                        .gather(&refs)?;
+                    let mut pred = predicate.clone();
+                    pred.remap_columns(&remap_table(&refs, v.batch.width()));
+                    let (sub_sel, st) = exec::filter_sel_par(&narrow, &pred, Some(functions), par)?;
+                    flags.parallel = st.parallel;
+                    flags.fused = st.fused;
+                    let sel = sub_sel.iter().map(|&i| prev[i as usize]).collect();
+                    Ok((ExecView { batch: v.batch, sel: Some(sel) }, flags))
+                }
+            }
         }
         LogicalPlan::Project { input, exprs, schema } => {
-            let b = execute_node(input, catalog, functions, opts, trace)?;
-            let refs: Vec<&Expr> = exprs.iter().collect();
-            let par = par_for(opts, &refs, functions);
-            let ran_parallel = par.enabled(b.rows());
-            Ok((project_par(&b, exprs, schema.clone(), functions, par)?, ran_parallel))
+            let v = execute_view(input, catalog, functions, opts, trace)?;
+            let expr_refs: Vec<&Expr> = exprs.iter().collect();
+            let par = par_for(opts, &expr_refs, functions);
+            let mut flags = OpFlags::encodings(&v.batch);
+            // Gather only the referenced columns (keeping at least one so
+            // constant-only projections still see the right row count).
+            let mut refs = referenced(&expr_refs);
+            if refs.is_empty() && v.batch.width() > 0 {
+                refs.push(0);
+            }
+            let narrow = v.gather(&refs)?;
+            let mut ex = exprs.to_vec();
+            let map = remap_table(&refs, v.batch.width());
+            for e in &mut ex {
+                e.remap_columns(&map);
+            }
+            flags.parallel = par.enabled(narrow.rows());
+            let out = project_par(&narrow, &ex, schema.clone(), functions, par)?;
+            Ok((ExecView::full(out), flags))
         }
         LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
             let l = execute_node(left, catalog, functions, opts, trace)?;
@@ -337,11 +504,37 @@ fn run_operator(
                 let par = par_for(opts, &[pred], functions);
                 joined = exec::filter_par(&joined, pred, Some(functions), par)?;
             }
-            Ok((conform(joined, schema.clone())?, ran_parallel))
+            let flags = OpFlags { parallel: ran_parallel, ..OpFlags::default() };
+            Ok((ExecView::full(conform(joined, schema.clone())?), flags))
         }
         LogicalPlan::Aggregate { input, group, aggs, schema } => {
-            let b = execute_node(input, catalog, functions, opts, trace)?;
-            aggregate(&b, group, aggs, schema.clone(), functions, opts)
+            let v = execute_view(input, catalog, functions, opts, trace)?;
+            // Gather only the columns the group keys and aggregate
+            // arguments reference (keeping one so COUNT(*) sees the row
+            // count), then aggregate over the narrow batch.
+            let mut expr_refs: Vec<&Expr> = group.iter().collect();
+            expr_refs.extend(aggs.iter().filter_map(|a| a.arg.as_ref()));
+            let mut refs = referenced(&expr_refs);
+            if refs.is_empty() && v.batch.width() > 0 {
+                refs.push(0);
+            }
+            let mut flags = OpFlags::encodings(&v.batch);
+            let narrow = v.gather(&refs)?;
+            let map = remap_table(&refs, v.batch.width());
+            let mut group = group.to_vec();
+            for g in &mut group {
+                g.remap_columns(&map);
+            }
+            let mut aggs = aggs.to_vec();
+            for a in &mut aggs {
+                if let Some(arg) = &mut a.arg {
+                    arg.remap_columns(&map);
+                }
+            }
+            let (out, ran_parallel) =
+                aggregate(&narrow, &group, &aggs, schema.clone(), functions, opts)?;
+            flags.parallel = ran_parallel;
+            Ok((ExecView::full(out), flags))
         }
         LogicalPlan::Sort { input, keys } => {
             let b = execute_node(input, catalog, functions, opts, trace)?;
@@ -355,15 +548,17 @@ fn run_operator(
                 .collect();
             let par = opts.parallelism(true);
             let ran_parallel = !keys.is_empty() && par.enabled(b.rows());
-            Ok((exec::sort_par(&b, &keys, par)?, ran_parallel))
+            let out = exec::sort_par(&b, &keys, par)?;
+            let flags = OpFlags { parallel: ran_parallel, ..OpFlags::default() };
+            Ok((ExecView::full(out), flags))
         }
         LogicalPlan::Limit { input, limit, offset } => {
             let b = execute_node(input, catalog, functions, opts, trace)?;
-            Ok((exec::limit(&b, *limit, *offset), false))
+            Ok((ExecView::full(exec::limit(&b, *limit, *offset)), OpFlags::default()))
         }
         LogicalPlan::Distinct { input } => {
             let b = execute_node(input, catalog, functions, opts, trace)?;
-            Ok((exec::distinct(&b), false))
+            Ok((ExecView::full(exec::distinct(&b)), OpFlags::default()))
         }
         LogicalPlan::UnionAll { inputs, schema } => {
             let batches: Vec<Batch> = inputs
@@ -373,7 +568,7 @@ fn run_operator(
                         .and_then(|b| conform(b, schema.clone()))
                 })
                 .collect::<DbResult<_>>()?;
-            Ok((Batch::concat(&batches)?, false))
+            Ok((ExecView::full(Batch::concat(&batches)?), OpFlags::default()))
         }
     }
 }

@@ -16,9 +16,10 @@
 //! The optimizer is applied after scalar-subquery substitution, so
 //! subquery results participate in folding.
 
+use crate::column::Encoding;
 use crate::error::DbResult;
 use crate::exec::JoinType;
-use crate::expr::{BinaryOp, Expr};
+use crate::expr::{fuse, BinaryOp, Expr};
 use crate::sql::binder::eval_constant;
 use crate::sql::plan::LogicalPlan;
 use crate::types::Value;
@@ -49,6 +50,39 @@ pub fn parallel_annotation(plan: &LogicalPlan, functions: &FunctionRegistry) -> 
         _ => false,
     };
     eligible.then(|| " [parallel]".to_owned())
+}
+
+/// The full static `EXPLAIN` annotation: [`parallel_annotation`] plus the
+/// compressed-execution markers — `[fused]` on filters whose predicate has
+/// a fusible shape (the kernel compiler may still bail per batch, e.g. on
+/// a cross-family comparison), and `[dict]` / `[rle]` on scans of tables
+/// that currently hold encoded columns. `EXPLAIN ANALYZE` reports what
+/// actually ran; this reports what the executor is eligible to do.
+pub fn explain_annotation(
+    plan: &LogicalPlan,
+    functions: &FunctionRegistry,
+    catalog: &crate::catalog::Catalog,
+) -> Option<String> {
+    let mut ann = parallel_annotation(plan, functions).unwrap_or_default();
+    match plan {
+        LogicalPlan::Filter { predicate, .. } if fuse::fusible(predicate) => {
+            ann.push_str(" [fused]");
+        }
+        LogicalPlan::Scan { table, .. } => {
+            if let Ok(t) = catalog.table(table) {
+                let batch = t.read().scan();
+                let encodings: Vec<_> = batch.columns().iter().map(|c| c.encoding()).collect();
+                if encodings.contains(&Encoding::Dict) {
+                    ann.push_str(" [dict]");
+                }
+                if encodings.contains(&Encoding::Rle) {
+                    ann.push_str(" [rle]");
+                }
+            }
+        }
+        _ => {}
+    }
+    (!ann.is_empty()).then_some(ann)
 }
 
 /// Optimizes a plan (bottom-up, fixed small pass set).

@@ -6,7 +6,7 @@
 //! snapshots are never invalidated by concurrent loads.
 
 use crate::batch::Batch;
-use crate::column::{Column, ColumnBuilder};
+use crate::column::{Column, ColumnBuilder, Encoding};
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::types::Value;
@@ -19,24 +19,62 @@ pub struct Table {
     schema: Arc<Schema>,
     columns: Vec<Arc<Column>>,
     rows: usize,
+    /// Row count at the last auto-encoding sweep. Appends re-run the sweep
+    /// only once the table has doubled since, so the O(n) encode/decode
+    /// work is amortized over growth instead of paid per insert.
+    encoded_at_rows: usize,
 }
 
 impl Table {
     /// An empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Table {
         let columns = schema.fields().iter().map(|f| Arc::new(Column::empty(f.dtype))).collect();
-        Table { name: name.into(), schema, columns, rows: 0 }
+        Table { name: name.into(), schema, columns, rows: 0, encoded_at_rows: 0 }
     }
 
-    /// Wraps an existing batch as a table (used by `CREATE TABLE AS`).
+    /// Wraps an existing batch as a table (used by `CREATE TABLE AS` and
+    /// the persistence loader). Columns are auto-encoded immediately: bulk
+    /// arrival is the cheapest moment to scan for low NDV / long runs.
     pub fn from_batch(name: impl Into<String>, batch: Batch) -> Table {
         let rows = batch.rows();
-        Table {
+        let mut t = Table {
             name: name.into(),
             schema: batch.schema().clone(),
             columns: batch.columns().to_vec(),
             rows,
+            encoded_at_rows: 0,
+        };
+        t.auto_encode();
+        t
+    }
+
+    /// Re-runs the per-column encoding heuristic and records the row count
+    /// so the next sweep waits for the table to double.
+    fn auto_encode(&mut self) {
+        for col in &mut self.columns {
+            if col.is_plain() {
+                let e = col.encode_auto();
+                if !e.is_plain() {
+                    *col = Arc::new(e);
+                }
+            }
         }
+        self.encoded_at_rows = self.rows;
+    }
+
+    /// Forces a specific encoding on column `col_idx`, bypassing the
+    /// heuristic (e.g. dictionary-encode a key column the planner knows is
+    /// low-cardinality). Later appends may re-encode as the table grows.
+    pub fn set_column_encoding(&mut self, col_idx: usize, enc: Encoding) -> DbResult<()> {
+        if col_idx >= self.columns.len() {
+            return Err(DbError::internal(format!(
+                "set_column_encoding: column {col_idx} out of range"
+            )));
+        }
+        let encoded = self.columns[col_idx].encode(enc);
+        encoded.check_encoding()?;
+        self.columns[col_idx] = Arc::new(encoded);
+        Ok(())
     }
 
     /// Table name.
@@ -89,6 +127,11 @@ impl Table {
             Arc::make_mut(dst).extend(src)?;
         }
         self.rows += batch.rows();
+        // `extend` decodes encoded destinations; re-encode once the table
+        // has doubled since the last sweep (always on the first append).
+        if self.rows >= self.encoded_at_rows.saturating_mul(2) {
+            self.auto_encode();
+        }
         Ok(())
     }
 

@@ -42,6 +42,18 @@ use crate::types::DataType;
 use crate::udf::FunctionRegistry;
 use std::sync::Arc;
 
+/// Validates the per-column encoding invariants of a batch (dictionary
+/// codes in range, run ends strictly increasing and consistent with the
+/// logical length, validity bitmap logical-length). The executor runs this
+/// on every table scan in debug builds, so a storage-layer encoding bug
+/// surfaces at the scan that exposes it rather than as a wrong result.
+pub fn verify_batch_encodings(batch: &crate::batch::Batch) -> DbResult<()> {
+    for c in batch.columns() {
+        c.check_encoding()?;
+    }
+    Ok(())
+}
+
 /// Verifies a plan against the function registry. `Expr::Subquery`
 /// placeholders are tolerated and typed as unknown, so both substituted
 /// and pre-substitution plans are accepted.

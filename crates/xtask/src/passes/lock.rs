@@ -26,8 +26,12 @@ use crate::scan::ScannedFile;
 
 /// Modules that must follow single-lock discipline: the worker pool and
 /// its companions, the metrics registry the pool ticks from its hot
-/// loops, the caches the executor hits per query, and the server.
+/// loops, the caches the executor hits per query, the server, and the
+/// encoding builders / fused-kernel compiler that morsel workers run
+/// per slice.
 pub const POOL_HOT_PATHS: &[&str] = &[
+    "crates/columnar/src/encoding.rs",
+    "crates/columnar/src/expr/fuse.rs",
     "crates/columnar/src/parallel",
     "crates/columnar/src/metrics.rs",
     "crates/core/src/cache.rs",

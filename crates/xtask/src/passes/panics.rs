@@ -16,6 +16,7 @@ use std::path::PathBuf;
 /// marks a subtree; a bare prefix (`…/parallel`) covers a module file and
 /// its submodule directory alike.
 pub const HOT_PATHS: &[&str] = &[
+    "crates/columnar/src/encoding.rs",
     "crates/columnar/src/exec/",
     "crates/columnar/src/expr/",
     "crates/columnar/src/faults.rs",

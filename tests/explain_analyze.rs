@@ -94,6 +94,49 @@ fn plain_explain_is_unchanged_by_the_analyze_path() {
     assert!(!text.contains("execution:"), "plain EXPLAIN must not run:\n{text}");
 }
 
+/// Compressed-execution markers: `EXPLAIN` reports eligibility (fusible
+/// predicate shapes, the scanned table's current encodings) and `EXPLAIN
+/// ANALYZE` reports what actually ran, per operator.
+#[test]
+fn explain_shows_encoding_and_fusion_markers() {
+    use mlcs::columnar::Encoding;
+    let db = Database::new();
+    db.set_threads(1);
+    seed(&db, 500);
+    let table = db.catalog().table("t").unwrap();
+    table.write().set_column_encoding(0, Encoding::Dict).unwrap();
+    table.write().set_column_encoding(1, Encoding::Rle).unwrap();
+
+    // Static EXPLAIN: the scan shows the table's encodings, the filter
+    // its fusible shape.
+    let text = text_of(&db, "EXPLAIN SELECT k FROM t WHERE v > 3 AND k < 4");
+    let scan = text.lines().find(|l| l.contains("Scan t")).unwrap();
+    assert!(scan.contains("[dict]"), "scan missing [dict]:\n{text}");
+    assert!(scan.contains("[rle]"), "scan missing [rle]:\n{text}");
+    let filter = text.lines().find(|l| l.contains("Filter")).unwrap();
+    assert!(filter.contains("[fused]"), "filter missing [fused]:\n{text}");
+    // An arithmetic predicate is not fusible, and the markers say so.
+    let text = text_of(&db, "EXPLAIN SELECT k FROM t WHERE v + 1 > 4");
+    let filter = text.lines().find(|l| l.contains("Filter")).unwrap();
+    assert!(!filter.contains("[fused]"), "arithmetic cannot fuse:\n{text}");
+
+    // EXPLAIN ANALYZE: the executed plan carries the runtime markers.
+    let text = text_of(&db, "EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t WHERE k < 4 GROUP BY k");
+    let scan = text.lines().find(|l| l.contains("Scan t")).unwrap();
+    assert!(scan.contains("[dict]") && scan.contains("[rle]"), "analyze scan markers:\n{text}");
+    let filter = text.lines().find(|l| l.contains("Filter")).unwrap();
+    assert!(filter.contains("[fused]"), "analyze filter missing [fused]:\n{text}");
+    let agg = text.lines().find(|l| l.contains("Aggregate")).unwrap();
+    assert!(agg.contains("[dict]"), "analyze aggregate missing [dict]:\n{text}");
+
+    // A plain-column table shows none of the markers.
+    let plain = Database::new();
+    plain.set_threads(1);
+    seed(&plain, 500);
+    let text = text_of(&plain, "EXPLAIN ANALYZE SELECT k, COUNT(*) FROM t WHERE k < 4 GROUP BY k");
+    assert!(!text.contains("[dict]") && !text.contains("[rle]"), "plain claims encodings:\n{text}");
+}
+
 #[test]
 fn analyze_summary_matches_the_result_cardinality() {
     let db = Database::new();

@@ -3,7 +3,9 @@
 //! vectorized), one serialize/deserialize tick per pickle round-trip with
 //! byte histograms matching the blob sizes exactly, and one tick per
 //! resilience event (connection rejected, idle timeout, client retry,
-//! recovered table, injected fault).
+//! recovered table, injected fault). The compressed-execution counters are
+//! pinned too: columns encoded by the heuristic, rows through dict-code
+//! fast paths, runs folded run-at-a-time, and fused kernels/rows.
 //!
 //! A single `#[test]` on purpose: the registry is process-global, and a
 //! concurrent test in the same binary could move the very counters whose
@@ -181,4 +183,57 @@ fn counters_move_exactly_once_per_event() {
         "one inversion, one tick (debug builds only)"
     );
     lock_order::reset();
+
+    // Compressed execution, all on the serial paths so the deltas are
+    // exact: a bulk load auto-encodes exactly the columns that pay
+    // (low-NDV → dict, long runs → RLE, all-distinct stays plain) ...
+    use mlcs::columnar::exec::{filter_sel, hash_aggregate, AggCall, AggFunc};
+    use mlcs::columnar::expr::{BinaryOp, Expr};
+    use mlcs::columnar::{Batch, Column, Table};
+    let n = 2048;
+    let batch = Batch::from_columns(vec![
+        ("k", Column::from_i32s((0..n).map(|i| i % 7).collect())),
+        ("r", Column::from_i32s((0..n).map(|i| i / 256).collect())),
+        ("v", Column::from_i32s((0..n).collect())),
+    ])
+    .unwrap();
+    let before = metrics::snapshot();
+    let table = Table::from_batch("enc", batch);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(
+        delta.counter("exec.encoding.columns_encoded"),
+        2,
+        "k dict-encodes, r RLE-encodes, all-distinct v stays plain"
+    );
+
+    // ... a fusible predicate over the dict column compiles one kernel
+    // that answers every row off one per-distinct-value lookup table ...
+    let scan = table.scan();
+    let pred = Expr::binary(BinaryOp::Lt, Expr::col(0), Expr::lit(3i32));
+    let before = metrics::snapshot();
+    let (sel, stats) = filter_sel(&scan, &pred, None).unwrap();
+    assert!(stats.fused, "comparison over a dict column must fuse");
+    assert_eq!(sel.len() as i32, 293 * 3, "residues 0..3 appear 293 times in 0..2048");
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("expr.fused.kernels"), 1, "one predicate, one kernel");
+    assert_eq!(delta.counter("expr.fused.rows"), n as u64);
+    assert_eq!(delta.counter("exec.encoding.dict_rows"), n as u64, "one dict leaf");
+
+    // ... grouping by the dict column takes group ids off the codes ...
+    let count_star = AggCall { func: AggFunc::CountStar, arg: None, distinct: false };
+    let before = metrics::snapshot();
+    let grouped = hash_aggregate(&scan, &[0], &[count_star]).unwrap();
+    assert_eq!(grouped.rows(), 7);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("exec.encoding.dict_rows"), n as u64);
+    assert_eq!(delta.counter("exec.encoding.rle_runs"), 0, "no RLE column in the group-by");
+
+    // ... and an ungrouped integer SUM over the RLE column folds its 8
+    // runs instead of touching 2048 rows.
+    let sum_r = AggCall { func: AggFunc::Sum, arg: Some(1), distinct: false };
+    let before = metrics::snapshot();
+    let summed = hash_aggregate(&scan, &[], &[sum_r]).unwrap();
+    assert_eq!(summed.row(0)[0], Value::Int64(256 * 28), "256 of each of 0..=7");
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("exec.encoding.rle_runs"), 8, "one fold per run");
 }
