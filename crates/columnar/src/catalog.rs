@@ -5,6 +5,7 @@ use crate::schema::Schema;
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A collection of named tables. Names are case-insensitive (stored
@@ -12,6 +13,11 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, Arc<RwLock<Table>>>>,
+    /// Bumped on every DDL mutation (create/put/drop/clear). The plan
+    /// cache stamps cached plans with this so schema changes invalidate
+    /// them; DML does not bump it because plans resolve tables by name
+    /// at execution time.
+    generation: AtomicU64,
 }
 
 impl Catalog {
@@ -28,6 +34,8 @@ impl Catalog {
             return Err(DbError::AlreadyExists { kind: "table", name: name.to_owned() });
         }
         tables.insert(key.clone(), Arc::new(RwLock::new(Table::new(key, schema))));
+        drop(tables);
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -42,6 +50,8 @@ impl Catalog {
             return Err(DbError::AlreadyExists { kind: "table", name: key });
         }
         tables.insert(key, Arc::new(RwLock::new(table)));
+        drop(tables);
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -51,6 +61,9 @@ impl Catalog {
         let removed = self.tables.write().remove(&key);
         if removed.is_none() && !if_exists {
             return Err(DbError::NotFound { kind: "table", name: name.to_owned() });
+        }
+        if removed.is_some() {
+            self.generation.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -77,6 +90,13 @@ impl Catalog {
     /// Removes every table (used by tests and `load` replacing a database).
     pub fn clear(&self) {
         self.tables.write().clear();
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The catalog's DDL generation. Two equal readings with no DDL in
+    /// between guarantee the set of tables and their schemas is unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 }
 

@@ -14,6 +14,7 @@ use crate::sql::execute::{
 use crate::sql::optimizer::{explain_annotation, optimize};
 use crate::sql::parser::{parse, parse_many};
 use crate::sql::plan::BoundStatement;
+use crate::sql::plan_cache::{CacheStamp, CachedQuery, PlanCache};
 use crate::table::Table;
 use crate::types::{DataType, Value};
 use crate::udf::{FunctionRegistry, ScalarUdf, TableUdf};
@@ -83,6 +84,10 @@ pub struct Database {
     /// Minimum operator input rows before the parallel path engages;
     /// `0` = [`DEFAULT_PARALLEL_THRESHOLD`]. Shared across clones.
     parallel_threshold: Arc<AtomicUsize>,
+    /// Optimized plans keyed on SQL text; repeat statements skip
+    /// parse→bind→optimize. Invalidated by catalog / registry generation
+    /// stamps. Shared across clones.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl Database {
@@ -99,6 +104,16 @@ impl Database {
     /// The UDF registry.
     pub fn functions(&self) -> &Arc<FunctionRegistry> {
         &self.functions
+    }
+
+    /// The prepared-statement / plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// The current invalidation stamp: catalog + registry generations.
+    fn cache_stamp(&self) -> CacheStamp {
+        (self.catalog.generation(), self.functions.generation())
     }
 
     /// Sets the worker count for parallel query execution. `0` restores
@@ -160,11 +175,76 @@ impl Database {
     /// deadline).
     pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> DbResult<QueryResult> {
         let start = Instant::now();
+        let stamp = self.cache_stamp();
+        if let Some(cached) = self.plan_cache.lookup(sql, stamp) {
+            // Hit: parse, bind, and optimize are all skipped.
+            let mut result = self.run_cached(&cached, opts)?;
+            result.elapsed = start.elapsed();
+            return Ok(result);
+        }
         let stmt = parse(sql)?;
         let bound = bind(stmt, &self.catalog, &self.functions)?;
-        let mut result = self.run_bound(bound, opts)?;
+        self.maybe_cache(sql, &bound, stamp);
+        let probe = self.analyze_probe(sql, &bound, stamp);
+        let mut result = self.run_bound_probe(bound, opts, probe)?;
         result.elapsed = start.elapsed();
         Ok(result)
+    }
+
+    /// Executes a cache hit: evaluates the statement's scalar subqueries
+    /// fresh (their values depend on current data), substitutes them into
+    /// a clone of the cached optimized plan, re-verifies, and executes.
+    fn run_cached(&self, cached: &CachedQuery, opts: &ExecOptions) -> DbResult<QueryResult> {
+        let values =
+            evaluate_scalar_subqueries(&cached.scalar_subs, &self.catalog, &self.functions)?;
+        let mut plan = cached.plan.clone();
+        substitute_in_plan(&mut plan, &values);
+        crate::verify::verify_plan(&plan, &self.functions)?;
+        let batch = execute_plan_with(&plan, &self.catalog, &self.functions, opts)?;
+        Ok(QueryResult {
+            rows_affected: batch.rows(),
+            batch,
+            elapsed: Duration::ZERO,
+            kind: StatementKind::Query,
+        })
+    }
+
+    /// Caches the optimized plan for a plain `SELECT` after a cache miss.
+    /// Only `Query` statements are cachable (DDL/DML must re-run their
+    /// side effects; EXPLAIN is a diagnostic), and only they tick
+    /// `sql.plan_cache.misses`, so hits+misses counts SELECT traffic.
+    fn maybe_cache(&self, sql: &str, bound: &BoundStatement, stamp: CacheStamp) {
+        if let BoundStatement::Query { plan, scalar_subs } = bound {
+            crate::metrics::counter("sql.plan_cache.misses").incr();
+            // The pre-substitution plan is optimized and cached; scalar
+            // subqueries stay symbolic and are substituted per execution.
+            if let Ok(optimized) = optimize(plan.clone()) {
+                self.plan_cache.insert(
+                    sql,
+                    CachedQuery { plan: optimized, scalar_subs: scalar_subs.clone() },
+                    stamp,
+                );
+            }
+        }
+    }
+
+    /// For `EXPLAIN ANALYZE <stmt>`, probes (without counter ticks or LRU
+    /// promotion) whether `<stmt>` would currently hit the plan cache, so
+    /// the report can show cache behavior without perturbing it.
+    fn analyze_probe(
+        &self,
+        sql: &str,
+        bound: &BoundStatement,
+        stamp: CacheStamp,
+    ) -> Option<Arc<CachedQuery>> {
+        match bound {
+            BoundStatement::Explain { analyze: true, .. } => {
+                let inner = strip_keyword(sql.trim_start(), "EXPLAIN")?;
+                let inner = strip_keyword(inner.trim_start(), "ANALYZE")?;
+                self.plan_cache.probe(inner, stamp)
+            }
+            _ => None,
+        }
     }
 
     /// Executes a `;`-separated script, returning the last result.
@@ -203,6 +283,15 @@ impl Database {
     }
 
     fn run_bound(&self, bound: BoundStatement, opts: &ExecOptions) -> DbResult<QueryResult> {
+        self.run_bound_probe(bound, opts, None)
+    }
+
+    fn run_bound_probe(
+        &self,
+        bound: BoundStatement,
+        opts: &ExecOptions,
+        probe: Option<Arc<CachedQuery>>,
+    ) -> DbResult<QueryResult> {
         let catalog = &self.catalog;
         let functions = &self.functions;
         let empty = |kind: StatementKind, rows: usize| QueryResult {
@@ -338,16 +427,31 @@ impl Database {
                     // EXPLAIN ANALYZE runs the statement exactly as a plain
                     // query would (subqueries evaluated and substituted),
                     // collecting per-operator rows, wall time, and whether
-                    // the parallel path engaged.
-                    let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
-                    substitute_in_plan(&mut plan, &values);
-                    let plan = optimize(plan)?;
+                    // the parallel path engaged. When the inner statement
+                    // would hit the plan cache, the cached plan is what
+                    // runs — and the report says so.
+                    let (plan, cache_note) = match probe {
+                        Some(entry) => {
+                            let values =
+                                evaluate_scalar_subqueries(&entry.scalar_subs, catalog, functions)?;
+                            let mut plan = entry.plan.clone();
+                            substitute_in_plan(&mut plan, &values);
+                            (plan, "plan cache: hit (parse, bind, and optimize skipped)\n")
+                        }
+                        None => {
+                            let values =
+                                evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                            substitute_in_plan(&mut plan, &values);
+                            (optimize(plan)?, "plan cache: miss\n")
+                        }
+                    };
                     crate::verify::verify_plan(&plan, functions)?;
                     let trace = PlanTrace::new();
                     let start = Instant::now();
                     let result = execute_plan_traced(&plan, catalog, functions, opts, &trace)?;
                     let total = start.elapsed();
                     let mut text = plan.display_with(&|n| trace.annotation(n));
+                    text.push_str(cache_note);
                     text.push_str(&format!(
                         "execution: {} rows in {:.3}ms\n",
                         result.rows(),
@@ -498,6 +602,21 @@ impl std::fmt::Debug for Database {
 /// Builds a `Field` list quickly in tests and loaders.
 pub fn fields(defs: &[(&str, DataType)]) -> DbResult<Arc<Schema>> {
     Ok(Arc::new(Schema::new(defs.iter().map(|(n, t)| Field::new(*n, *t)).collect())?))
+}
+
+/// Strips a leading SQL keyword (case-insensitive, must be followed by
+/// whitespace) and returns the remainder, or `None` if absent.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let head = s.get(..kw.len())?;
+    if !head.eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    if rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]

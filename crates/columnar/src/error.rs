@@ -42,6 +42,11 @@ pub enum DbError {
         /// expired deadline, or a transport point like `net.read`.
         path: String,
     },
+    /// The server deliberately refused the work: connection cap or
+    /// admission-control load shedding. Distinct from [`DbError::Io`] so
+    /// clients can tell shed load (retry later, the server is healthy)
+    /// from a torn connection.
+    Rejected(String),
     /// I/O error during persistence, carrying the rendered message
     /// (std::io::Error is not Clone).
     Io(String),
@@ -98,6 +103,7 @@ impl fmt::Display for DbError {
             DbError::Timeout { path } => {
                 write!(f, "query deadline exceeded at {path}")
             }
+            DbError::Rejected(m) => write!(f, "rejected: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::Internal(m) => write!(f, "internal error (bug): {m}"),

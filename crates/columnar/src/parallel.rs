@@ -170,6 +170,17 @@ fn submit(job: Job) {
     let _ = pool().sender.lock().send(job);
 }
 
+/// Hands one fire-and-forget task to the persistent pool. This is the
+/// serving layer's bridge into morsel-land: the netproto reactor decodes
+/// a query on an event-loop thread and `spawn`s its execution here, so
+/// event loops never block on query work. The job runs under the pool's
+/// `catch_unwind` umbrella; a panic inside it is contained to that job
+/// (callers that need the panic surfaced should wrap the body in their
+/// own `catch_unwind` and forward the result through a channel).
+pub fn spawn(job: impl FnOnce() + Send + 'static) {
+    submit(Box::new(job));
+}
+
 /// Claims and processes task indices until none remain. Runs on pool
 /// workers and on the calling thread alike.
 fn run_task_loop<T, E, F>(next: &AtomicUsize, slots: &[Mutex<Option<Result<T, E>>>], f: &F)

@@ -21,6 +21,7 @@ pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod plan_cache;
 pub mod token;
 
 pub use binder::bind;
@@ -30,3 +31,4 @@ pub use execute::{
 pub use optimizer::optimize;
 pub use parser::{parse, parse_many};
 pub use plan::{BoundStatement, LogicalPlan};
+pub use plan_cache::{CacheStamp, CachedQuery, PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};

@@ -21,6 +21,7 @@ use crate::schema::Schema;
 use crate::types::DataType;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A vectorized scalar function: columns in, one column out.
@@ -63,6 +64,9 @@ pub trait TableUdf: Send + Sync {
 pub struct FunctionRegistry {
     scalar: RwLock<BTreeMap<String, Arc<dyn ScalarUdf>>>,
     table: RwLock<BTreeMap<String, Arc<dyn TableUdf>>>,
+    /// Bumped on every registration or drop; part of the plan cache's
+    /// invalidation stamp so a replaced UDF never serves a stale plan.
+    generation: AtomicU64,
 }
 
 impl FunctionRegistry {
@@ -75,12 +79,14 @@ impl FunctionRegistry {
     /// name (CREATE OR REPLACE semantics).
     pub fn register_scalar(&self, udf: Arc<dyn ScalarUdf>) {
         self.scalar.write().insert(udf.name().to_ascii_lowercase(), udf);
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Registers a table UDF, replacing any previous function of the same
     /// name.
     pub fn register_table(&self, udf: Arc<dyn TableUdf>) {
         self.table.write().insert(udf.name().to_ascii_lowercase(), udf);
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Looks up a scalar UDF.
@@ -124,7 +130,17 @@ impl FunctionRegistry {
         if !a && !b && !if_exists {
             return Err(DbError::NotFound { kind: "function", name: name.to_owned() });
         }
+        if a || b {
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(())
+    }
+
+    /// The registry's mutation generation. Two equal readings with no
+    /// registrations or drops in between guarantee the function set is
+    /// unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 }
 

@@ -170,11 +170,16 @@ enum Attempt {
 }
 
 /// A server `Error` frame, surfaced as a typed error. Deadline expiries
-/// keep their type so callers can match on `DbError::Timeout`.
+/// and load-shedding rejections keep their types so callers can match on
+/// `DbError::Timeout` / `DbError::Rejected` (shed load is retryable
+/// later; a torn connection is not a server statement at all).
 fn server_error(payload: &[u8]) -> DbError {
     let msg = String::from_utf8_lossy(payload).into_owned();
     if let Some(path) = msg.strip_prefix("query deadline exceeded at ") {
         return DbError::Timeout { path: path.to_owned() };
+    }
+    if let Some(reason) = msg.strip_prefix("rejected: ") {
+        return DbError::Rejected(reason.to_owned());
     }
     DbError::Io(format!("server error: {msg}"))
 }

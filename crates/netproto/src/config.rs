@@ -2,6 +2,18 @@
 
 use std::time::Duration;
 
+/// How the server multiplexes client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// A few event-loop threads own every socket via an epoll readiness
+    /// reactor and hand complete queries to the shared morsel worker
+    /// pool. Scales to thousands of concurrent connections; the default.
+    Reactor,
+    /// One OS thread per connection — the original Figure-1 baseline,
+    /// kept for comparison benchmarks and as a fallback.
+    ThreadPerConn,
+}
+
 /// Timeouts, retry budget, and connection limits shared by the server and
 /// both socket clients. The defaults are deliberately generous — they are
 /// a safety net against hangs, not a latency target; tests and the chaos
@@ -23,9 +35,21 @@ pub struct NetConfig {
     /// rendered `DbError::Timeout`.
     pub query_deadline: Option<Duration>,
     /// Maximum concurrently served connections. Excess clients receive a
-    /// typed `Error` frame and are disconnected instead of waiting in the
-    /// OS accept backlog.
+    /// typed `Error` frame (`DbError::Rejected`) and are disconnected
+    /// instead of waiting in the OS accept backlog.
     pub max_connections: usize,
+    /// How the server multiplexes connections (reactor event loops or
+    /// one thread per connection).
+    pub mode: ServeMode,
+    /// Number of reactor event-loop threads ([`ServeMode::Reactor`]
+    /// only). Each loop owns a disjoint set of sockets; accepted
+    /// connections are distributed round-robin.
+    pub event_loops: usize,
+    /// Admission-control quota ([`ServeMode::Reactor`] only): when this
+    /// many queries are already queued or executing on the worker pool,
+    /// further queries are shed with a typed `DbError::Rejected` error
+    /// frame instead of growing the queue without bound.
+    pub max_inflight_queries: usize,
     /// Client-side retry budget for connect-and-query; retries apply only
     /// before the first `Schema` frame arrives (a half-consumed result is
     /// never silently replayed).
@@ -44,7 +68,10 @@ impl Default for NetConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             query_deadline: None,
-            max_connections: 64,
+            max_connections: 4096,
+            mode: ServeMode::Reactor,
+            event_loops: 2,
+            max_inflight_queries: 256,
             retries: 3,
             retry_base_delay: Duration::from_millis(20),
             retry_seed: 0,
@@ -85,8 +112,13 @@ mod tests {
     fn defaults_are_sane() {
         let c = NetConfig::default();
         assert!(c.read_timeout.is_some());
-        assert!(c.max_connections >= 1);
+        // The reactor must clear the issue's 1000-concurrent-client bar
+        // by default (the old thread-per-connection cap was 64).
+        assert!(c.max_connections >= 1000);
         assert!(c.retries >= 1);
+        assert_eq!(c.mode, ServeMode::Reactor);
+        assert!(c.event_loops >= 1);
+        assert!(c.max_inflight_queries >= 1);
     }
 
     #[test]

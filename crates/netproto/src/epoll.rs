@@ -1,0 +1,186 @@
+//! Minimal Linux `epoll` + `pipe2` shim over raw glibc symbols.
+//!
+//! Std-only, in the same spirit as the vendored crate shims under
+//! `shims/`: just enough surface for the serving reactor — create an
+//! epoll instance, register/modify/remove interest, wait for readiness,
+//! and build a nonblocking self-wake pipe. No `libc` crate dependency;
+//! the handful of constants and the `epoll_event` layout are fixed parts
+//! of the Linux ABI.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::{FromRawFd, RawFd};
+
+/// Readable (or a peer hang-up pending read of the EOF).
+pub(crate) const EPOLLIN: u32 = 0x001;
+/// Writable without blocking.
+pub(crate) const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd; always reported, never requested.
+pub(crate) const EPOLLERR: u32 = 0x008;
+/// Hang-up on the fd; always reported, never requested.
+pub(crate) const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+const O_CLOEXEC: i32 = 0o2000000;
+
+/// One readiness notification: an event mask plus the caller's token.
+///
+/// On x86-64 the kernel ABI packs this struct (12 bytes, no padding
+/// before `data`); other architectures use natural alignment. Fields are
+/// therefore only exposed through by-value accessors — taking a reference
+/// into a packed struct is undefined behavior territory.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub(crate) struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for the `epoll_wait` output buffer.
+    pub(crate) fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness mask (`EPOLLIN | …`).
+    pub(crate) fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The token supplied at registration time.
+    pub(crate) fn data(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An epoll instance (level-triggered). Closed on drop.
+pub(crate) struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a fresh epoll instance.
+    pub(crate) fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub(crate) fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces `fd`'s interest mask (write-interest toggling).
+    pub(crate) fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Unregisters `fd`.
+    pub(crate) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` for readiness, filling `events` from the
+    /// front; returns how many slots were filled. A signal interruption
+    /// reports zero events rather than an error.
+    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let rc =
+            unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+/// Builds a nonblocking pipe `(read_end, write_end)` used to wake an
+/// event loop from other threads: the read end lives in the loop's epoll
+/// set, any thread holding the write end pokes a byte into it.
+pub(crate) fn wake_pipe() -> io::Result<(File, File)> {
+    let mut fds = [0i32; 2];
+    let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((unsafe { File::from_raw_fd(fds[0]) }, unsafe { File::from_raw_fd(fds[1]) }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_pipe_round_trip_through_epoll() {
+        let (mut rx, mut tx) = wake_pipe().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(rx.as_raw_fd(), EPOLLIN, 7).unwrap();
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        tx.write_all(&[1]).unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].data(), 7);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+        let mut buf = [0u8; 8];
+        assert_eq!(rx.read(&mut buf).unwrap(), 1);
+        // Drained: level-triggered readiness clears.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        // Nonblocking read end: empty pipe reports WouldBlock.
+        let err = rx.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        epoll.delete(rx.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let (rx, mut tx) = wake_pipe().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(rx.as_raw_fd(), EPOLLIN, 1).unwrap();
+        tx.write_all(&[1]).unwrap();
+        let mut events = vec![EpollEvent::zeroed(); 4];
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+        // Drop read interest: the pending byte no longer wakes the loop.
+        epoll.modify(rx.as_raw_fd(), 0, 1).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        epoll.modify(rx.as_raw_fd(), EPOLLIN, 1).unwrap();
+        assert_eq!(epoll.wait(&mut events, 1000).unwrap(), 1);
+    }
+}

@@ -26,7 +26,7 @@ pub enum FrameKind {
 }
 
 impl FrameKind {
-    fn from_byte(b: u8) -> DbResult<FrameKind> {
+    pub(crate) fn from_byte(b: u8) -> DbResult<FrameKind> {
         Ok(match b {
             1 => FrameKind::Query,
             2 => FrameKind::Schema,

@@ -17,17 +17,27 @@
 //!
 //! All three end by rebuilding *columns* on the client side — exactly the
 //! redundant rows→columns round trip the paper's in-database UDFs avoid.
+//!
+//! The server side has two modes (see [`config::ServeMode`]): the default
+//! epoll **reactor** multiplexes thousands of connections onto a few
+//! event-loop threads and runs queries on the shared morsel pool, with
+//! admission-control load shedding; the **thread-per-connection**
+//! baseline is retained for comparison.
+
+#![deny(missing_docs)]
 
 pub mod binproto;
 pub(crate) mod client;
 pub mod config;
 pub mod embedded;
+mod epoll;
 pub mod framing;
+mod reactor;
 pub mod server;
 pub mod textproto;
 
 pub use binproto::BinaryClient;
-pub use config::NetConfig;
+pub use config::{NetConfig, ServeMode};
 pub use embedded::RowCursor;
 pub use server::Server;
 pub use textproto::TextClient;

@@ -5,8 +5,13 @@
 //! setup whose end-to-end cost Figure 1 measures: results are serialized
 //! row by row, shipped through the kernel, and re-parsed on the client —
 //! work the in-database UDFs never do.
+//!
+//! Two serving modes share this module's framing and row encoding (see
+//! [`crate::config::ServeMode`]): the default multiplexed reactor in the
+//! private `reactor` module, and the original thread-per-connection
+//! baseline implemented here.
 
-use crate::config::NetConfig;
+use crate::config::{NetConfig, ServeMode};
 use crate::framing::{decode_query, encode_schema, write_frame, Encoding, FrameKind};
 use mlcs_columnar::faults::FaultyStream;
 use mlcs_columnar::{Batch, Database, DbError, DbResult, Value};
@@ -18,11 +23,18 @@ use std::sync::Arc;
 /// Rows per `Rows*` frame.
 pub const ROWS_PER_FRAME: usize = 1024;
 
-/// A running server. Dropping the handle stops accepting new connections.
+/// A running server. Dropping the handle stops serving.
 pub struct Server {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    inner: ServerInner,
+}
+
+/// The mode-specific machinery behind a [`Server`] handle.
+enum ServerInner {
+    /// Thread-per-connection: the accept loop plus its stop flag.
+    Threaded { stop: Arc<AtomicBool>, accept_thread: Option<std::thread::JoinHandle<()>> },
+    /// Reactor event loops (taken on shutdown).
+    Reactor(Option<crate::reactor::Reactor>),
 }
 
 /// Decrements the active-connection count when a worker exits, however it
@@ -43,8 +55,20 @@ impl Server {
     }
 
     /// Starts serving `db` on a fresh localhost port with explicit
-    /// timeouts, per-query deadline, and connection cap.
+    /// timeouts, per-query deadline, connection cap, and serving mode.
     pub fn start_with(db: Database, config: NetConfig) -> DbResult<Server> {
+        match config.mode {
+            ServeMode::Reactor => {
+                let reactor = crate::reactor::Reactor::start(db, config)?;
+                Ok(Server { addr: reactor.addr(), inner: ServerInner::Reactor(Some(reactor)) })
+            }
+            ServeMode::ThreadPerConn => Server::start_threaded(db, config),
+        }
+    }
+
+    /// The thread-per-connection baseline: one detached OS thread per
+    /// accepted socket.
+    fn start_threaded(db: Database, config: NetConfig) -> DbResult<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -58,7 +82,7 @@ impl Server {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             if active.load(Ordering::Relaxed) >= config.max_connections.max(1) {
-                                reject_connection(stream, &config);
+                                reject_stream(stream, &config);
                                 continue;
                             }
                             active.fetch_add(1, Ordering::Relaxed);
@@ -85,7 +109,10 @@ impl Server {
                 }
             })
             .map_err(|e| DbError::Io(format!("spawn accept thread: {e}")))?;
-        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            inner: ServerInner::Threaded { stop, accept_thread: Some(accept_thread) },
+        })
     }
 
     /// The address clients should connect to.
@@ -93,42 +120,56 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops serving: joins the accept thread (threaded mode) or every
+    /// event loop (reactor mode).
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        match &mut self.inner {
+            ServerInner::Threaded { stop, accept_thread } => {
+                stop.store(true, Ordering::Relaxed);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            ServerInner::Reactor(reactor) => {
+                if let Some(mut reactor) = reactor.take() {
+                    reactor.shutdown();
+                }
+            }
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_inner();
     }
 }
 
-/// Tells a client the server is at capacity: best-effort typed `Error`
-/// frame, then the connection drops. Never blocks the accept loop for
-/// long — a short write timeout guards the frame.
-fn reject_connection(stream: TcpStream, config: &NetConfig) {
+/// Tells a client the server is at capacity with a typed
+/// [`DbError::Rejected`] error frame (so clients can tell shed load from
+/// a torn connection), then drops the socket. Shared by both serving
+/// modes. Never blocks the accept path for long — a short write timeout
+/// guards the frame.
+pub(crate) fn reject_stream(stream: TcpStream, config: &NetConfig) {
     mlcs_columnar::metrics::counter("netproto.conn_rejected").incr();
+    // Reactor listeners are nonblocking; the rejection frame is written
+    // synchronously under a deadline instead.
+    let _ = stream.set_nonblocking(false);
     let _ = stream
         .set_write_timeout(Some(config.write_timeout.unwrap_or(std::time::Duration::from_secs(1))));
     let mut w = stream;
-    let _ = write_frame(
-        &mut w,
-        FrameKind::Error,
-        format!("io error: server at capacity ({} connections)", config.max_connections).as_bytes(),
-    );
+    let e =
+        DbError::Rejected(format!("server at capacity ({} connections)", config.max_connections));
+    let _ = write_frame(&mut w, FrameKind::Error, e.to_string().as_bytes());
     let _ = w.flush();
 }
 
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -220,31 +261,41 @@ fn stream_result(w: &mut impl Write, batch: &Batch, encoding: Encoding) -> DbRes
     let fields: Vec<(String, mlcs_columnar::DataType)> =
         batch.schema().fields().iter().map(|f| (f.name.clone(), f.dtype)).collect();
     write_frame(w, FrameKind::Schema, &encode_schema(&fields))?;
-    let mut payload = Vec::with_capacity(64 * ROWS_PER_FRAME);
     let mut start = 0;
     while start < batch.rows() {
         let end = (start + ROWS_PER_FRAME).min(batch.rows());
-        payload.clear();
-        match encoding {
-            Encoding::Text => encode_rows_text(batch, start, end, &mut payload),
-            Encoding::Binary => encode_rows_binary(batch, start, end, &mut payload),
-        }
-        let kind = match encoding {
-            Encoding::Text => FrameKind::RowsText,
-            Encoding::Binary => FrameKind::RowsBinary,
-        };
-        match encoding {
-            Encoding::Text => mlcs_columnar::metrics::counter("netproto.text.bytes_sent")
-                .add(payload.len() as u64),
-            Encoding::Binary => mlcs_columnar::metrics::counter("netproto.binary.bytes_sent")
-                .add(payload.len() as u64),
-        }
+        let (kind, payload) = encode_rows_chunk(batch, start, end, encoding);
         write_frame(w, kind, &payload)?;
         start = end;
     }
     mlcs_columnar::metrics::counter("netproto.server.queries").incr();
     write_frame(w, FrameKind::Done, &(batch.rows() as u64).to_le_bytes())?;
     Ok(())
+}
+
+/// Encodes rows `[start, end)` as one `Rows*` frame payload in the
+/// requested encoding, ticking the per-encoding byte counters. Shared by
+/// [`stream_result`] and the reactor's streaming path so both serving
+/// modes produce byte-identical frames.
+pub(crate) fn encode_rows_chunk(
+    batch: &Batch,
+    start: usize,
+    end: usize,
+    encoding: Encoding,
+) -> (FrameKind, Vec<u8>) {
+    let mut payload = Vec::with_capacity(64 * (end - start));
+    match encoding {
+        Encoding::Text => {
+            encode_rows_text(batch, start, end, &mut payload);
+            mlcs_columnar::metrics::counter("netproto.text.bytes_sent").add(payload.len() as u64);
+            (FrameKind::RowsText, payload)
+        }
+        Encoding::Binary => {
+            encode_rows_binary(batch, start, end, &mut payload);
+            mlcs_columnar::metrics::counter("netproto.binary.bytes_sent").add(payload.len() as u64);
+            (FrameKind::RowsBinary, payload)
+        }
+    }
 }
 
 /// Text encoding: rows separated by `\n`, fields by `\t`, NULL as `\N`,

@@ -8,7 +8,10 @@
 //! 2. **No panic escapes** a public API: a panicking UDF costs the client
 //!    one `Error` frame, never the connection or the server.
 //! 3. **Typed errors only** — failures surface as `DbError` variants, with
-//!    socket deadline expiries and query deadlines as `DbError::Timeout`.
+//!    socket deadline expiries and query deadlines as `DbError::Timeout`,
+//!    and deliberate shed load (connection cap, admission control) as
+//!    `DbError::Rejected` — never a stringly `Io` a client would mistake
+//!    for a torn connection.
 //! 4. **Byte-identical retried results** — a query that succeeds after
 //!    client retries returns exactly the fault-free result.
 //!
@@ -285,6 +288,34 @@ fn query_deadline_surfaces_as_typed_timeout() {
     // instead of a dead socket.
     let err2 = client.query("SELECT 1").unwrap_err();
     assert!(matches!(err2, DbError::Timeout { .. }), "connection died after a timeout: {err2}");
+    server.shutdown();
+}
+
+/// A connection over the cap is turned away with a typed
+/// `DbError::Rejected` frame — shed load, not a torn connection — and the
+/// server stays healthy for the connections it kept.
+#[test]
+fn capacity_rejection_is_typed() {
+    let _guard = TestGuard::arm("capacity_rejection_is_typed");
+    let db = seeded_db(5);
+    let config = NetConfig { max_connections: 1, ..chaos_net_config() };
+    let server = Server::start_with(db, config).unwrap();
+    let mut first = TextClient::connect_with(server.addr(), chaos_net_config()).unwrap();
+    assert_eq!(first.query("SELECT COUNT(*) FROM t").unwrap().rows(), 1); // holds the one slot
+
+    let mut second = TextClient::connect_with(server.addr(), chaos_net_config()).unwrap();
+    let err = second.query("SELECT 1").unwrap_err();
+    match &err {
+        DbError::Rejected(reason) => {
+            assert!(reason.contains("capacity"), "rejection must say why: {reason}")
+        }
+        other => panic!("expected DbError::Rejected for shed load, got {other:?}"),
+    }
+
+    // The kept connection still answers: the server shed load, it didn't
+    // fall over.
+    let batch = first.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(batch.row(0)[0], Value::Int64(5));
     server.shutdown();
 }
 

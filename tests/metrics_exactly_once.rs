@@ -5,7 +5,9 @@
 //! resilience event (connection rejected, idle timeout, client retry,
 //! recovered table, injected fault). The compressed-execution counters are
 //! pinned too: columns encoded by the heuristic, rows through dict-code
-//! fast paths, runs folded run-at-a-time, and fused kernels/rows.
+//! fast paths, runs folded run-at-a-time, and fused kernels/rows. The
+//! serving layer adds the reactor admission counters (adopted, admitted,
+//! shed) and the plan cache's hit/miss pair.
 //!
 //! A single `#[test]` on purpose: the registry is process-global, and a
 //! concurrent test in the same binary could move the very counters whose
@@ -106,6 +108,35 @@ fn counters_move_exactly_once_per_event() {
     drop(second);
     drop(first);
     server.shutdown();
+
+    // Reactor admission: one client query is one adopted connection, one
+    // admitted query, and nothing shed.
+    let server = Server::start(ndb.clone()).unwrap();
+    let before = metrics::snapshot();
+    let mut rc = TextClient::connect(server.addr()).unwrap();
+    assert_eq!(rc.query("SELECT x FROM r").unwrap().rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("netproto.evloop.accepted"), 1, "one connection adopted");
+    assert_eq!(delta.counter("netproto.evloop.queries"), 1, "one query admitted");
+    assert_eq!(delta.counter("netproto.evloop.shed"), 0, "nothing shed under the quota");
+    drop(rc);
+    server.shutdown();
+
+    // Plan cache: the first execution of a statement is exactly one miss,
+    // the second exactly one hit (parse, bind, and optimize skipped).
+    let cdb = Database::new();
+    cdb.execute("CREATE TABLE pc (x INTEGER)").unwrap();
+    cdb.execute("INSERT INTO pc VALUES (1)").unwrap();
+    let before = metrics::snapshot();
+    assert_eq!(cdb.query("SELECT x FROM pc").unwrap().rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1, "first execution is one miss");
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 0);
+    let before = metrics::snapshot();
+    assert_eq!(cdb.query("SELECT x FROM pc").unwrap().rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 1, "re-execution is one hit");
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 0);
 
     // Idle timeout: a connection that sends nothing costs exactly one
     // timeout tick when the server-side read deadline expires.

@@ -1,0 +1,266 @@
+//! Serving-layer suite: the epoll reactor under real concurrent load.
+//!
+//! Four invariants, mirroring the chaos suite's but for the multiplexed
+//! path specifically:
+//!
+//! 1. **Correctness under fan-in** — hundreds of concurrent clients (a
+//!    mix of text-protocol echo traffic and binary-protocol point
+//!    predictions) each get responses byte-identical to the embedded
+//!    in-process path.
+//! 2. **Typed shed load** — past the admission quota, queries get a
+//!    `DbError::Rejected` error frame immediately, never an untyped
+//!    hang or a torn connection.
+//! 3. **Plan-cache accounting** — the hit/miss counters move exactly
+//!    once per lookup, and a hit is visible in `EXPLAIN ANALYZE`.
+//! 4. **Fault tolerance** — the chaos injector's `net.read`/`net.write`
+//!    faults replay against the reactor's nonblocking read/write points:
+//!    every query returns the exact result or a typed transport error.
+//!
+//! The metrics registry and the fault injector are process-global, so
+//! the tests serialize on a mutex (same discipline as `tests/chaos.rs`).
+
+use mlcs::columnar::{faults, metrics, ClosureScalarUdf, Column, DataType, Database, DbError};
+use mlcs::mlcore::register_ml_udfs;
+use mlcs::netproto::{BinaryClient, NetConfig, RowCursor, Server, TextClient};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes the tests in this binary: global registry, global injector.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    guard
+}
+
+/// Tight-but-forgiving timeouts for the concurrent tests.
+fn serving_config() -> NetConfig {
+    NetConfig {
+        read_timeout: Some(Duration::from_secs(20)),
+        write_timeout: Some(Duration::from_secs(20)),
+        retry_base_delay: Duration::from_millis(2),
+        ..NetConfig::default()
+    }
+}
+
+/// A database with both workload shapes: an echo table and a trained
+/// model over the paper's 2-D points.
+fn serving_db() -> Database {
+    let db = Database::new();
+    register_ml_udfs(&db);
+    db.execute("CREATE TABLE t (x INTEGER, s VARCHAR)").unwrap();
+    let values: Vec<String> = (0..100).map(|i| format!("({i}, 'row-{i}')")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    db.execute("CREATE TABLE points (x DOUBLE, y DOUBLE, label INTEGER)").unwrap();
+    db.execute(
+        "INSERT INTO points VALUES (-2.0, -2.0, 0), (-1.5, -1.0, 0),
+                                   (-1.0, -2.5, 0), ( 1.0,  1.5, 1),
+                                   ( 2.0,  1.0, 1), ( 1.5,  2.5, 1)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE models AS SELECT * FROM train(
+           (SELECT x, y FROM points), (SELECT label FROM points), 4)",
+    )
+    .unwrap();
+    db
+}
+
+const ECHO_SQL: &str = "SELECT x, s FROM t ORDER BY x";
+const PREDICT_SQL: &str = "SELECT predict(x, y, (SELECT classifier FROM models)) AS p FROM points";
+
+fn assert_batches_equal(got: &mlcs::columnar::Batch, want: &mlcs::columnar::Batch, who: &str) {
+    assert_eq!(got.rows(), want.rows(), "{who}: row count differs");
+    for r in 0..want.rows() {
+        assert_eq!(got.row(r), want.row(r), "{who}: row {r} differs");
+    }
+}
+
+/// Hundreds of concurrent clients against one reactor server, all
+/// released at once through a barrier: every response must be
+/// byte-identical to the embedded (no-socket) path's answer for the same
+/// statement. Odd clients run binary-protocol predictions (repeat SQL
+/// text — the plan-cache hot path), even clients text-protocol echoes.
+#[test]
+fn concurrent_clients_match_the_embedded_path() {
+    let _guard = serial();
+    const CLIENTS: usize = 200;
+    let db = serving_db();
+    let expected_echo = RowCursor::query(&db, ECHO_SQL).unwrap().drain_to_batch().unwrap();
+    let expected_pred = RowCursor::query(&db, PREDICT_SQL).unwrap().drain_to_batch().unwrap();
+    let before = metrics::snapshot();
+    let server = Server::start_with(db, serving_config()).unwrap();
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let expected_echo = Arc::new(expected_echo);
+    let expected_pred = Arc::new(expected_pred);
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let barrier = barrier.clone();
+            let expected_echo = expected_echo.clone();
+            let expected_pred = expected_pred.clone();
+            std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    let mut client = TextClient::connect_with(addr, serving_config()).unwrap();
+                    barrier.wait();
+                    for _ in 0..3 {
+                        let batch = client.query(ECHO_SQL).unwrap();
+                        assert_batches_equal(&batch, &expected_echo, "echo client");
+                    }
+                } else {
+                    let mut client = BinaryClient::connect_with(addr, serving_config()).unwrap();
+                    barrier.wait();
+                    for _ in 0..3 {
+                        let batch = client.query(PREDICT_SQL).unwrap();
+                        assert_batches_equal(&batch, &expected_pred, "predict client");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    let delta = metrics::snapshot().since(&before);
+    assert!(
+        delta.counter("netproto.evloop.accepted") >= CLIENTS as u64,
+        "reactor adopted fewer connections than clients"
+    );
+    assert_eq!(
+        delta.counter("netproto.evloop.queries"),
+        (CLIENTS * 3) as u64,
+        "every client query must pass admission exactly once"
+    );
+    // Repeat SQL text across hundreds of clients: the plan cache must
+    // have absorbed the parse→bind→optimize cost for almost all of them.
+    assert!(
+        delta.counter("sql.plan_cache.hits") >= (CLIENTS * 3 - 10) as u64,
+        "plan cache barely hit: {} hits",
+        delta.counter("sql.plan_cache.hits")
+    );
+    server.shutdown();
+}
+
+/// With an admission quota of one, a query arriving while another is
+/// executing is shed with a typed `DbError::Rejected` — immediately, not
+/// after a timeout — and the admitted query still completes.
+#[test]
+fn admission_quota_sheds_with_typed_rejection() {
+    let _guard = serial();
+    let db = serving_db();
+    // A scalar UDF that sleeps: keeps the one admission slot occupied
+    // long enough for the second query to arrive.
+    db.register_scalar_udf(Arc::new(
+        ClosureScalarUdf::new("dawdle", DataType::Int32, |args: &[Arc<Column>]| {
+            std::thread::sleep(Duration::from_millis(1200));
+            Ok(args[0].as_ref().clone())
+        })
+        .with_arity(1),
+    ));
+    let config = NetConfig { max_inflight_queries: 1, ..serving_config() };
+    let before = metrics::snapshot();
+    let server = Server::start_with(db, config).unwrap();
+    let addr = server.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut client = TextClient::connect_with(addr, serving_config()).unwrap();
+        client.query("SELECT dawdle(x) FROM t WHERE x = 1")
+    });
+    // Give the slow query time to be admitted (inflight goes 0 → 1).
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut client = TextClient::connect_with(addr, serving_config()).unwrap();
+    let err = client.query("SELECT 1").unwrap_err();
+    match &err {
+        DbError::Rejected(reason) => {
+            assert!(reason.contains("overloaded"), "rejection must say why: {reason}")
+        }
+        other => panic!("expected DbError::Rejected for shed load, got {other:?}"),
+    }
+
+    let slow_result = slow.join().expect("slow client panicked");
+    assert_eq!(slow_result.expect("admitted query must complete").rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("netproto.evloop.shed"), 1, "exactly one query shed");
+
+    // The shed connection is still usable once the quota frees up.
+    let batch = client.query("SELECT 1").unwrap();
+    assert_eq!(batch.rows(), 1);
+    server.shutdown();
+}
+
+/// The plan-cache counters move exactly once per lookup: first execution
+/// of a statement is one miss, re-execution one hit — and `EXPLAIN
+/// ANALYZE` reports the hit without consuming it.
+#[test]
+fn plan_cache_counters_move_exactly_once() {
+    let _guard = serial();
+    let db = Database::new();
+    db.execute("CREATE TABLE q (x INTEGER)").unwrap();
+    db.execute("INSERT INTO q VALUES (1), (2), (3)").unwrap();
+
+    let before = metrics::snapshot();
+    assert_eq!(db.query("SELECT x FROM q ORDER BY x").unwrap().rows(), 3);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1, "first execution is one miss");
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 0);
+
+    let before = metrics::snapshot();
+    assert_eq!(db.query("SELECT x FROM q ORDER BY x").unwrap().rows(), 3);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 1, "re-execution is one hit");
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 0);
+
+    // EXPLAIN ANALYZE sees the cached entry and says so.
+    let batch = db.query("EXPLAIN ANALYZE SELECT x FROM q ORDER BY x").unwrap();
+    let text: String = (0..batch.rows()).map(|r| format!("{:?}\n", batch.row(r)[0])).collect();
+    assert!(text.contains("plan cache: hit"), "EXPLAIN ANALYZE missing cache note:\n{text}");
+
+    // DDL invalidates: the next lookup re-plans (one fresh miss).
+    db.execute("CREATE TABLE unrelated (y INTEGER)").unwrap();
+    let before = metrics::snapshot();
+    assert_eq!(db.query("SELECT x FROM q ORDER BY x").unwrap().rows(), 3);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1, "DDL must invalidate the cache");
+}
+
+/// The chaos injector's connection faults, replayed against the
+/// reactor's nonblocking read/write points: every query either returns
+/// the exact fault-free result or a typed transport error, and retries
+/// rescue a healthy majority.
+#[test]
+fn reactor_survives_injected_connection_faults() {
+    let _guard = serial();
+    let seed =
+        std::env::var("MLCS_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE);
+    println!("serving chaos seed: {seed} (set MLCS_CHAOS_SEED to replay)");
+    let db = serving_db();
+    let expected = RowCursor::query(&db, ECHO_SQL).unwrap().drain_to_batch().unwrap();
+    let config = NetConfig { retries: 6, ..serving_config() };
+    let server = Server::start_with(db, config).unwrap();
+
+    faults::configure_str("net.read:err:0.05,net.write:err:0.04,net.read:short:0.03", seed)
+        .unwrap();
+    let mut ok = 0usize;
+    for _ in 0..25 {
+        let mut client = match TextClient::connect_with(server.addr(), config) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        match client.query(ECHO_SQL) {
+            Ok(batch) => {
+                assert_batches_equal(&batch, &expected, "chaos client");
+                ok += 1;
+            }
+            Err(e) => match e {
+                DbError::Io(_) | DbError::Corrupt(_) | DbError::Timeout { .. } => {}
+                other => panic!("untyped error through the reactor: {other:?} (seed {seed})"),
+            },
+        }
+    }
+    faults::clear();
+    assert!(ok > 0, "all 25 queries failed; retries never rescued one (seed {seed})");
+    server.shutdown();
+}
