@@ -7,18 +7,19 @@ use crate::error::{DbError, DbResult};
 use crate::expr::{eval, eval_predicate, EvalContext};
 use crate::schema::{Field, Schema};
 use crate::sql::binder::bind;
+use crate::sql::estimate;
 use crate::sql::execute::{
     evaluate_scalar_subqueries, execute_plan_traced, execute_plan_with, substitute_in_plan,
     ExecOptions, PlanTrace, DEFAULT_PARALLEL_THRESHOLD,
 };
-use crate::sql::optimizer::{explain_annotation, optimize};
+use crate::sql::optimizer::{explain_annotation, optimize_with_stats};
 use crate::sql::parser::{parse, parse_many};
-use crate::sql::plan::BoundStatement;
+use crate::sql::plan::{BoundStatement, LogicalPlan};
 use crate::sql::plan_cache::{CacheStamp, CachedQuery, PlanCache};
 use crate::table::Table;
 use crate::types::{DataType, Value};
 use crate::udf::{FunctionRegistry, ScalarUdf, TableUdf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,7 +75,7 @@ impl QueryResult {
 ///
 /// `Database` is cheap to clone (`Arc` internals) and safe to share across
 /// threads; the catalog and registry use interior locking.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Database {
     catalog: Arc<Catalog>,
     functions: Arc<FunctionRegistry>,
@@ -88,6 +89,24 @@ pub struct Database {
     /// parse→bind→optimize. Invalidated by catalog / registry generation
     /// stamps. Shared across clones.
     plan_cache: Arc<PlanCache>,
+    /// Whether cost-based optimization on live column statistics is
+    /// active. Defaults to on unless `MLCS_DISABLE_STATS` is set; the
+    /// env kill-switch always wins over [`Self::set_stats_enabled`].
+    /// Shared across clones.
+    stats_enabled: Arc<AtomicBool>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database {
+            catalog: Arc::default(),
+            functions: Arc::default(),
+            threads: Arc::default(),
+            parallel_threshold: Arc::default(),
+            plan_cache: Arc::default(),
+            stats_enabled: Arc::new(AtomicBool::new(crate::stats::env_enabled())),
+        }
+    }
 }
 
 impl Database {
@@ -134,6 +153,54 @@ impl Database {
         self.parallel_threshold.store(rows, Ordering::Relaxed);
     }
 
+    /// Enables or disables cost-based optimization on live column
+    /// statistics (build-side selection, join reordering, conjunct
+    /// ordering, stats-answered aggregates). The `MLCS_DISABLE_STATS`
+    /// environment kill-switch overrides this toggle.
+    pub fn set_stats_enabled(&self, on: bool) {
+        self.stats_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether cost-based optimization is active (toggle AND env switch).
+    pub fn stats_enabled(&self) -> bool {
+        self.stats_enabled.load(Ordering::Relaxed) && crate::stats::env_enabled()
+    }
+
+    /// Whether any recorded table row count has drifted far enough —
+    /// 2× growth, 2× shrink, or first rows into a table optimized empty —
+    /// that a cost-based plan choice (join order, build side) made at
+    /// those counts should be revisited. Missing tables do not count as
+    /// drift: the generation stamp already invalidates on DDL.
+    fn stats_drifted(&self, recorded: &[(String, u64)]) -> bool {
+        recorded.iter().any(|(name, rows0)| {
+            let Ok(handle) = self.catalog.table(name) else {
+                return false;
+            };
+            let cur = handle.read().rows() as u64;
+            if *rows0 == 0 {
+                cur > 0
+            } else {
+                cur >= rows0.saturating_mul(2) || cur <= *rows0 / 2
+            }
+        })
+    }
+
+    /// Current row counts of the tables a plan scans, recorded into the
+    /// plan cache so later lookups can detect drift.
+    fn recorded_rows(&self, plan: &LogicalPlan) -> Vec<(String, u64)> {
+        let mut names = Vec::new();
+        estimate::scan_tables(plan, &mut names);
+        names.sort();
+        names.dedup();
+        names
+            .into_iter()
+            .filter_map(|n| {
+                let rows = self.catalog.table(&n).ok().map(|t| t.read().rows() as u64)?;
+                Some((n, rows))
+            })
+            .collect()
+    }
+
     /// The execution options derived from this database's settings.
     fn exec_options(&self) -> ExecOptions {
         let threshold = match self.parallel_threshold.load(Ordering::Relaxed) {
@@ -176,7 +243,17 @@ impl Database {
     pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> DbResult<QueryResult> {
         let start = Instant::now();
         let stamp = self.cache_stamp();
-        if let Some(cached) = self.plan_cache.lookup(sql, stamp) {
+        let valid = |q: &CachedQuery| {
+            if self.stats_drifted(&q.table_rows) {
+                // The plan's cost-based choices were made at row counts
+                // that no longer hold; drop it and re-optimize below.
+                crate::metrics::counter("sql.cost.reoptimized").incr();
+                false
+            } else {
+                true
+            }
+        };
+        if let Some(cached) = self.plan_cache.lookup(sql, stamp, valid) {
             // Hit: parse, bind, and optimize are all skipped.
             let mut result = self.run_cached(&cached, opts)?;
             result.elapsed = start.elapsed();
@@ -184,9 +261,13 @@ impl Database {
         }
         let stmt = parse(sql)?;
         let bound = bind(stmt, &self.catalog, &self.functions)?;
-        self.maybe_cache(sql, &bound, stamp);
         let probe = self.analyze_probe(sql, &bound, stamp);
-        let mut result = self.run_bound_probe(bound, opts, probe)?;
+        let mut result = match bound {
+            BoundStatement::Query { plan, scalar_subs } => {
+                self.run_query_fresh(sql, plan, scalar_subs, stamp, opts)?
+            }
+            other => self.run_bound_probe(other, opts, probe)?,
+        };
         result.elapsed = start.elapsed();
         Ok(result)
     }
@@ -209,23 +290,49 @@ impl Database {
         })
     }
 
-    /// Caches the optimized plan for a plain `SELECT` after a cache miss.
+    /// Executes a plain `SELECT` after a cache miss: optimizes the
+    /// pre-substitution plan exactly once, caches it (scalar subqueries
+    /// stay symbolic and are substituted per execution), then runs it.
     /// Only `Query` statements are cachable (DDL/DML must re-run their
     /// side effects; EXPLAIN is a diagnostic), and only they tick
     /// `sql.plan_cache.misses`, so hits+misses counts SELECT traffic.
-    fn maybe_cache(&self, sql: &str, bound: &BoundStatement, stamp: CacheStamp) {
-        if let BoundStatement::Query { plan, scalar_subs } = bound {
-            crate::metrics::counter("sql.plan_cache.misses").incr();
-            // The pre-substitution plan is optimized and cached; scalar
-            // subqueries stay symbolic and are substituted per execution.
-            if let Ok(optimized) = optimize(plan.clone()) {
-                self.plan_cache.insert(
-                    sql,
-                    CachedQuery { plan: optimized, scalar_subs: scalar_subs.clone() },
-                    stamp,
-                );
-            }
+    /// Plans answered entirely from statistics are **not** cached: their
+    /// literals bake in the table contents at optimize time, which the
+    /// next INSERT would silently stale.
+    fn run_query_fresh(
+        &self,
+        sql: &str,
+        plan: LogicalPlan,
+        scalar_subs: Vec<LogicalPlan>,
+        stamp: CacheStamp,
+        opts: &ExecOptions,
+    ) -> DbResult<QueryResult> {
+        crate::metrics::counter("sql.plan_cache.misses").incr();
+        let use_stats = self.stats_enabled();
+        let outcome = optimize_with_stats(plan, &self.catalog, use_stats)?;
+        if !outcome.from_stats {
+            let table_rows = if use_stats { self.recorded_rows(&outcome.plan) } else { Vec::new() };
+            self.plan_cache.insert(
+                sql,
+                CachedQuery {
+                    plan: outcome.plan.clone(),
+                    scalar_subs: scalar_subs.clone(),
+                    table_rows,
+                },
+                stamp,
+            );
         }
+        let values = evaluate_scalar_subqueries(&scalar_subs, &self.catalog, &self.functions)?;
+        let mut plan = outcome.plan;
+        substitute_in_plan(&mut plan, &values);
+        crate::verify::verify_plan(&plan, &self.functions)?;
+        let batch = execute_plan_with(&plan, &self.catalog, &self.functions, opts)?;
+        Ok(QueryResult {
+            rows_affected: batch.rows(),
+            batch,
+            elapsed: Duration::ZERO,
+            kind: StatementKind::Query,
+        })
     }
 
     /// For `EXPLAIN ANALYZE <stmt>`, probes (without counter ticks or LRU
@@ -241,7 +348,9 @@ impl Database {
             BoundStatement::Explain { analyze: true, .. } => {
                 let inner = strip_keyword(sql.trim_start(), "EXPLAIN")?;
                 let inner = strip_keyword(inner.trim_start(), "ANALYZE")?;
-                self.plan_cache.probe(inner, stamp)
+                // Same drift check as a real lookup, but tick-free and
+                // non-destructive: EXPLAIN must not perturb the cache.
+                self.plan_cache.probe(inner, stamp, |q| !self.stats_drifted(&q.table_rows))
             }
             _ => None,
         }
@@ -312,7 +421,7 @@ impl Database {
             BoundStatement::CreateTableAs { name, mut plan, scalar_subs, if_not_exists } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
-                let plan = optimize(plan)?;
+                let plan = optimize_with_stats(plan, catalog, self.stats_enabled())?.plan;
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let rows = batch.rows();
@@ -337,7 +446,7 @@ impl Database {
             BoundStatement::InsertQuery { table, column_map, mut plan, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
-                let plan = optimize(plan)?;
+                let plan = optimize_with_stats(plan, catalog, self.stats_enabled())?.plan;
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let handle = catalog.table(&table)?;
@@ -412,7 +521,7 @@ impl Database {
             BoundStatement::Query { mut plan, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 substitute_in_plan(&mut plan, &values);
-                let plan = optimize(plan)?;
+                let plan = optimize_with_stats(plan, catalog, self.stats_enabled())?.plan;
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 Ok(QueryResult {
@@ -442,11 +551,19 @@ impl Database {
                             let values =
                                 evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                             substitute_in_plan(&mut plan, &values);
-                            (optimize(plan)?, "plan cache: miss\n")
+                            (
+                                optimize_with_stats(plan, catalog, self.stats_enabled())?.plan,
+                                "plan cache: miss\n",
+                            )
                         }
                     };
                     crate::verify::verify_plan(&plan, functions)?;
                     let trace = PlanTrace::new();
+                    if self.stats_enabled() {
+                        // Per-operator cardinality estimates, printed as
+                        // `est=N` next to the actual row counts.
+                        trace.set_estimates(estimate::estimate_map(&plan, catalog));
+                    }
                     let start = Instant::now();
                     let result = execute_plan_traced(&plan, catalog, functions, opts, &trace)?;
                     let total = start.elapsed();
@@ -463,7 +580,7 @@ impl Database {
                     // placeholders are shown as `$subqueryN` and each
                     // subplan is listed. The verifier types the
                     // placeholders from the subplans.
-                    let plan = optimize(plan)?;
+                    let plan = optimize_with_stats(plan, catalog, self.stats_enabled())?.plan;
                     crate::verify::verify_statement(
                         &BoundStatement::Explain {
                             plan: plan.clone(),

@@ -1,7 +1,15 @@
 //! Hash joins: inner, left outer, and cross.
 //!
-//! The build side is always the right input; the probe side streams the
-//! left input. Key equality follows SQL: NULL keys never match.
+//! The *default* build side is the right input, with the probe side
+//! streaming the left input ([`hash_join`] / [`hash_join_par`]). The
+//! cost-based optimizer may flip that choice: when the left input is
+//! estimated at half the right input's cardinality or less, it sets
+//! `build_left` on the join plan node and the executor calls
+//! [`hash_join_build_left`] / [`hash_join_build_left_par`], which build
+//! the hash table on the (smaller) left side, probe the right side, and
+//! sort the matched index pairs back into probe-row order — so the
+//! output is bit-identical to the canonical right-build join no matter
+//! which side was built. Key equality follows SQL: NULL keys never match.
 
 use crate::batch::Batch;
 use crate::error::{DbError, DbResult};
@@ -296,6 +304,275 @@ where
     assemble(left, right, &lidx, &ridx)
 }
 
+/// [`hash_join`] with the build side swapped to the *left* input.
+///
+/// The swap rule lives in the optimizer: it flips the build side only
+/// for Inner/Left joins and only when `est(left) * 2 <= est(right)` —
+/// i.e. the hash table would be built over at most half as many rows as
+/// the default right-side build. Output order is restored by a counting
+/// scatter over the matched `(build, probe)` index pairs, so results are
+/// bit-identical to [`hash_join`] (including left-join NULL padding and
+/// duplicate-key multiplication).
+pub fn hash_join_build_left(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+) -> DbResult<Batch> {
+    if join_type == JoinType::Cross {
+        return cross_join(left, right);
+    }
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(DbError::internal(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let lcols: Vec<_> = left_keys.iter().map(|&i| left.column(i).as_ref()).collect();
+    let rcols: Vec<_> = right_keys.iter().map(|&i| right.column(i).as_ref()).collect();
+
+    // (left row, right row) match pairs, in probe (right-row) order for
+    // now; `finish_build_left` scatters them back into canonical order.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(right.rows());
+
+    if rowkey::int_fast_path(&lcols) && rowkey::int_fast_path(&rcols) {
+        let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(left.rows());
+        for row in 0..left.rows() {
+            if let Some(k) = rowkey::int_key(lcols[0], row) {
+                table.entry(k).or_default().push(row as u32);
+            }
+        }
+        for row in 0..right.rows() {
+            if let Some(ms) = rowkey::int_key(rcols[0], row).and_then(|k| table.get(&k)) {
+                for &ml in ms {
+                    pairs.push((ml, row as u32));
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<Vec<u8>, Vec<u32>> = HashMap::with_capacity(left.rows());
+        let mut key = Vec::new();
+        for row in 0..left.rows() {
+            if lcols.iter().any(|c| c.is_null(row)) {
+                continue; // NULL keys never match
+            }
+            rowkey::encode_key(&lcols, row, &mut key);
+            table.entry(std::mem::take(&mut key)).or_default().push(row as u32);
+        }
+        for row in 0..right.rows() {
+            if rcols.iter().any(|c| c.is_null(row)) {
+                continue;
+            }
+            rowkey::encode_key(&rcols, row, &mut key);
+            if let Some(ms) = table.get(&key) {
+                for &ml in ms {
+                    pairs.push((ml, row as u32));
+                }
+            }
+        }
+    }
+
+    finish_build_left(left, right, pairs, join_type)
+}
+
+/// Morsel-parallel [`hash_join_build_left`]: the same three-phase shape as
+/// [`hash_join_par`] with the roles swapped (partitioned parallel build
+/// over the *left* input, morsel-parallel probe over the *right*), then
+/// the canonical-order restore shared with the serial swapped join. Falls
+/// back to the serial path for cross joins and below the policy threshold.
+pub fn hash_join_build_left_par(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    par: Parallelism,
+) -> DbResult<Batch> {
+    if join_type == JoinType::Cross || !par.enabled(left.rows().max(right.rows())) {
+        return hash_join_build_left(left, right, left_keys, right_keys, join_type);
+    }
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(DbError::internal(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let int_keys = {
+        let lcols: Vec<_> = left_keys.iter().map(|&i| left.column(i).as_ref()).collect();
+        let rcols: Vec<_> = right_keys.iter().map(|&i| right.column(i).as_ref()).collect();
+        rowkey::int_fast_path(&lcols) && rowkey::int_fast_path(&rcols)
+    };
+    if int_keys {
+        build_left_par_generic(left, right, left_keys, right_keys, join_type, par, morsel_keys_int)
+    } else {
+        build_left_par_generic(
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            par,
+            morsel_keys_bytes,
+        )
+    }
+}
+
+/// Parallel body of the swapped-build join, generic over key
+/// representation. Phases 1–2 mirror [`join_par_generic`] with the left
+/// input as the build side; phase 3 probes right-side morsels and emits
+/// `(left, right)` pairs in probe order — the counting scatter in
+/// [`finish_build_left`] makes the output canonical.
+fn build_left_par_generic<K, KF>(
+    left: &Batch,
+    right: &Batch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    par: Parallelism,
+    key_fn: KF,
+) -> DbResult<Batch>
+where
+    K: Eq + Hash + Send + Sync + 'static,
+    KF: Fn(&Batch, &[usize], Morsel) -> Vec<Option<K>> + Send + Sync + Copy + 'static,
+{
+    let nparts = par.threads.max(1);
+
+    // Phase 1: partition the build side (the LEFT input) per morsel.
+    let buckets = {
+        let lbatch = left.clone();
+        let lkeys = left_keys.to_vec();
+        parallel_map(left.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
+            let ks = key_fn(&lbatch, &lkeys, m);
+            let mut parts: Vec<Vec<(K, u32)>> = (0..nparts).map(|_| Vec::new()).collect();
+            for (i, k) in ks.into_iter().enumerate() {
+                if let Some(k) = k {
+                    let p = part_of(&k, nparts);
+                    parts[p].push((k, (m.start + i) as u32));
+                }
+            }
+            Ok(parts)
+        })?
+    };
+
+    // Phase 2: regroup by partition and build each partition's table.
+    let mut per_part: Vec<PartitionChunks<K>> = (0..nparts).map(|_| Vec::new()).collect();
+    for morsel_parts in buckets {
+        for (p, chunk) in morsel_parts.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                per_part[p].push(chunk);
+            }
+        }
+    }
+    let per_part: Arc<Vec<Mutex<PartitionChunks<K>>>> =
+        Arc::new(per_part.into_iter().map(Mutex::new).collect());
+    let tables: Vec<HashMap<K, Vec<u32>>> = {
+        let pp = Arc::clone(&per_part);
+        parallel_map(nparts, 1, par.threads, move |m| {
+            let chunks = std::mem::take(&mut *pp[m.start].lock());
+            let mut table: HashMap<K, Vec<u32>> = HashMap::new();
+            for chunk in chunks {
+                for (k, row) in chunk {
+                    table.entry(k).or_default().push(row);
+                }
+            }
+            Ok(table)
+        })?
+    };
+
+    // Phase 3: morsel-parallel probe over the RIGHT input.
+    let chunks = {
+        let tables = Arc::new(tables);
+        let rbatch = right.clone();
+        let rkeys = right_keys.to_vec();
+        parallel_map(right.rows(), par.morsel_rows, par.threads, move |m| {
+            par.check_deadline()?;
+            let ks = key_fn(&rbatch, &rkeys, m);
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for (i, k) in ks.into_iter().enumerate() {
+                let row = (m.start + i) as u32;
+                if let Some(ms) = k.as_ref().and_then(|key| tables[part_of(key, nparts)].get(key)) {
+                    for &ml in ms {
+                        pairs.push((ml, row));
+                    }
+                }
+            }
+            Ok(pairs)
+        })?
+    };
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(total);
+    for c in chunks {
+        pairs.extend(c);
+    }
+    finish_build_left(left, right, pairs, join_type)
+}
+
+/// Restores canonical probe-row order after a swapped-build join and
+/// assembles the output. Pairs are reordered to `(left row, right row)`
+/// — exactly the order the right-build probe emits — and, for LEFT
+/// joins, unmatched left rows are NULL-padded in position.
+fn finish_build_left(
+    left: &Batch,
+    right: &Batch,
+    pairs: Vec<(u32, u32)>,
+    join_type: JoinType,
+) -> DbResult<Batch> {
+    // Pairs arrive in ascending probe (right-row) order — serially by
+    // construction, in the parallel path because morsel results are
+    // concatenated in morsel order. A stable counting scatter keyed on
+    // the build (left) row therefore yields full (l, r) order in
+    // O(pairs + build rows); the build side is small by the optimizer's
+    // swap rule, so this beats a comparison sort over the match set.
+    // The scatter writes straight into the output index vectors.
+    let mut counts = vec![0usize; left.rows()];
+    for &(l, _) in &pairs {
+        counts[l as usize] += 1;
+    }
+    let (lidx, ridx) = if join_type == JoinType::Left {
+        // Each left row owns a block of max(matches, 1) output slots;
+        // an unmatched row keeps its single NULL-padded slot.
+        let mut starts = vec![0usize; left.rows() + 1];
+        for (l, &c) in counts.iter().enumerate() {
+            starts[l + 1] = starts[l] + c.max(1);
+        }
+        let total = starts[left.rows()];
+        let mut lidx = vec![0u32; total];
+        let mut ridx: Vec<Option<u32>> = vec![None; total];
+        for l in 0..left.rows() {
+            for slot in &mut lidx[starts[l]..starts[l + 1]] {
+                *slot = l as u32;
+            }
+        }
+        for (l, r) in pairs {
+            let slot = &mut starts[l as usize];
+            ridx[*slot] = Some(r);
+            *slot += 1;
+        }
+        (lidx, ridx)
+    } else {
+        let mut cursor = vec![0usize; left.rows()];
+        let mut acc = 0;
+        for (l, &c) in counts.iter().enumerate() {
+            cursor[l] = acc;
+            acc += c;
+        }
+        let mut lidx = vec![0u32; pairs.len()];
+        let mut ridx: Vec<Option<u32>> = vec![None; pairs.len()];
+        for (l, r) in pairs {
+            let slot = &mut cursor[l as usize];
+            lidx[*slot] = l;
+            ridx[*slot] = Some(r);
+            *slot += 1;
+        }
+        (lidx, ridx)
+    };
+    assemble(left, right, &lidx, &ridx)
+}
+
 fn cross_join(left: &Batch, right: &Batch) -> DbResult<Batch> {
     let (ln, rn) = (left.rows(), right.rows());
     let total = ln
@@ -516,6 +793,83 @@ mod tests {
             let serial = hash_join(&l, &r, &[0], &[0], jt).unwrap();
             let parallel = hash_join_par(&l, &r, &[0], &[0], jt, force_par()).unwrap();
             assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn build_left_matches_canonical_int_keys() {
+        let l = Batch::from_columns(vec![
+            (
+                "k",
+                Column::from_opt_i32s(
+                    (0..100).map(|i| if i % 7 == 0 { None } else { Some(i % 13) }).collect(),
+                ),
+            ),
+            ("v", Column::from_i32s((0..100).collect())),
+        ])
+        .unwrap();
+        let r = Batch::from_columns(vec![
+            (
+                "k",
+                Column::from_opt_i32s(
+                    (0..40).map(|i| if i % 5 == 0 { None } else { Some(i % 11) }).collect(),
+                ),
+            ),
+            ("w", Column::from_i32s((100..140).collect())),
+        ])
+        .unwrap();
+        for jt in [JoinType::Inner, JoinType::Left] {
+            let canonical = hash_join(&l, &r, &[0], &[0], jt).unwrap();
+            let swapped = hash_join_build_left(&l, &r, &[0], &[0], jt).unwrap();
+            assert_eq!(canonical, swapped, "{jt:?} serial");
+            let swapped_par =
+                hash_join_build_left_par(&l, &r, &[0], &[0], jt, force_par()).unwrap();
+            assert_eq!(canonical, swapped_par, "{jt:?} parallel");
+        }
+    }
+
+    #[test]
+    fn build_left_matches_canonical_byte_keys() {
+        let names: Vec<String> = (0..60).map(|i| format!("n{}", i % 9)).collect();
+        let l = Batch::from_columns(vec![
+            ("name", Column::from_strings(names.iter().map(String::as_str))),
+            ("v", Column::from_i32s((0..60).collect())),
+        ])
+        .unwrap();
+        let rnames: Vec<String> = (0..20).map(|i| format!("n{}", i % 6)).collect();
+        let r = Batch::from_columns(vec![
+            ("name", Column::from_strings(rnames.iter().map(String::as_str))),
+            ("w", Column::from_i32s((0..20).collect())),
+        ])
+        .unwrap();
+        for jt in [JoinType::Inner, JoinType::Left] {
+            let canonical = hash_join(&l, &r, &[0], &[0], jt).unwrap();
+            let swapped = hash_join_build_left(&l, &r, &[0], &[0], jt).unwrap();
+            assert_eq!(canonical, swapped, "{jt:?} serial");
+            let swapped_par =
+                hash_join_build_left_par(&l, &r, &[0], &[0], jt, force_par()).unwrap();
+            assert_eq!(canonical, swapped_par, "{jt:?} parallel");
+        }
+    }
+
+    #[test]
+    fn build_left_duplicate_keys_and_empty_sides() {
+        let l = Batch::from_columns(vec![("k", Column::from_i32s(vec![1, 1]))]).unwrap();
+        let r = Batch::from_columns(vec![("k", Column::from_i32s(vec![1, 1, 1]))]).unwrap();
+        assert_eq!(
+            hash_join(&l, &r, &[0], &[0], JoinType::Inner).unwrap(),
+            hash_join_build_left(&l, &r, &[0], &[0], JoinType::Inner).unwrap()
+        );
+        let empty = Batch::from_columns(vec![("k", Column::from_i32s(vec![]))]).unwrap();
+        for jt in [JoinType::Inner, JoinType::Left] {
+            assert_eq!(
+                hash_join(&l, &empty, &[0], &[0], jt).unwrap(),
+                hash_join_build_left(&l, &empty, &[0], &[0], jt).unwrap()
+            );
+            assert_eq!(
+                hash_join(&empty, &r, &[0], &[0], jt).unwrap(),
+                hash_join_build_left(&empty, &r, &[0], &[0], jt).unwrap()
+            );
         }
     }
 

@@ -11,7 +11,9 @@ pub mod rowkey;
 pub mod sort;
 
 pub use aggregate::{hash_aggregate, hash_aggregate_par, AggCall, AggFunc};
-pub use join::{hash_join, hash_join_par, JoinType};
+pub use join::{
+    hash_join, hash_join_build_left, hash_join_build_left_par, hash_join_par, JoinType,
+};
 pub use sort::{limit, sort, sort_par, SortKey};
 
 use crate::batch::Batch;

@@ -53,6 +53,7 @@ pub mod parallel;
 pub mod persist;
 pub mod schema;
 pub mod sql;
+pub mod stats;
 pub mod strings;
 pub mod table;
 pub mod types;

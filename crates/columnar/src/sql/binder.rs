@@ -865,6 +865,7 @@ impl<'a> Binder<'a> {
             left_keys,
             right_keys,
             residual,
+            build_left: false,
             schema,
         };
         Ok((plan, combined))

@@ -20,6 +20,16 @@ use std::time::{Duration, Instant};
 /// scheduling overhead swamps the win on small batches.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32 * 1024;
 
+/// Divisor applied to the parallel threshold for heavy operators (hash
+/// join, hash aggregate, sort). Per-row cost there is several times a
+/// filter/project's, so the morsel-scheduling overhead amortizes at a
+/// proportionally smaller input: with the default 32K threshold these
+/// operators go parallel at 8K rows. Plan-time cardinality estimates
+/// (see [`crate::sql::estimate`]) pick the operator shapes; this runtime
+/// gate still keys off actual input rows so estimation error can never
+/// serialize a genuinely large input.
+pub const HEAVY_OP_DIVISOR: usize = 4;
+
 /// Knobs controlling parallel execution of a plan.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
@@ -63,6 +73,15 @@ impl ExecOptions {
     pub fn with_timeout(mut self, timeout: Duration) -> ExecOptions {
         self.deadline = Some(Instant::now() + timeout);
         self
+    }
+
+    /// These options with the parallel threshold lowered for a heavy
+    /// operator (join/aggregate/sort) — see [`HEAVY_OP_DIVISOR`]. A
+    /// serial policy (`usize::MAX`) stays effectively serial, and a
+    /// forced-parallel threshold of 1 stays 1 (`Parallelism::enabled`
+    /// clamps the threshold to at least 1).
+    fn for_heavy(&self) -> ExecOptions {
+        ExecOptions { parallel_threshold: self.parallel_threshold / HEAVY_OP_DIVISOR, ..*self }
     }
 
     /// The operator-level policy under these options, given whether every
@@ -112,6 +131,11 @@ pub struct NodeStats {
     pub dict: bool,
     /// Whether the operator saw run-length-encoded input columns.
     pub rle: bool,
+    /// The optimizer's estimated output cardinality for this node, when
+    /// column statistics were available at plan time (see
+    /// [`crate::sql::estimate`]). Shown as `est=N` so estimation error is
+    /// visible next to actual rows.
+    pub est: Option<u64>,
 }
 
 /// Per-node statistics collected while executing a plan, keyed by node
@@ -120,6 +144,9 @@ pub struct NodeStats {
 #[derive(Debug, Default)]
 pub struct PlanTrace {
     nodes: Mutex<HashMap<usize, NodeStats>>,
+    /// Plan-time cardinality estimates keyed like `nodes` (node address),
+    /// installed via [`PlanTrace::set_estimates`] before execution.
+    ests: Mutex<HashMap<usize, u64>>,
 }
 
 impl PlanTrace {
@@ -132,12 +159,33 @@ impl PlanTrace {
         plan as *const LogicalPlan as usize
     }
 
-    fn record(&self, plan: &LogicalPlan, stats: NodeStats) {
+    /// Installs plan-time cardinality estimates (from
+    /// [`crate::sql::estimate::estimate_map`] over the same plan value)
+    /// so `EXPLAIN ANALYZE` can print `est=N` next to actual rows.
+    pub fn set_estimates(&self, estimates: HashMap<usize, u64>) {
+        let mut ests = match self.ests.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *ests = estimates;
+    }
+
+    fn est_for(&self, key: usize) -> Option<u64> {
+        let ests = match self.ests.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        ests.get(&key).copied()
+    }
+
+    fn record(&self, plan: &LogicalPlan, mut stats: NodeStats) {
+        let key = Self::key(plan);
+        stats.est = self.est_for(key);
         let mut nodes = match self.nodes.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        nodes.insert(Self::key(plan), stats);
+        nodes.insert(key, stats);
     }
 
     /// The statistics recorded for `plan`'s node, if it executed.
@@ -159,6 +207,9 @@ impl PlanTrace {
     pub fn annotation(&self, plan: &LogicalPlan) -> Option<String> {
         let s = self.get(plan)?;
         let mut out = format!(" (rows={}", s.rows_out);
+        if let Some(e) = s.est {
+            out.push_str(&format!(", est={e}"));
+        }
         if !plan.children().is_empty() {
             out.push_str(&format!(", in={}", s.rows_in));
         }
@@ -392,6 +443,7 @@ fn execute_view(
                 fused: flags.fused,
                 dict: flags.dict,
                 rle: flags.rle,
+                est: None, // filled from the trace's estimate map in record()
             },
         );
     }
@@ -489,17 +541,30 @@ fn run_operator(
             let out = project_par(&narrow, &ex, schema.clone(), functions, par)?;
             Ok((ExecView::full(out), flags))
         }
-        LogicalPlan::Join { left, right, join_type, left_keys, right_keys, residual, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            build_left,
+            schema,
+        } => {
             let l = execute_node(left, catalog, functions, opts, trace)?;
             let r = execute_node(right, catalog, functions, opts, trace)?;
             // The hash join itself evaluates no expressions, so it is
-            // gated only by the row threshold.
-            let par = opts.parallelism(true);
+            // gated only by the row threshold (lowered for heavy ops).
+            let par = opts.for_heavy().parallelism(true);
             // Mirror hash_join_par's own gate (build or probe side big
             // enough, cross joins always serial).
             let ran_parallel =
                 *join_type != exec::JoinType::Cross && par.enabled(l.rows().max(r.rows()));
-            let mut joined = exec::hash_join_par(&l, &r, left_keys, right_keys, *join_type, par)?;
+            let mut joined = if *build_left {
+                exec::hash_join_build_left_par(&l, &r, left_keys, right_keys, *join_type, par)?
+            } else {
+                exec::hash_join_par(&l, &r, left_keys, right_keys, *join_type, par)?
+            };
             if let Some(pred) = residual {
                 let par = par_for(opts, &[pred], functions);
                 joined = exec::filter_par(&joined, pred, Some(functions), par)?;
@@ -532,7 +597,7 @@ fn run_operator(
                 }
             }
             let (out, ran_parallel) =
-                aggregate(&narrow, &group, &aggs, schema.clone(), functions, opts)?;
+                aggregate(&narrow, &group, &aggs, schema.clone(), functions, &opts.for_heavy())?;
             flags.parallel = ran_parallel;
             Ok((ExecView::full(out), flags))
         }
@@ -546,7 +611,7 @@ fn run_operator(
                     nulls_first: k.nulls_first,
                 })
                 .collect();
-            let par = opts.parallelism(true);
+            let par = opts.for_heavy().parallelism(true);
             let ran_parallel = !keys.is_empty() && par.enabled(b.rows());
             let out = exec::sort_par(&b, &keys, par)?;
             let flags = OpFlags { parallel: ran_parallel, ..OpFlags::default() };

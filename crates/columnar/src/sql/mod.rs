@@ -16,6 +16,7 @@
 
 pub mod ast;
 pub mod binder;
+pub mod estimate;
 pub mod execute;
 pub mod lexer;
 pub mod optimizer;

@@ -88,6 +88,11 @@ pub enum LogicalPlan {
         right_keys: Vec<usize>,
         /// Non-equi residual condition applied post-join (inner only).
         residual: Option<Expr>,
+        /// Build the hash table on the *left* input instead of the right.
+        /// Set by the cost-based optimizer when the left side is estimated
+        /// to be much smaller; the executor restores canonical row order,
+        /// so flipping this bit never changes results. Inner/Left only.
+        build_left: bool,
         /// Output schema: left fields then right fields.
         schema: Arc<Schema>,
     },
@@ -236,8 +241,14 @@ impl LogicalPlan {
                 writeln!(f, "{sfx}")?;
                 input.push_lines(f, indent + 1, ann)
             }
-            LogicalPlan::Join { left, right, join_type, left_keys, right_keys, .. } => {
-                writeln!(f, "{pad}Join {join_type:?} on {left_keys:?} = {right_keys:?}{sfx}")?;
+            LogicalPlan::Join {
+                left, right, join_type, left_keys, right_keys, build_left, ..
+            } => {
+                let side = if *build_left { " [build=left]" } else { "" };
+                writeln!(
+                    f,
+                    "{pad}Join {join_type:?} on {left_keys:?} = {right_keys:?}{side}{sfx}"
+                )?;
                 left.push_lines(f, indent + 1, ann)?;
                 right.push_lines(f, indent + 1, ann)
             }

@@ -11,9 +11,15 @@
 //! records the catalog and function-registry generations at insert time
 //! (a [`CacheStamp`]), and a lookup whose current stamp differs drops the
 //! entry. DDL (`CREATE/DROP TABLE`, UDF registration) bumps a generation;
-//! DML does not, because plans reference tables by *name* and resolve
-//! them at execution time, so inserts/updates/deletes can never stale a
-//! cached plan. Capacity is bounded with LRU eviction.
+//! DML does not bump generations (plans reference tables by *name* and
+//! resolve them at execution time), but it **can** stale a cost-based
+//! plan: a join order picked when a table held 1K rows is wrong after
+//! the table grows 100×. Each entry therefore also records the scanned
+//! tables' row counts at optimize time ([`CachedQuery::table_rows`]),
+//! and lookups take a caller-supplied validation closure that drops the
+//! entry when the recorded counts have drifted past the caller's
+//! threshold (see `Database::stats_drifted`: 2× growth or shrink).
+//! Capacity is bounded with LRU eviction.
 //!
 //! Metrics: `sql.plan_cache.hits`, `sql.plan_cache.misses` (ticked by the
 //! database at its lookup/insert sites), `sql.plan_cache.evictions`
@@ -40,6 +46,11 @@ pub struct CachedQuery {
     /// Plans for the statement's scalar subqueries, evaluated fresh on
     /// every execution (their results depend on current table contents).
     pub scalar_subs: Vec<LogicalPlan>,
+    /// Row counts of the scanned tables at optimize time, in plan order.
+    /// Empty when the plan was optimized without statistics (nothing
+    /// cost-based to stale). Lookup validators compare these against the
+    /// live counts to force re-optimization after significant growth.
+    pub table_rows: Vec<(String, u64)>,
 }
 
 #[derive(Debug)]
@@ -80,18 +91,25 @@ impl PlanCache {
         sql.trim().trim_end_matches(';').trim_end()
     }
 
-    /// Looks up `sql`; a stale entry (stamp mismatch) is removed and
-    /// reported as a miss (`None`). Ticks `sql.plan_cache.hits` on a hit;
-    /// the caller ticks misses, because only it knows whether the text is
-    /// cachable at all.
-    pub fn lookup(&self, sql: &str, stamp: CacheStamp) -> Option<Arc<CachedQuery>> {
+    /// Looks up `sql`; a stale entry — stamp mismatch, or rejected by the
+    /// caller's `valid` check (e.g. table row counts drifted past the
+    /// re-optimization threshold) — is removed and reported as a miss
+    /// (`None`). Ticks `sql.plan_cache.hits` only when an entry is
+    /// actually served; the caller ticks misses, because only it knows
+    /// whether the text is cachable at all.
+    pub fn lookup(
+        &self,
+        sql: &str,
+        stamp: CacheStamp,
+        valid: impl Fn(&CachedQuery) -> bool,
+    ) -> Option<Arc<CachedQuery>> {
         let key = Self::key(sql);
         let hit = {
             let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
             match inner.map.get_mut(key) {
-                Some(e) if e.stamp == stamp => {
+                Some(e) if e.stamp == stamp && valid(&e.query) => {
                     e.last_used = tick;
                     Some(Arc::clone(&e.query))
                 }
@@ -108,13 +126,19 @@ impl PlanCache {
         hit
     }
 
-    /// Like [`Self::lookup`] but ticks no counters and does not touch LRU
-    /// state — used by EXPLAIN to report whether a statement *would* hit.
-    pub fn probe(&self, sql: &str, stamp: CacheStamp) -> Option<Arc<CachedQuery>> {
+    /// Like [`Self::lookup`] but ticks no counters, does not touch LRU
+    /// state, and never removes entries — used by EXPLAIN to report
+    /// whether a statement *would* hit.
+    pub fn probe(
+        &self,
+        sql: &str,
+        stamp: CacheStamp,
+        valid: impl Fn(&CachedQuery) -> bool,
+    ) -> Option<Arc<CachedQuery>> {
         let key = Self::key(sql);
         let inner = self.inner.lock();
         match inner.map.get(key) {
-            Some(e) if e.stamp == stamp => Some(Arc::clone(&e.query)),
+            Some(e) if e.stamp == stamp && valid(&e.query) => Some(Arc::clone(&e.query)),
             _ => None,
         }
     }
@@ -165,17 +189,17 @@ mod tests {
     use super::*;
 
     fn q() -> CachedQuery {
-        CachedQuery { plan: LogicalPlan::UnitRow, scalar_subs: Vec::new() }
+        CachedQuery { plan: LogicalPlan::UnitRow, scalar_subs: Vec::new(), table_rows: Vec::new() }
     }
 
     #[test]
     fn hit_after_insert_under_same_stamp() {
         let cache = PlanCache::with_capacity(4);
-        assert!(cache.lookup("SELECT 1", (0, 0)).is_none());
+        assert!(cache.lookup("SELECT 1", (0, 0), |_| true).is_none());
         cache.insert("SELECT 1", q(), (0, 0));
-        assert!(cache.lookup("SELECT 1", (0, 0)).is_some());
+        assert!(cache.lookup("SELECT 1", (0, 0), |_| true).is_some());
         // Key normalization: whitespace and trailing semicolons collapse.
-        assert!(cache.lookup("  SELECT 1; ", (0, 0)).is_some());
+        assert!(cache.lookup("  SELECT 1; ", (0, 0), |_| true).is_some());
     }
 
     #[test]
@@ -183,7 +207,7 @@ mod tests {
         let cache = PlanCache::with_capacity(4);
         cache.insert("SELECT 1", q(), (0, 0));
         // DDL bumped a generation: the entry is dropped, not served.
-        assert!(cache.lookup("SELECT 1", (1, 0)).is_none());
+        assert!(cache.lookup("SELECT 1", (1, 0), |_| true).is_none());
         assert!(cache.is_empty());
     }
 
@@ -193,12 +217,33 @@ mod tests {
         cache.insert("a", q(), (0, 0));
         cache.insert("b", q(), (0, 0));
         // Touch "a" so "b" becomes the LRU victim.
-        assert!(cache.lookup("a", (0, 0)).is_some());
+        assert!(cache.lookup("a", (0, 0), |_| true).is_some());
         cache.insert("c", q(), (0, 0));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup("a", (0, 0)).is_some());
-        assert!(cache.lookup("b", (0, 0)).is_none());
-        assert!(cache.lookup("c", (0, 0)).is_some());
+        assert!(cache.lookup("a", (0, 0), |_| true).is_some());
+        assert!(cache.lookup("b", (0, 0), |_| true).is_none());
+        assert!(cache.lookup("c", (0, 0), |_| true).is_some());
+    }
+
+    #[test]
+    fn failed_validation_drops_entry() {
+        let cache = PlanCache::with_capacity(4);
+        let mut entry = q();
+        entry.table_rows = vec![("t".to_owned(), 100)];
+        cache.insert("SELECT 1", entry, (0, 0));
+        // The validator sees the recorded row counts and can reject.
+        assert!(cache
+            .lookup("SELECT 1", (0, 0), |e| e.table_rows.iter().all(|(_, r)| *r >= 1000))
+            .is_none());
+        assert!(cache.is_empty(), "rejected entry must be removed");
+    }
+
+    #[test]
+    fn probe_rejection_keeps_entry() {
+        let cache = PlanCache::with_capacity(4);
+        cache.insert("SELECT 1", q(), (0, 0));
+        assert!(cache.probe("SELECT 1", (0, 0), |_| false).is_none());
+        assert_eq!(cache.len(), 1, "probe must never remove entries");
     }
 
     #[test]
@@ -207,9 +252,9 @@ mod tests {
         cache.insert("a", q(), (0, 0));
         cache.insert("b", q(), (0, 0));
         // Probing "a" must not promote it.
-        assert!(cache.probe("a", (0, 0)).is_some());
+        assert!(cache.probe("a", (0, 0), |_| true).is_some());
         cache.insert("c", q(), (0, 0));
-        assert!(cache.probe("a", (0, 0)).is_none());
-        assert!(cache.probe("b", (0, 0)).is_some());
+        assert!(cache.probe("a", (0, 0), |_| true).is_none());
+        assert!(cache.probe("b", (0, 0), |_| true).is_some());
     }
 }

@@ -9,6 +9,7 @@ use crate::batch::Batch;
 use crate::column::{Column, ColumnBuilder, Encoding};
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
+use crate::stats::TableStats;
 use crate::types::Value;
 use std::sync::Arc;
 
@@ -23,13 +24,19 @@ pub struct Table {
     /// only once the table has doubled since, so the O(n) encode/decode
     /// work is amortized over growth instead of paid per insert.
     encoded_at_rows: usize,
+    /// Live per-column statistics, maintained on every mutation path:
+    /// appends merge exact per-batch stats, the encoding sweep (and any
+    /// delete/update) recomputes from scratch. See [`crate::stats`].
+    stats: TableStats,
 }
 
 impl Table {
     /// An empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Table {
-        let columns = schema.fields().iter().map(|f| Arc::new(Column::empty(f.dtype))).collect();
-        Table { name: name.into(), schema, columns, rows: 0, encoded_at_rows: 0 }
+        let columns: Vec<Arc<Column>> =
+            schema.fields().iter().map(|f| Arc::new(Column::empty(f.dtype))).collect();
+        let stats = TableStats::compute(&columns, 0);
+        Table { name: name.into(), schema, columns, rows: 0, encoded_at_rows: 0, stats }
     }
 
     /// Wraps an existing batch as a table (used by `CREATE TABLE AS` and
@@ -43,6 +50,7 @@ impl Table {
             columns: batch.columns().to_vec(),
             rows,
             encoded_at_rows: 0,
+            stats: TableStats::default(),
         };
         t.auto_encode();
         t
@@ -60,6 +68,21 @@ impl Table {
             }
         }
         self.encoded_at_rows = self.rows;
+        self.recompute_stats();
+    }
+
+    /// Recomputes [`TableStats`] with one sweep per column and ticks
+    /// `sql.stats.built`. Appends between sweeps keep stats exact by
+    /// merging per-batch stats instead (see [`Self::append_batch`]).
+    fn recompute_stats(&mut self) {
+        self.stats = TableStats::compute(&self.columns, self.rows);
+        crate::metrics::counter("sql.stats.built").incr();
+    }
+
+    /// Live statistics for the current contents (see [`crate::stats`]
+    /// for the exactness contract).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
     }
 
     /// Forces a specific encoding on column `col_idx`, bypassing the
@@ -74,6 +97,7 @@ impl Table {
         let encoded = self.columns[col_idx].encode(enc);
         encoded.check_encoding()?;
         self.columns[col_idx] = Arc::new(encoded);
+        self.recompute_stats();
         Ok(())
     }
 
@@ -131,6 +155,9 @@ impl Table {
         // has doubled since the last sweep (always on the first append).
         if self.rows >= self.encoded_at_rows.saturating_mul(2) {
             self.auto_encode();
+        } else {
+            // Between sweeps, fold exact per-batch stats in O(batch).
+            self.stats.merge_append(&TableStats::compute(&prepared, batch.rows()));
         }
         Ok(())
     }
@@ -149,6 +176,7 @@ impl Table {
             *col = Arc::new(taken);
         }
         self.rows = indices.len();
+        self.recompute_stats();
     }
 
     /// Replaces the full contents of column `col_idx` (used by `UPDATE`).
@@ -177,6 +205,7 @@ impl Table {
             )));
         }
         self.columns[col_idx] = Arc::new(column);
+        self.recompute_stats();
         Ok(())
     }
 

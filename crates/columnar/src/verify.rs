@@ -243,11 +243,15 @@ impl<'a> Verifier<'a> {
                 left_keys,
                 right_keys,
                 residual,
+                build_left,
                 schema,
             } => {
                 let ls = self.plan(left)?;
                 let rs = self.plan(right)?;
                 self.join_keys(&ls, &rs, left_keys, right_keys, *join_type)?;
+                if *build_left && *join_type == JoinType::Cross {
+                    return Err(self.fail("build_left set on a Cross join".to_owned()));
+                }
                 if let Some(pred) = residual {
                     if *join_type != JoinType::Inner {
                         return Err(
@@ -785,6 +789,7 @@ mod tests {
             left_keys: vec![0],
             right_keys: vec![0],
             residual: None,
+            build_left: false,
             schema: schema_of(&[l, r]),
         };
         assert_invariant(

@@ -22,6 +22,8 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/columnar/src/faults.rs",
     "crates/columnar/src/parallel",
     "crates/columnar/src/persist.rs",
+    "crates/columnar/src/sql/estimate.rs",
+    "crates/columnar/src/stats.rs",
     "crates/columnar/src/udf.rs",
     "crates/netproto/src/",
     "crates/core/src/udf.rs",

@@ -1,0 +1,234 @@
+//! Cost-based optimization must be invisible in results: every query in
+//! this battery runs on two databases built from the same data — one
+//! with statistics-driven optimization on, one with it off — and the
+//! outputs must be **bit-identical**, serial and morsel-parallel alike.
+//! The rewrites under test: hash-join build-side selection, inner-join
+//! chain reordering under order-insensitive aggregates, filter-conjunct
+//! ordering, and aggregates answered straight from column statistics.
+//!
+//! Also pinned here: `EXPLAIN ANALYZE` prints `est=N` estimates next to
+//! actual row counts (and omits them with stats off), bare MIN/MAX/COUNT
+//! plans collapse to a literal projection over `UnitRow`, and a cached
+//! plan is re-optimized once its table has grown past 2×.
+
+use mlcs::columnar::{Batch, Database, Value};
+use proptest::prelude::*;
+
+/// Builds the shared fixture: `small` (8 rows, unique keys) and `big`
+/// (1000 rows, 16 skewed keys, NULLs in `v`, exact-in-f64 doubles).
+fn seeded(stats: bool, serial: bool) -> Database {
+    let db = Database::new();
+    db.set_stats_enabled(stats);
+    if serial {
+        db.set_threads(1);
+    } else {
+        db.set_threads(4);
+        db.set_parallel_threshold(1);
+    }
+    db.execute("CREATE TABLE small (k INTEGER, tag VARCHAR)").unwrap();
+    db.execute("CREATE TABLE big (k INTEGER, v INTEGER, w DOUBLE)").unwrap();
+    let small: Vec<String> = (0..8).map(|i| format!("({i}, 'tag{i}')")).collect();
+    db.execute(&format!("INSERT INTO small VALUES {}", small.join(","))).unwrap();
+    let big: Vec<String> = (0..1000)
+        .map(|i| {
+            let k = i % 16;
+            let v = if i % 13 == 0 { "NULL".to_owned() } else { format!("{}", i % 97) };
+            format!("({k}, {v}, {}.5)", i % 50)
+        })
+        .collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", big.join(","))).unwrap();
+    db
+}
+
+fn assert_identical(on: &Database, off: &Database, sql: &str) {
+    let a = on.query(sql).unwrap_or_else(|e| panic!("stats on failed for `{sql}`: {e}"));
+    let b = off.query(sql).unwrap_or_else(|e| panic!("stats off failed for `{sql}`: {e}"));
+    assert_eq!(a.rows(), b.rows(), "row count diverged for `{sql}`");
+    assert_eq!(a.width(), b.width(), "width diverged for `{sql}`");
+    for i in 0..a.rows() {
+        assert_eq!(a.row(i), b.row(i), "row {i} diverged for `{sql}`");
+    }
+}
+
+/// The deterministic battery: joins both skews, outer joins, bare and
+/// filtered aggregates, multi-conjunct filters, grouping, a reorderable
+/// three-way chain, sorting, distinct, and float aggregation. None of
+/// these carry an ORDER BY unless the operator itself is unordered
+/// (GROUP BY / DISTINCT), so row *order* is compared too.
+const BATTERY: &[&str] = &[
+    "SELECT small.tag, big.v FROM small JOIN big ON small.k = big.k",
+    "SELECT small.tag, big.v FROM big JOIN small ON big.k = small.k",
+    "SELECT small.tag, big.v FROM small LEFT JOIN big ON small.k = big.k",
+    "SELECT big.k, small.tag FROM big LEFT JOIN small ON big.k = small.k",
+    "SELECT MIN(k), MAX(k), COUNT(*), COUNT(v) FROM big",
+    "SELECT MIN(w), MAX(w) FROM big",
+    "SELECT MIN(tag), MAX(tag), COUNT(*) FROM small",
+    "SELECT MIN(k) FROM big WHERE k > 3",
+    "SELECT k, v FROM big WHERE k > 2 AND v < 40 AND w < 30.0",
+    "SELECT k FROM big WHERE v IS NOT NULL AND k = 7",
+    "SELECT big.k, COUNT(*) AS n FROM small JOIN big ON small.k = big.k \
+     GROUP BY big.k ORDER BY big.k",
+    "SELECT COUNT(*) FROM big JOIN small ON big.k = small.k JOIN small s2 ON big.k = s2.k",
+    "SELECT k, v FROM big ORDER BY k, v LIMIT 17 OFFSET 3",
+    "SELECT DISTINCT k FROM big ORDER BY k",
+    "SELECT AVG(w), SUM(v) FROM big WHERE k < 12",
+];
+
+#[test]
+fn battery_bit_identical_serial() {
+    let on = seeded(true, true);
+    let off = seeded(false, true);
+    for sql in BATTERY {
+        assert_identical(&on, &off, sql);
+    }
+}
+
+#[test]
+fn battery_bit_identical_parallel() {
+    let on = seeded(true, false);
+    let off = seeded(false, false);
+    for sql in BATTERY {
+        assert_identical(&on, &off, sql);
+    }
+}
+
+fn explain_text(db: &Database, sql: &str) -> String {
+    let b: Batch = db.query(sql).unwrap();
+    (0..b.rows()).map(|i| b.row(i)[0].as_str().unwrap().to_owned()).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn explain_analyze_prints_estimates_next_to_actuals() {
+    let db = seeded(true, true);
+    let text = explain_text(&db, "EXPLAIN ANALYZE SELECT k, v FROM big WHERE k < 8");
+    assert!(text.contains("rows="), "actuals missing:\n{text}");
+    assert!(text.contains("est="), "estimates missing:\n{text}");
+    // With stats off the report carries no estimates.
+    let off = seeded(false, true);
+    let text = explain_text(&off, "EXPLAIN ANALYZE SELECT k, v FROM big WHERE k < 8");
+    assert!(text.contains("rows="), "{text}");
+    assert!(!text.contains("est="), "estimates should be absent with stats off:\n{text}");
+}
+
+#[test]
+fn bare_aggregates_collapse_to_unit_row_plan() {
+    let db = seeded(true, true);
+    // No predicate: the whole aggregate is answered from statistics.
+    let text = explain_text(&db, "EXPLAIN SELECT MIN(k), MAX(k), COUNT(*) FROM big");
+    assert!(text.contains("UnitRow"), "expected a literal projection:\n{text}");
+    assert!(!text.contains("Aggregate"), "aggregate should be gone:\n{text}");
+    assert!(!text.contains("Scan"), "scan should be gone:\n{text}");
+    // A predicate intervenes: the aggregate must execute for real.
+    let text = explain_text(&db, "EXPLAIN SELECT MIN(k) FROM big WHERE k > 3");
+    assert!(text.contains("Aggregate"), "{text}");
+    // Stats off: the bare aggregate keeps its scan.
+    let off = seeded(false, true);
+    let text = explain_text(&off, "EXPLAIN SELECT MIN(k), MAX(k), COUNT(*) FROM big");
+    assert!(text.contains("Aggregate"), "{text}");
+    assert!(text.contains("Scan"), "{text}");
+}
+
+#[test]
+fn stats_answered_aggregates_track_dml() {
+    // The literal plan must reflect *current* stats on every run —
+    // inserts, deletes, and updates in between must show up.
+    let db = seeded(true, true);
+    let q = "SELECT MIN(v), MAX(v), COUNT(v), COUNT(*) FROM big";
+    let before = db.query(q).unwrap();
+    assert_eq!(
+        before.row(0),
+        vec![Value::Int32(0), Value::Int32(96), Value::Int64(923), Value::Int64(1000)]
+    );
+    db.execute("INSERT INTO big VALUES (99, -5, 0.0), (99, 500, 0.0)").unwrap();
+    let after = db.query(q).unwrap();
+    assert_eq!(
+        after.row(0),
+        vec![Value::Int32(-5), Value::Int32(500), Value::Int64(925), Value::Int64(1002)]
+    );
+    db.execute("DELETE FROM big WHERE k = 99").unwrap();
+    assert_eq!(db.query(q).unwrap().row(0), before.row(0));
+}
+
+#[test]
+fn cached_plan_reoptimizes_after_2x_growth() {
+    let db = seeded(true, true);
+    let sql = "SELECT small.tag FROM small JOIN big ON small.k = big.k WHERE big.v = 1";
+    db.query(sql).unwrap(); // populates the cache at current row counts
+    let probe = format!("EXPLAIN ANALYZE {sql}");
+    assert!(
+        explain_text(&db, &probe).contains("plan cache: hit"),
+        "stable row counts must keep the cached plan"
+    );
+    // Double `small` (8 → 16 rows): the recorded counts have drifted 2×,
+    // so the cached plan is rejected and the statement re-optimizes.
+    let grow: Vec<String> = (8..16).map(|i| format!("({i}, 'tag{i}')")).collect();
+    db.execute(&format!("INSERT INTO small VALUES {}", grow.join(","))).unwrap();
+    assert!(
+        explain_text(&db, &probe).contains("plan cache: miss"),
+        "2x growth must force re-optimization"
+    );
+    // And the re-optimized plan still answers correctly.
+    let out = db.query(sql).unwrap();
+    assert_eq!(
+        out.rows(),
+        db.query_value("SELECT COUNT(*) FROM big WHERE v = 1").unwrap().as_i64().unwrap() as usize
+    );
+}
+
+/// Assembles a query over the fixture from random words, covering the
+/// rewrite surface: filtered scans, bare aggregates, skewed joins, and
+/// grouped joins.
+fn build_query(r: &[u64]) -> String {
+    let pick = |w: u64, menu: &[&str]| menu[(w % menu.len() as u64) as usize].to_owned();
+    let w = |i: usize| r.get(i).copied().unwrap_or(0);
+    let preds = [
+        "k > 4",
+        "k = 3",
+        "v < 40",
+        "v IS NOT NULL",
+        "k BETWEEN 2 AND 9",
+        "k IN (1, 3, 5)",
+        "NOT (k = 2)",
+        "k > 2 AND v < 60",
+        "k = 7 AND v > 10 AND w < 30.0",
+    ];
+    let join_preds = [
+        "big.v < 50",
+        "small.k > 2",
+        "big.v IS NOT NULL AND small.k < 6",
+        "big.w < 40.0 AND big.v > 5 AND small.k > 1",
+    ];
+    match w(0) % 4 {
+        0 => format!("SELECT k, v FROM big WHERE {}", pick(w(1), &preds)),
+        1 => format!(
+            "SELECT {} FROM big",
+            pick(w(1), &["MIN(k)", "MAX(v)", "COUNT(*)", "COUNT(v)", "MIN(w), MAX(w)"])
+        ),
+        2 => format!(
+            "SELECT small.tag, big.v FROM small JOIN big ON small.k = big.k WHERE {}",
+            pick(w(1), &join_preds)
+        ),
+        _ => "SELECT big.k, COUNT(*) AS n, MAX(big.v) AS m FROM small JOIN big \
+              ON small.k = big.k GROUP BY big.k ORDER BY big.k"
+            .to_owned(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary queries from the menu, stats-on and stats-off
+    /// executions return bit-identical batches.
+    #[test]
+    fn random_queries_bit_identical(words in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let sql = build_query(&words);
+        let on = seeded(true, true);
+        let off = seeded(false, true);
+        let a = on.query(&sql).unwrap();
+        let b = off.query(&sql).unwrap();
+        prop_assert_eq!(a.rows(), b.rows(), "row count diverged for `{}`", sql);
+        for i in 0..a.rows() {
+            prop_assert_eq!(a.row(i), b.row(i), "row {} diverged for `{}`", i, sql);
+        }
+    }
+}

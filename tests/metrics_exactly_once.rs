@@ -267,4 +267,75 @@ fn counters_move_exactly_once_per_event() {
     assert_eq!(summed.row(0)[0], Value::Int64(256 * 28), "256 of each of 0..=7");
     let delta = metrics::snapshot().since(&before);
     assert_eq!(delta.counter("exec.encoding.rle_runs"), 8, "one fold per run");
+
+    // Statistics & cost-based optimization. The first append to a fresh
+    // table lands on the encoding sweep, which recomputes statistics
+    // exactly once.
+    let sdb = Database::new();
+    sdb.execute("CREATE TABLE st (x INTEGER)").unwrap();
+    let before = metrics::snapshot();
+    sdb.execute("INSERT INTO st VALUES (1), (5), (9)").unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.stats.built"), 1, "first append is one stats sweep");
+
+    // Bare MIN/MAX/COUNT over a scan is answered straight from the
+    // statistics — one answered_aggregates tick — and such plans are
+    // never cached (their literals go stale on the next insert), so
+    // every execution is one miss and zero hits.
+    let before = metrics::snapshot();
+    let agg = sdb.query("SELECT MIN(x), MAX(x), COUNT(*) FROM st").unwrap();
+    assert_eq!(agg.row(0), vec![Value::Int32(1), Value::Int32(9), Value::Int64(3)]);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.stats.answered_aggregates"), 1, "answered from stats once");
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1);
+    let before = metrics::snapshot();
+    sdb.query("SELECT MIN(x), MAX(x), COUNT(*) FROM st").unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1, "stats-answered plans never cache");
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 0);
+
+    // A skewed join (1-row left, 4-row right) is one build-side swap.
+    sdb.execute("CREATE TABLE dim (k INTEGER)").unwrap();
+    sdb.execute("INSERT INTO dim VALUES (1)").unwrap();
+    sdb.execute("CREATE TABLE fact (k INTEGER)").unwrap();
+    sdb.execute("INSERT INTO fact VALUES (1), (1), (2), (3)").unwrap();
+    let before = metrics::snapshot();
+    let out = sdb.query("SELECT dim.k FROM dim JOIN fact ON dim.k = fact.k").unwrap();
+    assert_eq!(out.rows(), 2);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.cost.build_side_swaps"), 1, "small left side becomes build");
+
+    // A weak range conjunct ahead of a selective equality is one
+    // conjunct reorder (the equality is hoisted to run first).
+    let before = metrics::snapshot();
+    let out = sdb.query("SELECT k FROM fact WHERE k > 0 AND k = 3").unwrap();
+    assert_eq!(out.rows(), 1);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.cost.conjunct_reorders"), 1, "equality hoisted first");
+
+    // A three-table inner chain under COUNT(*) is one join reorder
+    // (the 1-row table should drive the chain, not the 4-row one).
+    sdb.execute("CREATE TABLE j3 (k INTEGER)").unwrap();
+    sdb.execute("INSERT INTO j3 VALUES (1), (2)").unwrap();
+    let before = metrics::snapshot();
+    let n = sdb
+        .query_value(
+            "SELECT COUNT(*) FROM fact JOIN dim ON fact.k = dim.k JOIN j3 ON fact.k = j3.k",
+        )
+        .unwrap();
+    assert_eq!(n, Value::Int64(2));
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.cost.join_reorders"), 1, "chain rebuilt smallest-first");
+
+    // A cached plan whose table then doubles is dropped on lookup and
+    // re-optimized: one reoptimized tick, a miss rather than a hit.
+    sdb.query("SELECT k FROM j3").unwrap(); // populates the cache
+    sdb.execute("INSERT INTO j3 VALUES (3), (4)").unwrap(); // 2 → 4 rows: 2× growth
+    let before = metrics::snapshot();
+    let out = sdb.query("SELECT k FROM j3").unwrap();
+    assert_eq!(out.rows(), 4);
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("sql.cost.reoptimized"), 1, "2x growth drops the cached plan");
+    assert_eq!(delta.counter("sql.plan_cache.misses"), 1);
+    assert_eq!(delta.counter("sql.plan_cache.hits"), 0);
 }
