@@ -1,0 +1,86 @@
+//! Durability microbenchmarks: the commit path (append one WAL frame +
+//! fsync) against the legacy whole-file save as the base table grows, and
+//! the raw log-scan cost recovery pays per record.
+//!
+//! The headline numbers live in `durability_bench` (the JSON-emitting
+//! binary); these Criterion benches isolate the same kernels for
+//! regression tracking. The scan bench runs over in-memory log bytes so
+//! it measures frame decode + CRC verification, not disk reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcs_bench::synth_table;
+use mlcs_columnar::persist::save_database;
+use mlcs_columnar::{wal, Database, Table};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mlcs-durability-crit-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable database with `rows` synthetic rows, checkpointed so the
+/// commit benches start from an empty log.
+fn base_db(tag: &str, rows: usize) -> (Database, PathBuf) {
+    let dir = scratch(tag);
+    let (db, _) = Database::open_durable(&dir).expect("open durable");
+    db.catalog()
+        .put_table(Table::from_batch("synth", synth_table(rows, 42).expect("synth")), false)
+        .expect("load base");
+    db.checkpoint().expect("base checkpoint");
+    (db, dir)
+}
+
+fn commit_sql(round: usize) -> String {
+    let base = 10_000_000 + round * 100;
+    let rows: Vec<String> = (0..100).map(|i| format!("({}, 1, {i}, 0.5)", base + i)).collect();
+    format!("INSERT INTO synth VALUES {}", rows.join(", "))
+}
+
+fn durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+
+    for rows in [10_000usize, 100_000] {
+        let (db, dir) = base_db(&format!("commit-{rows}"), rows);
+        let mut round = 0usize;
+        group.bench_function(format!("wal_commit_100_rows_base_{rows}"), |b| {
+            b.iter(|| {
+                round += 1;
+                db.execute(&commit_sql(round)).expect("commit")
+            })
+        });
+
+        let save_dir = scratch(&format!("save-{rows}"));
+        group.bench_function(format!("whole_file_save_base_{rows}"), |b| {
+            b.iter(|| save_database(&db, &save_dir).expect("save"))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&save_dir);
+    }
+
+    // Raw replay-scan cost per record: frame decode + CRC over a
+    // 1000-record log image held in memory.
+    let dir = scratch("scan");
+    let log_bytes = {
+        let (db, _) = Database::open_durable(&dir).expect("open durable");
+        db.execute("CREATE TABLE t (v BIGINT)").expect("ddl");
+        for i in 0..1000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).expect("log record");
+        }
+        std::fs::read(dir.join("wal.mlcslog")).expect("read log")
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    group.bench_function("log_scan_1000_records", |b| {
+        b.iter(|| {
+            let (records, _) = wal::scan_records_for_bench(&log_bytes);
+            assert_eq!(records, 1001, "CREATE TABLE rides along");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, durability);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Durability benchmark: what one small committed mutation costs under
+//! the write-ahead log versus the legacy whole-file save, as the base
+//! table grows — plus recovery-replay time as a function of log length.
+//!
+//! ```text
+//! cargo run -p mlcs-bench --release --bin durability_bench -- \
+//!     [--json PATH] [--smoke]
+//! ```
+//!
+//! The WAL side commits a 100-row `INSERT` (append one checksummed frame,
+//! fsync); the legacy side makes the same database durable the only way
+//! the pre-WAL format could — `save_database`, rewriting every table
+//! file. All timings come from the `mlcs_columnar::metrics` registry
+//! (`bench.durability.*` histograms) so the printed numbers and a metrics
+//! snapshot agree by construction.
+//!
+//! `--smoke` asserts the headline claim (incremental commit beats the
+//! whole-file save at ≥100K rows) and that the WAL counters moved.
+
+use mlcs_bench::synth_table;
+use mlcs_columnar::persist::save_database;
+use mlcs_columnar::{metrics, Database, Table};
+use std::path::{Path, PathBuf};
+
+const COMMITS: usize = 20;
+const SAVES: usize = 5;
+const SIZES: &[usize] = &[10_000, 100_000, 1_000_000];
+const REPLAY_LENGTHS: &[usize] = &[100, 1_000, 10_000];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mlcs-durability-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable database holding `rows` synthetic rows, checkpointed so the
+/// log is empty and the page base is the only state on disk.
+fn base_db(dir: &Path, rows: usize) -> Database {
+    let (db, _) = Database::open_durable(dir).expect("open durable");
+    let batch = synth_table(rows, 42).expect("synth batch");
+    db.catalog().put_table(Table::from_batch("synth", batch), false).expect("load base");
+    db.checkpoint().expect("base checkpoint");
+    db
+}
+
+fn insert_sql(round: usize) -> String {
+    let base = 10_000_000 + round * 100;
+    let rows: Vec<String> = (0..100).map(|i| format!("({}, 1, {i}, 0.5)", base + i)).collect();
+    format!("INSERT INTO synth VALUES {}", rows.join(", "))
+}
+
+fn mean_ms(h: &metrics::HistogramSnapshot) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    h.sum as f64 / h.count as f64 / 1e6
+}
+
+struct SizeResult {
+    rows: usize,
+    wal_commit_ms: f64,
+    save_ms: f64,
+    speedup: f64,
+}
+
+struct ReplayResult {
+    records: usize,
+    replay_ms: f64,
+    ns_per_record: f64,
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_out = Some(args.next().expect("--json PATH")),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: durability_bench [--json PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sizes = Vec::new();
+    for &rows in SIZES {
+        let dir = scratch(&format!("commit-{rows}"));
+        let save_dir = scratch(&format!("save-{rows}"));
+        let db = base_db(&dir, rows);
+
+        // Legacy durability: one commit = rewrite every table file.
+        let before = metrics::snapshot();
+        for _ in 0..SAVES {
+            metrics::time_section("bench.durability.save_ns", || {
+                save_database(&db, &save_dir).expect("whole-file save")
+            });
+        }
+        let save = metrics::snapshot().since(&before);
+
+        // WAL durability: one commit = append one frame + fsync.
+        let before = metrics::snapshot();
+        for round in 0..COMMITS {
+            metrics::time_section("bench.durability.wal_commit_ns", || {
+                db.execute(&insert_sql(round)).expect("wal commit")
+            });
+        }
+        let commit = metrics::snapshot().since(&before);
+        let appends = commit.counter("wal.appends");
+        assert_eq!(appends, COMMITS as u64, "every commit must hit the log");
+
+        let wal_commit_ms =
+            mean_ms(commit.histogram("bench.durability.wal_commit_ns").expect("commit histogram"));
+        let save_ms = mean_ms(save.histogram("bench.durability.save_ns").expect("save histogram"));
+        let speedup = if wal_commit_ms > 0.0 { save_ms / wal_commit_ms } else { 0.0 };
+        println!(
+            "rows={rows}: wal_commit={wal_commit_ms:.3}ms whole_file_save={save_ms:.3}ms \
+             (save/commit = {speedup:.1}x)"
+        );
+        sizes.push(SizeResult { rows, wal_commit_ms, save_ms, speedup });
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&save_dir);
+    }
+
+    let mut replays = Vec::new();
+    for &records in REPLAY_LENGTHS {
+        let dir = scratch(&format!("replay-{records}"));
+        {
+            let (db, _) = Database::open_durable(&dir).expect("open durable");
+            db.execute("CREATE TABLE t (v BIGINT)").expect("ddl");
+            for i in 0..records {
+                db.execute(&format!("INSERT INTO t VALUES ({i})")).expect("log record");
+            }
+            // Dropped without a checkpoint: reopen must replay the log.
+        }
+        let before = metrics::snapshot();
+        let ((_db, report), _) = metrics::time_section("bench.durability.replay_ns", || {
+            Database::open_durable(&dir).expect("recover")
+        });
+        let delta = metrics::snapshot().since(&before);
+        // `+ 1`: the CREATE TABLE record replays along with the inserts.
+        assert_eq!(
+            report.replayed_records as usize,
+            records + 1,
+            "recovery must replay the whole log"
+        );
+        let replay_ms =
+            mean_ms(delta.histogram("bench.durability.replay_ns").expect("replay histogram"));
+        let ns_per_record = replay_ms * 1e6 / records as f64;
+        println!("log={records} records: replay={replay_ms:.3}ms ({ns_per_record:.0}ns/record)");
+        replays.push(ReplayResult { records, replay_ms, ns_per_record });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if let Some(path) = &json_out {
+        let size_rows: Vec<String> = sizes
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{ \"rows\": {}, \"wal_commit_ms\": {:.3}, \
+                     \"whole_file_save_ms\": {:.3}, \"save_over_commit\": {:.1} }}",
+                    s.rows, s.wal_commit_ms, s.save_ms, s.speedup
+                )
+            })
+            .collect();
+        let replay_rows: Vec<String> = replays
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"records\": {}, \"replay_ms\": {:.3}, \"ns_per_record\": {:.0} }}",
+                    r.records, r.replay_ms, r.ns_per_record
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"command\": \"cargo run -p mlcs-bench --release --bin durability_bench -- \
+             --json BENCH_durability.json\",\n  \
+             \"workload\": \"commit = 100-row INSERT into a {}-column synthetic table; \
+             save = legacy save_database rewriting every table file\",\n  \
+             \"commit_vs_save\": [\n{}\n  ],\n  \
+             \"recovery_replay\": [\n{}\n  ],\n  \
+             \"notes\": \"single-disk container: WAL fsync and page writes share one device, \
+             so commit latency includes any checkpoint I/O contention a real deployment \
+             would split across devices; timings are registry-histogram means \
+             (bench.durability.* via metrics::time_section)\"\n}}\n",
+            4,
+            size_rows.join(",\n"),
+            replay_rows.join(",\n"),
+        );
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+
+    if smoke {
+        let mut bad = false;
+        for s in &sizes {
+            if s.rows >= 100_000 && s.speedup <= 1.0 {
+                eprintln!(
+                    "smoke check failed: whole-file save not slower than WAL commit at {} rows \
+                     ({:.3}ms vs {:.3}ms)",
+                    s.rows, s.save_ms, s.wal_commit_ms
+                );
+                bad = true;
+            }
+        }
+        if bad {
+            std::process::exit(1);
+        }
+        println!("smoke checks passed");
+    }
+}

@@ -19,6 +19,8 @@ use crate::sql::plan_cache::{CacheStamp, CachedQuery, PlanCache};
 use crate::table::Table;
 use crate::types::{DataType, Value};
 use crate::udf::{FunctionRegistry, ScalarUdf, TableUdf};
+use crate::wal::{self, Wal, WalOp};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +72,21 @@ impl QueryResult {
     }
 }
 
+/// The durable half of an opened-on-disk database: the write-ahead log,
+/// the directory it lives in, and the commit fence.
+///
+/// The fence is what makes checkpoints consistent: every durable mutation
+/// holds it shared across "apply in memory + append to log" (DDL takes it
+/// exclusive, serializing catalog changes against each other), and
+/// [`Database::checkpoint`] takes it exclusive, so the snapshot it cuts is
+/// at a statement boundary and the checkpoint LSN cleanly partitions
+/// folded-in from to-be-replayed records.
+struct Durability {
+    wal: Wal,
+    dir: PathBuf,
+    fence: parking_lot::RwLock<()>,
+}
+
 /// An embedded analytical database: in-memory column store, SQL, and
 /// vectorized UDFs.
 ///
@@ -94,6 +111,10 @@ pub struct Database {
     /// env kill-switch always wins over [`Self::set_stats_enabled`].
     /// Shared across clones.
     stats_enabled: Arc<AtomicBool>,
+    /// `Some` once [`Self::open_durable`] attached a write-ahead log:
+    /// every mutation is then logged and fsynced before acknowledging.
+    /// Shared across clones.
+    durability: Arc<parking_lot::RwLock<Option<Arc<Durability>>>>,
 }
 
 impl Default for Database {
@@ -105,6 +126,7 @@ impl Default for Database {
             parallel_threshold: Arc::default(),
             plan_cache: Arc::default(),
             stats_enabled: Arc::new(AtomicBool::new(crate::stats::env_enabled())),
+            durability: Arc::default(),
         }
     }
 }
@@ -113,6 +135,60 @@ impl Database {
     /// An empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Opens a durable database rooted at `dir` (created if missing).
+    ///
+    /// Existing state is recovered first — the checkpointed page base is
+    /// loaded, then the write-ahead log is replayed past the checkpoint
+    /// watermark, with any torn tail truncated — and the returned
+    /// [`crate::persist::RecoveryReport`] says exactly what happened. From then on every
+    /// mutation (INSERT/DELETE/UPDATE/CREATE/DROP) is appended to the log
+    /// and fsynced *before* the statement is acknowledged, so anything
+    /// this database confirmed survives a crash; `CHECKPOINT` (or
+    /// [`Self::checkpoint`]) folds the log into checksummed pages.
+    pub fn open_durable(dir: &Path) -> DbResult<(Database, crate::persist::RecoveryReport)> {
+        let db = Database::new();
+        std::fs::create_dir_all(dir)?;
+        let has_state = dir.join("catalog.mlcsdb").exists() || dir.join(wal::WAL_FILE).exists();
+        let report = if has_state {
+            crate::persist::load_database_with(&db, dir, crate::persist::RecoveryMode::Recover)?
+        } else {
+            crate::persist::RecoveryReport::default()
+        };
+        // Recovery above truncated any damaged tail, so the log opens
+        // clean and the writer resumes after the last intact record.
+        let wal = Wal::open(dir)?;
+        *db.durability.write() = Some(Arc::new(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            fence: parking_lot::RwLock::new(()),
+        }));
+        Ok((db, report))
+    }
+
+    /// Whether this database was opened with [`Self::open_durable`].
+    pub fn is_durable(&self) -> bool {
+        self.durability.read().is_some()
+    }
+
+    /// The current durability handle, if any.
+    fn durable(&self) -> Option<Arc<Durability>> {
+        self.durability.read().clone()
+    }
+
+    /// Folds the write-ahead log into the checksummed page base and
+    /// truncates it (SQL: `CHECKPOINT`). Commits are fenced for the
+    /// duration, so the snapshot is cut at a statement boundary. Errors
+    /// with [`DbError::Unsupported`] on a non-durable database.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        let d = self.durable().ok_or_else(|| {
+            DbError::Unsupported(
+                "CHECKPOINT requires a durable database (Database::open_durable)".into(),
+            )
+        })?;
+        let _fence = d.fence.write();
+        wal::checkpoint(self, &d.dir, &d.wal)
     }
 
     /// The table catalog.
@@ -409,12 +485,27 @@ impl Database {
             elapsed: Duration::ZERO,
             kind,
         };
+        // Durable mutations hold the commit fence across "apply in memory
+        // + append to log" so a concurrent CHECKPOINT snapshots at a
+        // statement boundary: DML shared (statements on different tables
+        // proceed concurrently; the table guard orders same-table logging),
+        // DDL exclusive (catalog changes and their log records serialize).
+        let durable = self.durable();
         match bound {
             BoundStatement::CreateTable { name, schema, if_not_exists } => {
-                match catalog.create_table(&name, schema) {
-                    Ok(()) => {}
-                    Err(DbError::AlreadyExists { .. }) if if_not_exists => {}
+                let _fence = durable.as_ref().map(|d| d.fence.write());
+                let created = match catalog.create_table(&name, schema.clone()) {
+                    Ok(()) => true,
+                    Err(DbError::AlreadyExists { .. }) if if_not_exists => false,
                     Err(e) => return Err(e),
+                };
+                if created {
+                    if let Some(d) = &durable {
+                        d.wal.append(&[WalOp::CreateTable {
+                            name: name.to_ascii_lowercase(),
+                            schema,
+                        }])?;
+                    }
                 }
                 Ok(empty(StatementKind::Ddl, 0))
             }
@@ -425,12 +516,34 @@ impl Database {
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let rows = batch.rows();
-                let table = Table::from_batch(name.to_ascii_lowercase(), batch);
+                let lname = name.to_ascii_lowercase();
+                let _fence = durable.as_ref().map(|d| d.fence.write());
+                let existed = catalog.has_table(&lname);
+                let schema = batch.schema().clone();
+                // Batch columns are Arc-shared: the clone for logging is cheap.
+                let table = Table::from_batch(lname.clone(), batch.clone());
                 catalog.put_table(table, if_not_exists)?;
+                if !existed {
+                    if let Some(d) = &durable {
+                        // One record = one statement: create + populate
+                        // replay atomically.
+                        d.wal.append(&[
+                            WalOp::CreateTable { name: lname.clone(), schema },
+                            WalOp::append(lname, batch),
+                        ])?;
+                    }
+                }
                 Ok(empty(StatementKind::Ddl, rows))
             }
             BoundStatement::DropTable { name, if_exists } => {
+                let _fence = durable.as_ref().map(|d| d.fence.write());
+                let existed = catalog.has_table(&name);
                 catalog.drop_table(&name, if_exists)?;
+                if existed {
+                    if let Some(d) = &durable {
+                        d.wal.append(&[WalOp::DropTable { name: name.to_ascii_lowercase() }])?;
+                    }
+                }
                 Ok(empty(StatementKind::Ddl, 0))
             }
             BoundStatement::DropFunction { name, if_exists } => {
@@ -438,10 +551,16 @@ impl Database {
                 Ok(empty(StatementKind::Ddl, 0))
             }
             BoundStatement::InsertValues { table, column_map, rows } => {
+                let _fence = durable.as_ref().map(|d| d.fence.read());
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
-                let n = self.insert_rows(&mut guard, &column_map, &rows)?;
-                Ok(empty(StatementKind::Dml, n))
+                let batch = self.insert_rows(&mut guard, &column_map, &rows)?;
+                if let Some(d) = &durable {
+                    // Logged under the table guard so same-table log order
+                    // matches apply order.
+                    d.wal.append(&[WalOp::append(table, batch)])?;
+                }
+                Ok(empty(StatementKind::Dml, rows.len()))
             }
             BoundStatement::InsertQuery { table, column_map, mut plan, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
@@ -449,15 +568,20 @@ impl Database {
                 let plan = optimize_with_stats(plan, catalog, self.stats_enabled())?.plan;
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
+                let _fence = durable.as_ref().map(|d| d.fence.read());
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let reordered = self.reorder_for_insert(&guard, &column_map, batch)?;
                 let n = reordered.rows();
                 guard.append_batch(&reordered)?;
+                if let Some(d) = &durable {
+                    d.wal.append(&[WalOp::append(table, reordered)])?;
+                }
                 Ok(empty(StatementKind::Dml, n))
             }
             BoundStatement::Delete { table, filter, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                let _fence = durable.as_ref().map(|d| d.fence.read());
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let snapshot = guard.scan();
@@ -473,10 +597,14 @@ impl Database {
                 };
                 let removed = snapshot.rows() - keep.len();
                 guard.retain_indices(&keep);
+                if let Some(d) = &durable {
+                    d.wal.append(&[WalOp::Retain { table, keep }])?;
+                }
                 Ok(empty(StatementKind::Dml, removed))
             }
             BoundStatement::Update { table, assignments, filter, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
+                let _fence = durable.as_ref().map(|d| d.fence.read());
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let snapshot = guard.scan();
@@ -494,6 +622,7 @@ impl Database {
                     }
                 };
                 let mut updated = 0;
+                let mut logged: Vec<WalOp> = Vec::new();
                 for (col_idx, mut expr) in assignments {
                     expr.substitute_subqueries(&values);
                     let new_col = eval(&ctx, &expr)?.broadcast_to(snapshot.rows())?;
@@ -509,7 +638,21 @@ impl Database {
                         let v = if sel { new_col.value(i) } else { old.value(i) };
                         b.push_value(&v)?;
                     }
-                    guard.replace_column(col_idx, b.finish())?;
+                    let finished = b.finish();
+                    if durable.is_some() {
+                        // Column clones are deep; only pay when logging.
+                        logged.push(WalOp::ReplaceColumn {
+                            table: table.clone(),
+                            col_idx,
+                            column: finished.clone(),
+                        });
+                    }
+                    guard.replace_column(col_idx, finished)?;
+                }
+                if let Some(d) = &durable {
+                    // One record for the whole statement: multi-column
+                    // updates replay atomically.
+                    d.wal.append(&logged)?;
                 }
                 for s in &selected {
                     if *s {
@@ -652,17 +795,33 @@ impl Database {
                     kind: StatementKind::Query,
                 })
             }
+            BoundStatement::Checkpoint => {
+                self.checkpoint()?;
+                Ok(empty(StatementKind::Ddl, 0))
+            }
+            BoundStatement::Save { path } => {
+                if durable.is_some() {
+                    // Fold the log first: the snapshot then carries every
+                    // committed statement, and if `path` is the durable
+                    // directory itself the truncated log holds no data
+                    // records to double-apply over the v1 snapshot.
+                    self.checkpoint()?;
+                }
+                crate::persist::save_database(self, Path::new(&path))?;
+                Ok(empty(StatementKind::Ddl, 0))
+            }
         }
     }
 
     /// Inserts constant rows honoring an explicit column list: unmentioned
-    /// columns receive NULL.
+    /// columns receive NULL. Returns the appended batch (cast to the
+    /// table's declared types) so a durable database can log it.
     fn insert_rows(
         &self,
         table: &mut Table,
         column_map: &[usize],
         rows: &[Vec<Value>],
-    ) -> DbResult<usize> {
+    ) -> DbResult<Batch> {
         let width = table.schema().len();
         let mut full_rows = Vec::with_capacity(rows.len());
         for row in rows {
@@ -672,8 +831,9 @@ impl Database {
             }
             full_rows.push(full);
         }
-        table.append_rows(&full_rows)?;
-        Ok(rows.len())
+        let batch = Batch::from_rows(table.schema().clone(), &full_rows)?;
+        table.append_batch(&batch)?;
+        Ok(batch)
     }
 
     /// Reorders a source batch to the target table's column positions,
@@ -1003,6 +1163,91 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows(), 1);
         assert_eq!(r.row(0), vec![Value::Int32(3), Value::Int32(1)]);
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlcs_durable_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_reopen_replays_every_statement_kind() {
+        let dir = durable_dir("replay");
+        {
+            let (db, report) = Database::open_durable(&dir).unwrap();
+            assert!(report.is_clean());
+            assert!(db.is_durable());
+            db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+            db.execute("DELETE FROM t WHERE a = 2").unwrap();
+            db.execute("UPDATE t SET b = 'w' WHERE a = 3").unwrap();
+            db.execute("CREATE TABLE gone (x INT)").unwrap();
+            db.execute("DROP TABLE gone").unwrap();
+            db.execute("CREATE TABLE t2 AS SELECT a FROM t").unwrap();
+            db.execute("INSERT INTO t2 SELECT a + 10 FROM t").unwrap();
+        } // no checkpoint: everything must come back from the log alone
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.replayed_records >= 8);
+        assert_eq!(db.query_value("SELECT COUNT(*) FROM t").unwrap(), Value::Int64(2));
+        assert_eq!(
+            db.query_value("SELECT b FROM t WHERE a = 3").unwrap(),
+            Value::Varchar("w".into())
+        );
+        assert_eq!(db.query_value("SELECT SUM(a) FROM t2").unwrap(), Value::Int64(28));
+        assert!(!db.catalog().has_table("gone"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_needs_no_data_replay() {
+        let dir = durable_dir("ckpt_sql");
+        {
+            let (db, _) = Database::open_durable(&dir).unwrap();
+            db.execute("CREATE TABLE t (v BIGINT)").unwrap();
+            db.execute("INSERT INTO t VALUES (41), (1)").unwrap();
+            db.execute("CHECKPOINT").unwrap();
+            // Post-checkpoint traffic lands in the fresh log.
+            db.execute("INSERT INTO t VALUES (100)").unwrap();
+        }
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        // Marker + one post-checkpoint insert; the first two statements
+        // came back from pages.
+        assert_eq!(report.replayed_records, 2, "{report:?}");
+        assert_eq!(db.query_value("SELECT SUM(v) FROM t").unwrap(), Value::Int64(142));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_durable_database() {
+        let db = db();
+        assert!(matches!(db.execute("CHECKPOINT"), Err(DbError::Unsupported(_))));
+        assert!(!db.is_durable());
+    }
+
+    #[test]
+    fn save_statement_snapshots_to_directory() {
+        let dir = durable_dir("save_stmt");
+        let snap = durable_dir("save_stmt_snap");
+        let db = db();
+        db.execute(&format!("SAVE '{}'", snap.display())).unwrap();
+        let restored = Database::new();
+        crate::persist::load_database(&restored, &snap).unwrap();
+        assert_eq!(restored.query_value("SELECT COUNT(*) FROM t").unwrap(), Value::Int64(4));
+        // On a durable database SAVE checkpoints first, so saving into the
+        // durable directory itself stays reopenable.
+        let (ddb, _) = Database::open_durable(&dir).unwrap();
+        ddb.execute("CREATE TABLE u (x INT)").unwrap();
+        ddb.execute("INSERT INTO u VALUES (5)").unwrap();
+        ddb.execute(&format!("SAVE '{}'", dir.display())).unwrap();
+        drop(ddb);
+        let (back, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(back.query_value("SELECT x FROM u").unwrap(), Value::Int32(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&snap).unwrap();
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //!
 //! * `point` — where the fault is considered; the injection points wired
 //!   into this workspace are `net.read` / `net.write` (socket stream I/O,
-//!   via [`FaultyStream`]), `fs.write` / `fs.rename` (persist file I/O, via
-//!   [`FaultyFile`] and [`rename`]), and `pickle.decode` (model BLOB
-//!   decoding in `mlcs-core`).
+//!   via [`FaultyStream`]), `fs.write` / `fs.rename` / `fs.fsync` (persist
+//!   file I/O, via [`FaultyFile`], [`rename`], and [`sync_file_at`]),
+//!   `wal.append` / `wal.fsync` (write-ahead-log commits), `page.write`
+//!   (checkpoint page files), and `pickle.decode` (model BLOB decoding in
+//!   `mlcs-core`).
 //! * `kind` — one of [`FaultKind`]: `err` (fail with an injected I/O
 //!   error), `delay` (sleep [`DELAY`] then proceed), `short` (premature
 //!   EOF on reads, partial-then-error on writes), `flip` (corrupt one
@@ -310,6 +312,60 @@ fn flip_byte(buf: &mut [u8], rand: u64) {
     buf[pos] ^= mask;
 }
 
+/// Consults `point` without touching any resource: a fired non-`delay`
+/// fault becomes an injected error, a `delay` sleeps then proceeds. For
+/// operations with no buffer to tear or flip (fsync, directory sync),
+/// where every destructive kind degenerates to "the call failed".
+pub fn check_point(point: &str) -> std::io::Result<()> {
+    match decide(point) {
+        None => Ok(()),
+        Some(f) => match f.kind {
+            FaultKind::Delay => {
+                std::thread::sleep(DELAY);
+                Ok(())
+            }
+            _ => Err(injected_io_error(point)),
+        },
+    }
+}
+
+/// Writes the whole buffer to `file`, honoring any armed fault at `point`:
+/// `err` fails before touching the file, `short`/`torn` write half the
+/// buffer (synced, so the torn prefix survives a crash) then fail, `flip`
+/// corrupts one byte but reports success, `delay` stalls then proceeds.
+/// Shared by the persist layer (`fs.write`), the write-ahead log
+/// (`wal.append`), and the checkpoint page writer (`page.write`).
+pub fn write_file_at(point: &str, file: &mut std::fs::File, buf: &[u8]) -> std::io::Result<()> {
+    match decide(point) {
+        None => file.write_all(buf),
+        Some(f) => match f.kind {
+            FaultKind::Err => Err(injected_io_error(point)),
+            FaultKind::Delay => {
+                std::thread::sleep(DELAY);
+                file.write_all(buf)
+            }
+            FaultKind::Short | FaultKind::Torn => {
+                let cut = buf.len() / 2;
+                file.write_all(&buf[..cut])?;
+                let _ = file.sync_all();
+                Err(injected_io_error(point))
+            }
+            FaultKind::Flip => {
+                let mut copy = buf.to_vec();
+                flip_byte(&mut copy, f.rand);
+                file.write_all(&copy)
+            }
+        },
+    }
+}
+
+/// Fsyncs `file`, honoring any armed fault at `point` (every non-`delay`
+/// kind fails the sync — there is no buffer to tear or flip).
+pub fn sync_file_at(point: &str, file: &std::fs::File) -> std::io::Result<()> {
+    check_point(point)?;
+    file.sync_all()
+}
+
 /// A stream wrapper that consults the injector on every read (`net.read`)
 /// and write (`net.write`). Wrap both halves of a socket to exercise
 /// errors, delays, premature EOFs, torn writes, and flipped bytes without
@@ -413,32 +469,13 @@ impl FaultyFile {
 
     /// Writes the whole buffer, honoring any armed `fs.write` fault.
     pub fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
-        match decide("fs.write") {
-            None => self.file.write_all(buf),
-            Some(f) => match f.kind {
-                FaultKind::Err => Err(injected_io_error("fs.write")),
-                FaultKind::Delay => {
-                    std::thread::sleep(DELAY);
-                    self.file.write_all(buf)
-                }
-                FaultKind::Short | FaultKind::Torn => {
-                    let cut = buf.len() / 2;
-                    self.file.write_all(&buf[..cut])?;
-                    let _ = self.file.sync_all();
-                    Err(injected_io_error("fs.write"))
-                }
-                FaultKind::Flip => {
-                    let mut copy = buf.to_vec();
-                    flip_byte(&mut copy, f.rand);
-                    self.file.write_all(&copy)
-                }
-            },
-        }
+        write_file_at("fs.write", &mut self.file, buf)
     }
 
-    /// Flushes file contents and metadata to stable storage.
+    /// Flushes file contents and metadata to stable storage, honoring any
+    /// armed `fs.fsync` fault.
     pub fn sync_all(&self) -> std::io::Result<()> {
-        self.file.sync_all()
+        sync_file_at("fs.fsync", &self.file)
     }
 }
 
@@ -572,6 +609,22 @@ mod tests {
         assert!(from.exists() && !to.exists());
         rename(&from, &to).unwrap();
         assert!(to.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_fault_fails_sync_not_write() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("mlcs_faults_fs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synced.bin");
+        configure(parse_spec("fs.fsync:err:1:1").unwrap(), 0);
+        let mut f = FaultyFile::create(&path).unwrap();
+        f.write_all(b"payload").unwrap();
+        assert!(f.sync_all().is_err(), "first fsync injected");
+        assert!(f.sync_all().is_ok(), "nth=1 fires once");
+        clear();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload", "data reached the file");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -49,6 +49,7 @@ pub mod exec;
 pub mod expr;
 pub mod faults;
 pub mod metrics;
+pub mod page;
 pub mod parallel;
 pub mod persist;
 pub mod schema;
@@ -59,6 +60,7 @@ pub mod table;
 pub mod types;
 pub mod udf;
 pub mod verify;
+pub mod wal;
 
 pub use batch::Batch;
 pub use bitmap::Bitmap;

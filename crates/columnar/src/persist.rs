@@ -25,16 +25,31 @@
 //! damaged or missing table files (reporting them in a [`RecoveryReport`])
 //! instead of aborting the whole load, so one corrupted table cannot hold
 //! every stored model hostage.
+//!
+//! # Durability formats
+//!
+//! Two manifest generations coexist. `MLCSDB_1` (the legacy whole-file
+//! save) lists tables stored as `<name>.mlcstbl` files and carries no
+//! checkpoint watermark. `MLCSDB_2` (written by [`crate::wal::checkpoint`])
+//! additionally records the checkpoint LSN and stores each table as a
+//! `<name>.mlcspg` file of fixed-size checksummed pages (see
+//! [`crate::page`]). In both generations, if a `wal.mlcslog` file is
+//! present next to the manifest, [`load_database_with`] replays every log
+//! record past the checkpoint watermark — idempotent redo — and, in
+//! [`RecoveryMode::Recover`], cleanly truncates a damaged log tail.
 
+use crate::batch::Batch;
 use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnData};
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
 use crate::faults;
 use crate::metrics;
+use crate::page;
 use crate::schema::{Field, Schema};
 use crate::strings::{BlobColumn, StringColumn};
 use crate::table::Table;
+use crate::wal;
 use mlcs_pickle::crc::crc32;
 use mlcs_pickle::{Reader, Writer};
 use std::path::Path;
@@ -42,6 +57,7 @@ use std::sync::Arc;
 
 const TABLE_MAGIC: &[u8; 8] = b"MLCSTBL1";
 const MANIFEST_MAGIC: &[u8; 8] = b"MLCSDB_1";
+const MANIFEST_MAGIC_V2: &[u8; 8] = b"MLCSDB_2";
 
 /// How [`load_database_with`] reacts to damaged table files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,19 +90,36 @@ pub struct RecoveryReport {
     /// File names of leftover `*.tmp` files from an interrupted save.
     /// Harmless (no manifest references them) but worth cleaning up.
     pub stale_tmp: Vec<String>,
+    /// Write-ahead-log records replayed past the checkpoint watermark.
+    /// Nonzero replay is normal operation, not damage.
+    pub replayed_records: u64,
+    /// Bytes of damaged write-ahead-log tail discarded by a recovering
+    /// load (`0` = the log was clean). A torn final record is expected
+    /// after a crash mid-commit; the truncated transaction was never
+    /// acknowledged.
+    pub truncated_tail: u64,
+    /// Page files (or log records) whose checksum verification failed —
+    /// torn or corrupt writes that were *detected* rather than loaded.
+    pub checksum_failures: u64,
 }
 
 impl RecoveryReport {
     /// Whether every manifest table loaded and no debris was found.
+    /// Replayed log records do not count against cleanliness — redo is
+    /// how a durable database normally reopens — but a truncated tail or
+    /// a checksum failure does.
     pub fn is_clean(&self) -> bool {
-        self.damaged.is_empty() && self.stale_tmp.is_empty()
+        self.damaged.is_empty()
+            && self.stale_tmp.is_empty()
+            && self.truncated_tail == 0
+            && self.checksum_failures == 0
     }
 }
 
 /// Writes `bytes` to `dir/<name>` atomically: `<name>.tmp` + fsync +
 /// rename + directory fsync. A crash at any point leaves either the old
 /// file or the new one, never a torn mix; at worst a stale `.tmp` remains.
-fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8]) -> DbResult<()> {
+pub(crate) fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8]) -> DbResult<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     let mut file = faults::FaultyFile::create(&tmp)?;
     file.write_all(bytes)?;
@@ -96,9 +129,22 @@ fn write_file_atomic(dir: &Path, name: &str, bytes: &[u8]) -> DbResult<()> {
 }
 
 /// Fsyncs a directory so a rename inside it is durable.
-fn sync_dir(dir: &Path) -> DbResult<()> {
+pub(crate) fn sync_dir(dir: &Path) -> DbResult<()> {
     std::fs::File::open(dir)?.sync_all()?;
     Ok(())
+}
+
+/// Writes the v2 manifest (checkpoint LSN + table list) atomically. The
+/// rename of this file is the checkpoint's commit point.
+pub(crate) fn write_manifest_v2(dir: &Path, checkpoint_lsn: u64, names: &[String]) -> DbResult<()> {
+    let mut manifest = Writer::new();
+    manifest.put_raw(MANIFEST_MAGIC_V2);
+    manifest.put_u64(checkpoint_lsn);
+    manifest.put_varint(names.len() as u64);
+    for name in names {
+        manifest.put_str(name);
+    }
+    write_file_atomic(dir, "catalog.mlcsdb", &manifest.into_bytes())
 }
 
 /// Saves every table of the database into `dir` (created if missing).
@@ -144,24 +190,41 @@ pub fn load_database_with(
     dir: &Path,
     mode: RecoveryMode,
 ) -> DbResult<RecoveryReport> {
-    let manifest = std::fs::read(dir.join("catalog.mlcsdb"))?;
-    let mut r = Reader::new(&manifest);
-    let magic = r.get_raw(8).map_err(corrupt)?;
-    if magic != MANIFEST_MAGIC {
-        return Err(DbError::Corrupt("bad manifest magic".into()));
-    }
     let mut report = RecoveryReport::default();
-    let n = r.get_count(1).map_err(corrupt)?;
-    for _ in 0..n {
-        let name = r.get_str().map_err(corrupt)?.to_owned();
-        match load_table(db, dir, &name) {
-            Ok(()) => report.loaded.push(name),
-            Err(e) if mode == RecoveryMode::Recover => {
-                metrics::counter("persist.recovered_tables").incr();
-                report.damaged.push(DamagedTable { name, reason: e.to_string() });
+    let wal_path = dir.join(wal::WAL_FILE);
+    let mut checkpoint_lsn = 0u64;
+    match std::fs::read(dir.join("catalog.mlcsdb")) {
+        Ok(manifest) => {
+            let mut r = Reader::new(&manifest);
+            let magic = r.get_raw(8).map_err(corrupt)?;
+            let paged = match magic {
+                m if m == MANIFEST_MAGIC => false,
+                m if m == MANIFEST_MAGIC_V2 => {
+                    checkpoint_lsn = r.get_u64().map_err(corrupt)?;
+                    true
+                }
+                _ => return Err(DbError::Corrupt("bad manifest magic".into())),
+            };
+            let n = r.get_count(1).map_err(corrupt)?;
+            for _ in 0..n {
+                let name = r.get_str().map_err(corrupt)?.to_owned();
+                match load_table(db, dir, &name, paged, &mut report) {
+                    Ok(()) => report.loaded.push(name),
+                    Err(e) if mode == RecoveryMode::Recover => {
+                        metrics::counter("persist.recovered_tables").incr();
+                        report.damaged.push(DamagedTable { name, reason: e.to_string() });
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            Err(e) => return Err(e),
         }
+        // No manifest but a log: a durable database that crashed before
+        // its first checkpoint. Bootstrap from an empty base and replay.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && wal_path.exists() => {}
+        Err(e) => return Err(e.into()),
+    }
+    if wal_path.exists() {
+        wal::recover_into(db, &wal_path, checkpoint_lsn, mode, &mut report)?;
     }
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.flatten() {
@@ -175,32 +238,42 @@ pub fn load_database_with(
     Ok(report)
 }
 
-/// Reads, decodes, and registers one table file.
-fn load_table(db: &Database, dir: &Path, name: &str) -> DbResult<()> {
-    let bytes = std::fs::read(dir.join(format!("{name}.mlcstbl")))?;
+/// Reads, decodes, and registers one table file — whole-file `.mlcstbl`
+/// for v1 manifests, checksummed-page `.mlcspg` for v2.
+fn load_table(
+    db: &Database,
+    dir: &Path,
+    name: &str,
+    paged: bool,
+    report: &mut RecoveryReport,
+) -> DbResult<()> {
+    let bytes = if paged {
+        let file = format!("{name}.mlcspg");
+        let raw = std::fs::read(dir.join(&file))?;
+        match page::decode_pages_counted(&file, &raw) {
+            Ok(payload) => payload,
+            Err(failure) => {
+                if failure.checksum {
+                    report.checksum_failures += 1;
+                }
+                return Err(failure.error);
+            }
+        }
+    } else {
+        std::fs::read(dir.join(format!("{name}.mlcstbl")))?
+    };
     let table = decode_table(name, &bytes)?;
     db.catalog().put_table(table, false)
 }
 
-fn corrupt(e: mlcs_pickle::PickleError) -> DbError {
+pub(crate) fn corrupt(e: mlcs_pickle::PickleError) -> DbError {
     DbError::Corrupt(e.to_string())
 }
 
 /// Encodes one table: magic, checksum, schema, columns.
 pub fn encode_table(table: &Table) -> Vec<u8> {
     let mut body = Writer::new();
-    let schema = table.schema();
-    body.put_varint(schema.len() as u64);
-    for f in schema.fields() {
-        body.put_str(&f.name);
-        body.put_u8(f.dtype.tag());
-        body.put_bool(f.nullable);
-    }
-    let batch = table.scan();
-    body.put_varint(batch.rows() as u64);
-    for col in batch.columns() {
-        encode_column(col, &mut body);
-    }
+    encode_batch(&table.scan(), &mut body);
     let payload = body.into_bytes();
     let mut out = Writer::with_capacity(payload.len() + 16);
     out.put_raw(TABLE_MAGIC);
@@ -225,6 +298,31 @@ pub fn decode_table(name: &str, bytes: &[u8]) -> DbResult<Table> {
         )));
     }
     let mut r = Reader::new(payload);
+    let batch = decode_batch(&mut r)?;
+    r.expect_exhausted().map_err(corrupt)?;
+    Ok(Table::from_batch(name, batch))
+}
+
+/// Encodes a self-describing batch: schema fields, row count, columns.
+/// The layout is byte-identical to the body of a v1 table file, so the
+/// write-ahead log's append records and the table files share one codec.
+pub(crate) fn encode_batch(batch: &Batch, w: &mut Writer) {
+    let schema = batch.schema();
+    w.put_varint(schema.len() as u64);
+    for f in schema.fields() {
+        w.put_str(&f.name);
+        w.put_u8(f.dtype.tag());
+        w.put_bool(f.nullable);
+    }
+    w.put_varint(batch.rows() as u64);
+    for col in batch.columns() {
+        encode_column(col, w);
+    }
+}
+
+/// Decodes a batch encoded by [`encode_batch`], leaving the reader
+/// positioned after it (write-ahead-log payloads continue past a batch).
+pub(crate) fn decode_batch(r: &mut Reader<'_>) -> DbResult<Batch> {
     let ncols = r.get_count(1).map_err(corrupt)?;
     let mut fields = Vec::with_capacity(ncols);
     for _ in 0..ncols {
@@ -239,7 +337,7 @@ pub fn decode_table(name: &str, bytes: &[u8]) -> DbResult<Table> {
     let rows = r.get_varint().map_err(corrupt)? as usize;
     let mut columns = Vec::with_capacity(ncols);
     for f in schema.fields() {
-        let col = decode_column(f.dtype.tag(), rows, &mut r)?;
+        let col = decode_column(f.dtype.tag(), rows, r)?;
         if col.len() != rows {
             return Err(DbError::Corrupt(format!(
                 "column '{}' has {} rows, expected {rows}",
@@ -249,12 +347,10 @@ pub fn decode_table(name: &str, bytes: &[u8]) -> DbResult<Table> {
         }
         columns.push(Arc::new(col));
     }
-    r.expect_exhausted().map_err(corrupt)?;
-    let batch = crate::batch::Batch::new(schema, columns)?;
-    Ok(Table::from_batch(name, batch))
+    Batch::new(schema, columns)
 }
 
-fn encode_column(col: &Column, w: &mut Writer) {
+pub(crate) fn encode_column(col: &Column, w: &mut Writer) {
     // The on-disk format stores plain columns only; in-memory encodings
     // are an execution concern and are re-derived by `Table::from_batch`
     // when the file is loaded.
@@ -329,7 +425,7 @@ fn encode_column(col: &Column, w: &mut Writer) {
     }
 }
 
-fn decode_column(tag: u8, rows: usize, r: &mut Reader<'_>) -> DbResult<Column> {
+pub(crate) fn decode_column(tag: u8, rows: usize, r: &mut Reader<'_>) -> DbResult<Column> {
     let has_validity = r.get_bool().map_err(corrupt)?;
     let validity = if has_validity {
         let bytes = r.get_bytes().map_err(corrupt)?;

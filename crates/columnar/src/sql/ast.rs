@@ -81,6 +81,15 @@ pub enum Statement {
         /// Suppress the missing-function error.
         if_exists: bool,
     },
+    /// `CHECKPOINT` — folds the write-ahead log into the page base and
+    /// truncates it. Only meaningful on a durable database.
+    Checkpoint,
+    /// `SAVE 'dir'` — whole-file snapshot of every table into a directory
+    /// (checkpointing first when the database is durable).
+    Save {
+        /// Target directory.
+        path: String,
+    },
 }
 
 /// One column in `CREATE TABLE`.

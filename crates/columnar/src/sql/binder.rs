@@ -131,6 +131,8 @@ impl<'a> Binder<'a> {
             }
             Statement::ShowTables => Ok(BoundStatement::ShowTables),
             Statement::ShowFunctions => Ok(BoundStatement::ShowFunctions),
+            Statement::Checkpoint => Ok(BoundStatement::Checkpoint),
+            Statement::Save { path } => Ok(BoundStatement::Save { path }),
             Statement::Query(q) => {
                 let plan = self.bind_query(q)?;
                 Ok(BoundStatement::Query {

@@ -165,6 +165,12 @@ impl Parser {
         if self.at_keyword("show") {
             return self.show();
         }
+        if self.eat_keyword("checkpoint") {
+            return Ok(Statement::Checkpoint);
+        }
+        if self.at_keyword("save") {
+            return self.save();
+        }
         if self.at_keyword("select") {
             return Ok(Statement::Query(self.query()?));
         }
@@ -314,6 +320,21 @@ impl Parser {
             return Ok(Statement::ShowFunctions);
         }
         Err(self.error("expected TABLES or FUNCTIONS after SHOW".into()))
+    }
+
+    fn save(&mut self) -> DbResult<Statement> {
+        self.expect_keyword("save")?;
+        match self.peek() {
+            Some(Token::String(s)) => {
+                let path = s.clone();
+                self.pos += 1;
+                Ok(Statement::Save { path })
+            }
+            _ => Err(self.error(format!(
+                "expected a quoted directory path after SAVE, found '{}'",
+                self.peek_text()
+            ))),
+        }
     }
 
     // ---- queries ---------------------------------------------------------
@@ -989,6 +1010,18 @@ mod tests {
             parse("DROP FUNCTION IF EXISTS train").unwrap(),
             Statement::DropFunction { if_exists: true, .. }
         ));
+    }
+
+    #[test]
+    fn durability_statements() {
+        assert_eq!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint);
+        assert_eq!(parse("checkpoint;").unwrap(), Statement::Checkpoint);
+        assert_eq!(
+            parse("SAVE '/tmp/snap'").unwrap(),
+            Statement::Save { path: "/tmp/snap".into() }
+        );
+        assert!(parse("SAVE").is_err()); // missing path
+        assert!(parse("SAVE snapdir").is_err()); // path must be quoted
     }
 
     #[test]

@@ -386,4 +386,11 @@ pub enum BoundStatement {
         /// Suppress missing-function.
         if_exists: bool,
     },
+    /// `CHECKPOINT`: fold the write-ahead log into the page base.
+    Checkpoint,
+    /// `SAVE 'dir'`: whole-file snapshot into a directory.
+    Save {
+        /// Target directory.
+        path: String,
+    },
 }

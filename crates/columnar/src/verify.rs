@@ -82,7 +82,9 @@ pub fn verify_statement(stmt: &BoundStatement, functions: &FunctionRegistry) -> 
         | BoundStatement::InsertValues { .. }
         | BoundStatement::ShowTables
         | BoundStatement::ShowFunctions
-        | BoundStatement::DropFunction { .. } => return Ok(()),
+        | BoundStatement::DropFunction { .. }
+        | BoundStatement::Checkpoint
+        | BoundStatement::Save { .. } => return Ok(()),
     };
     let mut types = Vec::with_capacity(subs.len());
     for (i, sub) in subs.iter().enumerate() {

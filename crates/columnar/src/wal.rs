@@ -1,0 +1,777 @@
+//! Write-ahead logging: durable incremental commits, checkpointing, and
+//! replay-based crash recovery.
+//!
+//! The paper's deep-integration thesis — models live *in* tables — only
+//! pays off in production if those tables survive crashes without
+//! rewriting the world on every commit. This module adds the classic
+//! ARIES-style redo path on top of the PR-5 whole-file persistence:
+//!
+//! * **Log.** `wal.mlcslog` is an append-only file: an 8-byte magic, then
+//!   framed records (`u32` length, `u32` CRC32, payload). Each record
+//!   carries one monotonically increasing LSN and every operation of one
+//!   SQL statement, so a record is readable iff it committed in full —
+//!   there are no partial transactions to undo, only a torn tail to cut.
+//! * **Commit.** [`Wal::append`] writes the frame and fsyncs before
+//!   acknowledging (fault points `wal.append`, `wal.fsync`, and the
+//!   shared `fs.fsync`). On error the file is left exactly as a crash
+//!   would leave it — a torn suffix the next recovery truncates — and the
+//!   statement is *not* acknowledged.
+//! * **Checkpoint.** [`checkpoint`] folds the log into fixed-size
+//!   checksummed pages ([`crate::page`]): every table is snapshotted into
+//!   `<name>.mlcspg` (written under the `page.write` fault point and
+//!   *verified by read-back before rename*, so a torn or bit-flipped page
+//!   can never replace a healthy base), the v2 manifest with the
+//!   checkpoint LSN is committed atomically, and the log is truncated to
+//!   a fresh header plus a checkpoint marker record.
+//! * **Recovery.** [`crate::persist::load_database_with`] loads the page
+//!   base, then `recover_into` replays every record with an LSN past
+//!   the manifest's checkpoint watermark — idempotent redo — and, in
+//!   [`RecoveryMode::Recover`], truncates a damaged tail, reporting
+//!   replayed/truncated/checksum-failed counts in the
+//!   [`crate::persist::RecoveryReport`].
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::faults;
+use crate::metrics;
+use crate::page;
+use crate::persist::{self, DamagedTable, RecoveryMode, RecoveryReport};
+use crate::schema::{Field, Schema};
+use mlcs_pickle::crc::crc32;
+use mlcs_pickle::{Reader, Writer};
+use parking_lot::Mutex;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File name of the write-ahead log inside a durable directory.
+pub const WAL_FILE: &str = "wal.mlcslog";
+
+const WAL_MAGIC: &[u8; 8] = b"MLCSWAL1";
+
+/// Upper bound on one record's payload — a defense against interpreting
+/// garbage length bytes as a multi-gigabyte allocation.
+const MAX_RECORD: usize = 1 << 30;
+
+const OP_CREATE: u8 = 1;
+const OP_DROP: u8 = 2;
+const OP_APPEND: u8 = 3;
+const OP_MODEL_BLOB: u8 = 4;
+const OP_REPLACE: u8 = 5;
+const OP_RETAIN: u8 = 6;
+const OP_CHECKPOINT: u8 = 7;
+
+/// One logged operation. A record holds every operation of one SQL
+/// statement, so replay applies statements atomically.
+#[derive(Debug, Clone)]
+pub enum WalOp {
+    /// `CREATE TABLE` (also the first half of `CREATE TABLE AS`).
+    CreateTable {
+        /// Table name (lowercased, as the catalog stores it).
+        name: String,
+        /// The created schema.
+        schema: Arc<Schema>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// Rows appended to a table (INSERT … VALUES / INSERT … SELECT).
+    Append {
+        /// Target table.
+        table: String,
+        /// The appended rows, self-describing.
+        batch: Batch,
+    },
+    /// An append whose schema carries a BLOB column — in this engine,
+    /// the signature of models being written into tables. Replays
+    /// identically to [`WalOp::Append`]; the distinct tag keeps model
+    /// writes visible when eyeballing a log.
+    ModelBlob {
+        /// Target table.
+        table: String,
+        /// The appended rows.
+        batch: Batch,
+    },
+    /// `UPDATE`: one column replaced wholesale.
+    ReplaceColumn {
+        /// Target table.
+        table: String,
+        /// Column position in the schema.
+        col_idx: usize,
+        /// The full replacement column.
+        column: Column,
+    },
+    /// `DELETE`: the surviving row indices, in order.
+    Retain {
+        /// Target table.
+        table: String,
+        /// Indices of the rows that remain.
+        keep: Vec<u32>,
+    },
+    /// A checkpoint marker: state up to `upto` is folded into pages.
+    /// Replay treats it as a no-op (the manifest watermark governs).
+    Checkpoint {
+        /// The folded-in LSN.
+        upto: u64,
+    },
+}
+
+impl WalOp {
+    /// The append op for `batch`: [`WalOp::ModelBlob`] when the schema
+    /// carries a BLOB column, [`WalOp::Append`] otherwise.
+    pub fn append(table: String, batch: Batch) -> WalOp {
+        let has_blob =
+            batch.schema().fields().iter().any(|f| f.dtype == crate::types::DataType::Blob);
+        if has_blob {
+            WalOp::ModelBlob { table, batch }
+        } else {
+            WalOp::Append { table, batch }
+        }
+    }
+
+    /// The table this op touches, for damage reports.
+    fn table_name(&self) -> &str {
+        match self {
+            WalOp::CreateTable { name, .. } | WalOp::DropTable { name } => name,
+            WalOp::Append { table, .. }
+            | WalOp::ModelBlob { table, .. }
+            | WalOp::ReplaceColumn { table, .. }
+            | WalOp::Retain { table, .. } => table,
+            WalOp::Checkpoint { .. } => "<checkpoint>",
+        }
+    }
+}
+
+/// One decoded log record: an LSN and the ops of one statement.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The statement's operations, in application order.
+    pub ops: Vec<WalOp>,
+}
+
+// ---- record codec --------------------------------------------------------
+
+fn encode_op(op: &WalOp, w: &mut Writer) {
+    match op {
+        WalOp::CreateTable { name, schema } => {
+            w.put_u8(OP_CREATE);
+            w.put_str(name);
+            w.put_varint(schema.len() as u64);
+            for f in schema.fields() {
+                w.put_str(&f.name);
+                w.put_u8(f.dtype.tag());
+                w.put_bool(f.nullable);
+            }
+        }
+        WalOp::DropTable { name } => {
+            w.put_u8(OP_DROP);
+            w.put_str(name);
+        }
+        WalOp::Append { table, batch } => {
+            w.put_u8(OP_APPEND);
+            w.put_str(table);
+            persist::encode_batch(batch, w);
+        }
+        WalOp::ModelBlob { table, batch } => {
+            w.put_u8(OP_MODEL_BLOB);
+            w.put_str(table);
+            persist::encode_batch(batch, w);
+        }
+        WalOp::ReplaceColumn { table, col_idx, column } => {
+            w.put_u8(OP_REPLACE);
+            w.put_str(table);
+            w.put_varint(*col_idx as u64);
+            w.put_u8(column.data_type().tag());
+            w.put_varint(column.len() as u64);
+            persist::encode_column(column, w);
+        }
+        WalOp::Retain { table, keep } => {
+            w.put_u8(OP_RETAIN);
+            w.put_str(table);
+            w.put_u32_slice(keep);
+        }
+        WalOp::Checkpoint { upto } => {
+            w.put_u8(OP_CHECKPOINT);
+            w.put_u64(*upto);
+        }
+    }
+}
+
+fn corrupt(e: mlcs_pickle::PickleError) -> DbError {
+    DbError::Corrupt(e.to_string())
+}
+
+fn decode_op(r: &mut Reader<'_>) -> DbResult<WalOp> {
+    match r.get_u8().map_err(corrupt)? {
+        OP_CREATE => {
+            let name = r.get_str().map_err(corrupt)?.to_owned();
+            let nfields = r.get_count(3).map_err(corrupt)?;
+            let mut fields = Vec::with_capacity(nfields);
+            for _ in 0..nfields {
+                let fname = r.get_str().map_err(corrupt)?.to_owned();
+                let tag = r.get_u8().map_err(corrupt)?;
+                let dtype = crate::types::DataType::from_tag(tag)
+                    .ok_or_else(|| DbError::Corrupt(format!("unknown type tag {tag}")))?;
+                let nullable = r.get_bool().map_err(corrupt)?;
+                fields.push(Field { name: fname, dtype, nullable });
+            }
+            Ok(WalOp::CreateTable { name, schema: Arc::new(Schema::new(fields)?) })
+        }
+        OP_DROP => Ok(WalOp::DropTable { name: r.get_str().map_err(corrupt)?.to_owned() }),
+        tag @ (OP_APPEND | OP_MODEL_BLOB) => {
+            let table = r.get_str().map_err(corrupt)?.to_owned();
+            let batch = persist::decode_batch(r)?;
+            if tag == OP_MODEL_BLOB {
+                Ok(WalOp::ModelBlob { table, batch })
+            } else {
+                Ok(WalOp::Append { table, batch })
+            }
+        }
+        OP_REPLACE => {
+            let table = r.get_str().map_err(corrupt)?.to_owned();
+            let col_idx = r.get_varint().map_err(corrupt)? as usize;
+            let tag = r.get_u8().map_err(corrupt)?;
+            let rows = r.get_varint().map_err(corrupt)? as usize;
+            let column = persist::decode_column(tag, rows, r)?;
+            Ok(WalOp::ReplaceColumn { table, col_idx, column })
+        }
+        OP_RETAIN => {
+            let table = r.get_str().map_err(corrupt)?.to_owned();
+            let keep = r.get_u32_vec().map_err(corrupt)?;
+            Ok(WalOp::Retain { table, keep })
+        }
+        OP_CHECKPOINT => Ok(WalOp::Checkpoint { upto: r.get_u64().map_err(corrupt)? }),
+        other => Err(DbError::Corrupt(format!("unknown WAL op tag {other}"))),
+    }
+}
+
+/// Frames one record: `[u32 len][u32 crc32][u64 lsn][varint nops][ops…]`.
+fn encode_record(lsn: u64, ops: &[WalOp]) -> Vec<u8> {
+    let mut body = Writer::new();
+    body.put_u64(lsn);
+    body.put_varint(ops.len() as u64);
+    for op in ops {
+        encode_op(op, &mut body);
+    }
+    let payload = body.into_bytes();
+    let mut out = Writer::with_capacity(payload.len() + 8);
+    out.put_u32(payload.len() as u32);
+    out.put_u32(crc32(&payload));
+    out.put_raw(&payload);
+    out.into_bytes()
+}
+
+fn decode_payload(payload: &[u8]) -> DbResult<WalRecord> {
+    let mut r = Reader::new(payload);
+    let lsn = r.get_u64().map_err(corrupt)?;
+    let nops = r.get_count(1).map_err(corrupt)?;
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        ops.push(decode_op(&mut r)?);
+    }
+    r.expect_exhausted().map_err(corrupt)?;
+    Ok(WalRecord { lsn, ops })
+}
+
+// ---- log scan ------------------------------------------------------------
+
+/// The result of scanning a log image: the intact record prefix, where it
+/// ends, and why scanning stopped early (if it did).
+struct LogScan {
+    records: Vec<WalRecord>,
+    /// Byte length of the intact prefix (magic included).
+    valid_len: u64,
+    /// Highest LSN among the intact records.
+    last_lsn: u64,
+    /// `Some(reason)` when bytes past `valid_len` are damaged.
+    damage: Option<String>,
+}
+
+fn u32_le(bytes: &[u8], at: usize) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Parses a log image front to back, stopping at the first frame that is
+/// truncated, checksum-damaged, or undecodable. Everything before the
+/// stop is trustworthy (each frame passed its CRC); everything after is
+/// tail damage.
+fn scan_log(bytes: &[u8]) -> LogScan {
+    let mut scan = LogScan { records: Vec::new(), valid_len: 0, last_lsn: 0, damage: None };
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        scan.damage = Some("missing or damaged log header".into());
+        return scan;
+    }
+    let mut pos = WAL_MAGIC.len();
+    scan.valid_len = pos as u64;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            scan.damage = Some("torn frame header at end of log".into());
+            return scan;
+        }
+        let len = u32_le(bytes, pos) as usize;
+        let stored_crc = u32_le(bytes, pos + 4);
+        if len > MAX_RECORD || bytes.len() - pos - 8 < len {
+            scan.damage = Some(format!(
+                "record at offset {pos} claims {len} bytes past the end of the log (torn tail)"
+            ));
+            return scan;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let computed = crc32(payload);
+        if stored_crc != computed {
+            scan.damage = Some(format!(
+                "record at offset {pos} failed its checksum ({stored_crc:#x} != {computed:#x})"
+            ));
+            return scan;
+        }
+        match decode_payload(payload) {
+            Ok(rec) if rec.lsn > scan.last_lsn => {
+                scan.last_lsn = rec.lsn;
+                scan.records.push(rec);
+            }
+            Ok(rec) => {
+                scan.damage = Some(format!(
+                    "record at offset {pos} has non-monotonic LSN {} (last {})",
+                    rec.lsn, scan.last_lsn
+                ));
+                return scan;
+            }
+            Err(e) => {
+                scan.damage = Some(format!("record at offset {pos} is undecodable: {e}"));
+                return scan;
+            }
+        }
+        pos += 8 + len;
+        scan.valid_len = pos as u64;
+    }
+    scan
+}
+
+// ---- the log writer ------------------------------------------------------
+
+struct WalInner {
+    file: std::fs::File,
+    /// Durable length of the intact log prefix; appends start here.
+    len: u64,
+    /// LSN the next record will carry.
+    next_lsn: u64,
+    /// Cleared when a checkpoint's log reset fails mid-way: the in-memory
+    /// offsets can no longer be trusted, so appends refuse until reopen.
+    healthy: bool,
+}
+
+/// The append side of the write-ahead log. One `Wal` serializes all
+/// commits through an internal mutex; clones of the owning [`Database`]
+/// share it.
+pub struct Wal {
+    path: PathBuf,
+    inner: Mutex<WalInner>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish()
+    }
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log in `dir` and positions the
+    /// writer after the last intact record. A damaged tail is an error
+    /// here: run a recovering [`persist::load_database_with`] first — it
+    /// truncates the tail — or use [`Database::open_durable`], which does.
+    pub fn open(dir: &Path) -> DbResult<Wal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_FILE);
+        if !path.exists() {
+            let mut file = std::fs::File::create(&path)?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            persist::sync_dir(dir)?;
+        }
+        let bytes = std::fs::read(&path)?;
+        let scan = scan_log(&bytes);
+        if let Some(reason) = scan.damage {
+            return Err(DbError::Corrupt(format!(
+                "write-ahead log has a damaged tail ({reason}); recover with \
+                 load_database_with(RecoveryMode::Recover) or Database::open_durable first"
+            )));
+        }
+        let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalInner {
+                file,
+                len: scan.valid_len,
+                next_lsn: scan.last_lsn + 1,
+                healthy: true,
+            }),
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record holding `ops` and fsyncs it — the commit point
+    /// of a durable statement. Returns the record's LSN.
+    ///
+    /// On error the file is left exactly as a crash would leave it (a
+    /// torn suffix past the intact prefix, which the next recovery — or
+    /// the next successful append, by overwriting — disposes of), and
+    /// the in-memory offsets stay on the intact prefix: the statement
+    /// was not acknowledged and will not survive a restart.
+    pub fn append(&self, ops: &[WalOp]) -> DbResult<u64> {
+        let mut inner = self.inner.lock();
+        if !inner.healthy {
+            return Err(DbError::Io(
+                "write-ahead log is failed (a checkpoint could not reset it); \
+                 reopen the database to recover"
+                    .into(),
+            ));
+        }
+        let lsn = inner.next_lsn;
+        let frame = encode_record(lsn, ops);
+        let at = inner.len;
+        inner.file.seek(SeekFrom::Start(at))?;
+        faults::write_file_at("wal.append", &mut inner.file, &frame)?;
+        faults::check_point("wal.fsync")?;
+        faults::sync_file_at("fs.fsync", &inner.file)?;
+        inner.len = at + frame.len() as u64;
+        inner.next_lsn = lsn + 1;
+        metrics::counter("wal.appends").incr();
+        metrics::counter("wal.bytes").add(frame.len() as u64);
+        metrics::counter("wal.fsyncs").incr();
+        Ok(lsn)
+    }
+
+    /// Current byte length of the intact log (for tests and benches).
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len
+    }
+
+    /// Whether the log holds no records beyond its header.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= WAL_MAGIC.len() as u64
+    }
+}
+
+// ---- checkpointing -------------------------------------------------------
+
+/// Writes `payload` to `dir/<name>` as checksummed pages, atomically:
+/// pages go to a `.tmp` sibling under the `page.write` fault point, are
+/// fsynced, **read back and verified**, and only then renamed into place.
+/// The read-back is what keeps a bit-flipped or torn page from ever
+/// replacing a healthy base image.
+fn write_paged_atomic(dir: &Path, name: &str, payload: &[u8]) -> DbResult<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut file = std::fs::File::create(&tmp)?;
+    let paged = page::encode_pages(payload);
+    for chunk in paged.chunks(page::PAGE_SIZE) {
+        faults::write_file_at("page.write", &mut file, chunk)?;
+    }
+    faults::sync_file_at("fs.fsync", &file)?;
+    let back = std::fs::read(&tmp)?;
+    let decoded = page::decode_pages(name, &back)?;
+    if decoded != payload {
+        return Err(DbError::Corrupt(format!(
+            "page file '{name}' read-back mismatch before rename"
+        )));
+    }
+    faults::rename(&tmp, &dir.join(name))?;
+    persist::sync_dir(dir)
+}
+
+/// Folds the log into the page base and truncates it: every table is
+/// snapshotted into `<name>.mlcspg`, the v2 manifest (carrying the
+/// checkpoint LSN) is committed atomically, and the log is reset to a
+/// fresh header plus a [`WalOp::Checkpoint`] marker.
+///
+/// The whole fold runs under the log mutex, so commits are fenced for
+/// its duration — stop-the-world, by design: the snapshot is cut at one
+/// LSN. A crash after the manifest commit but before the log reset is
+/// harmless: every old record's LSN is at or below the new watermark, so
+/// replay skips them (idempotent redo).
+pub fn checkpoint(db: &Database, dir: &Path, wal: &Wal) -> DbResult<()> {
+    let mut inner = wal.inner.lock();
+    std::fs::create_dir_all(dir)?;
+    let upto = inner.next_lsn - 1;
+    let names = db.catalog().table_names();
+    for name in &names {
+        let handle = db.catalog().table(name)?;
+        let table = handle.read(); // lint: allow(checkpoint is stop-the-world: the wal mutex fences commits while the snapshot is cut at one LSN)
+        let bytes = persist::encode_table(&table);
+        drop(table);
+        write_paged_atomic(dir, &format!("{name}.mlcspg"), &bytes)?;
+    }
+    // The commit point: the manifest's checkpoint LSN makes the fold
+    // visible and obsoletes every record at or below it.
+    persist::write_manifest_v2(dir, upto, &names)?;
+    // Reset the log. Failures past this line poison the writer (offsets
+    // can no longer be trusted); a reopen recovers via the watermark.
+    inner.healthy = false;
+    let lsn = inner.next_lsn;
+    let frame = encode_record(lsn, &[WalOp::Checkpoint { upto }]);
+    inner.file.set_len(0)?;
+    inner.file.seek(SeekFrom::Start(0))?;
+    inner.file.write_all(WAL_MAGIC)?;
+    inner.file.write_all(&frame)?;
+    inner.file.sync_all()?;
+    inner.len = (WAL_MAGIC.len() + frame.len()) as u64;
+    inner.next_lsn = lsn + 1;
+    inner.healthy = true;
+    metrics::counter("wal.checkpoints").incr();
+    Ok(())
+}
+
+// ---- recovery ------------------------------------------------------------
+
+/// Replays the log at `path` into `db`, skipping records at or below the
+/// `watermark` LSN (idempotent redo). Damaged tails are fatal in
+/// [`RecoveryMode::Strict`]; in [`RecoveryMode::Recover`] they are
+/// physically truncated (so the next open is clean), counted once on
+/// `persist.truncated_tail`, and reported as discarded bytes. Each
+/// applied record ticks `persist.replayed_records`.
+pub(crate) fn recover_into(
+    db: &Database,
+    path: &Path,
+    watermark: u64,
+    mode: RecoveryMode,
+    report: &mut RecoveryReport,
+) -> DbResult<()> {
+    let bytes = std::fs::read(path)?;
+    let scan = scan_log(&bytes);
+    if let Some(reason) = scan.damage {
+        if mode == RecoveryMode::Strict {
+            return Err(DbError::Corrupt(format!("write-ahead log damaged: {reason}")));
+        }
+        let discarded = bytes.len() as u64 - scan.valid_len;
+        truncate_log(path, scan.valid_len)?;
+        metrics::counter("persist.truncated_tail").incr();
+        report.truncated_tail += discarded;
+    }
+    for rec in &scan.records {
+        if rec.lsn <= watermark {
+            continue;
+        }
+        match apply_record(db, rec) {
+            Ok(()) => {
+                metrics::counter("persist.replayed_records").incr();
+                report.replayed_records += 1;
+            }
+            Err(e) if mode == RecoveryMode::Recover => {
+                // Usually an op aimed at a table whose base image was
+                // damaged and skipped; the statement is lost with it.
+                let name = rec.ops.first().map(WalOp::table_name).unwrap_or("<empty>");
+                report.damaged.push(DamagedTable {
+                    name: name.to_owned(),
+                    reason: format!("log record lsn {} not applied: {e}", rec.lsn),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Cuts the log back to its intact prefix. A prefix shorter than the
+/// header means the header itself was damaged: rewrite a fresh one.
+fn truncate_log(path: &Path, valid_len: u64) -> DbResult<()> {
+    if valid_len < WAL_MAGIC.len() as u64 {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+    } else {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_all()?;
+    }
+    Ok(())
+}
+
+fn apply_record(db: &Database, rec: &WalRecord) -> DbResult<()> {
+    for op in &rec.ops {
+        apply_op(db, op)?;
+    }
+    Ok(())
+}
+
+fn apply_op(db: &Database, op: &WalOp) -> DbResult<()> {
+    let catalog = db.catalog();
+    match op {
+        WalOp::CreateTable { name, schema } => {
+            match catalog.create_table(name, schema.clone()) {
+                // Idempotent redo: the table already exists with this
+                // name when a record is replayed a second time.
+                Err(DbError::AlreadyExists { .. }) => Ok(()),
+                other => other,
+            }
+        }
+        WalOp::DropTable { name } => catalog.drop_table(name, true),
+        WalOp::Append { table, batch } | WalOp::ModelBlob { table, batch } => {
+            let handle = catalog.table(table)?;
+            let mut guard = handle.write();
+            guard.append_batch(batch)
+        }
+        WalOp::ReplaceColumn { table, col_idx, column } => {
+            let handle = catalog.table(table)?;
+            let mut guard = handle.write();
+            guard.replace_column(*col_idx, column.clone())
+        }
+        WalOp::Retain { table, keep } => {
+            let handle = catalog.table(table)?;
+            let mut guard = handle.write();
+            guard.retain_indices(keep);
+            Ok(())
+        }
+        WalOp::Checkpoint { .. } => Ok(()),
+    }
+}
+
+/// Replays a [`Table`]'s worth of appended batches — exposed for benches
+/// that want the raw replay cost without a full database open.
+#[doc(hidden)]
+pub fn scan_records_for_bench(bytes: &[u8]) -> (usize, u64) {
+    let scan = scan_log(bytes);
+    (scan.records.len(), scan.valid_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlcs_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch_of(vals: &[i64]) -> Batch {
+        Batch::from_columns(vec![("v", Column::from_i64s(vals.to_vec()))]).unwrap()
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let schema =
+            Arc::new(Schema::new(vec![Field::new("v", crate::types::DataType::Int64)]).unwrap());
+        let ops = vec![
+            WalOp::CreateTable { name: "t".into(), schema },
+            WalOp::Append { table: "t".into(), batch: batch_of(&[1, 2, 3]) },
+            WalOp::ReplaceColumn {
+                table: "t".into(),
+                col_idx: 0,
+                column: Column::from_i64s(vec![9, 8, 7]),
+            },
+            WalOp::Retain { table: "t".into(), keep: vec![0, 2] },
+            WalOp::Checkpoint { upto: 41 },
+        ];
+        let frame = encode_record(42, &ops);
+        let rec = decode_payload(&frame[8..]).unwrap();
+        assert_eq!(rec.lsn, 42);
+        assert_eq!(rec.ops.len(), 5);
+        assert!(matches!(&rec.ops[4], WalOp::Checkpoint { upto: 41 }));
+    }
+
+    #[test]
+    fn blob_batches_log_as_model_writes() {
+        let batch =
+            Batch::from_columns(vec![("m", Column::from_blobs([&[1u8, 2, 3][..]]))]).unwrap();
+        assert!(matches!(WalOp::append("t".into(), batch), WalOp::ModelBlob { .. }));
+        assert!(matches!(WalOp::append("t".into(), batch_of(&[1])), WalOp::Append { .. }));
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let dir = tempdir("scan");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append(&[WalOp::Retain { table: "t".into(), keep: vec![1] }]).unwrap();
+        wal.append(&[WalOp::Retain { table: "t".into(), keep: vec![2] }]).unwrap();
+        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let intact = scan_log(&bytes);
+        assert_eq!(intact.records.len(), 2);
+        assert_eq!(intact.last_lsn, 2);
+        assert!(intact.damage.is_none());
+        // Tear the second record: its bytes survive only partially.
+        bytes.truncate(bytes.len() - 3);
+        let torn = scan_log(&bytes);
+        assert_eq!(torn.records.len(), 1, "only the intact record survives");
+        assert!(torn.damage.is_some());
+        // Flip a byte inside the first record: nothing survives.
+        let mut flipped = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        flipped[12] ^= 0xFF;
+        let f = scan_log(&flipped);
+        assert_eq!(f.records.len(), 0);
+        assert!(f.damage.unwrap().contains("checksum"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_lsn_sequence() {
+        let dir = tempdir("resume");
+        {
+            let wal = Wal::open(&dir).unwrap();
+            assert_eq!(wal.append(&[WalOp::Checkpoint { upto: 0 }]).unwrap(), 1);
+            assert_eq!(wal.append(&[WalOp::Checkpoint { upto: 0 }]).unwrap(), 2);
+        }
+        let wal = Wal::open(&dir).unwrap();
+        assert_eq!(wal.append(&[WalOp::Checkpoint { upto: 0 }]).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_is_not_acknowledged_and_log_reusable() {
+        let dir = tempdir("failfree");
+        let wal = Wal::open(&dir).unwrap();
+        wal.append(&[WalOp::Retain { table: "t".into(), keep: vec![1] }]).unwrap();
+        faults::configure_str("wal.append:torn:1:1", 7).unwrap();
+        let err = wal.append(&[WalOp::Retain { table: "t".into(), keep: vec![2, 3, 4] }]);
+        faults::clear();
+        assert!(err.is_err());
+        // The torn suffix sits on disk, but the writer's offset did not
+        // move: the next append overwrites it and the log stays clean.
+        wal.append(&[WalOp::Retain { table: "t".into(), keep: vec![5] }]).unwrap();
+        let scan = scan_log(&std::fs::read(dir.join(WAL_FILE)).unwrap());
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.damage.is_none(), "{:?}", scan.damage);
+        match &scan.records[1].ops[0] {
+            WalOp::Retain { keep, .. } => assert_eq!(keep, &vec![5]),
+            other => panic!("unexpected op {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_folds_and_truncates() {
+        let dir = tempdir("ckpt");
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v BIGINT)").unwrap();
+        let wal = Wal::open(&dir).unwrap();
+        let schema = db.catalog().table("t").unwrap().read().schema().clone();
+        wal.append(&[WalOp::CreateTable { name: "t".into(), schema }]).unwrap();
+        db.execute("INSERT INTO t VALUES (7)").unwrap();
+        wal.append(&[WalOp::append("t".into(), batch_of(&[7]))]).unwrap();
+        let before_len = wal.len();
+        checkpoint(&db, &dir, &wal).unwrap();
+        assert!(wal.len() < before_len + 1, "log shrank to header + marker");
+        assert!(dir.join("t.mlcspg").exists());
+        // A fresh load needs no replay: the marker record is a no-op.
+        let db2 = Database::new();
+        let report = persist::load_database_with(&db2, &dir, RecoveryMode::Recover).unwrap();
+        assert_eq!(report.replayed_records, 1, "only the checkpoint marker replays");
+        assert_eq!(
+            db2.query_value("SELECT v FROM t").unwrap(),
+            Value::Int64(7),
+            "page base carries the data"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

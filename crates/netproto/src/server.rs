@@ -10,6 +10,13 @@
 //! [`crate::config::ServeMode`]): the default multiplexed reactor in the
 //! private `reactor` module, and the original thread-per-connection
 //! baseline implemented here.
+//!
+//! Durability rides the same statement path: serve a database opened
+//! with `Database::open_durable` and every mutation a client commits is
+//! write-ahead-logged before it is acknowledged; clients can issue
+//! `CHECKPOINT` (fold the log into the page base) and `SAVE '<dir>'`
+//! (consistent snapshot to another directory) over the wire like any
+//! other statement.
 
 use crate::config::{NetConfig, ServeMode};
 use crate::framing::{decode_query, encode_schema, write_frame, Encoding, FrameKind};

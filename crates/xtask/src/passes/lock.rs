@@ -34,7 +34,9 @@ pub const POOL_HOT_PATHS: &[&str] = &[
     "crates/columnar/src/expr/fuse.rs",
     "crates/columnar/src/parallel",
     "crates/columnar/src/metrics.rs",
+    "crates/columnar/src/page.rs",
     "crates/columnar/src/stats.rs",
+    "crates/columnar/src/wal.rs",
     "crates/core/src/cache.rs",
     "crates/netproto/src/",
 ];

@@ -20,11 +20,13 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/columnar/src/exec/",
     "crates/columnar/src/expr/",
     "crates/columnar/src/faults.rs",
+    "crates/columnar/src/page.rs",
     "crates/columnar/src/parallel",
     "crates/columnar/src/persist.rs",
     "crates/columnar/src/sql/estimate.rs",
     "crates/columnar/src/stats.rs",
     "crates/columnar/src/udf.rs",
+    "crates/columnar/src/wal.rs",
     "crates/netproto/src/",
     "crates/core/src/udf.rs",
     "crates/ml/src/tree.rs",

@@ -338,4 +338,79 @@ fn counters_move_exactly_once_per_event() {
     assert_eq!(delta.counter("sql.cost.reoptimized"), 1, "2x growth drops the cached plan");
     assert_eq!(delta.counter("sql.plan_cache.misses"), 1);
     assert_eq!(delta.counter("sql.plan_cache.hits"), 0);
+
+    // Durability: one statement on a durable database is exactly one WAL
+    // record — one append tick, one commit fsync, and a byte count that
+    // matches the log file's observed growth to the byte.
+    let wdir = std::env::temp_dir().join(format!("mlcs-metrics-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wdir);
+    let (wdb, _) = Database::open_durable(&wdir).unwrap();
+    wdb.execute("CREATE TABLE w (x INTEGER)").unwrap();
+    let log_path = wdir.join("wal.mlcslog");
+    let len_before = std::fs::metadata(&log_path).unwrap().len();
+    let before = metrics::snapshot();
+    wdb.execute("INSERT INTO w VALUES (1), (2)").unwrap();
+    let delta = metrics::snapshot().since(&before);
+    let grown = std::fs::metadata(&log_path).unwrap().len() - len_before;
+    assert_eq!(delta.counter("wal.appends"), 1, "one statement, one record");
+    assert_eq!(delta.counter("wal.fsyncs"), 1, "one commit, one fsync");
+    assert_eq!(delta.counter("wal.bytes"), grown, "byte counter matches log growth exactly");
+
+    // One CHECKPOINT is one fold tick.
+    let before = metrics::snapshot();
+    wdb.execute("CHECKPOINT").unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("wal.checkpoints"), 1, "one CHECKPOINT, one tick");
+
+    // Reopen: the checkpoint marker plus one post-checkpoint insert is
+    // exactly two replayed records and no truncation.
+    wdb.execute("INSERT INTO w VALUES (3)").unwrap();
+    drop(wdb);
+    let before = metrics::snapshot();
+    let (wdb, report) = Database::open_durable(&wdir).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("persist.replayed_records"), 2, "marker + one insert");
+    assert_eq!(delta.counter("persist.truncated_tail"), 0, "the log was clean");
+    assert_eq!(wdb.query_value("SELECT COUNT(*) FROM w").unwrap(), Value::Int64(3));
+
+    // A torn log tail (crash mid-commit) is one truncation event on the
+    // recovering open, and the torn statement is gone — never partial.
+    wdb.execute("INSERT INTO w VALUES (4)").unwrap();
+    drop(wdb);
+    let log = std::fs::read(&log_path).unwrap();
+    std::fs::write(&log_path, &log[..log.len() - 3]).unwrap();
+    let before = metrics::snapshot();
+    let (wdb, report) = Database::open_durable(&wdir).unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("persist.truncated_tail"), 1, "one truncation event");
+    assert!(report.truncated_tail > 0, "the torn record's surviving bytes were discarded");
+    assert_eq!(
+        wdb.query_value("SELECT COUNT(*) FROM w").unwrap(),
+        Value::Int64(3),
+        "the torn statement vanished whole"
+    );
+    drop(wdb);
+    let _ = std::fs::remove_dir_all(&wdir);
+
+    // A flipped byte inside a checkpointed page is one checksum-failure
+    // tick: the damaged table is skipped with a report, never loaded wrong.
+    let pgdir = std::env::temp_dir().join(format!("mlcs-metrics-page-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&pgdir);
+    let (pgdb, _) = Database::open_durable(&pgdir).unwrap();
+    pgdb.execute("CREATE TABLE pg (x INTEGER)").unwrap();
+    pgdb.execute("INSERT INTO pg VALUES (1)").unwrap();
+    pgdb.execute("CHECKPOINT").unwrap();
+    drop(pgdb);
+    let page_file = pgdir.join("pg.mlcspg");
+    let mut pb = std::fs::read(&page_file).unwrap();
+    pb[18] ^= 0xFF; // a payload byte of page 0, past the 16-byte header
+    std::fs::write(&page_file, pb).unwrap();
+    let before = metrics::snapshot();
+    let (_pgdb, report) = Database::open_durable(&pgdir).unwrap();
+    let delta = metrics::snapshot().since(&before);
+    assert_eq!(delta.counter("persist.checksum_failures"), 1, "one failing file, one tick");
+    assert_eq!(report.checksum_failures, 1);
+    assert_eq!(report.damaged.len(), 1, "the table is reported, not silently wrong");
+    let _ = std::fs::remove_dir_all(&pgdir);
 }
