@@ -85,6 +85,39 @@ struct Durability {
     wal: Wal,
     dir: PathBuf,
     fence: parking_lot::RwLock<()>,
+    /// Set when a commit's WAL append failed *after* the statement was
+    /// applied in memory: the in-memory tables and the log now disagree,
+    /// so physical redo records computed against memory (DELETE's
+    /// keep-indices, UPDATE's replacement columns) would replay against
+    /// the wrong row positions. Until the database is reopened (which
+    /// rebuilds memory from the log), every further durable mutation and
+    /// checkpoint is refused; reads still work.
+    poisoned: AtomicBool,
+}
+
+impl Durability {
+    /// Refuses poisoned handles with a typed error.
+    fn ensure_usable(&self) -> DbResult<()> {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(DbError::Io(
+                "a durable commit failed after applying in memory; the write-ahead \
+                 log no longer matches the in-memory tables — reopen the database \
+                 (Database::open_durable) to recover to the last acknowledged state"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends one statement's record, poisoning the handle on failure:
+    /// the caller has already applied the statement in memory, so a
+    /// failed append means memory and log have diverged and further
+    /// physical redo records can no longer be trusted.
+    fn log(&self, ops: &[WalOp]) -> DbResult<u64> {
+        self.wal.append(ops).inspect_err(|_| {
+            self.poisoned.store(true, Ordering::Relaxed);
+        })
+    }
 }
 
 /// An embedded analytical database: in-memory column store, SQL, and
@@ -163,6 +196,7 @@ impl Database {
             wal,
             dir: dir.to_path_buf(),
             fence: parking_lot::RwLock::new(()),
+            poisoned: AtomicBool::new(false),
         }));
         Ok((db, report))
     }
@@ -188,6 +222,10 @@ impl Database {
             )
         })?;
         let _fence = d.fence.write();
+        // A poisoned handle must not checkpoint: folding the divergent
+        // in-memory tables into the page base would durably commit a
+        // statement the client was told failed.
+        d.ensure_usable()?;
         wal::checkpoint(self, &d.dir, &d.wal)
     }
 
@@ -494,6 +532,9 @@ impl Database {
         match bound {
             BoundStatement::CreateTable { name, schema, if_not_exists } => {
                 let _fence = durable.as_ref().map(|d| d.fence.write());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let created = match catalog.create_table(&name, schema.clone()) {
                     Ok(()) => true,
                     Err(DbError::AlreadyExists { .. }) if if_not_exists => false,
@@ -501,7 +542,7 @@ impl Database {
                 };
                 if created {
                     if let Some(d) = &durable {
-                        d.wal.append(&[WalOp::CreateTable {
+                        d.log(&[WalOp::CreateTable {
                             name: name.to_ascii_lowercase(),
                             schema,
                         }])?;
@@ -518,6 +559,9 @@ impl Database {
                 let rows = batch.rows();
                 let lname = name.to_ascii_lowercase();
                 let _fence = durable.as_ref().map(|d| d.fence.write());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let existed = catalog.has_table(&lname);
                 let schema = batch.schema().clone();
                 // Batch columns are Arc-shared: the clone for logging is cheap.
@@ -527,7 +571,7 @@ impl Database {
                     if let Some(d) = &durable {
                         // One record = one statement: create + populate
                         // replay atomically.
-                        d.wal.append(&[
+                        d.log(&[
                             WalOp::CreateTable { name: lname.clone(), schema },
                             WalOp::append(lname, batch),
                         ])?;
@@ -537,11 +581,14 @@ impl Database {
             }
             BoundStatement::DropTable { name, if_exists } => {
                 let _fence = durable.as_ref().map(|d| d.fence.write());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let existed = catalog.has_table(&name);
                 catalog.drop_table(&name, if_exists)?;
                 if existed {
                     if let Some(d) = &durable {
-                        d.wal.append(&[WalOp::DropTable { name: name.to_ascii_lowercase() }])?;
+                        d.log(&[WalOp::DropTable { name: name.to_ascii_lowercase() }])?;
                     }
                 }
                 Ok(empty(StatementKind::Ddl, 0))
@@ -552,13 +599,16 @@ impl Database {
             }
             BoundStatement::InsertValues { table, column_map, rows } => {
                 let _fence = durable.as_ref().map(|d| d.fence.read());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let batch = self.insert_rows(&mut guard, &column_map, &rows)?;
                 if let Some(d) = &durable {
                     // Logged under the table guard so same-table log order
                     // matches apply order.
-                    d.wal.append(&[WalOp::append(table, batch)])?;
+                    d.log(&[WalOp::append(table, batch)])?;
                 }
                 Ok(empty(StatementKind::Dml, rows.len()))
             }
@@ -569,19 +619,25 @@ impl Database {
                 crate::verify::verify_plan(&plan, functions)?;
                 let batch = execute_plan_with(&plan, catalog, functions, opts)?;
                 let _fence = durable.as_ref().map(|d| d.fence.read());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let reordered = self.reorder_for_insert(&guard, &column_map, batch)?;
                 let n = reordered.rows();
                 guard.append_batch(&reordered)?;
                 if let Some(d) = &durable {
-                    d.wal.append(&[WalOp::append(table, reordered)])?;
+                    d.log(&[WalOp::append(table, reordered)])?;
                 }
                 Ok(empty(StatementKind::Dml, n))
             }
             BoundStatement::Delete { table, filter, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 let _fence = durable.as_ref().map(|d| d.fence.read());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let snapshot = guard.scan();
@@ -598,13 +654,16 @@ impl Database {
                 let removed = snapshot.rows() - keep.len();
                 guard.retain_indices(&keep);
                 if let Some(d) = &durable {
-                    d.wal.append(&[WalOp::Retain { table, keep }])?;
+                    d.log(&[WalOp::Retain { table, keep }])?;
                 }
                 Ok(empty(StatementKind::Dml, removed))
             }
             BoundStatement::Update { table, assignments, filter, scalar_subs } => {
                 let values = evaluate_scalar_subqueries(&scalar_subs, catalog, functions)?;
                 let _fence = durable.as_ref().map(|d| d.fence.read());
+                if let Some(d) = &durable {
+                    d.ensure_usable()?;
+                }
                 let handle = catalog.table(&table)?;
                 let mut guard = handle.write();
                 let snapshot = guard.scan();
@@ -652,7 +711,7 @@ impl Database {
                 if let Some(d) = &durable {
                     // One record for the whole statement: multi-column
                     // updates replay atomically.
-                    d.wal.append(&logged)?;
+                    d.log(&logged)?;
                 }
                 for s in &selected {
                     if *s {

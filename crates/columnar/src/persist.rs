@@ -32,8 +32,10 @@
 //! save) lists tables stored as `<name>.mlcstbl` files and carries no
 //! checkpoint watermark. `MLCSDB_2` (written by [`crate::wal::checkpoint`])
 //! additionally records the checkpoint LSN and stores each table as a
-//! `<name>.mlcspg` file of fixed-size checksummed pages (see
-//! [`crate::page`]). In both generations, if a `wal.mlcslog` file is
+//! `<name>.<lsn>.mlcspg` file of fixed-size checksummed pages (see
+//! [`crate::page`]) — versioned by the checkpoint LSN so the manifest
+//! rename atomically switches generations. In both generations, if a
+//! `wal.mlcslog` file is
 //! present next to the manifest, [`load_database_with`] replays every log
 //! record past the checkpoint watermark — idempotent redo — and, in
 //! [`RecoveryMode::Recover`], cleanly truncates a damaged log tail.
@@ -134,6 +136,42 @@ pub(crate) fn sync_dir(dir: &Path) -> DbResult<()> {
     Ok(())
 }
 
+/// The page file holding `name`'s snapshot as of checkpoint LSN `lsn`.
+///
+/// Page files are versioned by the checkpoint that wrote them so the
+/// manifest commit governs *which generation* is visible, not just which
+/// tables exist: a checkpoint that crashes after renaming fresh page
+/// files but before its manifest rename leaves the new generation as
+/// unreferenced orphans, and the old manifest keeps pointing at the old
+/// (untouched) files — replay past the old watermark stays correct
+/// instead of double-applying onto a half-committed new base.
+pub(crate) fn page_file_name(name: &str, lsn: u64) -> String {
+    format!("{name}.{lsn}.mlcspg")
+}
+
+/// The checkpoint LSN recorded in `dir`'s manifest: `0` when there is no
+/// manifest yet or it predates checkpointing (v1). Used by
+/// [`crate::wal::Wal::open`] to resume LSN issue past the watermark even
+/// when the log itself was lost or reset — without it, a crash between a
+/// checkpoint's manifest commit and its log reset could restart LSNs at
+/// 1 and make later acknowledged commits invisible to replay.
+pub(crate) fn checkpoint_watermark(dir: &Path) -> DbResult<u64> {
+    let manifest = match std::fs::read(dir.join("catalog.mlcsdb")) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = Reader::new(&manifest);
+    let magic = r.get_raw(8).map_err(corrupt)?;
+    if magic == MANIFEST_MAGIC_V2 {
+        r.get_u64().map_err(corrupt)
+    } else if magic == MANIFEST_MAGIC {
+        Ok(0)
+    } else {
+        Err(DbError::Corrupt("bad manifest magic".into()))
+    }
+}
+
 /// Writes the v2 manifest (checkpoint LSN + table list) atomically. The
 /// rename of this file is the checkpoint's commit point.
 pub(crate) fn write_manifest_v2(dir: &Path, checkpoint_lsn: u64, names: &[String]) -> DbResult<()> {
@@ -208,7 +246,7 @@ pub fn load_database_with(
             let n = r.get_count(1).map_err(corrupt)?;
             for _ in 0..n {
                 let name = r.get_str().map_err(corrupt)?.to_owned();
-                match load_table(db, dir, &name, paged, &mut report) {
+                match load_table(db, dir, &name, paged.then_some(checkpoint_lsn), &mut report) {
                     Ok(()) => report.loaded.push(name),
                     Err(e) if mode == RecoveryMode::Recover => {
                         metrics::counter("persist.recovered_tables").incr();
@@ -239,16 +277,17 @@ pub fn load_database_with(
 }
 
 /// Reads, decodes, and registers one table file — whole-file `.mlcstbl`
-/// for v1 manifests, checksummed-page `.mlcspg` for v2.
+/// for v1 manifests, checksummed-page `<name>.<lsn>.mlcspg` (the
+/// generation the manifest's checkpoint LSN names) for v2.
 fn load_table(
     db: &Database,
     dir: &Path,
     name: &str,
-    paged: bool,
+    paged: Option<u64>,
     report: &mut RecoveryReport,
 ) -> DbResult<()> {
-    let bytes = if paged {
-        let file = format!("{name}.mlcspg");
+    let bytes = if let Some(lsn) = paged {
+        let file = page_file_name(name, lsn);
         let raw = std::fs::read(dir.join(&file))?;
         match page::decode_pages_counted(&file, &raw) {
             Ok(payload) => payload,

@@ -18,11 +18,14 @@
 //!   statement is *not* acknowledged.
 //! * **Checkpoint.** [`checkpoint`] folds the log into fixed-size
 //!   checksummed pages ([`crate::page`]): every table is snapshotted into
-//!   `<name>.mlcspg` (written under the `page.write` fault point and
-//!   *verified by read-back before rename*, so a torn or bit-flipped page
-//!   can never replace a healthy base), the v2 manifest with the
-//!   checkpoint LSN is committed atomically, and the log is truncated to
-//!   a fresh header plus a checkpoint marker record.
+//!   `<name>.<lsn>.mlcspg` — versioned by the checkpoint LSN, so page
+//!   renames never overwrite the generation the live manifest references
+//!   (written under the `page.write` fault point and *verified by
+//!   read-back before rename*, so a torn or bit-flipped page can never
+//!   replace a healthy base), the v2 manifest with the checkpoint LSN is
+//!   committed atomically — the rename that switches generations — stale
+//!   generations are swept, and the log is truncated to a fresh header
+//!   plus a checkpoint marker record.
 //! * **Recovery.** [`crate::persist::load_database_with`] loads the page
 //!   base, then `recover_into` replays every record with an LSN past
 //!   the manifest's checkpoint watermark — idempotent redo — and, in
@@ -387,6 +390,15 @@ impl Wal {
     /// writer after the last intact record. A damaged tail is an error
     /// here: run a recovering [`persist::load_database_with`] first — it
     /// truncates the tail — or use [`Database::open_durable`], which does.
+    ///
+    /// LSN issue resumes past *both* the last intact record and the
+    /// manifest's checkpoint watermark. The watermark matters when the
+    /// log alone undersells history: a crash in the middle of a
+    /// checkpoint's log reset (or a recovery that truncated the log back
+    /// to a bare header) leaves few or no records on disk, yet the
+    /// manifest proves LSNs up to the watermark were already spent —
+    /// reissuing them would make later acknowledged commits invisible to
+    /// replay, which skips everything at or below the watermark.
     pub fn open(dir: &Path) -> DbResult<Wal> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(WAL_FILE);
@@ -404,13 +416,14 @@ impl Wal {
                  load_database_with(RecoveryMode::Recover) or Database::open_durable first"
             )));
         }
+        let watermark = persist::checkpoint_watermark(dir)?;
         let file = std::fs::OpenOptions::new().read(true).write(true).open(&path)?;
         Ok(Wal {
             path,
             inner: Mutex::new(WalInner {
                 file,
                 len: scan.valid_len,
-                next_lsn: scan.last_lsn + 1,
+                next_lsn: scan.last_lsn.max(watermark) + 1,
                 healthy: true,
             }),
         })
@@ -491,15 +504,21 @@ fn write_paged_atomic(dir: &Path, name: &str, payload: &[u8]) -> DbResult<()> {
 }
 
 /// Folds the log into the page base and truncates it: every table is
-/// snapshotted into `<name>.mlcspg`, the v2 manifest (carrying the
-/// checkpoint LSN) is committed atomically, and the log is reset to a
-/// fresh header plus a [`WalOp::Checkpoint`] marker.
+/// snapshotted into `<name>.<lsn>.mlcspg`, the v2 manifest (carrying the
+/// checkpoint LSN) is committed atomically, stale page generations are
+/// swept, and the log is reset to a fresh header plus a
+/// [`WalOp::Checkpoint`] marker.
 ///
 /// The whole fold runs under the log mutex, so commits are fenced for
 /// its duration — stop-the-world, by design: the snapshot is cut at one
-/// LSN. A crash after the manifest commit but before the log reset is
-/// harmless: every old record's LSN is at or below the new watermark, so
-/// replay skips them (idempotent redo).
+/// LSN. Page files carry that LSN in their name, so until the manifest
+/// rename the fresh generation is invisible: a crash anywhere during the
+/// fold leaves the previous manifest pointing at its own (untouched)
+/// generation, and replay past the *old* watermark stays correct —
+/// snapshots that already contain post-watermark effects can never be
+/// paired with the old watermark. A crash after the manifest commit but
+/// before the log reset is equally harmless: every old record's LSN is
+/// at or below the new watermark, so replay skips them (idempotent redo).
 pub fn checkpoint(db: &Database, dir: &Path, wal: &Wal) -> DbResult<()> {
     let mut inner = wal.inner.lock();
     std::fs::create_dir_all(dir)?;
@@ -510,11 +529,17 @@ pub fn checkpoint(db: &Database, dir: &Path, wal: &Wal) -> DbResult<()> {
         let table = handle.read(); // lint: allow(checkpoint is stop-the-world: the wal mutex fences commits while the snapshot is cut at one LSN)
         let bytes = persist::encode_table(&table);
         drop(table);
-        write_paged_atomic(dir, &format!("{name}.mlcspg"), &bytes)?;
+        write_paged_atomic(dir, &persist::page_file_name(name, upto), &bytes)?;
     }
     // The commit point: the manifest's checkpoint LSN makes the fold
-    // visible and obsoletes every record at or below it.
+    // visible — page files are named by it — and obsoletes every record
+    // at or below it.
     persist::write_manifest_v2(dir, upto, &names)?;
+    // The old generation (and any orphan from an earlier crashed fold) is
+    // now unreferenced; sweep it. Best-effort: leftovers are harmless —
+    // nothing loads a page file the manifest does not name — and the next
+    // checkpoint sweeps again.
+    sweep_stale_pages(dir, upto);
     // Reset the log. Failures past this line poison the writer (offsets
     // can no longer be trusted); a reopen recovers via the watermark.
     inner.healthy = false;
@@ -530,6 +555,20 @@ pub fn checkpoint(db: &Database, dir: &Path, wal: &Wal) -> DbResult<()> {
     inner.healthy = true;
     metrics::counter("wal.checkpoints").incr();
     Ok(())
+}
+
+/// Deletes every `*.mlcspg` file in `dir` that does not belong to the
+/// checkpoint generation `current` — superseded snapshots and orphans
+/// from folds that crashed before their manifest commit.
+fn sweep_stale_pages(dir: &Path, current: u64) {
+    let suffix = format!(".{current}.mlcspg");
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        if fname.ends_with(".mlcspg") && !fname.ends_with(&suffix) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 // ---- recovery ------------------------------------------------------------
@@ -762,7 +801,9 @@ mod tests {
         let before_len = wal.len();
         checkpoint(&db, &dir, &wal).unwrap();
         assert!(wal.len() < before_len + 1, "log shrank to header + marker");
-        assert!(dir.join("t.mlcspg").exists());
+        // Two records were appended, so the fold is cut at LSN 2 and the
+        // snapshot lands in a page file versioned by that watermark.
+        assert!(dir.join("t.2.mlcspg").exists());
         // A fresh load needs no replay: the marker record is a no-op.
         let db2 = Database::new();
         let report = persist::load_database_with(&db2, &dir, RecoveryMode::Recover).unwrap();

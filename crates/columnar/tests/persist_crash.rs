@@ -192,9 +192,11 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 /// A WAL commit killed at every WAL-side fault point is all-or-nothing:
-/// the failed statement is never acknowledged, the log stays usable for
-/// the next statement in the same process, and a reopen sees every
-/// acknowledged statement and no torn row group.
+/// the failed statement is never acknowledged, the handle is poisoned —
+/// memory and log may now disagree, so every further durable mutation
+/// and checkpoint is refused until reopen (reads still work) — and a
+/// reopen recovers the last acknowledged state and accepts commits
+/// again.
 ///
 /// `wal.append:flip` is deliberately absent: a flip *succeeds* at the
 /// syscall layer (the commit is acknowledged) but the frame fails CRC on
@@ -216,26 +218,57 @@ fn wal_commit_killed_at_every_fault_point_is_all_or_nothing() {
             faults::clear();
             assert!(outcome.is_err(), "{point_spec} did not fail the commit");
 
-            // The log must remain usable after the failed commit: the
-            // writer overwrites any torn bytes in place.
-            db.execute("INSERT INTO t VALUES (3)").unwrap();
+            // The failed commit was applied in memory before the append
+            // died, so the handle is poisoned: durable mutations and
+            // checkpoints are refused (a later DELETE would otherwise
+            // log keep-indices computed against the divergent table).
+            assert!(
+                db.execute("INSERT INTO t VALUES (99)").is_err(),
+                "durable commit accepted on a poisoned handle after {point_spec}"
+            );
+            assert!(
+                db.checkpoint().is_err(),
+                "checkpoint accepted on a poisoned handle after {point_spec}"
+            );
+            // Reads still work on the in-memory state.
+            fresh_rows_at_least(&db, 1, point_spec);
             // Process "crashes" here: the Database is dropped without a
             // checkpoint, so reopen goes through WAL replay alone.
         }
 
         let (fresh, report) = Database::open_durable(&dir).unwrap();
-        let vals = table_values(&fresh, "t");
-        // Statement 2 was never acknowledged; 1 and 3 were. A torn
-        // append leaves debris that recovery must truncate, but in this
-        // single-row shape statement 3 overwrote it in place, so the log
-        // scans clean either way — what matters is the value set.
-        assert_eq!(vals, vec![1, 3], "wrong survivors after {point_spec}: {vals:?}");
         assert!(
             report.damaged.is_empty(),
             "replay damage after {point_spec}: {:?}",
             report.damaged
         );
+        // Reopen cleared the poison: the log accepts commits again.
+        fresh.execute("INSERT INTO t VALUES (3)").unwrap();
+        drop(fresh);
+
+        let (again, _) = Database::open_durable(&dir).unwrap();
+        let vals = table_values(&again, "t");
+        // 1 and 3 were acknowledged and must be present. Statement 2 was
+        // not: after a failed fsync its frame may sit fully (never
+        // partially) on disk, so it may legally resurface; an interrupted
+        // append cannot leave an intact frame, so there it must be gone.
+        assert!(vals.contains(&1) && vals.contains(&3), "{point_spec} lost a commit: {vals:?}");
+        assert!(!vals.contains(&99), "refused statement survived {point_spec}: {vals:?}");
+        if point_spec.starts_with("wal.append") {
+            assert_eq!(vals, vec![1, 3], "wrong survivors after {point_spec}: {vals:?}");
+        } else {
+            assert!(
+                vals == vec![1, 3] || vals == vec![1, 2, 3],
+                "wrong survivors after {point_spec}: {vals:?}"
+            );
+        }
     }
+}
+
+/// Sanity probe that reads keep working on a poisoned handle.
+fn fresh_rows_at_least(db: &Database, n: usize, ctx: &str) {
+    let rows = db.query("SELECT v FROM t").unwrap().rows();
+    assert!(rows >= n, "poisoned handle lost read access after {ctx}: {rows} rows");
 }
 
 /// Crashing *immediately* after a failed WAL commit (no further writes)
@@ -383,12 +416,143 @@ fn replay_is_idempotent_across_repeated_recovery() {
     }
 }
 
+/// The second-checkpoint crash window: data committed *after* a first
+/// checkpoint, then a second checkpoint killed at each rename in turn —
+/// including the window after a table's fresh page file is renamed into
+/// place but before the manifest commit. Page files are versioned by
+/// checkpoint LSN, so the old manifest keeps referencing the old
+/// (untouched) generation and replay past the old watermark never
+/// double-applies: no duplicated appends, no Retain keep-indices landing
+/// on shifted row positions.
+#[test]
+fn second_checkpoint_killed_between_page_and_manifest_rename_never_double_applies() {
+    let guard = TestGuard::arm("ckpt-regen");
+    let dir = guard.dir.clone();
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.execute("CREATE TABLE t (v BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.checkpoint().unwrap();
+        // Post-checkpoint traffic: an append and a positional delete, the
+        // two shapes a stale-watermark double-replay corrupts.
+        db.execute("INSERT INTO t VALUES (3), (4)").unwrap();
+        db.execute("DELETE FROM t WHERE v = 2").unwrap();
+    }
+
+    let mut crashes = 0;
+    for nth in 1..16 {
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.damaged.is_empty(), "nth {nth}: {:?}", report.damaged);
+        assert_eq!(
+            table_values(&db, "t"),
+            vec![1, 3, 4],
+            "double-applied or mis-retained rows before fs.rename:{nth}"
+        );
+        faults::configure_str(&format!("fs.rename:err:1:{nth}"), 17).unwrap();
+        let outcome = db.checkpoint();
+        faults::clear();
+        drop(db); // crash: no further writes after the failed fold
+        if outcome.is_ok() {
+            break;
+        }
+        crashes += 1;
+        assert!(nth < 15, "checkpoint never ran out of rename fault points");
+    }
+    // One page rename + one manifest rename must each have been killed.
+    assert_eq!(crashes, 2, "unexpected rename count during checkpoint");
+
+    let (fresh, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.damaged.is_empty(), "{:?}", report.damaged);
+    assert_eq!(table_values(&fresh, "t"), vec![1, 3, 4]);
+}
+
+/// A crash in the middle of a checkpoint's log reset (the reset is not
+/// atomic: `set_len(0)` + header + marker) can leave a bare header next
+/// to a manifest whose watermark says LSNs were already spent. The next
+/// session must resume LSN issue past the watermark — were it to restart
+/// at 1, its acknowledged commits would sit at or below the watermark
+/// and be silently skipped by every later replay: acknowledged data
+/// loss.
+#[test]
+fn lsn_issue_resumes_past_watermark_after_lost_log_reset() {
+    let guard = TestGuard::arm("lsn-resume");
+    let dir = guard.dir.clone();
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.execute("CREATE TABLE t (v BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.checkpoint().unwrap();
+    }
+    // Crash mid-reset: the truncation and fresh header landed, the
+    // checkpoint marker record did not.
+    std::fs::write(dir.join("wal.mlcslog"), b"MLCSWAL1").unwrap();
+
+    {
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.damaged.is_empty(), "{:?}", report.damaged);
+        assert_eq!(table_values(&db, "t"), vec![1, 2]);
+        // This commit must carry an LSN past the manifest watermark.
+        db.execute("INSERT INTO t VALUES (3)").unwrap();
+    }
+
+    let (fresh, report) = Database::open_durable(&dir).unwrap();
+    assert_eq!(report.replayed_records, 1, "the post-reset commit must replay");
+    assert_eq!(
+        table_values(&fresh, "t"),
+        vec![1, 2, 3],
+        "acknowledged commit invisible to replay (LSN at or below the watermark)"
+    );
+}
+
+/// After a commit fails *past* the in-memory apply, the durability
+/// handle is poisoned: physical redo records computed against the now-
+/// divergent tables (DELETE keep-indices, UPDATE column images) can no
+/// longer be trusted, so durable mutations and checkpoints are refused
+/// until a reopen rebuilds memory from the log. Reads keep working, and
+/// the reopened database accepts the same statements cleanly.
+#[test]
+fn failed_commit_poisons_durable_statements_until_reopen() {
+    let guard = TestGuard::arm("poison");
+    let dir = guard.dir.clone();
+    {
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        db.execute("CREATE TABLE t (v BIGINT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+
+        faults::configure_str("wal.append:err:1", 19).unwrap();
+        assert!(db.execute("INSERT INTO t VALUES (4)").is_err());
+        faults::clear();
+
+        // The unlogged row sits in memory; a DELETE would compute its
+        // keep-indices against that divergent table and replay them
+        // against the wrong positions — so it must be refused.
+        let err = db.execute("DELETE FROM t WHERE v = 2").unwrap_err();
+        assert!(err.to_string().contains("reopen"), "untyped poison error: {err}");
+        assert!(db.execute("UPDATE t SET v = v + 10").is_err());
+        assert!(db.execute("CREATE TABLE u (x BIGINT)").is_err());
+        assert!(db.checkpoint().is_err());
+        // Reads are unaffected.
+        assert_eq!(db.query("SELECT v FROM t").unwrap().rows(), 4);
+    }
+
+    let (db, report) = Database::open_durable(&dir).unwrap();
+    assert!(report.damaged.is_empty(), "{:?}", report.damaged);
+    assert_eq!(table_values(&db, "t"), vec![1, 2, 3], "unacknowledged row survived reopen");
+    db.execute("DELETE FROM t WHERE v = 2").unwrap();
+    drop(db);
+
+    let (fresh, _) = Database::open_durable(&dir).unwrap();
+    assert_eq!(table_values(&fresh, "t"), vec![1, 3], "post-reopen delete replayed wrong");
+}
+
 /// Randomized crash schedule, replayable via `MLCS_CHAOS_SEED`: random
 /// two-row inserts with random fault arming at the WAL points, random
-/// checkpoints, and periodic crash+reopen. Invariants after every
-/// reopen: every acknowledged statement survives in full, every failed
-/// statement is all-or-nothing (both rows or neither), and nothing else
-/// appears.
+/// checkpoints, and periodic crash+reopen — plus a forced crash+reopen
+/// after every failed commit, since a failed commit poisons the handle
+/// (memory and log may disagree) and refuses further durable statements.
+/// Invariants after every reopen: every acknowledged statement survives
+/// in full, every failed statement is all-or-nothing (both rows or
+/// neither), and nothing else appears.
 #[test]
 fn randomized_crash_schedule_is_replayable_and_all_or_nothing() {
     let seed = env_u64("MLCS_CHAOS_SEED", 0xC4A5_0FF5_EED0_0D1E);
@@ -423,18 +587,28 @@ fn randomized_crash_schedule_is_replayable_and_all_or_nothing() {
         }
         let outcome = db.execute(&format!("INSERT INTO t VALUES ({lo}), ({hi})"));
         faults::clear();
+        let mut poisoned = false;
         match outcome {
             Ok(_) => shadow.extend([lo, hi]),
-            Err(_) => failed_pairs.push((lo, hi)),
+            Err(_) => {
+                failed_pairs.push((lo, hi));
+                poisoned = true;
+                // The poisoned handle must refuse the next commit
+                // outright (nothing reaches memory or the log).
+                assert!(
+                    db.execute("INSERT INTO t VALUES (424242)").is_err(),
+                    "round {round}: poisoned handle accepted a commit (seed {seed})"
+                );
+            }
         }
 
-        if rng.below(5) == 0 {
+        if !poisoned && rng.below(5) == 0 {
             // Checkpoints may legitimately fail if a stray armed fault
             // fired mid-fold; committed data must survive either way.
             let _ = db.checkpoint();
         }
 
-        if rng.below(4) == 0 {
+        if poisoned || rng.below(4) == 0 {
             drop(db);
             let (fresh, report) = Database::open_durable(&dir).unwrap();
             assert!(report.damaged.is_empty(), "round {round}: {:?}", report.damaged);

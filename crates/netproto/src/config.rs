@@ -50,6 +50,13 @@ pub struct NetConfig {
     /// further queries are shed with a typed `DbError::Rejected` error
     /// frame instead of growing the queue without bound.
     pub max_inflight_queries: usize,
+    /// Whether clients may issue `SAVE '<dir>'` over the wire. `SAVE`
+    /// writes a full snapshot to a server-side path named by the client,
+    /// so it is an arbitrary-filesystem-write primitive; off by default,
+    /// for deployments where every client is trusted (e.g. a local test
+    /// harness). `CHECKPOINT` is unaffected — it only ever writes inside
+    /// the directory the database was opened on.
+    pub allow_remote_save: bool,
     /// Client-side retry budget for connect-and-query; retries apply only
     /// before the first `Schema` frame arrives (a half-consumed result is
     /// never silently replayed).
@@ -72,6 +79,7 @@ impl Default for NetConfig {
             mode: ServeMode::Reactor,
             event_loops: 2,
             max_inflight_queries: 256,
+            allow_remote_save: false,
             retries: 3,
             retry_base_delay: Duration::from_millis(20),
             retry_seed: 0,
@@ -119,6 +127,9 @@ mod tests {
         assert_eq!(c.mode, ServeMode::Reactor);
         assert!(c.event_loops >= 1);
         assert!(c.max_inflight_queries >= 1);
+        // SAVE is an arbitrary-path write on the server; it must be
+        // opt-in.
+        assert!(!c.allow_remote_save);
     }
 
     #[test]

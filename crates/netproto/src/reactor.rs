@@ -482,6 +482,10 @@ impl EventLoop {
                 return true;
             }
         };
+        if let Some(e) = crate::server::remote_save_rejection(&sql, &self.shared.config) {
+            queue_error(conn, &e);
+            return true;
+        }
         let quota = self.shared.config.max_inflight_queries.max(1);
         if self.shared.inflight.load(Ordering::Relaxed) >= quota {
             let e = DbError::Rejected(format!("server overloaded ({quota} queries in flight)"));

@@ -14,9 +14,11 @@
 //! Durability rides the same statement path: serve a database opened
 //! with `Database::open_durable` and every mutation a client commits is
 //! write-ahead-logged before it is acknowledged; clients can issue
-//! `CHECKPOINT` (fold the log into the page base) and `SAVE '<dir>'`
-//! (consistent snapshot to another directory) over the wire like any
-//! other statement.
+//! `CHECKPOINT` (fold the log into the page base) over the wire like any
+//! other statement. `SAVE '<dir>'` (consistent snapshot to an arbitrary
+//! server-side path) is refused unless the operator opted in via
+//! [`NetConfig::allow_remote_save`] — a client naming the filesystem
+//! path the server writes to is an injection primitive, not a query.
 
 use crate::config::{NetConfig, ServeMode};
 use crate::framing::{decode_query, encode_schema, write_frame, Encoding, FrameKind};
@@ -175,6 +177,34 @@ pub(crate) fn reject_stream(stream: TcpStream, config: &NetConfig) {
     let _ = w.flush();
 }
 
+/// Returns the rejection for a wire query containing `SAVE` when the
+/// server has not opted in ([`NetConfig::allow_remote_save`]), `None`
+/// when the query may proceed. Decided on the parsed statement list, not
+/// a substring match, so `SELECT 'save'` passes and a `SAVE` hidden in a
+/// multi-statement batch does not. Unparseable input proceeds: execution
+/// reports the real syntax error, and nothing unparseable can reach the
+/// `SAVE` path. Shared by both serving modes so the policy cannot drift.
+pub(crate) fn remote_save_rejection(sql: &str, config: &NetConfig) -> Option<DbError> {
+    if config.allow_remote_save {
+        return None;
+    }
+    use mlcs_columnar::sql::{ast::Statement, parser::parse_many};
+    let has_save = parse_many(sql)
+        .map(|stmts| stmts.iter().any(|s| matches!(s, Statement::Save { .. })))
+        .unwrap_or(false);
+    if has_save {
+        mlcs_columnar::metrics::counter("netproto.save_refused").incr();
+        Some(DbError::Rejected(
+            "SAVE is disabled over the network (it writes a snapshot to a \
+             server-side path of the client's choosing); enable \
+             NetConfig::allow_remote_save to permit it"
+                .into(),
+        ))
+    } else {
+        None
+    }
+}
+
 /// Extracts a human-readable message from a caught panic payload.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -233,6 +263,11 @@ fn handle_connection(
                 continue;
             }
         };
+        if let Some(e) = remote_save_rejection(&sql, &config) {
+            write_frame(&mut writer, FrameKind::Error, e.to_string().as_bytes())?;
+            writer.flush()?;
+            continue;
+        }
         // Panic isolation: a panicking UDF (or engine bug) must cost the
         // client one Error frame, not the whole connection — and must never
         // take down the worker silently.

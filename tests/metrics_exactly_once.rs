@@ -402,7 +402,14 @@ fn counters_move_exactly_once_per_event() {
     pgdb.execute("INSERT INTO pg VALUES (1)").unwrap();
     pgdb.execute("CHECKPOINT").unwrap();
     drop(pgdb);
-    let page_file = pgdir.join("pg.mlcspg");
+    // Page files are versioned by the checkpoint LSN; find the one
+    // generation the fold above left behind.
+    let page_file = std::fs::read_dir(&pgdir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.to_string_lossy().ends_with(".mlcspg"))
+        .expect("checkpoint wrote a page file");
     let mut pb = std::fs::read(&page_file).unwrap();
     pb[18] ^= 0xFF; // a payload byte of page 0, past the 16-byte header
     std::fs::write(&page_file, pb).unwrap();

@@ -280,7 +280,11 @@ fn served_durability_statements_survive_reopen() {
 
     {
         let (db, _) = Database::open_durable(&dir).unwrap();
-        let server = Server::start_with(db, serving_config()).unwrap();
+        // SAVE over the wire is an arbitrary-path write on the server, so
+        // it needs the explicit opt-in; this test is the trusted-client
+        // deployment that flag exists for.
+        let config = NetConfig { allow_remote_save: true, ..serving_config() };
+        let server = Server::start_with(db, config).unwrap();
         let mut client = TextClient::connect_with(server.addr(), serving_config()).unwrap();
         client.query("CREATE TABLE kv (v BIGINT)").unwrap();
         client.query("INSERT INTO kv VALUES (1), (2)").unwrap();
@@ -310,4 +314,62 @@ fn served_durability_statements_survive_reopen() {
 
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&snap);
+}
+
+/// By default a served database refuses `SAVE '<path>'` — a client
+/// naming a server-side filesystem path to write a snapshot to is an
+/// injection primitive, not a query — with a typed rejection, in both
+/// serving modes. The gate is statement-based, not a substring match:
+/// `SELECT` with "save" in a literal passes, `SAVE` buried in a
+/// multi-statement batch does not, and the connection stays usable
+/// afterwards. `CHECKPOINT` (which only writes inside the durable
+/// directory the operator chose) stays allowed.
+#[test]
+fn remote_save_is_refused_unless_opted_in() {
+    let _guard = serial();
+    let dir = std::env::temp_dir().join(format!("mlcs-serving-nosave-{}", std::process::id()));
+    let target = std::env::temp_dir().join(format!("mlcs-serving-nosave-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&target);
+
+    for mode in [mlcs::netproto::ServeMode::Reactor, mlcs::netproto::ServeMode::ThreadPerConn] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (db, _) = Database::open_durable(&dir).unwrap();
+        let config = NetConfig { mode, ..serving_config() };
+        let server = Server::start_with(db, config).unwrap();
+        let mut client = TextClient::connect_with(server.addr(), serving_config()).unwrap();
+        client.query("CREATE TABLE kv (v BIGINT)").unwrap();
+        client.query("INSERT INTO kv VALUES (1)").unwrap();
+
+        let err = client.query(&format!("SAVE '{}'", target.display())).unwrap_err();
+        match &err {
+            DbError::Rejected(reason) => assert!(
+                reason.contains("allow_remote_save"),
+                "{mode:?}: rejection must name the opt-in: {reason}"
+            ),
+            other => panic!("{mode:?}: expected DbError::Rejected for SAVE, got {other:?}"),
+        }
+        assert!(!target.exists(), "{mode:?}: refused SAVE must write nothing");
+        // Buried in a batch it is still refused, and nothing in the batch
+        // runs (the gate fires before execution).
+        let err = client
+            .query(&format!("INSERT INTO kv VALUES (2); SAVE '{}'", target.display()))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Rejected(_)), "{mode:?}: batched SAVE got {err:?}");
+
+        // The word in a literal is not a SAVE statement; the connection
+        // still serves queries; CHECKPOINT is unaffected.
+        let batch = client.query("SELECT 'save me' FROM kv").unwrap();
+        assert_eq!(batch.rows(), 1, "{mode:?}");
+        client.query("CHECKPOINT").unwrap();
+        assert_eq!(
+            client.query("SELECT COUNT(*) FROM kv").unwrap().row(0),
+            vec![mlcs::columnar::Value::Int64(1)],
+            "{mode:?}: batch with refused SAVE must be all-or-nothing"
+        );
+        server.shutdown();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&target);
 }
